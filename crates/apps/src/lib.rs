@@ -1,0 +1,25 @@
+//! # dissent-apps
+//!
+//! Applications and workloads built on the Dissent protocol, mirroring §4
+//! and §5.4 of the paper:
+//!
+//! * [`microblog`] — anonymous microblogging: the 1 %-of-clients-post
+//!   workload, action generation for the in-memory session, and feed
+//!   collection.
+//! * [`socks`] — SOCKS-style flow framing: splitting TCP flows into
+//!   slot-sized frames with destination headers and reassembling them at
+//!   the exit node.
+//! * [`web`] — the WiNoN browsing scenario: a synthetic Alexa-Top-100 page
+//!   corpus, access-path models for direct / Tor / Dissent / Dissent+Tor,
+//!   and the download-time model behind Figures 10 and 11.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod microblog;
+pub mod socks;
+pub mod web;
+
+pub use microblog::{Feed, MicroblogWorkload, Post};
+pub use socks::{split_flow, CompletedFlow, Frame, Reassembler};
+pub use web::{alexa_like_corpus, AccessPath, BrowsingConfig, BrowsingModel, Page};

@@ -1,0 +1,174 @@
+//! Anonymous microblogging (paper §4.2).
+//!
+//! The paper's headline application: a chat-like interface where users post
+//! short messages into the Dissent session.  The evaluation's microblog
+//! workload has a random 1 % of clients submit 128-byte messages each round.
+//! This module generates that workload as [`ClientAction`]s for the
+//! in-memory [`Session`](dissent_core::Session) and collects the revealed
+//! posts into a feed, so the examples and integration tests exercise the
+//! same data path a real deployment would.
+
+use dissent_core::session::{ClientAction, RoundResult};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the microblog workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MicroblogWorkload {
+    /// Probability that a given client posts in a given round.
+    pub post_probability: f64,
+    /// Size of each post in bytes.
+    pub post_bytes: usize,
+    /// Probability that a given client is offline in a given round.
+    pub offline_probability: f64,
+}
+
+impl Default for MicroblogWorkload {
+    fn default() -> Self {
+        MicroblogWorkload {
+            post_probability: 0.01,
+            post_bytes: 128,
+            offline_probability: 0.0,
+        }
+    }
+}
+
+impl MicroblogWorkload {
+    /// Generate one round of client actions for `num_clients` clients.
+    pub fn actions<R: Rng + ?Sized>(&self, num_clients: usize, round: u64, rng: &mut R) -> Vec<ClientAction> {
+        (0..num_clients)
+            .map(|client| {
+                if rng.gen_bool(self.offline_probability.clamp(0.0, 1.0)) {
+                    ClientAction::Offline
+                } else if rng.gen_bool(self.post_probability.clamp(0.0, 1.0)) {
+                    ClientAction::Send(self.compose(client, round))
+                } else {
+                    ClientAction::Idle
+                }
+            })
+            .collect()
+    }
+
+    /// Compose a post of exactly `post_bytes` bytes.  The content encodes the
+    /// author and round only so tests can check delivery; a real client would
+    /// of course not identify itself.
+    pub fn compose(&self, client: usize, round: u64) -> Vec<u8> {
+        let mut text = format!("post r{round} c{client} ").into_bytes();
+        while text.len() < self.post_bytes {
+            text.push(b'.');
+        }
+        text.truncate(self.post_bytes);
+        text
+    }
+}
+
+/// One post revealed by the protocol.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Post {
+    /// The round the post appeared in.
+    pub round: u64,
+    /// The anonymous slot that carried it.
+    pub slot: usize,
+    /// The post body.
+    pub body: Vec<u8>,
+}
+
+/// The collected feed of anonymous posts.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Feed {
+    /// All posts in arrival order.
+    pub posts: Vec<Post>,
+}
+
+impl Feed {
+    /// Create an empty feed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one round's output.
+    pub fn ingest(&mut self, result: &RoundResult) {
+        for (slot, body) in &result.messages {
+            self.posts.push(Post {
+                round: result.round,
+                slot: *slot,
+                body: body.clone(),
+            });
+        }
+    }
+
+    /// Number of posts collected so far.
+    pub fn len(&self) -> usize {
+        self.posts.len()
+    }
+
+    /// True if no posts have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.posts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn posts_are_exactly_the_requested_size() {
+        let w = MicroblogWorkload::default();
+        assert_eq!(w.compose(3, 17).len(), 128);
+        let small = MicroblogWorkload {
+            post_bytes: 10,
+            ..MicroblogWorkload::default()
+        };
+        assert_eq!(small.compose(123456, 999).len(), 10);
+    }
+
+    #[test]
+    fn one_percent_of_clients_post_on_average() {
+        let w = MicroblogWorkload::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut senders = 0usize;
+        let rounds = 50;
+        for r in 0..rounds {
+            senders += w
+                .actions(1000, r, &mut rng)
+                .iter()
+                .filter(|a| matches!(a, ClientAction::Send(_)))
+                .count();
+        }
+        let avg = senders as f64 / rounds as f64;
+        assert!(avg > 5.0 && avg < 15.0, "avg senders = {avg}");
+    }
+
+    #[test]
+    fn offline_probability_produces_offline_actions() {
+        let w = MicroblogWorkload {
+            offline_probability: 0.5,
+            ..MicroblogWorkload::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let actions = w.actions(2000, 0, &mut rng);
+        let offline = actions.iter().filter(|a| matches!(a, ClientAction::Offline)).count();
+        assert!(offline > 800 && offline < 1200, "offline = {offline}");
+    }
+
+    #[test]
+    fn feed_collects_round_messages() {
+        let mut feed = Feed::new();
+        assert!(feed.is_empty());
+        feed.ingest(&RoundResult {
+            round: 4,
+            messages: vec![(2, b"hi".to_vec()), (5, b"yo".to_vec())],
+            participation: 10,
+            required_participation: 9,
+            corrupted_slots: vec![],
+            expelled: vec![],
+            certified: true,
+        });
+        assert_eq!(feed.len(), 2);
+        assert_eq!(feed.posts[0].slot, 2);
+        assert_eq!(feed.posts[1].body, b"yo".to_vec());
+    }
+}

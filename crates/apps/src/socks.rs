@@ -1,0 +1,259 @@
+//! SOCKS-style flow tunnelling (paper §4.1).
+//!
+//! The prototype exposes a SOCKS v5 proxy: an entry node accepts TCP/UDP
+//! flows from applications, tags each with a random flow identifier plus the
+//! destination address, and streams the bytes through the Dissent session;
+//! a (non-anonymous) exit node reassembles the flows and forwards them to
+//! the public Internet.  This module implements that framing layer: flows
+//! are split into self-describing frames that fit in DC-net slot payloads
+//! and are reassembled in order on the far side.
+
+use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of one tunnelled flow (random, so the exit cannot correlate
+/// flows beyond what it must deliver).
+pub type FlowId = u32;
+
+/// One frame of a tunnelled flow.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    /// The flow this frame belongs to.
+    pub flow: FlowId,
+    /// Sequence number within the flow.
+    pub seq: u32,
+    /// Destination host (carried on every frame so the exit is stateless
+    /// across Dissent rounds).
+    pub dest_host: String,
+    /// Destination port.
+    pub dest_port: u16,
+    /// Whether this is the final frame of the flow.
+    pub fin: bool,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Serialize to the wire form carried inside a slot payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let host = self.dest_host.as_bytes();
+        assert!(host.len() <= u8::MAX as usize, "hostname too long");
+        let mut buf = BytesMut::with_capacity(16 + host.len() + self.payload.len());
+        buf.put_u32(self.flow);
+        buf.put_u32(self.seq);
+        buf.put_u8(self.fin as u8);
+        buf.put_u8(host.len() as u8);
+        buf.put_slice(host);
+        buf.put_u16(self.dest_port);
+        buf.put_u32(self.payload.len() as u32);
+        buf.put_slice(&self.payload);
+        buf.to_vec()
+    }
+
+    /// Parse a frame from its wire form.
+    pub fn decode(mut data: &[u8]) -> Option<Frame> {
+        if data.len() < 14 {
+            return None;
+        }
+        let flow = data.get_u32();
+        let seq = data.get_u32();
+        let fin = data.get_u8() != 0;
+        let host_len = data.get_u8() as usize;
+        if data.len() < host_len + 6 {
+            return None;
+        }
+        let dest_host = String::from_utf8(data[..host_len].to_vec()).ok()?;
+        data.advance(host_len);
+        let dest_port = data.get_u16();
+        let payload_len = data.get_u32() as usize;
+        if data.len() < payload_len {
+            return None;
+        }
+        Some(Frame {
+            flow,
+            seq,
+            dest_host,
+            dest_port,
+            fin,
+            payload: data[..payload_len].to_vec(),
+        })
+    }
+
+    /// Framing overhead (everything except the payload) for a hostname.
+    pub fn overhead(dest_host: &str) -> usize {
+        16 + dest_host.len()
+    }
+}
+
+/// Split an application byte stream into frames whose encoded size fits in
+/// `max_frame_bytes`.
+pub fn split_flow(
+    flow: FlowId,
+    dest_host: &str,
+    dest_port: u16,
+    data: &[u8],
+    max_frame_bytes: usize,
+) -> Vec<Frame> {
+    let overhead = Frame::overhead(dest_host);
+    let chunk = max_frame_bytes.saturating_sub(overhead).max(1);
+    let chunks: Vec<&[u8]> = if data.is_empty() {
+        vec![&[][..]]
+    } else {
+        data.chunks(chunk).collect()
+    };
+    let n = chunks.len();
+    chunks
+        .into_iter()
+        .enumerate()
+        .map(|(i, payload)| Frame {
+            flow,
+            seq: i as u32,
+            dest_host: dest_host.to_string(),
+            dest_port,
+            fin: i + 1 == n,
+            payload: payload.to_vec(),
+        })
+        .collect()
+}
+
+/// Exit-node reassembler: collects frames (possibly out of order, possibly
+/// interleaved across flows) and yields complete flows.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    flows: BTreeMap<FlowId, BTreeMap<u32, Frame>>,
+}
+
+/// A fully reassembled flow ready to be forwarded to its destination.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletedFlow {
+    /// The flow identifier.
+    pub flow: FlowId,
+    /// Destination host.
+    pub dest_host: String,
+    /// Destination port.
+    pub dest_port: u16,
+    /// The reassembled byte stream.
+    pub data: Vec<u8>,
+}
+
+impl Reassembler {
+    /// Create an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one frame; returns the completed flow if this frame finished it.
+    pub fn ingest(&mut self, frame: Frame) -> Option<CompletedFlow> {
+        let entry = self.flows.entry(frame.flow).or_default();
+        entry.insert(frame.seq, frame);
+        self.try_complete_latest()
+    }
+
+    fn try_complete_latest(&mut self) -> Option<CompletedFlow> {
+        let completed_flow = self.flows.iter().find_map(|(&flow, frames)| {
+            let fin = frames.values().find(|f| f.fin)?;
+            let expected = fin.seq + 1;
+            let contiguous = (0..expected).all(|s| frames.contains_key(&s));
+            contiguous.then_some(flow)
+        })?;
+        let frames = self.flows.remove(&completed_flow)?;
+        let first = frames.values().next()?;
+        let dest_host = first.dest_host.clone();
+        let dest_port = first.dest_port;
+        let mut data = Vec::new();
+        for (_, f) in frames {
+            data.extend_from_slice(&f.payload);
+        }
+        Some(CompletedFlow {
+            flow: completed_flow,
+            dest_host,
+            dest_port,
+            data,
+        })
+    }
+
+    /// Number of flows still awaiting frames.
+    pub fn pending(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_encode_decode_round_trip() {
+        let f = Frame {
+            flow: 0xdead_beef,
+            seq: 7,
+            dest_host: "example.org".to_string(),
+            dest_port: 443,
+            fin: true,
+            payload: b"GET / HTTP/1.1\r\n\r\n".to_vec(),
+        };
+        let decoded = Frame::decode(&f.encode()).unwrap();
+        assert_eq!(decoded, f);
+        assert!(Frame::decode(&f.encode()[..5]).is_none());
+        assert!(Frame::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn split_and_reassemble_round_trip() {
+        let data: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_be_bytes()).collect();
+        let frames = split_flow(42, "example.com", 80, &data, 512);
+        assert!(frames.len() > 1);
+        assert!(frames.iter().all(|f| f.encode().len() <= 512));
+        assert!(frames.last().unwrap().fin);
+        let mut r = Reassembler::new();
+        let mut completed = None;
+        for f in frames {
+            completed = r.ingest(f).or(completed);
+        }
+        let flow = completed.expect("flow should complete");
+        assert_eq!(flow.data, data);
+        assert_eq!(flow.dest_host, "example.com");
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn out_of_order_frames_reassemble() {
+        let data = vec![7u8; 3000];
+        let mut frames = split_flow(1, "host", 8080, &data, 300);
+        frames.reverse();
+        let mut r = Reassembler::new();
+        let mut completed = None;
+        for f in frames {
+            completed = r.ingest(f).or(completed);
+        }
+        assert_eq!(completed.unwrap().data, data);
+    }
+
+    #[test]
+    fn interleaved_flows_do_not_mix() {
+        let a = split_flow(1, "a.example", 80, &vec![1u8; 900], 256);
+        let b = split_flow(2, "b.example", 80, &vec![2u8; 900], 256);
+        let mut r = Reassembler::new();
+        let mut done = Vec::new();
+        for (fa, fb) in a.into_iter().zip(b.into_iter()) {
+            if let Some(c) = r.ingest(fa) {
+                done.push(c);
+            }
+            if let Some(c) = r.ingest(fb) {
+                done.push(c);
+            }
+        }
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().any(|c| c.dest_host == "a.example" && c.data == vec![1u8; 900]));
+        assert!(done.iter().any(|c| c.dest_host == "b.example" && c.data == vec![2u8; 900]));
+    }
+
+    #[test]
+    fn empty_flow_still_produces_a_fin_frame() {
+        let frames = split_flow(9, "x", 1, &[], 128);
+        assert_eq!(frames.len(), 1);
+        assert!(frames[0].fin);
+        assert!(frames[0].payload.is_empty());
+    }
+}

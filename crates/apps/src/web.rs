@@ -1,0 +1,310 @@
+//! Anonymous web browsing (paper §4.3, §5.4 — Figures 10 and 11).
+//!
+//! The paper measures how long downloading the Alexa Top-100 index pages
+//! takes under four configurations: direct access, Tor, a local-area Dissent
+//! deployment (the WiNoN scenario), and Dissent composed with Tor.  Neither
+//! the 2012 Alexa pages nor the live Tor network are available here, so this
+//! module provides:
+//!
+//! * a synthetic **page corpus** with realistic size/asset distributions
+//!   (median page ≈ 1 MB across a few dozen assets);
+//! * an **access-path model** for each configuration, expressed as a
+//!   per-request latency plus an effective throughput — the Dissent paths
+//!   derive both from the round-timing simulator so they respond to the
+//!   topology and workload parameters rather than being hard-coded;
+//! * a **download-time model**: fetch the HTML, then fetch assets with
+//!   bounded concurrency, exactly like the paper's automated browser.
+
+use dissent_core::timing::{simulate_rounds, Scenario, Workload};
+use dissent_core::WindowPolicy;
+use dissent_net::churn::ChurnModel;
+use dissent_net::costmodel::CostModel;
+use dissent_net::sim::{to_secs, SimTime, SECOND};
+use dissent_net::topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One synthetic web page.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Page {
+    /// Rank in the corpus (1-based, mirroring "Alexa Top-100").
+    pub rank: usize,
+    /// Size of the HTML document in bytes.
+    pub html_bytes: usize,
+    /// Sizes of the dependent assets (images, CSS, JS, …).
+    pub assets: Vec<usize>,
+}
+
+impl Page {
+    /// Total bytes transferred for the page.
+    pub fn total_bytes(&self) -> usize {
+        self.html_bytes + self.assets.iter().sum::<usize>()
+    }
+
+    /// Total number of HTTP requests (HTML + assets).
+    pub fn requests(&self) -> usize {
+        1 + self.assets.len()
+    }
+}
+
+/// Generate a synthetic "Alexa Top-100"-like corpus.
+///
+/// Page sizes are log-normally distributed with a median around 1 MB and
+/// 20–60 assets per page, matching the aggregate statistics the paper's
+/// averages imply ("downloading 1 MB of Web content…").
+pub fn alexa_like_corpus(count: usize, seed: u64) -> Vec<Page> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let html_bytes = rng.gen_range(20_000..150_000);
+            let num_assets = rng.gen_range(15..60);
+            // Log-normal-ish asset sizes: many small, a few large.
+            let assets: Vec<usize> = (0..num_assets)
+                .map(|_| {
+                    let z: f64 = rng.gen_range(0.0..1.0);
+                    (2_000.0 * (1.0 / (1.0 - z * 0.98)).powf(1.3)) as usize
+                })
+                .collect();
+            Page {
+                rank: i + 1,
+                html_bytes,
+                assets,
+            }
+        })
+        .collect()
+}
+
+/// An access path: fixed per-request latency plus effective throughput.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AccessPath {
+    /// Per-request round-trip latency.
+    pub request_latency: SimTime,
+    /// Effective sustained throughput in bits per second.
+    pub throughput_bps: f64,
+    /// Maximum concurrent requests (the automated browser fetched dependent
+    /// assets concurrently).
+    pub concurrency: usize,
+}
+
+impl AccessPath {
+    /// Time to download one page over this path.
+    pub fn download_time(&self, page: &Page) -> SimTime {
+        let request_batches =
+            (page.requests() as f64 / self.concurrency.max(1) as f64).ceil() as SimTime;
+        let latency = self.request_latency * request_batches;
+        let transfer =
+            ((page.total_bytes() as f64 * 8.0 / self.throughput_bps) * SECOND as f64) as SimTime;
+        latency + transfer
+    }
+}
+
+/// The four configurations of Figure 10.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BrowsingConfig {
+    /// The gateway connects directly to the Internet.
+    Direct,
+    /// Through the public Tor network (3-hop circuits).
+    Tor,
+    /// Through a local-area Dissent group (the WiNoN deployment).
+    DissentLan,
+    /// Local-area Dissent composed with Tor ("best of both worlds").
+    DissentPlusTor,
+}
+
+impl BrowsingConfig {
+    /// All four configurations in the paper's presentation order.
+    pub fn all() -> [BrowsingConfig; 4] {
+        [
+            BrowsingConfig::Direct,
+            BrowsingConfig::Tor,
+            BrowsingConfig::DissentLan,
+            BrowsingConfig::DissentPlusTor,
+        ]
+    }
+
+    /// Human-readable label (matches the figure legend).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BrowsingConfig::Direct => "no anonymity",
+            BrowsingConfig::Tor => "Tor",
+            BrowsingConfig::DissentLan => "Dissent (wLAN)",
+            BrowsingConfig::DissentPlusTor => "Dissent + Tor",
+        }
+    }
+}
+
+/// Model of the §5.4 testbed: a 24 Mbps / 10 ms WiFi LAN of 24 clients and
+/// 5 servers, one of which gateways to the Internet, plus a 2012-era Tor
+/// path model.
+#[derive(Clone, Debug)]
+pub struct BrowsingModel {
+    /// The Emulab-style WiFi topology.
+    pub topology: Topology,
+    /// Effective throughput of a 2012-era Tor circuit (bits per second).
+    pub tor_throughput_bps: f64,
+    /// One-way latency added per Tor hop.
+    pub tor_hop_latency: SimTime,
+    /// Number of Tor relay hops.
+    pub tor_hops: usize,
+    /// Direct-path throughput of the gateway's Internet uplink.
+    pub direct_throughput_bps: f64,
+    /// Direct-path request latency.
+    pub direct_latency: SimTime,
+    /// Browser request concurrency.
+    pub concurrency: usize,
+    /// Bytes of tunnelled payload carried per Dissent round for the
+    /// browsing flow.
+    pub dissent_bytes_per_round: usize,
+}
+
+impl Default for BrowsingModel {
+    fn default() -> Self {
+        BrowsingModel {
+            topology: Topology::emulab_wifi(24, 5),
+            // Measured Tor circuit throughput in the 2011–2012 era was a few
+            // hundred kbit/s; 300 kbit/s reproduces the ~4× slowdown of Fig 10.
+            tor_throughput_bps: 300_000.0,
+            tor_hop_latency: 80 * dissent_net::MILLISECOND,
+            tor_hops: 3,
+            direct_throughput_bps: 1_000_000.0,
+            direct_latency: 120 * dissent_net::MILLISECOND,
+            concurrency: 6,
+            dissent_bytes_per_round: 16 * 1024,
+        }
+    }
+}
+
+impl BrowsingModel {
+    /// The mean Dissent round time on the WiFi LAN, obtained from the
+    /// round-timing simulator with a bulk-ish per-round payload.
+    pub fn dissent_round_time(&self) -> SimTime {
+        let scenario = Scenario {
+            topology: self.topology.clone(),
+            cost: CostModel::default(),
+            churn: ChurnModel::reliable_lan(),
+            policy: WindowPolicy::default(),
+            workload: Workload::Bulk {
+                message_bytes: self.dissent_bytes_per_round,
+            },
+            oversubscription: 1.0,
+            seed: 0x3e8,
+        };
+        let rounds = simulate_rounds(&scenario, 20);
+        let mean = rounds.iter().map(|r| r.total() as f64).sum::<f64>() / rounds.len() as f64;
+        mean as SimTime
+    }
+
+    /// The access path for one configuration.
+    pub fn path(&self, config: BrowsingConfig) -> AccessPath {
+        let round = self.dissent_round_time() as f64;
+        let dissent_throughput =
+            self.dissent_bytes_per_round as f64 * 8.0 / (round / SECOND as f64);
+        let tor_latency = self.tor_hop_latency * 2 * self.tor_hops as SimTime;
+        match config {
+            BrowsingConfig::Direct => AccessPath {
+                request_latency: self.direct_latency,
+                throughput_bps: self.direct_throughput_bps,
+                concurrency: self.concurrency,
+            },
+            BrowsingConfig::Tor => AccessPath {
+                request_latency: self.direct_latency + tor_latency,
+                throughput_bps: self.tor_throughput_bps,
+                concurrency: self.concurrency,
+            },
+            BrowsingConfig::DissentLan => AccessPath {
+                // A request waits for the next round in each direction.
+                request_latency: self.direct_latency + 2 * round as SimTime,
+                throughput_bps: dissent_throughput,
+                concurrency: self.concurrency,
+            },
+            BrowsingConfig::DissentPlusTor => AccessPath {
+                request_latency: self.direct_latency + tor_latency + 2 * round as SimTime,
+                // Serial composition: the slower stage bottlenecks and the
+                // extra hop costs a further efficiency factor.
+                throughput_bps: dissent_throughput.min(self.tor_throughput_bps) * 0.8,
+                concurrency: self.concurrency,
+            },
+        }
+    }
+
+    /// Download every page of a corpus under one configuration; returns
+    /// per-page times in seconds.
+    pub fn download_corpus(&self, config: BrowsingConfig, corpus: &[Page]) -> Vec<f64> {
+        let path = self.path(config);
+        corpus.iter().map(|p| to_secs(path.download_time(p))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_realistic_shape() {
+        let corpus = alexa_like_corpus(100, 1);
+        assert_eq!(corpus.len(), 100);
+        let mut totals: Vec<usize> = corpus.iter().map(|p| p.total_bytes()).collect();
+        totals.sort_unstable();
+        let median = totals[50];
+        assert!(median > 200_000 && median < 4_000_000, "median = {median}");
+        assert!(corpus.iter().all(|p| p.requests() >= 16));
+        // Deterministic for a seed.
+        assert_eq!(alexa_like_corpus(100, 1), corpus);
+        assert_ne!(alexa_like_corpus(100, 2), corpus);
+    }
+
+    #[test]
+    fn figure_10_ordering_holds() {
+        // Direct < Tor < Dissent < Dissent+Tor in mean download time.
+        let model = BrowsingModel::default();
+        let corpus = alexa_like_corpus(100, 7);
+        let mean = |cfg| {
+            let times = model.download_corpus(cfg, &corpus);
+            times.iter().sum::<f64>() / times.len() as f64
+        };
+        let direct = mean(BrowsingConfig::Direct);
+        let tor = mean(BrowsingConfig::Tor);
+        let dissent = mean(BrowsingConfig::DissentLan);
+        let both = mean(BrowsingConfig::DissentPlusTor);
+        assert!(direct < tor, "direct {direct} vs tor {tor}");
+        assert!(tor < dissent, "tor {tor} vs dissent {dissent}");
+        assert!(dissent < both, "dissent {dissent} vs both {both}");
+        // The paper reports roughly 10 / 40 / 45 / 55 seconds per ~1 MB page:
+        // anonymised paths are several times slower than direct, and
+        // Dissent+Tor costs tens of percent over Tor alone, not multiples.
+        assert!(tor / direct > 2.0 && tor / direct < 10.0);
+        assert!(both / tor < 2.5);
+    }
+
+    #[test]
+    fn dissent_round_time_is_sub_second_on_the_lan() {
+        let model = BrowsingModel::default();
+        let round = to_secs(model.dissent_round_time());
+        assert!(round > 0.05 && round < 2.0, "round = {round}");
+    }
+
+    #[test]
+    fn download_time_scales_with_page_size() {
+        let model = BrowsingModel::default();
+        let path = model.path(BrowsingConfig::Tor);
+        let small = Page {
+            rank: 1,
+            html_bytes: 10_000,
+            assets: vec![10_000; 5],
+        };
+        let large = Page {
+            rank: 2,
+            html_bytes: 100_000,
+            assets: vec![100_000; 30],
+        };
+        assert!(path.download_time(&large) > path.download_time(&small) * 5);
+    }
+
+    #[test]
+    fn config_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            BrowsingConfig::all().iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

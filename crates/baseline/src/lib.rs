@@ -1,0 +1,23 @@
+//! # dissent-baseline
+//!
+//! Baseline DC-net designs the paper compares against (Herbivore and the
+//! first-generation Dissent both scaled to only ~40–50 members):
+//!
+//! * [`peer`] — the classic all-to-all peer DC-net: O(N) computation per
+//!   member per output bit, O(N²) communication, and a hard requirement
+//!   that every member stays online for a round to decode.  Also includes a
+//!   Herbivore-style leader-combiner timing variant.
+//!
+//! The comparison benches in `dissent-bench` put these side by side with
+//! Dissent's anytrust client/server design to reproduce the paper's central
+//! scalability claim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod peer;
+
+pub use peer::{
+    attempts_until_success, combine, leader_round_time, member_ciphertext, peer_round_time,
+    PeerSecrets,
+};

@@ -1,0 +1,273 @@
+//! Classic peer-to-peer DC-net (Chaum 1988): the baseline Dissent improves on.
+//!
+//! Every pair of the N members shares a secret coin; every member XORs N−1
+//! pad strings (plus its message) into its ciphertext and broadcasts it to
+//! everyone.  The round output is decodable only when *all* members'
+//! ciphertexts are present, which is exactly the scalability and churn
+//! problem §3.1 of the paper describes:
+//!
+//! * per-member computation is O(N) per output bit (vs O(M) in Dissent);
+//! * communication is O(N²) ciphertext transmissions per round;
+//! * a single member going offline forces every other member to recompute
+//!   and resend, and f adversarial members can force f successive restarts.
+//!
+//! This module implements the scheme functionally (for correctness tests and
+//! comparison benches) and provides timing/cost formulas used by the
+//! ablation experiments.
+
+use dissent_dcnet::pad::{pad, xor_into, SharedSecret};
+use dissent_net::costmodel::CostModel;
+use dissent_net::link::Link;
+use dissent_net::sim::SimTime;
+use rand::Rng;
+
+/// Pairwise secrets for a fully-connected group of `n` members.
+#[derive(Clone, Debug)]
+pub struct PeerSecrets {
+    n: usize,
+    /// `secrets[i][j]` = the secret member i shares with member j (symmetric).
+    secrets: Vec<Vec<SharedSecret>>,
+}
+
+impl PeerSecrets {
+    /// Deterministically generate the O(N²) pairwise secrets.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut secrets = vec![vec![[0u8; 32]; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let mut s = [0u8; 32];
+                s[..8].copy_from_slice(&seed.to_be_bytes());
+                s[8..16].copy_from_slice(&(i as u64).to_be_bytes());
+                s[16..24].copy_from_slice(&(j as u64).to_be_bytes());
+                secrets[i][j] = s;
+                secrets[j][i] = s;
+            }
+        }
+        PeerSecrets { n, secrets }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The secret member `i` shares with member `j`.
+    pub fn shared(&self, i: usize, j: usize) -> SharedSecret {
+        self.secrets[i][j]
+    }
+}
+
+/// Build member `i`'s ciphertext for a round, XORing pads with every *other
+/// online* member in `online` (the classic protocol requires `online` to be
+/// agreed upon in advance; a mismatch garbles the round).
+pub fn member_ciphertext(
+    secrets: &PeerSecrets,
+    online: &[usize],
+    member: usize,
+    round: u64,
+    message: Option<&[u8]>,
+    len: usize,
+) -> Vec<u8> {
+    let mut out = vec![0u8; len];
+    if let Some(m) = message {
+        assert!(m.len() <= len, "message longer than the round length");
+        out[..m.len()].copy_from_slice(m);
+    }
+    for &peer in online {
+        if peer == member {
+            continue;
+        }
+        xor_into(&mut out, &pad(&secrets.shared(member, peer), round, len));
+    }
+    out
+}
+
+/// Combine all members' ciphertexts into the round output.
+pub fn combine(len: usize, ciphertexts: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = vec![0u8; len];
+    for ct in ciphertexts {
+        xor_into(&mut out, ct);
+    }
+    out
+}
+
+/// How many times a round must be re-run before it completes, given a
+/// per-member per-attempt disconnection probability — the churn-induced
+/// restart behaviour of §3.1/§3.6.  Each attempt fails if *any* currently
+/// online member drops mid-round (the paper's "one slow member delays the
+/// entire group").
+pub fn attempts_until_success<R: Rng + ?Sized>(
+    rng: &mut R,
+    members: usize,
+    per_member_drop_prob: f64,
+    max_attempts: usize,
+) -> usize {
+    for attempt in 1..=max_attempts {
+        let failed = (0..members).any(|_| rng.gen_bool(per_member_drop_prob.clamp(0.0, 1.0)));
+        if !failed {
+            return attempt;
+        }
+    }
+    max_attempts
+}
+
+/// Timing model for one peer-to-peer DC-net round (used by the comparison
+/// benches): every member computes N−1 pads over the full round length and
+/// broadcasts its ciphertext to all N−1 peers over its own link.
+pub fn peer_round_time(cost: &CostModel, link: &Link, members: usize, len: usize) -> SimTime {
+    let compute = (members.saturating_sub(1)) as SimTime * cost.stream_time(len);
+    // Each member serializes N−1 copies of its ciphertext; reception of the
+    // other N−1 ciphertexts shares the same link.
+    let broadcast = link.transfer_time(len * members.saturating_sub(1)) * 2;
+    compute + broadcast
+}
+
+/// Aggregate network traffic (bytes) of one peer-to-peer round: every one of
+/// the N members sends its ciphertext to the other N−1 — the O(N²) term that
+/// caps classic DC-nets at tens of members.
+pub fn peer_total_traffic(members: usize, len: usize) -> usize {
+    members * members.saturating_sub(1) * len
+}
+
+/// Aggregate network traffic of a leader-combined round: N uploads plus N
+/// downloads of the combined output — O(N).
+pub fn leader_total_traffic(members: usize, len: usize) -> usize {
+    2 * members * len
+}
+
+/// Timing model for a Herbivore-style star: members send to a leader who
+/// combines and broadcasts the result.  Communication is O(N) per round but
+/// computation per member is still O(N) pads, and the leader's link carries
+/// all N ciphertexts.
+pub fn leader_round_time(cost: &CostModel, link: &Link, members: usize, len: usize) -> SimTime {
+    let member_compute = (members.saturating_sub(1)) as SimTime * cost.stream_time(len);
+    let leader_ingest = link.serialization_time(len * members) + link.latency_us;
+    let leader_combine = members as SimTime * cost.stream_time(len);
+    let broadcast = link.serialization_time(len * members) + link.latency_us;
+    member_compute + leader_ingest + leader_combine + broadcast
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_sender_message_revealed() {
+        let n = 6;
+        let secrets = PeerSecrets::generate(n, 1);
+        let online: Vec<usize> = (0..n).collect();
+        let len = 64;
+        let cts: Vec<Vec<u8>> = (0..n)
+            .map(|i| {
+                let msg = (i == 3).then_some(&b"peer dc-net"[..]);
+                member_ciphertext(&secrets, &online, i, 0, msg, len)
+            })
+            .collect();
+        let out = combine(len, &cts);
+        assert_eq!(&out[..11], b"peer dc-net");
+        assert!(out[11..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn missing_member_garbles_the_round() {
+        // The defining weakness: if one member's ciphertext is absent the
+        // pads no longer cancel and the output is garbage.
+        let n = 5;
+        let secrets = PeerSecrets::generate(n, 2);
+        let online: Vec<usize> = (0..n).collect();
+        let len = 32;
+        let cts: Vec<Vec<u8>> = (0..n)
+            .map(|i| {
+                let msg = (i == 0).then_some(&b"hello"[..]);
+                member_ciphertext(&secrets, &online, i, 0, msg, len)
+            })
+            .collect();
+        let out = combine(len, &cts[..n - 1]); // member n-1 never arrives
+        assert_ne!(&out[..5], b"hello");
+    }
+
+    #[test]
+    fn recomputation_after_exclusion_recovers() {
+        // After agreeing member 4 is gone, the others recompute without its
+        // pads and the round decodes again — the costly "re-run" step.
+        let n = 5;
+        let secrets = PeerSecrets::generate(n, 3);
+        let online: Vec<usize> = (0..n - 1).collect();
+        let len = 32;
+        let cts: Vec<Vec<u8>> = online
+            .iter()
+            .map(|&i| {
+                let msg = (i == 0).then_some(&b"hello"[..]);
+                member_ciphertext(&secrets, &online, i, 1, msg, len)
+            })
+            .collect();
+        let out = combine(len, &cts);
+        assert_eq!(&out[..5], b"hello");
+    }
+
+    #[test]
+    fn churn_restarts_grow_with_group_size() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 200;
+        let avg = |members: usize, rng: &mut StdRng| -> f64 {
+            (0..trials)
+                .map(|_| attempts_until_success(rng, members, 0.01, 50))
+                .sum::<usize>() as f64
+                / trials as f64
+        };
+        let small = avg(10, &mut rng);
+        let large = avg(400, &mut rng);
+        assert!(large > small * 2.0, "small {small}, large {large}");
+    }
+
+    #[test]
+    fn peer_round_time_scales_with_membership() {
+        let cost = CostModel::default();
+        let link = Link::new_ms_mbps(10.0, 100.0);
+        // Use a payload large enough that serialization dominates the fixed
+        // per-message latency, exposing the linear-per-member (quadratic
+        // aggregate) growth.
+        let t100 = peer_round_time(&cost, &link, 100, 16 * 1024);
+        let t1000 = peer_round_time(&cost, &link, 1000, 16 * 1024);
+        assert!(t1000 > t100 * 8, "{t1000} vs {t100}");
+        // Aggregate traffic is the O(N²) killer.
+        assert_eq!(peer_total_traffic(100, 1024), 100 * 99 * 1024);
+        assert!(peer_total_traffic(1000, 1024) > 90 * peer_total_traffic(100, 1024));
+    }
+
+    #[test]
+    fn leader_variant_cuts_traffic_but_not_per_member_compute() {
+        let cost = CostModel::default();
+        let link = Link::new_ms_mbps(10.0, 100.0);
+        // Herbivore's star topology reduces aggregate traffic from O(N²) to
+        // O(N)…
+        assert!(leader_total_traffic(500, 4096) * 100 < peer_total_traffic(500, 4096));
+        // …and its wall-clock round time is no worse than full broadcast…
+        let peer = peer_round_time(&cost, &link, 500, 4096);
+        let leader = leader_round_time(&cost, &link, 500, 4096);
+        assert!(leader <= peer + peer / 10);
+        // …but per-member computation still grows linearly with N, unlike
+        // Dissent's O(M).
+        assert!(leader_round_time(&cost, &link, 1000, 4096) > leader);
+    }
+
+    #[test]
+    fn secrets_are_symmetric() {
+        let s = PeerSecrets::generate(8, 9);
+        for i in 0..8 {
+            for j in 0..8 {
+                if i != j {
+                    assert_eq!(s.shared(i, j), s.shared(j, i));
+                }
+            }
+        }
+        assert_eq!(s.len(), 8);
+    }
+}

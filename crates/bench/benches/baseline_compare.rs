@@ -1,0 +1,35 @@
+//! Ablation: Dissent's anytrust DC-net vs the classic peer DC-net and a
+//! leader-combined variant (the paper's core scalability claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dissent_baseline::peer::{combine, member_ciphertext, PeerSecrets};
+use dissent_bench::baseline_comparison;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("peer_dcnet_round");
+    g.sample_size(10);
+    for &n in &[10usize, 40] {
+        g.bench_with_input(BenchmarkId::new("members", n), &n, |b, &n| {
+            let secrets = PeerSecrets::generate(n, 1);
+            let online: Vec<usize> = (0..n).collect();
+            b.iter(|| {
+                let cts: Vec<Vec<u8>> = (0..n)
+                    .map(|i| member_ciphertext(&secrets, &online, i, 0, None, 1024))
+                    .collect();
+                combine(1024, &cts)
+            })
+        });
+    }
+    g.finish();
+
+    println!("\nBaseline comparison (seconds per round / aggregate MB per round):");
+    for r in baseline_comparison(&[40, 320, 1000, 5000]) {
+        println!(
+            "  {:>5} members  dissent {:>7.2} s  peer {:>8.2} s  leader {:>7.2} s  peer {:>9.1} MB  dissent {:>6.1} MB",
+            r.members, r.dissent_secs, r.peer_secs, r.leader_secs, r.peer_traffic_mb, r.dissent_traffic_mb
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

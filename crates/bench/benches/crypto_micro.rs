@@ -1,0 +1,55 @@
+//! Microbenchmarks of the cryptographic substrate (used to calibrate the
+//! simulator's CostModel and to sanity-check the primitives' relative costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dissent_crypto::group::Group;
+use dissent_crypto::prng::DetPrng;
+use dissent_crypto::schnorr::SigningKeyPair;
+use dissent_crypto::sha256::sha256;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let mut g = c.benchmark_group("modexp");
+    for group in [Group::testing_256(), Group::modp_512(), Group::modp_1024()] {
+        let x = group.random_scalar(&mut rng);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(group.name().to_string()),
+            &group,
+            |b, grp| b.iter(|| grp.exp_base(&x)),
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("symmetric");
+    g.throughput(Throughput::Bytes(64 * 1024));
+    g.bench_function("chacha20_pad_64KiB", |b| {
+        let mut prng = DetPrng::new(&[7u8; 32], b"bench");
+        b.iter(|| prng.bytes(64 * 1024))
+    });
+    g.bench_function("sha256_64KiB", |b| {
+        let data = vec![0xa5u8; 64 * 1024];
+        b.iter(|| sha256(&data))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("signatures");
+    let group = Group::testing_256();
+    let kp = SigningKeyPair::generate(&group, &mut rng);
+    let sig = kp.sign(&group, &mut rng, b"bench message");
+    g.bench_function("schnorr_sign", |b| {
+        b.iter(|| {
+            let mut sign_rng = StdRng::seed_from_u64(1);
+            kp.sign(&group, &mut sign_rng, b"bench message")
+        })
+    });
+    g.bench_function("schnorr_verify", |b| {
+        b.iter(|| dissent_crypto::schnorr::verify(&group, kp.public(), b"bench message", &sig))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

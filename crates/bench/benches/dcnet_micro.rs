@@ -1,0 +1,67 @@
+//! Microbenchmarks of the DC-net data path: client ciphertext generation and
+//! server pad accumulation, across message sizes and server counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dissent_dcnet::client::{ClientDcnet, Submission};
+use dissent_dcnet::pad::pad;
+use dissent_dcnet::slots::{SlotConfig, SlotPayload, SlotSchedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("client_ciphertext");
+    for &servers in &[4usize, 16, 32] {
+        let secrets: Vec<[u8; 32]> = (0..servers)
+            .map(|j| {
+                let mut s = [0u8; 32];
+                s[0] = j as u8;
+                s
+            })
+            .collect();
+        let schedule = SlotSchedule::new_all_open(16, SlotConfig::default());
+        let layout = schedule.layout();
+        g.throughput(Throughput::Bytes(layout.total_len as u64));
+        g.bench_with_input(BenchmarkId::new("servers", servers), &servers, |b, _| {
+            let client = ClientDcnet::new(3, secrets.clone());
+            let mut rng = StdRng::seed_from_u64(9);
+            let config = SlotConfig::default();
+            b.iter(|| {
+                client.ciphertext(
+                    &mut rng,
+                    &layout,
+                    &Submission::message(SlotPayload::message(&[0x42u8; 128], &config)),
+                )
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("server_pads");
+    for &clients in &[100usize, 1000] {
+        let secrets: BTreeMap<u32, [u8; 32]> = (0..clients as u32)
+            .map(|i| {
+                let mut s = [0u8; 32];
+                s[..4].copy_from_slice(&i.to_be_bytes());
+                (i, s)
+            })
+            .collect();
+        let len = 2048;
+        g.throughput(Throughput::Bytes((clients * len) as u64));
+        g.bench_with_input(BenchmarkId::new("clients", clients), &clients, |b, _| {
+            b.iter(|| {
+                let composite: Vec<u32> = (0..clients as u32).collect();
+                dissent_dcnet::server::server_ciphertext(1, len, &composite, &secrets, &BTreeMap::new())
+            })
+        });
+    }
+    g.finish();
+
+    c.bench_function("pad_expand_128KiB", |b| {
+        let secret = [1u8; 32];
+        b.iter(|| pad(&secret, 3, 128 * 1024))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figures 10 & 11: Alexa Top-100 downloads under the four configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dissent_bench::web_browsing_study;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_web_download");
+    g.sample_size(10);
+    g.bench_function("download_corpus_all_configs", |b| b.iter(web_browsing_study));
+    g.finish();
+
+    println!("\nFigure 10/11 data:");
+    for r in web_browsing_study() {
+        let mut v = r.page_secs.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "  {:<16} mean {:>6.1} s   p50 {:>6.1} s   p90 {:>6.1} s   {:>5.1} s/MB",
+            r.config,
+            mean,
+            v[v.len() / 2],
+            v[(v.len() - 1) * 9 / 10],
+            r.secs_per_mb
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

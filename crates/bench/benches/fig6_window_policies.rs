@@ -1,0 +1,31 @@
+//! Figure 6 / §5.1: window-closure policy study over a PlanetLab-style trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dissent_bench::window_policy_study;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_window_policies");
+    g.sample_size(10);
+    g.bench_function("replay_trace_4_policies", |b| {
+        b.iter(|| window_policy_study(30))
+    });
+    g.finish();
+
+    // Print the figure data once so `cargo bench` output doubles as the table.
+    let results = window_policy_study(60);
+    println!("\nFigure 6 summary (median / p90 exchange completion):");
+    for r in results {
+        let mut v = r.completion_secs.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!(
+            "  {:<32} median {:>7.2} s   p90 {:>7.2} s   missed {:>5.2}%",
+            r.name,
+            v[v.len() / 2],
+            v[(v.len() - 1) * 9 / 10],
+            r.missed_fraction * 100.0
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 7: time per round vs number of clients.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dissent_bench::clients_scaling;
+use dissent_core::timing::{simulate_round, Scenario, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_clients_scaling");
+    g.sample_size(10);
+    for &n in &[32usize, 320, 1000, 5120] {
+        g.bench_with_input(BenchmarkId::new("microblog_round", n), &n, |b, &n| {
+            let s = Scenario::deterlab(n, 32, Workload::paper_microblog());
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| simulate_round(&s, &mut rng))
+        });
+    }
+    g.finish();
+
+    println!("\nFigure 7 data (mean seconds per round):");
+    for p in clients_scaling(&[32, 100, 320, 1000, 5120], 20) {
+        println!(
+            "  {:>5} clients  {:<14} {:<10} total {:>7.2} s",
+            p.clients,
+            p.workload,
+            p.testbed,
+            p.total_secs()
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 8: time per round vs number of servers at 640 clients.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dissent_bench::servers_scaling;
+use dissent_core::timing::{simulate_round, Scenario, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_servers_scaling");
+    g.sample_size(10);
+    for &m in &[1usize, 4, 24, 32] {
+        g.bench_with_input(BenchmarkId::new("bulk_round", m), &m, |b, &m| {
+            let s = Scenario::deterlab(640, m, Workload::paper_bulk());
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| simulate_round(&s, &mut rng))
+        });
+    }
+    g.finish();
+
+    println!("\nFigure 8 data (mean seconds per round, 640 clients):");
+    for p in servers_scaling(&[1, 2, 4, 10, 24, 32], 20) {
+        println!(
+            "  {:>3} servers  {:<14} total {:>7.2} s",
+            p.servers,
+            p.workload,
+            p.total_secs()
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 9: full protocol run (key shuffle, DC-net round, blame shuffle,
+//! blame evaluation) across client counts, plus a real small-scale key
+//! shuffle microbenchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dissent_bench::full_protocol_study;
+use dissent_crypto::dh::DhKeyPair;
+use dissent_crypto::elgamal::ElGamal;
+use dissent_crypto::group::Group;
+use dissent_shuffle::protocol::{run_shuffle, submit_element};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_full_protocol");
+    g.sample_size(10);
+    // Real (small) key shuffles with the fast test group.
+    let group = Group::testing_256();
+    let elgamal = ElGamal::new(group.clone());
+    for &n in &[4usize, 16] {
+        g.bench_with_input(BenchmarkId::new("real_key_shuffle", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let servers: Vec<DhKeyPair> =
+                (0..3).map(|_| DhKeyPair::generate(&group, &mut rng)).collect();
+            let keys: Vec<_> = servers.iter().map(|s| s.public().clone()).collect();
+            b.iter(|| {
+                let subs: Vec<_> = (0..n)
+                    .map(|_| {
+                        let k = group.exp_base(&group.random_scalar(&mut rng));
+                        submit_element(&elgamal, &keys, &k, &mut rng)
+                    })
+                    .collect();
+                run_shuffle(&group, &servers, subs, 4, b"bench", &mut rng).unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    println!("\nFigure 9 data (seconds per phase, 24 servers):");
+    for p in full_protocol_study(&[24, 100, 500, 1000]) {
+        println!(
+            "  {:>5} clients  key shuffle {:>8.1} s   dc-net {:>6.2} s   blame shuffle {:>9.1} s   blame eval {:>6.2} s",
+            p.clients, p.key_shuffle_secs, p.dcnet_round_secs, p.blame_shuffle_secs, p.blame_evaluation_secs
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,226 @@
+//! Regenerate every table and figure of the Dissent OSDI 2012 evaluation.
+//!
+//! ```text
+//! cargo run --release -p dissent-bench --bin experiments -- all
+//! cargo run --release -p dissent-bench --bin experiments -- fig7
+//! ```
+//!
+//! Subcommands: `sec5_1`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`, `fig11`,
+//! `baseline`, `alpha`, `calibrate`, `all`.
+
+use dissent_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let quick = args.iter().any(|a| a == "--quick");
+    let rounds = if quick { 10 } else { 40 };
+
+    match which {
+        "sec5_1" => sec5_1(rounds),
+        "fig6" => fig6(rounds),
+        "fig7" => fig7(rounds),
+        "fig8" => fig8(rounds),
+        "fig9" => fig9(),
+        "fig10" => fig10(),
+        "fig11" => fig11(),
+        "baseline" | "ablation_baseline" => baseline(),
+        "alpha" | "ablation_alpha" => alpha(),
+        "calibrate" => calibrate(),
+        "all" => {
+            sec5_1(rounds);
+            fig6(rounds);
+            fig7(rounds);
+            fig8(rounds);
+            fig9();
+            fig10();
+            fig11();
+            baseline();
+            alpha();
+            calibrate();
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!("known: sec5_1 fig6 fig7 fig8 fig9 fig10 fig11 baseline alpha calibrate all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn sec5_1(rounds: usize) {
+    header("Section 5.1 — fraction of clients missing the submission window");
+    println!("(paper: 1.1x -> 2.3%, 1.2x -> 1.5%, 2x -> 0.5%)");
+    for r in window_policy_study(rounds) {
+        println!(
+            "  {:<32} missed {:>5.2}%   hard-deadline rounds {:>5.1}%",
+            r.name,
+            r.missed_fraction * 100.0,
+            r.deadline_fraction * 100.0
+        );
+    }
+}
+
+fn fig6(rounds: usize) {
+    header("Figure 6 — CDF of message-exchange completion time per window policy");
+    let results = window_policy_study(rounds);
+    println!(
+        "  {:<10} {}",
+        "quantile",
+        results
+            .iter()
+            .map(|r| format!("{:>28}", r.name))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for q in [0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.00] {
+        let row: Vec<String> = results
+            .iter()
+            .map(|r| {
+                let mut v = r.completion_secs.clone();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let idx = ((v.len() - 1) as f64 * q).round() as usize;
+                format!("{:>26.2} s", v[idx])
+            })
+            .collect();
+        println!("  p{:<9} {}", (q * 100.0) as u32, row.join(" "));
+    }
+}
+
+fn fig7(rounds: usize) {
+    header("Figure 7 — time per round vs number of clients (32 servers on DeterLab, 17 on PlanetLab)");
+    println!(
+        "  {:>7} {:<14} {:<10} {:>16} {:>18} {:>12}",
+        "clients", "workload", "testbed", "client submit", "server processing", "total"
+    );
+    for p in clients_scaling(&[32, 100, 320, 1000, 2000, 5120], rounds) {
+        println!(
+            "  {:>7} {:<14} {:<10} {:>14.2} s {:>16.2} s {:>10.2} s",
+            p.clients,
+            p.workload,
+            p.testbed,
+            p.client_submission_secs,
+            p.server_processing_secs,
+            p.total_secs()
+        );
+    }
+}
+
+fn fig8(rounds: usize) {
+    header("Figure 8 — time per round vs number of servers (640 clients, DeterLab)");
+    println!(
+        "  {:>7} {:<14} {:>16} {:>18} {:>12}",
+        "servers", "workload", "client submit", "server processing", "total"
+    );
+    for p in servers_scaling(&[1, 2, 4, 10, 24, 32], rounds) {
+        println!(
+            "  {:>7} {:<14} {:>14.2} s {:>16.2} s {:>10.2} s",
+            p.servers,
+            p.workload,
+            p.client_submission_secs,
+            p.server_processing_secs,
+            p.total_secs()
+        );
+    }
+}
+
+fn fig9() {
+    header("Figure 9 — full protocol run breakdown (24 servers, 128-byte messages)");
+    println!(
+        "  {:>7} {:>14} {:>14} {:>16} {:>18}",
+        "clients", "key shuffle", "DC-net round", "blame shuffle", "blame evaluation"
+    );
+    for p in full_protocol_study(&[24, 100, 500, 1000]) {
+        println!(
+            "  {:>7} {:>12.1} s {:>12.2} s {:>14.1} s {:>16.2} s",
+            p.clients,
+            p.key_shuffle_secs,
+            p.dcnet_round_secs,
+            p.blame_shuffle_secs,
+            p.blame_evaluation_secs
+        );
+    }
+}
+
+fn fig10() {
+    header("Figure 10 — Alexa Top-100 download times (24 Mbps WiFi LAN)");
+    println!("(paper: ~10 s / 40 s / 45 s / 55 s per 1 MB of content)");
+    println!(
+        "  {:<16} {:>14} {:>14} {:>14}",
+        "configuration", "mean page", "median page", "secs per MB"
+    );
+    for r in web_browsing_study() {
+        let mut v = r.page_secs.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "  {:<16} {:>12.1} s {:>12.1} s {:>12.1} s",
+            r.config,
+            mean,
+            v[v.len() / 2],
+            r.secs_per_mb
+        );
+    }
+}
+
+fn fig11() {
+    header("Figure 11 — CDF of page download times");
+    let results = web_browsing_study();
+    println!(
+        "  {:<10} {}",
+        "fraction",
+        results
+            .iter()
+            .map(|r| format!("{:>16}", r.config))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for q in [0.25, 0.50, 0.75, 0.90, 1.00] {
+        let row: Vec<String> = results
+            .iter()
+            .map(|r| {
+                let mut v = r.page_secs.clone();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let idx = ((v.len() - 1) as f64 * q).round() as usize;
+                format!("{:>14.1} s", v[idx])
+            })
+            .collect();
+        println!("  {:<10} {}", format!("{:.0}%", q * 100.0), row.join(" "));
+    }
+}
+
+fn baseline() {
+    header("Ablation — Dissent vs classic peer DC-net vs leader-combined DC-net");
+    println!(
+        "  {:>7} {:>12} {:>12} {:>12} {:>18} {:>18}",
+        "members", "dissent", "peer", "leader", "peer traffic", "dissent traffic"
+    );
+    for r in baseline_comparison(&[40, 100, 320, 1000, 5000]) {
+        println!(
+            "  {:>7} {:>10.2} s {:>10.2} s {:>10.2} s {:>15.1} MB {:>15.1} MB",
+            r.members, r.dissent_secs, r.peer_secs, r.leader_secs, r.peer_traffic_mb, r.dissent_traffic_mb
+        );
+    }
+}
+
+fn alpha() {
+    header("Ablation — α participation threshold under a 40% DoS (500 clients)");
+    println!(
+        "  {:>6} {:>18} {:>28}",
+        "alpha", "rounds completed", "min participation (completed)"
+    );
+    for (alpha, completed, min_part) in alpha_ablation(0.4) {
+        println!("  {:>6.2} {:>17.0}% {:>28}", alpha, completed * 100.0, min_part);
+    }
+}
+
+fn calibrate() {
+    header("Calibration — measured modular exponentiation cost (this machine)");
+    for (name, us) in calibrate_modexp() {
+        println!("  {:<16} {:>10.0} µs per exponentiation", name, us);
+    }
+    println!("  (pass the 2048-bit figure to CostModel::with_modexp_us to re-calibrate)");
+}

@@ -1,0 +1,521 @@
+//! # dissent-bench
+//!
+//! Experiment harnesses that regenerate every table and figure in the
+//! evaluation section of *Dissent in Numbers* (OSDI 2012).  Each public
+//! function returns the data series for one figure; the `experiments` binary
+//! prints them as tables, and the Criterion benches wrap the same functions
+//! (plus microbenchmarks of the real cryptographic primitives).
+//!
+//! See `EXPERIMENTS.md` at the workspace root for the paper-vs-measured
+//! comparison of every figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dissent_core::policy::WindowPolicy;
+use dissent_core::timing::{simulate_full_protocol, simulate_rounds, Scenario, Workload};
+use dissent_net::sim::{to_secs, Stats, SECOND};
+use dissent_net::trace::{generate, TraceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A named window-closure policy under evaluation (Figure 6 / §5.1).
+#[derive(Clone, Debug)]
+pub struct PolicyResult {
+    /// Display name, matching the paper's legend.
+    pub name: String,
+    /// Per-round exchange completion times (seconds) — the CDF of Figure 6.
+    pub completion_secs: Vec<f64>,
+    /// Fraction of eventually-submitting clients that missed the window.
+    pub missed_fraction: f64,
+    /// Fraction of rounds that hit the hard deadline.
+    pub deadline_fraction: f64,
+}
+
+/// §5.1 + Figure 6: replay a PlanetLab-style submission trace against the
+/// four window-closure policies.
+pub fn window_policy_study(rounds: usize) -> Vec<PolicyResult> {
+    let trace = generate(&TraceConfig {
+        num_rounds: rounds,
+        ..TraceConfig::default()
+    });
+    let policies: Vec<(String, WindowPolicy)> = vec![
+        (
+            "wait-all (120 s hard deadline)".to_string(),
+            WindowPolicy::WaitAll {
+                hard_deadline: 120 * SECOND,
+            },
+        ),
+        (
+            "95% then 1.1x".to_string(),
+            WindowPolicy::FractionThenMultiplier {
+                fraction: 0.95,
+                multiplier: 1.1,
+                hard_deadline: 120 * SECOND,
+            },
+        ),
+        (
+            "95% then 1.2x".to_string(),
+            WindowPolicy::FractionThenMultiplier {
+                fraction: 0.95,
+                multiplier: 1.2,
+                hard_deadline: 120 * SECOND,
+            },
+        ),
+        (
+            "95% then 2x".to_string(),
+            WindowPolicy::FractionThenMultiplier {
+                fraction: 0.95,
+                multiplier: 2.0,
+                hard_deadline: 120 * SECOND,
+            },
+        ),
+    ];
+    policies
+        .into_iter()
+        .map(|(name, policy)| {
+            let mut completion = Vec::with_capacity(trace.rounds.len());
+            let mut total_submitting = 0usize;
+            let mut total_missed = 0usize;
+            let mut deadline_rounds = 0usize;
+            for round in &trace.rounds {
+                let delays = round.submission_delays();
+                // "we do not close the submission window until at least 95%
+                // have submitted messages" — the servers' expectation is the
+                // set of clients that are actually participating this round
+                // (tracked via the previous participation count), not the
+                // full static roster.
+                let outcome = policy.apply(&delays, delays.len());
+                completion.push(to_secs(outcome.close_time));
+                total_submitting += delays.len();
+                total_missed += outcome.missed;
+                if outcome.hit_hard_deadline {
+                    deadline_rounds += 1;
+                }
+            }
+            PolicyResult {
+                name,
+                missed_fraction: total_missed as f64 / total_submitting.max(1) as f64,
+                deadline_fraction: deadline_rounds as f64 / trace.rounds.len().max(1) as f64,
+                completion_secs: completion,
+            }
+        })
+        .collect()
+}
+
+/// One point of the Figure-7/8 sweeps.
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// Number of clients.
+    pub clients: usize,
+    /// Number of servers.
+    pub servers: usize,
+    /// Workload label ("1% submit" or "128K message").
+    pub workload: String,
+    /// Testbed label ("DeterLab" or "PlanetLab").
+    pub testbed: String,
+    /// Mean client-submission time per round (seconds).
+    pub client_submission_secs: f64,
+    /// Mean server-processing time per round (seconds).
+    pub server_processing_secs: f64,
+}
+
+impl ScalingPoint {
+    /// Total time per round in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.client_submission_secs + self.server_processing_secs
+    }
+}
+
+fn measure(scenario: &Scenario, label_workload: &str, label_testbed: &str, rounds: usize) -> ScalingPoint {
+    let timings = simulate_rounds(scenario, rounds);
+    let mean = |f: &dyn Fn(&dissent_core::timing::RoundTiming) -> f64| {
+        timings.iter().map(|t| f(t)).sum::<f64>() / timings.len().max(1) as f64
+    };
+    ScalingPoint {
+        clients: scenario.topology.num_clients,
+        servers: scenario.topology.num_servers,
+        workload: label_workload.to_string(),
+        testbed: label_testbed.to_string(),
+        client_submission_secs: mean(&|t| to_secs(t.client_submission)),
+        server_processing_secs: mean(&|t| to_secs(t.server_processing)),
+    }
+}
+
+/// Figure 7: time per round vs number of clients (32 servers), for the
+/// microblog and data-sharing workloads on DeterLab plus the microblog
+/// workload on PlanetLab.
+pub fn clients_scaling(client_counts: &[usize], rounds: usize) -> Vec<ScalingPoint> {
+    let mut out = Vec::new();
+    for &n in client_counts {
+        out.push(measure(
+            &Scenario::deterlab(n, 32, Workload::paper_microblog()),
+            "1% submit",
+            "DeterLab",
+            rounds,
+        ));
+        out.push(measure(
+            &Scenario::deterlab(n, 32, Workload::paper_bulk()),
+            "128K message",
+            "DeterLab",
+            rounds,
+        ));
+        out.push(measure(
+            &Scenario::planetlab(n, 17, Workload::paper_microblog()),
+            "1% submit",
+            "PlanetLab",
+            rounds,
+        ));
+    }
+    out
+}
+
+/// Figure 8: time per round vs number of servers at 640 clients.
+pub fn servers_scaling(server_counts: &[usize], rounds: usize) -> Vec<ScalingPoint> {
+    let mut out = Vec::new();
+    for &m in server_counts {
+        out.push(measure(
+            &Scenario::deterlab(640, m, Workload::paper_microblog()),
+            "1% submit",
+            "DeterLab",
+            rounds,
+        ));
+        out.push(measure(
+            &Scenario::deterlab(640, m, Workload::paper_bulk()),
+            "128K message",
+            "DeterLab",
+            rounds,
+        ));
+    }
+    out
+}
+
+/// One row of the Figure-9 full-protocol breakdown.
+#[derive(Clone, Debug)]
+pub struct FullProtocolPoint {
+    /// Number of clients.
+    pub clients: usize,
+    /// Key-shuffle duration (seconds).
+    pub key_shuffle_secs: f64,
+    /// One DC-net round (seconds).
+    pub dcnet_round_secs: f64,
+    /// Accusation (blame) shuffle duration (seconds).
+    pub blame_shuffle_secs: f64,
+    /// Blame evaluation duration (seconds).
+    pub blame_evaluation_secs: f64,
+}
+
+/// Figure 9: whole-protocol phase durations for 24 servers and 128-byte
+/// messages, across client counts.
+pub fn full_protocol_study(client_counts: &[usize]) -> Vec<FullProtocolPoint> {
+    client_counts
+        .iter()
+        .map(|&n| {
+            let scenario = Scenario::deterlab(n, 24, Workload::paper_microblog());
+            let t = simulate_full_protocol(&scenario);
+            FullProtocolPoint {
+                clients: n,
+                key_shuffle_secs: to_secs(t.key_shuffle),
+                dcnet_round_secs: to_secs(t.dcnet_round),
+                blame_shuffle_secs: to_secs(t.blame_shuffle),
+                blame_evaluation_secs: to_secs(t.blame_evaluation),
+            }
+        })
+        .collect()
+}
+
+/// One configuration's download statistics for Figures 10 and 11.
+#[derive(Clone, Debug)]
+pub struct BrowsingResult {
+    /// Configuration label.
+    pub config: String,
+    /// Per-page download times (seconds), page order = corpus order.
+    pub page_secs: Vec<f64>,
+    /// Mean seconds per megabyte of page content.
+    pub secs_per_mb: f64,
+}
+
+/// Figures 10 and 11: Alexa-like Top-100 downloads under the four
+/// configurations.
+pub fn web_browsing_study() -> Vec<BrowsingResult> {
+    use dissent_apps::web::{alexa_like_corpus, BrowsingConfig, BrowsingModel};
+    let corpus = alexa_like_corpus(100, 0xA1E);
+    let model = BrowsingModel::default();
+    BrowsingConfig::all()
+        .iter()
+        .map(|&cfg| {
+            let times = model.download_corpus(cfg, &corpus);
+            let total_mb: f64 = corpus.iter().map(|p| p.total_bytes() as f64 / 1e6).sum();
+            let total_s: f64 = times.iter().sum();
+            BrowsingResult {
+                config: cfg.label().to_string(),
+                secs_per_mb: total_s / total_mb,
+                page_secs: times,
+            }
+        })
+        .collect()
+}
+
+/// One row of the Dissent-vs-baseline comparison (the paper's §1/§2.2
+/// scalability claims).
+#[derive(Clone, Debug)]
+pub struct BaselinePoint {
+    /// Group size.
+    pub members: usize,
+    /// Dissent round time (seconds), 24 servers.
+    pub dissent_secs: f64,
+    /// Classic peer DC-net round time (seconds).
+    pub peer_secs: f64,
+    /// Herbivore-style leader round time (seconds).
+    pub leader_secs: f64,
+    /// Aggregate peer traffic per round (MB).
+    pub peer_traffic_mb: f64,
+    /// Aggregate Dissent client traffic per round (MB).
+    pub dissent_traffic_mb: f64,
+}
+
+/// Ablation: Dissent's anytrust client/server DC-net vs the all-to-all peer
+/// DC-net and a leader-combined variant, across group sizes.
+pub fn baseline_comparison(sizes: &[usize]) -> Vec<BaselinePoint> {
+    use dissent_baseline::peer::{leader_round_time, peer_round_time, peer_total_traffic};
+    use dissent_net::churn::ChurnModel;
+    use dissent_net::costmodel::CostModel;
+    let mut rng = StdRng::seed_from_u64(0xBA5E);
+    sizes
+        .iter()
+        .map(|&n| {
+            let workload = Workload::paper_microblog();
+            let scenario = Scenario::deterlab(n, 24, workload);
+            let len = workload.cleartext_len(n);
+            let rounds = simulate_rounds(&scenario, 5);
+            let dissent =
+                rounds.iter().map(|r| r.total_secs()).sum::<f64>() / rounds.len() as f64;
+            let cost = CostModel::default();
+            let link = scenario.topology.client_link;
+
+            // The classic designs cannot close a round without *every*
+            // member's ciphertext: they pay the slowest member's delay, and
+            // any member disconnecting mid-round forces a full restart
+            // (§3.1).  Charge both against the same DeterLab churn model the
+            // Dissent scenario uses.
+            let churn = ChurnModel::deterlab();
+            let behaviours = churn.sample_population(&mut rng, n);
+            let offline = behaviours.iter().filter(|b| b.delay().is_none()).count();
+            let slowest = behaviours
+                .iter()
+                .filter_map(|b| b.delay())
+                .max()
+                .unwrap_or(0);
+            let p_round_survives = (1.0 - churn.offline_prob).powi(n as i32);
+            let expected_attempts = (1.0 / p_round_survives.max(1e-6)).min(50.0);
+            let _ = offline;
+            let peer_once = to_secs(slowest + peer_round_time(&cost, &link, n, len));
+            let leader_once = to_secs(slowest + leader_round_time(&cost, &link, n, len));
+            BaselinePoint {
+                members: n,
+                dissent_secs: dissent,
+                peer_secs: peer_once * expected_attempts,
+                leader_secs: leader_once * expected_attempts,
+                peer_traffic_mb: peer_total_traffic(n, len) as f64 / 1e6,
+                dissent_traffic_mb: (2 * n * len) as f64 / 1e6,
+            }
+        })
+        .collect()
+}
+
+/// Ablation: effect of the α participation threshold under an adversarial
+/// DoS that takes a fraction of clients offline right before a sensitive
+/// round (§3.7).  Returns (alpha, fraction of rounds that complete,
+/// minimum participation among completed rounds).
+pub fn alpha_ablation(dos_fraction: f64) -> Vec<(f64, f64, usize)> {
+    use dissent_core::policy::participation_threshold;
+    use dissent_net::churn::ChurnModel;
+    let mut rng = StdRng::seed_from_u64(0xA1FA);
+    let base = ChurnModel::planetlab();
+    let dosed = base.clone().with_dos_fraction(dos_fraction);
+    let n = 500;
+    [0.0, 0.5, 0.8, 0.9, 0.95, 0.99]
+        .iter()
+        .map(|&alpha| {
+            let mut completed = 0usize;
+            let mut min_participation = usize::MAX;
+            let rounds = 100;
+            let mut prev = n;
+            for r in 0..rounds {
+                // The adversary strikes in the second half of the run.
+                let model = if r >= rounds / 2 { &dosed } else { &base };
+                let online = model
+                    .sample_population(&mut rng, n)
+                    .iter()
+                    .filter(|b| b.delay().is_some())
+                    .count();
+                let needed = participation_threshold(alpha, prev);
+                if online >= needed {
+                    completed += 1;
+                    min_participation = min_participation.min(online);
+                    prev = online;
+                }
+                // On failure the servers publish a fresh count (the observed
+                // online population) for the next round's decision.
+                else {
+                    prev = online;
+                }
+            }
+            (
+                alpha,
+                completed as f64 / rounds as f64,
+                if min_participation == usize::MAX {
+                    0
+                } else {
+                    min_participation
+                },
+            )
+        })
+        .collect()
+}
+
+/// Measure the real cost of one modular exponentiation in each parameter
+/// set, for re-calibrating the [`dissent_net::CostModel`].
+pub fn calibrate_modexp() -> Vec<(String, f64)> {
+    use dissent_crypto::group::Group;
+    use std::time::Instant;
+    let mut rng = StdRng::seed_from_u64(1);
+    [Group::testing_256(), Group::modp_512(), Group::modp_1024(), Group::rfc3526_2048()]
+        .into_iter()
+        .map(|g| {
+            let x = g.random_scalar(&mut rng);
+            let reps = if g.modulus().bit_len() > 1024 { 3 } else { 10 };
+            let start = Instant::now();
+            for _ in 0..reps {
+                let _ = g.exp_base(&x);
+            }
+            let us = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+            (g.name().to_string(), us)
+        })
+        .collect()
+}
+
+/// Build a CDF (value, cumulative fraction) from raw samples.
+pub fn cdf(samples: &[f64]) -> Vec<(f64, f64)> {
+    let mut stats = Stats::new();
+    for &s in samples {
+        stats.push(s);
+    }
+    stats.cdf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_policy_study_matches_section_5_1_shape() {
+        let results = window_policy_study(120);
+        assert_eq!(results.len(), 4);
+        let by_name = |n: &str| results.iter().find(|r| r.name.contains(n)).unwrap();
+        let wait_all = by_name("wait-all");
+        let p11 = by_name("1.1x");
+        let p12 = by_name("1.2x");
+        let p20 = by_name("then 2x");
+        // Early-cutoff policies miss a few percent of clients, decreasing
+        // with the multiplier (paper: 2.3%, 1.5%, 0.5%).
+        assert!(p11.missed_fraction > p12.missed_fraction);
+        assert!(p12.missed_fraction > p20.missed_fraction);
+        assert!(p11.missed_fraction < 0.15);
+        assert!(wait_all.missed_fraction < p20.missed_fraction + 1e-9);
+        // Waiting for everyone is dominated by stragglers: median completion
+        // an order of magnitude above the cutoff policies, and a substantial
+        // fraction of rounds hit the 120-second deadline.
+        let median = |r: &PolicyResult| {
+            let mut v = r.completion_secs.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        assert!(median(wait_all) > 5.0 * median(p11));
+        assert!(wait_all.deadline_fraction > 0.05);
+        assert!(p11.deadline_fraction < 0.05);
+    }
+
+    #[test]
+    fn clients_scaling_grows_and_bulk_dominates() {
+        let points = clients_scaling(&[32, 1000], 5);
+        assert_eq!(points.len(), 6);
+        let get = |c: usize, w: &str, t: &str| {
+            points
+                .iter()
+                .find(|p| p.clients == c && p.workload == w && p.testbed == t)
+                .unwrap()
+                .total_secs()
+        };
+        assert!(get(1000, "1% submit", "DeterLab") > get(32, "1% submit", "DeterLab"));
+        assert!(get(1000, "128K message", "DeterLab") > get(1000, "1% submit", "DeterLab"));
+        assert!(get(1000, "1% submit", "PlanetLab") > get(1000, "1% submit", "DeterLab"));
+    }
+
+    #[test]
+    fn servers_scaling_shows_bulk_benefit() {
+        let points = servers_scaling(&[1, 24], 5);
+        let bulk_1 = points
+            .iter()
+            .find(|p| p.servers == 1 && p.workload == "128K message")
+            .unwrap();
+        let bulk_24 = points
+            .iter()
+            .find(|p| p.servers == 24 && p.workload == "128K message")
+            .unwrap();
+        assert!(bulk_1.total_secs() > bulk_24.total_secs());
+    }
+
+    #[test]
+    fn full_protocol_study_matches_figure_9_ordering() {
+        let points = full_protocol_study(&[24, 500]);
+        for p in &points {
+            assert!(p.blame_shuffle_secs > p.key_shuffle_secs);
+            assert!(p.key_shuffle_secs > p.dcnet_round_secs);
+        }
+        assert!(points[1].key_shuffle_secs > points[0].key_shuffle_secs);
+    }
+
+    #[test]
+    fn web_browsing_study_matches_figure_10_ordering() {
+        let results = web_browsing_study();
+        assert_eq!(results.len(), 4);
+        let per_mb: Vec<f64> = results.iter().map(|r| r.secs_per_mb).collect();
+        // no anonymity < Tor < Dissent < Dissent+Tor
+        assert!(per_mb[0] < per_mb[1]);
+        assert!(per_mb[1] < per_mb[2]);
+        assert!(per_mb[2] < per_mb[3]);
+    }
+
+    #[test]
+    fn baseline_comparison_shows_dissent_winning_at_scale() {
+        let rows = baseline_comparison(&[40, 1000]);
+        let small = &rows[0];
+        let large = &rows[1];
+        // At the ~40-node scale prior systems operated at, everyone is fast.
+        assert!(small.peer_secs < 10.0);
+        // At 1000 nodes the peer design's aggregate traffic explodes while
+        // Dissent stays near-flat.
+        assert!(large.peer_traffic_mb > 100.0 * large.dissent_traffic_mb);
+        assert!(large.dissent_secs < large.peer_secs);
+    }
+
+    #[test]
+    fn alpha_ablation_trades_availability_for_guarantees() {
+        let rows = alpha_ablation(0.4);
+        let no_guard = rows.iter().find(|r| r.0 == 0.0).unwrap();
+        let strict = rows.iter().find(|r| r.0 == 0.99).unwrap();
+        // Without a threshold every round completes, including the DoS'd
+        // ones with a much smaller anonymity set.
+        assert!(no_guard.1 > 0.99);
+        // A strict threshold refuses some rounds under attack.
+        assert!(strict.1 < no_guard.1);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let c = cdf(&[3.0, 1.0, 2.0]);
+        assert_eq!(c.len(), 3);
+        assert!(c.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+}

@@ -1,0 +1,273 @@
+//! Group configuration and identities.
+//!
+//! A Dissent group is defined by a static file listing one public key per
+//! server (provider) and one per client (member), plus the policy constants
+//! α and the window-closure policy (paper §3.2, §3.7).  A cryptographic hash
+//! of this definition serves as a self-certifying group identifier.
+//!
+//! For simulations and tests this module can also *generate* a whole group
+//! deterministically from a seed, so a 1,000-client group is reproducible
+//! without storing a thousand keys.
+
+use crate::policy::WindowPolicy;
+use dissent_crypto::dh::DhKeyPair;
+use dissent_crypto::group::{Element, Group};
+use dissent_crypto::schnorr::SigningKeyPair;
+use dissent_crypto::sha256::{sha256_tagged, to_hex};
+use dissent_dcnet::slots::SlotConfig;
+use serde::{Deserialize, Serialize};
+
+/// The public definition of a Dissent group, distributed to every member.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GroupConfig {
+    /// The algebraic group all public-key operations use.
+    pub group: Group,
+    /// Every server's Diffie–Hellman public key, in server order.
+    pub server_dh_keys: Vec<Element>,
+    /// Every server's signing public key, in server order.
+    pub server_sign_keys: Vec<Element>,
+    /// Every client's Diffie–Hellman public key, in roster order.
+    pub client_dh_keys: Vec<Element>,
+    /// Every client's signing public key, in roster order.
+    pub client_sign_keys: Vec<Element>,
+    /// The participation threshold α of §3.7 (0 ≤ α ≤ 1).
+    pub alpha: f64,
+    /// The submission-window closure policy of §5.1.
+    pub window_policy: WindowPolicy,
+    /// Slot scheduler configuration.
+    pub slot_config: SlotConfig,
+    /// Soundness parameter (shadow rounds) for the verifiable shuffles.
+    pub shuffle_soundness: usize,
+}
+
+impl GroupConfig {
+    /// Number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.server_dh_keys.len()
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.client_dh_keys.len()
+    }
+
+    /// The self-certifying group identifier: a hash over the whole
+    /// definition (paper §3.2).
+    pub fn group_id(&self) -> [u8; 32] {
+        let mut parts: Vec<Vec<u8>> = Vec::new();
+        parts.push(self.group.name().as_bytes().to_vec());
+        for k in self.server_dh_keys.iter().chain(&self.server_sign_keys) {
+            parts.push(k.to_bytes(&self.group));
+        }
+        for k in self.client_dh_keys.iter().chain(&self.client_sign_keys) {
+            parts.push(k.to_bytes(&self.group));
+        }
+        parts.push(format!("{:.6}", self.alpha).into_bytes());
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        sha256_tagged(&refs)
+    }
+
+    /// The group identifier as a hex string (used in logs and examples).
+    pub fn group_id_hex(&self) -> String {
+        to_hex(&self.group_id())
+    }
+}
+
+/// The private keys held by one client.
+#[derive(Clone, Debug)]
+pub struct ClientIdentity {
+    /// Index in the group roster.
+    pub index: usize,
+    /// Long-term Diffie–Hellman keypair (pad secrets).
+    pub dh: DhKeyPair,
+    /// Long-term signing keypair (message authentication).
+    pub signing: SigningKeyPair,
+}
+
+/// The private keys held by one server.
+#[derive(Clone, Debug)]
+pub struct ServerIdentity {
+    /// Index in the server list.
+    pub index: usize,
+    /// Long-term Diffie–Hellman keypair (pad secrets and shuffle layers).
+    pub dh: DhKeyPair,
+    /// Long-term signing keypair.
+    pub signing: SigningKeyPair,
+}
+
+/// A fully-generated group: the public configuration plus every private
+/// identity.  Only simulations and tests hold this; a real deployment would
+/// distribute the identities to their owners.
+#[derive(Clone, Debug)]
+pub struct GeneratedGroup {
+    /// The public group definition.
+    pub config: GroupConfig,
+    /// All server identities.
+    pub servers: Vec<ServerIdentity>,
+    /// All client identities.
+    pub clients: Vec<ClientIdentity>,
+}
+
+/// Builder for deterministic group generation.
+#[derive(Clone, Debug)]
+pub struct GroupBuilder {
+    group: Group,
+    num_clients: usize,
+    num_servers: usize,
+    alpha: f64,
+    window_policy: WindowPolicy,
+    slot_config: SlotConfig,
+    shuffle_soundness: usize,
+    seed: u64,
+}
+
+impl GroupBuilder {
+    /// Start building a group with `num_clients` clients and `num_servers`
+    /// servers over the fast testing group.
+    pub fn new(num_clients: usize, num_servers: usize) -> Self {
+        GroupBuilder {
+            group: Group::testing_256(),
+            num_clients,
+            num_servers,
+            alpha: 0.95,
+            window_policy: WindowPolicy::default(),
+            slot_config: SlotConfig::default(),
+            shuffle_soundness: 8,
+            seed: 0xD155E27,
+        }
+    }
+
+    /// Use a specific algebraic group (e.g. [`Group::rfc3526_2048`] for
+    /// production-strength parameters).
+    pub fn with_group(mut self, group: Group) -> Self {
+        self.group = group;
+        self
+    }
+
+    /// Set the participation threshold α.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the window-closure policy.
+    pub fn with_window_policy(mut self, policy: WindowPolicy) -> Self {
+        self.window_policy = policy;
+        self
+    }
+
+    /// Set the slot configuration.
+    pub fn with_slot_config(mut self, slot_config: SlotConfig) -> Self {
+        self.slot_config = slot_config;
+        self
+    }
+
+    /// Set the shuffle soundness parameter.
+    pub fn with_shuffle_soundness(mut self, soundness: usize) -> Self {
+        self.shuffle_soundness = soundness.max(1);
+        self
+    }
+
+    /// Set the generation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generate the group: every identity is derived deterministically from
+    /// the seed, so two builders with identical parameters produce identical
+    /// groups.
+    pub fn build(self) -> GeneratedGroup {
+        let servers: Vec<ServerIdentity> = (0..self.num_servers)
+            .map(|i| ServerIdentity {
+                index: i,
+                dh: DhKeyPair::from_seed(&self.group, format!("{}-server-dh-{i}", self.seed).as_bytes()),
+                signing: SigningKeyPair::from_seed(
+                    &self.group,
+                    format!("{}-server-sign-{i}", self.seed).as_bytes(),
+                ),
+            })
+            .collect();
+        let clients: Vec<ClientIdentity> = (0..self.num_clients)
+            .map(|i| ClientIdentity {
+                index: i,
+                dh: DhKeyPair::from_seed(&self.group, format!("{}-client-dh-{i}", self.seed).as_bytes()),
+                signing: SigningKeyPair::from_seed(
+                    &self.group,
+                    format!("{}-client-sign-{i}", self.seed).as_bytes(),
+                ),
+            })
+            .collect();
+        let config = GroupConfig {
+            group: self.group,
+            server_dh_keys: servers.iter().map(|s| s.dh.public().clone()).collect(),
+            server_sign_keys: servers.iter().map(|s| s.signing.public().clone()).collect(),
+            client_dh_keys: clients.iter().map(|c| c.dh.public().clone()).collect(),
+            client_sign_keys: clients.iter().map(|c| c.signing.public().clone()).collect(),
+            alpha: self.alpha,
+            window_policy: self.window_policy,
+            slot_config: self.slot_config,
+            shuffle_soundness: self.shuffle_soundness,
+        };
+        GeneratedGroup {
+            config,
+            servers,
+            clients,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_requested_sizes() {
+        let g = GroupBuilder::new(12, 3).build();
+        assert_eq!(g.config.num_clients(), 12);
+        assert_eq!(g.config.num_servers(), 3);
+        assert_eq!(g.clients.len(), 12);
+        assert_eq!(g.servers.len(), 3);
+        assert_eq!(g.config.server_sign_keys.len(), 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = GroupBuilder::new(5, 2).with_seed(7).build();
+        let b = GroupBuilder::new(5, 2).with_seed(7).build();
+        assert_eq!(a.config.group_id(), b.config.group_id());
+        assert_eq!(a.clients[3].dh.public(), b.clients[3].dh.public());
+        let c = GroupBuilder::new(5, 2).with_seed(8).build();
+        assert_ne!(a.config.group_id(), c.config.group_id());
+    }
+
+    #[test]
+    fn group_id_is_self_certifying() {
+        // Changing any membership or policy detail changes the identifier.
+        let base = GroupBuilder::new(4, 2).build();
+        let different_alpha = GroupBuilder::new(4, 2).with_alpha(0.5).build();
+        let different_size = GroupBuilder::new(5, 2).build();
+        assert_ne!(base.config.group_id(), different_alpha.config.group_id());
+        assert_ne!(base.config.group_id(), different_size.config.group_id());
+        assert_eq!(base.config.group_id_hex().len(), 64);
+    }
+
+    #[test]
+    fn identities_match_config_keys() {
+        let g = GroupBuilder::new(3, 2).build();
+        for (i, c) in g.clients.iter().enumerate() {
+            assert_eq!(c.index, i);
+            assert_eq!(c.dh.public(), &g.config.client_dh_keys[i]);
+            assert_eq!(c.signing.public(), &g.config.client_sign_keys[i]);
+        }
+        for (j, s) in g.servers.iter().enumerate() {
+            assert_eq!(s.dh.public(), &g.config.server_dh_keys[j]);
+        }
+    }
+
+    #[test]
+    fn alpha_is_clamped() {
+        let g = GroupBuilder::new(1, 1).with_alpha(7.0).build();
+        assert_eq!(g.config.alpha, 1.0);
+    }
+}

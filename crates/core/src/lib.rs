@@ -1,0 +1,30 @@
+//! # dissent-core
+//!
+//! The Dissent protocol (OSDI 2012) assembled from its substrates:
+//!
+//! * [`config`] — group definitions (static key lists, α, policies) with a
+//!   self-certifying identifier, plus deterministic group generation for
+//!   simulations.
+//! * [`policy`] — submission-window closure policies and the participation
+//!   threshold α (§3.7, §5.1).
+//! * [`session`] — an in-memory session running the real cryptography: key
+//!   shuffle scheduling, DC-net rounds (Algorithms 1 & 2), churn handling,
+//!   accusations and disruptor expulsion.
+//! * [`timing`] — the round-timing simulator that reproduces the shapes of
+//!   Figures 6–9 over the `dissent-net` testbed models.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod policy;
+pub mod session;
+pub mod timing;
+
+pub use config::{GeneratedGroup, GroupBuilder, GroupConfig};
+pub use policy::{participation_threshold, RoundCompletion, WindowOutcome, WindowPolicy};
+pub use session::{ClientAction, RoundResult, Session, SessionError};
+pub use timing::{
+    simulate_full_protocol, simulate_round, simulate_rounds, FullProtocolTiming, RoundTiming,
+    Scenario, Workload,
+};

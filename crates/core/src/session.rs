@@ -1,0 +1,735 @@
+//! An in-memory Dissent session with real cryptography.
+//!
+//! This module wires the pieces together exactly as the paper's protocol
+//! outline (§3.3) describes:
+//!
+//! 1. **Scheduling** — every client generates a pseudonym keypair and
+//!    submits the public half to a verifiable key shuffle run by the
+//!    servers; the permuted output defines the slot order, and each client
+//!    learns only its own slot.
+//! 2. **Rounds** — clients build DC-net ciphertexts from the pads they
+//!    share with each server and hand them to their upstream server; the
+//!    servers run inventory → commitment → combining → certification and
+//!    push the signed cleartext back.
+//! 3. **Accusations** — a client whose slot was disrupted finds a witness
+//!    bit, signs an accusation with its pseudonym key, and the servers run
+//!    the blame protocol to identify and expel the disruptor.
+//!
+//! The session executes all of this with the real primitives from
+//! `dissent-crypto`, `dissent-shuffle` and `dissent-dcnet`, but in a single
+//! process and without network delays — it is the *functional* half of the
+//! reproduction, used by the examples and integration tests.  The *timing*
+//! half (Figures 6–9) lives in [`crate::timing`], which replays the same
+//! protocol steps against the discrete-event network models.
+//!
+//! One simplification relative to the paper: the accusation here is
+//! delivered to the servers directly (already signed by the unlinkable
+//! pseudonym key) rather than through a second message shuffle.  The
+//! disruption-resistant message shuffle itself is implemented and tested in
+//! `dissent-shuffle::protocol`, and its cost is charged in the timing
+//! simulator; routing the session's accusations through it would only
+//! change *how* the bytes travel, not what is verified.
+
+use crate::config::{GeneratedGroup, GroupConfig};
+use crate::policy::participation_threshold;
+use dissent_crypto::dh::DhKeyPair;
+use dissent_crypto::group::Element;
+use dissent_crypto::schnorr::{self, SigningKeyPair};
+use dissent_dcnet::accusation::{
+    self, build_server_reveal, evaluate_blame, Accusation, BlameOutcome,
+};
+use dissent_dcnet::client::{ClientDcnet, Submission, TransmissionRecord};
+use dissent_dcnet::pad::SharedSecret;
+use dissent_dcnet::server::{
+    self, certification_digest, combine, server_ciphertext, trim_inventories, ClientId, ServerId,
+    SubmissionSet,
+};
+use dissent_dcnet::slots::{RoundLayout, SlotPayload, SlotSchedule};
+use dissent_shuffle::protocol::{run_shuffle, submit_element};
+use dissent_crypto::elgamal::ElGamal;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Errors a session can produce.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionError {
+    /// The key shuffle failed (a server's pass was rejected).
+    ShuffleFailed(String),
+    /// A client could not locate its pseudonym key in the shuffle output.
+    SlotAssignmentFailed,
+    /// The configuration is inconsistent (e.g. zero servers).
+    BadConfig(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::ShuffleFailed(e) => write!(f, "key shuffle failed: {e}"),
+            SessionError::SlotAssignmentFailed => write!(f, "slot assignment failed"),
+            SessionError::BadConfig(e) => write!(f, "bad configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// What one client does in one round, from the application's point of view.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClientAction {
+    /// The client is offline this round (no ciphertext submitted).
+    Offline,
+    /// Online but silent: pure cover traffic.
+    Idle,
+    /// Deliver this message anonymously as soon as possible.  If the
+    /// client's slot is closed it first sets its request bit; the message is
+    /// buffered until the slot opens and is large enough.
+    Send(Vec<u8>),
+    /// Maliciously disrupt the given slot by XORing noise over it.
+    Disrupt {
+        /// The victim's slot index.
+        victim_slot: usize,
+    },
+}
+
+/// Result of one completed round.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoundResult {
+    /// The round number.
+    pub round: u64,
+    /// Messages revealed this round, as (slot, bytes) pairs.
+    pub messages: Vec<(usize, Vec<u8>)>,
+    /// Number of clients whose ciphertexts were included.
+    pub participation: usize,
+    /// The α threshold that applied to this round.
+    pub required_participation: usize,
+    /// Slots observed as corrupted.
+    pub corrupted_slots: Vec<usize>,
+    /// Clients expelled as a result of accusations resolved this round.
+    pub expelled: Vec<ClientId>,
+    /// Whether every server signature over the output verified.
+    pub certified: bool,
+}
+
+struct ClientState {
+    dcnet: ClientDcnet,
+    pseudonym: SigningKeyPair,
+    /// Messages waiting for the slot to open (or grow) — a queue, so posts
+    /// submitted in quick succession are never dropped.
+    pending: std::collections::VecDeque<Vec<u8>>,
+    requested: bool,
+    last_record: Option<TransmissionRecord>,
+}
+
+struct ServerState {
+    index: usize,
+    signing: SigningKeyPair,
+    client_secrets: BTreeMap<ClientId, SharedSecret>,
+}
+
+/// A record of one round the servers keep for potential later blame.
+struct RoundRecord {
+    layout: RoundLayout,
+    composite: Vec<ClientId>,
+    assignment: BTreeMap<ClientId, ServerId>,
+    client_ciphertexts: BTreeMap<ClientId, Vec<u8>>,
+    server_ciphertexts: BTreeMap<ServerId, Vec<u8>>,
+}
+
+/// An in-memory Dissent session.
+pub struct Session {
+    config: GroupConfig,
+    clients: Vec<ClientState>,
+    servers: Vec<ServerState>,
+    schedule: SlotSchedule,
+    /// slot → client index (the secret permutation; held here only so tests
+    /// and the blame path can resolve it, never exposed to other clients).
+    slot_owner: Vec<usize>,
+    pseudonym_keys: Vec<Element>,
+    expelled: BTreeSet<ClientId>,
+    participation: usize,
+    round_records: BTreeMap<u64, RoundRecord>,
+    pending_accusations: Vec<(Accusation, dissent_crypto::schnorr::Signature)>,
+}
+
+impl Session {
+    /// Set up a session: derive all pairwise secrets and run the key shuffle.
+    pub fn new<R: RngCore + ?Sized>(
+        generated: &GeneratedGroup,
+        rng: &mut R,
+    ) -> Result<Session, SessionError> {
+        let config = generated.config.clone();
+        if config.num_servers() == 0 || config.num_clients() == 0 {
+            return Err(SessionError::BadConfig(
+                "a group needs at least one server and one client".into(),
+            ));
+        }
+        let group = &config.group;
+        let group_id = config.group_id();
+
+        // 1. Pseudonym keys and the scheduling key shuffle.
+        let pseudonyms: Vec<SigningKeyPair> = (0..config.num_clients())
+            .map(|_| SigningKeyPair::generate(group, rng))
+            .collect();
+        let elgamal = ElGamal::new(group.clone());
+        let server_dh: Vec<DhKeyPair> = generated.servers.iter().map(|s| s.dh.clone()).collect();
+        let server_keys: Vec<Element> = config.server_dh_keys.clone();
+        let submissions = pseudonyms
+            .iter()
+            .map(|p| submit_element(&elgamal, &server_keys, p.public(), rng))
+            .collect();
+        let transcript = run_shuffle(
+            group,
+            &server_dh,
+            submissions,
+            config.shuffle_soundness,
+            &group_id,
+            rng,
+        )
+        .map_err(|e| SessionError::ShuffleFailed(e.to_string()))?;
+        let pseudonym_keys = transcript.output.clone();
+
+        // Each client locates its own pseudonym key in the shuffled output;
+        // the resulting slot_owner table exists only for bookkeeping.
+        let mut slot_owner = vec![usize::MAX; config.num_clients()];
+        for (client_idx, p) in pseudonyms.iter().enumerate() {
+            let slot = pseudonym_keys
+                .iter()
+                .position(|k| k == p.public())
+                .ok_or(SessionError::SlotAssignmentFailed)?;
+            slot_owner[slot] = client_idx;
+        }
+
+        // 2. Pairwise shared secrets K_ij.
+        let mut clients = Vec::with_capacity(config.num_clients());
+        for (i, identity) in generated.clients.iter().enumerate() {
+            let secrets: Vec<SharedSecret> = generated
+                .servers
+                .iter()
+                .map(|s| identity.dh.shared_secret(group, s.dh.public(), &group_id))
+                .collect();
+            let slot = slot_owner
+                .iter()
+                .position(|&c| c == i)
+                .ok_or(SessionError::SlotAssignmentFailed)?;
+            clients.push(ClientState {
+                dcnet: ClientDcnet::new(slot, secrets),
+                pseudonym: pseudonyms[i].clone(),
+                pending: std::collections::VecDeque::new(),
+                requested: false,
+                last_record: None,
+            });
+        }
+        let servers = generated
+            .servers
+            .iter()
+            .map(|s| {
+                let client_secrets = generated
+                    .clients
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        (
+                            i as ClientId,
+                            s.dh.shared_secret(group, c.dh.public(), &group_id),
+                        )
+                    })
+                    .collect();
+                ServerState {
+                    index: s.index,
+                    signing: s.signing.clone(),
+                    client_secrets,
+                }
+            })
+            .collect();
+
+        let schedule = SlotSchedule::new(config.num_clients(), config.slot_config.clone());
+        let participation = config.num_clients();
+        Ok(Session {
+            config,
+            clients,
+            servers,
+            schedule,
+            slot_owner,
+            pseudonym_keys,
+            expelled: BTreeSet::new(),
+            participation,
+            round_records: BTreeMap::new(),
+            pending_accusations: Vec::new(),
+        })
+    }
+
+    /// The public group configuration.
+    pub fn config(&self) -> &GroupConfig {
+        &self.config
+    }
+
+    /// The slot owned by a client (diagnostic/test accessor — in the real
+    /// system only the client itself knows this).
+    pub fn slot_of_client(&self, client: usize) -> usize {
+        self.clients[client].dcnet.slot()
+    }
+
+    /// The client owning a slot (diagnostic/test accessor).
+    pub fn client_of_slot(&self, slot: usize) -> usize {
+        self.slot_owner[slot]
+    }
+
+    /// The shuffled pseudonym public keys, in slot order.
+    pub fn pseudonym_keys(&self) -> &[Element] {
+        &self.pseudonym_keys
+    }
+
+    /// Clients expelled so far.
+    pub fn expelled(&self) -> &BTreeSet<ClientId> {
+        &self.expelled
+    }
+
+    /// The most recent participation count (paper §3.7).
+    pub fn participation(&self) -> usize {
+        self.participation
+    }
+
+    /// The round number the next call to [`Session::run_round`] will execute.
+    pub fn next_round(&self) -> u64 {
+        self.schedule.round()
+    }
+
+    fn build_submission<R: RngCore + ?Sized>(
+        &mut self,
+        client_idx: usize,
+        action: &ClientAction,
+        layout: &RoundLayout,
+        rng: &mut R,
+    ) -> Option<Submission> {
+        let slot_cfg = self.config.slot_config.clone();
+        let state = &mut self.clients[client_idx];
+        let slot = state.dcnet.slot();
+        match action {
+            ClientAction::Offline => None,
+            ClientAction::Disrupt { .. } => Some(Submission::null()),
+            ClientAction::Idle | ClientAction::Send(_) => {
+                if let ClientAction::Send(msg) = action {
+                    state.pending.push_back(msg.clone());
+                }
+                let slot_open = layout.slots[slot].is_some();
+                if let Some(msg) = state.pending.front().cloned() {
+                    if slot_open {
+                        let range = layout.slots[slot].unwrap();
+                        let needed = slot_cfg.len_for_message(msg.len());
+                        if needed <= range.len {
+                            state.pending.pop_front();
+                            state.requested = false;
+                            // Keep the slot sized for the next queued message
+                            // (or the default if the queue is now empty).
+                            let next_len = state
+                                .pending
+                                .front()
+                                .map(|m| slot_cfg.len_for_message(m.len()))
+                                .unwrap_or(slot_cfg.default_open_len)
+                                as u32;
+                            return Some(Submission::message(SlotPayload {
+                                next_len,
+                                shuffle_request: 0,
+                                message: msg,
+                            }));
+                        }
+                        // Slot too small: grow it for the next round.
+                        return Some(Submission::message(SlotPayload {
+                            next_len: needed as u32,
+                            shuffle_request: 0,
+                            message: Vec::new(),
+                        }));
+                    }
+                    // Slot closed: set (or re-randomize) the request bit.
+                    let request = if state.requested {
+                        // Randomized retry against request-bit squashing (§3.8).
+                        rng.next_u32() & 1 == 1
+                    } else {
+                        true
+                    };
+                    state.requested = true;
+                    return Some(if request {
+                        Submission::open_request()
+                    } else {
+                        Submission::null()
+                    });
+                }
+                Some(Submission::null())
+            }
+        }
+    }
+
+    /// Run one DC-net round.
+    ///
+    /// `actions[i]` describes client `i`'s behaviour.  Expelled clients are
+    /// treated as offline regardless of their action.
+    pub fn run_round<R: RngCore + ?Sized>(
+        &mut self,
+        actions: &[ClientAction],
+        rng: &mut R,
+    ) -> RoundResult {
+        assert_eq!(
+            actions.len(),
+            self.config.num_clients(),
+            "one action per roster client required"
+        );
+        let layout = self.schedule.layout();
+        let round = layout.round;
+        let group = self.config.group.clone();
+        let group_id = self.config.group_id();
+
+        // --- Client phase: build ciphertexts and submit to upstream server.
+        let mut per_server: Vec<SubmissionSet> = (0..self.config.num_servers())
+            .map(|_| SubmissionSet::new())
+            .collect();
+        for (i, action) in actions.iter().enumerate() {
+            if self.expelled.contains(&(i as ClientId)) {
+                continue;
+            }
+            let Some(submission) = self.build_submission(i, action, &layout, rng) else {
+                self.clients[i].last_record = None;
+                continue;
+            };
+            let state = &mut self.clients[i];
+            let ct = state.dcnet.ciphertext(rng, &layout, &submission);
+            let mut bytes = ct.ciphertext;
+            state.last_record = ct.record;
+            // A disruptor flips bits over its victim's slot on top of its
+            // otherwise well-formed ciphertext.
+            if let ClientAction::Disrupt { victim_slot } = action {
+                if let Some(range) = layout.slots.get(*victim_slot).copied().flatten() {
+                    for b in &mut bytes[range.offset..range.offset + range.len] {
+                        *b ^= rng.next_u32() as u8;
+                    }
+                }
+            }
+            let upstream = i % self.config.num_servers();
+            per_server[upstream].insert(i as ClientId, bytes);
+        }
+
+        // --- Server phase (Algorithm 2).
+        let inventories: BTreeMap<ServerId, Vec<ClientId>> = per_server
+            .iter()
+            .enumerate()
+            .map(|(j, s)| (j as ServerId, s.inventory()))
+            .collect();
+        let (trimmed, composite) = trim_inventories(&inventories);
+        let assignment: BTreeMap<ClientId, ServerId> = trimmed
+            .iter()
+            .flat_map(|(&srv, clients)| clients.iter().map(move |&c| (c, srv)))
+            .collect();
+
+        let mut server_cts: BTreeMap<ServerId, Vec<u8>> = BTreeMap::new();
+        let mut commitments: BTreeMap<ServerId, [u8; 32]> = BTreeMap::new();
+        for srv in &self.servers {
+            let own: BTreeMap<ClientId, Vec<u8>> = trimmed[&(srv.index as ServerId)]
+                .iter()
+                .map(|c| (*c, per_server[srv.index].ciphertexts[c].clone()))
+                .collect();
+            let sct = server_ciphertext(
+                round,
+                layout.total_len,
+                &composite,
+                &srv.client_secrets,
+                &own,
+            );
+            commitments.insert(srv.index as ServerId, server::commitment(round, srv.index as ServerId, &sct));
+            server_cts.insert(srv.index as ServerId, sct);
+        }
+        // Commit verification (honest servers always pass; the check is the
+        // protocol step that stops a dishonest server adapting its ciphertext
+        // after seeing the others').
+        let commits_ok = server_cts
+            .iter()
+            .all(|(&j, ct)| server::verify_commitment(round, j, ct, &commitments[&j]));
+        let cleartext = combine(layout.total_len, &server_cts);
+
+        // Certification: every server signs the output digest; clients check.
+        let digest = certification_digest(round, &composite, &cleartext);
+        let signatures: Vec<_> = self
+            .servers
+            .iter()
+            .map(|s| s.signing.sign(&group, rng, &digest))
+            .collect();
+        let certified = commits_ok
+            && signatures
+                .iter()
+                .zip(self.config.server_sign_keys.iter())
+                .all(|(sig, pk)| schnorr::verify(&group, pk, &digest, sig));
+
+        // Keep the round record for potential blame.
+        let mut all_client_cts = BTreeMap::new();
+        for set in &per_server {
+            for (c, ct) in &set.ciphertexts {
+                all_client_cts.insert(*c, ct.clone());
+            }
+        }
+        self.round_records.insert(
+            round,
+            RoundRecord {
+                layout: layout.clone(),
+                composite: composite.clone(),
+                assignment,
+                client_ciphertexts: all_client_cts,
+                server_ciphertexts: server_cts,
+            },
+        );
+
+        // --- Output phase: every node digests the cleartext.
+        let output = self.schedule.apply_round_output(&layout, &cleartext);
+        self.participation = composite.len();
+        let required = participation_threshold(self.config.alpha, self.participation);
+
+        // --- Disruption detection: victims look for witness bits and file
+        // signed accusations.
+        for state in &mut self.clients {
+            if let Some(record) = state.last_record.take() {
+                if record.round == round {
+                    let observed =
+                        &cleartext[record.slot_offset..record.slot_offset + record.slot_wire.len()];
+                    if let Some(acc) = accusation::find_witness(
+                        round,
+                        state.dcnet.slot(),
+                        record.slot_offset,
+                        &record.slot_wire,
+                        observed,
+                    ) {
+                        let sig = state.pseudonym.sign(&group, rng, &acc.to_bytes());
+                        self.pending_accusations.push((acc, sig));
+                    }
+                }
+            }
+        }
+
+        // --- Blame: resolve pending accusations.
+        let mut expelled_now = Vec::new();
+        let accusations = std::mem::take(&mut self.pending_accusations);
+        for (acc, sig) in accusations {
+            if let Some(culprit) = self.process_accusation(&acc, &sig, &group_id) {
+                if self.expelled.insert(culprit) {
+                    expelled_now.push(culprit);
+                }
+            }
+        }
+
+        RoundResult {
+            round,
+            messages: output.messages(),
+            participation: self.participation,
+            required_participation: required,
+            corrupted_slots: output.corrupted(),
+            expelled: expelled_now,
+            certified,
+        }
+    }
+
+    /// Process a signed accusation: verify the pseudonym signature, collect
+    /// every server's bit reveals, evaluate blame, and return the culprit to
+    /// expel (if the accusation traces to a client).
+    fn process_accusation(
+        &self,
+        acc: &Accusation,
+        sig: &dissent_crypto::schnorr::Signature,
+        _group_id: &[u8],
+    ) -> Option<ClientId> {
+        let group = &self.config.group;
+        // The accusation must be signed by the accused slot's pseudonym key.
+        let pseudonym = self.pseudonym_keys.get(acc.slot)?;
+        if !schnorr::verify(group, pseudonym, &acc.to_bytes(), sig) {
+            return None;
+        }
+        let record = self.round_records.get(&acc.round)?;
+        if acc.bit >= record.layout.total_len * 8 {
+            return None;
+        }
+        // Every server reveals its bits for the witness position.
+        let reveals: BTreeMap<ServerId, _> = self
+            .servers
+            .iter()
+            .map(|srv| {
+                let own: BTreeMap<ClientId, Vec<u8>> = record
+                    .client_ciphertexts
+                    .iter()
+                    .filter(|(c, _)| record.assignment.get(c) == Some(&(srv.index as ServerId)))
+                    .map(|(c, ct)| (*c, ct.clone()))
+                    .collect();
+                (
+                    srv.index as ServerId,
+                    build_server_reveal(
+                        acc.round,
+                        record.layout.total_len,
+                        acc.bit,
+                        &record.composite,
+                        &srv.client_secrets,
+                        &own,
+                        &record.server_ciphertexts[&(srv.index as ServerId)],
+                    ),
+                )
+            })
+            .collect();
+        let observed_bit = dissent_dcnet::pad::get_bit(
+            &combine(record.layout.total_len, &record.server_ciphertexts),
+            acc.bit,
+        );
+        match evaluate_blame(&record.composite, &record.assignment, &reveals, observed_bit) {
+            BlameOutcome::ClientsAccused(clients) => clients.into_iter().next(),
+            // Honest servers never trip cases (a)/(b) in this in-memory
+            // session; a consistent outcome means the accusation did not
+            // trace to anyone.
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GroupBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn session(clients: usize, servers: usize) -> (Session, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0x5E55);
+        let group = GroupBuilder::new(clients, servers)
+            .with_shuffle_soundness(4)
+            .build();
+        let session = Session::new(&group, &mut rng).unwrap();
+        (session, rng)
+    }
+
+    fn idle(n: usize) -> Vec<ClientAction> {
+        vec![ClientAction::Idle; n]
+    }
+
+    #[test]
+    fn setup_assigns_every_client_a_unique_slot() {
+        let (session, _) = session(6, 2);
+        let mut slots: Vec<usize> = (0..6).map(|c| session.slot_of_client(c)).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, (0..6).collect::<Vec<_>>());
+        for slot in 0..6 {
+            assert_eq!(session.slot_of_client(session.client_of_slot(slot)), slot);
+        }
+    }
+
+    #[test]
+    fn message_is_delivered_after_request_round() {
+        let (mut session, mut rng) = session(4, 2);
+        let mut actions = idle(4);
+        actions[2] = ClientAction::Send(b"first post".to_vec());
+        // Round 0: the slot is closed, so the client requests it.
+        let r0 = session.run_round(&actions, &mut rng);
+        assert!(r0.messages.is_empty());
+        assert!(r0.certified);
+        // Round 1: the slot is open and the buffered message goes out.
+        let r1 = session.run_round(&idle(4), &mut rng);
+        assert_eq!(r1.messages.len(), 1);
+        assert_eq!(r1.messages[0].1, b"first post".to_vec());
+        assert_eq!(r1.messages[0].0, session.slot_of_client(2));
+    }
+
+    #[test]
+    fn offline_clients_reduce_participation_but_round_completes() {
+        let (mut session, mut rng) = session(5, 2);
+        let mut actions = idle(5);
+        actions[0] = ClientAction::Offline;
+        actions[3] = ClientAction::Offline;
+        let r = session.run_round(&actions, &mut rng);
+        assert_eq!(r.participation, 3);
+        assert!(r.certified);
+    }
+
+    #[test]
+    fn disruptor_is_identified_and_expelled() {
+        let (mut session, mut rng) = session(5, 2);
+        // Round 0: victim (client 1) requests its slot.
+        let mut actions = idle(5);
+        actions[1] = ClientAction::Send(b"sensitive message".to_vec());
+        session.run_round(&actions, &mut rng);
+
+        // Round 1: the victim transmits; client 4 disrupts the victim's slot.
+        let victim_slot = session.slot_of_client(1);
+        let mut actions = idle(5);
+        actions[4] = ClientAction::Disrupt { victim_slot };
+        let r1 = session.run_round(&actions, &mut rng);
+        // The slot is corrupted this round (with overwhelming probability a
+        // random XOR breaks the checksum).
+        assert!(r1.corrupted_slots.contains(&victim_slot) || !r1.messages.is_empty());
+
+        // The victim found a witness bit and the blame process expelled the
+        // disruptor either in this round or after the next one (if every
+        // flipped bit happened to be 1→0 the victim retries).
+        let mut expelled: Vec<ClientId> = r1.expelled;
+        let mut guard = 0;
+        while expelled.is_empty() && guard < 4 {
+            let mut actions = idle(5);
+            actions[4] = ClientAction::Disrupt { victim_slot };
+            let r = session.run_round(&actions, &mut rng);
+            expelled = r.expelled;
+            guard += 1;
+        }
+        assert_eq!(expelled, vec![4]);
+        assert!(session.expelled().contains(&4));
+    }
+
+    #[test]
+    fn expelled_client_no_longer_participates() {
+        let (mut session, mut rng) = session(4, 2);
+        session.expelled.insert(3);
+        let r = session.run_round(&idle(4), &mut rng);
+        assert_eq!(r.participation, 3);
+    }
+
+    #[test]
+    fn output_is_identical_regardless_of_which_client_sends() {
+        // Anonymity sanity check: the round output reveals the message in
+        // the sender's slot, and nothing in the output or server state maps
+        // a slot back to a client except through the slot_owner table the
+        // test holds.  Here we check the weaker functional property that two
+        // different senders produce outputs that differ only in slot position.
+        let (mut s1, mut rng1) = session(4, 2);
+        let (mut s2, mut rng2) = session(4, 2);
+        let mut a1 = idle(4);
+        a1[0] = ClientAction::Send(b"hello".to_vec());
+        let mut a2 = idle(4);
+        a2[3] = ClientAction::Send(b"hello".to_vec());
+        s1.run_round(&a1, &mut rng1);
+        s2.run_round(&a2, &mut rng2);
+        let r1 = s1.run_round(&idle(4), &mut rng1);
+        let r2 = s2.run_round(&idle(4), &mut rng2);
+        assert_eq!(r1.messages.len(), 1);
+        assert_eq!(r2.messages.len(), 1);
+        assert_eq!(r1.messages[0].1, r2.messages[0].1);
+    }
+
+    #[test]
+    fn participation_threshold_tracks_alpha() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let group = GroupBuilder::new(10, 2)
+            .with_shuffle_soundness(4)
+            .with_alpha(0.8)
+            .build();
+        let mut session = Session::new(&group, &mut rng).unwrap();
+        let r = session.run_round(&idle(10), &mut rng);
+        assert_eq!(r.participation, 10);
+        assert_eq!(r.required_participation, 8);
+        // Next round: 4 clients vanish → participation 6, threshold was 8.
+        let mut actions = idle(10);
+        for a in actions.iter_mut().take(4) {
+            *a = ClientAction::Offline;
+        }
+        let r = session.run_round(&actions, &mut rng);
+        assert_eq!(r.participation, 6);
+    }
+
+    #[test]
+    fn zero_server_group_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let group = GroupBuilder::new(2, 0).build();
+        assert!(matches!(
+            Session::new(&group, &mut rng),
+            Err(SessionError::BadConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,430 @@
+//! Round-timing simulation: the quantitative half of the reproduction.
+//!
+//! Figures 6–9 of the paper report *time per round* and *time per protocol
+//! phase* as functions of client count, server count, message size, window
+//! policy and testbed.  Those quantities are sums of well-defined terms —
+//! client computation, client→server transfers, server↔server exchanges,
+//! pad expansion, shuffle exponentiations — all of which the
+//! `dissent-net` models capture.  This module assembles the terms into the
+//! same round structure the real protocol follows, so the harnesses in
+//! `dissent-bench` can sweep group sizes into the thousands without paying
+//! hours of real 2048-bit exponentiations (see DESIGN.md §2).
+//!
+//! The decomposition mirrors the paper's Figure 7/8 split:
+//!
+//! * **client submission** — from clients receiving the previous cleartext
+//!   to the servers holding the current round's ciphertexts (client compute,
+//!   upstream transfer, straggler delays, window-closure policy);
+//! * **server processing** — inventory exchange, pad expansion and XOR,
+//!   commitment + ciphertext + signature exchanges, and pushing the signed
+//!   cleartext back to the clients.
+
+use crate::policy::{WindowOutcome, WindowPolicy};
+use dissent_net::churn::ChurnModel;
+use dissent_net::costmodel::CostModel;
+use dissent_net::sim::{to_secs, SimTime};
+use dissent_net::topology::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Traffic pattern of a scenario (paper §5.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Workload {
+    /// Microblogging: a random `percent_senders`% of clients submit
+    /// `message_bytes`-byte messages each round (the paper used 1% / 128 B).
+    Microblog {
+        /// Per-message size in bytes.
+        message_bytes: usize,
+        /// Percentage of clients that send each round (0–100).
+        percent_senders: u32,
+    },
+    /// Data sharing: a single client transmits `message_bytes` per round
+    /// (the paper used 128 KB).
+    Bulk {
+        /// Per-round transfer size in bytes.
+        message_bytes: usize,
+    },
+}
+
+impl Workload {
+    /// The paper's microblog workload: 1 % of clients send 128-byte posts.
+    pub fn paper_microblog() -> Self {
+        Workload::Microblog {
+            message_bytes: 128,
+            percent_senders: 1,
+        }
+    }
+
+    /// The paper's data-sharing workload: one 128 KB message per round.
+    pub fn paper_bulk() -> Self {
+        Workload::Bulk {
+            message_bytes: 128 * 1024,
+        }
+    }
+
+    /// Number of open slots and bytes per open slot for `num_clients`.
+    pub fn open_slots(&self, num_clients: usize) -> (usize, usize) {
+        match *self {
+            Workload::Microblog {
+                message_bytes,
+                percent_senders,
+            } => {
+                let senders = ((num_clients as f64) * (percent_senders as f64) / 100.0)
+                    .ceil()
+                    .max(1.0) as usize;
+                // Slot overhead: padding + header (see dissent-dcnet::slots).
+                (senders, message_bytes + 40)
+            }
+            Workload::Bulk { message_bytes } => (1, message_bytes + 40),
+        }
+    }
+
+    /// The DC-net cleartext length for one round.
+    pub fn cleartext_len(&self, num_clients: usize) -> usize {
+        let (slots, bytes) = self.open_slots(num_clients);
+        num_clients.div_ceil(8) + slots * bytes
+    }
+}
+
+/// Everything needed to simulate rounds of one scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Topology (client/server/internet links and counts).
+    pub topology: Topology,
+    /// Computation-cost model.
+    pub cost: CostModel,
+    /// Client churn/straggler model.
+    pub churn: ChurnModel,
+    /// Submission-window policy.
+    pub policy: WindowPolicy,
+    /// Traffic workload.
+    pub workload: Workload,
+    /// How many Dissent client processes share one physical machine (the
+    /// DeterLab evaluation ran up to 16 per machine); scales client-side
+    /// compute and its share of the uplink.
+    pub oversubscription: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The DeterLab configuration used for Figures 7–9: 100 Mbps links,
+    /// 10 ms server RTTs, 50 ms client links, up to 16 client processes per
+    /// physical machine (320 machines).
+    pub fn deterlab(num_clients: usize, num_servers: usize, workload: Workload) -> Self {
+        let physical_machines = 320.0;
+        Scenario {
+            topology: Topology::deterlab(num_clients, num_servers),
+            cost: CostModel::default(),
+            churn: ChurnModel::deterlab(),
+            policy: WindowPolicy::default(),
+            workload,
+            oversubscription: (num_clients as f64 / physical_machines).max(1.0),
+            seed: 0xF16,
+        }
+    }
+
+    /// The PlanetLab configuration of §5.2: 17 servers (16 EC2 + Yale),
+    /// public-Internet clients.
+    pub fn planetlab(num_clients: usize, num_servers: usize, workload: Workload) -> Self {
+        Scenario {
+            topology: Topology::planetlab(num_clients, num_servers),
+            cost: CostModel::default(),
+            churn: ChurnModel::planetlab(),
+            policy: WindowPolicy::default(),
+            workload,
+            oversubscription: 1.0,
+            seed: 0xF17,
+        }
+    }
+}
+
+/// Timing breakdown of one simulated round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundTiming {
+    /// Client-submission phase duration.
+    pub client_submission: SimTime,
+    /// Server-processing phase duration.
+    pub server_processing: SimTime,
+    /// Clients whose ciphertexts made the window.
+    pub included: usize,
+    /// Clients that submitted after the window closed.
+    pub missed: usize,
+    /// Whether the hard deadline forced the window shut.
+    pub hit_hard_deadline: bool,
+}
+
+impl RoundTiming {
+    /// Total round duration.
+    pub fn total(&self) -> SimTime {
+        self.client_submission + self.server_processing
+    }
+
+    /// Total round duration in seconds.
+    pub fn total_secs(&self) -> f64 {
+        to_secs(self.total())
+    }
+}
+
+/// Per-client submission delays for one round (behavioural delay + compute +
+/// upstream transfer), for the clients that are online.
+pub fn submission_delays(scenario: &Scenario, rng: &mut StdRng) -> Vec<SimTime> {
+    let n = scenario.topology.num_clients;
+    let m = scenario.topology.num_servers;
+    let total_len = scenario.workload.cleartext_len(n);
+    let behaviors = scenario.churn.sample_population(rng, n);
+    let compute =
+        (scenario.cost.client_round_compute(total_len, m) as f64 * scenario.oversubscription) as SimTime;
+    behaviors
+        .iter()
+        .filter_map(|b| b.delay())
+        .map(|behavioural| {
+            let transfer = (scenario
+                .topology
+                .client_link
+                .transfer_time_jittered(total_len, rng) as f64
+                * scenario.oversubscription) as SimTime;
+            // Client processes time-share their physical machine (the
+            // DeterLab runs packed up to 16 per host), so behavioural delays
+            // inflate with the oversubscription factor too.
+            let behavioural = (behavioural as f64 * scenario.oversubscription) as SimTime;
+            behavioural + compute + transfer
+        })
+        .collect()
+}
+
+/// Apply the scenario's window policy to a set of submission delays.
+///
+/// The servers' expectation is the set of clients actually participating
+/// (they track the previous round's participation count, §3.7), so the
+/// policy fraction is taken over the eventual submitters rather than the
+/// full static roster.
+pub fn close_window(scenario: &Scenario, delays: &[SimTime]) -> WindowOutcome {
+    scenario.policy.apply(delays, delays.len())
+}
+
+/// The server-processing phase duration for one round.
+pub fn server_processing(scenario: &Scenario, participating: usize) -> SimTime {
+    let n = scenario.topology.num_clients;
+    let m = scenario.topology.num_servers.max(1);
+    let total_len = scenario.workload.cleartext_len(n);
+    let per_server_clients = participating.div_ceil(m);
+    let link = &scenario.topology.server_link;
+    let client_link = &scenario.topology.client_link;
+
+    // Ingest: the last ciphertexts are serialized into the server's NIC.
+    let ingest = link.serialization_time(per_server_clients * total_len);
+    // Inventory exchange: one round trip of small lists among the servers.
+    let inventory = link.rtt() + link.serialization_time(participating * 4 * m);
+    // Pad expansion + XOR + commitment.
+    let compute = scenario.cost.server_round_compute(total_len, participating, per_server_clients, m);
+    // Commitment exchange (32 bytes each), then full server ciphertexts to
+    // every other server, then signatures.
+    let commits = link.latency_us + link.serialization_time(32 * m);
+    let exchange = link.latency_us + link.serialization_time(total_len * m.saturating_sub(1));
+    let signatures = link.latency_us + link.serialization_time(96 * m);
+    // Distribute the signed cleartext to the attached clients.
+    let distribute =
+        client_link.latency_us + link.serialization_time(per_server_clients * total_len);
+    ingest + inventory + compute + commits + exchange + signatures + distribute
+}
+
+/// Simulate one round end-to-end.
+pub fn simulate_round(scenario: &Scenario, rng: &mut StdRng) -> RoundTiming {
+    let delays = submission_delays(scenario, rng);
+    let window = close_window(scenario, &delays);
+    let server = server_processing(scenario, window.included.max(1));
+    RoundTiming {
+        client_submission: window.close_time,
+        server_processing: server,
+        included: window.included,
+        missed: window.missed,
+        hit_hard_deadline: window.hit_hard_deadline,
+    }
+}
+
+/// Simulate `rounds` consecutive rounds.
+pub fn simulate_rounds(scenario: &Scenario, rounds: usize) -> Vec<RoundTiming> {
+    let mut rng = StdRng::seed_from_u64(scenario.seed);
+    (0..rounds).map(|_| simulate_round(scenario, &mut rng)).collect()
+}
+
+/// Phase durations of a full protocol run (Figure 9): key shuffle, one
+/// DC-net exchange, the accusation (blame) shuffle, and blame evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FullProtocolTiming {
+    /// The scheduling key shuffle.
+    pub key_shuffle: SimTime,
+    /// One DC-net round.
+    pub dcnet_round: SimTime,
+    /// The accusation (general message) shuffle.
+    pub blame_shuffle: SimTime,
+    /// The blame evaluation.
+    pub blame_evaluation: SimTime,
+}
+
+/// Simulate the four phases of Figure 9 for a scenario.
+pub fn simulate_full_protocol(scenario: &Scenario) -> FullProtocolTiming {
+    let n = scenario.topology.num_clients;
+    let m = scenario.topology.num_servers.max(1);
+    let link = &scenario.topology.server_link;
+    let cost = &scenario.cost;
+
+    // Element + proof bytes per shuffle entry (2048-bit elements → 256-byte
+    // elements, two per ciphertext, plus the per-entry share of the proof).
+    let entry_bytes = 2 * 256 + 128;
+
+    // Key shuffle: clients submit (client link), then each server in turn
+    // shuffles, proves, and forwards the list; every other server verifies
+    // in parallel with the next pass, so the critical path per pass is the
+    // prover's work plus the transfer plus one verification.
+    let submit = scenario.topology.client_link.transfer_time(entry_bytes)
+        + cost.modexp_us as SimTime * 2;
+    let per_pass = cost.key_shuffle_pass(n)           // prove
+        + cost.key_shuffle_pass(n)                    // verify by peers
+        + link.transfer_time(n * entry_bytes);
+    let key_shuffle = submit + per_pass * m as SimTime;
+
+    // One DC-net round under the same scenario.
+    let mut rng = StdRng::seed_from_u64(scenario.seed ^ 0x9);
+    let dcnet_round = simulate_round(scenario, &mut rng).total();
+
+    // Blame (accusation) shuffle: a general message shuffle over the same
+    // population — message embedding and verification make each pass several
+    // times more expensive than a key-shuffle pass.
+    let blame_per_pass = cost.message_shuffle_pass(n)
+        + cost.message_shuffle_pass(n)
+        + link.transfer_time(n * entry_bytes * 2);
+    let blame_shuffle = submit + blame_per_pass * m as SimTime;
+
+    // Blame evaluation: servers exchange revealed bits (small) and recompute
+    // pads for every participating client.
+    let blame_evaluation =
+        link.rtt() + link.serialization_time(n * 2 * m) + cost.blame_evaluation(n, m) * 2;
+
+    FullProtocolTiming {
+        key_shuffle,
+        dcnet_round,
+        blame_shuffle,
+        blame_evaluation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dissent_net::SECOND;
+
+    #[test]
+    fn workload_slot_math_matches_paper() {
+        let micro = Workload::paper_microblog();
+        let (senders, slot) = micro.open_slots(1000);
+        assert_eq!(senders, 10);
+        assert_eq!(slot, 168);
+        let bulk = Workload::paper_bulk();
+        let (senders, slot) = bulk.open_slots(1000);
+        assert_eq!(senders, 1);
+        assert_eq!(slot, 128 * 1024 + 40);
+        // Cleartext length includes the request-bit region.
+        assert_eq!(micro.cleartext_len(8), 1 + 1 * 168);
+    }
+
+    #[test]
+    fn round_time_grows_with_client_count() {
+        let small = Scenario::deterlab(64, 32, Workload::paper_microblog());
+        let large = Scenario::deterlab(5120, 32, Workload::paper_microblog());
+        let t_small = simulate_rounds(&small, 10);
+        let t_large = simulate_rounds(&large, 10);
+        let mean = |v: &[RoundTiming]| {
+            v.iter().map(|r| r.total_secs()).sum::<f64>() / v.len() as f64
+        };
+        assert!(mean(&t_large) > mean(&t_small), "{} vs {}", mean(&t_large), mean(&t_small));
+    }
+
+    #[test]
+    fn small_groups_hit_sub_second_latency() {
+        // §5.2: "delays were on the order of 500 to 600 ms for 32 to 256
+        // clients" — the simulated shape should stay in the sub-second to
+        // ~1 s range for those sizes.
+        let s = Scenario::deterlab(128, 32, Workload::paper_microblog());
+        let rounds = simulate_rounds(&s, 20);
+        let mean = rounds.iter().map(|r| r.total_secs()).sum::<f64>() / rounds.len() as f64;
+        assert!(mean > 0.1 && mean < 2.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn bulk_workload_slower_than_microblog() {
+        let micro = Scenario::deterlab(640, 32, Workload::paper_microblog());
+        let bulk = Scenario::deterlab(640, 32, Workload::paper_bulk());
+        let tm = simulate_rounds(&micro, 5);
+        let tb = simulate_rounds(&bulk, 5);
+        let mean = |v: &[RoundTiming]| v.iter().map(|r| r.total_secs()).sum::<f64>() / v.len() as f64;
+        assert!(mean(&tb) > mean(&tm) * 1.5);
+    }
+
+    #[test]
+    fn single_server_bulk_is_worse_than_many_servers() {
+        // Figure 8: for the 128 KB scenario the utility of extra servers is
+        // clear, because a lone server must push every client's copy itself.
+        let one = Scenario::deterlab(640, 1, Workload::paper_bulk());
+        let many = Scenario::deterlab(640, 24, Workload::paper_bulk());
+        let t_one = simulate_rounds(&one, 5);
+        let t_many = simulate_rounds(&many, 5);
+        let mean = |v: &[RoundTiming]| v.iter().map(|r| r.total_secs()).sum::<f64>() / v.len() as f64;
+        assert!(mean(&t_one) > mean(&t_many));
+    }
+
+    #[test]
+    fn planetlab_rounds_slower_than_deterlab() {
+        let det = Scenario::deterlab(320, 17, Workload::paper_microblog());
+        let pl = Scenario::planetlab(320, 17, Workload::paper_microblog());
+        let td = simulate_rounds(&det, 10);
+        let tp = simulate_rounds(&pl, 10);
+        let mean = |v: &[RoundTiming]| v.iter().map(|r| r.total_secs()).sum::<f64>() / v.len() as f64;
+        assert!(mean(&tp) > mean(&td));
+    }
+
+    #[test]
+    fn full_protocol_ordering_matches_figure_9() {
+        // Figure 9: blame shuffle ≫ key shuffle ≫ DC-net round; blame
+        // evaluation is comparatively small.
+        let s = Scenario::deterlab(500, 24, Workload::paper_microblog());
+        let t = simulate_full_protocol(&s);
+        assert!(t.blame_shuffle > t.key_shuffle);
+        assert!(t.key_shuffle > t.dcnet_round);
+        assert!(t.blame_evaluation < t.key_shuffle);
+        // At 1000 clients the accusation shuffle crosses the one-hour mark
+        // in the paper; with the default cost model it should at least reach
+        // the tens-of-minutes range.
+        let s1000 = Scenario::deterlab(1000, 24, Workload::paper_microblog());
+        let t1000 = simulate_full_protocol(&s1000);
+        assert!(to_secs(t1000.blame_shuffle) > 900.0);
+        // And the DC-net round stays in the seconds range — "extremely
+        // efficient, accounting for a negligible portion of total time".
+        assert!(t1000.dcnet_round < 30 * SECOND);
+    }
+
+    #[test]
+    fn wait_all_policy_suffers_from_stragglers() {
+        let mut cut = Scenario::planetlab(500, 17, Workload::paper_microblog());
+        cut.policy = WindowPolicy::FractionThenMultiplier {
+            fraction: 0.95,
+            multiplier: 1.1,
+            hard_deadline: 120 * SECOND,
+        };
+        let mut wait = cut.clone();
+        wait.policy = WindowPolicy::WaitAll {
+            hard_deadline: 120 * SECOND,
+        };
+        let tc = simulate_rounds(&cut, 20);
+        let tw = simulate_rounds(&wait, 20);
+        let median = |v: &[RoundTiming]| {
+            let mut xs: Vec<f64> = v.iter().map(|r| to_secs(r.client_submission)).collect();
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs[xs.len() / 2]
+        };
+        // Figure 6: waiting for every client is an order of magnitude worse.
+        assert!(median(&tw) > 5.0 * median(&tc), "{} vs {}", median(&tw), median(&tc));
+    }
+}

@@ -1,0 +1,775 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Dissent's public-key machinery (ElGamal, Schnorr signatures, Chaum–Pedersen
+//! proofs, the verifiable shuffle) operates in Schnorr groups modulo large
+//! safe primes.  The paper's prototype used CryptoPP for this; since no
+//! external crypto crates are permitted here, this module provides the
+//! required multi-precision arithmetic from scratch: addition, subtraction,
+//! multiplication, Knuth Algorithm D division, modular exponentiation and
+//! inversion, and uniform random sampling.
+//!
+//! Limbs are `u64`, stored little-endian and kept normalized (no trailing
+//! zero limbs; the value zero has an empty limb vector).
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; normalized so the last limb is non-zero.
+    limbs: Vec<u64>,
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Construct from a single `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Construct from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut out = BigUint {
+            limbs: vec![lo, hi],
+        };
+        out.normalize();
+        out
+    }
+
+    /// Interpret this value as a `u128`, if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | ((self.limbs[1] as u128) << 64)),
+            _ => None,
+        }
+    }
+
+    /// Interpret this value as a `u64`, if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Parse a big-endian hexadecimal string (no `0x` prefix, case-insensitive).
+    pub fn from_hex(s: &str) -> Result<Self, &'static str> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err("empty hex string");
+        }
+        let mut limbs = Vec::with_capacity(s.len() / 16 + 1);
+        let bytes = s.as_bytes();
+        let mut idx = bytes.len();
+        while idx > 0 {
+            let start = idx.saturating_sub(16);
+            let chunk = &s[start..idx];
+            let limb = u64::from_str_radix(chunk, 16).map_err(|_| "invalid hex digit")?;
+            limbs.push(limb);
+            idx = start;
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        Ok(out)
+    }
+
+    /// Render as a big-endian lowercase hexadecimal string (no leading zeros).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = format!("{:x}", self.limbs[self.limbs.len() - 1]);
+        for limb in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{:016x}", limb));
+        }
+        s
+    }
+
+    /// Construct from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut idx = bytes.len();
+        while idx > 0 {
+            let start = idx.saturating_sub(8);
+            let mut limb = 0u64;
+            for &b in &bytes[start..idx] {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+            idx = start;
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Serialize to big-endian bytes with no leading zero bytes (zero → empty).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        // Strip leading zeros.
+        let first = out.iter().position(|&b| b != 0).unwrap_or(out.len());
+        out.drain(..first);
+        out
+    }
+
+    /// Serialize to big-endian bytes, left-padded with zeros to exactly `len` bytes.
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    fn normalize(&mut self) {
+        while let Some(&0) = self.limbs.last() {
+            self.limbs.pop();
+        }
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// True if the value is even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (zero has bit length 0).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// The `i`-th bit (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let a = long[i];
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Subtraction; returns `None` if `other > self`.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        Some(r)
+    }
+
+    /// Subtraction; panics if `other > self`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        self.checked_sub(other)
+            .expect("BigUint subtraction underflow")
+    }
+
+    /// Schoolbook multiplication.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = n / 64;
+        let bit_shift = n % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Right shift by `n` bits.
+    pub fn shr(&self, n: usize) -> BigUint {
+        let limb_shift = n / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = n % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (64 - bit_shift)
+                } else {
+                    0
+                };
+                out.push((src[i] >> bit_shift) | hi);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Quotient and remainder via Knuth Algorithm D.
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            // Short division.
+            let d = divisor.limbs[0] as u128;
+            let mut q = vec![0u64; self.limbs.len()];
+            let mut rem = 0u128;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 64) | self.limbs[i] as u128;
+                q[i] = (cur / d) as u64;
+                rem = cur % d;
+            }
+            let mut quo = BigUint { limbs: q };
+            quo.normalize();
+            return (quo, BigUint::from_u64(rem as u64));
+        }
+
+        // Normalize: shift so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let u = self.shl(shift);
+        let v = divisor.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+
+        let mut un = u.limbs.clone();
+        un.push(0); // extra high limb for the algorithm
+        let vn = &v.limbs;
+        let mut q = vec![0u64; m + 1];
+
+        let v_top = vn[n - 1] as u128;
+        let v_sec = vn[n - 2] as u128;
+
+        for j in (0..=m).rev() {
+            // Estimate q̂ from the top two dividend limbs and top divisor limb.
+            let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut qhat = top / v_top;
+            let mut rhat = top % v_top;
+            // Correct q̂ downward at most twice.
+            while qhat >= 1u128 << 64
+                || qhat * v_sec > ((rhat << 64) | un[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v_top;
+                if rhat >= 1u128 << 64 {
+                    break;
+                }
+            }
+            // Multiply-and-subtract: un[j..j+n+1] -= qhat * vn.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * vn[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = un[j + i] as i128 - (p as u64) as i128 + borrow;
+                un[j + i] = sub as u64;
+                borrow = sub >> 64;
+            }
+            let sub = un[j + n] as i128 - carry as i128 + borrow;
+            un[j + n] = sub as u64;
+            borrow = sub >> 64;
+
+            if borrow < 0 {
+                // q̂ was one too large: add the divisor back.
+                qhat -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let s = un[j + i] as u128 + vn[i] as u128 + carry;
+                    un[j + i] = s as u64;
+                    carry = s >> 64;
+                }
+                un[j + n] = (un[j + n] as u128).wrapping_add(carry) as u64;
+            }
+            q[j] = qhat as u64;
+        }
+
+        let mut quo = BigUint { limbs: q };
+        quo.normalize();
+        let mut rem = BigUint {
+            limbs: un[..n].to_vec(),
+        };
+        rem.normalize();
+        (quo, rem.shr(shift))
+    }
+
+    /// Remainder of division by `modulus`.
+    pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        self.div_rem(modulus).1
+    }
+
+    /// Modular addition.
+    pub fn mod_add(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
+        self.add(other).rem(modulus)
+    }
+
+    /// Modular subtraction (result in `[0, modulus)`).
+    pub fn mod_sub(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
+        let a = self.rem(modulus);
+        let b = other.rem(modulus);
+        if a >= b {
+            a.sub(&b)
+        } else {
+            a.add(modulus).sub(&b)
+        }
+    }
+
+    /// Modular multiplication.
+    pub fn mod_mul(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
+        self.mul(other).rem(modulus)
+    }
+
+    /// Modular exponentiation by left-to-right square-and-multiply.
+    pub fn modpow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        let base = self.rem(modulus);
+        if exponent.is_zero() {
+            return BigUint::one();
+        }
+        let mut result = BigUint::one();
+        let bits = exponent.bit_len();
+        for i in (0..bits).rev() {
+            result = result.mod_mul(&result, modulus);
+            if exponent.bit(i) {
+                result = result.mod_mul(&base, modulus);
+            }
+        }
+        result
+    }
+
+    /// Modular inverse for a **prime** modulus, via Fermat's little theorem.
+    ///
+    /// Returns `None` if `self ≡ 0 (mod p)`.
+    pub fn modinv_prime(&self, prime: &BigUint) -> Option<BigUint> {
+        let a = self.rem(prime);
+        if a.is_zero() {
+            return None;
+        }
+        let exp = prime.sub(&BigUint::from_u64(2));
+        Some(a.modpow(&exp, prime))
+    }
+
+    /// Uniformly random value in `[0, bound)`.
+    ///
+    /// Panics if `bound` is zero.
+    pub fn random_below<R: RngCore + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+        assert!(!bound.is_zero(), "random_below with zero bound");
+        let bits = bound.bit_len();
+        let limbs = (bits + 63) / 64;
+        let top_mask = if bits % 64 == 0 {
+            u64::MAX
+        } else {
+            (1u64 << (bits % 64)) - 1
+        };
+        loop {
+            let mut l = vec![0u64; limbs];
+            for limb in l.iter_mut() {
+                *limb = rng.next_u64();
+            }
+            if let Some(last) = l.last_mut() {
+                *last &= top_mask;
+            }
+            let mut candidate = BigUint { limbs: l };
+            candidate.normalize();
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+
+    /// Uniformly random value with exactly `bits` random bits.
+    pub fn random_bits<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+        if bits == 0 {
+            return BigUint::zero();
+        }
+        let limbs = (bits + 63) / 64;
+        let mut l = vec![0u64; limbs];
+        for limb in l.iter_mut() {
+            *limb = rng.next_u64();
+        }
+        let top_mask = if bits % 64 == 0 {
+            u64::MAX
+        } else {
+            (1u64 << (bits % 64)) - 1
+        };
+        if let Some(last) = l.last_mut() {
+            *last &= top_mask;
+        }
+        let mut out = BigUint { limbs: l };
+        out.normalize();
+        out
+    }
+
+    /// Miller–Rabin probabilistic primality test with `rounds` random bases.
+    pub fn is_probable_prime<R: RngCore + ?Sized>(&self, rng: &mut R, rounds: usize) -> bool {
+        let two = BigUint::from_u64(2);
+        if self < &two {
+            return false;
+        }
+        // Small-prime trial division.
+        for p in [
+            2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73,
+        ] {
+            let pb = BigUint::from_u64(p);
+            if self == &pb {
+                return true;
+            }
+            if self.rem(&pb).is_zero() {
+                return false;
+            }
+        }
+        let one = BigUint::one();
+        let n_minus_1 = self.sub(&one);
+        // Write n-1 = d * 2^r with d odd.
+        let mut d = n_minus_1.clone();
+        let mut r = 0usize;
+        while d.is_even() {
+            d = d.shr(1);
+            r += 1;
+        }
+        'witness: for _ in 0..rounds {
+            let a = loop {
+                let c = BigUint::random_below(rng, &n_minus_1);
+                if c >= two {
+                    break c;
+                }
+            };
+            let mut x = a.modpow(&d, self);
+            if x.is_one() || x == n_minus_1 {
+                continue 'witness;
+            }
+            for _ in 0..r.saturating_sub(1) {
+                x = x.mod_mul(&x, self);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert!(!BigUint::one().is_zero());
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(BigUint::one().bit_len(), 1);
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let cases = ["1", "ff", "deadbeef", "123456789abcdef0123456789abcdef", "0"];
+        for c in cases {
+            let v = BigUint::from_hex(c).unwrap();
+            let back = BigUint::from_hex(&v.to_hex()).unwrap();
+            assert_eq!(v, back);
+        }
+        assert!(BigUint::from_hex("xyz").is_err());
+        assert!(BigUint::from_hex("").is_err());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let v = BigUint::from_hex("0123456789abcdef00ff").unwrap();
+        let bytes = v.to_bytes_be();
+        assert_eq!(BigUint::from_bytes_be(&bytes), v);
+        assert_eq!(BigUint::from_bytes_be(&[]), BigUint::zero());
+        let padded = v.to_bytes_be_padded(16);
+        assert_eq!(padded.len(), 16);
+        assert_eq!(BigUint::from_bytes_be(&padded), v);
+    }
+
+    #[test]
+    fn add_sub_small() {
+        let a = big(u128::MAX - 5);
+        let b = big(10);
+        let s = a.add(&b);
+        assert_eq!(s.sub(&b), a);
+        assert_eq!(s.sub(&a), b);
+        assert!(b.checked_sub(&a).is_none());
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = big(0xffff_ffff_ffffu128);
+        let b = big(0x1234_5678u128);
+        assert_eq!(a.mul(&b), big(0xffff_ffff_ffffu128 * 0x1234_5678u128));
+        assert_eq!(a.mul(&BigUint::zero()), BigUint::zero());
+    }
+
+    #[test]
+    fn shifts() {
+        let a = BigUint::from_hex("deadbeefcafebabe1234").unwrap();
+        assert_eq!(a.shl(64).shr(64), a);
+        assert_eq!(a.shl(3).shr(3), a);
+        assert_eq!(a.shr(200), BigUint::zero());
+        assert_eq!(BigUint::one().shl(128), big(1).mul(&big(1u128 << 127)).mul(&big(2)));
+    }
+
+    #[test]
+    fn div_rem_basic() {
+        let a = BigUint::from_hex("123456789abcdef0123456789abcdef0123456789abcdef").unwrap();
+        let b = BigUint::from_hex("fedcba987654321").unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r < b);
+        // Dividend smaller than divisor.
+        let (q2, r2) = b.div_rem(&a);
+        assert!(q2.is_zero());
+        assert_eq!(r2, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = BigUint::one().div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn div_rem_knuth_hard_case() {
+        // A case that exercises the q̂ correction step: divisor top limbs close
+        // to the base, dividend constructed so the first estimate overshoots.
+        let b = BigUint::from_hex("ffffffffffffffff0000000000000001").unwrap();
+        let q_true = BigUint::from_hex("fffffffffffffffe").unwrap();
+        let r_true = BigUint::from_hex("1234").unwrap();
+        let a = b.mul(&q_true).add(&r_true);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, q_true);
+        assert_eq!(r, r_true);
+    }
+
+    #[test]
+    fn modpow_small() {
+        let p = BigUint::from_u64(1_000_000_007);
+        let b = BigUint::from_u64(123_456_789);
+        let e = BigUint::from_u64(987_654_321);
+        // Reference via repeated u128 exponentiation.
+        let mut expect = 1u128;
+        let mut base = 123_456_789u128;
+        let mut exp = 987_654_321u64;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                expect = expect * base % 1_000_000_007;
+            }
+            base = base * base % 1_000_000_007;
+            exp >>= 1;
+        }
+        assert_eq!(b.modpow(&e, &p), BigUint::from_u128(expect));
+        assert_eq!(b.modpow(&BigUint::zero(), &p), BigUint::one());
+    }
+
+    #[test]
+    fn modinv_prime_works() {
+        let p = BigUint::from_u64(1_000_000_007);
+        let a = BigUint::from_u64(1234567);
+        let inv = a.modinv_prime(&p).unwrap();
+        assert_eq!(a.mod_mul(&inv, &p), BigUint::one());
+        assert!(BigUint::zero().modinv_prime(&p).is_none());
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let bound = BigUint::from_hex("ffffffffffffffffffffffff").unwrap();
+        for _ in 0..100 {
+            let v = BigUint::random_below(&mut rng, &bound);
+            assert!(v < bound);
+        }
+    }
+
+    #[test]
+    fn miller_rabin_classifies_known_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(BigUint::from_u64(2).is_probable_prime(&mut rng, 20));
+        assert!(BigUint::from_u64(101).is_probable_prime(&mut rng, 20));
+        assert!(BigUint::from_u64(1_000_000_007).is_probable_prime(&mut rng, 20));
+        assert!(!BigUint::from_u64(1).is_probable_prime(&mut rng, 20));
+        assert!(!BigUint::from_u64(561).is_probable_prime(&mut rng, 20)); // Carmichael
+        assert!(!BigUint::from_u64(1_000_000_008).is_probable_prime(&mut rng, 20));
+        // The hard-coded 256-bit safe prime used by the fast test group.
+        let p = BigUint::from_hex(
+            "b7e9f735f74bf461eb409d67747a627534f17ded4ba95a60790f978549c8c24f",
+        )
+        .unwrap();
+        assert!(p.is_probable_prime(&mut rng, 10));
+    }
+
+    #[test]
+    fn ordering_and_bits() {
+        let a = BigUint::from_hex("100000000000000000").unwrap(); // 2^68
+        assert_eq!(a.bit_len(), 69);
+        assert!(a.bit(68));
+        assert!(!a.bit(67));
+        assert!(!a.bit(1000));
+        assert!(a > BigUint::from_u64(u64::MAX));
+    }
+}

@@ -1,0 +1,194 @@
+//! Chaum–Pedersen proofs of discrete-logarithm equality (DLEQ).
+//!
+//! The paper uses "Chaum-Pedersen proofs [15] for verifiable decryptions"
+//! (§3.10): when a server strips its ElGamal layer from the shuffled
+//! ciphertexts it must prove, without revealing its secret key `x`, that the
+//! decryption share it removed really is `c1^x` for the same `x` such that
+//! its public key is `g^x`.  That statement is exactly DLEQ:
+//!
+//! ```text
+//!     log_g(public_key) == log_{c1}(share)
+//! ```
+//!
+//! The proof is made non-interactive with the Fiat–Shamir transform over the
+//! group's hash-to-scalar function.
+
+use crate::group::{Element, Group, Scalar};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// A non-interactive DLEQ proof.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DleqProof {
+    /// Commitment `t1 = g^w`.
+    pub t1: Element,
+    /// Commitment `t2 = h^w` (where `h` is the second base, e.g. `c1`).
+    pub t2: Element,
+    /// Response `s = w + e·x mod q`.
+    pub response: Scalar,
+}
+
+fn challenge(
+    group: &Group,
+    g: &Element,
+    h: &Element,
+    a: &Element,
+    b: &Element,
+    t1: &Element,
+    t2: &Element,
+    context: &[u8],
+) -> Scalar {
+    group.hash_to_scalar(&[
+        b"dissent-dleq",
+        context,
+        &g.to_bytes(group),
+        &h.to_bytes(group),
+        &a.to_bytes(group),
+        &b.to_bytes(group),
+        &t1.to_bytes(group),
+        &t2.to_bytes(group),
+    ])
+}
+
+/// Prove that `a = g^x` and `b = h^x` for the same secret `x`.
+///
+/// `context` binds the proof to a transcript (round number, shuffle id, …) so
+/// it cannot be replayed elsewhere.
+#[allow(clippy::too_many_arguments)]
+pub fn prove<R: RngCore + ?Sized>(
+    group: &Group,
+    rng: &mut R,
+    g: &Element,
+    h: &Element,
+    x: &Scalar,
+    context: &[u8],
+) -> DleqProof {
+    let a = group.exp(g, x);
+    let b = group.exp(h, x);
+    let w = group.random_scalar(rng);
+    let t1 = group.exp(g, &w);
+    let t2 = group.exp(h, &w);
+    let e = challenge(group, g, h, &a, &b, &t1, &t2, context);
+    let response = group.scalar_add(&w, &group.scalar_mul(&e, x));
+    DleqProof { t1, t2, response }
+}
+
+/// Verify a DLEQ proof that `a = g^x` and `b = h^x` for some common `x`.
+pub fn verify(
+    group: &Group,
+    g: &Element,
+    h: &Element,
+    a: &Element,
+    b: &Element,
+    proof: &DleqProof,
+    context: &[u8],
+) -> bool {
+    if !group.is_member(&proof.t1) || !group.is_member(&proof.t2) {
+        return false;
+    }
+    if !group.is_member(a) || !group.is_member(b) {
+        return false;
+    }
+    let e = challenge(group, g, h, a, b, &proof.t1, &proof.t2, context);
+    // g^s == t1 · a^e   and   h^s == t2 · b^e
+    let lhs1 = group.exp(g, &proof.response);
+    let rhs1 = group.mul(&proof.t1, &group.exp(a, &e));
+    let lhs2 = group.exp(h, &proof.response);
+    let rhs2 = group.mul(&proof.t2, &group.exp(b, &e));
+    lhs1 == rhs1 && lhs2 == rhs2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Group, StdRng) {
+        (Group::testing_256(), StdRng::seed_from_u64(55))
+    }
+
+    #[test]
+    fn valid_proof_verifies() {
+        let (group, mut rng) = setup();
+        let g = group.generator();
+        let h = group.exp_base(&group.random_scalar(&mut rng));
+        let x = group.random_scalar(&mut rng);
+        let a = group.exp(&g, &x);
+        let b = group.exp(&h, &x);
+        let proof = prove(&group, &mut rng, &g, &h, &x, b"shuffle-0");
+        assert!(verify(&group, &g, &h, &a, &b, &proof, b"shuffle-0"));
+    }
+
+    #[test]
+    fn wrong_context_rejected() {
+        let (group, mut rng) = setup();
+        let g = group.generator();
+        let h = group.exp_base(&group.random_scalar(&mut rng));
+        let x = group.random_scalar(&mut rng);
+        let a = group.exp(&g, &x);
+        let b = group.exp(&h, &x);
+        let proof = prove(&group, &mut rng, &g, &h, &x, b"shuffle-0");
+        assert!(!verify(&group, &g, &h, &a, &b, &proof, b"shuffle-1"));
+    }
+
+    #[test]
+    fn mismatched_exponents_rejected() {
+        let (group, mut rng) = setup();
+        let g = group.generator();
+        let h = group.exp_base(&group.random_scalar(&mut rng));
+        let x = group.random_scalar(&mut rng);
+        let y = group.random_scalar(&mut rng);
+        let a = group.exp(&g, &x);
+        let b_wrong = group.exp(&h, &y); // different exponent
+        let proof = prove(&group, &mut rng, &g, &h, &x, b"ctx");
+        assert!(!verify(&group, &g, &h, &a, &b_wrong, &proof, b"ctx"));
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let (group, mut rng) = setup();
+        let g = group.generator();
+        let h = group.exp_base(&group.random_scalar(&mut rng));
+        let x = group.random_scalar(&mut rng);
+        let a = group.exp(&g, &x);
+        let b = group.exp(&h, &x);
+        let mut proof = prove(&group, &mut rng, &g, &h, &x, b"ctx");
+        proof.response = group.scalar_add(&proof.response, &Scalar::one());
+        assert!(!verify(&group, &g, &h, &a, &b, &proof, b"ctx"));
+    }
+
+    #[test]
+    fn proves_correct_elgamal_decryption_share() {
+        use crate::dh::DhKeyPair;
+        use crate::elgamal::ElGamal;
+        let (group, mut rng) = setup();
+        let eg = ElGamal::new(group.clone());
+        let server = DhKeyPair::generate(&group, &mut rng);
+        let m = group.exp_base(&group.random_scalar(&mut rng));
+        let ct = eg.encrypt(&mut rng, server.public(), &m);
+        let share = eg.decryption_share(server.secret(), &ct);
+        // Server proves share == c1^x where public == g^x.
+        let proof = prove(&group, &mut rng, &group.generator(), &ct.c1, server.secret(), b"dec");
+        assert!(verify(
+            &group,
+            &group.generator(),
+            &ct.c1,
+            server.public(),
+            &share,
+            &proof,
+            b"dec"
+        ));
+        // A fake share does not verify.
+        let fake = group.exp_base(&group.random_scalar(&mut rng));
+        assert!(!verify(
+            &group,
+            &group.generator(),
+            &ct.c1,
+            server.public(),
+            &fake,
+            &proof,
+            b"dec"
+        ));
+    }
+}

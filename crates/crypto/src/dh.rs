@@ -1,0 +1,137 @@
+//! Diffie–Hellman key agreement between client/server pairs.
+//!
+//! The heart of Dissent's anytrust DC-net is the secret `K_ij` shared by
+//! every client `i` with every server `j` (and with no other client).  Both
+//! sides derive `K_ij` from their long-term keypairs via static
+//! Diffie–Hellman in the session group, then expand it with HKDF into
+//! per-round pad seeds.
+
+use crate::group::{Element, Group, Scalar};
+use crate::hmac::hkdf_key;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// A Diffie–Hellman keypair in a Schnorr group.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DhKeyPair {
+    /// Secret exponent.
+    secret: Scalar,
+    /// Public element `g^secret`.
+    public: Element,
+}
+
+/// A public Diffie–Hellman key.
+pub type DhPublicKey = Element;
+
+impl DhKeyPair {
+    /// Generate a fresh keypair.
+    pub fn generate<R: RngCore + ?Sized>(group: &Group, rng: &mut R) -> Self {
+        let secret = group.random_scalar(rng);
+        let public = group.exp_base(&secret);
+        DhKeyPair { secret, public }
+    }
+
+    /// Deterministically derive a keypair from seed material (used by the
+    /// simulator so large populations of clients are reproducible).
+    pub fn from_seed(group: &Group, seed: &[u8]) -> Self {
+        let mut prng = crate::prng::DetPrng::from_material(seed, b"dh-keypair");
+        Self::generate(group, &mut prng)
+    }
+
+    /// The public key.
+    pub fn public(&self) -> &DhPublicKey {
+        &self.public
+    }
+
+    /// The secret exponent (needed by ElGamal layer decryption).
+    pub fn secret(&self) -> &Scalar {
+        &self.secret
+    }
+
+    /// Compute the raw shared group element with a peer's public key.
+    pub fn raw_shared(&self, group: &Group, peer: &DhPublicKey) -> Element {
+        group.exp(peer, &self.secret)
+    }
+
+    /// Compute the 32-byte shared secret with a peer, bound to a context
+    /// label (e.g. the group identifier) for domain separation.
+    pub fn shared_secret(&self, group: &Group, peer: &DhPublicKey, context: &[u8]) -> [u8; 32] {
+        let shared = self.raw_shared(group, peer);
+        derive_shared_key(group, &shared, &self.public, peer, context)
+    }
+}
+
+/// Derive the 32-byte shared secret from the raw Diffie–Hellman element and
+/// the two public keys involved.
+///
+/// This is exposed separately because the accusation *rebuttal* (paper §3.9,
+/// final case) requires third parties to recompute `K_ij` after a client
+/// reveals the raw shared element together with a DLEQ proof of its
+/// correctness; the key derivation must therefore be a public function of
+/// `(raw, pk_a, pk_b, context)` and symmetric in the two public keys.
+pub fn derive_shared_key(
+    group: &Group,
+    raw_shared: &Element,
+    pk_a: &DhPublicKey,
+    pk_b: &DhPublicKey,
+    context: &[u8],
+) -> [u8; 32] {
+    // Both parties must derive identical bytes, so the two public keys are
+    // fed in a canonical (sorted) order.
+    let a = pk_a.to_bytes(group);
+    let b = pk_b.to_bytes(group);
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    let mut ikm = raw_shared.to_bytes(group);
+    ikm.extend_from_slice(&lo);
+    ikm.extend_from_slice(&hi);
+    hkdf_key(b"dissent-dh", &ikm, context)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shared_secret_agrees() {
+        let group = Group::testing_256();
+        let mut rng = StdRng::seed_from_u64(11);
+        let alice = DhKeyPair::generate(&group, &mut rng);
+        let bob = DhKeyPair::generate(&group, &mut rng);
+        let ab = alice.shared_secret(&group, bob.public(), b"ctx");
+        let ba = bob.shared_secret(&group, alice.public(), b"ctx");
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn different_contexts_and_peers_differ() {
+        let group = Group::testing_256();
+        let mut rng = StdRng::seed_from_u64(12);
+        let alice = DhKeyPair::generate(&group, &mut rng);
+        let bob = DhKeyPair::generate(&group, &mut rng);
+        let carol = DhKeyPair::generate(&group, &mut rng);
+        let ab1 = alice.shared_secret(&group, bob.public(), b"ctx1");
+        let ab2 = alice.shared_secret(&group, bob.public(), b"ctx2");
+        let ac = alice.shared_secret(&group, carol.public(), b"ctx1");
+        assert_ne!(ab1, ab2);
+        assert_ne!(ab1, ac);
+    }
+
+    #[test]
+    fn seeded_keypairs_are_reproducible() {
+        let group = Group::testing_256();
+        let a = DhKeyPair::from_seed(&group, b"client-42");
+        let b = DhKeyPair::from_seed(&group, b"client-42");
+        let c = DhKeyPair::from_seed(&group, b"client-43");
+        assert_eq!(a.public(), b.public());
+        assert_ne!(a.public(), c.public());
+    }
+
+    #[test]
+    fn public_key_is_subgroup_member() {
+        let group = Group::testing_256();
+        let kp = DhKeyPair::from_seed(&group, b"x");
+        assert!(group.is_member(kp.public()));
+    }
+}

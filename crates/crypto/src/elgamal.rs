@@ -1,0 +1,253 @@
+//! ElGamal encryption over a Schnorr group, including the layered ("onion")
+//! form used by Dissent's verifiable shuffle.
+//!
+//! In the key shuffle (paper §3.10) each client submits an ElGamal
+//! encryption of its pseudonym public key under the *combination* of all
+//! server keys.  Servers take turns shuffling the ciphertext list,
+//! re-randomizing it, and stripping their own encryption layer; the last
+//! server reveals the permuted plaintexts.  This module provides exactly
+//! those operations: encryption under a set of public keys, re-randomization
+//! under a remaining-key product, and single-layer decryption.
+
+use crate::group::{Element, Group, Scalar};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// An ElGamal ciphertext `(c1, c2) = (g^r, m · y^r)`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ciphertext {
+    /// The ephemeral element `g^r`.
+    pub c1: Element,
+    /// The blinded message `m · y^r`.
+    pub c2: Element,
+}
+
+/// ElGamal over a given group.
+#[derive(Clone, Debug)]
+pub struct ElGamal {
+    group: Group,
+}
+
+impl ElGamal {
+    /// Create an ElGamal instance over `group`.
+    pub fn new(group: Group) -> Self {
+        ElGamal { group }
+    }
+
+    /// The underlying group.
+    pub fn group(&self) -> &Group {
+        &self.group
+    }
+
+    /// Combine several public keys into their product, the key under which
+    /// layered ciphertexts are encrypted.
+    pub fn combine_keys(&self, keys: &[Element]) -> Element {
+        keys.iter()
+            .fold(self.group.identity(), |acc, k| self.group.mul(&acc, k))
+    }
+
+    /// Encrypt a group element under a (possibly combined) public key.
+    pub fn encrypt<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        public_key: &Element,
+        message: &Element,
+    ) -> Ciphertext {
+        let r = self.group.random_scalar(rng);
+        self.encrypt_with_randomness(public_key, message, &r)
+    }
+
+    /// Encrypt with explicit randomness (used by proofs and tests).
+    pub fn encrypt_with_randomness(
+        &self,
+        public_key: &Element,
+        message: &Element,
+        r: &Scalar,
+    ) -> Ciphertext {
+        Ciphertext {
+            c1: self.group.exp_base(r),
+            c2: self.group.mul(message, &self.group.exp(public_key, r)),
+        }
+    }
+
+    /// Decrypt a (single-key) ciphertext with the secret exponent.
+    pub fn decrypt(&self, secret: &Scalar, ct: &Ciphertext) -> Element {
+        let shared = self.group.exp(&ct.c1, secret);
+        self.group.div(&ct.c2, &shared)
+    }
+
+    /// Strip one layer from a layered ciphertext: divides `c2` by `c1^secret`
+    /// while leaving `c1` untouched, so the remaining ciphertext is valid
+    /// under the product of the *other* keys.
+    pub fn strip_layer(&self, secret: &Scalar, ct: &Ciphertext) -> Ciphertext {
+        let shared = self.group.exp(&ct.c1, secret);
+        Ciphertext {
+            c1: ct.c1.clone(),
+            c2: self.group.div(&ct.c2, &shared),
+        }
+    }
+
+    /// The blinding factor `c1^secret` removed by [`Self::strip_layer`];
+    /// exposed so a Chaum–Pedersen proof of correct decryption can be built
+    /// over it.
+    pub fn decryption_share(&self, secret: &Scalar, ct: &Ciphertext) -> Element {
+        self.group.exp(&ct.c1, secret)
+    }
+
+    /// Re-randomize a ciphertext that is currently encrypted under
+    /// `remaining_key` (the product of the public keys whose layers have not
+    /// yet been stripped).  The plaintext is unchanged; the ciphertext
+    /// becomes unlinkable to its previous form.
+    pub fn rerandomize<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        remaining_key: &Element,
+        ct: &Ciphertext,
+    ) -> Ciphertext {
+        let r = self.group.random_scalar(rng);
+        self.rerandomize_with(remaining_key, ct, &r)
+    }
+
+    /// Re-randomize with explicit randomness.
+    pub fn rerandomize_with(
+        &self,
+        remaining_key: &Element,
+        ct: &Ciphertext,
+        r: &Scalar,
+    ) -> Ciphertext {
+        Ciphertext {
+            c1: self.group.mul(&ct.c1, &self.group.exp_base(r)),
+            c2: self.group.mul(&ct.c2, &self.group.exp(remaining_key, r)),
+        }
+    }
+
+    /// Encrypt a byte-string message by embedding it in a group element
+    /// first.  Fails if the message is too long for one element.
+    pub fn encrypt_bytes<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        public_key: &Element,
+        message: &[u8],
+    ) -> Result<Ciphertext, &'static str> {
+        let el = self.group.embed_message(message)?;
+        Ok(self.encrypt(rng, public_key, &el))
+    }
+
+    /// Decrypt a ciphertext carrying an embedded byte-string.
+    pub fn decrypt_bytes(&self, secret: &Scalar, ct: &Ciphertext) -> Result<Vec<u8>, &'static str> {
+        let el = self.decrypt(secret, ct);
+        self.group.extract_message(&el)
+    }
+}
+
+impl Ciphertext {
+    /// Canonical byte encoding of the ciphertext.
+    pub fn to_bytes(&self, group: &Group) -> Vec<u8> {
+        let mut out = self.c1.to_bytes(group);
+        out.extend_from_slice(&self.c2.to_bytes(group));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dh::DhKeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ElGamal, StdRng) {
+        (ElGamal::new(Group::testing_256()), StdRng::seed_from_u64(21))
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let (eg, mut rng) = setup();
+        let kp = DhKeyPair::generate(eg.group(), &mut rng);
+        let m = eg.group().exp_base(&eg.group().random_scalar(&mut rng));
+        let ct = eg.encrypt(&mut rng, kp.public(), &m);
+        assert_eq!(eg.decrypt(kp.secret(), &ct), m);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let (eg, mut rng) = setup();
+        let kp = DhKeyPair::generate(eg.group(), &mut rng);
+        let ct = eg.encrypt_bytes(&mut rng, kp.public(), b"anonymous post").unwrap();
+        assert_eq!(eg.decrypt_bytes(kp.secret(), &ct).unwrap(), b"anonymous post");
+    }
+
+    #[test]
+    fn layered_encryption_strips_in_any_order() {
+        let (eg, mut rng) = setup();
+        let servers: Vec<DhKeyPair> = (0..4)
+            .map(|_| DhKeyPair::generate(eg.group(), &mut rng))
+            .collect();
+        let pubs: Vec<Element> = servers.iter().map(|s| s.public().clone()).collect();
+        let combined = eg.combine_keys(&pubs);
+        let m = eg.group().exp_base(&eg.group().random_scalar(&mut rng));
+        let ct = eg.encrypt(&mut rng, &combined, &m);
+
+        // Strip layers in reverse order.
+        let mut c = ct.clone();
+        for s in servers.iter().rev() {
+            c = eg.strip_layer(s.secret(), &c);
+        }
+        assert_eq!(c.c2, m);
+
+        // Strip layers in forward order — same result, order must not matter.
+        let mut c = ct;
+        for s in servers.iter() {
+            c = eg.strip_layer(s.secret(), &c);
+        }
+        assert_eq!(c.c2, m);
+    }
+
+    #[test]
+    fn rerandomization_preserves_plaintext_and_changes_ciphertext() {
+        let (eg, mut rng) = setup();
+        let kp = DhKeyPair::generate(eg.group(), &mut rng);
+        let m = eg.group().exp_base(&eg.group().random_scalar(&mut rng));
+        let ct = eg.encrypt(&mut rng, kp.public(), &m);
+        let ct2 = eg.rerandomize(&mut rng, kp.public(), &ct);
+        assert_ne!(ct, ct2);
+        assert_eq!(eg.decrypt(kp.secret(), &ct2), m);
+    }
+
+    #[test]
+    fn layered_with_rerandomization_midway() {
+        let (eg, mut rng) = setup();
+        let s1 = DhKeyPair::generate(eg.group(), &mut rng);
+        let s2 = DhKeyPair::generate(eg.group(), &mut rng);
+        let combined = eg.combine_keys(&[s1.public().clone(), s2.public().clone()]);
+        let m = eg.group().exp_base(&eg.group().random_scalar(&mut rng));
+        let ct = eg.encrypt(&mut rng, &combined, &m);
+        // Server 1 strips its layer, then re-randomizes under server 2's key.
+        let stripped = eg.strip_layer(s1.secret(), &ct);
+        let rerand = eg.rerandomize(&mut rng, s2.public(), &stripped);
+        // Server 2 finishes.
+        let plain = eg.strip_layer(s2.secret(), &rerand);
+        assert_eq!(plain.c2, m);
+    }
+
+    #[test]
+    fn decryption_share_matches_strip() {
+        let (eg, mut rng) = setup();
+        let kp = DhKeyPair::generate(eg.group(), &mut rng);
+        let m = eg.group().exp_base(&eg.group().random_scalar(&mut rng));
+        let ct = eg.encrypt(&mut rng, kp.public(), &m);
+        let share = eg.decryption_share(kp.secret(), &ct);
+        let stripped = eg.strip_layer(kp.secret(), &ct);
+        assert_eq!(eg.group().mul(&stripped.c2, &share), ct.c2);
+    }
+
+    #[test]
+    fn wrong_key_fails_to_decrypt() {
+        let (eg, mut rng) = setup();
+        let kp = DhKeyPair::generate(eg.group(), &mut rng);
+        let other = DhKeyPair::generate(eg.group(), &mut rng);
+        let m = eg.group().exp_base(&eg.group().random_scalar(&mut rng));
+        let ct = eg.encrypt(&mut rng, kp.public(), &m);
+        assert_ne!(eg.decrypt(other.secret(), &ct), m);
+    }
+}

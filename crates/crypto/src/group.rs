@@ -1,0 +1,541 @@
+//! Schnorr groups: prime-order subgroups of ℤ*_p for safe primes p = 2q + 1.
+//!
+//! All of Dissent's public-key operations — ElGamal encryption for the
+//! verifiable shuffle, Schnorr signatures on protocol messages and pseudonym
+//! keys, Chaum–Pedersen proofs of correct decryption, and Diffie–Hellman
+//! shared secrets between client/server pairs — take place in such a group.
+//!
+//! The paper's prototype used CryptoPP's integer groups; we provide the same
+//! structure over our own [`BigUint`].  Three standard parameter sets are
+//! offered:
+//!
+//! * [`Group::rfc3526_2048`] — the 2048-bit MODP group (production fidelity),
+//! * [`Group::modp_1024`] / [`Group::modp_512`] — mid-size groups,
+//! * [`Group::testing_256`] — a 256-bit safe-prime group for fast unit tests
+//!   and simulation runs (NOT cryptographically strong; clearly labelled).
+
+use crate::bigint::BigUint;
+use crate::prng::DetPrng;
+use crate::sha256::sha256_tagged;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Group parameters: a safe prime `p = 2q + 1` and a generator `g` of the
+/// order-`q` subgroup of quadratic residues.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct GroupParams {
+    /// The safe prime modulus.
+    pub p: BigUint,
+    /// The prime order of the subgroup, `q = (p - 1) / 2`.
+    pub q: BigUint,
+    /// Generator of the order-`q` subgroup.
+    pub g: BigUint,
+    /// Human-readable name of the parameter set.
+    pub name: String,
+}
+
+/// A shared handle to group parameters.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Group {
+    params: Arc<GroupParams>,
+}
+
+impl fmt::Debug for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Group({}, {} bits)",
+            self.params.name,
+            self.params.p.bit_len()
+        )
+    }
+}
+
+impl PartialEq for Group {
+    fn eq(&self, other: &Self) -> bool {
+        self.params.p == other.params.p && self.params.g == other.params.g
+    }
+}
+impl Eq for Group {}
+
+/// An element of the order-`q` subgroup.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Element {
+    value: BigUint,
+}
+
+impl fmt::Debug for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hex = self.value.to_hex();
+        let short = if hex.len() > 16 { &hex[..16] } else { &hex };
+        write!(f, "Element(0x{short}…)")
+    }
+}
+
+/// A scalar modulo the group order `q` (an exponent).
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Scalar {
+    value: BigUint,
+}
+
+impl fmt::Debug for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hex = self.value.to_hex();
+        let short = if hex.len() > 16 { &hex[..16] } else { &hex };
+        write!(f, "Scalar(0x{short}…)")
+    }
+}
+
+// RFC 3526 group 14 (2048-bit MODP). Safe prime; 4 = 2² generates the
+// quadratic-residue subgroup of order q = (p-1)/2.
+const RFC3526_2048_P: &str = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05\
+98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB\
+9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B\
+E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718\
+3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF";
+
+// Locally generated safe primes for faster parameter sets (see DESIGN.md):
+// suitable for tests and simulation, not for real-world security at the
+// smaller sizes.
+const MODP_1024_P: &str = "fa40b8c299e6924073aa7255b69757c33a10e6040231cc514930f532bb98db5c\
+3270fc0559d04e40cd55e72ee35ce78a708918f449c81064ba1eea3feb9d05e1\
+25ddd7ce43e1b309eb29d63108ceeb07ace805f2b163d8096a6265b7e77d9df9\
+30feb4a0f5abd1d182c3e49f6177ea4bb2208af442739f8f32aab44c46ed0d5f";
+const MODP_512_P: &str = "b0848d23a3f32e0978bd94cff6607305b9cc8a795f7f380001f0e8893e80e915\
+9114af7eb62656cc1fdb943e7aaac5a8e1cfae7d0f7e7edf0ae0b652d3a1d637";
+const TESTING_256_P: &str = "b7e9f735f74bf461eb409d67747a627534f17ded4ba95a60790f978549c8c24f";
+
+impl Group {
+    fn from_safe_prime_hex(p_hex: &str, name: &str) -> Group {
+        let p = BigUint::from_hex(p_hex).expect("valid prime constant");
+        let q = p.sub(&BigUint::one()).shr(1);
+        let g = BigUint::from_u64(4);
+        Group {
+            params: Arc::new(GroupParams {
+                p,
+                q,
+                g,
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// The 2048-bit MODP group from RFC 3526 (group 14).
+    pub fn rfc3526_2048() -> Group {
+        Self::from_safe_prime_hex(RFC3526_2048_P, "rfc3526-2048")
+    }
+
+    /// A 1024-bit safe-prime group (legacy-strength; faster than 2048-bit).
+    pub fn modp_1024() -> Group {
+        Self::from_safe_prime_hex(MODP_1024_P, "modp-1024")
+    }
+
+    /// A 512-bit safe-prime group (simulation-grade).
+    pub fn modp_512() -> Group {
+        Self::from_safe_prime_hex(MODP_512_P, "modp-512")
+    }
+
+    /// A 256-bit safe-prime group for fast tests and large simulations.
+    ///
+    /// NOT cryptographically strong; never use outside testing.
+    pub fn testing_256() -> Group {
+        Self::from_safe_prime_hex(TESTING_256_P, "testing-256")
+    }
+
+    /// Construct from explicit parameters, validating the safe-prime
+    /// structure with Miller–Rabin.
+    pub fn from_params<R: RngCore + ?Sized>(
+        rng: &mut R,
+        p: BigUint,
+        g: BigUint,
+        name: &str,
+    ) -> Result<Group, &'static str> {
+        if !p.is_probable_prime(rng, 20) {
+            return Err("p is not prime");
+        }
+        let q = p.sub(&BigUint::one()).shr(1);
+        if !q.is_probable_prime(rng, 20) {
+            return Err("p is not a safe prime");
+        }
+        if g.modpow(&q, &p) != BigUint::one() || g.is_one() || g.is_zero() {
+            return Err("g does not generate the order-q subgroup");
+        }
+        Ok(Group {
+            params: Arc::new(GroupParams {
+                p,
+                q,
+                g,
+                name: name.to_string(),
+            }),
+        })
+    }
+
+    /// The modulus `p`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.params.p
+    }
+
+    /// The subgroup order `q`.
+    pub fn order(&self) -> &BigUint {
+        &self.params.q
+    }
+
+    /// The generator as an [`Element`].
+    pub fn generator(&self) -> Element {
+        Element {
+            value: self.params.g.clone(),
+        }
+    }
+
+    /// The parameter-set name.
+    pub fn name(&self) -> &str {
+        &self.params.name
+    }
+
+    /// Number of bytes needed to encode an element (the modulus width).
+    pub fn element_len(&self) -> usize {
+        (self.params.p.bit_len() + 7) / 8
+    }
+
+    /// The identity element (1).
+    pub fn identity(&self) -> Element {
+        Element {
+            value: BigUint::one(),
+        }
+    }
+
+    /// A uniformly random scalar in `[0, q)`.
+    pub fn random_scalar<R: RngCore + ?Sized>(&self, rng: &mut R) -> Scalar {
+        Scalar {
+            value: BigUint::random_below(rng, &self.params.q),
+        }
+    }
+
+    /// A scalar from a `u64`.
+    pub fn scalar_from_u64(&self, v: u64) -> Scalar {
+        Scalar {
+            value: BigUint::from_u64(v).rem(&self.params.q),
+        }
+    }
+
+    /// A scalar derived from arbitrary bytes (reduced mod q).
+    pub fn scalar_from_bytes(&self, bytes: &[u8]) -> Scalar {
+        Scalar {
+            value: BigUint::from_bytes_be(bytes).rem(&self.params.q),
+        }
+    }
+
+    /// Hash arbitrary transcript parts to a scalar challenge (Fiat–Shamir).
+    pub fn hash_to_scalar(&self, parts: &[&[u8]]) -> Scalar {
+        // Expand the 32-byte hash into enough bytes to cover q with
+        // negligible bias, then reduce.
+        let digest = sha256_tagged(parts);
+        let mut prng = DetPrng::new(&digest, b"hash-to-scalar");
+        let need = (self.params.q.bit_len() + 7) / 8 + 16;
+        let wide = prng.bytes(need);
+        self.scalar_from_bytes(&wide)
+    }
+
+    /// Exponentiation of the generator: `g^e`.
+    pub fn exp_base(&self, e: &Scalar) -> Element {
+        self.exp(&self.generator(), e)
+    }
+
+    /// Exponentiation: `a^e mod p`.
+    pub fn exp(&self, a: &Element, e: &Scalar) -> Element {
+        Element {
+            value: a.value.modpow(&e.value, &self.params.p),
+        }
+    }
+
+    /// Group multiplication: `a · b mod p`.
+    pub fn mul(&self, a: &Element, b: &Element) -> Element {
+        Element {
+            value: a.value.mod_mul(&b.value, &self.params.p),
+        }
+    }
+
+    /// Group division: `a · b⁻¹ mod p`.
+    pub fn div(&self, a: &Element, b: &Element) -> Element {
+        let inv = b
+            .value
+            .modinv_prime(&self.params.p)
+            .expect("division by the zero element");
+        Element {
+            value: a.value.mod_mul(&inv, &self.params.p),
+        }
+    }
+
+    /// Inverse element: `a⁻¹ mod p`.
+    pub fn inv(&self, a: &Element) -> Element {
+        self.div(&self.identity(), a)
+    }
+
+    /// Scalar addition mod q.
+    pub fn scalar_add(&self, a: &Scalar, b: &Scalar) -> Scalar {
+        Scalar {
+            value: a.value.mod_add(&b.value, &self.params.q),
+        }
+    }
+
+    /// Scalar subtraction mod q.
+    pub fn scalar_sub(&self, a: &Scalar, b: &Scalar) -> Scalar {
+        Scalar {
+            value: a.value.mod_sub(&b.value, &self.params.q),
+        }
+    }
+
+    /// Scalar multiplication mod q.
+    pub fn scalar_mul(&self, a: &Scalar, b: &Scalar) -> Scalar {
+        Scalar {
+            value: a.value.mod_mul(&b.value, &self.params.q),
+        }
+    }
+
+    /// Scalar inverse mod q.
+    pub fn scalar_inv(&self, a: &Scalar) -> Option<Scalar> {
+        a.value
+            .modinv_prime(&self.params.q)
+            .map(|value| Scalar { value })
+    }
+
+    /// Scalar negation mod q.
+    pub fn scalar_neg(&self, a: &Scalar) -> Scalar {
+        Scalar {
+            value: BigUint::zero().mod_sub(&a.value, &self.params.q),
+        }
+    }
+
+    /// Check whether an element is a member of the order-`q` subgroup.
+    pub fn is_member(&self, a: &Element) -> bool {
+        !a.value.is_zero()
+            && a.value < self.params.p
+            && a.value.modpow(&self.params.q, &self.params.p).is_one()
+    }
+
+    /// Embed a short message into a group element (quadratic-residue
+    /// encoding), for use in the general message shuffle.
+    ///
+    /// The message is framed as `0x01 ‖ msg ‖ 16-bit counter` and the counter
+    /// incremented until the framed value is a quadratic residue mod p.  The
+    /// maximum message length is `element_len() - 4` bytes.
+    pub fn embed_message(&self, msg: &[u8]) -> Result<Element, &'static str> {
+        let max = self.element_len().saturating_sub(4);
+        if msg.len() > max {
+            return Err("message too long to embed in a group element");
+        }
+        for counter in 0u16..=u16::MAX {
+            let mut framed = Vec::with_capacity(msg.len() + 3);
+            framed.push(0x01);
+            framed.extend_from_slice(msg);
+            framed.extend_from_slice(&counter.to_be_bytes());
+            let candidate = BigUint::from_bytes_be(&framed);
+            if candidate.is_zero() || candidate >= self.params.p {
+                continue;
+            }
+            let el = Element { value: candidate };
+            if self.is_member(&el) {
+                return Ok(el);
+            }
+        }
+        Err("could not embed message (counter exhausted)")
+    }
+
+    /// Recover a message previously embedded with [`Group::embed_message`].
+    pub fn extract_message(&self, el: &Element) -> Result<Vec<u8>, &'static str> {
+        let bytes = el.value.to_bytes_be();
+        if bytes.len() < 3 || bytes[0] != 0x01 {
+            return Err("element does not carry an embedded message");
+        }
+        Ok(bytes[1..bytes.len() - 2].to_vec())
+    }
+
+    /// Construct an element directly from its byte encoding, rejecting
+    /// non-members.
+    pub fn element_from_bytes(&self, bytes: &[u8]) -> Result<Element, &'static str> {
+        let value = BigUint::from_bytes_be(bytes);
+        let el = Element { value };
+        if self.is_member(&el) {
+            Ok(el)
+        } else {
+            Err("bytes do not encode a subgroup member")
+        }
+    }
+}
+
+impl Element {
+    /// Canonical byte encoding (big-endian, padded to the modulus width).
+    pub fn to_bytes(&self, group: &Group) -> Vec<u8> {
+        self.value.to_bytes_be_padded(group.element_len())
+    }
+
+    /// The raw integer value (for serialization and debugging).
+    pub fn as_biguint(&self) -> &BigUint {
+        &self.value
+    }
+
+    /// Construct from a raw integer without membership checking (internal
+    /// use by protocols that have already validated membership).
+    pub fn from_biguint_unchecked(value: BigUint) -> Element {
+        Element { value }
+    }
+}
+
+impl Scalar {
+    /// Canonical byte encoding (big-endian, padded to the order width).
+    pub fn to_bytes(&self, group: &Group) -> Vec<u8> {
+        self.value
+            .to_bytes_be_padded((group.order().bit_len() + 7) / 8)
+    }
+
+    /// The raw integer value.
+    pub fn as_biguint(&self) -> &BigUint {
+        &self.value
+    }
+
+    /// Construct from a raw integer, reducing mod q.
+    pub fn from_biguint(value: BigUint, group: &Group) -> Scalar {
+        Scalar {
+            value: value.rem(group.order()),
+        }
+    }
+
+    /// The zero scalar.
+    pub fn zero() -> Scalar {
+        Scalar {
+            value: BigUint::zero(),
+        }
+    }
+
+    /// The one scalar.
+    pub fn one() -> Scalar {
+        Scalar {
+            value: BigUint::one(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xD155EA7)
+    }
+
+    #[test]
+    fn testing_group_is_well_formed() {
+        let mut r = rng();
+        let g = Group::testing_256();
+        assert!(g.modulus().is_probable_prime(&mut r, 16));
+        assert!(g.order().is_probable_prime(&mut r, 16));
+        assert!(g.is_member(&g.generator()));
+        assert_eq!(g.element_len(), 32);
+    }
+
+    #[test]
+    fn larger_groups_parse() {
+        for g in [Group::modp_512(), Group::modp_1024(), Group::rfc3526_2048()] {
+            assert!(g.is_member(&g.generator()));
+            assert_eq!(
+                g.modulus().sub(&BigUint::one()).shr(1),
+                g.order().clone()
+            );
+        }
+        assert_eq!(Group::rfc3526_2048().modulus().bit_len(), 2048);
+    }
+
+    #[test]
+    fn exponent_laws_hold() {
+        let mut r = rng();
+        let g = Group::testing_256();
+        let a = g.random_scalar(&mut r);
+        let b = g.random_scalar(&mut r);
+        // g^(a+b) == g^a * g^b
+        let lhs = g.exp_base(&g.scalar_add(&a, &b));
+        let rhs = g.mul(&g.exp_base(&a), &g.exp_base(&b));
+        assert_eq!(lhs, rhs);
+        // (g^a)^b == (g^b)^a
+        assert_eq!(g.exp(&g.exp_base(&a), &b), g.exp(&g.exp_base(&b), &a));
+        // g^a / g^a == 1
+        assert_eq!(g.div(&g.exp_base(&a), &g.exp_base(&a)), g.identity());
+    }
+
+    #[test]
+    fn scalar_field_laws() {
+        let mut r = rng();
+        let g = Group::testing_256();
+        let a = g.random_scalar(&mut r);
+        let inv = g.scalar_inv(&a).unwrap();
+        assert_eq!(g.scalar_mul(&a, &inv), Scalar::one());
+        assert_eq!(g.scalar_add(&a, &g.scalar_neg(&a)), Scalar::zero());
+        assert_eq!(g.scalar_sub(&a, &a), Scalar::zero());
+        assert!(g.scalar_inv(&Scalar::zero()).is_none());
+    }
+
+    #[test]
+    fn membership_check_rejects_non_residues() {
+        let g = Group::testing_256();
+        // p-1 is not in the order-q subgroup (it is the element of order 2).
+        let non_member = Element::from_biguint_unchecked(g.modulus().sub(&BigUint::one()));
+        assert!(!g.is_member(&non_member));
+        assert!(!g.is_member(&Element::from_biguint_unchecked(BigUint::zero())));
+        assert!(g.is_member(&g.identity()));
+    }
+
+    #[test]
+    fn hash_to_scalar_deterministic_and_separated() {
+        let g = Group::testing_256();
+        let a = g.hash_to_scalar(&[b"transcript", b"part"]);
+        let b = g.hash_to_scalar(&[b"transcript", b"part"]);
+        let c = g.hash_to_scalar(&[b"transcriptpart"]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn message_embedding_round_trips() {
+        let g = Group::modp_512();
+        for msg in [&b""[..], b"hi", b"a 28-byte anonymous message!"] {
+            let el = g.embed_message(msg).unwrap();
+            assert!(g.is_member(&el));
+            assert_eq!(g.extract_message(&el).unwrap(), msg);
+        }
+        let too_long = vec![0u8; g.element_len()];
+        assert!(g.embed_message(&too_long).is_err());
+    }
+
+    #[test]
+    fn element_bytes_round_trip() {
+        let mut r = rng();
+        let g = Group::testing_256();
+        let e = g.exp_base(&g.random_scalar(&mut r));
+        let bytes = e.to_bytes(&g);
+        assert_eq!(bytes.len(), g.element_len());
+        assert_eq!(g.element_from_bytes(&bytes).unwrap(), e);
+        assert!(g.element_from_bytes(&[0u8; 32]).is_err());
+    }
+
+    #[test]
+    fn from_params_validates() {
+        let mut r = rng();
+        let good = Group::testing_256();
+        assert!(Group::from_params(
+            &mut r,
+            good.modulus().clone(),
+            BigUint::from_u64(4),
+            "ok"
+        )
+        .is_ok());
+        // Non-prime modulus rejected.
+        assert!(Group::from_params(&mut r, BigUint::from_u64(100), BigUint::from_u64(4), "bad")
+            .is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//!
+//! Dissent derives the per-round DC-net pad keys from the Diffie–Hellman
+//! shared secret between each client/server pair.  HKDF provides the
+//! extract-and-expand step that turns the raw group element into independent
+//! 32-byte keys, bound to the round number and session tag so pads never
+//! repeat across rounds.
+
+use crate::sha256::{sha256, Sha256, DIGEST_LEN};
+
+const BLOCK_LEN: usize = 64;
+
+/// HMAC-SHA256 of `message` under `key`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        key_block[..DIGEST_LEN].copy_from_slice(&sha256(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// HKDF-Extract: produce a pseudorandom key from input keying material.
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: derive `len` output bytes bound to `info`.
+///
+/// Panics if `len > 255 * 32` per RFC 5869.
+pub fn hkdf_expand(prk: &[u8; DIGEST_LEN], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * DIGEST_LEN, "HKDF output too long");
+    let mut out = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut msg = Vec::with_capacity(t.len() + info.len() + 1);
+        msg.extend_from_slice(&t);
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        let block = hmac_sha256(prk, &msg);
+        t = block.to_vec();
+        out.extend_from_slice(&block);
+        counter = counter.checked_add(1).expect("HKDF counter overflow");
+    }
+    out.truncate(len);
+    out
+}
+
+/// Convenience: extract-then-expand into a fixed 32-byte key.
+pub fn hkdf_key(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; DIGEST_LEN] {
+    let prk = hkdf_extract(salt, ikm);
+    let okm = hkdf_expand(&prk, info, DIGEST_LEN);
+    let mut key = [0u8; DIGEST_LEN];
+    key.copy_from_slice(&okm);
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        // Case 6: 131-byte key forces the key-hashing path.
+        let key = [0xaau8; 131];
+        let mac = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = hkdf_extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = hkdf_expand(&prk, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn hkdf_info_separates_keys() {
+        let a = hkdf_key(b"salt", b"secret", b"round-1");
+        let b = hkdf_key(b"salt", b"secret", b"round-2");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hkdf_expand_lengths() {
+        let prk = hkdf_extract(b"s", b"k");
+        for len in [0usize, 1, 31, 32, 33, 64, 100] {
+            assert_eq!(hkdf_expand(&prk, b"i", len).len(), len);
+        }
+        // Prefix property: shorter outputs are prefixes of longer ones.
+        let long = hkdf_expand(&prk, b"i", 100);
+        let short = hkdf_expand(&prk, b"i", 40);
+        assert_eq!(&long[..40], &short[..]);
+    }
+}

@@ -1,0 +1,49 @@
+//! # dissent-crypto
+//!
+//! From-scratch cryptographic substrate for the Dissent reproduction
+//! (OSDI 2012, "Dissent in Numbers: Making Strong Anonymity Scale").
+//!
+//! The paper's prototype delegated all cryptography to CryptoPP; this crate
+//! rebuilds exactly the primitives the protocol needs, with no external
+//! crypto dependencies:
+//!
+//! * [`bigint`] — multi-precision unsigned integers (Knuth-D division,
+//!   modular exponentiation, Miller–Rabin).
+//! * [`group`] — Schnorr groups over safe primes (RFC 3526 2048-bit plus
+//!   faster simulation-grade parameter sets).
+//! * [`sha256`], [`hmac`] — SHA-256, HMAC-SHA256, HKDF.
+//! * [`chacha`], [`prng`] — ChaCha20 keystream and the deterministic PRNG
+//!   used for DC-net pads and Fiat–Shamir expansion.
+//! * [`dh`] — Diffie–Hellman shared secrets between client/server pairs.
+//! * [`elgamal`] — ElGamal encryption including the layered (onion) form the
+//!   verifiable shuffle needs.
+//! * [`schnorr`] — Schnorr signatures for identity and pseudonym keys.
+//! * [`chaum_pedersen`] — DLEQ proofs for verifiable decryption.
+//! * [`padding`] — the OAEP-style self-randomizing message padding that
+//!   guarantees witness bits for the accusation process.
+//!
+//! Security note: this code is a research reproduction.  It is not
+//! constant-time and has not been audited; do not use it to protect real
+//! users.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod chacha;
+pub mod chaum_pedersen;
+pub mod dh;
+pub mod elgamal;
+pub mod group;
+pub mod hmac;
+pub mod padding;
+pub mod prng;
+pub mod schnorr;
+pub mod sha256;
+
+pub use bigint::BigUint;
+pub use dh::DhKeyPair;
+pub use elgamal::{Ciphertext, ElGamal};
+pub use group::{Element, Group, Scalar};
+pub use prng::DetPrng;
+pub use schnorr::{Signature, SigningKeyPair, VerifyingKey};

@@ -1,0 +1,224 @@
+//! Self-randomizing message padding (OAEP-style), paper §3.9.
+//!
+//! To guarantee that a disruption victim can find a *witness bit* — a bit the
+//! disruptor flipped from 0 to 1 — every cleartext bit must be unpredictable
+//! to the disruptor.  Dissent achieves this with a padding scheme analogous
+//! to OAEP: the sender picks a random seed `r`, computes a one-time pad
+//! `s = PRNG(r)`, and transmits `r ‖ (m ⊕ s)`.  Any bit flip then lands on a
+//! 0 bit of the (pseudo-random) wire image with probability ½.
+//!
+//! The encoding here additionally carries a 4-byte length prefix and a
+//! 4-byte checksum inside the masked region so receivers can detect
+//! corruption (and hence disruption) deterministically.
+
+use crate::prng::DetPrng;
+use crate::sha256::sha256_tagged;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Length of the random seed `r` in bytes.
+pub const SEED_LEN: usize = 16;
+/// Bytes of overhead added by the padding: seed + length + checksum.
+pub const OVERHEAD: usize = SEED_LEN + 4 + 4;
+
+/// Outcome of decoding a padded message.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decoded {
+    /// The slot carried a well-formed message.
+    Message(Vec<u8>),
+    /// The slot was empty (all zero bytes) — the owner sent a null message.
+    Empty,
+    /// The slot bytes were corrupted: either by a disruptor or by channel
+    /// garbling.  The accusation machinery takes over from here.
+    Corrupted,
+}
+
+fn mask(seed: &[u8; SEED_LEN], len: usize) -> Vec<u8> {
+    let mut key = [0u8; 32];
+    key[..SEED_LEN].copy_from_slice(seed);
+    DetPrng::new(&key, b"dissent-msg-pad").bytes(len)
+}
+
+fn checksum(seed: &[u8; SEED_LEN], payload: &[u8]) -> [u8; 4] {
+    let digest = sha256_tagged(&[b"dissent-pad-ck", seed, payload]);
+    [digest[0], digest[1], digest[2], digest[3]]
+}
+
+/// Encode `message` into a wire image of exactly `slot_len` bytes.
+///
+/// Returns `None` if the slot is too small (`slot_len < message.len() + OVERHEAD`).
+pub fn encode<R: RngCore + ?Sized>(rng: &mut R, message: &[u8], slot_len: usize) -> Option<Vec<u8>> {
+    if slot_len < message.len() + OVERHEAD {
+        return None;
+    }
+    let mut seed = [0u8; SEED_LEN];
+    rng.fill_bytes(&mut seed);
+    // Never emit the all-zero seed: an all-zero wire image must remain
+    // unambiguously "empty slot".
+    if seed.iter().all(|&b| b == 0) {
+        seed[0] = 1;
+    }
+    let body_len = slot_len - SEED_LEN;
+    let mut body = vec![0u8; body_len];
+    body[..4].copy_from_slice(&(message.len() as u32).to_be_bytes());
+    body[4..4 + message.len()].copy_from_slice(message);
+    let ck = checksum(&seed, &body[..4 + message.len()]);
+    body[4 + message.len()..8 + message.len()].copy_from_slice(&ck);
+    // Mask the entire body (length, message, checksum, and trailing zeros).
+    let m = mask(&seed, body_len);
+    for (b, k) in body.iter_mut().zip(m.iter()) {
+        *b ^= k;
+    }
+    let mut out = Vec::with_capacity(slot_len);
+    out.extend_from_slice(&seed);
+    out.extend_from_slice(&body);
+    Some(out)
+}
+
+/// Decode a slot's wire image.
+pub fn decode(wire: &[u8]) -> Decoded {
+    if wire.len() < OVERHEAD {
+        return if wire.iter().all(|&b| b == 0) {
+            Decoded::Empty
+        } else {
+            Decoded::Corrupted
+        };
+    }
+    if wire.iter().all(|&b| b == 0) {
+        return Decoded::Empty;
+    }
+    let mut seed = [0u8; SEED_LEN];
+    seed.copy_from_slice(&wire[..SEED_LEN]);
+    let body_len = wire.len() - SEED_LEN;
+    let m = mask(&seed, body_len);
+    let body: Vec<u8> = wire[SEED_LEN..]
+        .iter()
+        .zip(m.iter())
+        .map(|(b, k)| b ^ k)
+        .collect();
+    let msg_len = u32::from_be_bytes([body[0], body[1], body[2], body[3]]) as usize;
+    if msg_len + 8 > body.len() {
+        return Decoded::Corrupted;
+    }
+    let payload = &body[..4 + msg_len];
+    let ck_stored = &body[4 + msg_len..8 + msg_len];
+    let ck = checksum(&seed, payload);
+    if ck_stored != ck {
+        return Decoded::Corrupted;
+    }
+    // Trailing filler must be zero; a non-zero tail indicates tampering.
+    if body[8 + msg_len..].iter().any(|&b| b != 0) {
+        return Decoded::Corrupted;
+    }
+    Decoded::Message(body[4..4 + msg_len].to_vec())
+}
+
+/// Find a *witness bit* for an accusation: a bit index (within the slot)
+/// where the sender's intended wire image had 0 but the DC-net output had 1.
+///
+/// Returns `None` if the corruption only flipped 1→0 bits (in which case the
+/// victim waits for another round — per the paper each disruptive flip leaves
+/// a witness with probability ½).
+pub fn find_witness_bit(intended: &[u8], observed: &[u8]) -> Option<usize> {
+    for (byte_idx, (&i, &o)) in intended.iter().zip(observed.iter()).enumerate() {
+        let flipped_up = !i & o; // bits that were 0 and became 1
+        if flipped_up != 0 {
+            let bit_in_byte = (0..8).find(|b| flipped_up >> (7 - b) & 1 == 1).unwrap();
+            return Some(byte_idx * 8 + bit_in_byte);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for msg_len in [0usize, 1, 17, 128, 1000] {
+            let msg: Vec<u8> = (0..msg_len).map(|i| i as u8).collect();
+            let slot = msg_len + OVERHEAD + 13;
+            let wire = encode(&mut rng, &msg, slot).unwrap();
+            assert_eq!(wire.len(), slot);
+            assert_eq!(decode(&wire), Decoded::Message(msg));
+        }
+    }
+
+    #[test]
+    fn empty_slot_decodes_as_empty() {
+        assert_eq!(decode(&vec![0u8; 64]), Decoded::Empty);
+        assert_eq!(decode(&[]), Decoded::Empty);
+        assert_eq!(decode(&vec![0u8; 5]), Decoded::Empty);
+    }
+
+    #[test]
+    fn slot_too_small_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(encode(&mut rng, &[0u8; 100], 100).is_none());
+        assert!(encode(&mut rng, &[0u8; 100], 100 + OVERHEAD).is_some());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let wire = encode(&mut rng, b"sensitive post", 128).unwrap();
+        for bit in [0usize, 77, 128 * 8 - 1] {
+            let mut corrupted = wire.clone();
+            corrupted[bit / 8] ^= 1 << (7 - bit % 8);
+            assert_eq!(decode(&corrupted), Decoded::Corrupted, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn wire_image_looks_random() {
+        // Two encodings of the same message must differ (fresh seed), and the
+        // masked body must not contain the plaintext.
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = encode(&mut rng, b"same message", 96).unwrap();
+        let b = encode(&mut rng, b"same message", 96).unwrap();
+        assert_ne!(a, b);
+        assert!(!a
+            .windows(b"same message".len())
+            .any(|w| w == b"same message"));
+    }
+
+    #[test]
+    fn witness_bit_found_for_upward_flip() {
+        let intended = vec![0b0000_0000u8, 0b1111_0000];
+        let mut observed = intended.clone();
+        observed[1] |= 0b0000_1000; // flip bit 12 (0 → 1)
+        assert_eq!(find_witness_bit(&intended, &observed), Some(12));
+    }
+
+    #[test]
+    fn no_witness_for_downward_flip() {
+        let intended = vec![0b1111_1111u8];
+        let observed = vec![0b1110_1111u8]; // only a 1→0 flip
+        assert_eq!(find_witness_bit(&intended, &observed), None);
+        assert_eq!(find_witness_bit(&intended, &intended), None);
+    }
+
+    #[test]
+    fn disruption_leaves_witness_about_half_the_time() {
+        // Statistical check of the paper's ½ claim: flip one random bit of
+        // the wire image and count how often it is an upward flip.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut witnesses = 0;
+        let trials = 400;
+        for _ in 0..trials {
+            let wire = encode(&mut rng, b"post", 64).unwrap();
+            let bit = (rng.next_u32() as usize) % (64 * 8);
+            let mut observed = wire.clone();
+            observed[bit / 8] ^= 1 << (7 - bit % 8);
+            if find_witness_bit(&wire, &observed).is_some() {
+                witnesses += 1;
+            }
+        }
+        let frac = witnesses as f64 / trials as f64;
+        assert!(frac > 0.35 && frac < 0.65, "witness fraction {frac}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Schnorr signatures.
+//!
+//! Every Dissent protocol message is signed (paper §3.3: "All network
+//! messages are signed to ensure integrity and accountability").  Long-term
+//! identity keys authenticate clients and servers to each other; pseudonym
+//! keys — whose public halves emerge from the key shuffle — sign anonymous
+//! slot contents and accusations without revealing which client owns them.
+
+use crate::group::{Element, Group, Scalar};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// A Schnorr signing keypair.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SigningKeyPair {
+    secret: Scalar,
+    public: Element,
+}
+
+/// A Schnorr public (verification) key.
+pub type VerifyingKey = Element;
+
+/// A Schnorr signature `(R, s)` with `R = g^k`, `s = k + e·x`, `e = H(R ‖ P ‖ m)`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    /// The commitment `R = g^k`.
+    pub commitment: Element,
+    /// The response `s = k + e·x mod q`.
+    pub response: Scalar,
+}
+
+impl SigningKeyPair {
+    /// Generate a fresh keypair.
+    pub fn generate<R: RngCore + ?Sized>(group: &Group, rng: &mut R) -> Self {
+        let secret = group.random_scalar(rng);
+        let public = group.exp_base(&secret);
+        SigningKeyPair { secret, public }
+    }
+
+    /// Deterministically derive a keypair from seed material.
+    pub fn from_seed(group: &Group, seed: &[u8]) -> Self {
+        let mut prng = crate::prng::DetPrng::from_material(seed, b"schnorr-keypair");
+        Self::generate(group, &mut prng)
+    }
+
+    /// Construct from an existing secret scalar (used when a Diffie–Hellman
+    /// keypair doubles as a signing key, as Dissent's pseudonym keys do).
+    pub fn from_secret(group: &Group, secret: Scalar) -> Self {
+        let public = group.exp_base(&secret);
+        SigningKeyPair { secret, public }
+    }
+
+    /// The public verification key.
+    pub fn public(&self) -> &VerifyingKey {
+        &self.public
+    }
+
+    /// The secret scalar.
+    pub fn secret(&self) -> &Scalar {
+        &self.secret
+    }
+
+    /// Sign a message.
+    pub fn sign<R: RngCore + ?Sized>(&self, group: &Group, rng: &mut R, message: &[u8]) -> Signature {
+        let k = group.random_scalar(rng);
+        let commitment = group.exp_base(&k);
+        let challenge = challenge(group, &commitment, &self.public, message);
+        let response = group.scalar_add(&k, &group.scalar_mul(&challenge, &self.secret));
+        Signature {
+            commitment,
+            response,
+        }
+    }
+}
+
+fn challenge(group: &Group, commitment: &Element, public: &Element, message: &[u8]) -> Scalar {
+    group.hash_to_scalar(&[
+        b"dissent-schnorr-sig",
+        &commitment.to_bytes(group),
+        &public.to_bytes(group),
+        message,
+    ])
+}
+
+/// Verify a signature over `message` under `public`.
+pub fn verify(group: &Group, public: &VerifyingKey, message: &[u8], sig: &Signature) -> bool {
+    if !group.is_member(&sig.commitment) || !group.is_member(public) {
+        return false;
+    }
+    let e = challenge(group, &sig.commitment, public, message);
+    // g^s == R · P^e
+    let lhs = group.exp_base(&sig.response);
+    let rhs = group.mul(&sig.commitment, &group.exp(public, &e));
+    lhs == rhs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Group, StdRng) {
+        (Group::testing_256(), StdRng::seed_from_u64(33))
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let (group, mut rng) = setup();
+        let kp = SigningKeyPair::generate(&group, &mut rng);
+        let sig = kp.sign(&group, &mut rng, b"round 7 ciphertext");
+        assert!(verify(&group, kp.public(), b"round 7 ciphertext", &sig));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let (group, mut rng) = setup();
+        let kp = SigningKeyPair::generate(&group, &mut rng);
+        let sig = kp.sign(&group, &mut rng, b"message A");
+        assert!(!verify(&group, kp.public(), b"message B", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (group, mut rng) = setup();
+        let kp = SigningKeyPair::generate(&group, &mut rng);
+        let other = SigningKeyPair::generate(&group, &mut rng);
+        let sig = kp.sign(&group, &mut rng, b"m");
+        assert!(!verify(&group, other.public(), b"m", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let (group, mut rng) = setup();
+        let kp = SigningKeyPair::generate(&group, &mut rng);
+        let mut sig = kp.sign(&group, &mut rng, b"m");
+        sig.response = group.scalar_add(&sig.response, &Scalar::one());
+        assert!(!verify(&group, kp.public(), b"m", &sig));
+    }
+
+    #[test]
+    fn signature_from_shared_dh_secret_key() {
+        // A pseudonym keypair created from a raw scalar signs correctly.
+        let (group, mut rng) = setup();
+        let secret = group.random_scalar(&mut rng);
+        let kp = SigningKeyPair::from_secret(&group, secret);
+        let sig = kp.sign(&group, &mut rng, b"accusation: round 3, slot 2, bit 17");
+        assert!(verify(&group, kp.public(), b"accusation: round 3, slot 2, bit 17", &sig));
+    }
+
+    #[test]
+    fn non_member_commitment_rejected() {
+        let (group, mut rng) = setup();
+        let kp = SigningKeyPair::generate(&group, &mut rng);
+        let mut sig = kp.sign(&group, &mut rng, b"m");
+        sig.commitment = Element::from_biguint_unchecked(crate::bigint::BigUint::from_u64(0));
+        assert!(!verify(&group, kp.public(), b"m", &sig));
+    }
+
+    #[test]
+    fn seeded_keys_reproducible() {
+        let (group, _) = setup();
+        let a = SigningKeyPair::from_seed(&group, b"server-3");
+        let b = SigningKeyPair::from_seed(&group, b"server-3");
+        assert_eq!(a.public(), b.public());
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the cryptographic substrate.
+
+use dissent_crypto::bigint::BigUint;
+use dissent_crypto::group::{Group, Scalar};
+use dissent_crypto::padding::{self, Decoded};
+use dissent_crypto::prng::DetPrng;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn big(v: u128) -> BigUint {
+    BigUint::from_u128(v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- bigint arithmetic cross-checked against u128 ----
+
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(big(a as u128).add(&big(b as u128)), big(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(big(a as u128).mul(&big(b as u128)), big(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn sub_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(big(hi).sub(&big(lo)), big(hi - lo));
+        if hi != lo {
+            prop_assert!(big(lo).checked_sub(&big(hi)).is_none());
+        }
+    }
+
+    #[test]
+    fn div_rem_matches_u128(a in any::<u128>(), b in 1u128..) {
+        let (q, r) = big(a).div_rem(&big(b));
+        prop_assert_eq!(q, big(a / b));
+        prop_assert_eq!(r, big(a % b));
+    }
+
+    #[test]
+    fn div_rem_reconstructs_large(a_hex in "[1-9a-f][0-9a-f]{10,80}", b_hex in "[1-9a-f][0-9a-f]{5,40}") {
+        let a = BigUint::from_hex(&a_hex).unwrap();
+        let b = BigUint::from_hex(&b_hex).unwrap();
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    #[test]
+    fn bytes_round_trip(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let v = BigUint::from_bytes_be(&data);
+        prop_assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v.clone());
+        prop_assert_eq!(BigUint::from_hex(&v.to_hex()).unwrap(), v);
+    }
+
+    #[test]
+    fn shifts_match_u128(a in any::<u64>(), s in 0usize..60) {
+        prop_assert_eq!(big(a as u128).shl(s), big((a as u128) << s));
+        prop_assert_eq!(big(a as u128).shr(s), big((a as u128) >> s));
+    }
+
+    #[test]
+    fn modpow_agrees_with_two_step(a in 2u64.., e1 in 0u64..1000, e2 in 0u64..1000) {
+        // a^(e1+e2) == a^e1 * a^e2 (mod p)
+        let p = BigUint::from_u64(1_000_000_007);
+        let a = BigUint::from_u64(a);
+        let lhs = a.modpow(&BigUint::from_u64(e1 + e2), &p);
+        let rhs = a.modpow(&BigUint::from_u64(e1), &p)
+            .mod_mul(&a.modpow(&BigUint::from_u64(e2), &p), &p);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    // ---- group laws ----
+
+    #[test]
+    fn group_exponent_homomorphism(seed in any::<u64>()) {
+        let group = Group::testing_256();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = group.random_scalar(&mut rng);
+        let b = group.random_scalar(&mut rng);
+        let lhs = group.exp_base(&group.scalar_add(&a, &b));
+        let rhs = group.mul(&group.exp_base(&a), &group.exp_base(&b));
+        prop_assert_eq!(lhs, rhs);
+        let prod = group.exp_base(&group.scalar_mul(&a, &b));
+        prop_assert_eq!(group.exp(&group.exp_base(&a), &b), prod);
+    }
+
+    #[test]
+    fn scalar_inverse_law(seed in any::<u64>()) {
+        let group = Group::testing_256();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = group.random_scalar(&mut rng);
+        if let Some(inv) = group.scalar_inv(&a) {
+            prop_assert_eq!(group.scalar_mul(&a, &inv), Scalar::one());
+        }
+    }
+
+    #[test]
+    fn elgamal_round_trip(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..28)) {
+        use dissent_crypto::{DhKeyPair, ElGamal};
+        let group = Group::testing_256();
+        let eg = ElGamal::new(group.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = DhKeyPair::generate(&group, &mut rng);
+        let ct = eg.encrypt_bytes(&mut rng, kp.public(), &msg).unwrap();
+        prop_assert_eq!(eg.decrypt_bytes(kp.secret(), &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn schnorr_sign_verify(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..200)) {
+        use dissent_crypto::schnorr::{self, SigningKeyPair};
+        let group = Group::testing_256();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = SigningKeyPair::generate(&group, &mut rng);
+        let sig = kp.sign(&group, &mut rng, &msg);
+        prop_assert!(schnorr::verify(&group, kp.public(), &msg, &sig));
+        let mut other = msg.clone();
+        other.push(0x7f);
+        prop_assert!(!schnorr::verify(&group, kp.public(), &other, &sig));
+    }
+
+    // ---- padding ----
+
+    #[test]
+    fn padding_round_trip(msg in proptest::collection::vec(any::<u8>(), 0..300), extra in 0usize..50, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let slot = msg.len() + padding::OVERHEAD + extra;
+        let wire = padding::encode(&mut rng, &msg, slot).unwrap();
+        prop_assert_eq!(wire.len(), slot);
+        prop_assert_eq!(padding::decode(&wire), Decoded::Message(msg));
+    }
+
+    #[test]
+    fn padding_detects_any_single_bit_flip(msg in proptest::collection::vec(any::<u8>(), 1..100), bit_sel in any::<u32>(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let slot = msg.len() + padding::OVERHEAD;
+        let wire = padding::encode(&mut rng, &msg, slot).unwrap();
+        let bit = (bit_sel as usize) % (slot * 8);
+        let mut corrupted = wire.clone();
+        corrupted[bit / 8] ^= 1 << (7 - bit % 8);
+        prop_assert_ne!(padding::decode(&corrupted), Decoded::Message(msg));
+    }
+
+    // ---- PRNG determinism ----
+
+    #[test]
+    fn prng_chunking_invariant(key in any::<[u8; 32]>(), splits in proptest::collection::vec(1usize..100, 1..6)) {
+        let total: usize = splits.iter().sum();
+        let whole = DetPrng::new(&key, b"prop").bytes(total);
+        let mut chunked = Vec::new();
+        let mut prng = DetPrng::new(&key, b"prop");
+        for s in &splits {
+            chunked.extend(prng.bytes(*s));
+        }
+        prop_assert_eq!(whole, chunked);
+    }
+}

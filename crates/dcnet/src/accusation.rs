@@ -1,0 +1,547 @@
+//! The accusation process (paper §3.9): tracing and expelling disruptors.
+//!
+//! The scheme has three stages.
+//!
+//! 1. **Witness**: the victim of a disruption finds a *witness bit* — a bit
+//!    that was 0 in its intended slot wire image but came out 1 in the
+//!    round's cleartext.  The self-randomizing padding guarantees such a bit
+//!    exists with probability ½ per flipped bit.
+//! 2. **Accusation**: the victim transmits an accusation (round, slot, bit
+//!    index) signed by its pseudonym key through the disruption-resistant
+//!    accusation shuffle (handled by `dissent-shuffle`/`dissent-core`).
+//! 3. **Blame**: the servers reveal every PRNG bit that contributed to the
+//!    witness position and jointly locate the party that XORed in an
+//!    unmatched 1: a server that withheld data (case *a*), a server whose
+//!    revealed bits do not reproduce the ciphertext it sent (case *b*), or a
+//!    client whose ciphertext bit disagrees with the XOR of its per-server
+//!    pad bits (case *c*).  An accused client can *rebut* by proving a server
+//!    lied about their shared pad bit.
+//!
+//! This module implements the witness search, the blame evaluation as a pure
+//! function over the revealed bits, and the rebuttal check (built on a
+//! Chaum–Pedersen DLEQ proof over the raw Diffie–Hellman share).
+
+use crate::pad::{get_bit, pad_bit, SharedSecret};
+use crate::server::{ClientId, ServerId};
+use dissent_crypto::chaum_pedersen::{self, DleqProof};
+use dissent_crypto::dh::derive_shared_key;
+use dissent_crypto::group::{Element, Group};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An accusation naming a witness bit, to be signed with the slot owner's
+/// pseudonym key by the caller.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Accusation {
+    /// Round in which the disruption occurred.
+    pub round: u64,
+    /// The victim's slot index π(i).
+    pub slot: usize,
+    /// Bit index (within the whole round cleartext) of the witness bit.
+    pub bit: usize,
+}
+
+impl Accusation {
+    /// Canonical byte encoding, the message signed by the pseudonym key.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = b"dissent-accusation".to_vec();
+        out.extend_from_slice(&self.round.to_be_bytes());
+        out.extend_from_slice(&(self.slot as u64).to_be_bytes());
+        out.extend_from_slice(&(self.bit as u64).to_be_bytes());
+        out
+    }
+}
+
+/// Search the victim's slot for a witness bit.
+///
+/// * `intended` — the wire image the victim submitted for its slot;
+/// * `observed` — the bytes of that slot in the round output;
+/// * `slot_offset` — byte offset of the slot within the round cleartext.
+///
+/// Returns an [`Accusation`] for the first 0→1 flip found.
+pub fn find_witness(
+    round: u64,
+    slot: usize,
+    slot_offset: usize,
+    intended: &[u8],
+    observed: &[u8],
+) -> Option<Accusation> {
+    dissent_crypto::padding::find_witness_bit(intended, observed).map(|bit| Accusation {
+        round,
+        slot,
+        bit: slot_offset * 8 + bit,
+    })
+}
+
+/// Everything one server reveals about the witness bit position.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerReveal {
+    /// `s_ij[k]` — the pad bit this server shares with each client in the
+    /// composite list `l`.
+    pub pad_bits: BTreeMap<ClientId, bool>,
+    /// `c_i[k]` — the witness-position bit of each client ciphertext this
+    /// server received directly (clients in `l'_j`).
+    pub client_ct_bits: BTreeMap<ClientId, bool>,
+    /// `s_j[k]` — the witness-position bit of the server ciphertext it sent
+    /// in the accused round (checked against the stored ciphertext by the
+    /// caller before evaluation).
+    pub server_ct_bit: bool,
+}
+
+/// Honest-server helper: build a [`ServerReveal`] from the server's own
+/// round state.
+pub fn build_server_reveal(
+    round: u64,
+    total_len: usize,
+    bit: usize,
+    composite: &[ClientId],
+    client_secrets: &BTreeMap<ClientId, SharedSecret>,
+    own_ciphertexts: &BTreeMap<ClientId, Vec<u8>>,
+    server_ciphertext: &[u8],
+) -> ServerReveal {
+    let pad_bits = composite
+        .iter()
+        .map(|c| (*c, pad_bit(&client_secrets[c], round, total_len, bit)))
+        .collect();
+    let client_ct_bits = own_ciphertexts
+        .iter()
+        .map(|(c, ct)| (*c, get_bit(ct, bit)))
+        .collect();
+    ServerReveal {
+        pad_bits,
+        client_ct_bits,
+        server_ct_bit: get_bit(server_ciphertext, bit),
+    }
+}
+
+/// The verdict of a blame evaluation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlameOutcome {
+    /// Case (a): a server failed to reveal the required bits.
+    ServerWithheldData(ServerId),
+    /// Case (b): a server's revealed bits do not reproduce the server
+    /// ciphertext it previously sent — it equivocated.
+    ServerEquivocated(ServerId),
+    /// Case (c): these clients' ciphertext bits do not match the XOR of
+    /// their per-server pad bits.  Each is a disruptor unless it produces a
+    /// valid rebuttal proving a server lied about a shared pad bit.
+    ClientsAccused(Vec<ClientId>),
+    /// The revealed data is fully consistent with the accused output bit —
+    /// the accusation does not identify a disruptor (e.g. it was forged).
+    Consistent,
+}
+
+/// Evaluate the blame data for one witness bit.
+///
+/// * `composite` — the composite client list `l` of the accused round;
+/// * `assignment` — which server received each client's ciphertext directly
+///   (the trimmed lists `l'_j` flattened to a map);
+/// * `reveals` — every server's [`ServerReveal`];
+/// * `observed_bit` — the value of the witness bit in the round cleartext
+///   (must be 1 for a valid accusation, but the evaluation recomputes the
+///   full equation regardless).
+pub fn evaluate_blame(
+    composite: &[ClientId],
+    assignment: &BTreeMap<ClientId, ServerId>,
+    reveals: &BTreeMap<ServerId, ServerReveal>,
+    observed_bit: bool,
+) -> BlameOutcome {
+    // Case (a): every server must reveal a pad bit for every composite client
+    // and a ciphertext bit for every client assigned to it.
+    for (&server, reveal) in reveals {
+        for client in composite {
+            if !reveal.pad_bits.contains_key(client) {
+                return BlameOutcome::ServerWithheldData(server);
+            }
+            if assignment.get(client) == Some(&server)
+                && !reveal.client_ct_bits.contains_key(client)
+            {
+                return BlameOutcome::ServerWithheldData(server);
+            }
+        }
+    }
+
+    // Case (b): each server's revealed bits must reproduce the server
+    // ciphertext bit it sent: s_j[k] == ⊕_{i∈l} s_ij[k] ⊕ ⊕_{i∈l'_j} c_i[k].
+    for (&server, reveal) in reveals {
+        let mut expected = false;
+        for client in composite {
+            expected ^= reveal.pad_bits[client];
+            if assignment.get(client) == Some(&server) {
+                expected ^= reveal.client_ct_bits[client];
+            }
+        }
+        if expected != reveal.server_ct_bit {
+            return BlameOutcome::ServerEquivocated(server);
+        }
+    }
+
+    // Case (c): for each client, the ciphertext bit it submitted must equal
+    // the XOR of the pad bits it shares with all servers (its message bit at
+    // the witness position is 0 by definition of a witness bit).
+    let mut accused = Vec::new();
+    for client in composite {
+        let Some(&server) = assignment.get(client) else {
+            continue;
+        };
+        let ct_bit = reveals[&server].client_ct_bits[client];
+        let pad_xor = reveals
+            .values()
+            .fold(false, |acc, r| acc ^ r.pad_bits[client]);
+        if ct_bit != pad_xor {
+            accused.push(*client);
+        }
+    }
+    if !accused.is_empty() {
+        return BlameOutcome::ClientsAccused(accused);
+    }
+
+    // All revealed data is internally consistent.  (The caller has already
+    // checked each revealed server_ct_bit against the commitments/stored
+    // ciphertexts of the accused round, and that the observed output bit is
+    // the XOR of the server bits; `observed_bit` is carried in the signature
+    // for that cross-check and future auditing.)
+    let _ = observed_bit;
+    BlameOutcome::Consistent
+}
+
+/// A client's rebuttal against a case-(c) accusation: "server `server` lied
+/// about our shared pad bit."  The client reveals the raw Diffie–Hellman
+/// element shared with that server plus a DLEQ proof of its correctness, so
+/// every party can recompute the true pad bit.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Rebuttal {
+    /// The accused client.
+    pub client: ClientId,
+    /// The server the client claims equivocated.
+    pub server: ServerId,
+    /// The raw shared element `g^{x_i x_j}`.
+    pub raw_shared: Element,
+    /// DLEQ proof: `log_g(client_pk) == log_{server_pk}(raw_shared)`.
+    pub proof: DleqProof,
+}
+
+/// Outcome of checking a rebuttal.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RebuttalOutcome {
+    /// The rebuttal is valid and the named server did lie about the pad bit.
+    ServerLied(ServerId),
+    /// The rebuttal failed (bad proof, or the server's revealed bit was in
+    /// fact correct): the client stands accused as the disruptor.
+    ClientIsDisruptor(ClientId),
+}
+
+/// Parameters needed to recompute the disputed pad bit from a revealed raw
+/// shared element.
+#[derive(Clone, Debug)]
+pub struct RebuttalContext<'a> {
+    /// The session group.
+    pub group: &'a Group,
+    /// The accused client's DH public key.
+    pub client_pk: &'a Element,
+    /// The blamed server's DH public key.
+    pub server_pk: &'a Element,
+    /// Context label used when deriving `K_ij` (the group identifier).
+    pub key_context: &'a [u8],
+    /// The accused round.
+    pub round: u64,
+    /// Total cleartext length of the accused round.
+    pub total_len: usize,
+    /// The witness bit index.
+    pub bit: usize,
+}
+
+/// Produce a rebuttal on behalf of an honest client.
+pub fn build_rebuttal<R: rand::RngCore + ?Sized>(
+    rng: &mut R,
+    group: &Group,
+    client: ClientId,
+    server: ServerId,
+    client_secret_scalar: &dissent_crypto::group::Scalar,
+    server_pk: &Element,
+) -> Rebuttal {
+    let raw_shared = group.exp(server_pk, client_secret_scalar);
+    let proof = chaum_pedersen::prove(
+        group,
+        rng,
+        &group.generator(),
+        server_pk,
+        client_secret_scalar,
+        b"dissent-rebuttal",
+    );
+    Rebuttal {
+        client,
+        server,
+        raw_shared,
+        proof,
+    }
+}
+
+/// Verify a rebuttal and decide who the disruptor is.
+///
+/// `server_claimed_bit` is the pad bit `s_ij[k]` the blamed server revealed
+/// during the blame evaluation.
+pub fn check_rebuttal(
+    ctx: &RebuttalContext<'_>,
+    rebuttal: &Rebuttal,
+    server_claimed_bit: bool,
+) -> RebuttalOutcome {
+    // 1. The DLEQ proof must show raw_shared = server_pk^{x_i} for the same
+    //    x_i with client_pk = g^{x_i}.
+    let proof_ok = chaum_pedersen::verify(
+        ctx.group,
+        &ctx.group.generator(),
+        ctx.server_pk,
+        ctx.client_pk,
+        &rebuttal.raw_shared,
+        &rebuttal.proof,
+        b"dissent-rebuttal",
+    );
+    if !proof_ok {
+        return RebuttalOutcome::ClientIsDisruptor(rebuttal.client);
+    }
+    // 2. Recompute K_ij and the true pad bit.
+    let key = derive_shared_key(
+        ctx.group,
+        &rebuttal.raw_shared,
+        ctx.client_pk,
+        ctx.server_pk,
+        ctx.key_context,
+    );
+    let true_bit = pad_bit(&key, ctx.round, ctx.total_len, ctx.bit);
+    if true_bit != server_claimed_bit {
+        RebuttalOutcome::ServerLied(rebuttal.server)
+    } else {
+        RebuttalOutcome::ClientIsDisruptor(rebuttal.client)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pad::{pad, set_bit, xor_into};
+    use dissent_crypto::dh::DhKeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Build a consistent round: n clients, m servers, returns everything
+    /// needed for blame evaluation.
+    struct Fixture {
+        round: u64,
+        total_len: usize,
+        composite: Vec<ClientId>,
+        assignment: BTreeMap<ClientId, ServerId>,
+        client_cts: BTreeMap<ClientId, Vec<u8>>,
+        server_secret_maps: Vec<BTreeMap<ClientId, SharedSecret>>,
+        server_cts: BTreeMap<ServerId, Vec<u8>>,
+        cleartext: Vec<u8>,
+    }
+
+    fn fixture(n: usize, m: usize, disruptor: Option<(usize, usize)>) -> Fixture {
+        let round = 3;
+        let total_len = 64;
+        let mut secrets = vec![vec![[0u8; 32]; m]; n];
+        let mut server_secret_maps: Vec<BTreeMap<ClientId, SharedSecret>> =
+            vec![BTreeMap::new(); m];
+        for (i, row) in secrets.iter_mut().enumerate() {
+            for (j, s) in row.iter_mut().enumerate() {
+                s[0] = i as u8;
+                s[1] = j as u8;
+                s[2] = 0xab;
+                server_secret_maps[j].insert(i as ClientId, *s);
+            }
+        }
+        let composite: Vec<ClientId> = (0..n as ClientId).collect();
+        let assignment: BTreeMap<ClientId, ServerId> =
+            (0..n).map(|i| (i as ClientId, (i % m) as ServerId)).collect();
+
+        // Every client sends an all-zero cleartext (cover traffic); the
+        // disruptor, if any, flips a bit in its ciphertext.
+        let mut client_cts = BTreeMap::new();
+        for i in 0..n {
+            let mut ct = vec![0u8; total_len];
+            for j in 0..m {
+                xor_into(&mut ct, &pad(&secrets[i][j], round, total_len));
+            }
+            if let Some((d, bit)) = disruptor {
+                if d == i {
+                    let flipped = !get_bit(&ct, bit);
+                    set_bit(&mut ct, bit, flipped);
+                }
+            }
+            client_cts.insert(i as ClientId, ct);
+        }
+
+        let mut server_cts = BTreeMap::new();
+        for j in 0..m {
+            let own: BTreeMap<ClientId, Vec<u8>> = client_cts
+                .iter()
+                .filter(|(c, _)| assignment[c] == j as ServerId)
+                .map(|(c, ct)| (*c, ct.clone()))
+                .collect();
+            let sct = crate::server::server_ciphertext(
+                round,
+                total_len,
+                &composite,
+                &server_secret_maps[j],
+                &own,
+            );
+            server_cts.insert(j as ServerId, sct);
+        }
+        let cleartext = crate::server::combine(total_len, &server_cts);
+        Fixture {
+            round,
+            total_len,
+            composite,
+            assignment,
+            client_cts,
+            server_secret_maps,
+            server_cts,
+            cleartext,
+        }
+    }
+
+    fn reveals_for(f: &Fixture, bit: usize) -> BTreeMap<ServerId, ServerReveal> {
+        f.server_cts
+            .keys()
+            .map(|&j| {
+                let own: BTreeMap<ClientId, Vec<u8>> = f
+                    .client_cts
+                    .iter()
+                    .filter(|(c, _)| f.assignment[c] == j)
+                    .map(|(c, ct)| (*c, ct.clone()))
+                    .collect();
+                (
+                    j,
+                    build_server_reveal(
+                        f.round,
+                        f.total_len,
+                        bit,
+                        &f.composite,
+                        &f.server_secret_maps[j as usize],
+                        &own,
+                        &f.server_cts[&j],
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn disruptor_client_is_traced() {
+        let bit = 137;
+        let f = fixture(5, 3, Some((2, bit)));
+        // The disruption flips the cleartext bit from 0 to 1.
+        assert!(get_bit(&f.cleartext, bit));
+        let reveals = reveals_for(&f, bit);
+        let outcome = evaluate_blame(&f.composite, &f.assignment, &reveals, true);
+        assert_eq!(outcome, BlameOutcome::ClientsAccused(vec![2]));
+    }
+
+    #[test]
+    fn honest_round_is_consistent() {
+        let f = fixture(4, 2, None);
+        let reveals = reveals_for(&f, 99);
+        let outcome = evaluate_blame(&f.composite, &f.assignment, &reveals, get_bit(&f.cleartext, 99));
+        assert_eq!(outcome, BlameOutcome::Consistent);
+    }
+
+    #[test]
+    fn withholding_server_is_blamed() {
+        let bit = 12;
+        let f = fixture(4, 2, Some((1, bit)));
+        let mut reveals = reveals_for(&f, bit);
+        reveals.get_mut(&1).unwrap().pad_bits.remove(&3);
+        let outcome = evaluate_blame(&f.composite, &f.assignment, &reveals, true);
+        assert_eq!(outcome, BlameOutcome::ServerWithheldData(1));
+    }
+
+    #[test]
+    fn equivocating_server_is_blamed() {
+        let bit = 40;
+        let f = fixture(4, 2, None);
+        let mut reveals = reveals_for(&f, bit);
+        // Server 0 lies about one pad bit, so its revealed bits no longer
+        // reproduce the ciphertext it sent.
+        let lie = !reveals[&0].pad_bits[&2];
+        reveals.get_mut(&0).unwrap().pad_bits.insert(2, lie);
+        let outcome = evaluate_blame(&f.composite, &f.assignment, &reveals, false);
+        // Either the server is caught directly (case b) or the lie lands on
+        // client 2 (case c) — in this construction case (b) fires because the
+        // server ciphertext bit no longer matches.
+        assert_eq!(outcome, BlameOutcome::ServerEquivocated(0));
+    }
+
+    #[test]
+    fn framed_client_wins_rebuttal() {
+        // A malicious server lies about a pad bit *and* adjusts its own
+        // ciphertext bit so case (b) passes, framing the client.  The client
+        // rebuts with the DLEQ-proved shared element and the server is caught.
+        let mut rng = StdRng::seed_from_u64(77);
+        let group = Group::testing_256();
+        let client_kp = DhKeyPair::generate(&group, &mut rng);
+        let server_kp = DhKeyPair::generate(&group, &mut rng);
+        let key_context = b"group-xyz";
+        let true_key = client_kp.shared_secret(&group, server_kp.public(), key_context);
+        let round = 9;
+        let total_len = 32;
+        let bit = 100;
+        let true_bit = pad_bit(&true_key, round, total_len, bit);
+
+        // Server claims the opposite bit.
+        let claimed = !true_bit;
+        let rebuttal = build_rebuttal(&mut rng, &group, 4, 1, client_kp.secret(), server_kp.public());
+        let ctx = RebuttalContext {
+            group: &group,
+            client_pk: client_kp.public(),
+            server_pk: server_kp.public(),
+            key_context,
+            round,
+            total_len,
+            bit,
+        };
+        assert_eq!(check_rebuttal(&ctx, &rebuttal, claimed), RebuttalOutcome::ServerLied(1));
+        // If the server told the truth, the rebuttal fails and the client is
+        // confirmed as the disruptor.
+        assert_eq!(
+            check_rebuttal(&ctx, &rebuttal, true_bit),
+            RebuttalOutcome::ClientIsDisruptor(4)
+        );
+    }
+
+    #[test]
+    fn forged_rebuttal_proof_rejected() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let group = Group::testing_256();
+        let client_kp = DhKeyPair::generate(&group, &mut rng);
+        let server_kp = DhKeyPair::generate(&group, &mut rng);
+        let other = DhKeyPair::generate(&group, &mut rng);
+        // Client builds a rebuttal with the wrong secret (not matching its pk).
+        let rebuttal = build_rebuttal(&mut rng, &group, 0, 0, other.secret(), server_kp.public());
+        let ctx = RebuttalContext {
+            group: &group,
+            client_pk: client_kp.public(),
+            server_pk: server_kp.public(),
+            key_context: b"g",
+            round: 1,
+            total_len: 16,
+            bit: 5,
+        };
+        assert_eq!(
+            check_rebuttal(&ctx, &rebuttal, false),
+            RebuttalOutcome::ClientIsDisruptor(0)
+        );
+    }
+
+    #[test]
+    fn witness_search_builds_accusation() {
+        let intended = vec![0u8; 8];
+        let mut observed = intended.clone();
+        set_bit(&mut observed, 19, true);
+        let acc = find_witness(5, 2, 100, &intended, &observed).unwrap();
+        assert_eq!(acc, Accusation { round: 5, slot: 2, bit: 100 * 8 + 19 });
+        assert!(find_witness(5, 2, 100, &intended, &intended).is_none());
+        // The byte encoding is stable and unambiguous.
+        assert_eq!(acc.to_bytes().len(), "dissent-accusation".len() + 24);
+    }
+}

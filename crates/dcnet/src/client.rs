@@ -1,0 +1,245 @@
+//! Client side of one DC-net exchange (Algorithm 1, step 2).
+//!
+//! A client forms a cleartext vector that is zero everywhere except in the
+//! bit positions it owns (its request bit and, when open, its message slot),
+//! XORs in one pseudo-random pad per server, and submits the result as its
+//! ciphertext.  Because the client shares secrets only with the `M` servers,
+//! its work is `O(M)` per output bit and its ciphertext is independent of
+//! every other client's online status — the property that lets the servers
+//! finish a round despite churn.
+
+use crate::pad::{pad, set_bit, xor_into, SharedSecret};
+use crate::slots::{RoundLayout, SlotPayload};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// What a client wants to transmit in one round.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Submission {
+    /// Set the request bit (ask for the message slot to open next round).
+    pub request_open: bool,
+    /// Payload for the message slot, if it is currently open.
+    pub payload: Option<SlotPayload>,
+}
+
+impl Submission {
+    /// A null submission: contributes cover traffic only.
+    pub fn null() -> Self {
+        Submission::default()
+    }
+
+    /// Request the slot to open.
+    pub fn open_request() -> Self {
+        Submission {
+            request_open: true,
+            payload: None,
+        }
+    }
+
+    /// Send a payload in the (open) message slot.
+    pub fn message(payload: SlotPayload) -> Self {
+        Submission {
+            request_open: false,
+            payload: Some(payload),
+        }
+    }
+}
+
+/// Per-round record a client keeps so it can later detect disruption of its
+/// own slot and produce an accusation (paper §3.9).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransmissionRecord {
+    /// The round the record belongs to.
+    pub round: u64,
+    /// The wire image the client placed in its own slot (already padded).
+    pub slot_wire: Vec<u8>,
+    /// Offset of the slot in the round cleartext.
+    pub slot_offset: usize,
+}
+
+/// The client's DC-net engine: knows its slot index and the per-server
+/// shared secrets, and turns [`Submission`]s into ciphertexts.
+#[derive(Clone, Debug)]
+pub struct ClientDcnet {
+    slot: usize,
+    server_secrets: Vec<SharedSecret>,
+}
+
+/// Result of building a ciphertext: the bytes to submit plus the record the
+/// client keeps for disruption detection.
+#[derive(Clone, Debug)]
+pub struct ClientCiphertext {
+    /// The ciphertext to send to a server.
+    pub ciphertext: Vec<u8>,
+    /// The transmission record (present when the client wrote to its slot).
+    pub record: Option<TransmissionRecord>,
+}
+
+impl ClientDcnet {
+    /// Create the engine for a client that owns `slot` and shares `server_secrets`
+    /// with the servers (in server order).
+    pub fn new(slot: usize, server_secrets: Vec<SharedSecret>) -> Self {
+        assert!(!server_secrets.is_empty(), "a client must share a secret with at least one server");
+        ClientDcnet {
+            slot,
+            server_secrets,
+        }
+    }
+
+    /// The slot index π(i) this client owns.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Number of servers this client shares secrets with.
+    pub fn num_servers(&self) -> usize {
+        self.server_secrets.len()
+    }
+
+    /// Build the cleartext contribution `m_i`: zero everywhere except the
+    /// bits this client owns.
+    pub fn cleartext<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        layout: &RoundLayout,
+        submission: &Submission,
+    ) -> (Vec<u8>, Option<TransmissionRecord>) {
+        let mut clear = vec![0u8; layout.total_len];
+        if submission.request_open {
+            set_bit(&mut clear, layout.request_bit_index(self.slot), true);
+        }
+        let mut record = None;
+        if let Some(payload) = &submission.payload {
+            if let Some(range) = layout.slots[self.slot] {
+                let wire = payload
+                    .encode(rng, range.len)
+                    .expect("payload exceeds the open slot length");
+                clear[range.offset..range.offset + range.len].copy_from_slice(&wire);
+                record = Some(TransmissionRecord {
+                    round: layout.round,
+                    slot_wire: wire,
+                    slot_offset: range.offset,
+                });
+            }
+        }
+        (clear, record)
+    }
+
+    /// Produce the round ciphertext: `c_i = m_i ⊕ PRNG(K_i1) ⊕ … ⊕ PRNG(K_iM)`.
+    pub fn ciphertext<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        layout: &RoundLayout,
+        submission: &Submission,
+    ) -> ClientCiphertext {
+        let (mut buf, record) = self.cleartext(rng, layout, submission);
+        for secret in &self.server_secrets {
+            let p = pad(secret, layout.round, layout.total_len);
+            xor_into(&mut buf, &p);
+        }
+        ClientCiphertext {
+            ciphertext: buf,
+            record,
+        }
+    }
+
+    /// Recompute one bit of the pad this client shares with server `server_idx`
+    /// for a given round — used when answering a blame rebuttal.
+    pub fn pad_bit(&self, server_idx: usize, round: u64, total_len: usize, bit: usize) -> bool {
+        crate::pad::pad_bit(&self.server_secrets[server_idx], round, total_len, bit)
+    }
+
+    /// The shared secret with one server (revealed only during a rebuttal,
+    /// paper §3.9 final case).
+    pub fn reveal_secret(&self, server_idx: usize) -> SharedSecret {
+        self.server_secrets[server_idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slots::{SlotConfig, SlotSchedule};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn secrets(n: usize, tag: u8) -> Vec<SharedSecret> {
+        (0..n)
+            .map(|j| {
+                let mut s = [0u8; 32];
+                s[0] = tag;
+                s[1] = j as u8;
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn null_submission_is_pure_pad() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let schedule = SlotSchedule::new_all_open(4, SlotConfig::default());
+        let layout = schedule.layout();
+        let client = ClientDcnet::new(2, secrets(3, 7));
+        let ct = client.ciphertext(&mut rng, &layout, &Submission::null());
+        assert!(ct.record.is_none());
+        // XORing the three pads back recovers the all-zero cleartext.
+        let mut buf = ct.ciphertext.clone();
+        for j in 0..3 {
+            let p = pad(&secrets(3, 7)[j], layout.round, layout.total_len);
+            xor_into(&mut buf, &p);
+        }
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn message_lands_in_own_slot_only() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = SlotConfig::default();
+        let schedule = SlotSchedule::new_all_open(3, config.clone());
+        let layout = schedule.layout();
+        let client = ClientDcnet::new(1, secrets(2, 9));
+        let payload = SlotPayload::message(b"post", &config);
+        let (clear, record) = client.cleartext(&mut rng, &layout, &Submission::message(payload));
+        let range = layout.slots[1].unwrap();
+        let record = record.unwrap();
+        assert_eq!(record.slot_offset, range.offset);
+        assert_eq!(&clear[range.offset..range.offset + range.len], &record.slot_wire[..]);
+        // Everything outside the slot is zero.
+        for (i, &b) in clear.iter().enumerate() {
+            if i < range.offset || i >= range.offset + range.len {
+                assert_eq!(b, 0, "byte {i} should be zero");
+            }
+        }
+    }
+
+    #[test]
+    fn request_bit_set_for_own_slot() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let schedule = SlotSchedule::new(10, SlotConfig::default());
+        let layout = schedule.layout();
+        let client = ClientDcnet::new(6, secrets(1, 1));
+        let (clear, _) = client.cleartext(&mut rng, &layout, &Submission::open_request());
+        assert!(crate::pad::get_bit(&clear, 6));
+        assert_eq!(clear.iter().map(|b| b.count_ones()).sum::<u32>(), 1);
+    }
+
+    #[test]
+    fn ciphertext_is_independent_of_other_clients() {
+        // The same client produces the same ciphertext regardless of what
+        // other clients do — the key churn-tolerance property.
+        let mut rng1 = StdRng::seed_from_u64(4);
+        let mut rng2 = StdRng::seed_from_u64(4);
+        let schedule = SlotSchedule::new(5, SlotConfig::default());
+        let layout = schedule.layout();
+        let client = ClientDcnet::new(0, secrets(2, 5));
+        let a = client.ciphertext(&mut rng1, &layout, &Submission::open_request());
+        let b = client.ciphertext(&mut rng2, &layout, &Submission::open_request());
+        assert_eq!(a.ciphertext, b.ciphertext);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn requires_at_least_one_server() {
+        ClientDcnet::new(0, Vec::new());
+    }
+}

@@ -1,0 +1,46 @@
+//! # dissent-dcnet
+//!
+//! The anytrust client/server DC-net at the heart of Dissent (OSDI 2012).
+//!
+//! Classic DC-nets share a secret "coin" between every pair of the N
+//! participants, which makes both computation and churn-handling scale
+//! badly.  Dissent instead shares secrets only between each client and each
+//! of the M ≪ N servers:
+//!
+//! * clients compute only `M` pads per output bit ([`client`]);
+//! * servers can close a round without a straggling client, because every
+//!   client's ciphertext is independent of every other client's online
+//!   status ([`server`]);
+//! * the honest clients form one connected component of the secret-sharing
+//!   graph as long as a single server is honest — the anytrust assumption.
+//!
+//! Modules:
+//!
+//! * [`pad`] — pad expansion from pairwise shared secrets, plus XOR helpers
+//!   and single-bit re-derivation for the blame process.
+//! * [`slots`] — the scheduling function `S(r, π(i), H)`: request bits,
+//!   variable-length message slots, open/close dynamics (§3.8).
+//! * [`client`] — Algorithm 1: building client cleartexts and ciphertexts.
+//! * [`server`] — Algorithm 2: inventories, trimming, server ciphertexts,
+//!   commitments, combination, certification digests.
+//! * [`accusation`] — §3.9: witness bits, blame evaluation, rebuttals.
+//!
+//! Everything here is a pure, transport-agnostic state machine;
+//! `dissent-core` drives these pieces over a (simulated) network and adds
+//! the timing policies, and `dissent-shuffle` provides the verifiable
+//! shuffle used for scheduling and accusations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accusation;
+pub mod client;
+pub mod pad;
+pub mod server;
+pub mod slots;
+
+pub use accusation::{Accusation, BlameOutcome, Rebuttal, RebuttalOutcome};
+pub use client::{ClientCiphertext, ClientDcnet, Submission};
+pub use pad::SharedSecret;
+pub use server::{ClientId, ServerId, SubmissionSet};
+pub use slots::{RoundLayout, RoundOutput, SlotConfig, SlotOutput, SlotPayload, SlotSchedule};

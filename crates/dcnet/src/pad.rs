@@ -1,0 +1,152 @@
+//! DC-net pad generation.
+//!
+//! Each client `i` and server `j` share a 32-byte secret `K_ij` (derived via
+//! Diffie–Hellman, see `dissent-crypto::dh`).  In every round both sides
+//! expand that secret into the same pseudo-random string
+//! `s_ij = PRNG(K_ij, round)`, exactly as in Algorithms 1 and 2 of the paper.
+//! The client XORs the strings for all M servers (plus its message) into its
+//! ciphertext; each server XORs the strings for the clients that actually
+//! submitted.  Because every string enters the combined output exactly twice,
+//! all pads cancel and only the anonymous messages remain.
+//!
+//! The accusation process needs to re-derive *individual bits* of these
+//! strings, so [`pad_bit`] is provided alongside the bulk generator.
+
+use dissent_crypto::prng::DetPrng;
+
+/// A 32-byte pairwise shared secret between one client and one server.
+pub type SharedSecret = [u8; 32];
+
+/// Domain-separation label binding a pad to its round.
+fn round_label(round: u64) -> Vec<u8> {
+    let mut label = b"dissent-dcnet-pad-round-".to_vec();
+    label.extend_from_slice(&round.to_be_bytes());
+    label
+}
+
+/// Generate the full pad string `s_ij` for a round.
+pub fn pad(secret: &SharedSecret, round: u64, len: usize) -> Vec<u8> {
+    DetPrng::new(secret, &round_label(round)).bytes(len)
+}
+
+/// XOR `src` into `dst` in place; the buffers must have equal length.
+pub fn xor_into(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_into length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= s;
+    }
+}
+
+/// XOR an iterator of equal-length byte strings together.
+///
+/// Returns a zero vector of length `len` if the iterator is empty.
+pub fn xor_all<'a, I: IntoIterator<Item = &'a [u8]>>(len: usize, parts: I) -> Vec<u8> {
+    let mut out = vec![0u8; len];
+    for p in parts {
+        xor_into(&mut out, p);
+    }
+    out
+}
+
+/// Extract a single bit (big-endian bit order within bytes) from a buffer.
+pub fn get_bit(buf: &[u8], bit_index: usize) -> bool {
+    let byte = bit_index / 8;
+    let bit = bit_index % 8;
+    (buf[byte] >> (7 - bit)) & 1 == 1
+}
+
+/// Set or clear a single bit (big-endian bit order within bytes).
+pub fn set_bit(buf: &mut [u8], bit_index: usize, value: bool) {
+    let byte = bit_index / 8;
+    let bit = 7 - bit_index % 8;
+    if value {
+        buf[byte] |= 1 << bit;
+    } else {
+        buf[byte] &= !(1 << bit);
+    }
+}
+
+/// Recompute one bit of the pad `s_ij` for a round — the revelation step of
+/// the accusation process (§3.9): servers publish `s_ij[k]` for the witness
+/// bit `k` so everyone can locate the party that XORed an unmatched 1.
+pub fn pad_bit(secret: &SharedSecret, round: u64, total_len: usize, bit_index: usize) -> bool {
+    assert!(bit_index / 8 < total_len, "bit index out of range");
+    // Only the containing byte needs to be generated, but the stream must be
+    // advanced identically to the bulk generator, so we generate the prefix.
+    let prefix = pad(secret, round, bit_index / 8 + 1);
+    get_bit(&prefix, bit_index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secret(tag: u8) -> SharedSecret {
+        let mut s = [0u8; 32];
+        s[0] = tag;
+        s
+    }
+
+    #[test]
+    fn pads_cancel_pairwise() {
+        // One client, three servers: client XOR of pads equals the XOR of the
+        // three servers' per-client pads.
+        let secrets = [secret(1), secret(2), secret(3)];
+        let len = 256;
+        let client_side = xor_all(len, secrets.iter().map(|s| pad(s, 7, len)).collect::<Vec<_>>().iter().map(|v| v.as_slice()));
+        let mut server_side = vec![0u8; len];
+        for s in &secrets {
+            xor_into(&mut server_side, &pad(s, 7, len));
+        }
+        assert_eq!(client_side, server_side);
+        // XORing both sides yields all zeros — the cancellation property.
+        let mut combined = client_side;
+        xor_into(&mut combined, &server_side);
+        assert!(combined.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn pads_differ_across_rounds_and_secrets() {
+        let a = pad(&secret(1), 1, 64);
+        let b = pad(&secret(1), 2, 64);
+        let c = pad(&secret(2), 1, 64);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(pad(&secret(1), 1, 64), a);
+    }
+
+    #[test]
+    fn pad_bit_matches_bulk_pad() {
+        let s = secret(9);
+        let full = pad(&s, 42, 100);
+        for bit in [0usize, 1, 7, 8, 63, 799] {
+            assert_eq!(pad_bit(&s, 42, 100, bit), get_bit(&full, bit), "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn bit_helpers_round_trip() {
+        let mut buf = vec![0u8; 4];
+        set_bit(&mut buf, 5, true);
+        set_bit(&mut buf, 30, true);
+        assert!(get_bit(&buf, 5));
+        assert!(get_bit(&buf, 30));
+        assert!(!get_bit(&buf, 6));
+        set_bit(&mut buf, 5, false);
+        assert!(!get_bit(&buf, 5));
+        assert_eq!(buf[3], 0b0000_0010);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_into_length_mismatch_panics() {
+        let mut a = vec![0u8; 3];
+        xor_into(&mut a, &[0u8; 4]);
+    }
+
+    #[test]
+    fn xor_all_empty_is_zero() {
+        let out = xor_all(8, std::iter::empty());
+        assert_eq!(out, vec![0u8; 8]);
+    }
+}

@@ -1,0 +1,327 @@
+//! Server side of one DC-net exchange (Algorithm 2).
+//!
+//! Servers collect client ciphertexts until their submission window closes,
+//! exchange *inventories* (who submitted), agree on the composite client
+//! list, XOR in the pads they share with exactly those clients, commit to
+//! their server ciphertexts, reveal them, and finally XOR everything into
+//! the round cleartext which they sign and push to clients.
+//!
+//! This module implements the computational steps as pure functions over
+//! in-memory state; `dissent-core` drives them over the (simulated) network
+//! and applies the timing policies.
+
+use crate::pad::{pad, xor_into, SharedSecret};
+use dissent_crypto::sha256::{sha256_tagged, DIGEST_LEN};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of a client within a group (its index in the group roster).
+pub type ClientId = u32;
+/// Identifier of a server within a group.
+pub type ServerId = u32;
+
+/// A server's view of one round: which clients submitted ciphertexts to it
+/// directly and what those ciphertexts were.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SubmissionSet {
+    /// Client ciphertexts received directly, keyed by client id.
+    pub ciphertexts: BTreeMap<ClientId, Vec<u8>>,
+}
+
+impl SubmissionSet {
+    /// Create an empty submission set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a client ciphertext (later submissions overwrite earlier ones,
+    /// mirroring the prototype's latest-wins behaviour).
+    pub fn insert(&mut self, client: ClientId, ciphertext: Vec<u8>) {
+        self.ciphertexts.insert(client, ciphertext);
+    }
+
+    /// The inventory list `l_j` the server broadcasts.
+    pub fn inventory(&self) -> Vec<ClientId> {
+        self.ciphertexts.keys().copied().collect()
+    }
+
+    /// Number of clients that submitted to this server.
+    pub fn len(&self) -> usize {
+        self.ciphertexts.len()
+    }
+
+    /// True if no client submitted.
+    pub fn is_empty(&self) -> bool {
+        self.ciphertexts.is_empty()
+    }
+}
+
+/// Deterministically trim duplicate submissions: a client that submitted to
+/// several servers is kept only by the lowest-numbered server that received
+/// it.  Returns the per-server trimmed lists `l'_j` and the composite list
+/// `l = ∪_j l'_j` (Algorithm 2, step 3).
+pub fn trim_inventories(
+    inventories: &BTreeMap<ServerId, Vec<ClientId>>,
+) -> (BTreeMap<ServerId, Vec<ClientId>>, Vec<ClientId>) {
+    let mut assigned: BTreeMap<ClientId, ServerId> = BTreeMap::new();
+    for (&server, list) in inventories {
+        for &client in list {
+            assigned.entry(client).or_insert(server);
+        }
+    }
+    let mut trimmed: BTreeMap<ServerId, Vec<ClientId>> = inventories
+        .keys()
+        .map(|&s| (s, Vec::new()))
+        .collect();
+    for (&client, &server) in &assigned {
+        trimmed.get_mut(&server).expect("server present").push(client);
+    }
+    let composite: Vec<ClientId> = assigned.keys().copied().collect();
+    (trimmed, composite)
+}
+
+/// Compute a server's ciphertext for a round:
+/// `s_j = (⊕_{i∈l} s_ij) ⊕ (⊕_{i∈l'_j} c_i)`.
+///
+/// * `composite` — the agreed composite client list `l`;
+/// * `client_secrets` — the pad secrets `K_ij` this server shares with each
+///   client (keyed by client id, must cover every member of `l`);
+/// * `own_ciphertexts` — the ciphertexts of the clients assigned to this
+///   server by [`trim_inventories`].
+pub fn server_ciphertext(
+    round: u64,
+    total_len: usize,
+    composite: &[ClientId],
+    client_secrets: &BTreeMap<ClientId, SharedSecret>,
+    own_ciphertexts: &BTreeMap<ClientId, Vec<u8>>,
+) -> Vec<u8> {
+    let mut out = vec![0u8; total_len];
+    for client in composite {
+        let secret = client_secrets
+            .get(client)
+            .expect("missing shared secret for a client in the composite list");
+        let p = pad(secret, round, total_len);
+        xor_into(&mut out, &p);
+    }
+    for ct in own_ciphertexts.values() {
+        assert_eq!(ct.len(), total_len, "client ciphertext length mismatch");
+        xor_into(&mut out, ct);
+    }
+    out
+}
+
+/// Commitment to a server ciphertext: `C_j = HASH(s_j)` (Algorithm 2, step 3).
+///
+/// The commitment is bound to the round and server id so commitments cannot
+/// be replayed across rounds or attributed to the wrong server.
+pub fn commitment(round: u64, server: ServerId, ciphertext: &[u8]) -> [u8; DIGEST_LEN] {
+    sha256_tagged(&[
+        b"dissent-server-commit",
+        &round.to_be_bytes(),
+        &server.to_be_bytes(),
+        ciphertext,
+    ])
+}
+
+/// Verify a previously received commitment against the revealed ciphertext.
+pub fn verify_commitment(
+    round: u64,
+    server: ServerId,
+    ciphertext: &[u8],
+    commit: &[u8; DIGEST_LEN],
+) -> bool {
+    &commitment(round, server, ciphertext) == commit
+}
+
+/// Combine all server ciphertexts into the round cleartext `m = ⊕_j s_j`.
+pub fn combine(total_len: usize, server_ciphertexts: &BTreeMap<ServerId, Vec<u8>>) -> Vec<u8> {
+    let mut out = vec![0u8; total_len];
+    for ct in server_ciphertexts.values() {
+        assert_eq!(ct.len(), total_len, "server ciphertext length mismatch");
+        xor_into(&mut out, ct);
+    }
+    out
+}
+
+/// The message digest each server signs in the certification step
+/// (Algorithm 2, step 5): bound to the round, the composite client list and
+/// the cleartext.
+pub fn certification_digest(round: u64, composite: &[ClientId], cleartext: &[u8]) -> [u8; DIGEST_LEN] {
+    let client_bytes: Vec<u8> = composite
+        .iter()
+        .flat_map(|c| c.to_be_bytes())
+        .collect();
+    sha256_tagged(&[
+        b"dissent-round-certify",
+        &round.to_be_bytes(),
+        &client_bytes,
+        cleartext,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{ClientDcnet, Submission};
+    use crate::slots::{SlotConfig, SlotPayload, SlotSchedule};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Build a toy group: `n` clients, `m` servers, fully-populated secrets.
+    fn group(n: usize, m: usize) -> (Vec<ClientDcnet>, Vec<BTreeMap<ClientId, SharedSecret>>) {
+        let mut clients = Vec::new();
+        let mut server_maps: Vec<BTreeMap<ClientId, SharedSecret>> = vec![BTreeMap::new(); m];
+        for i in 0..n {
+            let mut secrets = Vec::new();
+            for (j, map) in server_maps.iter_mut().enumerate() {
+                let mut s = [0u8; 32];
+                s[0] = i as u8;
+                s[1] = j as u8;
+                s[2] = 0xcc;
+                secrets.push(s);
+                map.insert(i as ClientId, s);
+            }
+            clients.push(ClientDcnet::new(i, secrets));
+        }
+        (clients, server_maps)
+    }
+
+    /// Run one full exchange in-memory with every client online.
+    fn run_round(
+        n: usize,
+        m: usize,
+        submitting: &[(usize, Vec<u8>)],
+        offline: &[usize],
+    ) -> (Vec<u8>, SlotSchedule) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let config = SlotConfig::default();
+        let schedule = SlotSchedule::new_all_open(n, config.clone());
+        let layout = schedule.layout();
+        let (clients, server_maps) = group(n, m);
+
+        // Clients build ciphertexts; offline ones never submit.
+        let mut per_server: Vec<SubmissionSet> = vec![SubmissionSet::new(); m];
+        for (i, client) in clients.iter().enumerate() {
+            if offline.contains(&i) {
+                continue;
+            }
+            let submission = submitting
+                .iter()
+                .find(|(s, _)| *s == i)
+                .map(|(_, msg)| Submission::message(SlotPayload::message(msg, &config)))
+                .unwrap_or_else(Submission::null);
+            let ct = client.ciphertext(&mut rng, &layout, &submission);
+            // Client i submits to server i % m.
+            per_server[i % m].insert(i as ClientId, ct.ciphertext);
+        }
+
+        // Servers exchange inventories and compute ciphertexts.
+        let inventories: BTreeMap<ServerId, Vec<ClientId>> = per_server
+            .iter()
+            .enumerate()
+            .map(|(j, s)| (j as ServerId, s.inventory()))
+            .collect();
+        let (trimmed, composite) = trim_inventories(&inventories);
+        let mut server_cts = BTreeMap::new();
+        for j in 0..m {
+            let own: BTreeMap<ClientId, Vec<u8>> = trimmed[&(j as ServerId)]
+                .iter()
+                .map(|c| (*c, per_server[j].ciphertexts[c].clone()))
+                .collect();
+            let sct = server_ciphertext(
+                layout.round,
+                layout.total_len,
+                &composite,
+                &server_maps[j],
+                &own,
+            );
+            server_cts.insert(j as ServerId, sct);
+        }
+        let cleartext = combine(layout.total_len, &server_cts);
+        (cleartext, schedule)
+    }
+
+    #[test]
+    fn single_sender_message_is_revealed() {
+        let (cleartext, mut schedule) = run_round(5, 3, &[(2, b"whistleblow".to_vec())], &[]);
+        let layout = schedule.layout();
+        let out = schedule.apply_round_output(&layout, &cleartext);
+        assert_eq!(out.messages(), vec![(2usize, b"whistleblow".to_vec())]);
+    }
+
+    #[test]
+    fn multiple_senders_in_distinct_slots() {
+        let (cleartext, mut schedule) = run_round(
+            6,
+            2,
+            &[(0, b"alpha".to_vec()), (3, b"bravo".to_vec()), (5, b"charlie".to_vec())],
+            &[],
+        );
+        let layout = schedule.layout();
+        let out = schedule.apply_round_output(&layout, &cleartext);
+        let msgs = out.messages();
+        assert_eq!(msgs.len(), 3);
+        assert!(msgs.contains(&(0, b"alpha".to_vec())));
+        assert!(msgs.contains(&(3, b"bravo".to_vec())));
+        assert!(msgs.contains(&(5, b"charlie".to_vec())));
+    }
+
+    #[test]
+    fn offline_clients_do_not_block_the_round() {
+        // Clients 1 and 4 vanish; the round still decodes the online sender's
+        // message because servers only XOR pads for submitting clients.
+        let (cleartext, mut schedule) =
+            run_round(5, 3, &[(2, b"still here".to_vec())], &[1, 4]);
+        let layout = schedule.layout();
+        let out = schedule.apply_round_output(&layout, &cleartext);
+        assert_eq!(out.messages(), vec![(2usize, b"still here".to_vec())]);
+        // The offline clients' slots show up as empty, not corrupted.
+        assert!(out.corrupted().is_empty());
+    }
+
+    #[test]
+    fn trim_inventories_deduplicates() {
+        let mut inv = BTreeMap::new();
+        inv.insert(0 as ServerId, vec![1, 2, 3]);
+        inv.insert(1 as ServerId, vec![2, 3, 4]);
+        inv.insert(2 as ServerId, vec![5]);
+        let (trimmed, composite) = trim_inventories(&inv);
+        assert_eq!(composite, vec![1, 2, 3, 4, 5]);
+        assert_eq!(trimmed[&0], vec![1, 2, 3]);
+        assert_eq!(trimmed[&1], vec![4]);
+        assert_eq!(trimmed[&2], vec![5]);
+        // Every client appears exactly once across the trimmed lists.
+        let total: usize = trimmed.values().map(|v| v.len()).sum();
+        assert_eq!(total, composite.len());
+    }
+
+    #[test]
+    fn commitments_bind_round_and_server() {
+        let ct = vec![1u8, 2, 3];
+        let c = commitment(5, 0, &ct);
+        assert!(verify_commitment(5, 0, &ct, &c));
+        assert!(!verify_commitment(6, 0, &ct, &c));
+        assert!(!verify_commitment(5, 1, &ct, &c));
+        assert!(!verify_commitment(5, 0, &[1, 2, 4], &c));
+    }
+
+    #[test]
+    fn certification_digest_changes_with_inputs() {
+        let a = certification_digest(1, &[1, 2, 3], b"clear");
+        assert_ne!(a, certification_digest(2, &[1, 2, 3], b"clear"));
+        assert_ne!(a, certification_digest(1, &[1, 2], b"clear"));
+        assert_ne!(a, certification_digest(1, &[1, 2, 3], b"other"));
+        assert_eq!(a, certification_digest(1, &[1, 2, 3], b"clear"));
+    }
+
+    #[test]
+    fn submission_set_latest_wins() {
+        let mut s = SubmissionSet::new();
+        assert!(s.is_empty());
+        s.insert(7, vec![1]);
+        s.insert(7, vec![2]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.ciphertexts[&7], vec![2]);
+        assert_eq!(s.inventory(), vec![7]);
+    }
+}

@@ -1,0 +1,572 @@
+//! Slot scheduling: the well-known function `S(r, π(i), H)` of Algorithm 1.
+//!
+//! The key shuffle assigns every client a secret permutation slot `π(i)`.
+//! Each slot owns two regions of every round's cleartext (paper §3.8):
+//!
+//! * a **one-bit request slot** — setting it asks the servers to open the
+//!   owner's message slot in the next round;
+//! * a **variable-length message slot** — initially closed (length 0); once
+//!   open it carries a padded payload containing a *length field* (to grow,
+//!   shrink or close the slot in subsequent rounds), a *k-bit shuffle-request
+//!   field* (any non-zero value triggers an accusation shuffle), and the
+//!   anonymous message itself.
+//!
+//! Because the schedule is a deterministic function of the round number and
+//! the history of prior round outputs, every client and server derives the
+//! identical layout without communication.
+
+use crate::pad::get_bit;
+use dissent_crypto::padding::{self, Decoded};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Number of bits in the shuffle-request field (the paper's `k`).
+pub const SHUFFLE_REQUEST_BITS: usize = 16;
+
+/// Fixed per-payload header: 4-byte next-length field + 2-byte shuffle request.
+pub const PAYLOAD_HEADER_LEN: usize = 6;
+
+/// Configuration of the slot scheduler.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotConfig {
+    /// Length (bytes) a message slot opens to when its request bit is seen.
+    pub default_open_len: usize,
+    /// Maximum length a slot may request.
+    pub max_len: usize,
+    /// How many consecutive empty rounds an open slot tolerates before the
+    /// scheduler closes it (covers silent or disconnected owners).
+    pub grace_rounds: u32,
+}
+
+impl Default for SlotConfig {
+    fn default() -> Self {
+        SlotConfig {
+            // Enough room for the padding overhead, header and a 128-byte
+            // microblog post — the paper's workload unit.
+            default_open_len: 192,
+            max_len: 1 << 20,
+            grace_rounds: 2,
+        }
+    }
+}
+
+impl SlotConfig {
+    /// The smallest usable open length (padding overhead + header + 1 byte).
+    pub fn min_open_len(&self) -> usize {
+        padding::OVERHEAD + PAYLOAD_HEADER_LEN + 1
+    }
+
+    /// Clamp a requested length into the valid range (0 means "close").
+    pub fn clamp_len(&self, requested: usize) -> usize {
+        if requested == 0 {
+            0
+        } else {
+            requested.clamp(self.min_open_len(), self.max_len)
+        }
+    }
+
+    /// Slot length needed to carry a message of `msg_len` bytes.
+    pub fn len_for_message(&self, msg_len: usize) -> usize {
+        self.clamp_len(msg_len + padding::OVERHEAD + PAYLOAD_HEADER_LEN)
+    }
+}
+
+/// Dynamic state of one slot.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotState {
+    /// Current message-slot length in bytes (0 = closed).
+    pub length: usize,
+    /// Consecutive rounds the open slot produced an empty output.
+    pub empty_streak: u32,
+    /// Whether the request bit was observed set in the previous round.
+    pub pending_open: bool,
+}
+
+impl SlotState {
+    fn closed() -> Self {
+        SlotState {
+            length: 0,
+            empty_streak: 0,
+            pending_open: false,
+        }
+    }
+}
+
+/// Byte range of one slot inside a round's cleartext.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotRange {
+    /// Offset of the slot's first byte.
+    pub offset: usize,
+    /// Slot length in bytes.
+    pub len: usize,
+}
+
+/// The complete layout of one round's cleartext.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundLayout {
+    /// Round number this layout belongs to.
+    pub round: u64,
+    /// Length of the request-bit region in bytes (⌈slots/8⌉).
+    pub request_region_len: usize,
+    /// Message-slot ranges, indexed by slot; `None` when the slot is closed.
+    pub slots: Vec<Option<SlotRange>>,
+    /// Total cleartext length for the round.
+    pub total_len: usize,
+}
+
+impl RoundLayout {
+    /// Bit index (within the whole cleartext) of a slot's request bit.
+    pub fn request_bit_index(&self, slot: usize) -> usize {
+        slot
+    }
+
+    /// Number of open message slots.
+    pub fn open_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// The payload a slot owner places in its open message slot.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotPayload {
+    /// Desired slot length for the next round (0 closes the slot).
+    pub next_len: u32,
+    /// Shuffle-request field: non-zero triggers an accusation shuffle.
+    pub shuffle_request: u16,
+    /// The anonymous message body.
+    pub message: Vec<u8>,
+}
+
+impl SlotPayload {
+    /// A payload carrying a message and keeping the slot sized for a
+    /// follow-up message of the same size.
+    pub fn message(msg: &[u8], config: &SlotConfig) -> Self {
+        SlotPayload {
+            next_len: config.len_for_message(msg.len()) as u32,
+            shuffle_request: 0,
+            message: msg.to_vec(),
+        }
+    }
+
+    /// A payload that closes the slot after this round.
+    pub fn closing(msg: &[u8]) -> Self {
+        SlotPayload {
+            next_len: 0,
+            shuffle_request: 0,
+            message: msg.to_vec(),
+        }
+    }
+
+    /// Serialize to the on-wire byte form (before padding).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(PAYLOAD_HEADER_LEN + self.message.len());
+        out.extend_from_slice(&self.next_len.to_be_bytes());
+        out.extend_from_slice(&self.shuffle_request.to_be_bytes());
+        out.extend_from_slice(&self.message);
+        out
+    }
+
+    /// Parse from decoded padding output.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < PAYLOAD_HEADER_LEN {
+            return None;
+        }
+        Some(SlotPayload {
+            next_len: u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]),
+            shuffle_request: u16::from_be_bytes([bytes[4], bytes[5]]),
+            message: bytes[PAYLOAD_HEADER_LEN..].to_vec(),
+        })
+    }
+
+    /// Encode the payload into a slot wire image of exactly `slot_len` bytes
+    /// using the self-randomizing padding.
+    pub fn encode<R: RngCore + ?Sized>(&self, rng: &mut R, slot_len: usize) -> Option<Vec<u8>> {
+        padding::encode(rng, &self.to_bytes(), slot_len)
+    }
+}
+
+/// What a round's output said about one slot.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlotOutput {
+    /// The slot was closed this round.
+    Closed,
+    /// The slot was open but carried no message.
+    Empty,
+    /// The slot carried a well-formed payload.
+    Message(SlotPayload),
+    /// The slot bytes failed to decode — disruption or garbling.
+    Corrupted,
+}
+
+/// Per-round summary produced by [`SlotSchedule::apply_round_output`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundOutput {
+    /// The round this output belongs to.
+    pub round: u64,
+    /// Decoded state of each slot.
+    pub slots: Vec<SlotOutput>,
+    /// Slots whose request bit was set this round.
+    pub requests: Vec<usize>,
+    /// Slots that signalled a non-zero shuffle request.
+    pub shuffle_requests: Vec<usize>,
+}
+
+impl RoundOutput {
+    /// All well-formed messages delivered this round, as (slot, bytes) pairs.
+    pub fn messages(&self) -> Vec<(usize, Vec<u8>)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                SlotOutput::Message(p) if !p.message.is_empty() => Some((i, p.message.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Slots observed as corrupted this round.
+    pub fn corrupted(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| matches!(s, SlotOutput::Corrupted).then_some(i))
+            .collect()
+    }
+}
+
+/// The deterministic slot schedule shared by every node in the group.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotSchedule {
+    config: SlotConfig,
+    states: Vec<SlotState>,
+    round: u64,
+}
+
+impl SlotSchedule {
+    /// Create the schedule for `num_slots` clients.  All message slots start
+    /// closed, matching the paper ("Initially the message slot is closed,
+    /// with length 0").
+    pub fn new(num_slots: usize, config: SlotConfig) -> Self {
+        SlotSchedule {
+            config,
+            states: vec![SlotState::closed(); num_slots],
+            round: 0,
+        }
+    }
+
+    /// Create a schedule whose slots all start open at the default length —
+    /// used by benchmarks that measure steady-state rounds.
+    pub fn new_all_open(num_slots: usize, config: SlotConfig) -> Self {
+        let state = SlotState {
+            length: config.default_open_len.max(config.min_open_len()),
+            empty_streak: 0,
+            pending_open: false,
+        };
+        SlotSchedule {
+            config,
+            states: vec![state; num_slots],
+            round: 0,
+        }
+    }
+
+    /// The scheduler configuration.
+    pub fn config(&self) -> &SlotConfig {
+        &self.config
+    }
+
+    /// Number of slots.
+    pub fn num_slots(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The next round number this schedule will lay out.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Current length of a slot (0 = closed).
+    pub fn slot_len(&self, slot: usize) -> usize {
+        self.states[slot].length
+    }
+
+    /// Compute the layout of the upcoming round.
+    pub fn layout(&self) -> RoundLayout {
+        let request_region_len = (self.states.len() + 7) / 8;
+        let mut offset = request_region_len;
+        let mut slots = Vec::with_capacity(self.states.len());
+        for state in &self.states {
+            if state.length == 0 {
+                slots.push(None);
+            } else {
+                slots.push(Some(SlotRange {
+                    offset,
+                    len: state.length,
+                }));
+                offset += state.length;
+            }
+        }
+        RoundLayout {
+            round: self.round,
+            request_region_len,
+            slots,
+            total_len: offset,
+        }
+    }
+
+    /// Digest a round's cleartext output: decode every open slot, note the
+    /// request bits, and advance the slot states so the next call to
+    /// [`Self::layout`] reflects opens, closes and length changes.
+    pub fn apply_round_output(&mut self, layout: &RoundLayout, cleartext: &[u8]) -> RoundOutput {
+        assert_eq!(layout.round, self.round, "layout is not for the current round");
+        assert_eq!(cleartext.len(), layout.total_len, "cleartext length mismatch");
+
+        let mut outputs = Vec::with_capacity(self.states.len());
+        let mut requests = Vec::new();
+        let mut shuffle_requests = Vec::new();
+
+        for (slot, state) in self.states.iter_mut().enumerate() {
+            // Request bit.
+            let req = get_bit(cleartext, layout.request_bit_index(slot));
+            if req {
+                requests.push(slot);
+            }
+
+            let output = match layout.slots[slot] {
+                None => SlotOutput::Closed,
+                Some(range) => {
+                    let wire = &cleartext[range.offset..range.offset + range.len];
+                    match padding::decode(wire) {
+                        Decoded::Empty => SlotOutput::Empty,
+                        Decoded::Corrupted => SlotOutput::Corrupted,
+                        Decoded::Message(bytes) => match SlotPayload::from_bytes(&bytes) {
+                            Some(p) => SlotOutput::Message(p),
+                            None => SlotOutput::Corrupted,
+                        },
+                    }
+                }
+            };
+
+            // State transition.
+            match &output {
+                SlotOutput::Closed => {
+                    if req || state.pending_open {
+                        state.length = self
+                            .config
+                            .default_open_len
+                            .max(self.config.min_open_len());
+                        state.pending_open = false;
+                        state.empty_streak = 0;
+                    }
+                }
+                SlotOutput::Empty | SlotOutput::Corrupted => {
+                    state.empty_streak += 1;
+                    if state.empty_streak > self.config.grace_rounds {
+                        state.length = 0;
+                        state.empty_streak = 0;
+                    }
+                    // A request bit seen while open refreshes the slot.
+                    if req {
+                        state.empty_streak = 0;
+                    }
+                }
+                SlotOutput::Message(p) => {
+                    state.empty_streak = 0;
+                    state.length = self.config.clamp_len(p.next_len as usize);
+                    if p.shuffle_request != 0 {
+                        shuffle_requests.push(slot);
+                    }
+                }
+            }
+            // Remember an unserved request so a slot still opens even if the
+            // owner's request bit raced with a closing slot.
+            if req && state.length == 0 {
+                state.pending_open = true;
+            }
+            outputs.push(output);
+        }
+
+        let out = RoundOutput {
+            round: self.round,
+            slots: outputs,
+            requests,
+            shuffle_requests,
+        };
+        self.round += 1;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pad::set_bit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schedule(n: usize) -> SlotSchedule {
+        SlotSchedule::new(n, SlotConfig::default())
+    }
+
+    #[test]
+    fn initial_layout_has_only_request_bits() {
+        let s = schedule(10);
+        let layout = s.layout();
+        assert_eq!(layout.request_region_len, 2);
+        assert_eq!(layout.total_len, 2);
+        assert_eq!(layout.open_slots(), 0);
+        assert!(layout.slots.iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn request_bit_opens_slot_next_round() {
+        let mut s = schedule(8);
+        let layout = s.layout();
+        let mut cleartext = vec![0u8; layout.total_len];
+        set_bit(&mut cleartext, 3, true); // slot 3 requests to open
+        let out = s.apply_round_output(&layout, &cleartext);
+        assert_eq!(out.requests, vec![3]);
+        let next = s.layout();
+        assert_eq!(next.open_slots(), 1);
+        assert!(next.slots[3].is_some());
+        assert_eq!(next.slots[3].unwrap().len, SlotConfig::default().default_open_len);
+    }
+
+    #[test]
+    fn payload_round_trips_through_slot() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = SlotConfig::default();
+        let mut s = SlotSchedule::new_all_open(4, config.clone());
+        let layout = s.layout();
+        let range = layout.slots[2].unwrap();
+        let payload = SlotPayload::message(b"hello dissent", &config);
+        let wire = payload.encode(&mut rng, range.len).unwrap();
+        let mut cleartext = vec![0u8; layout.total_len];
+        cleartext[range.offset..range.offset + range.len].copy_from_slice(&wire);
+        let out = s.apply_round_output(&layout, &cleartext);
+        assert_eq!(
+            out.messages(),
+            vec![(2usize, b"hello dissent".to_vec())]
+        );
+        assert!(out.shuffle_requests.is_empty());
+    }
+
+    #[test]
+    fn next_len_resizes_and_zero_closes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = SlotConfig::default();
+        let mut s = SlotSchedule::new_all_open(2, config.clone());
+
+        // Round 0: slot 0 requests a large slot for its next message.
+        let layout = s.layout();
+        let range = layout.slots[0].unwrap();
+        let payload = SlotPayload {
+            next_len: 4096,
+            shuffle_request: 0,
+            message: b"x".to_vec(),
+        };
+        let wire = payload.encode(&mut rng, range.len).unwrap();
+        let mut ct = vec![0u8; layout.total_len];
+        ct[range.offset..range.offset + range.len].copy_from_slice(&wire);
+        s.apply_round_output(&layout, &ct);
+        assert_eq!(s.slot_len(0), 4096);
+
+        // Round 1: slot 0 closes itself.
+        let layout = s.layout();
+        let range = layout.slots[0].unwrap();
+        assert_eq!(range.len, 4096);
+        let wire = SlotPayload::closing(b"bye").encode(&mut rng, range.len).unwrap();
+        let mut ct = vec![0u8; layout.total_len];
+        ct[range.offset..range.offset + range.len].copy_from_slice(&wire);
+        let out = s.apply_round_output(&layout, &ct);
+        assert_eq!(out.messages(), vec![(0usize, b"bye".to_vec())]);
+        assert_eq!(s.slot_len(0), 0);
+        assert!(s.layout().slots[0].is_none());
+    }
+
+    #[test]
+    fn silent_slot_closes_after_grace_rounds() {
+        let config = SlotConfig {
+            grace_rounds: 2,
+            ..SlotConfig::default()
+        };
+        let mut s = SlotSchedule::new_all_open(1, config);
+        for expected_open in [true, true, true, false] {
+            let layout = s.layout();
+            assert_eq!(layout.slots[0].is_some(), expected_open);
+            let ct = vec![0u8; layout.total_len];
+            s.apply_round_output(&layout, &ct);
+        }
+    }
+
+    #[test]
+    fn corrupted_slot_reported() {
+        let mut s = SlotSchedule::new_all_open(2, SlotConfig::default());
+        let layout = s.layout();
+        let range = layout.slots[1].unwrap();
+        let mut ct = vec![0u8; layout.total_len];
+        // Random garbage that will not checksum.
+        for (i, b) in ct[range.offset..range.offset + range.len].iter_mut().enumerate() {
+            *b = (i % 251) as u8 ^ 0x5a;
+        }
+        let out = s.apply_round_output(&layout, &ct);
+        assert_eq!(out.corrupted(), vec![1]);
+    }
+
+    #[test]
+    fn shuffle_request_flag_detected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = SlotConfig::default();
+        let mut s = SlotSchedule::new_all_open(3, config.clone());
+        let layout = s.layout();
+        let range = layout.slots[1].unwrap();
+        let payload = SlotPayload {
+            next_len: config.default_open_len as u32,
+            shuffle_request: 0xbeef,
+            message: Vec::new(),
+        };
+        let wire = payload.encode(&mut rng, range.len).unwrap();
+        let mut ct = vec![0u8; layout.total_len];
+        ct[range.offset..range.offset + range.len].copy_from_slice(&wire);
+        let out = s.apply_round_output(&layout, &ct);
+        assert_eq!(out.shuffle_requests, vec![1]);
+    }
+
+    #[test]
+    fn layouts_are_identical_across_replicas() {
+        // Two replicas fed the same outputs stay in lock-step — the schedule
+        // is a pure function of history, as the protocol requires.
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = SlotConfig::default();
+        let mut a = SlotSchedule::new(5, config.clone());
+        let mut b = SlotSchedule::new(5, config.clone());
+        for round in 0..6u64 {
+            let la = a.layout();
+            let lb = b.layout();
+            assert_eq!(la, lb);
+            let mut ct = vec![0u8; la.total_len];
+            // Slot (round % 5) requests to open each round; open slots carry
+            // a message.
+            set_bit(&mut ct, (round % 5) as usize, true);
+            for (slot, range) in la.slots.iter().enumerate() {
+                if let Some(r) = range {
+                    let wire = SlotPayload::message(format!("m{slot}").as_bytes(), &config)
+                        .encode(&mut rng, r.len)
+                        .unwrap();
+                    ct[r.offset..r.offset + r.len].copy_from_slice(&wire);
+                }
+            }
+            let oa = a.apply_round_output(&la, &ct);
+            let ob = b.apply_round_output(&lb, &ct);
+            assert_eq!(oa, ob);
+        }
+    }
+
+    #[test]
+    fn clamp_len_respects_bounds() {
+        let config = SlotConfig::default();
+        assert_eq!(config.clamp_len(0), 0);
+        assert_eq!(config.clamp_len(1), config.min_open_len());
+        assert_eq!(config.clamp_len(10_000_000), config.max_len);
+        assert!(config.len_for_message(128) >= 128 + padding::OVERHEAD + PAYLOAD_HEADER_LEN);
+    }
+}

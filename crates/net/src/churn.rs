@@ -1,0 +1,208 @@
+//! Client churn and straggler models.
+//!
+//! "On public networks, distributed systems must cope with slow and
+//! unreliable machines" (§5.1).  The paper's PlanetLab deployment saw
+//! clients joining, leaving, and delivering ciphertexts with heavy-tailed
+//! delays; the submission-window policies of Figure 6 exist precisely to
+//! insulate the group from those stragglers.  This module models per-round
+//! client behaviour: whether a client is online, and how long after the
+//! round opens it manages to deliver its ciphertext.
+
+use crate::sim::{SimTime, SECOND};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What one client does in one round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClientBehavior {
+    /// The client submits its ciphertext `delay` after the round opens.
+    Submits {
+        /// Delay from round start to the server receiving the ciphertext.
+        delay: SimTime,
+    },
+    /// The client is offline (or disconnects before submitting).
+    Offline,
+}
+
+impl ClientBehavior {
+    /// The submission delay, if any.
+    pub fn delay(&self) -> Option<SimTime> {
+        match self {
+            ClientBehavior::Submits { delay } => Some(*delay),
+            ClientBehavior::Offline => None,
+        }
+    }
+}
+
+/// A churn/straggler model for a client population.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChurnModel {
+    /// Probability a client is offline in a given round.
+    pub offline_prob: f64,
+    /// Median submission delay in seconds (log-normal body).
+    pub median_delay_s: f64,
+    /// Log-normal sigma controlling the spread of the delay body.
+    pub sigma: f64,
+    /// Probability a submitting client is a heavy straggler.
+    pub straggler_prob: f64,
+    /// Pareto scale (seconds) for straggler delays.
+    pub straggler_scale_s: f64,
+    /// Pareto shape for straggler delays (smaller = heavier tail).
+    pub straggler_shape: f64,
+    /// Hard cap on any delay, mirroring a client that eventually gives up.
+    pub max_delay_s: f64,
+}
+
+impl ChurnModel {
+    /// An idealized reliable LAN population: everyone submits quickly.
+    pub fn reliable_lan() -> Self {
+        ChurnModel {
+            offline_prob: 0.0,
+            median_delay_s: 0.15,
+            sigma: 0.25,
+            straggler_prob: 0.0,
+            straggler_scale_s: 1.0,
+            straggler_shape: 2.0,
+            max_delay_s: 5.0,
+        }
+    }
+
+    /// The DeterLab population of §5.2: controlled testbed, negligible churn,
+    /// modest spread from client-side processing.
+    pub fn deterlab() -> Self {
+        ChurnModel {
+            offline_prob: 0.002,
+            median_delay_s: 0.25,
+            sigma: 0.35,
+            straggler_prob: 0.01,
+            straggler_scale_s: 1.0,
+            straggler_shape: 2.5,
+            max_delay_s: 30.0,
+        }
+    }
+
+    /// The PlanetLab population of §5.1: noticeable churn and a heavy
+    /// straggler tail reaching the 120-second hard deadline.
+    pub fn planetlab() -> Self {
+        ChurnModel {
+            offline_prob: 0.03,
+            median_delay_s: 0.9,
+            sigma: 0.7,
+            straggler_prob: 0.05,
+            straggler_scale_s: 4.0,
+            straggler_shape: 1.3,
+            max_delay_s: 150.0,
+        }
+    }
+
+    /// Sample one client's behaviour for one round.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> ClientBehavior {
+        if rng.gen_bool(self.offline_prob.clamp(0.0, 1.0)) {
+            return ClientBehavior::Offline;
+        }
+        let delay_s = if rng.gen_bool(self.straggler_prob.clamp(0.0, 1.0)) {
+            // Pareto tail: scale / U^(1/shape).
+            let u: f64 = rng.gen_range(1e-9..1.0);
+            self.straggler_scale_s / u.powf(1.0 / self.straggler_shape)
+        } else {
+            // Log-normal body around the median.
+            let z = standard_normal(rng);
+            self.median_delay_s * (self.sigma * z).exp()
+        };
+        let delay_s = delay_s.min(self.max_delay_s).max(0.0);
+        ClientBehavior::Submits {
+            delay: (delay_s * SECOND as f64) as SimTime,
+        }
+    }
+
+    /// Sample behaviour for a whole population.
+    pub fn sample_population<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<ClientBehavior> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// An adversarial variant: `fraction` of clients are taken offline
+    /// (the DoS scenario of §3.7 where an attacker tries to shrink the
+    /// anonymity set just before a sensitive post).
+    pub fn with_dos_fraction(mut self, fraction: f64) -> Self {
+        self.offline_prob = (self.offline_prob + fraction).clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// Box–Muller standard normal sample.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::to_secs;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reliable_lan_everyone_submits_fast() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = ChurnModel::reliable_lan();
+        let pop = model.sample_population(&mut rng, 500);
+        assert!(pop.iter().all(|b| b.delay().is_some()));
+        let mean = pop
+            .iter()
+            .filter_map(|b| b.delay())
+            .map(to_secs)
+            .sum::<f64>()
+            / 500.0;
+        assert!(mean < 0.5, "mean = {mean}");
+    }
+
+    #[test]
+    fn planetlab_has_offline_clients_and_stragglers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = ChurnModel::planetlab();
+        let pop = model.sample_population(&mut rng, 5000);
+        let offline = pop.iter().filter(|b| b.delay().is_none()).count();
+        assert!(offline > 50 && offline < 500, "offline = {offline}");
+        let delays: Vec<f64> = pop.iter().filter_map(|b| b.delay()).map(to_secs).collect();
+        let over_30s = delays.iter().filter(|&&d| d > 30.0).count();
+        assert!(over_30s > 10, "stragglers over 30 s: {over_30s}");
+        // Median stays moderate even though the tail is heavy.
+        let mut sorted = delays.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(median < 3.0, "median = {median}");
+    }
+
+    #[test]
+    fn delays_respect_hard_cap() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = ChurnModel {
+            max_delay_s: 2.0,
+            ..ChurnModel::planetlab()
+        };
+        for _ in 0..2000 {
+            if let Some(d) = model.sample(&mut rng).delay() {
+                assert!(to_secs(d) <= 2.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dos_fraction_takes_clients_offline() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = ChurnModel::reliable_lan().with_dos_fraction(0.5);
+        let pop = model.sample_population(&mut rng, 2000);
+        let offline = pop.iter().filter(|b| b.delay().is_none()).count();
+        assert!(offline > 800 && offline < 1200, "offline = {offline}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = ChurnModel::planetlab();
+        let a = model.sample_population(&mut StdRng::seed_from_u64(7), 100);
+        let b = model.sample_population(&mut StdRng::seed_from_u64(7), 100);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,30 @@
+//! # dissent-net
+//!
+//! Network substrate for the Dissent reproduction: a discrete-event
+//! simulator plus the link, topology, churn, trace and computation-cost
+//! models that stand in for the paper's DeterLab, PlanetLab, Emulab and EC2
+//! testbeds (see DESIGN.md for the substitution rationale).
+//!
+//! * [`sim`] — virtual clock, event queue, summary statistics.
+//! * [`link`] — latency/bandwidth/jitter link model.
+//! * [`topology`] — testbed presets matching §5 of the paper.
+//! * [`churn`] — per-round client online/offline and straggler behaviour.
+//! * [`trace`] — synthetic PlanetLab-style submission traces (Figure 6).
+//! * [`costmodel`] — virtual-time costs of the cryptographic operations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod costmodel;
+pub mod link;
+pub mod sim;
+pub mod topology;
+pub mod trace;
+
+pub use churn::{ChurnModel, ClientBehavior};
+pub use costmodel::CostModel;
+pub use link::Link;
+pub use sim::{EventQueue, SimTime, Stats, MILLISECOND, SECOND};
+pub use topology::Topology;
+pub use trace::{SubmissionTrace, TraceConfig, TraceRound};

@@ -1,0 +1,120 @@
+//! Link models: latency + bandwidth + jitter.
+//!
+//! Every figure in the paper's evaluation is ultimately a function of how
+//! long messages of a given size take to cross links of a given latency and
+//! bandwidth (plus computation).  A [`Link`] captures exactly those terms;
+//! topologies (DeterLab LAN, PlanetLab wide-area, Emulab WiFi) are built from
+//! them in [`crate::topology`].
+
+use crate::sim::{SimTime, MILLISECOND, SECOND};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A unidirectional network link.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// One-way propagation latency in microseconds.
+    pub latency_us: SimTime,
+    /// Bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// Random extra delay, uniform in `[0, jitter_us]`, added per message.
+    pub jitter_us: SimTime,
+}
+
+impl Link {
+    /// Construct a link from millisecond latency and Mbit/s bandwidth.
+    pub fn new_ms_mbps(latency_ms: f64, bandwidth_mbps: f64) -> Self {
+        Link {
+            latency_us: (latency_ms * MILLISECOND as f64) as SimTime,
+            bandwidth_bps: (bandwidth_mbps * 1_000_000.0) as u64,
+            jitter_us: 0,
+        }
+    }
+
+    /// Add jitter (milliseconds) to the link.
+    pub fn with_jitter_ms(mut self, jitter_ms: f64) -> Self {
+        self.jitter_us = (jitter_ms * MILLISECOND as f64) as SimTime;
+        self
+    }
+
+    /// Serialization time for a message of `bytes` on this link.
+    pub fn serialization_time(&self, bytes: usize) -> SimTime {
+        if self.bandwidth_bps == 0 {
+            return 0;
+        }
+        ((bytes as u128 * 8 * SECOND as u128) / self.bandwidth_bps as u128) as SimTime
+    }
+
+    /// Total one-way transfer time (latency + serialization), no jitter.
+    pub fn transfer_time(&self, bytes: usize) -> SimTime {
+        self.latency_us + self.serialization_time(bytes)
+    }
+
+    /// Transfer time including a random jitter sample.
+    pub fn transfer_time_jittered<R: Rng + ?Sized>(&self, bytes: usize, rng: &mut R) -> SimTime {
+        let jitter = if self.jitter_us == 0 {
+            0
+        } else {
+            rng.gen_range(0..=self.jitter_us)
+        };
+        self.transfer_time(bytes) + jitter
+    }
+
+    /// Round-trip time for a small control message.
+    pub fn rtt(&self) -> SimTime {
+        self.latency_us * 2
+    }
+}
+
+impl Default for Link {
+    fn default() -> Self {
+        // 10 ms, 100 Mbps — the DeterLab server-to-server link of §5.2.
+        Link::new_ms_mbps(10.0, 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn serialization_time_scales_with_size_and_bandwidth() {
+        let link = Link::new_ms_mbps(0.0, 100.0); // 100 Mbps
+        // 1,250,000 bytes = 10 Mbit → 0.1 s at 100 Mbps.
+        assert_eq!(link.serialization_time(1_250_000), 100_000);
+        let slow = Link::new_ms_mbps(0.0, 1.0);
+        assert_eq!(slow.serialization_time(1_250_000), 10_000_000);
+        assert_eq!(link.serialization_time(0), 0);
+    }
+
+    #[test]
+    fn transfer_time_adds_latency() {
+        let link = Link::new_ms_mbps(50.0, 100.0);
+        assert_eq!(link.transfer_time(0), 50_000);
+        assert_eq!(link.transfer_time(1_250_000), 50_000 + 100_000);
+        assert_eq!(link.rtt(), 100_000);
+    }
+
+    #[test]
+    fn zero_bandwidth_means_no_serialization_delay() {
+        let link = Link {
+            latency_us: 10,
+            bandwidth_bps: 0,
+            jitter_us: 0,
+        };
+        assert_eq!(link.transfer_time(1 << 20), 10);
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let link = Link::new_ms_mbps(10.0, 100.0).with_jitter_ms(5.0);
+        for _ in 0..200 {
+            let t = link.transfer_time_jittered(1000, &mut rng);
+            let base = link.transfer_time(1000);
+            assert!(t >= base && t <= base + 5_000);
+        }
+    }
+}

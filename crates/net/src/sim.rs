@@ -1,0 +1,289 @@
+//! A small discrete-event simulation core.
+//!
+//! The paper evaluated Dissent on DeterLab, PlanetLab, Emulab and EC2.  None
+//! of those testbeds is available to this reproduction, so protocol timing is
+//! measured on a virtual clock instead: every network transfer and every
+//! modelled computation schedules an event, and the simulator advances time
+//! to the next event.  The protocol logic itself (ciphertexts, shuffles,
+//! blame) still runs for real; only *time* is simulated.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time in microseconds.
+pub type SimTime = u64;
+
+/// One microsecond expressed in [`SimTime`] units.
+pub const MICROSECOND: SimTime = 1;
+/// One millisecond in [`SimTime`] units.
+pub const MILLISECOND: SimTime = 1_000;
+/// One second in [`SimTime`] units.
+pub const SECOND: SimTime = 1_000_000;
+
+/// Convert a [`SimTime`] to floating-point seconds (for reporting).
+pub fn to_secs(t: SimTime) -> f64 {
+    t as f64 / SECOND as f64
+}
+
+/// Convert floating-point seconds to [`SimTime`].
+pub fn from_secs(s: f64) -> SimTime {
+    (s * SECOND as f64).round().max(0.0) as SimTime
+}
+
+/// A time-ordered event queue carrying events of type `T`.
+///
+/// Events scheduled for the same instant are delivered in insertion order
+/// (FIFO), which keeps simulations deterministic.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    now: SimTime,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Create an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+        }
+    }
+
+    /// The current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `item` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimTime, item: T) {
+        self.schedule_at(self.now.saturating_add(delay), item);
+    }
+
+    /// Schedule `item` at an absolute virtual time (clamped to `now`).
+    pub fn schedule_at(&mut self, time: SimTime, item: T) {
+        let time = time.max(self.now);
+        self.heap.push(Reverse(Entry {
+            time,
+            seq: self.seq,
+            item,
+        }));
+        self.seq += 1;
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|Reverse(e)| {
+            self.now = e.time;
+            (e.time, e.item)
+        })
+    }
+
+    /// Peek at the timestamp of the next event without advancing time.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Accumulates simple summary statistics over simulated measurements.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    samples: Vec<f64>,
+}
+
+impl Stats {
+    /// Create an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) using nearest-rank on the sorted samples.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank]
+    }
+
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Empirical CDF as (value, cumulative fraction) pairs over the sorted samples.
+    pub fn cdf(&self) -> Vec<(f64, f64)> {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len() as f64;
+        sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.now(), 10);
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 1);
+        q.schedule(5, 2);
+        q.schedule(5, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn schedule_is_relative_to_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "first");
+        q.pop();
+        q.schedule(5, "second");
+        assert_eq!(q.pop(), Some((15, "second")));
+    }
+
+    #[test]
+    fn schedule_at_in_the_past_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "x");
+        q.pop();
+        q.schedule_at(50, "late");
+        assert_eq!(q.pop(), Some((100, "late")));
+    }
+
+    #[test]
+    fn time_conversions() {
+        assert_eq!(from_secs(1.5), 1_500_000);
+        assert!((to_secs(2_500_000) - 2.5).abs() < 1e-9);
+        assert_eq!(from_secs(-1.0), 0);
+    }
+
+    #[test]
+    fn stats_summaries() {
+        let mut s = Stats::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.push(v);
+        }
+        assert_eq!(s.len(), 5);
+        assert!((s.mean() - 3.0).abs() < 1e-9);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.median(), 3.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 5.0);
+        let cdf = s.cdf();
+        assert_eq!(cdf.first().unwrap().0, 1.0);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = Stats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert!(s.cdf().is_empty());
+    }
+}

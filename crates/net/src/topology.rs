@@ -1,0 +1,146 @@
+//! Testbed topologies.
+//!
+//! The evaluation section of the paper uses four environments; each is
+//! reproduced here as a [`Topology`] preset:
+//!
+//! * **DeterLab** (§5.2): servers share a 100 Mbps network with 10 ms
+//!   latency; clients share a 100 Mbps uplink with 50 ms latency to their
+//!   server.  Used for Figures 7, 8 and 9.
+//! * **PlanetLab** (§5.1/5.2): 16 EC2 servers + 1 at Yale (~14 ms RTT among
+//!   them), clients scattered across the public Internet with heavy-tailed
+//!   latencies and limited bandwidth.  Used for Figure 6 and the PlanetLab
+//!   series of Figure 7.
+//! * **Emulab WiFi LAN** (§5.4): every node hangs off a 24 Mbps, 10 ms link —
+//!   the local-area anonymity scenario of Figures 10 and 11.
+//! * **Internet path / Tor hops**: generic wide-area links used by the web
+//!   browsing model in `dissent-apps`.
+
+use crate::link::Link;
+use serde::{Deserialize, Serialize};
+
+/// A complete topology: how clients reach their upstream server and how
+/// servers reach each other.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Human-readable name (appears in experiment output).
+    pub name: String,
+    /// Link from a client to its upstream server.
+    pub client_link: Link,
+    /// Link between any two servers.
+    pub server_link: Link,
+    /// Link from the exit/gateway to the public Internet (web workloads).
+    pub internet_link: Link,
+    /// Number of servers.
+    pub num_servers: usize,
+    /// Number of clients.
+    pub num_clients: usize,
+}
+
+impl Topology {
+    /// The DeterLab configuration of §5.2: `num_servers` servers on a
+    /// 100 Mbps / 10 ms network, clients on 100 Mbps / 50 ms uplinks.
+    pub fn deterlab(num_clients: usize, num_servers: usize) -> Self {
+        Topology {
+            name: format!("deterlab-{num_clients}c-{num_servers}s"),
+            client_link: Link::new_ms_mbps(50.0, 100.0),
+            server_link: Link::new_ms_mbps(10.0, 100.0),
+            internet_link: Link::new_ms_mbps(20.0, 100.0),
+            num_servers,
+            num_clients,
+        }
+    }
+
+    /// The PlanetLab/EC2 configuration of §5.2: servers co-located (EC2 US
+    /// East + Yale, ~14 ms RTT → 7 ms one-way), clients on the public
+    /// Internet with higher latency, lower bandwidth and heavy jitter.
+    pub fn planetlab(num_clients: usize, num_servers: usize) -> Self {
+        Topology {
+            name: format!("planetlab-{num_clients}c-{num_servers}s"),
+            client_link: Link::new_ms_mbps(80.0, 10.0).with_jitter_ms(40.0),
+            server_link: Link::new_ms_mbps(7.0, 300.0),
+            internet_link: Link::new_ms_mbps(40.0, 50.0),
+            num_servers,
+            num_clients,
+        }
+    }
+
+    /// The Emulab WiFi LAN of §5.4: 24 Mbps links with 10 ms latency, a
+    /// handful of servers and clients, one gateway to the Internet.
+    pub fn emulab_wifi(num_clients: usize, num_servers: usize) -> Self {
+        Topology {
+            name: format!("emulab-wifi-{num_clients}c-{num_servers}s"),
+            client_link: Link::new_ms_mbps(10.0, 24.0),
+            server_link: Link::new_ms_mbps(10.0, 24.0),
+            internet_link: Link::new_ms_mbps(20.0, 100.0),
+            num_servers,
+            num_clients,
+        }
+    }
+
+    /// A generic wide-area path used to model Tor relay hops and direct
+    /// Internet access in the browsing comparison.
+    pub fn wide_area_hop() -> Link {
+        Link::new_ms_mbps(40.0, 20.0)
+    }
+
+    /// Clients per server under the balanced assignment used throughout the
+    /// evaluation (client `i` attaches to server `i mod M`).
+    pub fn clients_per_server(&self) -> usize {
+        self.num_clients.div_ceil(self.num_servers.max(1))
+    }
+
+    /// The upstream server of a client under the balanced assignment.
+    pub fn upstream_server(&self, client: usize) -> usize {
+        client % self.num_servers.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterlab_matches_paper_parameters() {
+        let t = Topology::deterlab(640, 32);
+        assert_eq!(t.num_clients, 640);
+        assert_eq!(t.num_servers, 32);
+        assert_eq!(t.server_link.latency_us, 10_000);
+        assert_eq!(t.client_link.latency_us, 50_000);
+        assert_eq!(t.client_link.bandwidth_bps, 100_000_000);
+        assert_eq!(t.clients_per_server(), 20);
+    }
+
+    #[test]
+    fn emulab_wifi_is_24mbps() {
+        let t = Topology::emulab_wifi(24, 5);
+        assert_eq!(t.client_link.bandwidth_bps, 24_000_000);
+        assert_eq!(t.client_link.latency_us, 10_000);
+    }
+
+    #[test]
+    fn planetlab_clients_are_slower_and_jittery() {
+        let t = Topology::planetlab(560, 17);
+        assert!(t.client_link.latency_us > t.server_link.latency_us);
+        assert!(t.client_link.jitter_us > 0);
+        assert!(t.client_link.bandwidth_bps < t.server_link.bandwidth_bps);
+    }
+
+    #[test]
+    fn balanced_assignment() {
+        let t = Topology::deterlab(10, 3);
+        assert_eq!(t.upstream_server(0), 0);
+        assert_eq!(t.upstream_server(4), 1);
+        assert_eq!(t.upstream_server(8), 2);
+        assert_eq!(t.clients_per_server(), 4);
+    }
+
+    #[test]
+    fn zero_servers_does_not_divide_by_zero() {
+        let t = Topology {
+            num_servers: 0,
+            ..Topology::deterlab(5, 1)
+        };
+        assert_eq!(t.upstream_server(3), 0);
+        assert_eq!(t.clients_per_server(), 5);
+    }
+}

@@ -1,0 +1,182 @@
+//! Synthetic PlanetLab submission-time traces.
+//!
+//! To pick a window-closure policy, the paper's authors collected a 24-hour
+//! trace from a 500+ client PlanetLab deployment with a static 120-second
+//! window, then replayed it against candidate policies (§5.1, Figure 6).
+//! The original trace is not available, so this module generates a synthetic
+//! trace with the same qualitative structure: a population of clients whose
+//! per-round submission delays follow a heavy-tailed distribution, a few
+//! percent of clients offline per round, and slow drift in the online
+//! population over the (simulated) day.
+
+use crate::churn::{ChurnModel, ClientBehavior};
+use crate::sim::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One round of the trace: every client's behaviour.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceRound {
+    /// Round index within the trace.
+    pub round: u64,
+    /// Per-client behaviour (index = client id).
+    pub clients: Vec<ClientBehavior>,
+}
+
+impl TraceRound {
+    /// Delays of the clients that submitted, unsorted.
+    pub fn submission_delays(&self) -> Vec<SimTime> {
+        self.clients.iter().filter_map(|c| c.delay()).collect()
+    }
+
+    /// Number of clients that submitted at all.
+    pub fn submitted(&self) -> usize {
+        self.clients.iter().filter(|c| c.delay().is_some()).count()
+    }
+}
+
+/// A multi-round submission trace for a fixed client population.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SubmissionTrace {
+    /// The rounds of the trace, in order.
+    pub rounds: Vec<TraceRound>,
+    /// Nominal population size.
+    pub num_clients: usize,
+}
+
+/// Parameters of the synthetic trace generator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of clients in the deployment (the paper used "over 500").
+    pub num_clients: usize,
+    /// Number of rounds to generate.
+    pub num_rounds: usize,
+    /// Base churn/straggler model.
+    pub churn: ChurnModel,
+    /// Amplitude of the diurnal drift in the offline probability (0–1).
+    pub diurnal_amplitude: f64,
+    /// Seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            num_clients: 560,
+            num_rounds: 400,
+            churn: ChurnModel::planetlab(),
+            diurnal_amplitude: 0.02,
+            seed: 0xD15C0,
+        }
+    }
+}
+
+/// Generate a synthetic submission trace.
+pub fn generate(config: &TraceConfig) -> SubmissionTrace {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rounds = Vec::with_capacity(config.num_rounds);
+    for r in 0..config.num_rounds {
+        // Slow sinusoidal drift of the offline probability across the trace,
+        // standing in for the diurnal variation the paper observed over its
+        // 24-hour collection window.
+        let phase = (r as f64 / config.num_rounds.max(1) as f64) * std::f64::consts::TAU;
+        let drift = config.diurnal_amplitude * (phase.sin() + 1.0) / 2.0;
+        let model = ChurnModel {
+            offline_prob: (config.churn.offline_prob + drift).clamp(0.0, 1.0),
+            ..config.churn.clone()
+        };
+        let mut clients = Vec::with_capacity(config.num_clients);
+        for _ in 0..config.num_clients {
+            clients.push(model.sample(&mut rng));
+        }
+        // Occasionally a correlated burst of failures (a PlanetLab site going
+        // down) takes a contiguous block of clients offline together.
+        if rng.gen_bool(0.02) {
+            let start = rng.gen_range(0..config.num_clients.max(1));
+            let len = rng.gen_range(1..=(config.num_clients / 20).max(1));
+            for c in clients.iter_mut().skip(start).take(len) {
+                *c = ClientBehavior::Offline;
+            }
+        }
+        rounds.push(TraceRound {
+            round: r as u64,
+            clients,
+        });
+    }
+    SubmissionTrace {
+        rounds,
+        num_clients: config.num_clients,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::to_secs;
+
+    #[test]
+    fn trace_has_requested_shape() {
+        let config = TraceConfig {
+            num_clients: 100,
+            num_rounds: 50,
+            ..TraceConfig::default()
+        };
+        let trace = generate(&config);
+        assert_eq!(trace.rounds.len(), 50);
+        assert!(trace.rounds.iter().all(|r| r.clients.len() == 100));
+        assert_eq!(trace.num_clients, 100);
+    }
+
+    #[test]
+    fn trace_is_reproducible_for_a_seed() {
+        let config = TraceConfig {
+            num_clients: 50,
+            num_rounds: 20,
+            ..TraceConfig::default()
+        };
+        let a = generate(&config);
+        let b = generate(&config);
+        for (ra, rb) in a.rounds.iter().zip(b.rounds.iter()) {
+            assert_eq!(ra.clients, rb.clients);
+        }
+        let other = generate(&TraceConfig { seed: 1, ..config });
+        assert_ne!(a.rounds[0].clients, other.rounds[0].clients);
+    }
+
+    #[test]
+    fn most_clients_submit_most_rounds() {
+        let trace = generate(&TraceConfig {
+            num_clients: 500,
+            num_rounds: 100,
+            ..TraceConfig::default()
+        });
+        let avg_submitted: f64 = trace
+            .rounds
+            .iter()
+            .map(|r| r.submitted() as f64)
+            .sum::<f64>()
+            / trace.rounds.len() as f64;
+        assert!(avg_submitted > 400.0, "avg submitted = {avg_submitted}");
+    }
+
+    #[test]
+    fn trace_contains_heavy_stragglers() {
+        // The point of the Figure-6 experiment is that waiting for the
+        // slowest client is an order of magnitude worse than cutting off at
+        // 95%; the trace must therefore contain delays far beyond the body.
+        let trace = generate(&TraceConfig::default());
+        let mut worst_ratio: f64 = 0.0;
+        for round in &trace.rounds {
+            let mut delays: Vec<f64> = round.submission_delays().iter().map(|&d| to_secs(d)).collect();
+            if delays.len() < 20 {
+                continue;
+            }
+            delays.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let p95 = delays[(delays.len() as f64 * 0.95) as usize - 1];
+            let max = *delays.last().unwrap();
+            worst_ratio = worst_ratio.max(max / p95.max(1e-6));
+        }
+        assert!(worst_ratio > 5.0, "worst straggler ratio = {worst_ratio}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # dissent-shuffle
+//!
+//! Verifiable shuffles for the Dissent reproduction (paper §3.10).
+//!
+//! Dissent uses a verifiable shuffle twice: a **key shuffle** at session
+//! setup assigns each client a secret pseudonym slot, and a **message
+//! (accusation) shuffle** gives disruption victims a channel a disruptor
+//! cannot corrupt.  The paper uses Neff's shuffle argument; this crate keeps
+//! the identical protocol structure (per-server shuffle → re-randomize →
+//! strip layer → everyone verifies) but proves the permutation step with a
+//! Fiat–Shamir cut-and-choose shadow-shuffle argument and the decryption
+//! step with per-entry Chaum–Pedersen proofs (see DESIGN.md §2 for the
+//! substitution rationale).
+//!
+//! * [`permutation`] — permutation algebra.
+//! * [`proof`] — the cut-and-choose shuffle argument.
+//! * [`pass`] — one server's verifiable pass (shuffle + layer decryption).
+//! * [`protocol`] — end-to-end key and message shuffles and transcript
+//!   auditing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pass;
+pub mod permutation;
+pub mod proof;
+pub mod protocol;
+
+pub use pass::{perform_pass, verify_pass, PassTranscript};
+pub use permutation::Permutation;
+pub use proof::{ShuffleProof, DEFAULT_SOUNDNESS};
+pub use protocol::{
+    decode_messages, run_shuffle, submit_element, submit_message, verify_transcript, ShuffleError,
+    ShuffleTranscript,
+};

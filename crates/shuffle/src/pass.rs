@@ -1,0 +1,336 @@
+//! One server's pass of the verifiable shuffle.
+//!
+//! In Dissent's shuffle (paper §3.10) each server in turn "shuffles the
+//! input and removes a layer of encryption".  A pass therefore has two
+//! verifiable halves:
+//!
+//! 1. **Shuffle + re-randomize** — proven with the cut-and-choose shadow
+//!    argument of [`crate::proof`]; the permutation stays secret.
+//! 2. **Layer decryption** — element-wise division of `c2` by `c1^{x_j}`,
+//!    proven with one Chaum–Pedersen DLEQ proof per entry (no permutation is
+//!    involved in this half, so the per-entry proof reveals nothing).
+//!
+//! Any node holding the transcript can verify both halves with only public
+//! information; a server that cheats is identified immediately and the
+//! shuffle restarts without it (go/no-go behaviour handled by the caller).
+
+use crate::proof::{self, ShuffleProof};
+use dissent_crypto::chaum_pedersen::{self, DleqProof};
+use dissent_crypto::dh::DhKeyPair;
+use dissent_crypto::elgamal::{Ciphertext, ElGamal};
+use dissent_crypto::group::Element;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// The transcript one server publishes for its pass.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PassTranscript {
+    /// Index of the server that performed the pass.
+    pub server_index: usize,
+    /// The ciphertext list after shuffling and re-randomizing (this server's
+    /// layer still present).
+    pub shuffled: Vec<Ciphertext>,
+    /// Proof for the shuffle half.
+    pub shuffle_proof: ShuffleProof,
+    /// The ciphertext list after stripping this server's layer — the input
+    /// to the next server's pass.
+    pub stripped: Vec<Ciphertext>,
+    /// Per-entry decryption shares `c1^{x_j}`.
+    pub decryption_shares: Vec<Element>,
+    /// Per-entry DLEQ proofs for the shares.
+    pub decryption_proofs: Vec<DleqProof>,
+}
+
+/// Perform one server's pass.
+///
+/// * `elgamal` — the ElGamal instance over the session group;
+/// * `server_keys` — every server's DH public key, in shuffle order;
+/// * `server_index` — this server's position in that order;
+/// * `server_keypair` — this server's keypair (public must match the list);
+/// * `input` — the ciphertext list produced by the previous server (or the
+///   clients, for the first server), encrypted under the keys of servers
+///   `server_index..`;
+/// * `soundness` — number of shadow rounds in the shuffle proof.
+#[allow(clippy::too_many_arguments)]
+pub fn perform_pass<R: RngCore + ?Sized>(
+    elgamal: &ElGamal,
+    server_keys: &[Element],
+    server_index: usize,
+    server_keypair: &DhKeyPair,
+    input: &[Ciphertext],
+    soundness: usize,
+    context: &[u8],
+    rng: &mut R,
+) -> PassTranscript {
+    let group = elgamal.group();
+    assert_eq!(
+        server_keys[server_index], *server_keypair.public(),
+        "server keypair does not match its slot in the key list"
+    );
+    // Remaining key: product of the public keys whose layers are still on
+    // the ciphertexts (this server's included).
+    let remaining_key = elgamal.combine_keys(&server_keys[server_index..]);
+
+    let (shuffled, witness) = proof::shuffle_and_rerandomize(elgamal, &remaining_key, input, rng);
+    let shuffle_proof = proof::prove(
+        elgamal,
+        &remaining_key,
+        input,
+        &shuffled,
+        &witness,
+        soundness,
+        &pass_context(context, server_index),
+        rng,
+    );
+
+    // Strip this server's layer element-wise and prove each share.
+    let mut stripped = Vec::with_capacity(shuffled.len());
+    let mut decryption_shares = Vec::with_capacity(shuffled.len());
+    let mut decryption_proofs = Vec::with_capacity(shuffled.len());
+    for (k, ct) in shuffled.iter().enumerate() {
+        let share = elgamal.decryption_share(server_keypair.secret(), ct);
+        let proof = chaum_pedersen::prove(
+            group,
+            rng,
+            &group.generator(),
+            &ct.c1,
+            server_keypair.secret(),
+            &entry_context(context, server_index, k),
+        );
+        stripped.push(elgamal.strip_layer(server_keypair.secret(), ct));
+        decryption_shares.push(share);
+        decryption_proofs.push(proof);
+    }
+
+    PassTranscript {
+        server_index,
+        shuffled,
+        shuffle_proof,
+        stripped,
+        decryption_shares,
+        decryption_proofs,
+    }
+}
+
+fn pass_context(context: &[u8], server_index: usize) -> Vec<u8> {
+    let mut c = context.to_vec();
+    c.extend_from_slice(b"|pass|");
+    c.extend_from_slice(&(server_index as u64).to_be_bytes());
+    c
+}
+
+fn entry_context(context: &[u8], server_index: usize, entry: usize) -> Vec<u8> {
+    let mut c = pass_context(context, server_index);
+    c.extend_from_slice(b"|entry|");
+    c.extend_from_slice(&(entry as u64).to_be_bytes());
+    c
+}
+
+/// Verify one server's pass transcript against the input it claims to have
+/// processed.  Returns `true` only if both the shuffle proof and every
+/// per-entry decryption proof check out.
+pub fn verify_pass(
+    elgamal: &ElGamal,
+    server_keys: &[Element],
+    input: &[Ciphertext],
+    transcript: &PassTranscript,
+    context: &[u8],
+) -> bool {
+    let group = elgamal.group();
+    let j = transcript.server_index;
+    if j >= server_keys.len() {
+        return false;
+    }
+    let n = input.len();
+    if transcript.shuffled.len() != n
+        || transcript.stripped.len() != n
+        || transcript.decryption_shares.len() != n
+        || transcript.decryption_proofs.len() != n
+    {
+        return false;
+    }
+    let remaining_key = elgamal.combine_keys(&server_keys[j..]);
+    if !proof::verify(
+        elgamal,
+        &remaining_key,
+        input,
+        &transcript.shuffled,
+        &transcript.shuffle_proof,
+        &pass_context(context, j),
+    ) {
+        return false;
+    }
+    let server_pk = &server_keys[j];
+    for k in 0..n {
+        let ct = &transcript.shuffled[k];
+        let share = &transcript.decryption_shares[k];
+        // DLEQ: log_g(server_pk) == log_{c1}(share).
+        if !chaum_pedersen::verify(
+            group,
+            &group.generator(),
+            &ct.c1,
+            server_pk,
+            share,
+            &transcript.decryption_proofs[k],
+            &entry_context(context, j, k),
+        ) {
+            return false;
+        }
+        // The stripped entry must be exactly (c1, c2 / share).
+        let expected = Ciphertext {
+            c1: ct.c1.clone(),
+            c2: group.div(&ct.c2, share),
+        };
+        if expected != transcript.stripped[k] {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dissent_crypto::group::Group;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SOUNDNESS: usize = 8;
+
+    struct Fixture {
+        elgamal: ElGamal,
+        servers: Vec<DhKeyPair>,
+        server_keys: Vec<Element>,
+        messages: Vec<Element>,
+        input: Vec<Ciphertext>,
+        rng: StdRng,
+    }
+
+    fn fixture(n_msgs: usize, n_servers: usize) -> Fixture {
+        let group = Group::testing_256();
+        let elgamal = ElGamal::new(group.clone());
+        let mut rng = StdRng::seed_from_u64(0xAA);
+        let servers: Vec<DhKeyPair> = (0..n_servers)
+            .map(|_| DhKeyPair::generate(&group, &mut rng))
+            .collect();
+        let server_keys: Vec<Element> = servers.iter().map(|s| s.public().clone()).collect();
+        let combined = elgamal.combine_keys(&server_keys);
+        let messages: Vec<Element> = (0..n_msgs)
+            .map(|_| group.exp_base(&group.random_scalar(&mut rng)))
+            .collect();
+        let input: Vec<Ciphertext> = messages
+            .iter()
+            .map(|m| elgamal.encrypt(&mut rng, &combined, m))
+            .collect();
+        Fixture {
+            elgamal,
+            servers,
+            server_keys,
+            messages,
+            input,
+            rng,
+        }
+    }
+
+    #[test]
+    fn full_chain_of_passes_reveals_permuted_messages() {
+        let mut f = fixture(6, 3);
+        let mut current = f.input.clone();
+        for (j, server) in f.servers.iter().enumerate() {
+            let t = perform_pass(
+                &f.elgamal,
+                &f.server_keys,
+                j,
+                server,
+                &current,
+                SOUNDNESS,
+                b"key-shuffle",
+                &mut f.rng,
+            );
+            assert!(verify_pass(&f.elgamal, &f.server_keys, &current, &t, b"key-shuffle"));
+            current = t.stripped;
+        }
+        // After the last pass, c2 holds the plaintexts.
+        let group = f.elgamal.group();
+        let mut out: Vec<Vec<u8>> = current.iter().map(|ct| ct.c2.to_bytes(group)).collect();
+        let mut expected: Vec<Vec<u8>> = f.messages.iter().map(|m| m.to_bytes(group)).collect();
+        out.sort();
+        expected.sort();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn pass_with_wrong_input_fails_verification() {
+        let mut f = fixture(4, 2);
+        let t = perform_pass(
+            &f.elgamal,
+            &f.server_keys,
+            0,
+            &f.servers[0],
+            &f.input,
+            SOUNDNESS,
+            b"ctx",
+            &mut f.rng,
+        );
+        let mut wrong_input = f.input.clone();
+        wrong_input.swap(0, 1);
+        // Swapping is still a permutation, so the shuffle proof may pass;
+        // tamper with an actual ciphertext value instead.
+        let group = f.elgamal.group();
+        wrong_input[0].c2 = group.mul(&wrong_input[0].c2, &group.generator());
+        assert!(!verify_pass(&f.elgamal, &f.server_keys, &wrong_input, &t, b"ctx"));
+    }
+
+    #[test]
+    fn tampered_stripped_output_fails() {
+        let mut f = fixture(4, 2);
+        let mut t = perform_pass(
+            &f.elgamal,
+            &f.server_keys,
+            0,
+            &f.servers[0],
+            &f.input,
+            SOUNDNESS,
+            b"ctx",
+            &mut f.rng,
+        );
+        let group = f.elgamal.group();
+        t.stripped[1].c2 = group.mul(&t.stripped[1].c2, &group.generator());
+        assert!(!verify_pass(&f.elgamal, &f.server_keys, &f.input, &t, b"ctx"));
+    }
+
+    #[test]
+    fn pass_by_wrong_server_keypair_panics() {
+        let mut f = fixture(2, 2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            perform_pass(
+                &f.elgamal,
+                &f.server_keys,
+                0,
+                &f.servers[1], // mismatched keypair for slot 0
+                &f.input,
+                SOUNDNESS,
+                b"ctx",
+                &mut f.rng,
+            )
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn wrong_server_index_fails_verification() {
+        let mut f = fixture(3, 2);
+        let mut t = perform_pass(
+            &f.elgamal,
+            &f.server_keys,
+            0,
+            &f.servers[0],
+            &f.input,
+            SOUNDNESS,
+            b"ctx",
+            &mut f.rng,
+        );
+        t.server_index = 5;
+        assert!(!verify_pass(&f.elgamal, &f.server_keys, &f.input, &t, b"ctx"));
+    }
+}

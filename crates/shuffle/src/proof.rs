@@ -1,0 +1,362 @@
+//! Cut-and-choose shuffle argument for the re-randomizing permutation step.
+//!
+//! Dissent uses Neff's verifiable shuffle for scheduling and accusations
+//! (§3.10), but "depends minimally on the shuffle's implementation details,
+//! so many shuffle algorithms should be usable".  This reproduction uses a
+//! conceptually simpler argument with the same interface and the same
+//! linear-in-N cost structure: a Fiat–Shamir **shadow shuffle** proof.
+//!
+//! The prover wants to convince everyone that `output` is a permutation and
+//! re-randomization of `input` under the current remaining public key,
+//! without revealing the permutation.  For each of `T` shadow rounds it
+//! publishes an independent shadow shuffle `S_t` of the input.  A hash of
+//! the transcript selects, per shadow, one of two reveals:
+//!
+//! * bit 0 — reveal how `S_t` was built from `input` (permutation and
+//!   randomizers), proving the shadow itself is a correct shuffle;
+//! * bit 1 — reveal how the real `output` is obtained from `S_t`
+//!   (the *relative* permutation and randomizer differences), which links
+//!   output to input through the shadow without exposing either permutation.
+//!
+//! A prover who cheats (output is not a permutation/re-randomization of
+//! input) fails at least one of the two checks for every shadow, so it
+//! survives only by guessing all `T` challenge bits: soundness error `2^-T`.
+//! Each check costs `O(N)` exponentiations, so a full proof is `O(T·N)` —
+//! the same asymptotic regime as the paper's shuffle.
+
+use crate::permutation::Permutation;
+use dissent_crypto::elgamal::{Ciphertext, ElGamal};
+use dissent_crypto::group::{Element, Group, Scalar};
+use dissent_crypto::prng::DetPrng;
+use dissent_crypto::sha256::Sha256;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Default number of shadow rounds (soundness error `2^-T`).
+///
+/// 40 keeps unit-test and simulation runtimes reasonable while leaving the
+/// protocol structure identical to a production setting (where 80–128 would
+/// be used; the parameter is caller-configurable).
+pub const DEFAULT_SOUNDNESS: usize = 40;
+
+/// The response for a single shadow round.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum ShadowResponse {
+    /// Challenge bit 0: open the shadow — reveal its permutation and
+    /// per-output randomizers relative to the *input*.
+    Open {
+        /// Shadow permutation.
+        permutation: Permutation,
+        /// Randomizer used for each shadow output position.
+        randomizers: Vec<Scalar>,
+    },
+    /// Challenge bit 1: link the shadow to the real output — reveal the
+    /// relative permutation and randomizer differences.
+    Link {
+        /// Relative permutation δ with `output[i] ~ shadow[δ(i)]`.
+        permutation: Permutation,
+        /// Randomizer difference for each output position.
+        deltas: Vec<Scalar>,
+    },
+}
+
+/// A non-interactive shuffle proof.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShuffleProof {
+    /// The shadow shuffles, one list of ciphertexts per round.
+    pub shadows: Vec<Vec<Ciphertext>>,
+    /// One response per shadow round.
+    pub responses: Vec<ShadowResponse>,
+}
+
+/// Witness data the prover holds for the real shuffle.
+#[derive(Clone, Debug)]
+pub struct ShuffleWitness {
+    /// The real permutation: `output[i] = rerand(input[permutation(i)])`.
+    pub permutation: Permutation,
+    /// The real randomizer applied at each output position.
+    pub randomizers: Vec<Scalar>,
+}
+
+/// Perform a re-randomizing shuffle of `input` and return the output
+/// together with the witness needed to prove it.
+pub fn shuffle_and_rerandomize<R: RngCore + ?Sized>(
+    elgamal: &ElGamal,
+    remaining_key: &Element,
+    input: &[Ciphertext],
+    rng: &mut R,
+) -> (Vec<Ciphertext>, ShuffleWitness) {
+    let n = input.len();
+    let permutation = Permutation::random(rng, n);
+    let randomizers: Vec<Scalar> = (0..n).map(|_| elgamal.group().random_scalar(rng)).collect();
+    let output: Vec<Ciphertext> = (0..n)
+        .map(|i| {
+            elgamal.rerandomize_with(remaining_key, &input[permutation.source_of(i)], &randomizers[i])
+        })
+        .collect();
+    (
+        output,
+        ShuffleWitness {
+            permutation,
+            randomizers,
+        },
+    )
+}
+
+/// Derive the `T` challenge bits from the full transcript (Fiat–Shamir).
+fn challenge_bits(
+    group: &Group,
+    context: &[u8],
+    remaining_key: &Element,
+    input: &[Ciphertext],
+    output: &[Ciphertext],
+    shadows: &[Vec<Ciphertext>],
+) -> Vec<bool> {
+    let mut hasher = Sha256::new();
+    hasher.update(b"dissent-shuffle-proof");
+    hasher.update(&(context.len() as u64).to_be_bytes());
+    hasher.update(context);
+    hasher.update(&remaining_key.to_bytes(group));
+    let absorb_list = |h: &mut Sha256, list: &[Ciphertext]| {
+        h.update(&(list.len() as u64).to_be_bytes());
+        for ct in list {
+            h.update(&ct.to_bytes(group));
+        }
+    };
+    absorb_list(&mut hasher, input);
+    absorb_list(&mut hasher, output);
+    for s in shadows {
+        absorb_list(&mut hasher, s);
+    }
+    let digest = hasher.finalize();
+    let mut prng = DetPrng::new(&digest, b"shuffle-challenge-bits");
+    (0..shadows.len()).map(|_| prng.bit()).collect()
+}
+
+/// Produce a proof that `output` is a permutation and re-randomization of
+/// `input` under `remaining_key`.
+#[allow(clippy::too_many_arguments)]
+pub fn prove<R: RngCore + ?Sized>(
+    elgamal: &ElGamal,
+    remaining_key: &Element,
+    input: &[Ciphertext],
+    output: &[Ciphertext],
+    witness: &ShuffleWitness,
+    soundness: usize,
+    context: &[u8],
+    rng: &mut R,
+) -> ShuffleProof {
+    let group = elgamal.group();
+    let n = input.len();
+    // Generate the shadow shuffles.
+    let mut shadow_witnesses = Vec::with_capacity(soundness);
+    let mut shadows = Vec::with_capacity(soundness);
+    for _ in 0..soundness {
+        let (s, w) = shuffle_and_rerandomize(elgamal, remaining_key, input, rng);
+        shadows.push(s);
+        shadow_witnesses.push(w);
+    }
+    let bits = challenge_bits(group, context, remaining_key, input, output, &shadows);
+    let responses = bits
+        .iter()
+        .zip(shadow_witnesses.into_iter())
+        .map(|(&bit, sw)| {
+            if !bit {
+                ShadowResponse::Open {
+                    permutation: sw.permutation,
+                    randomizers: sw.randomizers,
+                }
+            } else {
+                // Link: δ(i) = σ_t⁻¹(σ(i)), Δ[i] = r[i] − r_t[δ(i)], so that
+                // rerand_{Δ[i]}(shadow[δ(i)]) == output[i].
+                let delta_perm = witness.permutation.compose(&sw.permutation.inverse());
+                let deltas: Vec<Scalar> = (0..n)
+                    .map(|i| {
+                        group.scalar_sub(
+                            &witness.randomizers[i],
+                            &sw.randomizers[delta_perm.source_of(i)],
+                        )
+                    })
+                    .collect();
+                ShadowResponse::Link {
+                    permutation: delta_perm,
+                    deltas,
+                }
+            }
+        })
+        .collect();
+    ShuffleProof { shadows, responses }
+}
+
+/// Verify a shuffle proof.
+pub fn verify(
+    elgamal: &ElGamal,
+    remaining_key: &Element,
+    input: &[Ciphertext],
+    output: &[Ciphertext],
+    proof: &ShuffleProof,
+    context: &[u8],
+) -> bool {
+    let group = elgamal.group();
+    let n = input.len();
+    if output.len() != n || proof.shadows.len() != proof.responses.len() || proof.shadows.is_empty()
+    {
+        return false;
+    }
+    if proof.shadows.iter().any(|s| s.len() != n) {
+        return false;
+    }
+    let bits = challenge_bits(group, context, remaining_key, input, output, &proof.shadows);
+    for ((shadow, response), &bit) in proof
+        .shadows
+        .iter()
+        .zip(proof.responses.iter())
+        .zip(bits.iter())
+    {
+        match (bit, response) {
+            (false, ShadowResponse::Open {
+                permutation,
+                randomizers,
+            }) => {
+                if permutation.len() != n || randomizers.len() != n {
+                    return false;
+                }
+                for i in 0..n {
+                    let expected = elgamal.rerandomize_with(
+                        remaining_key,
+                        &input[permutation.source_of(i)],
+                        &randomizers[i],
+                    );
+                    if expected != shadow[i] {
+                        return false;
+                    }
+                }
+            }
+            (true, ShadowResponse::Link { permutation, deltas }) => {
+                if permutation.len() != n || deltas.len() != n {
+                    return false;
+                }
+                for i in 0..n {
+                    let expected = elgamal.rerandomize_with(
+                        remaining_key,
+                        &shadow[permutation.source_of(i)],
+                        &deltas[i],
+                    );
+                    if expected != output[i] {
+                        return false;
+                    }
+                }
+            }
+            // Response type does not match the challenge bit.
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dissent_crypto::dh::DhKeyPair;
+    use dissent_crypto::group::Group;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const TEST_SOUNDNESS: usize = 10;
+
+    fn setup(n: usize) -> (ElGamal, Element, Vec<Ciphertext>, StdRng) {
+        let group = Group::testing_256();
+        let eg = ElGamal::new(group.clone());
+        let mut rng = StdRng::seed_from_u64(0x5u64);
+        let key = DhKeyPair::generate(&group, &mut rng);
+        let input: Vec<Ciphertext> = (0..n)
+            .map(|_| {
+                let m = group.exp_base(&group.random_scalar(&mut rng));
+                eg.encrypt(&mut rng, key.public(), &m)
+            })
+            .collect();
+        (eg, key.public().clone(), input, rng)
+    }
+
+    #[test]
+    fn honest_proof_verifies() {
+        let (eg, key, input, mut rng) = setup(8);
+        let (output, witness) = shuffle_and_rerandomize(&eg, &key, &input, &mut rng);
+        let proof = prove(&eg, &key, &input, &output, &witness, TEST_SOUNDNESS, b"t", &mut rng);
+        assert!(verify(&eg, &key, &input, &output, &proof, b"t"));
+    }
+
+    #[test]
+    fn wrong_context_rejected() {
+        let (eg, key, input, mut rng) = setup(4);
+        let (output, witness) = shuffle_and_rerandomize(&eg, &key, &input, &mut rng);
+        let proof = prove(&eg, &key, &input, &output, &witness, TEST_SOUNDNESS, b"a", &mut rng);
+        assert!(!verify(&eg, &key, &input, &output, &proof, b"b"));
+    }
+
+    #[test]
+    fn tampered_output_rejected() {
+        let (eg, key, input, mut rng) = setup(5);
+        let (mut output, witness) = shuffle_and_rerandomize(&eg, &key, &input, &mut rng);
+        let proof = prove(&eg, &key, &input, &output, &witness, TEST_SOUNDNESS, b"t", &mut rng);
+        // Replace one output entry with a fresh encryption of a different message.
+        let m = eg.group().exp_base(&eg.group().random_scalar(&mut rng));
+        output[2] = eg.encrypt(&mut rng, &key, &m);
+        assert!(!verify(&eg, &key, &input, &output, &proof, b"t"));
+    }
+
+    #[test]
+    fn dropped_entry_rejected() {
+        let (eg, key, input, mut rng) = setup(5);
+        let (output, witness) = shuffle_and_rerandomize(&eg, &key, &input, &mut rng);
+        let proof = prove(&eg, &key, &input, &output, &witness, TEST_SOUNDNESS, b"t", &mut rng);
+        assert!(!verify(&eg, &key, &input, &output[..4], &proof, b"t"));
+    }
+
+    #[test]
+    fn duplicated_entry_shuffle_rejected() {
+        // A malicious shuffler replaces one ciphertext with a copy of
+        // another (dropping a client's pseudonym key).  The proof cannot be
+        // faked for such an output except with probability 2^-T.
+        let (eg, key, input, mut rng) = setup(6);
+        let (mut output, witness) = shuffle_and_rerandomize(&eg, &key, &input, &mut rng);
+        output[0] = output[1].clone();
+        let proof = prove(&eg, &key, &input, &output, &witness, TEST_SOUNDNESS, b"t", &mut rng);
+        assert!(!verify(&eg, &key, &input, &output, &proof, b"t"));
+    }
+
+    #[test]
+    fn shuffle_preserves_plaintext_multiset() {
+        let group = Group::testing_256();
+        let eg = ElGamal::new(group.clone());
+        let mut rng = StdRng::seed_from_u64(9);
+        let key = DhKeyPair::generate(&group, &mut rng);
+        let messages: Vec<Element> = (0..7)
+            .map(|_| group.exp_base(&group.random_scalar(&mut rng)))
+            .collect();
+        let input: Vec<Ciphertext> = messages
+            .iter()
+            .map(|m| eg.encrypt(&mut rng, key.public(), m))
+            .collect();
+        let (output, _) = shuffle_and_rerandomize(&eg, key.public(), &input, &mut rng);
+        let mut decrypted: Vec<Vec<u8>> = output
+            .iter()
+            .map(|ct| eg.decrypt(key.secret(), ct).to_bytes(&group))
+            .collect();
+        let mut expected: Vec<Vec<u8>> = messages.iter().map(|m| m.to_bytes(&group)).collect();
+        decrypted.sort();
+        expected.sort();
+        assert_eq!(decrypted, expected);
+    }
+
+    #[test]
+    fn empty_proof_rejected() {
+        let (eg, key, input, mut rng) = setup(3);
+        let (output, _) = shuffle_and_rerandomize(&eg, &key, &input, &mut rng);
+        let proof = ShuffleProof {
+            shadows: vec![],
+            responses: vec![],
+        };
+        assert!(!verify(&eg, &key, &input, &output, &proof, b"t"));
+    }
+}

@@ -1,0 +1,300 @@
+//! End-to-end key and message shuffles.
+//!
+//! These are the two flavours the paper distinguishes in §3.10:
+//!
+//! * a **key shuffle** anonymizes client *pseudonym public keys* (already
+//!   group elements, no embedding needed) — run at session setup to produce
+//!   the slot schedule;
+//! * a **general message shuffle** anonymizes arbitrary short byte strings
+//!   by embedding them into group elements — used as the accusation channel,
+//!   because a disruptor cannot corrupt it.
+//!
+//! Both run the same pass structure: every client submits an ElGamal
+//! encryption under the product of all server keys; servers take turns
+//! shuffling, re-randomizing, proving, and stripping their layer; every
+//! party verifies every pass ("go/no-go"); the final pass reveals the
+//! permuted plaintexts.  The functions here run the whole pipeline
+//! in-memory; `dissent-core` distributes the passes across the simulated
+//! network and charges virtual time for them.
+
+use crate::pass::{perform_pass, verify_pass, PassTranscript};
+use dissent_crypto::dh::DhKeyPair;
+use dissent_crypto::elgamal::{Ciphertext, ElGamal};
+use dissent_crypto::group::{Element, Group};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Errors a shuffle run can produce.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShuffleError {
+    /// A server's pass failed verification; the index names the culprit.
+    PassRejected(usize),
+    /// A submitted message could not be embedded in a group element.
+    MessageTooLong,
+    /// The final output could not be decoded back into bytes.
+    MalformedOutput,
+    /// No servers were supplied.
+    NoServers,
+}
+
+impl std::fmt::Display for ShuffleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShuffleError::PassRejected(j) => write!(f, "shuffle pass of server {j} failed verification"),
+            ShuffleError::MessageTooLong => write!(f, "message too long to embed in a group element"),
+            ShuffleError::MalformedOutput => write!(f, "shuffle output failed to decode"),
+            ShuffleError::NoServers => write!(f, "a shuffle requires at least one server"),
+        }
+    }
+}
+
+impl std::error::Error for ShuffleError {}
+
+/// The full transcript of a shuffle run: every pass, verifiable by anyone.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShuffleTranscript {
+    /// Client submissions (layered ciphertexts), in roster order.
+    pub submissions: Vec<Ciphertext>,
+    /// One transcript per server pass, in pass order.
+    pub passes: Vec<PassTranscript>,
+    /// The revealed, permuted plaintext elements.
+    pub output: Vec<Element>,
+}
+
+/// Encrypt a client's group-element submission under all server keys.
+pub fn submit_element<R: RngCore + ?Sized>(
+    elgamal: &ElGamal,
+    server_keys: &[Element],
+    element: &Element,
+    rng: &mut R,
+) -> Ciphertext {
+    let combined = elgamal.combine_keys(server_keys);
+    elgamal.encrypt(rng, &combined, element)
+}
+
+/// Encrypt a client's byte-string submission (message shuffle).
+pub fn submit_message<R: RngCore + ?Sized>(
+    elgamal: &ElGamal,
+    server_keys: &[Element],
+    message: &[u8],
+    rng: &mut R,
+) -> Result<Ciphertext, ShuffleError> {
+    let element = elgamal
+        .group()
+        .embed_message(message)
+        .map_err(|_| ShuffleError::MessageTooLong)?;
+    Ok(submit_element(elgamal, server_keys, &element, rng))
+}
+
+/// Run a complete shuffle over submitted ciphertexts with every server
+/// honest-but-verified.  Each pass is checked before the next server runs;
+/// a failing pass aborts with the culprit's index (the go/no-go outcome the
+/// group acts on).
+pub fn run_shuffle<R: RngCore + ?Sized>(
+    group: &Group,
+    servers: &[DhKeyPair],
+    submissions: Vec<Ciphertext>,
+    soundness: usize,
+    context: &[u8],
+    rng: &mut R,
+) -> Result<ShuffleTranscript, ShuffleError> {
+    if servers.is_empty() {
+        return Err(ShuffleError::NoServers);
+    }
+    let elgamal = ElGamal::new(group.clone());
+    let server_keys: Vec<Element> = servers.iter().map(|s| s.public().clone()).collect();
+    let mut passes = Vec::with_capacity(servers.len());
+    let mut current = submissions.clone();
+    for (j, server) in servers.iter().enumerate() {
+        let transcript = perform_pass(
+            &elgamal,
+            &server_keys,
+            j,
+            server,
+            &current,
+            soundness,
+            context,
+            rng,
+        );
+        if !verify_pass(&elgamal, &server_keys, &current, &transcript, context) {
+            return Err(ShuffleError::PassRejected(j));
+        }
+        current = transcript.stripped.clone();
+        passes.push(transcript);
+    }
+    let output: Vec<Element> = current.into_iter().map(|ct| ct.c2).collect();
+    Ok(ShuffleTranscript {
+        submissions,
+        passes,
+        output,
+    })
+}
+
+/// Verify an entire shuffle transcript (e.g. a client auditing the servers).
+pub fn verify_transcript(
+    group: &Group,
+    server_keys: &[Element],
+    transcript: &ShuffleTranscript,
+    context: &[u8],
+) -> bool {
+    let elgamal = ElGamal::new(group.clone());
+    let mut current = transcript.submissions.clone();
+    if transcript.passes.len() != server_keys.len() {
+        return false;
+    }
+    for (j, pass) in transcript.passes.iter().enumerate() {
+        if pass.server_index != j {
+            return false;
+        }
+        if !verify_pass(&elgamal, server_keys, &current, pass, context) {
+            return false;
+        }
+        current = pass.stripped.clone();
+    }
+    let output: Vec<Element> = current.into_iter().map(|ct| ct.c2).collect();
+    output == transcript.output
+}
+
+/// Decode the output of a *message* shuffle back into byte strings.
+pub fn decode_messages(group: &Group, output: &[Element]) -> Result<Vec<Vec<u8>>, ShuffleError> {
+    output
+        .iter()
+        .map(|el| group.extract_message(el).map_err(|_| ShuffleError::MalformedOutput))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SOUNDNESS: usize = 8;
+
+    fn servers(group: &Group, n: usize, rng: &mut StdRng) -> Vec<DhKeyPair> {
+        (0..n).map(|_| DhKeyPair::generate(group, rng)).collect()
+    }
+
+    #[test]
+    fn key_shuffle_outputs_all_pseudonym_keys() {
+        let group = Group::testing_256();
+        let mut rng = StdRng::seed_from_u64(1);
+        let servers = servers(&group, 3, &mut rng);
+        let server_keys: Vec<Element> = servers.iter().map(|s| s.public().clone()).collect();
+        let elgamal = ElGamal::new(group.clone());
+
+        // Eight clients each submit a fresh pseudonym public key.
+        let pseudonyms: Vec<Element> = (0..8)
+            .map(|_| group.exp_base(&group.random_scalar(&mut rng)))
+            .collect();
+        let submissions: Vec<Ciphertext> = pseudonyms
+            .iter()
+            .map(|k| submit_element(&elgamal, &server_keys, k, &mut rng))
+            .collect();
+
+        let transcript =
+            run_shuffle(&group, &servers, submissions, SOUNDNESS, b"key-shuffle", &mut rng).unwrap();
+        assert!(verify_transcript(&group, &server_keys, &transcript, b"key-shuffle"));
+
+        let mut out: Vec<Vec<u8>> = transcript.output.iter().map(|e| e.to_bytes(&group)).collect();
+        let mut expected: Vec<Vec<u8>> = pseudonyms.iter().map(|e| e.to_bytes(&group)).collect();
+        out.sort();
+        expected.sort();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn message_shuffle_round_trips_accusations() {
+        let group = Group::modp_512();
+        let mut rng = StdRng::seed_from_u64(2);
+        let servers = servers(&group, 2, &mut rng);
+        let server_keys: Vec<Element> = servers.iter().map(|s| s.public().clone()).collect();
+        let elgamal = ElGamal::new(group.clone());
+
+        let messages: Vec<&[u8]> = vec![b"accuse: r3 s1 b17", b"", b"hello world"];
+        let submissions: Vec<Ciphertext> = messages
+            .iter()
+            .map(|m| submit_message(&elgamal, &server_keys, m, &mut rng).unwrap())
+            .collect();
+        let transcript =
+            run_shuffle(&group, &servers, submissions, SOUNDNESS, b"accusation", &mut rng).unwrap();
+        let mut decoded = decode_messages(&group, &transcript.output).unwrap();
+        let mut expected: Vec<Vec<u8>> = messages.iter().map(|m| m.to_vec()).collect();
+        decoded.sort();
+        expected.sort();
+        assert_eq!(decoded, expected);
+    }
+
+    #[test]
+    fn output_order_is_not_submission_order() {
+        // With 16 submissions the probability the permutation is the
+        // identity is 1/16! — if the output always matched input order the
+        // shuffle would be broken.
+        let group = Group::testing_256();
+        let mut rng = StdRng::seed_from_u64(3);
+        let servers = servers(&group, 2, &mut rng);
+        let server_keys: Vec<Element> = servers.iter().map(|s| s.public().clone()).collect();
+        let elgamal = ElGamal::new(group.clone());
+        let pseudonyms: Vec<Element> = (0..16)
+            .map(|_| group.exp_base(&group.random_scalar(&mut rng)))
+            .collect();
+        let submissions: Vec<Ciphertext> = pseudonyms
+            .iter()
+            .map(|k| submit_element(&elgamal, &server_keys, k, &mut rng))
+            .collect();
+        let transcript =
+            run_shuffle(&group, &servers, submissions, SOUNDNESS, b"ks", &mut rng).unwrap();
+        let same_order = transcript
+            .output
+            .iter()
+            .zip(pseudonyms.iter())
+            .all(|(a, b)| a == b);
+        assert!(!same_order);
+    }
+
+    #[test]
+    fn message_too_long_rejected() {
+        let group = Group::testing_256();
+        let mut rng = StdRng::seed_from_u64(4);
+        let servers = servers(&group, 1, &mut rng);
+        let server_keys: Vec<Element> = servers.iter().map(|s| s.public().clone()).collect();
+        let elgamal = ElGamal::new(group.clone());
+        let long = vec![0u8; 64];
+        assert_eq!(
+            submit_message(&elgamal, &server_keys, &long, &mut rng).unwrap_err(),
+            ShuffleError::MessageTooLong
+        );
+    }
+
+    #[test]
+    fn no_servers_is_an_error() {
+        let group = Group::testing_256();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(
+            run_shuffle(&group, &[], vec![], SOUNDNESS, b"x", &mut rng).unwrap_err(),
+            ShuffleError::NoServers
+        );
+    }
+
+    #[test]
+    fn tampered_transcript_rejected_by_auditor() {
+        let group = Group::testing_256();
+        let mut rng = StdRng::seed_from_u64(6);
+        let servers = servers(&group, 2, &mut rng);
+        let server_keys: Vec<Element> = servers.iter().map(|s| s.public().clone()).collect();
+        let elgamal = ElGamal::new(group.clone());
+        let pseudonyms: Vec<Element> = (0..4)
+            .map(|_| group.exp_base(&group.random_scalar(&mut rng)))
+            .collect();
+        let submissions: Vec<Ciphertext> = pseudonyms
+            .iter()
+            .map(|k| submit_element(&elgamal, &server_keys, k, &mut rng))
+            .collect();
+        let mut transcript =
+            run_shuffle(&group, &servers, submissions, SOUNDNESS, b"ks", &mut rng).unwrap();
+        // Swap two outputs: the auditor must notice the mismatch with the
+        // final pass.
+        transcript.output.swap(0, 1);
+        assert!(!verify_transcript(&group, &server_keys, &transcript, b"ks"));
+    }
+}

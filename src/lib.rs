@@ -1,0 +1,30 @@
+//! # dissent
+//!
+//! Umbrella crate for the Rust reproduction of *Dissent in Numbers: Making
+//! Strong Anonymity Scale* (OSDI 2012).  It re-exports the workspace crates
+//! so examples and downstream users can depend on a single package:
+//!
+//! * [`crypto`] — big integers, Schnorr groups, SHA-256, ChaCha20, ElGamal,
+//!   Schnorr signatures, Chaum–Pedersen proofs, message padding.
+//! * [`shuffle`] — the verifiable key/message shuffles used for scheduling
+//!   and accusations.
+//! * [`dcnet`] — the anytrust client/server DC-net core.
+//! * [`baseline`] — classic all-to-all and leader-based DC-nets used as
+//!   comparison baselines.
+//! * [`net`] — the discrete-event network simulator standing in for the
+//!   paper's DeterLab / PlanetLab / Emulab testbeds.
+//! * [`protocol`] — the full Dissent protocol: group configuration, client
+//!   and server state machines, window policies, sessions and metrics.
+//! * [`apps`] — microblogging, bulk sharing, SOCKS tunnelling, web browsing
+//!   workloads and the Tor relay model.
+//!
+//! See `README.md` for a quickstart and `EXPERIMENTS.md` for how every table
+//! and figure of the paper is regenerated.
+
+pub use dissent_apps as apps;
+pub use dissent_baseline as baseline;
+pub use dissent_core as protocol;
+pub use dissent_crypto as crypto;
+pub use dissent_dcnet as dcnet;
+pub use dissent_net as net;
+pub use dissent_shuffle as shuffle;

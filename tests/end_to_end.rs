@@ -1,0 +1,165 @@
+//! Cross-crate integration tests: full Dissent sessions driven end-to-end
+//! with real cryptography over the in-memory substrate, exercising the
+//! microblog application, churn, disruption handling, and the anonymity of
+//! the slot assignment.
+
+use dissent::apps::microblog::{Feed, MicroblogWorkload};
+use dissent::protocol::{ClientAction, GroupBuilder, Session};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+fn idle(n: usize) -> Vec<ClientAction> {
+    vec![ClientAction::Idle; n]
+}
+
+#[test]
+fn microblog_session_delivers_every_post_exactly_once() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let clients = 12;
+    let group = GroupBuilder::new(clients, 3).with_shuffle_soundness(4).build();
+    let mut session = Session::new(&group, &mut rng).unwrap();
+    let workload = MicroblogWorkload {
+        post_probability: 0.2,
+        post_bytes: 32,
+        offline_probability: 0.0,
+    };
+    let mut feed = Feed::new();
+    let mut sent = 0usize;
+    for round in 0..10u64 {
+        let actions = workload.actions(clients, round, &mut rng);
+        sent += actions
+            .iter()
+            .filter(|a| matches!(a, ClientAction::Send(_)))
+            .count();
+        let result = session.run_round(&actions, &mut rng);
+        assert!(result.certified);
+        feed.ingest(&result);
+    }
+    // Drain any posts still buffered behind slot-open requests.
+    for _ in 0..3 {
+        let result = session.run_round(&idle(clients), &mut rng);
+        feed.ingest(&result);
+    }
+    assert_eq!(feed.len(), sent, "every accepted post is delivered exactly once");
+    // No two posts in the same round share a slot.
+    let mut seen = HashSet::new();
+    for post in &feed.posts {
+        assert!(seen.insert((post.round, post.slot)));
+    }
+}
+
+#[test]
+fn slot_assignment_is_a_secret_permutation() {
+    // Two sessions over the same roster (different randomness) produce
+    // different slot assignments, and within a session the assignment is a
+    // bijection — the property the key shuffle must provide.
+    let group = GroupBuilder::new(9, 2).with_shuffle_soundness(4).build();
+    let s1 = Session::new(&group, &mut StdRng::seed_from_u64(1)).unwrap();
+    let s2 = Session::new(&group, &mut StdRng::seed_from_u64(2)).unwrap();
+    let perm1: Vec<usize> = (0..9).map(|c| s1.slot_of_client(c)).collect();
+    let perm2: Vec<usize> = (0..9).map(|c| s2.slot_of_client(c)).collect();
+    let mut sorted = perm1.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..9).collect::<Vec<_>>());
+    assert_ne!(perm1, perm2, "the permutation depends on the shuffle randomness");
+}
+
+#[test]
+fn churn_never_blocks_progress_and_threshold_tracks_participation() {
+    let mut rng = StdRng::seed_from_u64(55);
+    let clients = 10;
+    let group = GroupBuilder::new(clients, 2)
+        .with_shuffle_soundness(4)
+        .with_alpha(0.9)
+        .build();
+    let mut session = Session::new(&group, &mut rng).unwrap();
+    // Round 0: everyone online.
+    let r0 = session.run_round(&idle(clients), &mut rng);
+    assert_eq!(r0.participation, clients);
+    // Round 1: four clients vanish mid-protocol; the servers still complete
+    // the round with the remaining six.
+    let mut actions = idle(clients);
+    for a in actions.iter_mut().take(4) {
+        *a = ClientAction::Offline;
+    }
+    let mut sender = idle(clients);
+    sender[7] = ClientAction::Send(b"still alive".to_vec());
+    let _ = session.run_round(&sender, &mut rng);
+    let r1 = session.run_round(&actions, &mut rng);
+    assert_eq!(r1.participation, 6);
+    assert!(r1.certified);
+    // The α threshold for the next round is 90% of the *observed* count.
+    assert_eq!(r1.required_participation, 6);
+    // The buffered message from client 7 still arrives despite the churn.
+    let delivered: Vec<_> = r1
+        .messages
+        .iter()
+        .chain(session.run_round(&idle(clients), &mut rng).messages.iter())
+        .map(|(_, m)| m.clone())
+        .collect();
+    assert!(delivered.contains(&b"still alive".to_vec()));
+}
+
+#[test]
+fn disruptor_expelled_and_group_recovers() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let clients = 6;
+    let group = GroupBuilder::new(clients, 2).with_shuffle_soundness(4).build();
+    let mut session = Session::new(&group, &mut rng).unwrap();
+
+    // Victim opens its slot.
+    let mut actions = idle(clients);
+    actions[0] = ClientAction::Send(b"whistleblower report".to_vec());
+    session.run_round(&actions, &mut rng);
+
+    // The disruptor jams the victim's slot until the blame process catches it.
+    let victim_slot = session.slot_of_client(0);
+    let mut expelled = Vec::new();
+    for _ in 0..5 {
+        let mut actions = idle(clients);
+        actions[3] = ClientAction::Disrupt { victim_slot };
+        let r = session.run_round(&actions, &mut rng);
+        expelled.extend(r.expelled);
+        if !expelled.is_empty() {
+            break;
+        }
+    }
+    assert_eq!(expelled, vec![3]);
+
+    // After expulsion the victim retransmits successfully (the message goes
+    // out in whichever of the next rounds its slot is open for).
+    let mut actions = idle(clients);
+    actions[0] = ClientAction::Send(b"whistleblower report".to_vec());
+    let mut delivered: Vec<Vec<u8>> = Vec::new();
+    let r = session.run_round(&actions, &mut rng);
+    delivered.extend(r.messages.into_iter().map(|(_, m)| m));
+    for _ in 0..3 {
+        let r = session.run_round(&idle(clients), &mut rng);
+        delivered.extend(r.messages.into_iter().map(|(_, m)| m));
+    }
+    assert!(delivered.contains(&b"whistleblower report".to_vec()));
+    // The honest clients were never expelled.
+    assert_eq!(session.expelled().len(), 1);
+}
+
+#[test]
+fn large_messages_grow_the_slot_and_arrive_intact() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let clients = 5;
+    let group = GroupBuilder::new(clients, 2).with_shuffle_soundness(4).build();
+    let mut session = Session::new(&group, &mut rng).unwrap();
+    let big: Vec<u8> = (0..4096u32).flat_map(|i| i.to_be_bytes()).collect(); // 16 KiB
+    let mut actions = idle(clients);
+    actions[2] = ClientAction::Send(big.clone());
+    session.run_round(&actions, &mut rng); // request
+    let mut delivered = Vec::new();
+    for _ in 0..4 {
+        let r = session.run_round(&idle(clients), &mut rng);
+        delivered.extend(r.messages.into_iter().map(|(_, m)| m));
+        if !delivered.is_empty() {
+            break;
+        }
+    }
+    assert_eq!(delivered, vec![big]);
+}
