@@ -35,7 +35,12 @@ impl Default for MicroblogWorkload {
 
 impl MicroblogWorkload {
     /// Generate one round of client actions for `num_clients` clients.
-    pub fn actions<R: Rng + ?Sized>(&self, num_clients: usize, round: u64, rng: &mut R) -> Vec<ClientAction> {
+    pub fn actions<R: Rng + ?Sized>(
+        &self,
+        num_clients: usize,
+        round: u64,
+        rng: &mut R,
+    ) -> Vec<ClientAction> {
         (0..num_clients)
             .map(|client| {
                 if rng.gen_bool(self.offline_probability.clamp(0.0, 1.0)) {
@@ -150,7 +155,10 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(2);
         let actions = w.actions(2000, 0, &mut rng);
-        let offline = actions.iter().filter(|a| matches!(a, ClientAction::Offline)).count();
+        let offline = actions
+            .iter()
+            .filter(|a| matches!(a, ClientAction::Offline))
+            .count();
         assert!(offline > 800 && offline < 1200, "offline = {offline}");
     }
 

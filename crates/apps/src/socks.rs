@@ -236,7 +236,7 @@ mod tests {
         let b = split_flow(2, "b.example", 80, &vec![2u8; 900], 256);
         let mut r = Reassembler::new();
         let mut done = Vec::new();
-        for (fa, fb) in a.into_iter().zip(b.into_iter()) {
+        for (fa, fb) in a.into_iter().zip(b) {
             if let Some(c) = r.ingest(fa) {
                 done.push(c);
             }
@@ -245,8 +245,12 @@ mod tests {
             }
         }
         assert_eq!(done.len(), 2);
-        assert!(done.iter().any(|c| c.dest_host == "a.example" && c.data == vec![1u8; 900]));
-        assert!(done.iter().any(|c| c.dest_host == "b.example" && c.data == vec![2u8; 900]));
+        assert!(done
+            .iter()
+            .any(|c| c.dest_host == "a.example" && c.data == vec![1u8; 900]));
+        assert!(done
+            .iter()
+            .any(|c| c.dest_host == "b.example" && c.data == vec![2u8; 900]));
     }
 
     #[test]

@@ -232,7 +232,10 @@ impl BrowsingModel {
     /// per-page times in seconds.
     pub fn download_corpus(&self, config: BrowsingConfig, corpus: &[Page]) -> Vec<f64> {
         let path = self.path(config);
-        corpus.iter().map(|p| to_secs(path.download_time(p))).collect()
+        corpus
+            .iter()
+            .map(|p| to_secs(path.download_time(p)))
+            .collect()
     }
 }
 

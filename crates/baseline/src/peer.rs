@@ -31,6 +31,9 @@ pub struct PeerSecrets {
 
 impl PeerSecrets {
     /// Deterministically generate the O(N²) pairwise secrets.
+    // Indices double as the byte content of each secret, so the index loop
+    // is the clearest form.
+    #[allow(clippy::needless_range_loop)]
     pub fn generate(n: usize, seed: u64) -> Self {
         let mut secrets = vec![vec![[0u8; 32]; n]; n];
         for i in 0..n {

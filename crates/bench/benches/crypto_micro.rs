@@ -1,5 +1,13 @@
 //! Microbenchmarks of the cryptographic substrate (used to calibrate the
 //! simulator's CostModel and to sanity-check the primitives' relative costs).
+//!
+//! The `modexp_engine` group is the guardrail for the Montgomery
+//! exponentiation engine: it puts the naive square-and-multiply reference
+//! (`BigUint::modpow_naive`, a full Knuth-D division per multiplication)
+//! side by side with the engine's three paths — general `Group::exp`
+//! (sliding-window Montgomery), fixed-base `Group::exp_base` (Lim–Lee comb),
+//! and `Group::multi_exp` versus two separate exponentiations — at every
+//! parameter-set size, so speedups and regressions are directly visible.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dissent_crypto::group::Group;
@@ -9,19 +17,72 @@ use dissent_crypto::sha256::sha256;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn bench(c: &mut Criterion) {
+fn all_groups() -> [Group; 4] {
+    [
+        Group::testing_256(),
+        Group::modp_512(),
+        Group::modp_1024(),
+        Group::rfc3526_2048(),
+    ]
+}
+
+/// Naive reference vs. the Montgomery engine paths, every modulus size.
+fn bench_modexp_engine(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
 
-    let mut g = c.benchmark_group("modexp");
-    for group in [Group::testing_256(), Group::modp_512(), Group::modp_1024()] {
+    let mut g = c.benchmark_group("modexp_engine");
+    for group in all_groups() {
+        let name = group.name().to_string();
         let x = group.random_scalar(&mut rng);
+        let base = group.exp_base(&group.random_scalar(&mut rng));
+        let base_int = base.as_biguint().clone();
+        let x_int = x.as_biguint().clone();
+        let p = group.modulus().clone();
+
+        g.bench_with_input(BenchmarkId::new("naive_modpow", &name), &group, |b, _| {
+            b.iter(|| base_int.modpow_naive(&x_int, &p))
+        });
+        g.bench_with_input(BenchmarkId::new("mont_exp", &name), &group, |b, grp| {
+            b.iter(|| grp.exp(&base, &x))
+        });
         g.bench_with_input(
-            BenchmarkId::from_parameter(group.name().to_string()),
+            BenchmarkId::new("mont_exp_base", &name),
             &group,
             |b, grp| b.iter(|| grp.exp_base(&x)),
         );
     }
     g.finish();
+}
+
+/// One simultaneous multi-exponentiation vs. two separate exponentiations —
+/// the verification-equation pattern of Schnorr and Chaum–Pedersen.
+fn bench_multi_exp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+
+    let mut g = c.benchmark_group("multi_exp");
+    for group in all_groups() {
+        let name = group.name().to_string();
+        let a = group.exp_base(&group.random_scalar(&mut rng));
+        let b_el = group.exp_base(&group.random_scalar(&mut rng));
+        let x = group.random_scalar(&mut rng);
+        let y = group.random_scalar(&mut rng);
+
+        g.bench_with_input(
+            BenchmarkId::new("two_single_exps", &name),
+            &group,
+            |bch, grp| bch.iter(|| grp.mul(&grp.exp(&a, &x), &grp.exp(&b_el, &y))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("one_multi_exp", &name),
+            &group,
+            |bch, grp| bch.iter(|| grp.multi_exp(&a, &x, &b_el, &y)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_symmetric_and_signatures(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
 
     let mut g = c.benchmark_group("symmetric");
     g.throughput(Throughput::Bytes(64 * 1024));
@@ -51,5 +112,10 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
+criterion_group!(
+    benches,
+    bench_modexp_engine,
+    bench_multi_exp,
+    bench_symmetric_and_signatures
+);
 criterion_main!(benches);

@@ -51,7 +51,13 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("clients", clients), &clients, |b, _| {
             b.iter(|| {
                 let composite: Vec<u32> = (0..clients as u32).collect();
-                dissent_dcnet::server::server_ciphertext(1, len, &composite, &secrets, &BTreeMap::new())
+                dissent_dcnet::server::server_ciphertext(
+                    1,
+                    len,
+                    &composite,
+                    &secrets,
+                    &BTreeMap::new(),
+                )
             })
         });
     }

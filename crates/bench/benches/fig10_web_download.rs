@@ -6,7 +6,9 @@ use dissent_bench::web_browsing_study;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10_web_download");
     g.sample_size(10);
-    g.bench_function("download_corpus_all_configs", |b| b.iter(web_browsing_study));
+    g.bench_function("download_corpus_all_configs", |b| {
+        b.iter(web_browsing_study)
+    });
     g.finish();
 
     println!("\nFigure 10/11 data:");

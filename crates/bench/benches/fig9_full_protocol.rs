@@ -20,8 +20,9 @@ fn bench(c: &mut Criterion) {
     for &n in &[4usize, 16] {
         g.bench_with_input(BenchmarkId::new("real_key_shuffle", n), &n, |b, &n| {
             let mut rng = StdRng::seed_from_u64(3);
-            let servers: Vec<DhKeyPair> =
-                (0..3).map(|_| DhKeyPair::generate(&group, &mut rng)).collect();
+            let servers: Vec<DhKeyPair> = (0..3)
+                .map(|_| DhKeyPair::generate(&group, &mut rng))
+                .collect();
             let keys: Vec<_> = servers.iter().map(|s| s.public().clone()).collect();
             b.iter(|| {
                 let subs: Vec<_> = (0..n)

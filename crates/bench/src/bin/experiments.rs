@@ -91,7 +91,9 @@ fn fig6(rounds: usize) {
 }
 
 fn fig7(rounds: usize) {
-    header("Figure 7 — time per round vs number of clients (32 servers on DeterLab, 17 on PlanetLab)");
+    header(
+        "Figure 7 — time per round vs number of clients (32 servers on DeterLab, 17 on PlanetLab)",
+    );
     println!(
         "  {:>7} {:<14} {:<10} {:>16} {:>18} {:>12}",
         "clients", "workload", "testbed", "client submit", "server processing", "total"
@@ -201,7 +203,12 @@ fn baseline() {
     for r in baseline_comparison(&[40, 100, 320, 1000, 5000]) {
         println!(
             "  {:>7} {:>10.2} s {:>10.2} s {:>10.2} s {:>15.1} MB {:>15.1} MB",
-            r.members, r.dissent_secs, r.peer_secs, r.leader_secs, r.peer_traffic_mb, r.dissent_traffic_mb
+            r.members,
+            r.dissent_secs,
+            r.peer_secs,
+            r.leader_secs,
+            r.peer_traffic_mb,
+            r.dissent_traffic_mb
         );
     }
 }
@@ -213,7 +220,12 @@ fn alpha() {
         "alpha", "rounds completed", "min participation (completed)"
     );
     for (alpha, completed, min_part) in alpha_ablation(0.4) {
-        println!("  {:>6.2} {:>17.0}% {:>28}", alpha, completed * 100.0, min_part);
+        println!(
+            "  {:>6.2} {:>17.0}% {:>28}",
+            alpha,
+            completed * 100.0,
+            min_part
+        );
     }
 }
 

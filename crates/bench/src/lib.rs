@@ -127,10 +127,15 @@ impl ScalingPoint {
     }
 }
 
-fn measure(scenario: &Scenario, label_workload: &str, label_testbed: &str, rounds: usize) -> ScalingPoint {
+fn measure(
+    scenario: &Scenario,
+    label_workload: &str,
+    label_testbed: &str,
+    rounds: usize,
+) -> ScalingPoint {
     let timings = simulate_rounds(scenario, rounds);
     let mean = |f: &dyn Fn(&dissent_core::timing::RoundTiming) -> f64| {
-        timings.iter().map(|t| f(t)).sum::<f64>() / timings.len().max(1) as f64
+        timings.iter().map(f).sum::<f64>() / timings.len().max(1) as f64
     };
     ScalingPoint {
         clients: scenario.topology.num_clients,
@@ -288,8 +293,7 @@ pub fn baseline_comparison(sizes: &[usize]) -> Vec<BaselinePoint> {
             let scenario = Scenario::deterlab(n, 24, workload);
             let len = workload.cleartext_len(n);
             let rounds = simulate_rounds(&scenario, 5);
-            let dissent =
-                rounds.iter().map(|r| r.total_secs()).sum::<f64>() / rounds.len() as f64;
+            let dissent = rounds.iter().map(|r| r.total_secs()).sum::<f64>() / rounds.len() as f64;
             let cost = CostModel::default();
             let link = scenario.topology.client_link;
 
@@ -380,19 +384,28 @@ pub fn calibrate_modexp() -> Vec<(String, f64)> {
     use dissent_crypto::group::Group;
     use std::time::Instant;
     let mut rng = StdRng::seed_from_u64(1);
-    [Group::testing_256(), Group::modp_512(), Group::modp_1024(), Group::rfc3526_2048()]
-        .into_iter()
-        .map(|g| {
-            let x = g.random_scalar(&mut rng);
-            let reps = if g.modulus().bit_len() > 1024 { 3 } else { 10 };
-            let start = Instant::now();
-            for _ in 0..reps {
-                let _ = g.exp_base(&x);
-            }
-            let us = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
-            (g.name().to_string(), us)
-        })
-        .collect()
+    [
+        Group::testing_256(),
+        Group::modp_512(),
+        Group::modp_1024(),
+        Group::rfc3526_2048(),
+    ]
+    .into_iter()
+    .map(|g| {
+        let x = g.random_scalar(&mut rng);
+        let reps = if g.modulus().bit_len() > 1024 { 3 } else { 10 };
+        // Untimed warm-up: the first exp_base on a fresh Group pays the
+        // one-off lazy Montgomery-context and comb-table build, which would
+        // otherwise inflate a 3-rep steady-state calibration severalfold.
+        let _ = g.exp_base(&x);
+        let start = Instant::now();
+        for _ in 0..reps {
+            let _ = g.exp_base(&x);
+        }
+        let us = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        (g.name().to_string(), us)
+    })
+    .collect()
 }
 
 /// Build a CDF (value, cumulative fraction) from raw samples.

@@ -181,7 +181,10 @@ impl GroupBuilder {
         let servers: Vec<ServerIdentity> = (0..self.num_servers)
             .map(|i| ServerIdentity {
                 index: i,
-                dh: DhKeyPair::from_seed(&self.group, format!("{}-server-dh-{i}", self.seed).as_bytes()),
+                dh: DhKeyPair::from_seed(
+                    &self.group,
+                    format!("{}-server-dh-{i}", self.seed).as_bytes(),
+                ),
                 signing: SigningKeyPair::from_seed(
                     &self.group,
                     format!("{}-server-sign-{i}", self.seed).as_bytes(),
@@ -191,7 +194,10 @@ impl GroupBuilder {
         let clients: Vec<ClientIdentity> = (0..self.num_clients)
             .map(|i| ClientIdentity {
                 index: i,
-                dh: DhKeyPair::from_seed(&self.group, format!("{}-client-dh-{i}", self.seed).as_bytes()),
+                dh: DhKeyPair::from_seed(
+                    &self.group,
+                    format!("{}-client-dh-{i}", self.seed).as_bytes(),
+                ),
                 signing: SigningKeyPair::from_seed(
                     &self.group,
                     format!("{}-client-sign-{i}", self.seed).as_bytes(),

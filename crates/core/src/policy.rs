@@ -229,7 +229,9 @@ mod tests {
 
     #[test]
     fn larger_multiplier_admits_more_clients() {
-        let delays = secs(&[1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.05, 1.3, 1.9, 5.0]);
+        let delays = secs(&[
+            1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.05, 1.3, 1.9, 5.0,
+        ]);
         let outcome = |mult: f64| {
             WindowPolicy::FractionThenMultiplier {
                 fraction: 0.7,
@@ -266,13 +268,19 @@ mod tests {
 
     #[test]
     fn alpha_rule_completes_or_fails() {
-        assert_eq!(evaluate_round(0.9, 100, 95, false), RoundCompletion::Completed(95));
+        assert_eq!(
+            evaluate_round(0.9, 100, 95, false),
+            RoundCompletion::Completed(95)
+        );
         assert_eq!(
             evaluate_round(0.9, 100, 50, true),
             RoundCompletion::Failed { submitted: 50 }
         );
         // Exactly at the threshold completes.
-        assert_eq!(evaluate_round(0.5, 10, 5, false), RoundCompletion::Completed(5));
+        assert_eq!(
+            evaluate_round(0.5, 10, 5, false),
+            RoundCompletion::Completed(5)
+        );
     }
 
     #[test]

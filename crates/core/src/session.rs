@@ -33,6 +33,7 @@
 use crate::config::{GeneratedGroup, GroupConfig};
 use crate::policy::participation_threshold;
 use dissent_crypto::dh::DhKeyPair;
+use dissent_crypto::elgamal::ElGamal;
 use dissent_crypto::group::Element;
 use dissent_crypto::schnorr::{self, SigningKeyPair};
 use dissent_dcnet::accusation::{
@@ -46,7 +47,6 @@ use dissent_dcnet::server::{
 };
 use dissent_dcnet::slots::{RoundLayout, SlotPayload, SlotSchedule};
 use dissent_shuffle::protocol::{run_shuffle, submit_element};
-use dissent_crypto::elgamal::ElGamal;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -434,7 +434,10 @@ impl Session {
                 &srv.client_secrets,
                 &own,
             );
-            commitments.insert(srv.index as ServerId, server::commitment(round, srv.index as ServerId, &sct));
+            commitments.insert(
+                srv.index as ServerId,
+                server::commitment(round, srv.index as ServerId, &sct),
+            );
             server_cts.insert(srv.index as ServerId, sct);
         }
         // Commit verification (honest servers always pass; the check is the
@@ -572,7 +575,12 @@ impl Session {
             &combine(record.layout.total_len, &record.server_ciphertexts),
             acc.bit,
         );
-        match evaluate_blame(&record.composite, &record.assignment, &reveals, observed_bit) {
+        match evaluate_blame(
+            &record.composite,
+            &record.assignment,
+            &reveals,
+            observed_bit,
+        ) {
             BlameOutcome::ClientsAccused(clients) => clients.into_iter().next(),
             // Honest servers never trip cases (a)/(b) in this in-memory
             // session; a consistent outcome means the accusation did not

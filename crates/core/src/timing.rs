@@ -174,8 +174,8 @@ pub fn submission_delays(scenario: &Scenario, rng: &mut StdRng) -> Vec<SimTime> 
     let m = scenario.topology.num_servers;
     let total_len = scenario.workload.cleartext_len(n);
     let behaviors = scenario.churn.sample_population(rng, n);
-    let compute =
-        (scenario.cost.client_round_compute(total_len, m) as f64 * scenario.oversubscription) as SimTime;
+    let compute = (scenario.cost.client_round_compute(total_len, m) as f64
+        * scenario.oversubscription) as SimTime;
     behaviors
         .iter()
         .filter_map(|b| b.delay())
@@ -218,7 +218,10 @@ pub fn server_processing(scenario: &Scenario, participating: usize) -> SimTime {
     // Inventory exchange: one round trip of small lists among the servers.
     let inventory = link.rtt() + link.serialization_time(participating * 4 * m);
     // Pad expansion + XOR + commitment.
-    let compute = scenario.cost.server_round_compute(total_len, participating, per_server_clients, m);
+    let compute =
+        scenario
+            .cost
+            .server_round_compute(total_len, participating, per_server_clients, m);
     // Commitment exchange (32 bytes each), then full server ciphertexts to
     // every other server, then signatures.
     let commits = link.latency_us + link.serialization_time(32 * m);
@@ -247,7 +250,9 @@ pub fn simulate_round(scenario: &Scenario, rng: &mut StdRng) -> RoundTiming {
 /// Simulate `rounds` consecutive rounds.
 pub fn simulate_rounds(scenario: &Scenario, rounds: usize) -> Vec<RoundTiming> {
     let mut rng = StdRng::seed_from_u64(scenario.seed);
-    (0..rounds).map(|_| simulate_round(scenario, &mut rng)).collect()
+    (0..rounds)
+        .map(|_| simulate_round(scenario, &mut rng))
+        .collect()
 }
 
 /// Phase durations of a full protocol run (Figure 9): key shuffle, one
@@ -279,8 +284,8 @@ pub fn simulate_full_protocol(scenario: &Scenario) -> FullProtocolTiming {
     // shuffles, proves, and forwards the list; every other server verifies
     // in parallel with the next pass, so the critical path per pass is the
     // prover's work plus the transfer plus one verification.
-    let submit = scenario.topology.client_link.transfer_time(entry_bytes)
-        + cost.modexp_us as SimTime * 2;
+    let submit =
+        scenario.topology.client_link.transfer_time(entry_bytes) + cost.modexp_us as SimTime * 2;
     let per_pass = cost.key_shuffle_pass(n)           // prove
         + cost.key_shuffle_pass(n)                    // verify by peers
         + link.transfer_time(n * entry_bytes);
@@ -327,7 +332,7 @@ mod tests {
         assert_eq!(senders, 1);
         assert_eq!(slot, 128 * 1024 + 40);
         // Cleartext length includes the request-bit region.
-        assert_eq!(micro.cleartext_len(8), 1 + 1 * 168);
+        assert_eq!(micro.cleartext_len(8), 1 + 168);
     }
 
     #[test]
@@ -336,10 +341,14 @@ mod tests {
         let large = Scenario::deterlab(5120, 32, Workload::paper_microblog());
         let t_small = simulate_rounds(&small, 10);
         let t_large = simulate_rounds(&large, 10);
-        let mean = |v: &[RoundTiming]| {
-            v.iter().map(|r| r.total_secs()).sum::<f64>() / v.len() as f64
-        };
-        assert!(mean(&t_large) > mean(&t_small), "{} vs {}", mean(&t_large), mean(&t_small));
+        let mean =
+            |v: &[RoundTiming]| v.iter().map(|r| r.total_secs()).sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&t_large) > mean(&t_small),
+            "{} vs {}",
+            mean(&t_large),
+            mean(&t_small)
+        );
     }
 
     #[test]
@@ -359,7 +368,8 @@ mod tests {
         let bulk = Scenario::deterlab(640, 32, Workload::paper_bulk());
         let tm = simulate_rounds(&micro, 5);
         let tb = simulate_rounds(&bulk, 5);
-        let mean = |v: &[RoundTiming]| v.iter().map(|r| r.total_secs()).sum::<f64>() / v.len() as f64;
+        let mean =
+            |v: &[RoundTiming]| v.iter().map(|r| r.total_secs()).sum::<f64>() / v.len() as f64;
         assert!(mean(&tb) > mean(&tm) * 1.5);
     }
 
@@ -371,7 +381,8 @@ mod tests {
         let many = Scenario::deterlab(640, 24, Workload::paper_bulk());
         let t_one = simulate_rounds(&one, 5);
         let t_many = simulate_rounds(&many, 5);
-        let mean = |v: &[RoundTiming]| v.iter().map(|r| r.total_secs()).sum::<f64>() / v.len() as f64;
+        let mean =
+            |v: &[RoundTiming]| v.iter().map(|r| r.total_secs()).sum::<f64>() / v.len() as f64;
         assert!(mean(&t_one) > mean(&t_many));
     }
 
@@ -381,7 +392,8 @@ mod tests {
         let pl = Scenario::planetlab(320, 17, Workload::paper_microblog());
         let td = simulate_rounds(&det, 10);
         let tp = simulate_rounds(&pl, 10);
-        let mean = |v: &[RoundTiming]| v.iter().map(|r| r.total_secs()).sum::<f64>() / v.len() as f64;
+        let mean =
+            |v: &[RoundTiming]| v.iter().map(|r| r.total_secs()).sum::<f64>() / v.len() as f64;
         assert!(mean(&tp) > mean(&td));
     }
 
@@ -425,6 +437,11 @@ mod tests {
             xs[xs.len() / 2]
         };
         // Figure 6: waiting for every client is an order of magnitude worse.
-        assert!(median(&tw) > 5.0 * median(&tc), "{} vs {}", median(&tw), median(&tc));
+        assert!(
+            median(&tw) > 5.0 * median(&tc),
+            "{} vs {}",
+            median(&tw),
+            median(&tc)
+        );
     }
 }

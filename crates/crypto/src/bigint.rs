@@ -168,6 +168,21 @@ impl BigUint {
         }
     }
 
+    /// The little-endian limbs (no trailing zeros).
+    ///
+    /// Exposed for the Montgomery engine, which operates on fixed-width limb
+    /// buffers directly.
+    pub(crate) fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Construct from little-endian limbs, normalizing trailing zeros.
+    pub(crate) fn from_limbs(limbs: Vec<u64>) -> BigUint {
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
     /// True if the value is zero.
     pub fn is_zero(&self) -> bool {
         self.limbs.is_empty()
@@ -180,7 +195,7 @@ impl BigUint {
 
     /// True if the value is even.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (zero has bit length 0).
@@ -209,8 +224,7 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let a = long[i];
+        for (i, &a) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
             let (s1, c1) = a.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
@@ -373,9 +387,7 @@ impl BigUint {
             let mut qhat = top / v_top;
             let mut rhat = top % v_top;
             // Correct q̂ downward at most twice.
-            while qhat >= 1u128 << 64
-                || qhat * v_sec > ((rhat << 64) | un[j + n - 2] as u128)
-            {
+            while qhat >= 1u128 << 64 || qhat * v_sec > ((rhat << 64) | un[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v_top;
                 if rhat >= 1u128 << 64 {
@@ -445,8 +457,30 @@ impl BigUint {
         self.mul(other).rem(modulus)
     }
 
-    /// Modular exponentiation by left-to-right square-and-multiply.
+    /// Modular exponentiation.
+    ///
+    /// Odd multi-limb moduli with non-trivial exponents take the
+    /// division-free Montgomery path ([`crate::montgomery::MontgomeryCtx`]);
+    /// everything else falls back to [`Self::modpow_naive`].  The threshold
+    /// keeps tiny inputs (where the one-off context setup would dominate)
+    /// on the generic path.
     pub fn modpow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if modulus.bit_len() > 64 && exponent.bit_len() >= 32 {
+            if let Some(ctx) = crate::montgomery::MontgomeryCtx::new(modulus) {
+                return ctx.pow(self, exponent);
+            }
+        }
+        self.modpow_naive(exponent, modulus)
+    }
+
+    /// Modular exponentiation by left-to-right square-and-multiply, with a
+    /// full division after every multiplication.
+    ///
+    /// Kept as the generic fallback (even moduli, tiny inputs) and as the
+    /// reference implementation the Montgomery engine is property-tested
+    /// and benchmarked against.
+    pub fn modpow_naive(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
         assert!(!modulus.is_zero(), "modpow with zero modulus");
         if modulus.is_one() {
             return BigUint::zero();
@@ -484,8 +518,8 @@ impl BigUint {
     pub fn random_below<R: RngCore + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
         assert!(!bound.is_zero(), "random_below with zero bound");
         let bits = bound.bit_len();
-        let limbs = (bits + 63) / 64;
-        let top_mask = if bits % 64 == 0 {
+        let limbs = bits.div_ceil(64);
+        let top_mask = if bits.is_multiple_of(64) {
             u64::MAX
         } else {
             (1u64 << (bits % 64)) - 1
@@ -511,12 +545,12 @@ impl BigUint {
         if bits == 0 {
             return BigUint::zero();
         }
-        let limbs = (bits + 63) / 64;
+        let limbs = bits.div_ceil(64);
         let mut l = vec![0u64; limbs];
         for limb in l.iter_mut() {
             *limb = rng.next_u64();
         }
-        let top_mask = if bits % 64 == 0 {
+        let top_mask = if bits.is_multiple_of(64) {
             u64::MAX
         } else {
             (1u64 << (bits % 64)) - 1
@@ -556,6 +590,12 @@ impl BigUint {
             d = d.shr(1);
             r += 1;
         }
+        // One Montgomery context for every witness round: the per-modulus
+        // setup (Newton inverse, R and R² divisions) would otherwise be
+        // redone inside `modpow` for each of the `rounds` exponentiations.
+        // The candidate is odd here (evens were rejected by trial division),
+        // but fall back to `modpow` defensively if no context applies.
+        let ctx = crate::montgomery::MontgomeryCtx::new(self);
         'witness: for _ in 0..rounds {
             let a = loop {
                 let c = BigUint::random_below(rng, &n_minus_1);
@@ -563,7 +603,10 @@ impl BigUint {
                     break c;
                 }
             };
-            let mut x = a.modpow(&d, self);
+            let mut x = match &ctx {
+                Some(ctx) => ctx.pow(&a, &d),
+                None => a.modpow(&d, self),
+            };
             if x.is_one() || x == n_minus_1 {
                 continue 'witness;
             }
@@ -627,7 +670,13 @@ mod tests {
 
     #[test]
     fn hex_round_trip() {
-        let cases = ["1", "ff", "deadbeef", "123456789abcdef0123456789abcdef", "0"];
+        let cases = [
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+            "0",
+        ];
         for c in cases {
             let v = BigUint::from_hex(c).unwrap();
             let back = BigUint::from_hex(&v.to_hex()).unwrap();
@@ -672,7 +721,10 @@ mod tests {
         assert_eq!(a.shl(64).shr(64), a);
         assert_eq!(a.shl(3).shr(3), a);
         assert_eq!(a.shr(200), BigUint::zero());
-        assert_eq!(BigUint::one().shl(128), big(1).mul(&big(1u128 << 127)).mul(&big(2)));
+        assert_eq!(
+            BigUint::one().shl(128),
+            big(1).mul(&big(1u128 << 127)).mul(&big(2))
+        );
     }
 
     #[test]
@@ -756,10 +808,9 @@ mod tests {
         assert!(!BigUint::from_u64(561).is_probable_prime(&mut rng, 20)); // Carmichael
         assert!(!BigUint::from_u64(1_000_000_008).is_probable_prime(&mut rng, 20));
         // The hard-coded 256-bit safe prime used by the fast test group.
-        let p = BigUint::from_hex(
-            "b7e9f735f74bf461eb409d67747a627534f17ded4ba95a60790f978549c8c24f",
-        )
-        .unwrap();
+        let p =
+            BigUint::from_hex("b7e9f735f74bf461eb409d67747a627534f17ded4ba95a60790f978549c8c24f")
+                .unwrap();
         assert!(p.is_probable_prime(&mut rng, 10));
     }
 

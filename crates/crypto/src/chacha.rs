@@ -26,19 +26,19 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
 }
 
 /// Compute one 64-byte ChaCha20 block for (key, nonce, counter).
-pub fn chacha20_block(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> [u8; BLOCK_LEN] {
+pub fn chacha20_block(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    counter: u32,
+) -> [u8; BLOCK_LEN] {
     let mut state = [0u32; 16];
     state[0] = 0x6170_7865;
     state[1] = 0x3320_646e;
     state[2] = 0x7962_2d32;
     state[3] = 0x6b20_6574;
     for i in 0..8 {
-        state[4 + i] = u32::from_le_bytes([
-            key[i * 4],
-            key[i * 4 + 1],
-            key[i * 4 + 2],
-            key[i * 4 + 3],
-        ]);
+        state[4 + i] =
+            u32::from_le_bytes([key[i * 4], key[i * 4 + 1], key[i * 4 + 2], key[i * 4 + 3]]);
     }
     state[12] = counter;
     for i in 0..3 {
@@ -182,10 +182,7 @@ mod tests {
         cipher.keystream(64);
         let mut data = plaintext.to_vec();
         cipher.apply(&mut data);
-        assert_eq!(
-            hex(&data[..16]),
-            "6e2e359a2568f98041ba0728dd0d6981"
-        );
+        assert_eq!(hex(&data[..16]), "6e2e359a2568f98041ba0728dd0d6981");
         assert_eq!(hex(&data[112..114]), "874d");
     }
 

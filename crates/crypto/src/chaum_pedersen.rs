@@ -28,6 +28,7 @@ pub struct DleqProof {
     pub response: Scalar,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn challenge(
     group: &Group,
     g: &Element,
@@ -90,12 +91,12 @@ pub fn verify(
         return false;
     }
     let e = challenge(group, g, h, a, b, &proof.t1, &proof.t2, context);
-    // g^s == t1 · a^e   and   h^s == t2 · b^e
-    let lhs1 = group.exp(g, &proof.response);
-    let rhs1 = group.mul(&proof.t1, &group.exp(a, &e));
-    let lhs2 = group.exp(h, &proof.response);
-    let rhs2 = group.mul(&proof.t2, &group.exp(b, &e));
-    lhs1 == rhs1 && lhs2 == rhs2
+    // g^s == t1 · a^e   and   h^s == t2 · b^e, each rearranged (a and b
+    // have order q, so x^{-e} = x^{q-e}) into one simultaneous
+    // exponentiation per equation: g^s · a^{-e} == t1, h^s · b^{-e} == t2.
+    let neg_e = group.scalar_neg(&e);
+    group.multi_exp(g, &proof.response, a, &neg_e) == proof.t1
+        && group.multi_exp(h, &proof.response, b, &neg_e) == proof.t2
 }
 
 #[cfg(test)]
@@ -169,7 +170,14 @@ mod tests {
         let ct = eg.encrypt(&mut rng, server.public(), &m);
         let share = eg.decryption_share(server.secret(), &ct);
         // Server proves share == c1^x where public == g^x.
-        let proof = prove(&group, &mut rng, &group.generator(), &ct.c1, server.secret(), b"dec");
+        let proof = prove(
+            &group,
+            &mut rng,
+            &group.generator(),
+            &ct.c1,
+            server.secret(),
+            b"dec",
+        );
         assert!(verify(
             &group,
             &group.generator(),

@@ -71,19 +71,24 @@ impl ElGamal {
     }
 
     /// Decrypt a (single-key) ciphertext with the secret exponent.
+    ///
+    /// `c1 = g^r` lies in the order-`q` subgroup, so `c1^{-x} = c1^{q-x}`:
+    /// the blinding factor is removed with a single exponentiation instead
+    /// of an exponentiation plus a modular inversion.
     pub fn decrypt(&self, secret: &Scalar, ct: &Ciphertext) -> Element {
-        let shared = self.group.exp(&ct.c1, secret);
-        self.group.div(&ct.c2, &shared)
+        let unblind = self.group.exp(&ct.c1, &self.group.scalar_neg(secret));
+        self.group.mul(&ct.c2, &unblind)
     }
 
     /// Strip one layer from a layered ciphertext: divides `c2` by `c1^secret`
     /// while leaving `c1` untouched, so the remaining ciphertext is valid
-    /// under the product of the *other* keys.
+    /// under the product of the *other* keys.  Uses the same negated-
+    /// exponent trick as [`Self::decrypt`].
     pub fn strip_layer(&self, secret: &Scalar, ct: &Ciphertext) -> Ciphertext {
-        let shared = self.group.exp(&ct.c1, secret);
+        let unblind = self.group.exp(&ct.c1, &self.group.scalar_neg(secret));
         Ciphertext {
             c1: ct.c1.clone(),
-            c2: self.group.div(&ct.c2, &shared),
+            c2: self.group.mul(&ct.c2, &unblind),
         }
     }
 
@@ -157,7 +162,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (ElGamal, StdRng) {
-        (ElGamal::new(Group::testing_256()), StdRng::seed_from_u64(21))
+        (
+            ElGamal::new(Group::testing_256()),
+            StdRng::seed_from_u64(21),
+        )
     }
 
     #[test]
@@ -173,8 +181,13 @@ mod tests {
     fn bytes_round_trip() {
         let (eg, mut rng) = setup();
         let kp = DhKeyPair::generate(eg.group(), &mut rng);
-        let ct = eg.encrypt_bytes(&mut rng, kp.public(), b"anonymous post").unwrap();
-        assert_eq!(eg.decrypt_bytes(kp.secret(), &ct).unwrap(), b"anonymous post");
+        let ct = eg
+            .encrypt_bytes(&mut rng, kp.public(), b"anonymous post")
+            .unwrap();
+        assert_eq!(
+            eg.decrypt_bytes(kp.secret(), &ct).unwrap(),
+            b"anonymous post"
+        );
     }
 
     #[test]

@@ -15,15 +15,22 @@
 //!   and simulation runs (NOT cryptographically strong; clearly labelled).
 
 use crate::bigint::BigUint;
+use crate::montgomery::{CombTable, MontgomeryCtx, WindowTable};
 use crate::prng::DetPrng;
 use crate::sha256::sha256_tagged;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Group parameters: a safe prime `p = 2q + 1` and a generator `g` of the
 /// order-`q` subgroup of quadratic residues.
+///
+/// Alongside the raw parameters the struct caches the derived acceleration
+/// state every exponentiation needs: the Montgomery context for `p` and the
+/// fixed-base window table for `g`.  Both are built lazily on first use and
+/// shared through the [`Group`] handle's `Arc`, so the cost is paid once per
+/// parameter set rather than once per operation.
 #[derive(Clone, Serialize, Deserialize)]
 pub struct GroupParams {
     /// The safe prime modulus.
@@ -34,6 +41,31 @@ pub struct GroupParams {
     pub g: BigUint,
     /// Human-readable name of the parameter set.
     pub name: String,
+    /// Lazily-built Montgomery context for `p` (derived state, not wire
+    /// data).
+    #[serde(skip)]
+    mont: OnceLock<MontgomeryCtx>,
+    /// Lazily-built fixed-base window table for `g` (for multi-exponentiation).
+    #[serde(skip)]
+    g_table: OnceLock<WindowTable>,
+    /// Lazily-built Lim–Lee comb table for `g` (for plain fixed-base
+    /// exponentiation, the hottest operation in the protocol).
+    #[serde(skip)]
+    g_comb: OnceLock<CombTable>,
+}
+
+impl GroupParams {
+    fn new(p: BigUint, q: BigUint, g: BigUint, name: &str) -> GroupParams {
+        GroupParams {
+            p,
+            q,
+            g,
+            name: name.to_string(),
+            mont: OnceLock::new(),
+            g_table: OnceLock::new(),
+            g_comb: OnceLock::new(),
+        }
+    }
 }
 
 /// A shared handle to group parameters.
@@ -116,12 +148,7 @@ impl Group {
         let q = p.sub(&BigUint::one()).shr(1);
         let g = BigUint::from_u64(4);
         Group {
-            params: Arc::new(GroupParams {
-                p,
-                q,
-                g,
-                name: name.to_string(),
-            }),
+            params: Arc::new(GroupParams::new(p, q, g, name)),
         }
     }
 
@@ -166,12 +193,29 @@ impl Group {
             return Err("g does not generate the order-q subgroup");
         }
         Ok(Group {
-            params: Arc::new(GroupParams {
-                p,
-                q,
-                g,
-                name: name.to_string(),
-            }),
+            params: Arc::new(GroupParams::new(p, q, g, name)),
+        })
+    }
+
+    /// The cached Montgomery context for `p`.
+    fn mont(&self) -> &MontgomeryCtx {
+        self.params
+            .mont
+            .get_or_init(|| MontgomeryCtx::new(&self.params.p).expect("odd prime modulus"))
+    }
+
+    /// The cached fixed-base window table for the generator.
+    fn generator_table(&self) -> &WindowTable {
+        self.params
+            .g_table
+            .get_or_init(|| self.mont().precompute(&self.params.g))
+    }
+
+    /// The cached Lim–Lee comb table for the generator.
+    fn generator_comb(&self) -> &CombTable {
+        self.params.g_comb.get_or_init(|| {
+            self.mont()
+                .precompute_comb(&self.params.g, self.params.p.bit_len())
         })
     }
 
@@ -199,7 +243,7 @@ impl Group {
 
     /// Number of bytes needed to encode an element (the modulus width).
     pub fn element_len(&self) -> usize {
-        (self.params.p.bit_len() + 7) / 8
+        self.params.p.bit_len().div_ceil(8)
     }
 
     /// The identity element (1).
@@ -236,20 +280,56 @@ impl Group {
         // negligible bias, then reduce.
         let digest = sha256_tagged(parts);
         let mut prng = DetPrng::new(&digest, b"hash-to-scalar");
-        let need = (self.params.q.bit_len() + 7) / 8 + 16;
+        let need = self.params.q.bit_len().div_ceil(8) + 16;
         let wide = prng.bytes(need);
         self.scalar_from_bytes(&wide)
     }
 
-    /// Exponentiation of the generator: `g^e`.
+    /// Fixed-base exponentiation of the generator: `g^e`.
+    ///
+    /// Uses the cached Lim–Lee comb table for `g`: the squaring chain
+    /// shrinks by the comb's tooth count (~8×) compared with a general
+    /// [`Group::exp`], which matters because `g^e` is the hottest operation
+    /// in the protocol — every key generation, ElGamal encryption,
+    /// re-randomization and Schnorr signature performs one.
     pub fn exp_base(&self, e: &Scalar) -> Element {
-        self.exp(&self.generator(), e)
+        Element {
+            value: self.mont().pow_comb(self.generator_comb(), &e.value),
+        }
     }
 
-    /// Exponentiation: `a^e mod p`.
+    /// Exponentiation: `a^e mod p`, via the Montgomery engine.
     pub fn exp(&self, a: &Element, e: &Scalar) -> Element {
         Element {
-            value: a.value.modpow(&e.value, &self.params.p),
+            value: self.mont().pow(&a.value, &e.value),
+        }
+    }
+
+    /// Simultaneous double exponentiation: `a^x · b^y mod p`.
+    ///
+    /// One Shamir/Straus pass shares the squaring chain between the two
+    /// exponents, making this substantially cheaper than two [`Group::exp`]
+    /// calls — it is the verification primitive for Schnorr signatures and
+    /// Chaum–Pedersen proofs.  When either base is the generator its cached
+    /// window table is reused.
+    pub fn multi_exp(&self, a: &Element, x: &Scalar, b: &Element, y: &Scalar) -> Element {
+        let ctx = self.mont();
+        let a_built;
+        let a_table = if a.value == self.params.g {
+            self.generator_table()
+        } else {
+            a_built = ctx.precompute(&a.value);
+            &a_built
+        };
+        let b_built;
+        let b_table = if b.value == self.params.g {
+            self.generator_table()
+        } else {
+            b_built = ctx.precompute(&b.value);
+            &b_built
+        };
+        Element {
+            value: ctx.pow2_with_tables(a_table, &x.value, b_table, &y.value),
         }
     }
 
@@ -315,7 +395,7 @@ impl Group {
     pub fn is_member(&self, a: &Element) -> bool {
         !a.value.is_zero()
             && a.value < self.params.p
-            && a.value.modpow(&self.params.q, &self.params.p).is_one()
+            && self.mont().pow(&a.value, &self.params.q).is_one()
     }
 
     /// Embed a short message into a group element (quadratic-residue
@@ -390,7 +470,7 @@ impl Scalar {
     /// Canonical byte encoding (big-endian, padded to the order width).
     pub fn to_bytes(&self, group: &Group) -> Vec<u8> {
         self.value
-            .to_bytes_be_padded((group.order().bit_len() + 7) / 8)
+            .to_bytes_be_padded(group.order().bit_len().div_ceil(8))
     }
 
     /// The raw integer value.
@@ -444,10 +524,7 @@ mod tests {
     fn larger_groups_parse() {
         for g in [Group::modp_512(), Group::modp_1024(), Group::rfc3526_2048()] {
             assert!(g.is_member(&g.generator()));
-            assert_eq!(
-                g.modulus().sub(&BigUint::one()).shr(1),
-                g.order().clone()
-            );
+            assert_eq!(g.modulus().sub(&BigUint::one()).shr(1), g.order().clone());
         }
         assert_eq!(Group::rfc3526_2048().modulus().bit_len(), 2048);
     }
@@ -527,15 +604,13 @@ mod tests {
     fn from_params_validates() {
         let mut r = rng();
         let good = Group::testing_256();
-        assert!(Group::from_params(
-            &mut r,
-            good.modulus().clone(),
-            BigUint::from_u64(4),
-            "ok"
-        )
-        .is_ok());
+        assert!(
+            Group::from_params(&mut r, good.modulus().clone(), BigUint::from_u64(4), "ok").is_ok()
+        );
         // Non-prime modulus rejected.
-        assert!(Group::from_params(&mut r, BigUint::from_u64(100), BigUint::from_u64(4), "bad")
-            .is_err());
+        assert!(
+            Group::from_params(&mut r, BigUint::from_u64(100), BigUint::from_u64(4), "bad")
+                .is_err()
+        );
     }
 }

@@ -9,8 +9,12 @@
 //!
 //! * [`bigint`] — multi-precision unsigned integers (Knuth-D division,
 //!   modular exponentiation, Miller–Rabin).
+//! * [`montgomery`] — the division-free Montgomery exponentiation engine
+//!   (REDC, fixed-window and Shamir/Straus simultaneous exponentiation)
+//!   behind every `modpow` and every `Group::exp*` call.
 //! * [`group`] — Schnorr groups over safe primes (RFC 3526 2048-bit plus
-//!   faster simulation-grade parameter sets).
+//!   faster simulation-grade parameter sets), with cached Montgomery
+//!   contexts and fixed-base tables per parameter set.
 //! * [`sha256`], [`hmac`] — SHA-256, HMAC-SHA256, HKDF.
 //! * [`chacha`], [`prng`] — ChaCha20 keystream and the deterministic PRNG
 //!   used for DC-net pads and Fiat–Shamir expansion.
@@ -36,6 +40,7 @@ pub mod dh;
 pub mod elgamal;
 pub mod group;
 pub mod hmac;
+pub mod montgomery;
 pub mod padding;
 pub mod prng;
 pub mod schnorr;

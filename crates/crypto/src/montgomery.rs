@@ -1,0 +1,844 @@
+//! Montgomery-arithmetic modular exponentiation engine.
+//!
+//! Every public-key operation in Dissent — ElGamal encryptions and layer
+//! decryptions in the verifiable shuffle, Schnorr signatures on all protocol
+//! messages, Chaum–Pedersen proofs of correct decryption, Diffie–Hellman pad
+//! seeds — bottoms out in modular exponentiation modulo a large safe prime.
+//! The textbook square-and-multiply in [`BigUint::modpow_naive`] performs a
+//! full Knuth Algorithm D division after *every* multiplication, which makes
+//! it the dominant cost of every protocol phase.
+//!
+//! This module removes those divisions.  A [`MontgomeryCtx`] precomputes,
+//! once per modulus:
+//!
+//! * `n' = -n⁻¹ mod 2⁶⁴` — the per-limb REDC constant,
+//! * `R² mod n` for `R = 2⁶⁴ᵏ` — to convert operands into Montgomery form,
+//! * `R mod n` — the Montgomery form of 1.
+//!
+//! after which a modular multiplication is a single fused multiply/reduce
+//! pass (CIOS — coarsely integrated operand scanning) with no division at
+//! all.  On top of `mont_mul` the context offers:
+//!
+//! * [`MontgomeryCtx::pow`] — fixed 4-bit-window exponentiation,
+//! * [`MontgomeryCtx::pow2`] — Shamir/Straus simultaneous double
+//!   exponentiation `g^a · h^b`, sharing the squaring chain between the two
+//!   exponents (this is what turns Schnorr and Chaum–Pedersen verification
+//!   into a single exponentiation-shaped operation),
+//! * [`MontgomeryCtx::precompute`] / [`MontgomeryCtx::pow_with_table`] —
+//!   fixed-base exponentiation with a cached window table, used by
+//!   `Group::exp_base` for the generator `g`.
+//!
+//! Like the rest of this crate, nothing here is constant-time; the research
+//! reproduction trades side-channel hardening for clarity and speed.
+
+use crate::bigint::BigUint;
+
+/// Width of the exponentiation window, in bits.
+///
+/// 4 bits (16-entry tables) is the sweet spot for 256–2048-bit exponents:
+/// wider windows barely reduce multiplications but double table-build cost
+/// and memory; narrower windows add multiplications on the hot path.
+const WINDOW_BITS: usize = 4;
+/// Number of table entries for one window (`2^WINDOW_BITS`).
+const WINDOW_SIZE: usize = 1 << WINDOW_BITS;
+/// Number of teeth in the fixed-base comb ([`MontgomeryCtx::precompute_comb`]).
+///
+/// 8 teeth split a 2048-bit exponent into 256-bit columns: an exponentiation
+/// needs only ~256 squarings plus ~255 table multiplications, at the price
+/// of a 2⁸-entry table (64 KiB at 2048 bits) built once per base.
+const COMB_TEETH: usize = 8;
+
+/// Precomputed Montgomery context for one odd modulus.
+#[derive(Clone, Debug)]
+pub struct MontgomeryCtx {
+    /// Modulus limbs, little-endian, exactly `k` limbs (no padding beyond
+    /// the top significant limb).
+    n: Vec<u64>,
+    /// Limb count of the modulus.
+    k: usize,
+    /// `-n⁻¹ mod 2⁶⁴`.
+    n0inv: u64,
+    /// `R² mod n`, the to-Montgomery conversion factor.
+    r2: Vec<u64>,
+    /// `R mod n`, the Montgomery form of 1.
+    one: Vec<u64>,
+}
+
+/// A residue held in Montgomery form (`x · R mod n`), tied to the context
+/// that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MontInt {
+    limbs: Vec<u64>,
+}
+
+/// A precomputed window table for a fixed base, reusable across
+/// exponentiations (e.g. the group generator).
+#[derive(Clone, Debug)]
+pub struct WindowTable {
+    /// `table[i] = base^i` in Montgomery form, `i ∈ [0, WINDOW_SIZE)`.
+    table: Vec<Vec<u64>>,
+}
+
+/// A Lim–Lee comb table for a fixed base.
+///
+/// The exponent is read as [`COMB_TEETH`] interleaved rows of `span` bits;
+/// `table[mask]` holds `base^(Σ_{t ∈ mask} 2^(span·t))` in Montgomery form,
+/// so one squaring plus one table multiplication consumes one bit of *every*
+/// row at once.  An exponentiation then costs `span` squarings instead of
+/// `bit_len` — an ~8× reduction in the squaring chain, on top of the
+/// Montgomery arithmetic itself.  Used by `Group::exp_base`, where the
+/// generator's table is built once per parameter set and amortized over
+/// every key generation, ElGamal encryption, re-randomization and Schnorr
+/// signature in the session.
+#[derive(Clone, Debug)]
+pub struct CombTable {
+    /// Bits per tooth row (`ceil(max_exp_bits / COMB_TEETH)`).
+    span: usize,
+    /// `2^COMB_TEETH` combined powers in Montgomery form.
+    table: Vec<Vec<u64>>,
+    /// The base the table was built for, kept so the wide-exponent fallback
+    /// in [`MontgomeryCtx::pow_comb`] cannot be handed a mismatched base.
+    base: BigUint,
+}
+
+impl CombTable {
+    /// The largest exponent bit-length this table can handle.
+    pub fn max_bits(&self) -> usize {
+        self.span * COMB_TEETH
+    }
+}
+
+impl MontgomeryCtx {
+    /// Build a context for `modulus`.
+    ///
+    /// Returns `None` when Montgomery reduction does not apply: even moduli
+    /// (no inverse of `n` mod `2⁶⁴`) and the degenerate moduli 0 and 1.
+    pub fn new(modulus: &BigUint) -> Option<MontgomeryCtx> {
+        if modulus.is_even() || modulus.is_one() || modulus.is_zero() {
+            return None;
+        }
+        let n = modulus.limbs().to_vec();
+        let k = n.len();
+
+        // Newton–Hensel iteration for n⁻¹ mod 2⁶⁴: each step doubles the
+        // number of correct low bits, and x₀ = 1 is correct mod 2 for any
+        // odd n, so six steps reach 64 bits.
+        let n0 = n[0];
+        let mut inv = 1u64;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n0inv = inv.wrapping_neg();
+
+        // R mod n and R² mod n via ordinary division; this is the only
+        // place the context ever divides.
+        let r = BigUint::one().shl(64 * k).rem(modulus);
+        let r2 = BigUint::one().shl(128 * k).rem(modulus);
+
+        Some(MontgomeryCtx {
+            one: to_fixed_limbs(&r, k),
+            r2: to_fixed_limbs(&r2, k),
+            n,
+            k,
+            n0inv,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> BigUint {
+        BigUint::from_limbs(self.n.clone())
+    }
+
+    /// Convert `x` (reduced mod n first) into Montgomery form.
+    pub fn to_mont(&self, x: &BigUint) -> MontInt {
+        let reduced = x.rem(&self.modulus());
+        MontInt {
+            limbs: self.mont_mul_limbs(&to_fixed_limbs(&reduced, self.k), &self.r2),
+        }
+    }
+
+    /// Convert out of Montgomery form.
+    pub fn from_mont(&self, x: &MontInt) -> BigUint {
+        let mut one = vec![0u64; self.k];
+        one[0] = 1;
+        BigUint::from_limbs(self.mont_mul_limbs(&x.limbs, &one))
+    }
+
+    /// Montgomery product `a · b · R⁻¹ mod n`.
+    pub fn mont_mul(&self, a: &MontInt, b: &MontInt) -> MontInt {
+        MontInt {
+            limbs: self.mont_mul_limbs(&a.limbs, &b.limbs),
+        }
+    }
+
+    /// Montgomery square `a² · R⁻¹ mod n`, via the dedicated squaring
+    /// kernel (about a third cheaper than a general [`Self::mont_mul`]).
+    pub fn mont_sqr(&self, a: &MontInt) -> MontInt {
+        MontInt {
+            limbs: self.mont_sqr_limbs(&a.limbs),
+        }
+    }
+
+    /// The Montgomery form of 1.
+    pub fn one(&self) -> MontInt {
+        MontInt {
+            limbs: self.one.clone(),
+        }
+    }
+
+    /// CIOS Montgomery multiplication over raw limb slices.
+    fn mont_mul_limbs(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut t = Vec::new();
+        self.mul_into(a, b, &mut t);
+        t
+    }
+
+    /// Dedicated Montgomery squaring over raw limb slices.
+    fn mont_sqr_limbs(&self, a: &[u64]) -> Vec<u64> {
+        let mut m = Vec::new();
+        let mut u = Vec::new();
+        self.sqr_into(a, &mut m, &mut u);
+        u
+    }
+
+    /// CIOS Montgomery multiplication into a reusable buffer.
+    ///
+    /// Interleaves one row of the schoolbook product with one REDC step per
+    /// limb, so the working value never grows beyond `k + 2` limbs and no
+    /// division is performed.  Inputs must be `< n` and exactly `k` limbs;
+    /// the output satisfies the same invariant.  The inner loops run over
+    /// zipped slices so the optimizer drops every bounds check; `t` is
+    /// caller-provided so exponentiation loops allocate nothing per step.
+    fn mul_into(&self, a: &[u64], b: &[u64], t: &mut Vec<u64>) {
+        let k = self.k;
+        let n = &self.n;
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(b.len(), k);
+        t.clear();
+        t.resize(k + 2, 0);
+
+        for &ai in a {
+            // t += aᵢ · b
+            let ai = ai as u128;
+            let mut carry: u128 = 0;
+            for (tj, &bj) in t[..k].iter_mut().zip(b) {
+                let cur = *tj as u128 + ai * bj as u128 + carry;
+                *tj = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k] = cur as u64;
+            t[k + 1] = (cur >> 64) as u64;
+
+            // REDC step: add m·n with m chosen so the low limb cancels,
+            // then shift t down one limb.
+            let m = t[0].wrapping_mul(self.n0inv) as u128;
+            let mut carry = (t[0] as u128 + m * n[0] as u128) >> 64;
+            for j in 1..k {
+                let cur = t[j] as u128 + m * n[j] as u128 + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k - 1] = cur as u64;
+            // t[k+1] ≤ 1 and the carry out of the top addition is ≤ 1, so
+            // this sum cannot overflow a limb.
+            t[k] = t[k + 1] + (cur >> 64) as u64;
+            t[k + 1] = 0;
+        }
+
+        // The accumulated result is < 2n; one conditional subtraction
+        // restores the `< n` invariant.
+        if t[k] != 0 || !limbs_lt(&t[..k], n) {
+            limbs_sub_in_place(t, n);
+        }
+        t.truncate(k);
+    }
+
+    /// Dedicated Montgomery squaring, in finely-integrated product-scanning
+    /// (FIPS/Comba) form: per output column, cross products `aᵢaⱼ (i<j)` are
+    /// summed once into a local accumulator and doubled at column close, the
+    /// diagonal square is added, and the Montgomery `m·n` terms fold in —
+    /// so the product step costs half the multiplications of a general
+    /// [`Self::mont_mul_limbs`].
+    ///
+    /// Squarings are ~80% of an exponentiation's work (every exponent bit
+    /// squares, only set windows multiply), so the cheaper kernel pays for
+    /// itself immediately.  `m` and `u` are caller-provided scratch; the
+    /// result is left in `u`.
+    fn sqr_into(&self, a: &[u64], m: &mut Vec<u64>, u: &mut Vec<u64>) {
+        let k = self.k;
+        if k == 1 {
+            self.mul_into(a, a, u);
+            return;
+        }
+        let n = &self.n;
+        m.clear();
+        m.resize(k, 0);
+        u.clear();
+        u.resize(k + 1, 0);
+        let mut acc = Acc3::zero();
+        // Low columns 0..k: compute mᵢ per column and shift the (now zero)
+        // bottom word out.
+        for i in 0..k {
+            let mut cross = Acc3::zero();
+            let mut j = 0usize;
+            while 2 * j < i {
+                cross.add(a[j] as u128 * a[i - j] as u128);
+                j += 1;
+            }
+            acc.add_doubled(&cross);
+            if 2 * j == i {
+                acc.add(a[j] as u128 * a[j] as u128);
+            }
+            for j2 in 0..i {
+                acc.add(m[j2] as u128 * n[i - j2] as u128);
+            }
+            let mi = (acc.lo as u64).wrapping_mul(self.n0inv);
+            m[i] = mi;
+            acc.add(mi as u128 * n[0] as u128);
+            let zero = acc.shift();
+            debug_assert_eq!(zero, 0);
+        }
+        // High columns k..2k: pure accumulation, shifting result words out.
+        for i in k..2 * k {
+            let mut cross = Acc3::zero();
+            let mut j = i - k + 1;
+            while 2 * j < i {
+                cross.add(a[j] as u128 * a[i - j] as u128);
+                j += 1;
+            }
+            acc.add_doubled(&cross);
+            if 2 * j == i && j < k {
+                acc.add(a[j] as u128 * a[j] as u128);
+            }
+            for j2 in (i - k + 1)..k {
+                acc.add(m[j2] as u128 * n[i - j2] as u128);
+            }
+            u[i - k] = acc.shift();
+        }
+        u[k] = acc.lo as u64;
+        if u[k] != 0 || !limbs_lt(&u[..k], n) {
+            limbs_sub_in_place(u, n);
+        }
+        u.truncate(k);
+    }
+
+    /// Square `r` in place through the scratch buffers.
+    #[inline]
+    fn sqr_swap(&self, r: &mut Vec<u64>, scratch: &mut Scratch) {
+        self.sqr_into(r, &mut scratch.m, &mut scratch.t);
+        std::mem::swap(r, &mut scratch.t);
+    }
+
+    /// Multiply `r` by `b` in place through the scratch buffer.
+    #[inline]
+    fn mul_swap(&self, r: &mut Vec<u64>, b: &[u64], scratch: &mut Scratch) {
+        self.mul_into(r, b, &mut scratch.t);
+        std::mem::swap(r, &mut scratch.t);
+    }
+
+    /// Build the window table `base^0 … base^(WINDOW_SIZE-1)` for
+    /// [`Self::pow_with_table`].
+    pub fn precompute(&self, base: &BigUint) -> WindowTable {
+        let base_m = self.to_mont(base);
+        let mut table = Vec::with_capacity(WINDOW_SIZE);
+        table.push(self.one.clone());
+        table.push(base_m.limbs);
+        for i in 2..WINDOW_SIZE {
+            table.push(self.mont_mul_limbs(&table[i - 1], &table[1]));
+        }
+        WindowTable { table }
+    }
+
+    /// `base^exponent mod n` by sliding-window exponentiation.
+    ///
+    /// The window width adapts to the exponent size (wider windows amortize
+    /// their odd-power table over more bits); sliding — rather than fixed —
+    /// windows skip runs of zero bits entirely, cutting the number of
+    /// window multiplications by ~30% for random exponents.
+    pub fn pow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        if exponent.is_zero() {
+            return self.from_mont(&self.one());
+        }
+        let bits = exponent.bit_len();
+        let w = match bits {
+            0..=24 => 1,
+            25..=96 => 3,
+            97..=768 => 4,
+            769..=1536 => 5,
+            _ => 6,
+        };
+        // Odd powers base^1, base^3, …, base^(2^w − 1) in Montgomery form.
+        let base_m = self.to_mont(base);
+        let base_sq = self.mont_sqr_limbs(&base_m.limbs);
+        let mut odd = Vec::with_capacity(1 << (w - 1));
+        odd.push(base_m.limbs);
+        for i in 1..1usize << (w - 1) {
+            odd.push(self.mont_mul_limbs(&odd[i - 1], &base_sq));
+        }
+
+        let mut scratch = Scratch::default();
+        // The scan starts at the exponent's set top bit, so the first
+        // iteration always initializes `r` from a window.
+        let mut r: Vec<u64> = Vec::new();
+        let mut started = false;
+        let mut i = bits as isize - 1;
+        while i >= 0 {
+            if !exponent.bit(i as usize) {
+                debug_assert!(started);
+                self.sqr_swap(&mut r, &mut scratch);
+                i -= 1;
+                continue;
+            }
+            // Take the widest window ending on a set bit.
+            let bottom = (i - w as isize + 1).max(0);
+            let mut j = bottom;
+            while !exponent.bit(j as usize) {
+                j += 1;
+            }
+            let width = (i - j + 1) as usize;
+            let mut val = 0usize;
+            for b in (j..=i).rev() {
+                val = (val << 1) | exponent.bit(b as usize) as usize;
+            }
+            if started {
+                for _ in 0..width {
+                    self.sqr_swap(&mut r, &mut scratch);
+                }
+                self.mul_swap(&mut r, &odd[val >> 1], &mut scratch);
+            } else {
+                r = odd[val >> 1].clone();
+                started = true;
+            }
+            i = j - 1;
+        }
+        self.from_mont(&MontInt { limbs: r })
+    }
+
+    /// `base^exponent mod n` using a previously built window table.
+    pub fn pow_with_table(&self, table: &WindowTable, exponent: &BigUint) -> BigUint {
+        if exponent.is_zero() {
+            return self.from_mont(&self.one());
+        }
+        let windows = exponent.bit_len().div_ceil(WINDOW_BITS);
+        let mut scratch = Scratch::default();
+        let mut r: Vec<u64> = Vec::new();
+        let mut started = false;
+        for w in (0..windows).rev() {
+            if started {
+                for _ in 0..WINDOW_BITS {
+                    self.sqr_swap(&mut r, &mut scratch);
+                }
+            }
+            let idx = window_of(exponent, w);
+            if idx != 0 {
+                if started {
+                    self.mul_swap(&mut r, &table.table[idx], &mut scratch);
+                } else {
+                    // First non-zero window: start from the table entry and
+                    // skip the leading multiplication by one.
+                    r = table.table[idx].clone();
+                    started = true;
+                }
+            }
+        }
+        if !started {
+            r = self.one.clone();
+        }
+        self.from_mont(&MontInt { limbs: r })
+    }
+
+    /// Build a [`CombTable`] for `base`, covering exponents up to
+    /// `max_exp_bits` bits.
+    ///
+    /// Costs roughly one full exponentiation (`(COMB_TEETH−1)·span`
+    /// squarings plus `2^COMB_TEETH` multiplications), repaid after a
+    /// handful of [`Self::pow_comb`] calls.
+    pub fn precompute_comb(&self, base: &BigUint, max_exp_bits: usize) -> CombTable {
+        let span = max_exp_bits.div_ceil(COMB_TEETH).max(1);
+        // powers[t] = base^(2^(span·t)) in Montgomery form.
+        let mut powers = Vec::with_capacity(COMB_TEETH);
+        powers.push(self.to_mont(base).limbs);
+        for t in 1..COMB_TEETH {
+            let mut cur = powers[t - 1].clone();
+            for _ in 0..span {
+                cur = self.mont_sqr_limbs(&cur);
+            }
+            powers.push(cur);
+        }
+        // table[mask] = Π_{t ∈ mask} powers[t], built by peeling the top bit.
+        let mut table = Vec::with_capacity(1 << COMB_TEETH);
+        table.push(self.one.clone());
+        for mask in 1usize..1 << COMB_TEETH {
+            let rest = mask & (mask - 1);
+            let tooth = (mask ^ rest).trailing_zeros() as usize;
+            if rest == 0 {
+                table.push(powers[tooth].clone());
+            } else {
+                table.push(self.mont_mul_limbs(&table[rest], &powers[tooth]));
+            }
+        }
+        CombTable {
+            span,
+            table,
+            base: base.clone(),
+        }
+    }
+
+    /// Fixed-base exponentiation through a [`CombTable`].
+    ///
+    /// Falls back to [`Self::pow`] on the table's own base if the exponent
+    /// is wider than the table was built for.
+    pub fn pow_comb(&self, comb: &CombTable, exponent: &BigUint) -> BigUint {
+        if exponent.bit_len() > comb.max_bits() {
+            return self.pow(&comb.base, exponent);
+        }
+        let span = comb.span;
+        let mut scratch = Scratch::default();
+        let mut r: Vec<u64> = Vec::new();
+        let mut started = false;
+        for b in (0..span).rev() {
+            if started {
+                self.sqr_swap(&mut r, &mut scratch);
+            }
+            let mut mask = 0usize;
+            for t in 0..COMB_TEETH {
+                mask |= (exponent.bit(b + span * t) as usize) << t;
+            }
+            if mask != 0 {
+                if started {
+                    self.mul_swap(&mut r, &comb.table[mask], &mut scratch);
+                } else {
+                    r = comb.table[mask].clone();
+                    started = true;
+                }
+            }
+        }
+        if !started {
+            r = self.one.clone();
+        }
+        self.from_mont(&MontInt { limbs: r })
+    }
+
+    /// Simultaneous double exponentiation `g^a · h^b mod n` (Shamir/Straus).
+    ///
+    /// One shared squaring chain serves both exponents, so the cost is
+    /// roughly one `pow` plus a second set of window multiplications — about
+    /// 1.7× cheaper than two independent exponentiations.  This is the
+    /// engine behind `Group::multi_exp`, which collapses the two-sided
+    /// verification equations of Schnorr signatures and Chaum–Pedersen
+    /// proofs.
+    pub fn pow2(&self, g: &BigUint, a: &BigUint, h: &BigUint, b: &BigUint) -> BigUint {
+        let g_table = self.precompute(g);
+        let h_table = self.precompute(h);
+        self.pow2_with_tables(&g_table, a, &h_table, b)
+    }
+
+    /// [`Self::pow2`] with caller-provided window tables (lets `Group`
+    /// reuse the cached generator table for the `g` side).
+    pub fn pow2_with_tables(
+        &self,
+        g_table: &WindowTable,
+        a: &BigUint,
+        h_table: &WindowTable,
+        b: &BigUint,
+    ) -> BigUint {
+        let windows = a.bit_len().max(b.bit_len()).div_ceil(WINDOW_BITS);
+        let mut scratch = Scratch::default();
+        let mut r: Vec<u64> = Vec::new();
+        let mut started = false;
+        for w in (0..windows).rev() {
+            if started {
+                for _ in 0..WINDOW_BITS {
+                    self.sqr_swap(&mut r, &mut scratch);
+                }
+            }
+            for (exp, table) in [(a, g_table), (b, h_table)] {
+                let idx = window_of(exp, w);
+                if idx != 0 {
+                    if started {
+                        self.mul_swap(&mut r, &table.table[idx], &mut scratch);
+                    } else {
+                        r = table.table[idx].clone();
+                        started = true;
+                    }
+                }
+            }
+        }
+        if !started {
+            r = self.one.clone();
+        }
+        self.from_mont(&MontInt { limbs: r })
+    }
+}
+
+/// Reusable scratch buffers for exponentiation loops: once warm, a whole
+/// squaring chain runs without a single heap allocation.
+#[derive(Default)]
+struct Scratch {
+    /// Working buffer for CIOS products and squaring results.
+    t: Vec<u64>,
+    /// The `m` coefficient buffer of the squaring kernel.
+    m: Vec<u64>,
+}
+
+/// A three-word (192-bit) column accumulator for product-scanning loops.
+///
+/// `lo` holds the low 128 bits, `hi` counts overflows out of them.  All
+/// products within one column are independent, so the only serial work per
+/// product is a single 128-bit add — the property that makes the
+/// product-scanning squaring kernel fast.
+#[derive(Clone, Copy)]
+struct Acc3 {
+    lo: u128,
+    hi: u64,
+}
+
+impl Acc3 {
+    #[inline(always)]
+    fn zero() -> Acc3 {
+        Acc3 { lo: 0, hi: 0 }
+    }
+
+    /// Accumulate one 128-bit product.
+    #[inline(always)]
+    fn add(&mut self, p: u128) {
+        let (sum, overflow) = self.lo.overflowing_add(p);
+        self.lo = sum;
+        self.hi += overflow as u64;
+    }
+
+    /// Accumulate `2 ×` another accumulator's value (used to double the
+    /// once-computed cross products of a squaring column).
+    #[inline(always)]
+    fn add_doubled(&mut self, other: &Acc3) {
+        self.add(other.lo << 1);
+        self.hi += (other.hi << 1) | ((other.lo >> 127) as u64);
+    }
+
+    /// Pop the low word, shifting the accumulator right by one word.
+    #[inline(always)]
+    fn shift(&mut self) -> u64 {
+        let out = self.lo as u64;
+        self.lo = (self.lo >> 64) | ((self.hi as u128) << 64);
+        self.hi = 0;
+        out
+    }
+}
+
+/// Extract the `w`-th `WINDOW_BITS`-wide window of `exponent`.
+///
+/// Windows never straddle limbs because 64 is a multiple of `WINDOW_BITS`.
+#[inline]
+fn window_of(exponent: &BigUint, w: usize) -> usize {
+    let limbs = exponent.limbs();
+    let limb_idx = w * WINDOW_BITS / 64;
+    if limb_idx >= limbs.len() {
+        return 0;
+    }
+    ((limbs[limb_idx] >> (w * WINDOW_BITS % 64)) & (WINDOW_SIZE as u64 - 1)) as usize
+}
+
+/// Copy a value into exactly `k` limbs (the value must fit).
+fn to_fixed_limbs(x: &BigUint, k: usize) -> Vec<u64> {
+    let src = x.limbs();
+    debug_assert!(src.len() <= k, "value wider than the modulus");
+    let mut out = vec![0u64; k];
+    out[..src.len()].copy_from_slice(src);
+    out
+}
+
+/// `a < b` over equal-length limb slices.
+#[inline]
+fn limbs_lt(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] < b[i];
+        }
+    }
+    false
+}
+
+/// `t -= n` in place; `t` may be one limb longer than `n`.
+#[inline]
+fn limbs_sub_in_place(t: &mut [u64], n: &[u64]) {
+    let mut borrow = 0u64;
+    for i in 0..n.len() {
+        let (d1, b1) = t[i].overflowing_sub(n[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        t[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    for limb in t.iter_mut().skip(n.len()) {
+        let (d, b) = limb.overflowing_sub(borrow);
+        *limb = d;
+        borrow = b as u64;
+        if borrow == 0 {
+            break;
+        }
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hex(s: &str) -> BigUint {
+        BigUint::from_hex(s).unwrap()
+    }
+
+    /// The 256-bit safe prime used by the fast test group.
+    fn p256() -> BigUint {
+        hex("b7e9f735f74bf461eb409d67747a627534f17ded4ba95a60790f978549c8c24f")
+    }
+
+    #[test]
+    fn rejects_even_and_degenerate_moduli() {
+        assert!(MontgomeryCtx::new(&BigUint::from_u64(100)).is_none());
+        assert!(MontgomeryCtx::new(&BigUint::zero()).is_none());
+        assert!(MontgomeryCtx::new(&BigUint::one()).is_none());
+        assert!(MontgomeryCtx::new(&BigUint::from_u64(9)).is_some());
+    }
+
+    #[test]
+    fn round_trip_through_montgomery_form() {
+        let ctx = MontgomeryCtx::new(&p256()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let x = BigUint::random_below(&mut rng, &p256());
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&x)), x);
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_mod_mul() {
+        let p = p256();
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let a = BigUint::random_below(&mut rng, &p);
+            let b = BigUint::random_below(&mut rng, &p);
+            let got = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+            assert_eq!(got, a.mod_mul(&b, &p));
+        }
+    }
+
+    #[test]
+    fn pow_matches_naive_small_modulus() {
+        // Single-limb odd modulus exercises the k = 1 REDC path.
+        let p = BigUint::from_u64(1_000_000_007);
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let base = BigUint::from_u64(123_456_789);
+        let exp = BigUint::from_u64(987_654_321);
+        assert_eq!(ctx.pow(&base, &exp), base.modpow_naive(&exp, &p));
+    }
+
+    #[test]
+    fn pow_edge_exponents_and_bases() {
+        let p = p256();
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let g = BigUint::from_u64(4);
+        let p_minus_1 = p.sub(&BigUint::one());
+        // exponent 0 and 1
+        assert_eq!(ctx.pow(&g, &BigUint::zero()), BigUint::one());
+        assert_eq!(ctx.pow(&g, &BigUint::one()), g);
+        // base ≡ 0
+        assert_eq!(
+            ctx.pow(&BigUint::zero(), &BigUint::from_u64(17)),
+            BigUint::zero()
+        );
+        assert_eq!(ctx.pow(&BigUint::zero(), &BigUint::zero()), BigUint::one());
+        // base = p (≡ 0) and base = p−1 (order 2)
+        assert_eq!(ctx.pow(&p, &BigUint::from_u64(3)), BigUint::zero());
+        assert_eq!(ctx.pow(&p_minus_1, &BigUint::from_u64(2)), BigUint::one());
+        assert_eq!(ctx.pow(&p_minus_1, &BigUint::from_u64(3)), p_minus_1);
+        // exponent p−1 (Fermat)
+        assert_eq!(ctx.pow(&g, &p_minus_1), BigUint::one());
+    }
+
+    #[test]
+    fn pow2_matches_product_of_pows() {
+        let p = p256();
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let g = BigUint::random_below(&mut rng, &p);
+            let h = BigUint::random_below(&mut rng, &p);
+            let a = BigUint::random_below(&mut rng, &p);
+            let b = BigUint::random_below(&mut rng, &p);
+            let expect = ctx.pow(&g, &a).mod_mul(&ctx.pow(&h, &b), &p);
+            assert_eq!(ctx.pow2(&g, &a, &h, &b), expect);
+        }
+    }
+
+    #[test]
+    fn pow2_zero_exponent_sides() {
+        let p = p256();
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let g = BigUint::from_u64(4);
+        let h = BigUint::from_u64(9);
+        let e = BigUint::from_u64(1234);
+        assert_eq!(
+            ctx.pow2(&g, &BigUint::zero(), &h, &BigUint::zero()),
+            BigUint::one()
+        );
+        assert_eq!(ctx.pow2(&g, &e, &h, &BigUint::zero()), ctx.pow(&g, &e));
+        assert_eq!(ctx.pow2(&g, &BigUint::zero(), &h, &e), ctx.pow(&h, &e));
+    }
+
+    #[test]
+    fn comb_matches_sliding_window_pow() {
+        let p = p256();
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let g = BigUint::from_u64(4);
+        let comb = ctx.precompute_comb(&g, p.bit_len());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let e = BigUint::random_below(&mut rng, &p);
+            assert_eq!(ctx.pow_comb(&comb, &e), ctx.pow(&g, &e));
+        }
+        // Edge exponents, including ones wider than the table (fallback).
+        for e in [
+            BigUint::zero(),
+            BigUint::one(),
+            p.sub(&BigUint::one()),
+            BigUint::one().shl(p.bit_len() + 7),
+        ] {
+            assert_eq!(ctx.pow_comb(&comb, &e), ctx.pow(&g, &e));
+        }
+    }
+
+    #[test]
+    fn sliding_window_widths_agree() {
+        // Exercise every window-width branch of `pow` against the naive path.
+        let mut rng = StdRng::seed_from_u64(6);
+        for bits in [8usize, 40, 200, 1000] {
+            let p = p256();
+            let ctx = MontgomeryCtx::new(&p).unwrap();
+            let base = BigUint::random_below(&mut rng, &p);
+            let e = BigUint::random_bits(&mut rng, bits);
+            assert_eq!(ctx.pow(&base, &e), base.modpow_naive(&e, &p));
+        }
+    }
+
+    #[test]
+    fn fixed_base_table_reuse_is_consistent() {
+        let p = p256();
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let table = ctx.precompute(&BigUint::from_u64(4));
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let e = BigUint::random_below(&mut rng, &p);
+            assert_eq!(
+                ctx.pow_with_table(&table, &e),
+                ctx.pow(&BigUint::from_u64(4), &e)
+            );
+        }
+    }
+}

@@ -47,7 +47,11 @@ fn checksum(seed: &[u8; SEED_LEN], payload: &[u8]) -> [u8; 4] {
 /// Encode `message` into a wire image of exactly `slot_len` bytes.
 ///
 /// Returns `None` if the slot is too small (`slot_len < message.len() + OVERHEAD`).
-pub fn encode<R: RngCore + ?Sized>(rng: &mut R, message: &[u8], slot_len: usize) -> Option<Vec<u8>> {
+pub fn encode<R: RngCore + ?Sized>(
+    rng: &mut R,
+    message: &[u8],
+    slot_len: usize,
+) -> Option<Vec<u8>> {
     if slot_len < message.len() + OVERHEAD {
         return None;
     }
@@ -150,9 +154,9 @@ mod tests {
 
     #[test]
     fn empty_slot_decodes_as_empty() {
-        assert_eq!(decode(&vec![0u8; 64]), Decoded::Empty);
+        assert_eq!(decode(&[0u8; 64]), Decoded::Empty);
         assert_eq!(decode(&[]), Decoded::Empty);
-        assert_eq!(decode(&vec![0u8; 5]), Decoded::Empty);
+        assert_eq!(decode(&[0u8; 5]), Decoded::Empty);
     }
 
     #[test]

@@ -61,7 +61,12 @@ impl SigningKeyPair {
     }
 
     /// Sign a message.
-    pub fn sign<R: RngCore + ?Sized>(&self, group: &Group, rng: &mut R, message: &[u8]) -> Signature {
+    pub fn sign<R: RngCore + ?Sized>(
+        &self,
+        group: &Group,
+        rng: &mut R,
+        message: &[u8],
+    ) -> Signature {
         let k = group.random_scalar(rng);
         let commitment = group.exp_base(&k);
         let challenge = challenge(group, &commitment, &self.public, message);
@@ -88,10 +93,10 @@ pub fn verify(group: &Group, public: &VerifyingKey, message: &[u8], sig: &Signat
         return false;
     }
     let e = challenge(group, &sig.commitment, public, message);
-    // g^s == R · P^e
-    let lhs = group.exp_base(&sig.response);
-    let rhs = group.mul(&sig.commitment, &group.exp(public, &e));
-    lhs == rhs
+    // g^s == R · P^e, rearranged (P has order q, so P^{-e} = P^{q-e}) into
+    // the single simultaneous exponentiation g^s · P^{-e} == R.
+    let neg_e = group.scalar_neg(&e);
+    group.multi_exp(&group.generator(), &sig.response, public, &neg_e) == sig.commitment
 }
 
 #[cfg(test)]
@@ -145,7 +150,12 @@ mod tests {
         let secret = group.random_scalar(&mut rng);
         let kp = SigningKeyPair::from_secret(&group, secret);
         let sig = kp.sign(&group, &mut rng, b"accusation: round 3, slot 2, bit 17");
-        assert!(verify(&group, kp.public(), b"accusation: round 3, slot 2, bit 17", &sig));
+        assert!(verify(
+            &group,
+            kp.public(),
+            b"accusation: round 3, slot 2, bit 17",
+            &sig
+        ));
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Property-based equivalence tests for the Montgomery exponentiation
+//! engine: every accelerated path (`mont_mul`, window/sliding exponentiation,
+//! fixed-base tables, combs, simultaneous double exponentiation) must agree
+//! with the naive square-and-multiply reference across all four group
+//! parameter sets (256 → 2048 bits).
+
+use dissent_crypto::bigint::BigUint;
+use dissent_crypto::group::Group;
+use dissent_crypto::montgomery::MontgomeryCtx;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// All four parameter sets, smallest to largest.
+fn groups() -> [Group; 4] {
+    [
+        Group::testing_256(),
+        Group::modp_512(),
+        Group::modp_1024(),
+        Group::rfc3526_2048(),
+    ]
+}
+
+/// A deterministic value below `p`, derived from a seed.
+fn value_below(p: &BigUint, seed: u64) -> BigUint {
+    let mut rng = StdRng::seed_from_u64(seed);
+    BigUint::random_below(&mut rng, p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn mont_mul_matches_mod_mul_all_sizes(seed in any::<u64>()) {
+        for group in groups() {
+            let p = group.modulus();
+            let ctx = MontgomeryCtx::new(p).unwrap();
+            let a = value_below(p, seed);
+            let b = value_below(p, seed.wrapping_add(1));
+            let got = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+            prop_assert_eq!(got, a.mod_mul(&b, p));
+        }
+    }
+
+    #[test]
+    fn mont_sqr_matches_mont_mul_all_sizes(seed in any::<u64>()) {
+        for group in groups() {
+            let p = group.modulus();
+            let ctx = MontgomeryCtx::new(p).unwrap();
+            let a = ctx.to_mont(&value_below(p, seed));
+            prop_assert_eq!(ctx.mont_sqr(&a), ctx.mont_mul(&a, &a));
+        }
+    }
+
+    #[test]
+    fn sliding_window_pow_matches_naive(seed in any::<u64>(), exp_bits in 1usize..200) {
+        // Moderate exponents keep the naive reference fast even at 2048 bits
+        // while still exercising every modulus width; full-width exponents
+        // are covered by the deterministic test below.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for group in groups() {
+            let p = group.modulus();
+            let ctx = MontgomeryCtx::new(p).unwrap();
+            let base = BigUint::random_below(&mut rng, p);
+            let e = BigUint::random_bits(&mut rng, exp_bits);
+            prop_assert_eq!(ctx.pow(&base, &e), base.modpow_naive(&e, p));
+        }
+    }
+
+    #[test]
+    fn fixed_window_table_matches_naive(seed in any::<u64>(), exp_bits in 1usize..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for group in groups() {
+            let p = group.modulus();
+            let ctx = MontgomeryCtx::new(p).unwrap();
+            let base = BigUint::random_below(&mut rng, p);
+            let e = BigUint::random_bits(&mut rng, exp_bits);
+            let table = ctx.precompute(&base);
+            prop_assert_eq!(ctx.pow_with_table(&table, &e), base.modpow_naive(&e, p));
+        }
+    }
+
+    #[test]
+    fn comb_matches_naive(seed in any::<u64>(), exp_bits in 1usize..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for group in groups() {
+            let p = group.modulus();
+            let ctx = MontgomeryCtx::new(p).unwrap();
+            let base = BigUint::random_below(&mut rng, p);
+            let e = BigUint::random_bits(&mut rng, exp_bits);
+            let comb = ctx.precompute_comb(&base, p.bit_len());
+            prop_assert_eq!(ctx.pow_comb(&comb, &e), base.modpow_naive(&e, p));
+        }
+    }
+
+    #[test]
+    fn pow2_matches_naive_product(seed in any::<u64>(), ea_bits in 1usize..150, eb_bits in 1usize..150) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for group in groups() {
+            let p = group.modulus();
+            let ctx = MontgomeryCtx::new(p).unwrap();
+            let g = BigUint::random_below(&mut rng, p);
+            let h = BigUint::random_below(&mut rng, p);
+            let a = BigUint::random_bits(&mut rng, ea_bits);
+            let b = BigUint::random_bits(&mut rng, eb_bits);
+            let expect = g
+                .modpow_naive(&a, p)
+                .mod_mul(&h.modpow_naive(&b, p), p);
+            prop_assert_eq!(ctx.pow2(&g, &a, &h, &b), expect);
+        }
+    }
+
+    #[test]
+    fn modpow_delegation_is_transparent(seed in any::<u64>(), exp_bits in 32usize..200) {
+        // Public `modpow` (which routes through Montgomery for odd moduli)
+        // must be indistinguishable from the naive reference.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for group in groups() {
+            let p = group.modulus();
+            let base = BigUint::random_below(&mut rng, p);
+            let e = BigUint::random_bits(&mut rng, exp_bits);
+            prop_assert_eq!(base.modpow(&e, p), base.modpow_naive(&e, p));
+        }
+    }
+
+    #[test]
+    fn group_exp_apis_agree(seed in any::<u64>()) {
+        // Group::exp, Group::exp_base and Group::multi_exp against each
+        // other and the exponent laws, on the fast test group.
+        let group = Group::testing_256();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = group.random_scalar(&mut rng);
+        let y = group.random_scalar(&mut rng);
+        let a = group.exp_base(&x);
+        prop_assert_eq!(&a, &group.exp(&group.generator(), &x));
+        let b = group.exp_base(&y);
+        let multi = group.multi_exp(&a, &y, &b, &x);
+        prop_assert_eq!(&multi, &group.mul(&group.exp(&a, &y), &group.exp(&b, &x)));
+    }
+}
+
+/// Full-width exponents and algebraic edge cases, once per parameter set
+/// (deterministic so the slow 2048-bit naive reference runs a bounded number
+/// of times).
+#[test]
+fn full_width_exponent_and_edge_cases() {
+    for group in groups() {
+        let p = group.modulus();
+        let ctx = MontgomeryCtx::new(p).unwrap();
+        let one = BigUint::one();
+        let p_minus_1 = p.sub(&one);
+        let base = value_below(p, 0xFEED);
+
+        // One full-width exponent (the group order) per size.
+        let q = group.order();
+        assert_eq!(ctx.pow(&base, q), base.modpow_naive(q, p));
+
+        // Exponent 0 and 1.
+        assert_eq!(ctx.pow(&base, &BigUint::zero()), one);
+        assert_eq!(ctx.pow(&base, &one), base);
+
+        // Base ≡ 0 (both the canonical 0 and the unreduced p).
+        assert_eq!(
+            ctx.pow(&BigUint::zero(), &BigUint::from_u64(5)),
+            BigUint::zero()
+        );
+        assert_eq!(ctx.pow(p, &BigUint::from_u64(5)), BigUint::zero());
+        assert_eq!(ctx.pow(&BigUint::zero(), &BigUint::zero()), one);
+
+        // Base p−1 has order 2; exponent p−1 is Fermat's little theorem.
+        assert_eq!(ctx.pow(&p_minus_1, &BigUint::from_u64(2)), one);
+        assert_eq!(ctx.pow(&p_minus_1, &BigUint::from_u64(3)), p_minus_1);
+        assert_eq!(ctx.pow(&base, &p_minus_1), one);
+    }
+}

@@ -337,6 +337,7 @@ mod tests {
         cleartext: Vec<u8>,
     }
 
+    #[allow(clippy::needless_range_loop)]
     fn fixture(n: usize, m: usize, disruptor: Option<(usize, usize)>) -> Fixture {
         let round = 3;
         let total_len = 64;
@@ -352,8 +353,9 @@ mod tests {
             }
         }
         let composite: Vec<ClientId> = (0..n as ClientId).collect();
-        let assignment: BTreeMap<ClientId, ServerId> =
-            (0..n).map(|i| (i as ClientId, (i % m) as ServerId)).collect();
+        let assignment: BTreeMap<ClientId, ServerId> = (0..n)
+            .map(|i| (i as ClientId, (i % m) as ServerId))
+            .collect();
 
         // Every client sends an all-zero cleartext (cover traffic); the
         // disruptor, if any, flips a bit in its ciphertext.
@@ -442,7 +444,12 @@ mod tests {
     fn honest_round_is_consistent() {
         let f = fixture(4, 2, None);
         let reveals = reveals_for(&f, 99);
-        let outcome = evaluate_blame(&f.composite, &f.assignment, &reveals, get_bit(&f.cleartext, 99));
+        let outcome = evaluate_blame(
+            &f.composite,
+            &f.assignment,
+            &reveals,
+            get_bit(&f.cleartext, 99),
+        );
         assert_eq!(outcome, BlameOutcome::Consistent);
     }
 
@@ -490,7 +497,14 @@ mod tests {
 
         // Server claims the opposite bit.
         let claimed = !true_bit;
-        let rebuttal = build_rebuttal(&mut rng, &group, 4, 1, client_kp.secret(), server_kp.public());
+        let rebuttal = build_rebuttal(
+            &mut rng,
+            &group,
+            4,
+            1,
+            client_kp.secret(),
+            server_kp.public(),
+        );
         let ctx = RebuttalContext {
             group: &group,
             client_pk: client_kp.public(),
@@ -500,7 +514,10 @@ mod tests {
             total_len,
             bit,
         };
-        assert_eq!(check_rebuttal(&ctx, &rebuttal, claimed), RebuttalOutcome::ServerLied(1));
+        assert_eq!(
+            check_rebuttal(&ctx, &rebuttal, claimed),
+            RebuttalOutcome::ServerLied(1)
+        );
         // If the server told the truth, the rebuttal fails and the client is
         // confirmed as the disruptor.
         assert_eq!(
@@ -539,7 +556,14 @@ mod tests {
         let mut observed = intended.clone();
         set_bit(&mut observed, 19, true);
         let acc = find_witness(5, 2, 100, &intended, &observed).unwrap();
-        assert_eq!(acc, Accusation { round: 5, slot: 2, bit: 100 * 8 + 19 });
+        assert_eq!(
+            acc,
+            Accusation {
+                round: 5,
+                slot: 2,
+                bit: 100 * 8 + 19
+            }
+        );
         assert!(find_witness(5, 2, 100, &intended, &intended).is_none());
         // The byte encoding is stable and unambiguous.
         assert_eq!(acc.to_bytes().len(), "dissent-accusation".len() + 24);

@@ -79,7 +79,10 @@ impl ClientDcnet {
     /// Create the engine for a client that owns `slot` and shares `server_secrets`
     /// with the servers (in server order).
     pub fn new(slot: usize, server_secrets: Vec<SharedSecret>) -> Self {
-        assert!(!server_secrets.is_empty(), "a client must share a secret with at least one server");
+        assert!(
+            !server_secrets.is_empty(),
+            "a client must share a secret with at least one server"
+        );
         ClientDcnet {
             slot,
             server_secrets,
@@ -203,7 +206,10 @@ mod tests {
         let range = layout.slots[1].unwrap();
         let record = record.unwrap();
         assert_eq!(record.slot_offset, range.offset);
-        assert_eq!(&clear[range.offset..range.offset + range.len], &record.slot_wire[..]);
+        assert_eq!(
+            &clear[range.offset..range.offset + range.len],
+            &record.slot_wire[..]
+        );
         // Everything outside the slot is zero.
         for (i, &b) in clear.iter().enumerate() {
             if i < range.offset || i >= range.offset + range.len {

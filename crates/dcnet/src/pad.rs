@@ -93,7 +93,15 @@ mod tests {
         // three servers' per-client pads.
         let secrets = [secret(1), secret(2), secret(3)];
         let len = 256;
-        let client_side = xor_all(len, secrets.iter().map(|s| pad(s, 7, len)).collect::<Vec<_>>().iter().map(|v| v.as_slice()));
+        let client_side = xor_all(
+            len,
+            secrets
+                .iter()
+                .map(|s| pad(s, 7, len))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|v| v.as_slice()),
+        );
         let mut server_side = vec![0u8; len];
         for s in &secrets {
             xor_into(&mut server_side, &pad(s, 7, len));

@@ -69,12 +69,13 @@ pub fn trim_inventories(
             assigned.entry(client).or_insert(server);
         }
     }
-    let mut trimmed: BTreeMap<ServerId, Vec<ClientId>> = inventories
-        .keys()
-        .map(|&s| (s, Vec::new()))
-        .collect();
+    let mut trimmed: BTreeMap<ServerId, Vec<ClientId>> =
+        inventories.keys().map(|&s| (s, Vec::new())).collect();
     for (&client, &server) in &assigned {
-        trimmed.get_mut(&server).expect("server present").push(client);
+        trimmed
+            .get_mut(&server)
+            .expect("server present")
+            .push(client);
     }
     let composite: Vec<ClientId> = assigned.keys().copied().collect();
     (trimmed, composite)
@@ -146,11 +147,12 @@ pub fn combine(total_len: usize, server_ciphertexts: &BTreeMap<ServerId, Vec<u8>
 /// The message digest each server signs in the certification step
 /// (Algorithm 2, step 5): bound to the round, the composite client list and
 /// the cleartext.
-pub fn certification_digest(round: u64, composite: &[ClientId], cleartext: &[u8]) -> [u8; DIGEST_LEN] {
-    let client_bytes: Vec<u8> = composite
-        .iter()
-        .flat_map(|c| c.to_be_bytes())
-        .collect();
+pub fn certification_digest(
+    round: u64,
+    composite: &[ClientId],
+    cleartext: &[u8],
+) -> [u8; DIGEST_LEN] {
+    let client_bytes: Vec<u8> = composite.iter().flat_map(|c| c.to_be_bytes()).collect();
     sha256_tagged(&[
         b"dissent-round-certify",
         &round.to_be_bytes(),
@@ -254,7 +256,11 @@ mod tests {
         let (cleartext, mut schedule) = run_round(
             6,
             2,
-            &[(0, b"alpha".to_vec()), (3, b"bravo".to_vec()), (5, b"charlie".to_vec())],
+            &[
+                (0, b"alpha".to_vec()),
+                (3, b"bravo".to_vec()),
+                (5, b"charlie".to_vec()),
+            ],
             &[],
         );
         let layout = schedule.layout();
@@ -270,8 +276,7 @@ mod tests {
     fn offline_clients_do_not_block_the_round() {
         // Clients 1 and 4 vanish; the round still decodes the online sender's
         // message because servers only XOR pads for submitting clients.
-        let (cleartext, mut schedule) =
-            run_round(5, 3, &[(2, b"still here".to_vec())], &[1, 4]);
+        let (cleartext, mut schedule) = run_round(5, 3, &[(2, b"still here".to_vec())], &[1, 4]);
         let layout = schedule.layout();
         let out = schedule.apply_round_output(&layout, &cleartext);
         assert_eq!(out.messages(), vec![(2usize, b"still here".to_vec())]);

@@ -291,7 +291,7 @@ impl SlotSchedule {
 
     /// Compute the layout of the upcoming round.
     pub fn layout(&self) -> RoundLayout {
-        let request_region_len = (self.states.len() + 7) / 8;
+        let request_region_len = self.states.len().div_ceil(8);
         let mut offset = request_region_len;
         let mut slots = Vec::with_capacity(self.states.len());
         for state in &self.states {
@@ -317,8 +317,15 @@ impl SlotSchedule {
     /// request bits, and advance the slot states so the next call to
     /// [`Self::layout`] reflects opens, closes and length changes.
     pub fn apply_round_output(&mut self, layout: &RoundLayout, cleartext: &[u8]) -> RoundOutput {
-        assert_eq!(layout.round, self.round, "layout is not for the current round");
-        assert_eq!(cleartext.len(), layout.total_len, "cleartext length mismatch");
+        assert_eq!(
+            layout.round, self.round,
+            "layout is not for the current round"
+        );
+        assert_eq!(
+            cleartext.len(),
+            layout.total_len,
+            "cleartext length mismatch"
+        );
 
         let mut outputs = Vec::with_capacity(self.states.len());
         let mut requests = Vec::new();
@@ -350,10 +357,7 @@ impl SlotSchedule {
             match &output {
                 SlotOutput::Closed => {
                     if req || state.pending_open {
-                        state.length = self
-                            .config
-                            .default_open_len
-                            .max(self.config.min_open_len());
+                        state.length = self.config.default_open_len.max(self.config.min_open_len());
                         state.pending_open = false;
                         state.empty_streak = 0;
                     }
@@ -428,7 +432,10 @@ mod tests {
         let next = s.layout();
         assert_eq!(next.open_slots(), 1);
         assert!(next.slots[3].is_some());
-        assert_eq!(next.slots[3].unwrap().len, SlotConfig::default().default_open_len);
+        assert_eq!(
+            next.slots[3].unwrap().len,
+            SlotConfig::default().default_open_len
+        );
     }
 
     #[test]
@@ -443,10 +450,7 @@ mod tests {
         let mut cleartext = vec![0u8; layout.total_len];
         cleartext[range.offset..range.offset + range.len].copy_from_slice(&wire);
         let out = s.apply_round_output(&layout, &cleartext);
-        assert_eq!(
-            out.messages(),
-            vec![(2usize, b"hello dissent".to_vec())]
-        );
+        assert_eq!(out.messages(), vec![(2usize, b"hello dissent".to_vec())]);
         assert!(out.shuffle_requests.is_empty());
     }
 
@@ -474,7 +478,9 @@ mod tests {
         let layout = s.layout();
         let range = layout.slots[0].unwrap();
         assert_eq!(range.len, 4096);
-        let wire = SlotPayload::closing(b"bye").encode(&mut rng, range.len).unwrap();
+        let wire = SlotPayload::closing(b"bye")
+            .encode(&mut rng, range.len)
+            .unwrap();
         let mut ct = vec![0u8; layout.total_len];
         ct[range.offset..range.offset + range.len].copy_from_slice(&wire);
         let out = s.apply_round_output(&layout, &ct);
@@ -505,7 +511,10 @@ mod tests {
         let range = layout.slots[1].unwrap();
         let mut ct = vec![0u8; layout.total_len];
         // Random garbage that will not checksum.
-        for (i, b) in ct[range.offset..range.offset + range.len].iter_mut().enumerate() {
+        for (i, b) in ct[range.offset..range.offset + range.len]
+            .iter_mut()
+            .enumerate()
+        {
             *b = (i % 251) as u8 ^ 0x5a;
         }
         let out = s.apply_round_output(&layout, &ct);

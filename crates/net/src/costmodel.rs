@@ -100,8 +100,8 @@ impl CostModel {
         own_clients: usize,
         num_servers: usize,
     ) -> SimTime {
-        let pads =
-            participating_clients as f64 * self.stream_time(total_len) as f64 / self.server_parallelism;
+        let pads = participating_clients as f64 * self.stream_time(total_len) as f64
+            / self.server_parallelism;
         let xor = own_clients as f64 * (total_len as f64 / self.stream_bytes_per_us);
         let commit = self.hash_time(total_len) as f64;
         let sigs = self.sign_us + (num_servers.saturating_sub(1)) as f64 * self.verify_us;

@@ -82,7 +82,7 @@ mod tests {
     #[test]
     fn serialization_time_scales_with_size_and_bandwidth() {
         let link = Link::new_ms_mbps(0.0, 100.0); // 100 Mbps
-        // 1,250,000 bytes = 10 Mbit → 0.1 s at 100 Mbps.
+                                                  // 1,250,000 bytes = 10 Mbit → 0.1 s at 100 Mbps.
         assert_eq!(link.serialization_time(1_250_000), 100_000);
         let slow = Link::new_ms_mbps(0.0, 1.0);
         assert_eq!(slow.serialization_time(1_250_000), 10_000_000);

@@ -169,7 +169,10 @@ impl Stats {
 
     /// Maximum sample.
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// The `q`-quantile (0 ≤ q ≤ 1) using nearest-rank on the sorted samples.

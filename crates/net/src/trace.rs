@@ -168,7 +168,11 @@ mod tests {
         let trace = generate(&TraceConfig::default());
         let mut worst_ratio: f64 = 0.0;
         for round in &trace.rounds {
-            let mut delays: Vec<f64> = round.submission_delays().iter().map(|&d| to_secs(d)).collect();
+            let mut delays: Vec<f64> = round
+                .submission_delays()
+                .iter()
+                .map(|&d| to_secs(d))
+                .collect();
             if delays.len() < 20 {
                 continue;
             }

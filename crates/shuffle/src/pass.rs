@@ -64,7 +64,8 @@ pub fn perform_pass<R: RngCore + ?Sized>(
 ) -> PassTranscript {
     let group = elgamal.group();
     assert_eq!(
-        server_keys[server_index], *server_keypair.public(),
+        server_keys[server_index],
+        *server_keypair.public(),
         "server keypair does not match its slot in the key list"
     );
     // Remaining key: product of the public keys whose layers are still on
@@ -176,12 +177,16 @@ pub fn verify_pass(
         ) {
             return false;
         }
-        // The stripped entry must be exactly (c1, c2 / share).
-        let expected = Ciphertext {
-            c1: ct.c1.clone(),
-            c2: group.div(&ct.c2, share),
-        };
-        if expected != transcript.stripped[k] {
+        // The stripped entry must be exactly (c1, c2 / share) — checked
+        // multiplicatively as stripped.c2 · share == c2, which costs one
+        // group multiplication instead of a modular inversion per entry.
+        // The explicit canonical-range check keeps this exactly as strict
+        // as comparing against the (always-canonical) quotient.
+        let stripped = &transcript.stripped[k];
+        if stripped.c1 != ct.c1
+            || stripped.c2.as_biguint() >= group.modulus()
+            || group.mul(&stripped.c2, share) != ct.c2
+        {
             return false;
         }
     }
@@ -247,7 +252,13 @@ mod tests {
                 b"key-shuffle",
                 &mut f.rng,
             );
-            assert!(verify_pass(&f.elgamal, &f.server_keys, &current, &t, b"key-shuffle"));
+            assert!(verify_pass(
+                &f.elgamal,
+                &f.server_keys,
+                &current,
+                &t,
+                b"key-shuffle"
+            ));
             current = t.stripped;
         }
         // After the last pass, c2 holds the plaintexts.
@@ -278,7 +289,13 @@ mod tests {
         // tamper with an actual ciphertext value instead.
         let group = f.elgamal.group();
         wrong_input[0].c2 = group.mul(&wrong_input[0].c2, &group.generator());
-        assert!(!verify_pass(&f.elgamal, &f.server_keys, &wrong_input, &t, b"ctx"));
+        assert!(!verify_pass(
+            &f.elgamal,
+            &f.server_keys,
+            &wrong_input,
+            &t,
+            b"ctx"
+        ));
     }
 
     #[test]
@@ -296,7 +313,13 @@ mod tests {
         );
         let group = f.elgamal.group();
         t.stripped[1].c2 = group.mul(&t.stripped[1].c2, &group.generator());
-        assert!(!verify_pass(&f.elgamal, &f.server_keys, &f.input, &t, b"ctx"));
+        assert!(!verify_pass(
+            &f.elgamal,
+            &f.server_keys,
+            &f.input,
+            &t,
+            b"ctx"
+        ));
     }
 
     #[test]
@@ -331,6 +354,12 @@ mod tests {
             &mut f.rng,
         );
         t.server_index = 5;
-        assert!(!verify_pass(&f.elgamal, &f.server_keys, &f.input, &t, b"ctx"));
+        assert!(!verify_pass(
+            &f.elgamal,
+            &f.server_keys,
+            &f.input,
+            &t,
+            b"ctx"
+        ));
     }
 }

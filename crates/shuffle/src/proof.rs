@@ -91,7 +91,11 @@ pub fn shuffle_and_rerandomize<R: RngCore + ?Sized>(
     let randomizers: Vec<Scalar> = (0..n).map(|_| elgamal.group().random_scalar(rng)).collect();
     let output: Vec<Ciphertext> = (0..n)
         .map(|i| {
-            elgamal.rerandomize_with(remaining_key, &input[permutation.source_of(i)], &randomizers[i])
+            elgamal.rerandomize_with(
+                remaining_key,
+                &input[permutation.source_of(i)],
+                &randomizers[i],
+            )
         })
         .collect();
     (
@@ -159,7 +163,7 @@ pub fn prove<R: RngCore + ?Sized>(
     let bits = challenge_bits(group, context, remaining_key, input, output, &shadows);
     let responses = bits
         .iter()
-        .zip(shadow_witnesses.into_iter())
+        .zip(shadow_witnesses)
         .map(|(&bit, sw)| {
             if !bit {
                 ShadowResponse::Open {
@@ -214,10 +218,13 @@ pub fn verify(
         .zip(bits.iter())
     {
         match (bit, response) {
-            (false, ShadowResponse::Open {
-                permutation,
-                randomizers,
-            }) => {
+            (
+                false,
+                ShadowResponse::Open {
+                    permutation,
+                    randomizers,
+                },
+            ) => {
                 if permutation.len() != n || randomizers.len() != n {
                     return false;
                 }
@@ -232,7 +239,13 @@ pub fn verify(
                     }
                 }
             }
-            (true, ShadowResponse::Link { permutation, deltas }) => {
+            (
+                true,
+                ShadowResponse::Link {
+                    permutation,
+                    deltas,
+                },
+            ) => {
                 if permutation.len() != n || deltas.len() != n {
                     return false;
                 }
@@ -282,7 +295,16 @@ mod tests {
     fn honest_proof_verifies() {
         let (eg, key, input, mut rng) = setup(8);
         let (output, witness) = shuffle_and_rerandomize(&eg, &key, &input, &mut rng);
-        let proof = prove(&eg, &key, &input, &output, &witness, TEST_SOUNDNESS, b"t", &mut rng);
+        let proof = prove(
+            &eg,
+            &key,
+            &input,
+            &output,
+            &witness,
+            TEST_SOUNDNESS,
+            b"t",
+            &mut rng,
+        );
         assert!(verify(&eg, &key, &input, &output, &proof, b"t"));
     }
 
@@ -290,7 +312,16 @@ mod tests {
     fn wrong_context_rejected() {
         let (eg, key, input, mut rng) = setup(4);
         let (output, witness) = shuffle_and_rerandomize(&eg, &key, &input, &mut rng);
-        let proof = prove(&eg, &key, &input, &output, &witness, TEST_SOUNDNESS, b"a", &mut rng);
+        let proof = prove(
+            &eg,
+            &key,
+            &input,
+            &output,
+            &witness,
+            TEST_SOUNDNESS,
+            b"a",
+            &mut rng,
+        );
         assert!(!verify(&eg, &key, &input, &output, &proof, b"b"));
     }
 
@@ -298,7 +329,16 @@ mod tests {
     fn tampered_output_rejected() {
         let (eg, key, input, mut rng) = setup(5);
         let (mut output, witness) = shuffle_and_rerandomize(&eg, &key, &input, &mut rng);
-        let proof = prove(&eg, &key, &input, &output, &witness, TEST_SOUNDNESS, b"t", &mut rng);
+        let proof = prove(
+            &eg,
+            &key,
+            &input,
+            &output,
+            &witness,
+            TEST_SOUNDNESS,
+            b"t",
+            &mut rng,
+        );
         // Replace one output entry with a fresh encryption of a different message.
         let m = eg.group().exp_base(&eg.group().random_scalar(&mut rng));
         output[2] = eg.encrypt(&mut rng, &key, &m);
@@ -309,7 +349,16 @@ mod tests {
     fn dropped_entry_rejected() {
         let (eg, key, input, mut rng) = setup(5);
         let (output, witness) = shuffle_and_rerandomize(&eg, &key, &input, &mut rng);
-        let proof = prove(&eg, &key, &input, &output, &witness, TEST_SOUNDNESS, b"t", &mut rng);
+        let proof = prove(
+            &eg,
+            &key,
+            &input,
+            &output,
+            &witness,
+            TEST_SOUNDNESS,
+            b"t",
+            &mut rng,
+        );
         assert!(!verify(&eg, &key, &input, &output[..4], &proof, b"t"));
     }
 
@@ -321,7 +370,16 @@ mod tests {
         let (eg, key, input, mut rng) = setup(6);
         let (mut output, witness) = shuffle_and_rerandomize(&eg, &key, &input, &mut rng);
         output[0] = output[1].clone();
-        let proof = prove(&eg, &key, &input, &output, &witness, TEST_SOUNDNESS, b"t", &mut rng);
+        let proof = prove(
+            &eg,
+            &key,
+            &input,
+            &output,
+            &witness,
+            TEST_SOUNDNESS,
+            b"t",
+            &mut rng,
+        );
         assert!(!verify(&eg, &key, &input, &output, &proof, b"t"));
     }
 

@@ -40,8 +40,12 @@ pub enum ShuffleError {
 impl std::fmt::Display for ShuffleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ShuffleError::PassRejected(j) => write!(f, "shuffle pass of server {j} failed verification"),
-            ShuffleError::MessageTooLong => write!(f, "message too long to embed in a group element"),
+            ShuffleError::PassRejected(j) => {
+                write!(f, "shuffle pass of server {j} failed verification")
+            }
+            ShuffleError::MessageTooLong => {
+                write!(f, "message too long to embed in a group element")
+            }
             ShuffleError::MalformedOutput => write!(f, "shuffle output failed to decode"),
             ShuffleError::NoServers => write!(f, "a shuffle requires at least one server"),
         }
@@ -159,7 +163,11 @@ pub fn verify_transcript(
 pub fn decode_messages(group: &Group, output: &[Element]) -> Result<Vec<Vec<u8>>, ShuffleError> {
     output
         .iter()
-        .map(|el| group.extract_message(el).map_err(|_| ShuffleError::MalformedOutput))
+        .map(|el| {
+            group
+                .extract_message(el)
+                .map_err(|_| ShuffleError::MalformedOutput)
+        })
         .collect()
 }
 
@@ -192,11 +200,27 @@ mod tests {
             .map(|k| submit_element(&elgamal, &server_keys, k, &mut rng))
             .collect();
 
-        let transcript =
-            run_shuffle(&group, &servers, submissions, SOUNDNESS, b"key-shuffle", &mut rng).unwrap();
-        assert!(verify_transcript(&group, &server_keys, &transcript, b"key-shuffle"));
+        let transcript = run_shuffle(
+            &group,
+            &servers,
+            submissions,
+            SOUNDNESS,
+            b"key-shuffle",
+            &mut rng,
+        )
+        .unwrap();
+        assert!(verify_transcript(
+            &group,
+            &server_keys,
+            &transcript,
+            b"key-shuffle"
+        ));
 
-        let mut out: Vec<Vec<u8>> = transcript.output.iter().map(|e| e.to_bytes(&group)).collect();
+        let mut out: Vec<Vec<u8>> = transcript
+            .output
+            .iter()
+            .map(|e| e.to_bytes(&group))
+            .collect();
         let mut expected: Vec<Vec<u8>> = pseudonyms.iter().map(|e| e.to_bytes(&group)).collect();
         out.sort();
         expected.sort();
@@ -216,8 +240,15 @@ mod tests {
             .iter()
             .map(|m| submit_message(&elgamal, &server_keys, m, &mut rng).unwrap())
             .collect();
-        let transcript =
-            run_shuffle(&group, &servers, submissions, SOUNDNESS, b"accusation", &mut rng).unwrap();
+        let transcript = run_shuffle(
+            &group,
+            &servers,
+            submissions,
+            SOUNDNESS,
+            b"accusation",
+            &mut rng,
+        )
+        .unwrap();
         let mut decoded = decode_messages(&group, &transcript.output).unwrap();
         let mut expected: Vec<Vec<u8>> = messages.iter().map(|m| m.to_vec()).collect();
         decoded.sort();

@@ -14,7 +14,9 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = StdRng::seed_from_u64(99);
     let clients = 6;
-    let group = GroupBuilder::new(clients, 3).with_shuffle_soundness(6).build();
+    let group = GroupBuilder::new(clients, 3)
+        .with_shuffle_soundness(6)
+        .build();
     let mut session = Session::new(&group, &mut rng).expect("session setup");
 
     // Round 0: the victim (client 1) asks for its message slot.
@@ -45,6 +47,10 @@ fn main() {
     session.run_round(&actions, &mut rng);
     let result = session.run_round(&vec![ClientAction::Idle; clients], &mut rng);
     for (slot, msg) in &result.messages {
-        println!("delivered after expulsion: slot {} -> {:?}", slot, String::from_utf8_lossy(msg));
+        println!(
+            "delivered after expulsion: slot {} -> {:?}",
+            slot,
+            String::from_utf8_lossy(msg)
+        );
     }
 }

@@ -14,7 +14,9 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = StdRng::seed_from_u64(7);
     let clients = 20;
-    let group = GroupBuilder::new(clients, 3).with_shuffle_soundness(6).build();
+    let group = GroupBuilder::new(clients, 3)
+        .with_shuffle_soundness(6)
+        .build();
     let mut session = Session::new(&group, &mut rng).expect("session setup");
 
     // A livelier posting rate than the paper's 1% so a short demo shows output.

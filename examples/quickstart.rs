@@ -30,7 +30,12 @@ fn main() {
     let mut actions = vec![ClientAction::Idle; 8];
     actions[5] = ClientAction::Send(b"the committee meets at dawn".to_vec());
     let r0 = session.run_round(&actions, &mut rng);
-    println!("round {}: {} participants, {} messages", r0.round, r0.participation, r0.messages.len());
+    println!(
+        "round {}: {} participants, {} messages",
+        r0.round,
+        r0.participation,
+        r0.messages.len()
+    );
 
     let r1 = session.run_round(&vec![ClientAction::Idle; 8], &mut rng);
     for (slot, msg) in &r1.messages {

@@ -24,7 +24,12 @@ fn main() {
         delivered = exit.ingest(f).or(delivered);
     }
     let flow = delivered.expect("flow reassembled at the exit node");
-    println!("exit node forwards {} bytes to {}:{}", flow.data.len(), flow.dest_host, flow.dest_port);
+    println!(
+        "exit node forwards {} bytes to {}:{}",
+        flow.data.len(),
+        flow.dest_host,
+        flow.dest_port
+    );
 
     // Part 2: Figure 10 — Alexa-like Top-100 downloads under each config.
     let corpus = alexa_like_corpus(100, 0xA1E);

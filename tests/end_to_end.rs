@@ -17,7 +17,9 @@ fn idle(n: usize) -> Vec<ClientAction> {
 fn microblog_session_delivers_every_post_exactly_once() {
     let mut rng = StdRng::seed_from_u64(101);
     let clients = 12;
-    let group = GroupBuilder::new(clients, 3).with_shuffle_soundness(4).build();
+    let group = GroupBuilder::new(clients, 3)
+        .with_shuffle_soundness(4)
+        .build();
     let mut session = Session::new(&group, &mut rng).unwrap();
     let workload = MicroblogWorkload {
         post_probability: 0.2,
@@ -41,7 +43,11 @@ fn microblog_session_delivers_every_post_exactly_once() {
         let result = session.run_round(&idle(clients), &mut rng);
         feed.ingest(&result);
     }
-    assert_eq!(feed.len(), sent, "every accepted post is delivered exactly once");
+    assert_eq!(
+        feed.len(),
+        sent,
+        "every accepted post is delivered exactly once"
+    );
     // No two posts in the same round share a slot.
     let mut seen = HashSet::new();
     for post in &feed.posts {
@@ -62,7 +68,10 @@ fn slot_assignment_is_a_secret_permutation() {
     let mut sorted = perm1.clone();
     sorted.sort_unstable();
     assert_eq!(sorted, (0..9).collect::<Vec<_>>());
-    assert_ne!(perm1, perm2, "the permutation depends on the shuffle randomness");
+    assert_ne!(
+        perm1, perm2,
+        "the permutation depends on the shuffle randomness"
+    );
 }
 
 #[test]
@@ -105,7 +114,9 @@ fn churn_never_blocks_progress_and_threshold_tracks_participation() {
 fn disruptor_expelled_and_group_recovers() {
     let mut rng = StdRng::seed_from_u64(77);
     let clients = 6;
-    let group = GroupBuilder::new(clients, 2).with_shuffle_soundness(4).build();
+    let group = GroupBuilder::new(clients, 2)
+        .with_shuffle_soundness(4)
+        .build();
     let mut session = Session::new(&group, &mut rng).unwrap();
 
     // Victim opens its slot.
@@ -147,7 +158,9 @@ fn disruptor_expelled_and_group_recovers() {
 fn large_messages_grow_the_slot_and_arrive_intact() {
     let mut rng = StdRng::seed_from_u64(31);
     let clients = 5;
-    let group = GroupBuilder::new(clients, 2).with_shuffle_soundness(4).build();
+    let group = GroupBuilder::new(clients, 2)
+        .with_shuffle_soundness(4)
+        .build();
     let mut session = Session::new(&group, &mut rng).unwrap();
     let big: Vec<u8> = (0..4096u32).flat_map(|i| i.to_be_bytes()).collect(); // 16 KiB
     let mut actions = idle(clients);

@@ -52,7 +52,11 @@ fn figure_9_shape_shuffles_dominate_and_blame_crosses_an_hour() {
         assert!(p.key_shuffle_secs < p.blame_shuffle_secs);
     }
     let big = points.iter().find(|p| p.clients == 1000).unwrap();
-    assert!(big.blame_shuffle_secs > 1800.0, "blame shuffle {:.0} s", big.blame_shuffle_secs);
+    assert!(
+        big.blame_shuffle_secs > 1800.0,
+        "blame shuffle {:.0} s",
+        big.blame_shuffle_secs
+    );
     assert!(big.dcnet_round_secs < 60.0);
 }
 

@@ -1,0 +1,408 @@
+//! Offline stand-in for `proptest`: deterministic random-input testing with
+//! the subset of the proptest 1.x surface this repository uses.
+//!
+//! Supported: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assert_ne!`, [`prelude::any`] for integers and
+//! byte arrays, integer range strategies (`0u64..1000`, `1u128..`,
+//! `0usize..=60`), [`collection::vec`], and string strategies given as a
+//! character-class regex subset (`"[1-9a-f][0-9a-f]{10,80}"`).
+//!
+//! Unsupported (not needed here): shrinking, persistence of failing cases,
+//! `prop_compose!`, filters.  Failing inputs are printed in the panic
+//! message instead of shrunk.  Case generation is seeded from the test
+//! name, so runs are reproducible.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod prelude {
+    //! The glob-importable API surface.
+    pub use crate::collection;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                let mut bytes = [0u8; std::mem::size_of::<$t>()];
+                rng.fill_bytes(&mut bytes);
+                <$t>::from_le_bytes(bytes)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary + Default + Copy, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let mut out = [T::default(); N];
+        for slot in out.iter_mut() {
+            *slot = T::arbitrary(rng);
+        }
+        out
+    }
+}
+
+/// Strategy wrapper produced by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The canonical strategy for `T`: any representable value.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                // Unbounded above: rejection-sample the full domain.  The
+                // lower bounds used in practice are tiny, so this terminates
+                // immediately with overwhelming probability.
+                loop {
+                    let v = <$t as Arbitrary>::arbitrary(rng);
+                    if v >= self.start {
+                        return v;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, u128, usize, i32, i64);
+
+/// String strategies: a regex subset of character classes (`[a-f0-9]`),
+/// literal characters, and `{m}` / `{m,n}` repetition.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        sample_regex_subset(self, rng)
+    }
+}
+
+fn sample_regex_subset(pattern: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a character class or a literal character.
+        let class: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .expect("unterminated character class in strategy pattern")
+                + i;
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j], chars[j + 2]);
+                    for c in lo..=hi {
+                        set.push(c);
+                    }
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        assert!(
+            !class.is_empty(),
+            "empty character class in strategy pattern"
+        );
+
+        // Optional repetition.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated repetition in strategy pattern")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim()
+                        .parse::<usize>()
+                        .expect("bad repetition lower bound"),
+                    hi.trim()
+                        .parse::<usize>()
+                        .expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+
+        let count = rng.gen_range(min..=max);
+        for _ in 0..count {
+            out.push(class[rng.gen_range(0..class.len())]);
+        }
+    }
+    out
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector of values from `element`, with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-test RNG, seeded from the test's name.
+pub fn test_rng(name: &str) -> StdRng {
+    // FNV-1a over the name; any stable hash works.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Define property tests: each case draws fresh inputs from the given
+/// strategies and runs the body; a failed `prop_assert*!` reports the
+/// drawn inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        #[test]
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)* ""),
+                    $(&$arg),*
+                );
+                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    Ok(())
+                })();
+                if let Err(message) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        case + 1,
+                        config.cases,
+                        message,
+                        inputs
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regex_subset_matches_shape() {
+        let mut rng = test_rng("regex");
+        for _ in 0..200 {
+            let s = sample_regex_subset("[1-9a-f][0-9a-f]{10,80}", &mut rng);
+            assert!((11..=81).contains(&s.len()));
+            let first = s.chars().next().unwrap();
+            assert!(('1'..='9').contains(&first) || ('a'..='f').contains(&first));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        }
+        let lit = sample_regex_subset("ab{3}c", &mut rng);
+        assert_eq!(lit, "abbbc");
+    }
+
+    #[test]
+    fn strategies_respect_bounds() {
+        let mut rng = test_rng("bounds");
+        for _ in 0..200 {
+            assert!((0u64..10).generate(&mut rng) < 10);
+            assert!((1u128..).generate(&mut rng) >= 1);
+            let v = collection::vec(any::<u8>(), 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_smoke(a in any::<u32>(), b in 0usize..9, s in "[0-3]{2,4}") {
+            prop_assert!(b < 9);
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(s.len(), 0);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Offline stand-in for `serde`.
+//!
+//! The repository derives `Serialize`/`Deserialize` on its message types to
+//! mark them wire-encodable, but no code path performs serde serialization
+//! yet (canonical byte encodings are hand-rolled, e.g.
+//! `Element::to_bytes`).  Since the build environment cannot reach a crates
+//! registry, this shim supplies the two traits as blanket-implemented
+//! markers plus no-op derive macros, keeping every `#[derive(Serialize,
+//! Deserialize)]` and `use serde::…` in the tree compiling unchanged.  When
+//! real serialization lands, this crate is replaced by the genuine `serde`
+//! with no source changes outside `vendor/`.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types with a serializable wire form.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types constructible from a serialized wire form.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned variant mirroring serde's `DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
