@@ -10,9 +10,10 @@
 //! parameter-set size, so speedups and regressions are directly visible.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dissent_crypto::group::Group;
+use dissent_crypto::chaum_pedersen::{self, DleqBatchItem, DleqProof};
+use dissent_crypto::group::{Element, Group, Scalar};
 use dissent_crypto::prng::DetPrng;
-use dissent_crypto::schnorr::SigningKeyPair;
+use dissent_crypto::schnorr::{self, BatchItem, Signature, SigningKeyPair};
 use dissent_crypto::sha256::sha256;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -81,6 +82,170 @@ fn bench_multi_exp(c: &mut Criterion) {
     g.finish();
 }
 
+/// One n-way multi-exponentiation vs. n separate exponentiations — the
+/// scaling primitive behind batch verification.  At n = 64 the dispatcher's
+/// Straus path runs; `pippenger` is pinned explicitly for comparison.
+fn bench_multi_exp_n(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let group = Group::testing_256();
+    let mut g = c.benchmark_group("multi_exp_n");
+    for &n in &[8usize, 64] {
+        let bases: Vec<Element> = (0..n)
+            .map(|_| group.exp_base(&group.random_scalar(&mut rng)))
+            .collect();
+        let exps: Vec<Scalar> = (0..n).map(|_| group.random_scalar(&mut rng)).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("n_single_exps", n), &group, |bch, grp| {
+            bch.iter(|| {
+                bases
+                    .iter()
+                    .zip(&exps)
+                    .fold(grp.identity(), |acc, (b, e)| grp.mul(&acc, &grp.exp(b, e)))
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("one_multi_exp_n", n),
+            &group,
+            |bch, grp| {
+                let pairs: Vec<(&Element, &Scalar)> = bases.iter().zip(exps.iter()).collect();
+                bch.iter(|| grp.multi_exp_n(&pairs))
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("pippenger_c6", n), &group, |bch, grp| {
+            use dissent_crypto::montgomery::MontgomeryCtx;
+            let ctx = MontgomeryCtx::new(grp.modulus()).unwrap();
+            let base_ints: Vec<_> = bases.iter().map(|b| b.as_biguint().clone()).collect();
+            let exp_ints: Vec<_> = exps.iter().map(|e| e.as_biguint().clone()).collect();
+            let base_refs: Vec<_> = base_ints.iter().collect();
+            let exp_refs: Vec<_> = exp_ints.iter().collect();
+            bch.iter(|| ctx.pow_n_pippenger(&base_refs, &exp_refs, 6))
+        });
+    }
+    g.finish();
+}
+
+/// Batched vs. sequential proof verification — the server-side cost the
+/// paper's client/server split is meant to amortize.  The `schnorr_*` pair
+/// at k = 64 is the acceptance guardrail for the batch-verification layer;
+/// the `dleq_*` pair mirrors a 64-entry shuffle pass (shared generator and
+/// server key, per-entry `c1`/share bases).
+fn bench_batch_verify(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(19);
+    let mut g = c.benchmark_group("batch_verify");
+    // At 256 bits the fixed hashing/screening costs dilute the ratio; at
+    // 2048 bits (production fidelity) exponentiation dominates and the
+    // amortization is near its asymptotic win.
+    let cases: [(Group, &[usize]); 2] = [
+        (Group::testing_256(), &[16usize, 64]),
+        (Group::rfc3526_2048(), &[16usize]),
+    ];
+    for (group, ks) in cases {
+        bench_batch_verify_for(&mut g, &group, ks, &mut rng);
+    }
+    g.finish();
+}
+
+fn bench_batch_verify_for(
+    g: &mut criterion::BenchmarkGroup<'_>,
+    group: &Group,
+    ks: &[usize],
+    rng: &mut StdRng,
+) {
+    let suffix = group.name().to_string();
+    for &k in ks {
+        let keys: Vec<SigningKeyPair> = (0..k)
+            .map(|_| SigningKeyPair::generate(group, rng))
+            .collect();
+        let messages: Vec<Vec<u8>> = (0..k).map(|i| format!("msg {i}").into_bytes()).collect();
+        let sigs: Vec<Signature> = keys
+            .iter()
+            .zip(&messages)
+            .map(|(kp, m)| kp.sign(group, rng, m))
+            .collect();
+        g.throughput(Throughput::Elements(k as u64));
+        g.bench_with_input(
+            BenchmarkId::new(format!("schnorr_sequential_{suffix}"), k),
+            group,
+            |bch, grp| {
+                bch.iter(|| {
+                    keys.iter()
+                        .zip(&messages)
+                        .zip(&sigs)
+                        .all(|((kp, m), s)| schnorr::verify(grp, kp.public(), m, s))
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new(format!("schnorr_batch_{suffix}"), k),
+            group,
+            |bch, grp| {
+                let items: Vec<BatchItem> = keys
+                    .iter()
+                    .zip(&messages)
+                    .zip(&sigs)
+                    .map(|((kp, m), s)| BatchItem {
+                        public: kp.public(),
+                        message: m,
+                        signature: s,
+                    })
+                    .collect();
+                bch.iter(|| schnorr::batch_verify(grp, &items))
+            },
+        );
+
+        // DLEQ with the shuffle-pass shape: g and the server key shared.
+        let gen = group.generator();
+        let server_x = group.random_scalar(rng);
+        let server_pk = group.exp_base(&server_x);
+        let c1s: Vec<Element> = (0..k)
+            .map(|_| group.exp_base(&group.random_scalar(rng)))
+            .collect();
+        let shares: Vec<Element> = c1s.iter().map(|c1| group.exp(c1, &server_x)).collect();
+        let contexts: Vec<Vec<u8>> = (0..k).map(|i| format!("entry {i}").into_bytes()).collect();
+        let proofs: Vec<DleqProof> = c1s
+            .iter()
+            .zip(&contexts)
+            .map(|(c1, ctx)| chaum_pedersen::prove(group, rng, &gen, c1, &server_x, ctx))
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new(format!("dleq_sequential_{suffix}"), k),
+            group,
+            |bch, grp| {
+                bch.iter(|| {
+                    (0..k).all(|i| {
+                        chaum_pedersen::verify(
+                            grp,
+                            &gen,
+                            &c1s[i],
+                            &server_pk,
+                            &shares[i],
+                            &proofs[i],
+                            &contexts[i],
+                        )
+                    })
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new(format!("dleq_batch_{suffix}"), k),
+            group,
+            |bch, grp| {
+                let items: Vec<DleqBatchItem> = (0..k)
+                    .map(|i| DleqBatchItem {
+                        g: &gen,
+                        h: &c1s[i],
+                        a: &server_pk,
+                        b: &shares[i],
+                        proof: &proofs[i],
+                        context: &contexts[i],
+                    })
+                    .collect();
+                bch.iter(|| chaum_pedersen::batch_verify(grp, &items))
+            },
+        );
+    }
+}
+
 fn bench_symmetric_and_signatures(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
 
@@ -116,6 +281,8 @@ criterion_group!(
     benches,
     bench_modexp_engine,
     bench_multi_exp,
+    bench_multi_exp_n,
+    bench_batch_verify,
     bench_symmetric_and_signatures
 );
 criterion_main!(benches);

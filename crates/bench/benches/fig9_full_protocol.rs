@@ -7,7 +7,7 @@ use dissent_bench::full_protocol_study;
 use dissent_crypto::dh::DhKeyPair;
 use dissent_crypto::elgamal::ElGamal;
 use dissent_crypto::group::Group;
-use dissent_shuffle::protocol::{run_shuffle, submit_element};
+use dissent_shuffle::protocol::{run_shuffle, submit_element, verify_transcript};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,6 +34,30 @@ fn bench(c: &mut Criterion) {
                 run_shuffle(&group, &servers, subs, 4, b"bench", &mut rng).unwrap()
             })
         });
+    }
+    // Auditing a finished transcript — the client-side verification cost the
+    // batched DLEQ path (one folded check per pass) is meant to shrink.
+    for &n in &[16usize, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("verify_key_shuffle_transcript", n),
+            &n,
+            |b, &n| {
+                let mut rng = StdRng::seed_from_u64(5);
+                let servers: Vec<DhKeyPair> = (0..3)
+                    .map(|_| DhKeyPair::generate(&group, &mut rng))
+                    .collect();
+                let keys: Vec<_> = servers.iter().map(|s| s.public().clone()).collect();
+                let subs: Vec<_> = (0..n)
+                    .map(|_| {
+                        let k = group.exp_base(&group.random_scalar(&mut rng));
+                        submit_element(&elgamal, &keys, &k, &mut rng)
+                    })
+                    .collect();
+                let transcript =
+                    run_shuffle(&group, &servers, subs, 4, b"bench", &mut rng).unwrap();
+                b.iter(|| verify_transcript(&group, &keys, &transcript, b"bench").is_ok())
+            },
+        );
     }
     g.finish();
 

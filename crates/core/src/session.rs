@@ -505,11 +505,41 @@ impl Session {
             }
         }
 
-        // --- Blame: resolve pending accusations.
+        // --- Blame: resolve pending accusations.  All pseudonym signatures
+        // are screened in one batched verification; only if the batch
+        // rejects (some signature is forged) does the path fall back to
+        // per-signature checks, so a disruptor cannot force per-accusation
+        // cost on the servers just by filing many valid accusations.
         let mut expelled_now = Vec::new();
         let accusations = std::mem::take(&mut self.pending_accusations);
-        for (acc, sig) in accusations {
-            if let Some(culprit) = self.process_accusation(&acc, &sig, &group_id) {
+        let messages: Vec<Vec<u8>> = accusations.iter().map(|(acc, _)| acc.to_bytes()).collect();
+        let mut sig_ok = vec![false; accusations.len()];
+        let mut batch = Vec::new();
+        let mut batch_idx = Vec::new();
+        for (i, ((acc, sig), message)) in accusations.iter().zip(&messages).enumerate() {
+            if let Some(pseudonym) = self.pseudonym_keys.get(acc.slot) {
+                batch.push(schnorr::BatchItem {
+                    public: pseudonym,
+                    message,
+                    signature: sig,
+                });
+                batch_idx.push(i);
+            }
+        }
+        if schnorr::batch_verify(&group, &batch) {
+            for &i in &batch_idx {
+                sig_ok[i] = true;
+            }
+        } else {
+            for (item, &i) in batch.iter().zip(&batch_idx) {
+                sig_ok[i] = schnorr::verify(&group, item.public, item.message, item.signature);
+            }
+        }
+        for ((acc, _), ok) in accusations.iter().zip(sig_ok) {
+            if !ok {
+                continue;
+            }
+            if let Some(culprit) = self.process_accusation(acc, &group_id) {
                 if self.expelled.insert(culprit) {
                     expelled_now.push(culprit);
                 }
@@ -527,21 +557,11 @@ impl Session {
         }
     }
 
-    /// Process a signed accusation: verify the pseudonym signature, collect
-    /// every server's bit reveals, evaluate blame, and return the culprit to
-    /// expel (if the accusation traces to a client).
-    fn process_accusation(
-        &self,
-        acc: &Accusation,
-        sig: &dissent_crypto::schnorr::Signature,
-        _group_id: &[u8],
-    ) -> Option<ClientId> {
-        let group = &self.config.group;
-        // The accusation must be signed by the accused slot's pseudonym key.
-        let pseudonym = self.pseudonym_keys.get(acc.slot)?;
-        if !schnorr::verify(group, pseudonym, &acc.to_bytes(), sig) {
-            return None;
-        }
+    /// Process an accusation whose pseudonym signature has already been
+    /// verified (batched with the round's other accusations by the caller):
+    /// collect every server's bit reveals, evaluate blame, and return the
+    /// culprit to expel (if the accusation traces to a client).
+    fn process_accusation(&self, acc: &Accusation, _group_id: &[u8]) -> Option<ClientId> {
         let record = self.round_records.get(&acc.round)?;
         if acc.bit >= record.layout.total_len * 8 {
             return None;

@@ -500,6 +500,118 @@ impl BigUint {
         result
     }
 
+    /// The Jacobi symbol `(self / n)` for odd `n > 0`, in `{-1, 0, 1}`.
+    ///
+    /// For prime `n` this is the Legendre symbol, so it decides quadratic
+    /// residuosity — the same predicate as `self^((n-1)/2) mod n` — with a
+    /// binary-gcd-shaped loop of shifts and divisions instead of a full
+    /// modular exponentiation.  `Group::is_member` relies on this to make
+    /// subgroup membership checks (and therefore every proof verification)
+    /// cheap.
+    pub fn jacobi(&self, n: &BigUint) -> i32 {
+        assert!(
+            !n.is_even() && !n.is_zero(),
+            "jacobi is defined for odd positive n"
+        );
+        // The whole loop runs in place on two limb buffers: a binary-gcd
+        // shape (bulk two-stripping, compare, subtract) with no divisions
+        // and no per-iteration allocation, so a 2048-bit symbol costs a few
+        // microseconds instead of a modular exponentiation's milliseconds.
+        fn trim(v: &mut Vec<u64>) {
+            while v.last() == Some(&0) {
+                v.pop();
+            }
+        }
+        /// Number of trailing zero bits of a trimmed non-empty buffer.
+        fn trailing_zero_bits(v: &[u64]) -> usize {
+            let mut bits = 0;
+            for &limb in v {
+                if limb == 0 {
+                    bits += 64;
+                } else {
+                    return bits + limb.trailing_zeros() as usize;
+                }
+            }
+            bits
+        }
+        /// `v >>= bits`, in place (bits < 64 * v.len()).
+        fn shr_in_place(v: &mut Vec<u64>, bits: usize) {
+            let words = bits / 64;
+            if words > 0 {
+                v.drain(..words);
+            }
+            let rem = bits % 64;
+            if rem > 0 {
+                let mut carry = 0u64;
+                for limb in v.iter_mut().rev() {
+                    let new_carry = *limb << (64 - rem);
+                    *limb = (*limb >> rem) | carry;
+                    carry = new_carry;
+                }
+            }
+            trim(v);
+        }
+        /// Compare trimmed buffers.
+        fn limbs_cmp(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
+            a.len().cmp(&b.len()).then_with(|| {
+                for i in (0..a.len()).rev() {
+                    match a[i].cmp(&b[i]) {
+                        std::cmp::Ordering::Equal => continue,
+                        other => return other,
+                    }
+                }
+                std::cmp::Ordering::Equal
+            })
+        }
+        /// `a -= b`, in place; requires `a >= b` (both trimmed).
+        fn sub_in_place(a: &mut Vec<u64>, b: &[u64]) {
+            let mut borrow = 0u64;
+            for (i, limb) in a.iter_mut().enumerate() {
+                let rhs = b.get(i).copied().unwrap_or(0);
+                let (d1, b1) = limb.overflowing_sub(rhs);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                *limb = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+            debug_assert_eq!(borrow, 0);
+            trim(a);
+        }
+
+        let mut a = self.rem(n).limbs;
+        let mut m = n.limbs.clone();
+        let mut result = 1i32;
+        while !a.is_empty() {
+            // Strip factors of two in bulk: (2/m)² = 1, so only the parity
+            // of the count matters, flipping when m ≡ ±3 (mod 8).
+            let tz = trailing_zero_bits(&a);
+            if tz > 0 {
+                shr_in_place(&mut a, tz);
+                if tz & 1 == 1 {
+                    let m_mod_8 = m[0] & 7;
+                    if m_mod_8 == 3 || m_mod_8 == 5 {
+                        result = -result;
+                    }
+                }
+            }
+            // Both odd.  Order them (quadratic reciprocity flips the sign
+            // when both are ≡ 3 mod 4), then subtract: a ≡ a − m (mod m)
+            // leaves the symbol unchanged and makes `a` even again, so every
+            // round strips at least one more bit.
+            if limbs_cmp(&a, &m) == std::cmp::Ordering::Less {
+                std::mem::swap(&mut a, &mut m);
+                if (a[0] & 3) == 3 && (m[0] & 3) == 3 {
+                    result = -result;
+                }
+            }
+            sub_in_place(&mut a, &m);
+        }
+        if m == [1] {
+            result
+        } else {
+            0
+        }
+    }
+
     /// Modular inverse for a **prime** modulus, via Fermat's little theorem.
     ///
     /// Returns `None` if `self ≡ 0 (mod p)`.
@@ -812,6 +924,41 @@ mod tests {
             BigUint::from_hex("b7e9f735f74bf461eb409d67747a627534f17ded4ba95a60790f978549c8c24f")
                 .unwrap();
         assert!(p.is_probable_prime(&mut rng, 10));
+    }
+
+    #[test]
+    fn jacobi_matches_euler_criterion_for_primes() {
+        // Against x^((p-1)/2) mod p for a small prime and the 256-bit safe
+        // prime: the Jacobi symbol must agree with Euler's criterion.
+        let mut rng = StdRng::seed_from_u64(9);
+        for p in [
+            BigUint::from_u64(1_000_003),
+            BigUint::from_hex("b7e9f735f74bf461eb409d67747a627534f17ded4ba95a60790f978549c8c24f")
+                .unwrap(),
+        ] {
+            let exp = p.sub(&BigUint::one()).shr(1);
+            for _ in 0..25 {
+                let x = BigUint::random_below(&mut rng, &p);
+                let euler = x.modpow_naive(&exp, &p);
+                let expected = if x.is_zero() {
+                    0
+                } else if euler.is_one() {
+                    1
+                } else {
+                    -1
+                };
+                assert_eq!(x.jacobi(&p), expected);
+            }
+        }
+        // Known small values: (2/7) = 1, (3/7) = -1, (0/7) = 0.
+        let seven = BigUint::from_u64(7);
+        assert_eq!(BigUint::from_u64(2).jacobi(&seven), 1);
+        assert_eq!(BigUint::from_u64(3).jacobi(&seven), -1);
+        assert_eq!(BigUint::zero().jacobi(&seven), 0);
+        // Composite modulus: (2/15) = 1 even though 2 is not a QR mod 15.
+        assert_eq!(BigUint::from_u64(2).jacobi(&BigUint::from_u64(15)), 1);
+        // Shared factor: (6/15) = 0.
+        assert_eq!(BigUint::from_u64(6).jacobi(&BigUint::from_u64(15)), 0);
     }
 
     #[test]

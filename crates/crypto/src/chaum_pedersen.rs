@@ -87,7 +87,12 @@ pub fn verify(
     if !group.is_member(&proof.t1) || !group.is_member(&proof.t2) {
         return false;
     }
-    if !group.is_member(a) || !group.is_member(b) {
+    // The bases are screened too: for an order-2q base (e.g. a non-member
+    // `c1` smuggled in by a malicious client) exponent arithmetic mod q is
+    // ambiguous by a factor of base^q = −1, so the statement itself is
+    // ill-formed — and rejecting it here keeps this verdict exactly aligned
+    // with [`batch_verify`], whose random-weight fold reduces mod q.
+    if !group.is_member(g) || !group.is_member(h) || !group.is_member(a) || !group.is_member(b) {
         return false;
     }
     let e = challenge(group, g, h, a, b, &proof.t1, &proof.t2, context);
@@ -97,6 +102,118 @@ pub fn verify(
     let neg_e = group.scalar_neg(&e);
     group.multi_exp(g, &proof.response, a, &neg_e) == proof.t1
         && group.multi_exp(h, &proof.response, b, &neg_e) == proof.t2
+}
+
+/// One DLEQ statement-plus-proof of a verification batch: the claim is
+/// `a = g^x ∧ b = h^x` with proof bound to `context`.
+#[derive(Clone, Copy, Debug)]
+pub struct DleqBatchItem<'a> {
+    /// First base.
+    pub g: &'a Element,
+    /// Second base.
+    pub h: &'a Element,
+    /// `g^x`.
+    pub a: &'a Element,
+    /// `h^x`.
+    pub b: &'a Element,
+    /// The proof.
+    pub proof: &'a DleqProof,
+    /// The transcript context the proof was bound to.
+    pub context: &'a [u8],
+}
+
+/// Verify `k` DLEQ proofs in one folded check.
+///
+/// Both verification equations of every proof — `g^s == t1 · a^e` and
+/// `h^s == t2 · b^e` — are raised to independent random 128-bit weights
+/// (derived from a hash of the whole batch) and multiplied into one
+/// two-sided check:
+///
+/// ```text
+///     Π gᵢ^{zᵢsᵢ} · hᵢ^{z'ᵢsᵢ}  ==  Π t1ᵢ^{zᵢ} · aᵢ^{zᵢeᵢ} · t2ᵢ^{z'ᵢ} · bᵢ^{z'ᵢeᵢ}
+/// ```
+///
+/// All exponents stay positive, so the commitment exponents remain 128-bit.
+/// Bases shared across the batch collapse inside [`Group::multi_exp_n`]: in
+/// a shuffle pass, the generator and the server's public key each
+/// contribute *one* base to the fold no matter how many entries the pass
+/// has.
+///
+/// A batch with any invalid proof is rejected except with probability
+/// ≤ 2⁻¹²⁸; a batch of one accepts exactly what [`verify`] accepts.
+/// Callers needing the failing index fall back to [`verify`] per item.
+pub fn batch_verify(group: &Group, items: &[DleqBatchItem<'_>]) -> bool {
+    if items.is_empty() {
+        return true;
+    }
+    // Same screening as [`verify`], bases included: every folded element
+    // must have order q for the mod-q weight arithmetic to be sound (and
+    // for batch-of-one to agree exactly with the single verifier).
+    for item in items {
+        if !group.is_member(&item.proof.t1)
+            || !group.is_member(&item.proof.t2)
+            || !group.is_member(item.g)
+            || !group.is_member(item.h)
+            || !group.is_member(item.a)
+            || !group.is_member(item.b)
+        {
+            return false;
+        }
+    }
+    // Two weights per proof (one per verification equation), bound to every
+    // statement, proof, and context byte in the batch (`batch_weights`
+    // hashes with per-part length framing, so variable-length contexts are
+    // unambiguous).
+    let mut transcript: Vec<Vec<u8>> = Vec::with_capacity(8 * items.len() + 1);
+    transcript.push(b"dissent-dleq-batch".to_vec());
+    for item in items {
+        for el in [
+            item.g,
+            item.h,
+            item.a,
+            item.b,
+            &item.proof.t1,
+            &item.proof.t2,
+        ] {
+            transcript.push(el.to_bytes(group));
+        }
+        transcript.push(item.proof.response.to_bytes(group));
+        transcript.push(item.context.to_vec());
+    }
+    let parts: Vec<&[u8]> = transcript.iter().map(|v| v.as_slice()).collect();
+    let weights = group.batch_weights(&parts, 2 * items.len());
+
+    let mut lhs_bases: Vec<&Element> = Vec::with_capacity(2 * items.len());
+    let mut lhs_exps: Vec<Scalar> = Vec::with_capacity(2 * items.len());
+    let mut rhs_bases: Vec<&Element> = Vec::with_capacity(4 * items.len());
+    let mut rhs_exps: Vec<Scalar> = Vec::with_capacity(4 * items.len());
+    for (i, item) in items.iter().enumerate() {
+        let e = challenge(
+            group,
+            item.g,
+            item.h,
+            item.a,
+            item.b,
+            &item.proof.t1,
+            &item.proof.t2,
+            item.context,
+        );
+        let s = &item.proof.response;
+        for (z, base, image, commitment) in [
+            (&weights[2 * i], item.g, item.a, &item.proof.t1),
+            (&weights[2 * i + 1], item.h, item.b, &item.proof.t2),
+        ] {
+            lhs_bases.push(base);
+            lhs_exps.push(group.scalar_mul(z, s));
+            rhs_bases.push(image);
+            rhs_exps.push(group.scalar_mul(z, &e));
+            rhs_bases.push(commitment);
+            rhs_exps.push(z.clone());
+        }
+    }
+    let lhs: Vec<(&Element, &Scalar)> = lhs_bases.into_iter().zip(lhs_exps.iter()).collect();
+    let rhs: Vec<(&Element, &Scalar)> = rhs_bases.into_iter().zip(rhs_exps.iter()).collect();
+    group.multi_exp_n(&lhs) == group.multi_exp_n(&rhs)
 }
 
 #[cfg(test)]
@@ -157,6 +274,52 @@ mod tests {
         let mut proof = prove(&group, &mut rng, &g, &h, &x, b"ctx");
         proof.response = group.scalar_add(&proof.response, &Scalar::one());
         assert!(!verify(&group, &g, &h, &a, &b, &proof, b"ctx"));
+    }
+
+    #[test]
+    fn batch_verify_accepts_valid_and_rejects_one_bad() {
+        let (group, mut rng) = setup();
+        let g = group.generator();
+        // Shared first base (as in a shuffle pass), distinct second bases.
+        let n = 5;
+        let hs: Vec<Element> = (0..n)
+            .map(|_| group.exp_base(&group.random_scalar(&mut rng)))
+            .collect();
+        let xs: Vec<Scalar> = (0..n).map(|_| group.random_scalar(&mut rng)).collect();
+        let stmts: Vec<(Element, Element)> = hs
+            .iter()
+            .zip(&xs)
+            .map(|(h, x)| (group.exp(&g, x), group.exp(h, x)))
+            .collect();
+        let contexts: Vec<Vec<u8>> = (0..n).map(|i| format!("entry-{i}").into_bytes()).collect();
+        let mut proofs: Vec<DleqProof> = hs
+            .iter()
+            .zip(&xs)
+            .zip(&contexts)
+            .map(|((h, x), ctx)| prove(&group, &mut rng, &g, h, x, ctx))
+            .collect();
+        let build = |proofs: &[DleqProof]| -> Vec<(usize, DleqProof)> {
+            proofs.iter().cloned().enumerate().collect()
+        };
+        let make_items = |owned: &[(usize, DleqProof)]| -> bool {
+            let items: Vec<DleqBatchItem> = owned
+                .iter()
+                .map(|(i, p)| DleqBatchItem {
+                    g: &g,
+                    h: &hs[*i],
+                    a: &stmts[*i].0,
+                    b: &stmts[*i].1,
+                    proof: p,
+                    context: &contexts[*i],
+                })
+                .collect();
+            batch_verify(&group, &items)
+        };
+        assert!(make_items(&build(&proofs)));
+        // One tampered commitment poisons the batch.
+        proofs[2].t2 = group.mul(&proofs[2].t2, &g);
+        assert!(!make_items(&build(&proofs)));
+        assert!(batch_verify(&group, &[]));
     }
 
     #[test]

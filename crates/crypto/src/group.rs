@@ -15,13 +15,14 @@
 //!   and simulation runs (NOT cryptographically strong; clearly labelled).
 
 use crate::bigint::BigUint;
-use crate::montgomery::{CombTable, MontgomeryCtx, WindowTable};
+use crate::montgomery::{pippenger_window, CombTable, MontgomeryCtx, WindowTable};
 use crate::prng::DetPrng;
 use crate::sha256::sha256_tagged;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Group parameters: a safe prime `p = 2q + 1` and a generator `g` of the
 /// order-`q` subgroup of quadratic residues.
@@ -31,7 +32,7 @@ use std::sync::{Arc, OnceLock};
 /// fixed-base window table for `g`.  Both are built lazily on first use and
 /// shared through the [`Group`] handle's `Arc`, so the cost is paid once per
 /// parameter set rather than once per operation.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Serialize, Deserialize)]
 pub struct GroupParams {
     /// The safe prime modulus.
     pub p: BigUint,
@@ -52,7 +53,26 @@ pub struct GroupParams {
     /// exponentiation, the hottest operation in the protocol).
     #[serde(skip)]
     g_comb: OnceLock<CombTable>,
+    /// Precomputed tables for other long-lived bases (server public keys,
+    /// combined remaining keys), registered via
+    /// [`Group::register_fixed_base`] and consulted by [`Group::exp`] and
+    /// the multi-exponentiation entry points.
+    #[serde(skip)]
+    fixed_bases: RwLock<HashMap<BigUint, Arc<FixedBaseTables>>>,
 }
+
+/// The cached acceleration state for one registered fixed base: a window
+/// table (for multi-exponentiation) and a Lim–Lee comb (for plain
+/// exponentiation).
+struct FixedBaseTables {
+    window: WindowTable,
+    comb: CombTable,
+}
+
+/// Upper bound on registered fixed bases per parameter set (a 2048-bit
+/// entry costs ~70 KiB of tables).  Generously covers one session's server
+/// keys and per-pass remaining keys; see [`Group::register_fixed_base`].
+const FIXED_BASE_CACHE_MAX: usize = 64;
 
 impl GroupParams {
     fn new(p: BigUint, q: BigUint, g: BigUint, name: &str) -> GroupParams {
@@ -64,6 +84,29 @@ impl GroupParams {
             mont: OnceLock::new(),
             g_table: OnceLock::new(),
             g_comb: OnceLock::new(),
+            fixed_bases: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+impl Clone for GroupParams {
+    fn clone(&self) -> Self {
+        GroupParams {
+            p: self.p.clone(),
+            q: self.q.clone(),
+            g: self.g.clone(),
+            name: self.name.clone(),
+            mont: self.mont.clone(),
+            g_table: self.g_table.clone(),
+            g_comb: self.g_comb.clone(),
+            // The registered-base cache is shared derived state; a cloned
+            // params block starts with the same registrations.
+            fixed_bases: RwLock::new(
+                self.fixed_bases
+                    .read()
+                    .map(|m| m.clone())
+                    .unwrap_or_default(),
+            ),
         }
     }
 }
@@ -219,6 +262,53 @@ impl Group {
         })
     }
 
+    /// Register a long-lived base (a server public key, a combined
+    /// remaining key) for fixed-base acceleration: subsequent [`Group::exp`]
+    /// calls on it use a Lim–Lee comb, and the multi-exponentiation entry
+    /// points reuse its window table instead of rebuilding one per call.
+    ///
+    /// Registration is idempotent and the tables are shared through the
+    /// group handle, so the precomputation cost is paid once per base per
+    /// parameter set.  The generator is always implicitly registered.
+    ///
+    /// The cache is bounded: registration paths run inside verification
+    /// (every pass registers its server and remaining keys), so an auditor
+    /// processing transcripts from many rosters would otherwise grow the
+    /// map without limit.  Past [`FIXED_BASE_CACHE_MAX`] entries new
+    /// registrations become no-ops — correctness is unaffected, the base
+    /// just runs at general-exponentiation speed.
+    pub fn register_fixed_base(&self, base: &Element) {
+        if base.value == self.params.g {
+            return;
+        }
+        let mut map = self
+            .params
+            .fixed_bases
+            .write()
+            .expect("fixed-base cache poisoned");
+        if map.contains_key(&base.value) || map.len() >= FIXED_BASE_CACHE_MAX {
+            return;
+        }
+        let ctx = self.mont();
+        map.insert(
+            base.value.clone(),
+            Arc::new(FixedBaseTables {
+                window: ctx.precompute(&base.value),
+                comb: ctx.precompute_comb(&base.value, self.params.p.bit_len()),
+            }),
+        );
+    }
+
+    /// Look up the cached tables for a registered fixed base.
+    fn fixed_base(&self, value: &BigUint) -> Option<Arc<FixedBaseTables>> {
+        self.params
+            .fixed_bases
+            .read()
+            .expect("fixed-base cache poisoned")
+            .get(value)
+            .cloned()
+    }
+
     /// The modulus `p`.
     pub fn modulus(&self) -> &BigUint {
         &self.params.p
@@ -299,7 +389,19 @@ impl Group {
     }
 
     /// Exponentiation: `a^e mod p`, via the Montgomery engine.
+    ///
+    /// Bases registered with [`Group::register_fixed_base`] (and the
+    /// generator itself) are served from their cached Lim–Lee comb at
+    /// fixed-base speed.
     pub fn exp(&self, a: &Element, e: &Scalar) -> Element {
+        if a.value == self.params.g {
+            return self.exp_base(e);
+        }
+        if let Some(tables) = self.fixed_base(&a.value) {
+            return Element {
+                value: self.mont().pow_comb(&tables.comb, &e.value),
+            };
+        }
         Element {
             value: self.mont().pow(&a.value, &e.value),
         }
@@ -314,22 +416,106 @@ impl Group {
     /// window table is reused.
     pub fn multi_exp(&self, a: &Element, x: &Scalar, b: &Element, y: &Scalar) -> Element {
         let ctx = self.mont();
+        let a_cached;
         let a_built;
         let a_table = if a.value == self.params.g {
             self.generator_table()
+        } else if let Some(t) = self.fixed_base(&a.value) {
+            a_cached = t;
+            &a_cached.window
         } else {
             a_built = ctx.precompute(&a.value);
             &a_built
         };
+        let b_cached;
         let b_built;
         let b_table = if b.value == self.params.g {
             self.generator_table()
+        } else if let Some(t) = self.fixed_base(&b.value) {
+            b_cached = t;
+            &b_cached.window
         } else {
             b_built = ctx.precompute(&b.value);
             &b_built
         };
         Element {
             value: ctx.pow2_with_tables(a_table, &x.value, b_table, &y.value),
+        }
+    }
+
+    /// Simultaneous n-way exponentiation: `Π bᵢ^xᵢ mod p`.
+    ///
+    /// This is the folded check at the heart of batch proof verification
+    /// ([`crate::schnorr::batch_verify`] and
+    /// [`crate::chaum_pedersen::batch_verify`]).  Three layers of work
+    /// sharing apply:
+    ///
+    /// * repeated bases are collapsed by summing their exponents mod `q`
+    ///   (sound because every [`Element`] is an order-`q` subgroup member),
+    ///   so the shared generator — and, in a shuffle pass, the shared
+    ///   server key — costs one table regardless of batch size;
+    /// * the generator and any [`Group::register_fixed_base`] base reuse
+    ///   their cached window tables;
+    /// * the algorithm switches from interleaved Straus to bucketed
+    ///   Pippenger past the [`pippenger_window`] crossover, where per-base
+    ///   tables stop paying for themselves.
+    pub fn multi_exp_n(&self, pairs: &[(&Element, &Scalar)]) -> Element {
+        if pairs.is_empty() {
+            return self.identity();
+        }
+        // Collapse repeated bases, preserving first-seen order.
+        let mut index: HashMap<&BigUint, usize> = HashMap::with_capacity(pairs.len());
+        let mut bases: Vec<&BigUint> = Vec::with_capacity(pairs.len());
+        let mut exps: Vec<BigUint> = Vec::with_capacity(pairs.len());
+        for (el, sc) in pairs {
+            match index.entry(&el.value) {
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    let i = *o.get();
+                    exps[i] = exps[i].mod_add(&sc.value, &self.params.q);
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(bases.len());
+                    bases.push(&el.value);
+                    exps.push(sc.value.clone());
+                }
+            }
+        }
+        let ctx = self.mont();
+        let exp_refs: Vec<&BigUint> = exps.iter().collect();
+        let max_bits = exps.iter().map(|e| e.bit_len()).max().unwrap_or(0);
+        if let Some(c) = pippenger_window(bases.len(), max_bits) {
+            return Element {
+                value: ctx.pow_n_pippenger(&bases, &exp_refs, c),
+            };
+        }
+        // Straus path: reuse cached tables, build the rest.
+        enum TableRef {
+            Gen,
+            Cached(Arc<FixedBaseTables>),
+            Built(usize),
+        }
+        let mut built: Vec<WindowTable> = Vec::new();
+        let mut plan: Vec<TableRef> = Vec::with_capacity(bases.len());
+        for base in &bases {
+            if **base == self.params.g {
+                plan.push(TableRef::Gen);
+            } else if let Some(t) = self.fixed_base(base) {
+                plan.push(TableRef::Cached(t));
+            } else {
+                plan.push(TableRef::Built(built.len()));
+                built.push(ctx.precompute(base));
+            }
+        }
+        let tables: Vec<&WindowTable> = plan
+            .iter()
+            .map(|t| match t {
+                TableRef::Gen => self.generator_table(),
+                TableRef::Cached(arc) => &arc.window,
+                TableRef::Built(i) => &built[*i],
+            })
+            .collect();
+        Element {
+            value: ctx.pow_n_with_tables(&tables, &exp_refs),
         }
     }
 
@@ -392,10 +578,42 @@ impl Group {
     }
 
     /// Check whether an element is a member of the order-`q` subgroup.
+    ///
+    /// For a safe prime `p = 2q + 1` the order-`q` subgroup is exactly the
+    /// quadratic residues, so membership is the Legendre symbol — computed
+    /// as a Jacobi symbol in O(log²) word operations rather than the full
+    /// exponentiation `a^q mod p`.  This makes the per-element membership
+    /// screening in (batch) proof verification essentially free next to the
+    /// verification equation itself.
     pub fn is_member(&self, a: &Element) -> bool {
-        !a.value.is_zero()
-            && a.value < self.params.p
-            && self.mont().pow(&a.value, &self.params.q).is_one()
+        // The generator's membership is validated at construction; verifiers
+        // screen it once per statement, so skip recomputing its symbol.
+        if a.value == self.params.g {
+            return true;
+        }
+        !a.value.is_zero() && a.value < self.params.p && a.value.jacobi(&self.params.p) == 1
+    }
+
+    /// Derive the deterministic random weights for a batched proof
+    /// verification from the batch transcript.
+    ///
+    /// The first weight is fixed to 1 (a standard optimization: the
+    /// combination stays uniformly random relative to every other proof),
+    /// the rest are 128-bit scalars expanded from a hash of `parts` —
+    /// which must bind every statement, proof, and context byte in the
+    /// batch, so an adversary cannot choose proofs after the weights.
+    pub fn batch_weights(&self, parts: &[&[u8]], count: usize) -> Vec<Scalar> {
+        let digest = sha256_tagged(parts);
+        let mut prng = DetPrng::new(&digest, b"batch-verify-weights");
+        (0..count)
+            .map(|i| {
+                if i == 0 {
+                    Scalar::one()
+                } else {
+                    self.scalar_from_bytes(&prng.bytes(16))
+                }
+            })
+            .collect()
     }
 
     /// Embed a short message into a group element (quadratic-residue
@@ -598,6 +816,111 @@ mod tests {
         assert_eq!(bytes.len(), g.element_len());
         assert_eq!(g.element_from_bytes(&bytes).unwrap(), e);
         assert!(g.element_from_bytes(&[0u8; 32]).is_err());
+    }
+
+    #[test]
+    fn jacobi_membership_matches_exponentiation_check() {
+        // The Jacobi-symbol membership test must agree with the definitional
+        // a^q == 1 check on members, non-members, and edge values, in every
+        // parameter set.
+        let mut r = rng();
+        for g in [
+            Group::testing_256(),
+            Group::modp_512(),
+            Group::modp_1024(),
+            Group::rfc3526_2048(),
+        ] {
+            let q = g.order().clone();
+            let p = g.modulus().clone();
+            let check = |el: Element| {
+                let definitional = !el.as_biguint().is_zero()
+                    && el.as_biguint() < &p
+                    && el.as_biguint().modpow(&q, &p).is_one();
+                assert_eq!(g.is_member(&el), definitional);
+            };
+            check(g.exp_base(&g.random_scalar(&mut r)));
+            check(g.identity());
+            // g^x · (p-1) has order 2q: a non-member that is < p.
+            let m = g.exp_base(&g.random_scalar(&mut r));
+            let minus_one = Element::from_biguint_unchecked(p.sub(&BigUint::one()));
+            check(g.mul(&m, &minus_one));
+            check(minus_one);
+            check(Element::from_biguint_unchecked(BigUint::zero()));
+            check(Element::from_biguint_unchecked(BigUint::random_below(
+                &mut r, &p,
+            )));
+        }
+    }
+
+    #[test]
+    fn multi_exp_n_matches_fold_of_exps() {
+        let mut r = rng();
+        let g = Group::testing_256();
+        for n in [0usize, 1, 2, 5, 9] {
+            let bases: Vec<Element> = (0..n)
+                .map(|_| g.exp_base(&g.random_scalar(&mut r)))
+                .collect();
+            let exps: Vec<Scalar> = (0..n).map(|_| g.random_scalar(&mut r)).collect();
+            let pairs: Vec<(&Element, &Scalar)> = bases.iter().zip(exps.iter()).collect();
+            let expect = bases
+                .iter()
+                .zip(exps.iter())
+                .fold(g.identity(), |acc, (b, e)| g.mul(&acc, &g.exp(b, e)));
+            assert_eq!(g.multi_exp_n(&pairs), expect);
+        }
+    }
+
+    #[test]
+    fn multi_exp_n_collapses_repeated_bases() {
+        let mut r = rng();
+        let g = Group::testing_256();
+        let b = g.exp_base(&g.random_scalar(&mut r));
+        let gen = g.generator();
+        let (x, y, z) = (
+            g.random_scalar(&mut r),
+            g.random_scalar(&mut r),
+            g.random_scalar(&mut r),
+        );
+        // b^x · g^y · b^z == b^(x+z) · g^y.
+        let pairs: Vec<(&Element, &Scalar)> = vec![(&b, &x), (&gen, &y), (&b, &z)];
+        let expect = g.mul(&g.exp(&b, &g.scalar_add(&x, &z)), &g.exp_base(&y));
+        assert_eq!(g.multi_exp_n(&pairs), expect);
+    }
+
+    #[test]
+    fn registered_fixed_base_changes_nothing_but_speed() {
+        let mut r = rng();
+        let g = Group::testing_256();
+        let b = g.exp_base(&g.random_scalar(&mut r));
+        let x = g.random_scalar(&mut r);
+        let before = g.exp(&b, &x);
+        g.register_fixed_base(&b);
+        g.register_fixed_base(&b); // idempotent
+        g.register_fixed_base(&g.generator()); // no-op
+        assert_eq!(g.exp(&b, &x), before);
+        let y = g.random_scalar(&mut r);
+        let gen = g.generator();
+        let pairs: Vec<(&Element, &Scalar)> = vec![(&b, &x), (&gen, &y)];
+        assert_eq!(g.multi_exp_n(&pairs), g.mul(&before, &g.exp_base(&y)));
+        assert_eq!(
+            g.multi_exp(&b, &x, &gen, &y),
+            g.mul(&before, &g.exp_base(&y))
+        );
+        // Clones share the registration.
+        let g2 = g.clone();
+        assert_eq!(g2.exp(&b, &x), before);
+    }
+
+    #[test]
+    fn batch_weights_are_deterministic_and_bound_to_transcript() {
+        let g = Group::testing_256();
+        let w1 = g.batch_weights(&[b"tag", b"proof-bytes"], 4);
+        let w2 = g.batch_weights(&[b"tag", b"proof-bytes"], 4);
+        let w3 = g.batch_weights(&[b"tag", b"other-bytes"], 4);
+        assert_eq!(w1, w2);
+        assert_ne!(w1, w3);
+        assert_eq!(w1[0], Scalar::one());
+        assert_ne!(w1[1], w1[2]);
     }
 
     #[test]

@@ -545,7 +545,20 @@ impl MontgomeryCtx {
         h_table: &WindowTable,
         b: &BigUint,
     ) -> BigUint {
-        let windows = a.bit_len().max(b.bit_len()).div_ceil(WINDOW_BITS);
+        self.pow_n_with_tables(&[g_table, h_table], &[a, b])
+    }
+
+    /// Simultaneous n-way exponentiation `Π bᵢ^eᵢ mod n` by interleaved
+    /// Straus: one shared squaring chain serves every exponent, and each
+    /// non-zero window of each exponent costs one table multiplication.
+    ///
+    /// This is the batch-verification workhorse for small-to-medium base
+    /// counts; above [`pippenger_window`]'s crossover the bucketed
+    /// [`Self::pow_n_pippenger`] wins because it needs no per-base tables.
+    pub fn pow_n_with_tables(&self, tables: &[&WindowTable], exps: &[&BigUint]) -> BigUint {
+        assert_eq!(tables.len(), exps.len(), "one table per exponent");
+        let max_bits = exps.iter().map(|e| e.bit_len()).max().unwrap_or(0);
+        let windows = max_bits.div_ceil(WINDOW_BITS);
         let mut scratch = Scratch::default();
         let mut r: Vec<u64> = Vec::new();
         let mut started = false;
@@ -555,7 +568,7 @@ impl MontgomeryCtx {
                     self.sqr_swap(&mut r, &mut scratch);
                 }
             }
-            for (exp, table) in [(a, g_table), (b, h_table)] {
+            for (table, exp) in tables.iter().zip(exps) {
                 let idx = window_of(exp, w);
                 if idx != 0 {
                     if started {
@@ -572,6 +585,119 @@ impl MontgomeryCtx {
         }
         self.from_mont(&MontInt { limbs: r })
     }
+
+    /// Simultaneous n-way exponentiation `Π bᵢ^eᵢ mod n` by Pippenger's
+    /// bucket method with `c`-bit windows.
+    ///
+    /// Per window, every base is multiplied into the bucket selected by its
+    /// exponent digit (one multiplication per base, consuming `c` bits at
+    /// once), then the buckets are folded with the running-sum trick
+    /// (`Σ d·Bd` as `Π` of suffix products, ~2·2ᶜ multiplications).  No
+    /// per-base table is built, so for large n the amortized cost per base
+    /// approaches `bits/c` multiplications — below Straus' fixed
+    /// `~0.23·bits + 14` once n exceeds the [`pippenger_window`] crossover.
+    pub fn pow_n_pippenger(&self, bases: &[&BigUint], exps: &[&BigUint], c: usize) -> BigUint {
+        assert_eq!(bases.len(), exps.len(), "one base per exponent");
+        assert!((1..=16).contains(&c), "window width out of range");
+        let max_bits = exps.iter().map(|e| e.bit_len()).max().unwrap_or(0);
+        if bases.is_empty() || max_bits == 0 {
+            return self.from_mont(&self.one());
+        }
+        let bases_m: Vec<Vec<u64>> = bases.iter().map(|b| self.to_mont(b).limbs).collect();
+        let windows = max_bits.div_ceil(c);
+        let mut scratch = Scratch::default();
+        let mut r: Vec<u64> = Vec::new();
+        let mut started = false;
+        for w in (0..windows).rev() {
+            if started {
+                for _ in 0..c {
+                    self.sqr_swap(&mut r, &mut scratch);
+                }
+            }
+            // Accumulate each base into the bucket of its digit.
+            let mut buckets: Vec<Option<Vec<u64>>> = vec![None; (1 << c) - 1];
+            for (base_m, exp) in bases_m.iter().zip(exps) {
+                let d = window_at(exp, w * c, c);
+                if d != 0 {
+                    buckets[d - 1] = Some(match buckets[d - 1].take() {
+                        Some(acc) => self.mont_mul_limbs(&acc, base_m),
+                        None => base_m.clone(),
+                    });
+                }
+            }
+            // Fold: Σ d·Bd multiplicatively, via suffix products.  `running`
+            // is Π_{e ≥ d} B_e; multiplying it into `sum` once per d yields
+            // Π B_d^d without ever materializing the digit weights.
+            let mut running: Option<Vec<u64>> = None;
+            let mut sum: Option<Vec<u64>> = None;
+            for bucket in buckets.into_iter().rev() {
+                if let Some(v) = bucket {
+                    running = Some(match running.take() {
+                        Some(acc) => self.mont_mul_limbs(&acc, &v),
+                        None => v,
+                    });
+                }
+                if let Some(run) = &running {
+                    sum = Some(match sum.take() {
+                        Some(s) => self.mont_mul_limbs(&s, run),
+                        None => run.clone(),
+                    });
+                }
+            }
+            if let Some(s) = sum {
+                if started {
+                    self.mul_swap(&mut r, &s, &mut scratch);
+                } else {
+                    r = s;
+                    started = true;
+                }
+            }
+        }
+        if !started {
+            r = self.one.clone();
+        }
+        self.from_mont(&MontInt { limbs: r })
+    }
+
+    /// Simultaneous n-way exponentiation, picking interleaved Straus or
+    /// bucketed Pippenger by the [`pippenger_window`] cost model.
+    pub fn pow_n(&self, bases: &[&BigUint], exps: &[&BigUint]) -> BigUint {
+        assert_eq!(bases.len(), exps.len(), "one base per exponent");
+        let max_bits = exps.iter().map(|e| e.bit_len()).max().unwrap_or(0);
+        if let Some(c) = pippenger_window(bases.len(), max_bits) {
+            return self.pow_n_pippenger(bases, exps, c);
+        }
+        let tables: Vec<WindowTable> = bases.iter().map(|b| self.precompute(b)).collect();
+        let refs: Vec<&WindowTable> = tables.iter().collect();
+        self.pow_n_with_tables(&refs, exps)
+    }
+}
+
+/// Pick the Pippenger window width for an n-base multi-exponentiation of
+/// `max_bits`-bit exponents, or `None` when interleaved Straus is predicted
+/// cheaper.
+///
+/// Cost model (in Montgomery multiplications, squarings ≈ multiplications):
+/// Straus pays a `WINDOW_SIZE − 2` table build per base plus ~15/16 of a
+/// multiplication per 4-bit window per base; Pippenger pays one
+/// multiplication per base per `c`-bit window plus ~2·2ᶜ per window for the
+/// bucket fold.  The crossover lands around a few hundred bases for 256-bit
+/// exponents and grows with exponent width.
+pub fn pippenger_window(n_bases: usize, max_bits: usize) -> Option<usize> {
+    if n_bases < 32 || max_bits == 0 {
+        return None;
+    }
+    let straus =
+        max_bits + n_bases * (WINDOW_SIZE - 2) + max_bits.div_ceil(WINDOW_BITS) * n_bases * 15 / 16;
+    let mut best: Option<(usize, usize)> = None;
+    for c in 2..=12 {
+        let cost = max_bits + max_bits.div_ceil(c) * (n_bases + 2 * (1 << c));
+        if best.is_none_or(|(b, _)| cost < b) {
+            best = Some((cost, c));
+        }
+    }
+    let (cost, c) = best?;
+    (cost < straus).then_some(c)
 }
 
 /// Reusable scratch buffers for exponentiation loops: once warm, a whole
@@ -639,6 +765,25 @@ fn window_of(exponent: &BigUint, w: usize) -> usize {
         return 0;
     }
     ((limbs[limb_idx] >> (w * WINDOW_BITS % 64)) & (WINDOW_SIZE as u64 - 1)) as usize
+}
+
+/// Extract a `width`-bit window of `exponent` starting at bit `bit`
+/// (little-endian), for arbitrary widths that may straddle a limb boundary.
+#[inline]
+fn window_at(exponent: &BigUint, bit: usize, width: usize) -> usize {
+    debug_assert!(width <= 16);
+    let limbs = exponent.limbs();
+    let limb_idx = bit / 64;
+    if limb_idx >= limbs.len() {
+        return 0;
+    }
+    let shift = bit % 64;
+    let mut v = limbs[limb_idx] >> shift;
+    // `shift + width > 64` implies `shift > 0`, so the shl below is in range.
+    if shift + width > 64 && limb_idx + 1 < limbs.len() {
+        v |= limbs[limb_idx + 1] << (64 - shift);
+    }
+    (v & ((1u64 << width) - 1)) as usize
 }
 
 /// Copy a value into exactly `k` limbs (the value must fit).
@@ -825,6 +970,96 @@ mod tests {
             let e = BigUint::random_bits(&mut rng, bits);
             assert_eq!(ctx.pow(&base, &e), base.modpow_naive(&e, &p));
         }
+    }
+
+    /// Naive reference: fold of independent exponentiations.
+    fn naive_multi(bases: &[&BigUint], exps: &[&BigUint], p: &BigUint) -> BigUint {
+        bases.iter().zip(exps).fold(BigUint::one(), |acc, (b, e)| {
+            acc.mod_mul(&b.modpow_naive(e, p), p)
+        })
+    }
+
+    #[test]
+    fn pow_n_straus_matches_naive_fold() {
+        let p = p256();
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [1usize, 2, 3, 5, 8] {
+            let bases: Vec<BigUint> = (0..n)
+                .map(|_| BigUint::random_below(&mut rng, &p))
+                .collect();
+            let exps: Vec<BigUint> = (0..n)
+                .map(|_| BigUint::random_below(&mut rng, &p))
+                .collect();
+            let base_refs: Vec<&BigUint> = bases.iter().collect();
+            let exp_refs: Vec<&BigUint> = exps.iter().collect();
+            let tables: Vec<WindowTable> = bases.iter().map(|b| ctx.precompute(b)).collect();
+            let table_refs: Vec<&WindowTable> = tables.iter().collect();
+            let expect = naive_multi(&base_refs, &exp_refs, &p);
+            assert_eq!(ctx.pow_n_with_tables(&table_refs, &exp_refs), expect);
+            assert_eq!(ctx.pow_n(&base_refs, &exp_refs), expect);
+        }
+    }
+
+    #[test]
+    fn pow_n_pippenger_matches_naive_fold() {
+        let p = p256();
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        for (n, c) in [(1usize, 1usize), (4, 2), (17, 5), (40, 7), (64, 8)] {
+            let bases: Vec<BigUint> = (0..n)
+                .map(|_| BigUint::random_below(&mut rng, &p))
+                .collect();
+            let exps: Vec<BigUint> = (0..n)
+                .map(|_| BigUint::random_below(&mut rng, &p))
+                .collect();
+            let base_refs: Vec<&BigUint> = bases.iter().collect();
+            let exp_refs: Vec<&BigUint> = exps.iter().collect();
+            assert_eq!(
+                ctx.pow_n_pippenger(&base_refs, &exp_refs, c),
+                naive_multi(&base_refs, &exp_refs, &p)
+            );
+        }
+    }
+
+    #[test]
+    fn pow_n_edge_exponents() {
+        let p = p256();
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let g = BigUint::from_u64(4);
+        let h = BigUint::from_u64(9);
+        let zero = BigUint::zero();
+        // Empty product is 1; all-zero exponents give 1 on both paths.
+        assert_eq!(ctx.pow_n(&[], &[]), BigUint::one());
+        assert_eq!(ctx.pow_n(&[&g, &h], &[&zero, &zero]), BigUint::one());
+        assert_eq!(
+            ctx.pow_n_pippenger(&[&g, &h], &[&zero, &zero], 4),
+            BigUint::one()
+        );
+        // Mixed zero / non-zero exponents.
+        let e = BigUint::from_u64(1234);
+        assert_eq!(ctx.pow_n(&[&g, &h], &[&e, &zero]), ctx.pow(&g, &e));
+        assert_eq!(
+            ctx.pow_n_pippenger(&[&g, &h], &[&zero, &e], 3),
+            ctx.pow(&h, &e)
+        );
+    }
+
+    #[test]
+    fn pippenger_window_crossover_shape() {
+        // Small batches always use Straus.
+        assert_eq!(pippenger_window(1, 256), None);
+        assert_eq!(pippenger_window(16, 2048), None);
+        // Very large batches switch to Pippenger with a sane window width.
+        let c = pippenger_window(2048, 256).expect("large batches use Pippenger");
+        assert!((2..=12).contains(&c));
+        // Wider exponents push the crossover upward, never downward.
+        for n in [32usize, 64, 256, 1024] {
+            if pippenger_window(n, 2048).is_some() {
+                assert!(pippenger_window(n, 256).is_some());
+            }
+        }
+        assert_eq!(pippenger_window(64, 0), None);
     }
 
     #[test]

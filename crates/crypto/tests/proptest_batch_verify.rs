@@ -1,0 +1,374 @@
+//! Adversarial soundness suite for batched proof verification.
+//!
+//! `schnorr::batch_verify` and `chaum_pedersen::batch_verify` fold k proofs
+//! into one random-linear-combination check.  That fold must not weaken
+//! soundness: for a batch of valid proofs, corrupting any *single* proof
+//! scalar, proof element, statement element, or message/context byte must
+//! make the whole batch reject — across all four parameter sets, at every
+//! batch position.  A batch of one must agree exactly with the single
+//! verifier.
+
+use dissent_crypto::bigint::BigUint;
+use dissent_crypto::chaum_pedersen::{self, DleqBatchItem, DleqProof};
+use dissent_crypto::group::{Element, Group, Scalar};
+use dissent_crypto::schnorr::{self, BatchItem, Signature, SigningKeyPair};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// All four parameter sets, smallest to largest.
+fn groups() -> [Group; 4] {
+    [
+        Group::testing_256(),
+        Group::modp_512(),
+        Group::modp_1024(),
+        Group::rfc3526_2048(),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Schnorr batches
+
+/// A batch of valid signatures over distinct messages.
+#[derive(Clone)]
+struct SchnorrBatch {
+    group: Group,
+    keys: Vec<SigningKeyPair>,
+    messages: Vec<Vec<u8>>,
+    sigs: Vec<Signature>,
+}
+
+impl SchnorrBatch {
+    fn new(group: &Group, k: usize, seed: u64) -> SchnorrBatch {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys: Vec<SigningKeyPair> = (0..k)
+            .map(|_| SigningKeyPair::generate(group, &mut rng))
+            .collect();
+        let messages: Vec<Vec<u8>> = (0..k)
+            .map(|i| format!("slot {i} ciphertext for round {seed}").into_bytes())
+            .collect();
+        let sigs: Vec<Signature> = keys
+            .iter()
+            .zip(&messages)
+            .map(|(kp, m)| kp.sign(group, &mut rng, m))
+            .collect();
+        SchnorrBatch {
+            group: group.clone(),
+            keys,
+            messages,
+            sigs,
+        }
+    }
+
+    fn verify(&self) -> bool {
+        let items: Vec<BatchItem> = self
+            .keys
+            .iter()
+            .zip(&self.messages)
+            .zip(&self.sigs)
+            .map(|((kp, m), s)| BatchItem {
+                public: kp.public(),
+                message: m,
+                signature: s,
+            })
+            .collect();
+        schnorr::batch_verify(&self.group, &items)
+    }
+}
+
+/// Every way to corrupt exactly one signature/statement in a Schnorr batch.
+const SCHNORR_CORRUPTIONS: usize = 6;
+
+/// Apply corruption `which` to position `target`; the batch must reject.
+fn corrupt_schnorr(batch: &mut SchnorrBatch, target: usize, which: usize) {
+    let g = batch.group.clone();
+    match which {
+        // Proof scalar: response bumped by one.
+        0 => {
+            batch.sigs[target].response = g.scalar_add(&batch.sigs[target].response, &Scalar::one())
+        }
+        // Proof element: commitment multiplied by the generator.
+        1 => batch.sigs[target].commitment = g.mul(&batch.sigs[target].commitment, &g.generator()),
+        // Statement element: the public key replaced with an unrelated one
+        // (still a subgroup member, so this tests the equation — not the
+        // membership screening).
+        2 => batch.keys[target] = SigningKeyPair::from_seed(&g, b"forged-statement-key"),
+        // Message byte flip (middle of the message).
+        3 => {
+            let mid = batch.messages[target].len() / 2;
+            batch.messages[target][mid] ^= 0x40;
+        }
+        // Non-member commitment (order-2q element): the membership screen
+        // must catch it.
+        4 => {
+            let minus_one = Element::from_biguint_unchecked(g.modulus().sub(&BigUint::one()));
+            batch.sigs[target].commitment = g.mul(&batch.sigs[target].commitment, &minus_one);
+        }
+        // Cross-wiring: signature swapped with its neighbour's.
+        5 => {
+            let other = (target + 1) % batch.sigs.len();
+            batch.sigs.swap(target, other);
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn schnorr_single_corruption_rejects_across_all_groups() {
+    for group in groups() {
+        let k = 3;
+        let valid = SchnorrBatch::new(&group, k, 0xBEEF);
+        assert!(valid.verify(), "valid batch accepted ({})", group.name());
+        for target in 0..k {
+            for which in 0..SCHNORR_CORRUPTIONS {
+                // Swapping needs at least two distinct entries.
+                if which == 5 && k < 2 {
+                    continue;
+                }
+                let mut batch = valid.clone();
+                corrupt_schnorr(&mut batch, target, which);
+                assert!(
+                    !batch.verify(),
+                    "corruption {which} at position {target} accepted ({})",
+                    group.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn schnorr_batch_of_one_agrees_with_single_verify() {
+    for group in groups() {
+        for which in 0..SCHNORR_CORRUPTIONS {
+            if which == 5 {
+                continue; // swap needs two entries
+            }
+            let mut batch = SchnorrBatch::new(&group, 1, 0xF00D);
+            let single = |b: &SchnorrBatch| {
+                schnorr::verify(&b.group, b.keys[0].public(), &b.messages[0], &b.sigs[0])
+            };
+            assert!(single(&batch) && batch.verify());
+            corrupt_schnorr(&mut batch, 0, which);
+            assert_eq!(
+                single(&batch),
+                batch.verify(),
+                "batch-of-one diverged from single verify (corruption {which}, {})",
+                group.name()
+            );
+            assert!(!batch.verify());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chaum–Pedersen (DLEQ) batches
+
+/// A batch of valid DLEQ proofs over distinct second bases and contexts.
+#[derive(Clone)]
+struct DleqBatch {
+    group: Group,
+    hs: Vec<Element>,
+    stmts: Vec<(Element, Element)>,
+    contexts: Vec<Vec<u8>>,
+    proofs: Vec<DleqProof>,
+}
+
+impl DleqBatch {
+    fn new(group: &Group, k: usize, seed: u64) -> DleqBatch {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = group.generator();
+        let hs: Vec<Element> = (0..k)
+            .map(|_| group.exp_base(&group.random_scalar(&mut rng)))
+            .collect();
+        let xs: Vec<Scalar> = (0..k).map(|_| group.random_scalar(&mut rng)).collect();
+        let stmts: Vec<(Element, Element)> = hs
+            .iter()
+            .zip(&xs)
+            .map(|(h, x)| (group.exp(&g, x), group.exp(h, x)))
+            .collect();
+        let contexts: Vec<Vec<u8>> = (0..k)
+            .map(|i| format!("shuffle|pass|{seed}|entry|{i}").into_bytes())
+            .collect();
+        let proofs: Vec<DleqProof> = hs
+            .iter()
+            .zip(&xs)
+            .zip(&contexts)
+            .map(|((h, x), ctx)| chaum_pedersen::prove(group, &mut rng, &g, h, x, ctx))
+            .collect();
+        DleqBatch {
+            group: group.clone(),
+            hs,
+            stmts,
+            contexts,
+            proofs,
+        }
+    }
+
+    fn verify(&self) -> bool {
+        let g = self.group.generator();
+        let items: Vec<DleqBatchItem> = (0..self.proofs.len())
+            .map(|i| DleqBatchItem {
+                g: &g,
+                h: &self.hs[i],
+                a: &self.stmts[i].0,
+                b: &self.stmts[i].1,
+                proof: &self.proofs[i],
+                context: &self.contexts[i],
+            })
+            .collect();
+        chaum_pedersen::batch_verify(&self.group, &items)
+    }
+
+    fn verify_single(&self, i: usize) -> bool {
+        let g = self.group.generator();
+        chaum_pedersen::verify(
+            &self.group,
+            &g,
+            &self.hs[i],
+            &self.stmts[i].0,
+            &self.stmts[i].1,
+            &self.proofs[i],
+            &self.contexts[i],
+        )
+    }
+}
+
+/// Every way to corrupt exactly one proof/statement in a DLEQ batch.
+const DLEQ_CORRUPTIONS: usize = 8;
+
+fn corrupt_dleq(batch: &mut DleqBatch, target: usize, which: usize) {
+    let g = batch.group.clone();
+    match which {
+        // Proof scalar.
+        0 => {
+            batch.proofs[target].response =
+                g.scalar_add(&batch.proofs[target].response, &Scalar::one())
+        }
+        // First commitment element.
+        1 => batch.proofs[target].t1 = g.mul(&batch.proofs[target].t1, &g.generator()),
+        // Second commitment element.
+        2 => batch.proofs[target].t2 = g.mul(&batch.proofs[target].t2, &g.generator()),
+        // Statement image a (stays a member: tests the equation).
+        3 => batch.stmts[target].0 = g.mul(&batch.stmts[target].0, &g.generator()),
+        // Statement image b.
+        4 => batch.stmts[target].1 = g.mul(&batch.stmts[target].1, &g.generator()),
+        // Context byte flip.
+        5 => {
+            let mid = batch.contexts[target].len() / 2;
+            batch.contexts[target][mid] ^= 0x01;
+        }
+        // Cross-wiring: proof swapped with its neighbour's.
+        6 => {
+            let other = (target + 1) % batch.proofs.len();
+            batch.proofs.swap(target, other);
+        }
+        // Non-member base h (order-2q): the base screening must reject it —
+        // in the batch AND in single verify, identically — because mod-q
+        // exponent arithmetic is ambiguous for such a base (regression test
+        // for the batch/single divergence this screening closes).
+        7 => {
+            let minus_one = Element::from_biguint_unchecked(g.modulus().sub(&BigUint::one()));
+            batch.hs[target] = g.mul(&batch.hs[target], &minus_one);
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn dleq_single_corruption_rejects_across_all_groups() {
+    for group in groups() {
+        let k = 3;
+        let valid = DleqBatch::new(&group, k, 0xD1E9);
+        assert!(valid.verify(), "valid batch accepted ({})", group.name());
+        for target in 0..k {
+            for which in 0..DLEQ_CORRUPTIONS {
+                if which == 6 && k < 2 {
+                    continue;
+                }
+                let mut batch = valid.clone();
+                corrupt_dleq(&mut batch, target, which);
+                assert!(
+                    !batch.verify(),
+                    "corruption {which} at position {target} accepted ({})",
+                    group.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dleq_batch_of_one_agrees_with_single_verify() {
+    for group in groups() {
+        for which in 0..DLEQ_CORRUPTIONS {
+            if which == 6 {
+                continue;
+            }
+            let mut batch = DleqBatch::new(&group, 1, 0xCAFE);
+            assert!(batch.verify_single(0) && batch.verify());
+            corrupt_dleq(&mut batch, 0, which);
+            assert_eq!(
+                batch.verify_single(0),
+                batch.verify(),
+                "batch-of-one diverged from single verify (corruption {which}, {})",
+                group.name()
+            );
+            assert!(!batch.verify());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized sweeps (fast parameter sets, random sizes/targets/corruptions)
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_schnorr_batches_accept_valid_reject_corrupted(
+        seed in any::<u64>(),
+        k in 1usize..10,
+        target in any::<usize>(),
+        which in 0usize..SCHNORR_CORRUPTIONS,
+    ) {
+        let group = Group::testing_256();
+        let valid = SchnorrBatch::new(&group, k, seed);
+        prop_assert!(valid.verify());
+        if which == 5 && k < 2 {
+            return Ok(());
+        }
+        let mut batch = valid.clone();
+        corrupt_schnorr(&mut batch, target % k, which);
+        prop_assert!(!batch.verify());
+    }
+
+    #[test]
+    fn random_dleq_batches_accept_valid_reject_corrupted(
+        seed in any::<u64>(),
+        k in 1usize..10,
+        target in any::<usize>(),
+        which in 0usize..DLEQ_CORRUPTIONS,
+    ) {
+        let group = Group::modp_512();
+        let valid = DleqBatch::new(&group, k, seed);
+        prop_assert!(valid.verify());
+        if which == 6 && k < 2 {
+            return Ok(());
+        }
+        let mut batch = valid.clone();
+        corrupt_dleq(&mut batch, target % k, which);
+        prop_assert!(!batch.verify());
+    }
+
+    #[test]
+    fn weights_depend_on_every_proof(seed in any::<u64>()) {
+        // Two batches differing in one signature produce different weights;
+        // concretely, a batch assembled from valid-but-reordered proofs
+        // still rejects (the weights re-derive and the fold breaks).
+        let group = Group::testing_256();
+        let mut batch = SchnorrBatch::new(&group, 4, seed);
+        batch.sigs.rotate_left(1);
+        prop_assert!(!batch.verify());
+    }
+}

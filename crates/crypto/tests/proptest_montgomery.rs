@@ -5,8 +5,8 @@
 //! parameter sets (256 → 2048 bits).
 
 use dissent_crypto::bigint::BigUint;
-use dissent_crypto::group::Group;
-use dissent_crypto::montgomery::MontgomeryCtx;
+use dissent_crypto::group::{Element, Group, Scalar};
+use dissent_crypto::montgomery::{pippenger_window, MontgomeryCtx};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,6 +25,11 @@ fn groups() -> [Group; 4] {
 fn value_below(p: &BigUint, seed: u64) -> BigUint {
     let mut rng = StdRng::seed_from_u64(seed);
     BigUint::random_below(&mut rng, p)
+}
+
+/// `acc · b^e` — the naive fold step for multi-exponentiation references.
+fn g_mul_exp(group: &Group, acc: &Element, b: &Element, e: &Scalar) -> Element {
+    group.mul(acc, &group.exp(b, e))
 }
 
 proptest! {
@@ -121,6 +126,94 @@ proptest! {
             let e = BigUint::random_bits(&mut rng, exp_bits);
             prop_assert_eq!(base.modpow(&e, p), base.modpow_naive(&e, p));
         }
+    }
+
+    #[test]
+    fn pow_n_matches_naive_fold_all_sizes(seed in any::<u64>(), n in 1usize..=8, exp_bits in 1usize..160) {
+        // `pow_n` (dispatching Straus) against the fold of naive
+        // exponentiations, at every modulus width.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for group in groups() {
+            let p = group.modulus();
+            let ctx = MontgomeryCtx::new(p).unwrap();
+            let bases: Vec<BigUint> = (0..n).map(|_| BigUint::random_below(&mut rng, p)).collect();
+            let exps: Vec<BigUint> = (0..n).map(|_| BigUint::random_bits(&mut rng, exp_bits)).collect();
+            let base_refs: Vec<&BigUint> = bases.iter().collect();
+            let exp_refs: Vec<&BigUint> = exps.iter().collect();
+            let expect = bases.iter().zip(&exps).fold(BigUint::one(), |acc, (b, e)| {
+                acc.mod_mul(&b.modpow_naive(e, p), p)
+            });
+            prop_assert_eq!(ctx.pow_n(&base_refs, &exp_refs), expect);
+        }
+    }
+
+    #[test]
+    fn pow_n_pippenger_matches_naive_fold(seed in any::<u64>(), n in 1usize..=12, c in 1usize..=9) {
+        // The bucketed path explicitly, at every window width (the `pow_n`
+        // dispatcher would only pick it for large n).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let group = Group::testing_256();
+        let p = group.modulus();
+        let ctx = MontgomeryCtx::new(p).unwrap();
+        let bases: Vec<BigUint> = (0..n).map(|_| BigUint::random_below(&mut rng, p)).collect();
+        let exps: Vec<BigUint> = (0..n).map(|_| BigUint::random_below(&mut rng, p)).collect();
+        let base_refs: Vec<&BigUint> = bases.iter().collect();
+        let exp_refs: Vec<&BigUint> = exps.iter().collect();
+        let expect = bases.iter().zip(&exps).fold(BigUint::one(), |acc, (b, e)| {
+            acc.mod_mul(&b.modpow_naive(e, p), p)
+        });
+        prop_assert_eq!(ctx.pow_n_pippenger(&base_refs, &exp_refs, c), expect);
+    }
+
+    #[test]
+    fn multi_exp_n_matches_fold_with_degenerate_exponents(seed in any::<u64>(), n in 1usize..=8) {
+        // Group-level multi_exp_n with a mix of random, zero, one, and q-1
+        // exponents plus deliberately repeated bases (the dedup path).
+        let group = Group::testing_256();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let distinct: Vec<Element> = (0..3)
+            .map(|_| group.exp_base(&group.random_scalar(&mut rng)))
+            .collect();
+        let q_minus_1 = group.scalar_neg(&Scalar::one());
+        let mut bases: Vec<Element> = Vec::new();
+        let mut exps: Vec<Scalar> = Vec::new();
+        for i in 0..n {
+            // Repeat bases round-robin so every batch larger than 3 hits the
+            // collapse-by-summing path.
+            bases.push(distinct[i % distinct.len()].clone());
+            exps.push(match i % 4 {
+                0 => group.random_scalar(&mut rng),
+                1 => Scalar::zero(),
+                2 => Scalar::one(),
+                _ => q_minus_1.clone(),
+            });
+        }
+        let pairs: Vec<(&Element, &Scalar)> = bases.iter().zip(exps.iter()).collect();
+        let expect = bases
+            .iter()
+            .zip(&exps)
+            .fold(group.identity(), |acc, (b, e)| g_mul_exp(&group, &acc, b, e));
+        prop_assert_eq!(group.multi_exp_n(&pairs), expect);
+    }
+
+    #[test]
+    fn multi_exp_n_large_batch_crosses_into_pippenger(seed in any::<u64>()) {
+        // A batch big enough that the dispatcher takes the bucketed path
+        // (asserted via the cost model), still equal to the fold of exps.
+        let group = Group::testing_256();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 600;
+        prop_assert!(pippenger_window(n, group.order().bit_len()).is_some());
+        let bases: Vec<Element> = (0..n)
+            .map(|_| group.exp_base(&group.random_scalar(&mut rng)))
+            .collect();
+        let exps: Vec<Scalar> = (0..n).map(|_| group.random_scalar(&mut rng)).collect();
+        let pairs: Vec<(&Element, &Scalar)> = bases.iter().zip(exps.iter()).collect();
+        let expect = bases
+            .iter()
+            .zip(&exps)
+            .fold(group.identity(), |acc, (b, e)| g_mul_exp(&group, &acc, b, e));
+        prop_assert_eq!(group.multi_exp_n(&pairs), expect);
     }
 
     #[test]

@@ -300,7 +300,17 @@ pub fn check_rebuttal(
     if !proof_ok {
         return RebuttalOutcome::ClientIsDisruptor(rebuttal.client);
     }
-    // 2. Recompute K_ij and the true pad bit.
+    rebuttal_bit_outcome(ctx, rebuttal, server_claimed_bit)
+}
+
+/// Decide a rebuttal whose DLEQ proof has already been verified: recompute
+/// `K_ij` from the revealed raw shared element and compare the true pad bit
+/// with what the server claimed.
+fn rebuttal_bit_outcome(
+    ctx: &RebuttalContext<'_>,
+    rebuttal: &Rebuttal,
+    server_claimed_bit: bool,
+) -> RebuttalOutcome {
     let key = derive_shared_key(
         ctx.group,
         &rebuttal.raw_shared,
@@ -313,6 +323,45 @@ pub fn check_rebuttal(
         RebuttalOutcome::ServerLied(rebuttal.server)
     } else {
         RebuttalOutcome::ClientIsDisruptor(rebuttal.client)
+    }
+}
+
+/// Check many rebuttals at once (a disruption wave produces one per framed
+/// client): all DLEQ proofs are folded into a single
+/// [`chaum_pedersen::batch_verify`] call, and only if the batch rejects does
+/// the check fall back to per-rebuttal verification — so per-rebuttal
+/// outcomes are always exactly those of [`check_rebuttal`].
+///
+/// Each item is `(context, rebuttal, server_claimed_bit)`; every context
+/// must reference the same session group.
+pub fn check_rebuttals(items: &[(&RebuttalContext<'_>, &Rebuttal, bool)]) -> Vec<RebuttalOutcome> {
+    let Some((first_ctx, _, _)) = items.first() else {
+        return Vec::new();
+    };
+    let group = first_ctx.group;
+    debug_assert!(items.iter().all(|(c, _, _)| c.group == group));
+    let generator = group.generator();
+    let batch: Vec<chaum_pedersen::DleqBatchItem> = items
+        .iter()
+        .map(|(ctx, rebuttal, _)| chaum_pedersen::DleqBatchItem {
+            g: &generator,
+            h: ctx.server_pk,
+            a: ctx.client_pk,
+            b: &rebuttal.raw_shared,
+            proof: &rebuttal.proof,
+            context: b"dissent-rebuttal",
+        })
+        .collect();
+    if chaum_pedersen::batch_verify(group, &batch) {
+        items
+            .iter()
+            .map(|(ctx, rebuttal, claimed)| rebuttal_bit_outcome(ctx, rebuttal, *claimed))
+            .collect()
+    } else {
+        items
+            .iter()
+            .map(|(ctx, rebuttal, claimed)| check_rebuttal(ctx, rebuttal, *claimed))
+            .collect()
     }
 }
 
@@ -524,6 +573,77 @@ mod tests {
             check_rebuttal(&ctx, &rebuttal, true_bit),
             RebuttalOutcome::ClientIsDisruptor(4)
         );
+    }
+
+    #[test]
+    fn batched_rebuttal_check_agrees_with_singles() {
+        // Three rebuttals — a lying server, a truthful server, and a forged
+        // proof — checked in one batch must produce exactly the per-rebuttal
+        // outcomes of check_rebuttal.
+        let mut rng = StdRng::seed_from_u64(79);
+        let group = Group::testing_256();
+        let server_kp = DhKeyPair::generate(&group, &mut rng);
+        let key_context = b"group-xyz";
+        let (round, total_len, bit) = (4u64, 32usize, 77usize);
+
+        let clients: Vec<DhKeyPair> = (0..3)
+            .map(|_| DhKeyPair::generate(&group, &mut rng))
+            .collect();
+        let true_bits: Vec<bool> = clients
+            .iter()
+            .map(|c| {
+                let key = c.shared_secret(&group, server_kp.public(), key_context);
+                pad_bit(&key, round, total_len, bit)
+            })
+            .collect();
+        let mut rebuttals: Vec<Rebuttal> = clients
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                build_rebuttal(
+                    &mut rng,
+                    &group,
+                    i as ClientId,
+                    0,
+                    c.secret(),
+                    server_kp.public(),
+                )
+            })
+            .collect();
+        // Client 2's proof is forged (wrong secret).
+        let other = DhKeyPair::generate(&group, &mut rng);
+        rebuttals[2] = build_rebuttal(&mut rng, &group, 2, 0, other.secret(), server_kp.public());
+        // Server lied about client 0's bit, told the truth about 1 and 2.
+        let claimed = [!true_bits[0], true_bits[1], true_bits[2]];
+
+        let ctxs: Vec<RebuttalContext> = clients
+            .iter()
+            .map(|c| RebuttalContext {
+                group: &group,
+                client_pk: c.public(),
+                server_pk: server_kp.public(),
+                key_context,
+                round,
+                total_len,
+                bit,
+            })
+            .collect();
+        let items: Vec<(&RebuttalContext, &Rebuttal, bool)> = ctxs
+            .iter()
+            .zip(&rebuttals)
+            .zip(claimed)
+            .map(|((c, r), b)| (c, r, b))
+            .collect();
+        let batched = check_rebuttals(&items);
+        let singles: Vec<RebuttalOutcome> = items
+            .iter()
+            .map(|(c, r, b)| check_rebuttal(c, r, *b))
+            .collect();
+        assert_eq!(batched, singles);
+        assert_eq!(batched[0], RebuttalOutcome::ServerLied(0));
+        assert_eq!(batched[1], RebuttalOutcome::ClientIsDisruptor(1));
+        assert_eq!(batched[2], RebuttalOutcome::ClientIsDisruptor(2));
+        assert!(check_rebuttals(&[]).is_empty());
     }
 
     #[test]

@@ -14,13 +14,58 @@
 //! information; a server that cheats is identified immediately and the
 //! shuffle restarts without it (go/no-go behaviour handled by the caller).
 
-use crate::proof::{self, ShuffleProof};
-use dissent_crypto::chaum_pedersen::{self, DleqProof};
+use crate::proof::{self, ShuffleProof, ShuffleProofError};
+use dissent_crypto::chaum_pedersen::{self, DleqBatchItem, DleqProof};
 use dissent_crypto::dh::DhKeyPair;
 use dissent_crypto::elgamal::{Ciphertext, ElGamal};
 use dissent_crypto::group::Element;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
+
+/// Why one server's pass transcript failed verification.
+///
+/// Every variant names the exact check (and entry index) that failed, so
+/// the caller can attribute blame to the misbehaving server — the paper's
+/// accountability requirement — instead of just aborting.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PassError {
+    /// The transcript's shape does not match the input (list lengths or
+    /// server index out of range).
+    Malformed,
+    /// The cut-and-choose shuffle argument failed.
+    Shuffle(ShuffleProofError),
+    /// The DLEQ decryption proof for entry `entry` failed.
+    DecryptionProof {
+        /// Index of the entry whose proof failed.
+        entry: usize,
+    },
+    /// The stripped ciphertext at `entry` is not the quotient of the
+    /// shuffled ciphertext by the claimed decryption share.
+    StrippedEntry {
+        /// Index of the inconsistent entry.
+        entry: usize,
+    },
+}
+
+impl std::fmt::Display for PassError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PassError::Malformed => write!(f, "pass transcript is malformed"),
+            PassError::Shuffle(e) => write!(f, "shuffle argument rejected: {e}"),
+            PassError::DecryptionProof { entry } => {
+                write!(f, "DLEQ decryption proof for entry {entry} failed")
+            }
+            PassError::StrippedEntry { entry } => {
+                write!(
+                    f,
+                    "stripped ciphertext at entry {entry} does not match its share"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PassError {}
 
 /// The transcript one server publishes for its pass.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -128,19 +173,27 @@ fn entry_context(context: &[u8], server_index: usize, entry: usize) -> Vec<u8> {
 }
 
 /// Verify one server's pass transcript against the input it claims to have
-/// processed.  Returns `true` only if both the shuffle proof and every
-/// per-entry decryption proof check out.
+/// processed.
+///
+/// The per-entry DLEQ decryption proofs are folded into a single batched
+/// verification ([`chaum_pedersen::batch_verify`]): the generator and the
+/// server's public key each contribute one base to the fold regardless of
+/// entry count, so the whole pass costs one multi-exponentiation instead of
+/// `2n` double exponentiations.  Only when the batch rejects does the
+/// verifier fall back to per-entry checks to name the failing index — the
+/// accountability path is as precise as before, and the honest path is far
+/// cheaper.
 pub fn verify_pass(
     elgamal: &ElGamal,
     server_keys: &[Element],
     input: &[Ciphertext],
     transcript: &PassTranscript,
     context: &[u8],
-) -> bool {
+) -> Result<(), PassError> {
     let group = elgamal.group();
     let j = transcript.server_index;
     if j >= server_keys.len() {
-        return false;
+        return Err(PassError::Malformed);
     }
     let n = input.len();
     if transcript.shuffled.len() != n
@@ -148,35 +201,56 @@ pub fn verify_pass(
         || transcript.decryption_shares.len() != n
         || transcript.decryption_proofs.len() != n
     {
-        return false;
+        return Err(PassError::Malformed);
     }
     let remaining_key = elgamal.combine_keys(&server_keys[j..]);
-    if !proof::verify(
+    let server_pk = &server_keys[j];
+    // The server key is a base of every DLEQ statement in this pass; the
+    // remaining key is re-raised inside the shuffle-argument checks.
+    group.register_fixed_base(server_pk);
+    proof::verify(
         elgamal,
         &remaining_key,
         input,
         &transcript.shuffled,
         &transcript.shuffle_proof,
         &pass_context(context, j),
-    ) {
-        return false;
+    )
+    .map_err(PassError::Shuffle)?;
+    // DLEQ per entry: log_g(server_pk) == log_{c1}(share), batched.
+    let generator = group.generator();
+    let entry_contexts: Vec<Vec<u8>> = (0..n).map(|k| entry_context(context, j, k)).collect();
+    let items: Vec<DleqBatchItem> = (0..n)
+        .map(|k| DleqBatchItem {
+            g: &generator,
+            h: &transcript.shuffled[k].c1,
+            a: server_pk,
+            b: &transcript.decryption_shares[k],
+            proof: &transcript.decryption_proofs[k],
+            context: &entry_contexts[k],
+        })
+        .collect();
+    if !chaum_pedersen::batch_verify(group, &items) {
+        // The batch can only fail because some single proof fails; locate
+        // it so blame lands on a concrete entry.
+        for (k, item) in items.iter().enumerate() {
+            if !chaum_pedersen::verify(
+                group,
+                item.g,
+                item.h,
+                item.a,
+                item.b,
+                item.proof,
+                item.context,
+            ) {
+                return Err(PassError::DecryptionProof { entry: k });
+            }
+        }
+        return Err(PassError::Malformed);
     }
-    let server_pk = &server_keys[j];
     for k in 0..n {
         let ct = &transcript.shuffled[k];
         let share = &transcript.decryption_shares[k];
-        // DLEQ: log_g(server_pk) == log_{c1}(share).
-        if !chaum_pedersen::verify(
-            group,
-            &group.generator(),
-            &ct.c1,
-            server_pk,
-            share,
-            &transcript.decryption_proofs[k],
-            &entry_context(context, j, k),
-        ) {
-            return false;
-        }
         // The stripped entry must be exactly (c1, c2 / share) — checked
         // multiplicatively as stripped.c2 · share == c2, which costs one
         // group multiplication instead of a modular inversion per entry.
@@ -187,10 +261,10 @@ pub fn verify_pass(
             || stripped.c2.as_biguint() >= group.modulus()
             || group.mul(&stripped.c2, share) != ct.c2
         {
-            return false;
+            return Err(PassError::StrippedEntry { entry: k });
         }
     }
-    true
+    Ok(())
 }
 
 #[cfg(test)]
@@ -252,13 +326,7 @@ mod tests {
                 b"key-shuffle",
                 &mut f.rng,
             );
-            assert!(verify_pass(
-                &f.elgamal,
-                &f.server_keys,
-                &current,
-                &t,
-                b"key-shuffle"
-            ));
+            assert!(verify_pass(&f.elgamal, &f.server_keys, &current, &t, b"key-shuffle").is_ok());
             current = t.stripped;
         }
         // After the last pass, c2 holds the plaintexts.
@@ -289,13 +357,7 @@ mod tests {
         // tamper with an actual ciphertext value instead.
         let group = f.elgamal.group();
         wrong_input[0].c2 = group.mul(&wrong_input[0].c2, &group.generator());
-        assert!(!verify_pass(
-            &f.elgamal,
-            &f.server_keys,
-            &wrong_input,
-            &t,
-            b"ctx"
-        ));
+        assert!(verify_pass(&f.elgamal, &f.server_keys, &wrong_input, &t, b"ctx").is_err());
     }
 
     #[test]
@@ -313,13 +375,56 @@ mod tests {
         );
         let group = f.elgamal.group();
         t.stripped[1].c2 = group.mul(&t.stripped[1].c2, &group.generator());
-        assert!(!verify_pass(
+        assert_eq!(
+            verify_pass(&f.elgamal, &f.server_keys, &f.input, &t, b"ctx"),
+            Err(PassError::StrippedEntry { entry: 1 })
+        );
+    }
+
+    #[test]
+    fn tampered_dleq_proof_names_the_exact_entry() {
+        use dissent_crypto::group::Scalar;
+        let mut f = fixture(5, 2);
+        let mut t = perform_pass(
             &f.elgamal,
             &f.server_keys,
+            0,
+            &f.servers[0],
             &f.input,
-            &t,
-            b"ctx"
-        ));
+            SOUNDNESS,
+            b"ctx",
+            &mut f.rng,
+        );
+        let group = f.elgamal.group();
+        t.decryption_proofs[3].response =
+            group.scalar_add(&t.decryption_proofs[3].response, &Scalar::one());
+        assert_eq!(
+            verify_pass(&f.elgamal, &f.server_keys, &f.input, &t, b"ctx"),
+            Err(PassError::DecryptionProof { entry: 3 })
+        );
+    }
+
+    #[test]
+    fn tampered_share_names_the_exact_entry() {
+        let mut f = fixture(4, 2);
+        let mut t = perform_pass(
+            &f.elgamal,
+            &f.server_keys,
+            0,
+            &f.servers[0],
+            &f.input,
+            SOUNDNESS,
+            b"ctx",
+            &mut f.rng,
+        );
+        let group = f.elgamal.group();
+        // A tampered share breaks its DLEQ proof (the share is part of the
+        // proven statement), so blame lands on that entry's proof.
+        t.decryption_shares[2] = group.mul(&t.decryption_shares[2], &group.generator());
+        assert_eq!(
+            verify_pass(&f.elgamal, &f.server_keys, &f.input, &t, b"ctx"),
+            Err(PassError::DecryptionProof { entry: 2 })
+        );
     }
 
     #[test]
@@ -354,12 +459,9 @@ mod tests {
             &mut f.rng,
         );
         t.server_index = 5;
-        assert!(!verify_pass(
-            &f.elgamal,
-            &f.server_keys,
-            &f.input,
-            &t,
-            b"ctx"
-        ));
+        assert_eq!(
+            verify_pass(&f.elgamal, &f.server_keys, &f.input, &t, b"ctx"),
+            Err(PassError::Malformed)
+        );
     }
 }

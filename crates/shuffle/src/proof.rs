@@ -69,6 +69,34 @@ pub struct ShuffleProof {
     pub responses: Vec<ShadowResponse>,
 }
 
+/// Why a shuffle proof failed verification.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShuffleProofError {
+    /// The proof's global shape is wrong (empty, list-length mismatches).
+    Malformed,
+    /// The check of shadow round `shadow` failed: the revealed
+    /// permutation/randomizers do not reproduce the shadow (challenge 0) or
+    /// do not link the shadow to the output (challenge 1), or the response
+    /// type does not match the challenge bit.
+    Shadow {
+        /// Index of the failing shadow round.
+        shadow: usize,
+    },
+}
+
+impl std::fmt::Display for ShuffleProofError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShuffleProofError::Malformed => write!(f, "shuffle proof is malformed"),
+            ShuffleProofError::Shadow { shadow } => {
+                write!(f, "shuffle proof failed at shadow round {shadow}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShuffleProofError {}
+
 /// Witness data the prover holds for the real shuffle.
 #[derive(Clone, Debug)]
 pub struct ShuffleWitness {
@@ -86,6 +114,9 @@ pub fn shuffle_and_rerandomize<R: RngCore + ?Sized>(
     input: &[Ciphertext],
     rng: &mut R,
 ) -> (Vec<Ciphertext>, ShuffleWitness) {
+    // The remaining key is raised to a fresh exponent once per entry (and
+    // once per entry per shadow round in the prover): comb acceleration.
+    elgamal.group().register_fixed_base(remaining_key);
     let n = input.len();
     let permutation = Permutation::random(rng, n);
     let randomizers: Vec<Scalar> = (0..n).map(|_| elgamal.group().random_scalar(rng)).collect();
@@ -193,6 +224,9 @@ pub fn prove<R: RngCore + ?Sized>(
 }
 
 /// Verify a shuffle proof.
+///
+/// On failure the error names the first failing shadow round, so a
+/// transcript auditor can point at the exact check the prover flunked.
 pub fn verify(
     elgamal: &ElGamal,
     remaining_key: &Element,
@@ -200,23 +234,28 @@ pub fn verify(
     output: &[Ciphertext],
     proof: &ShuffleProof,
     context: &[u8],
-) -> bool {
+) -> Result<(), ShuffleProofError> {
     let group = elgamal.group();
     let n = input.len();
     if output.len() != n || proof.shadows.len() != proof.responses.len() || proof.shadows.is_empty()
     {
-        return false;
+        return Err(ShuffleProofError::Malformed);
     }
     if proof.shadows.iter().any(|s| s.len() != n) {
-        return false;
+        return Err(ShuffleProofError::Malformed);
     }
+    // Every re-encryption check below raises the remaining key to a revealed
+    // exponent; the cached comb makes that a fixed-base operation.
+    group.register_fixed_base(remaining_key);
     let bits = challenge_bits(group, context, remaining_key, input, output, &proof.shadows);
-    for ((shadow, response), &bit) in proof
+    for (t, ((shadow, response), &bit)) in proof
         .shadows
         .iter()
         .zip(proof.responses.iter())
         .zip(bits.iter())
+        .enumerate()
     {
+        let failed = Err(ShuffleProofError::Shadow { shadow: t });
         match (bit, response) {
             (
                 false,
@@ -226,7 +265,7 @@ pub fn verify(
                 },
             ) => {
                 if permutation.len() != n || randomizers.len() != n {
-                    return false;
+                    return failed;
                 }
                 for i in 0..n {
                     let expected = elgamal.rerandomize_with(
@@ -235,7 +274,7 @@ pub fn verify(
                         &randomizers[i],
                     );
                     if expected != shadow[i] {
-                        return false;
+                        return failed;
                     }
                 }
             }
@@ -247,7 +286,7 @@ pub fn verify(
                 },
             ) => {
                 if permutation.len() != n || deltas.len() != n {
-                    return false;
+                    return failed;
                 }
                 for i in 0..n {
                     let expected = elgamal.rerandomize_with(
@@ -256,15 +295,15 @@ pub fn verify(
                         &deltas[i],
                     );
                     if expected != output[i] {
-                        return false;
+                        return failed;
                     }
                 }
             }
             // Response type does not match the challenge bit.
-            _ => return false,
+            _ => return failed,
         }
     }
-    true
+    Ok(())
 }
 
 #[cfg(test)]
@@ -305,7 +344,7 @@ mod tests {
             b"t",
             &mut rng,
         );
-        assert!(verify(&eg, &key, &input, &output, &proof, b"t"));
+        assert!(verify(&eg, &key, &input, &output, &proof, b"t").is_ok());
     }
 
     #[test]
@@ -322,7 +361,7 @@ mod tests {
             b"a",
             &mut rng,
         );
-        assert!(!verify(&eg, &key, &input, &output, &proof, b"b"));
+        assert!(verify(&eg, &key, &input, &output, &proof, b"b").is_err());
     }
 
     #[test]
@@ -342,7 +381,7 @@ mod tests {
         // Replace one output entry with a fresh encryption of a different message.
         let m = eg.group().exp_base(&eg.group().random_scalar(&mut rng));
         output[2] = eg.encrypt(&mut rng, &key, &m);
-        assert!(!verify(&eg, &key, &input, &output, &proof, b"t"));
+        assert!(verify(&eg, &key, &input, &output, &proof, b"t").is_err());
     }
 
     #[test]
@@ -359,7 +398,10 @@ mod tests {
             b"t",
             &mut rng,
         );
-        assert!(!verify(&eg, &key, &input, &output[..4], &proof, b"t"));
+        assert_eq!(
+            verify(&eg, &key, &input, &output[..4], &proof, b"t"),
+            Err(ShuffleProofError::Malformed)
+        );
     }
 
     #[test]
@@ -380,7 +422,7 @@ mod tests {
             b"t",
             &mut rng,
         );
-        assert!(!verify(&eg, &key, &input, &output, &proof, b"t"));
+        assert!(verify(&eg, &key, &input, &output, &proof, b"t").is_err());
     }
 
     #[test]
@@ -415,6 +457,6 @@ mod tests {
             shadows: vec![],
             responses: vec![],
         };
-        assert!(!verify(&eg, &key, &input, &output, &proof, b"t"));
+        assert!(verify(&eg, &key, &input, &output, &proof, b"t").is_err());
     }
 }

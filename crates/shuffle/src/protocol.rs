@@ -17,7 +17,7 @@
 //! in-memory; `dissent-core` distributes the passes across the simulated
 //! network and charges virtual time for them.
 
-use crate::pass::{perform_pass, verify_pass, PassTranscript};
+use crate::pass::{perform_pass, verify_pass, PassError, PassTranscript};
 use dissent_crypto::dh::DhKeyPair;
 use dissent_crypto::elgamal::{Ciphertext, ElGamal};
 use dissent_crypto::group::{Element, Group};
@@ -27,8 +27,14 @@ use serde::{Deserialize, Serialize};
 /// Errors a shuffle run can produce.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ShuffleError {
-    /// A server's pass failed verification; the index names the culprit.
-    PassRejected(usize),
+    /// A server's pass failed verification; the index names the culprit and
+    /// the inner error says exactly which check it flunked.
+    PassRejected {
+        /// The misbehaving server's index.
+        server: usize,
+        /// The specific failing check within the pass.
+        error: PassError,
+    },
     /// A submitted message could not be embedded in a group element.
     MessageTooLong,
     /// The final output could not be decoded back into bytes.
@@ -40,8 +46,11 @@ pub enum ShuffleError {
 impl std::fmt::Display for ShuffleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ShuffleError::PassRejected(j) => {
-                write!(f, "shuffle pass of server {j} failed verification")
+            ShuffleError::PassRejected { server, error } => {
+                write!(
+                    f,
+                    "shuffle pass of server {server} failed verification: {error}"
+                )
             }
             ShuffleError::MessageTooLong => {
                 write!(f, "message too long to embed in a group element")
@@ -53,6 +62,58 @@ impl std::fmt::Display for ShuffleError {
 }
 
 impl std::error::Error for ShuffleError {}
+
+/// Why a full shuffle transcript failed an audit.
+///
+/// Names the offending pass (and through [`PassError`] the exact entry), so
+/// an auditing client can attribute blame to one server.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TranscriptError {
+    /// The transcript does not contain one pass per server.
+    PassCount {
+        /// Number of servers (expected pass count).
+        expected: usize,
+        /// Number of passes present.
+        got: usize,
+    },
+    /// Pass `pass` claims to have been performed by the wrong server.
+    PassOrder {
+        /// Position in the transcript.
+        pass: usize,
+        /// The server index that pass claims.
+        server_index: usize,
+    },
+    /// Pass `pass` failed verification.
+    Pass {
+        /// Index of the failing pass (== the misbehaving server).
+        pass: usize,
+        /// The specific failing check within the pass.
+        error: PassError,
+    },
+    /// The revealed output does not match the final pass's stripped list.
+    OutputMismatch,
+}
+
+impl std::fmt::Display for TranscriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranscriptError::PassCount { expected, got } => {
+                write!(f, "transcript has {got} passes, expected {expected}")
+            }
+            TranscriptError::PassOrder { pass, server_index } => {
+                write!(f, "pass {pass} claims server index {server_index}")
+            }
+            TranscriptError::Pass { pass, error } => {
+                write!(f, "pass {pass} failed verification: {error}")
+            }
+            TranscriptError::OutputMismatch => {
+                write!(f, "revealed output does not match the final pass")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranscriptError {}
 
 /// The full transcript of a shuffle run: every pass, verifiable by anyone.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -120,8 +181,8 @@ pub fn run_shuffle<R: RngCore + ?Sized>(
             context,
             rng,
         );
-        if !verify_pass(&elgamal, &server_keys, &current, &transcript, context) {
-            return Err(ShuffleError::PassRejected(j));
+        if let Err(error) = verify_pass(&elgamal, &server_keys, &current, &transcript, context) {
+            return Err(ShuffleError::PassRejected { server: j, error });
         }
         current = transcript.stripped.clone();
         passes.push(transcript);
@@ -135,28 +196,40 @@ pub fn run_shuffle<R: RngCore + ?Sized>(
 }
 
 /// Verify an entire shuffle transcript (e.g. a client auditing the servers).
+///
+/// Each pass's DLEQ proofs are verified as one batch (see
+/// [`verify_pass`]); on failure the error names the offending pass and the
+/// exact check inside it, which is what lets an auditor assign blame.
 pub fn verify_transcript(
     group: &Group,
     server_keys: &[Element],
     transcript: &ShuffleTranscript,
     context: &[u8],
-) -> bool {
+) -> Result<(), TranscriptError> {
     let elgamal = ElGamal::new(group.clone());
     let mut current = transcript.submissions.clone();
     if transcript.passes.len() != server_keys.len() {
-        return false;
+        return Err(TranscriptError::PassCount {
+            expected: server_keys.len(),
+            got: transcript.passes.len(),
+        });
     }
     for (j, pass) in transcript.passes.iter().enumerate() {
         if pass.server_index != j {
-            return false;
+            return Err(TranscriptError::PassOrder {
+                pass: j,
+                server_index: pass.server_index,
+            });
         }
-        if !verify_pass(&elgamal, server_keys, &current, pass, context) {
-            return false;
-        }
+        verify_pass(&elgamal, server_keys, &current, pass, context)
+            .map_err(|error| TranscriptError::Pass { pass: j, error })?;
         current = pass.stripped.clone();
     }
     let output: Vec<Element> = current.into_iter().map(|ct| ct.c2).collect();
-    output == transcript.output
+    if output != transcript.output {
+        return Err(TranscriptError::OutputMismatch);
+    }
+    Ok(())
 }
 
 /// Decode the output of a *message* shuffle back into byte strings.
@@ -209,12 +282,7 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        assert!(verify_transcript(
-            &group,
-            &server_keys,
-            &transcript,
-            b"key-shuffle"
-        ));
+        assert!(verify_transcript(&group, &server_keys, &transcript, b"key-shuffle").is_ok());
 
         let mut out: Vec<Vec<u8>> = transcript
             .output
@@ -326,6 +394,9 @@ mod tests {
         // Swap two outputs: the auditor must notice the mismatch with the
         // final pass.
         transcript.output.swap(0, 1);
-        assert!(!verify_transcript(&group, &server_keys, &transcript, b"ks"));
+        assert_eq!(
+            verify_transcript(&group, &server_keys, &transcript, b"ks"),
+            Err(TranscriptError::OutputMismatch)
+        );
     }
 }

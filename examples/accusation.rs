@@ -7,6 +7,12 @@
 //! cargo run --example accusation
 //! ```
 
+use dissent::crypto::dh::DhKeyPair;
+use dissent::crypto::group::Group;
+use dissent::dcnet::accusation::{
+    build_rebuttal, check_rebuttals, Rebuttal, RebuttalContext, RebuttalOutcome,
+};
+use dissent::dcnet::pad::pad_bit;
 use dissent::protocol::{ClientAction, GroupBuilder, Session};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,5 +58,63 @@ fn main() {
             slot,
             String::from_utf8_lossy(msg)
         );
+    }
+
+    // Epilogue: the rebuttal protocol (paper §3.9 case c).  A malicious
+    // server frames three clients by lying about their shared pad bits; each
+    // files a rebuttal revealing the raw DH element with a DLEQ proof, and
+    // the whole wave is checked in one batched verification.
+    let group = Group::testing_256();
+    let mut rng = StdRng::seed_from_u64(7);
+    let server_kp = DhKeyPair::generate(&group, &mut rng);
+    let framed: Vec<DhKeyPair> = (0..3)
+        .map(|_| DhKeyPair::generate(&group, &mut rng))
+        .collect();
+    let (key_context, round, total_len, bit) = (&b"demo-group"[..], 11u64, 64usize, 123usize);
+    let rebuttals: Vec<Rebuttal> = framed
+        .iter()
+        .enumerate()
+        .map(|(i, kp)| {
+            build_rebuttal(
+                &mut rng,
+                &group,
+                i as u32,
+                0,
+                kp.secret(),
+                server_kp.public(),
+            )
+        })
+        .collect();
+    let ctxs: Vec<RebuttalContext> = framed
+        .iter()
+        .map(|kp| RebuttalContext {
+            group: &group,
+            client_pk: kp.public(),
+            server_pk: server_kp.public(),
+            key_context,
+            round,
+            total_len,
+            bit,
+        })
+        .collect();
+    // The lying server claimed the opposite of every true pad bit.
+    let items: Vec<(&RebuttalContext, &Rebuttal, bool)> = ctxs
+        .iter()
+        .zip(&rebuttals)
+        .zip(&framed)
+        .map(|((ctx, reb), kp)| {
+            let true_bit = pad_bit(
+                &kp.shared_secret(&group, server_kp.public(), key_context),
+                round,
+                total_len,
+                bit,
+            );
+            (ctx, reb, !true_bit)
+        })
+        .collect();
+    let outcomes = check_rebuttals(&items);
+    for (i, outcome) in outcomes.iter().enumerate() {
+        println!("rebuttal of framed client {i}: {outcome:?}");
+        assert_eq!(*outcome, RebuttalOutcome::ServerLied(0));
     }
 }

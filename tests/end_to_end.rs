@@ -4,7 +4,14 @@
 //! the slot assignment.
 
 use dissent::apps::microblog::{Feed, MicroblogWorkload};
+use dissent::crypto::dh::DhKeyPair;
+use dissent::crypto::elgamal::ElGamal;
+use dissent::crypto::group::{Element, Group, Scalar};
 use dissent::protocol::{ClientAction, GroupBuilder, Session};
+use dissent::shuffle::pass::PassError;
+use dissent::shuffle::protocol::{
+    run_shuffle, submit_element, verify_transcript, ShuffleTranscript, TranscriptError,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -152,6 +159,131 @@ fn disruptor_expelled_and_group_recovers() {
     assert!(delivered.contains(&b"whistleblower report".to_vec()));
     // The honest clients were never expelled.
     assert_eq!(session.expelled().len(), 1);
+}
+
+/// Build a verified 3-server, 6-client key-shuffle transcript for tampering.
+fn shuffle_fixture() -> (Group, Vec<Element>, ShuffleTranscript) {
+    let group = Group::testing_256();
+    let mut rng = StdRng::seed_from_u64(0x7A);
+    let servers: Vec<DhKeyPair> = (0..3)
+        .map(|_| DhKeyPair::generate(&group, &mut rng))
+        .collect();
+    let server_keys: Vec<Element> = servers.iter().map(|s| s.public().clone()).collect();
+    let elgamal = ElGamal::new(group.clone());
+    let submissions: Vec<_> = (0..6)
+        .map(|_| {
+            let k = group.exp_base(&group.random_scalar(&mut rng));
+            submit_element(&elgamal, &server_keys, &k, &mut rng)
+        })
+        .collect();
+    let transcript = run_shuffle(&group, &servers, submissions, 8, b"audit", &mut rng).unwrap();
+    assert!(verify_transcript(&group, &server_keys, &transcript, b"audit").is_ok());
+    (group, server_keys, transcript)
+}
+
+#[test]
+fn shuffle_transcript_tamper_matrix_rejects_every_mutation() {
+    // The DLEQ proofs inside verify_transcript are now checked as one batch
+    // per pass; this matrix proves the batched path did not weaken the
+    // transcript binding — every single-field mutation is rejected, and the
+    // reported pass/entry indices point at exactly the mutated field.
+    let (group, server_keys, transcript) = shuffle_fixture();
+    let audit = |t: &ShuffleTranscript| verify_transcript(&group, &server_keys, t, b"audit");
+
+    // 1. A permuted (shuffled) ciphertext in pass 1 is replaced.
+    let mut t = transcript.clone();
+    t.passes[1].shuffled[2].c2 = group.mul(&t.passes[1].shuffled[2].c2, &group.generator());
+    match audit(&t) {
+        Err(TranscriptError::Pass { pass: 1, .. }) => {}
+        other => panic!("tampered shuffled ciphertext: got {other:?}"),
+    }
+
+    // 2. A DLEQ response in pass 2 is bumped; blame names pass 2, entry 4.
+    let mut t = transcript.clone();
+    t.passes[2].decryption_proofs[4].response =
+        group.scalar_add(&t.passes[2].decryption_proofs[4].response, &Scalar::one());
+    assert_eq!(
+        audit(&t),
+        Err(TranscriptError::Pass {
+            pass: 2,
+            error: PassError::DecryptionProof { entry: 4 }
+        })
+    );
+
+    // 3. A decryption share is tampered; its proof no longer matches.
+    let mut t = transcript.clone();
+    t.passes[0].decryption_shares[1] =
+        group.mul(&t.passes[0].decryption_shares[1], &group.generator());
+    assert_eq!(
+        audit(&t),
+        Err(TranscriptError::Pass {
+            pass: 0,
+            error: PassError::DecryptionProof { entry: 1 }
+        })
+    );
+
+    // 4. A stripped ciphertext is tampered consistently with nothing.
+    let mut t = transcript.clone();
+    t.passes[2].stripped[3].c2 = group.mul(&t.passes[2].stripped[3].c2, &group.generator());
+    assert_eq!(
+        audit(&t),
+        Err(TranscriptError::Pass {
+            pass: 2,
+            error: PassError::StrippedEntry { entry: 3 }
+        })
+    );
+
+    // 5. Pass ordering: swapping two passes is flagged at the first
+    //    out-of-order position.
+    let mut t = transcript.clone();
+    t.passes.swap(0, 1);
+    assert_eq!(
+        audit(&t),
+        Err(TranscriptError::PassOrder {
+            pass: 0,
+            server_index: 1
+        })
+    );
+
+    // 6. Dropping a pass entirely.
+    let mut t = transcript.clone();
+    t.passes.pop();
+    assert_eq!(
+        audit(&t),
+        Err(TranscriptError::PassCount {
+            expected: 3,
+            got: 2
+        })
+    );
+
+    // 7. A shadow inside a shuffle proof is replaced: the cut-and-choose
+    //    argument of that pass fails.
+    let mut t = transcript.clone();
+    t.passes[1].shuffle_proof.shadows[0][0].c1 = group.generator();
+    match audit(&t) {
+        Err(TranscriptError::Pass {
+            pass: 1,
+            error: PassError::Shuffle(_),
+        }) => {}
+        other => panic!("tampered shadow: got {other:?}"),
+    }
+
+    // 8. A client submission is swapped out from under the first pass.
+    let mut t = transcript.clone();
+    t.submissions[0].c2 = group.mul(&t.submissions[0].c2, &group.generator());
+    match audit(&t) {
+        Err(TranscriptError::Pass { pass: 0, .. }) => {}
+        other => panic!("tampered submission: got {other:?}"),
+    }
+
+    // 9. The revealed output is reordered.
+    let mut t = transcript.clone();
+    t.output.swap(0, 5);
+    assert_eq!(audit(&t), Err(TranscriptError::OutputMismatch));
+
+    // 10. The untampered transcript still verifies (the matrix above did not
+    //     mutate shared state).
+    assert!(audit(&transcript).is_ok());
 }
 
 #[test]
