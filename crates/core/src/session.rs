@@ -420,25 +420,50 @@ impl Session {
             .flat_map(|(&srv, clients)| clients.iter().map(move |&c| (c, srv)))
             .collect();
 
+        // Every server's pad expansion + commitment is independent of the
+        // others', so the M simulated servers run concurrently on the pool
+        // (each server's own pad fold shards further across clients inside
+        // `server_ciphertext`; nested scopes share the same workers).
+        // Results are keyed by server id, so scheduling cannot reorder them.
+        type ServerOutput = (ServerId, Vec<u8>, [u8; 32]);
+        let server_outputs: Vec<ServerOutput> = {
+            use rayon::prelude::*;
+            let chunk = self
+                .servers
+                .len()
+                .div_ceil(rayon::current_num_threads())
+                .max(1);
+            let mut shards: Vec<Vec<ServerOutput>> = Vec::new();
+            self.servers
+                .par_chunks(chunk)
+                .map(|srvs| {
+                    srvs.iter()
+                        .map(|srv| {
+                            let own: BTreeMap<ClientId, Vec<u8>> = trimmed
+                                [&(srv.index as ServerId)]
+                                .iter()
+                                .map(|c| (*c, per_server[srv.index].ciphertexts[c].clone()))
+                                .collect();
+                            let sct = server_ciphertext(
+                                round,
+                                layout.total_len,
+                                &composite,
+                                &srv.client_secrets,
+                                &own,
+                            );
+                            let commit = server::commitment(round, srv.index as ServerId, &sct);
+                            (srv.index as ServerId, sct, commit)
+                        })
+                        .collect()
+                })
+                .collect_into_vec(&mut shards);
+            shards.into_iter().flatten().collect()
+        };
         let mut server_cts: BTreeMap<ServerId, Vec<u8>> = BTreeMap::new();
         let mut commitments: BTreeMap<ServerId, [u8; 32]> = BTreeMap::new();
-        for srv in &self.servers {
-            let own: BTreeMap<ClientId, Vec<u8>> = trimmed[&(srv.index as ServerId)]
-                .iter()
-                .map(|c| (*c, per_server[srv.index].ciphertexts[c].clone()))
-                .collect();
-            let sct = server_ciphertext(
-                round,
-                layout.total_len,
-                &composite,
-                &srv.client_secrets,
-                &own,
-            );
-            commitments.insert(
-                srv.index as ServerId,
-                server::commitment(round, srv.index as ServerId, &sct),
-            );
-            server_cts.insert(srv.index as ServerId, sct);
+        for (j, sct, commit) in server_outputs {
+            commitments.insert(j, commit);
+            server_cts.insert(j, sct);
         }
         // Commit verification (honest servers always pass; the check is the
         // protocol step that stops a dishonest server adapting its ciphertext

@@ -20,6 +20,8 @@
 //!   cleartext back to the clients.
 
 use crate::policy::{WindowOutcome, WindowPolicy};
+use dissent_crypto::padding;
+use dissent_dcnet::slots::PAYLOAD_HEADER_LEN;
 use dissent_net::churn::ChurnModel;
 use dissent_net::costmodel::CostModel;
 use dissent_net::sim::{to_secs, SimTime};
@@ -48,6 +50,12 @@ pub enum Workload {
 }
 
 impl Workload {
+    /// Per-slot overhead in bytes, derived from the real dcnet wire layout
+    /// (self-randomizing padding + payload header) rather than hardcoded,
+    /// so the timing model cannot silently drift from
+    /// `dissent-dcnet::slots`.
+    pub const SLOT_OVERHEAD: usize = padding::OVERHEAD + PAYLOAD_HEADER_LEN;
+
     /// The paper's microblog workload: 1 % of clients send 128-byte posts.
     pub fn paper_microblog() -> Self {
         Workload::Microblog {
@@ -73,10 +81,9 @@ impl Workload {
                 let senders = ((num_clients as f64) * (percent_senders as f64) / 100.0)
                     .ceil()
                     .max(1.0) as usize;
-                // Slot overhead: padding + header (see dissent-dcnet::slots).
-                (senders, message_bytes + 40)
+                (senders, message_bytes + Self::SLOT_OVERHEAD)
             }
-            Workload::Bulk { message_bytes } => (1, message_bytes + 40),
+            Workload::Bulk { message_bytes } => (1, message_bytes + Self::SLOT_OVERHEAD),
         }
     }
 
@@ -323,16 +330,26 @@ mod tests {
 
     #[test]
     fn workload_slot_math_matches_paper() {
+        // The per-slot overhead is the real dcnet wire layout: padding
+        // (seed + length + checksum) plus the payload header.
+        assert_eq!(
+            Workload::SLOT_OVERHEAD,
+            padding::OVERHEAD + PAYLOAD_HEADER_LEN
+        );
         let micro = Workload::paper_microblog();
         let (senders, slot) = micro.open_slots(1000);
         assert_eq!(senders, 10);
-        assert_eq!(slot, 168);
+        assert_eq!(slot, 128 + Workload::SLOT_OVERHEAD);
         let bulk = Workload::paper_bulk();
         let (senders, slot) = bulk.open_slots(1000);
         assert_eq!(senders, 1);
-        assert_eq!(slot, 128 * 1024 + 40);
+        assert_eq!(slot, 128 * 1024 + Workload::SLOT_OVERHEAD);
         // Cleartext length includes the request-bit region.
-        assert_eq!(micro.cleartext_len(8), 1 + 168);
+        assert_eq!(micro.cleartext_len(8), 1 + 128 + Workload::SLOT_OVERHEAD);
+        // The derived overhead exactly fits an encoded slot payload: a
+        // 128-byte message needs a slot of 128 + SLOT_OVERHEAD bytes.
+        let config = dissent_dcnet::slots::SlotConfig::default();
+        assert_eq!(config.len_for_message(128), 128 + Workload::SLOT_OVERHEAD);
     }
 
     #[test]

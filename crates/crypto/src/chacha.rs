@@ -95,7 +95,9 @@ impl ChaCha20 {
         }
     }
 
-    fn refill(&mut self) {
+    /// Compute the keystream block at the current counter and advance it,
+    /// without touching the partial-block buffer.
+    fn next_block(&mut self) -> [u8; BLOCK_LEN] {
         // Fold counter bits above 32 into the first nonce word so long
         // streams do not repeat.
         let mut nonce = self.nonce;
@@ -104,9 +106,36 @@ impl ChaCha20 {
             let base = u32::from_le_bytes([nonce[0], nonce[1], nonce[2], nonce[3]]);
             nonce[0..4].copy_from_slice(&(base ^ hi).to_le_bytes());
         }
-        self.buffer = chacha20_block(&self.key, &nonce, self.counter as u32);
+        let block = chacha20_block(&self.key, &nonce, self.counter as u32);
         self.counter = self.counter.wrapping_add(1);
+        block
+    }
+
+    fn refill(&mut self) {
+        self.buffer = self.next_block();
         self.buffer_pos = 0;
+    }
+
+    /// Reposition the stream at the start of keystream block `block`.
+    ///
+    /// ChaCha20 is random-access by construction — every 64-byte block is an
+    /// independent function of (key, nonce, counter) — so seeking costs
+    /// nothing and the next byte produced is byte `64 * block` of the
+    /// stream.  This is what makes single-bit pad reveals in the accusation
+    /// process O(1) instead of O(stream position).
+    pub fn seek_to_block(&mut self, block: u64) {
+        self.counter = block;
+        self.buffer_pos = BLOCK_LEN;
+    }
+
+    /// Reposition the stream at byte offset `pos` (any alignment).
+    pub fn seek(&mut self, pos: u64) {
+        self.seek_to_block(pos / BLOCK_LEN as u64);
+        let rem = (pos % BLOCK_LEN as u64) as usize;
+        if rem != 0 {
+            self.refill();
+            self.buffer_pos = rem;
+        }
     }
 
     /// Fill `out` with keystream bytes.
@@ -132,10 +161,36 @@ impl ChaCha20 {
     }
 
     /// XOR the keystream into `data` in place (encryption == decryption).
+    ///
+    /// Equivalent to XORing [`Self::keystream`]`(data.len())` into `data`,
+    /// but fused: whole blocks are XORed word-wise straight from the block
+    /// function into `data` with no intermediate keystream allocation or
+    /// copy.  This is the engine under the DC-net pad accumulators, where it
+    /// runs over clients × cleartext-length bytes per round.
     pub fn apply(&mut self, data: &mut [u8]) {
-        let ks = self.keystream(data.len());
-        for (d, k) in data.iter_mut().zip(ks.iter()) {
-            *d ^= k;
+        let mut pos = 0;
+        // Drain any partial block buffered by a previous unaligned read.
+        if self.buffer_pos < BLOCK_LEN {
+            let take = (BLOCK_LEN - self.buffer_pos).min(data.len());
+            crate::xor::xor_into(
+                &mut data[..take],
+                &self.buffer[self.buffer_pos..self.buffer_pos + take],
+            );
+            self.buffer_pos += take;
+            pos = take;
+        }
+        // Full blocks stream directly from the block function.
+        while data.len() - pos >= BLOCK_LEN {
+            let block = self.next_block();
+            crate::xor::xor_into(&mut data[pos..pos + BLOCK_LEN], &block);
+            pos += BLOCK_LEN;
+        }
+        // Tail: buffer one block and remember the leftover for next time.
+        if pos < data.len() {
+            self.refill();
+            let take = data.len() - pos;
+            crate::xor::xor_into(&mut data[pos..], &self.buffer[..take]);
+            self.buffer_pos = take;
         }
     }
 }
@@ -198,6 +253,62 @@ mod tests {
             pieces.extend(b.keystream(chunk));
         }
         assert_eq!(whole, pieces);
+    }
+
+    #[test]
+    fn rfc8439_seek_vector() {
+        // Seeking to block 1 must reproduce the RFC 8439 §2.3.2 block
+        // exactly, with no dependence on how much stream was read before.
+        let mut key = [0u8; 32];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = i as u8;
+        }
+        let nonce = [
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let expected = "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e";
+        // Fresh stream, direct seek.
+        let mut a = ChaCha20::new(&key, &nonce);
+        a.seek_to_block(1);
+        assert_eq!(hex(&a.keystream(64)), expected);
+        // Stream mid-way through an unrelated position, then seek back.
+        let mut b = ChaCha20::new(&key, &nonce);
+        b.keystream(1000);
+        b.seek_to_block(1);
+        assert_eq!(hex(&b.keystream(64)), expected);
+    }
+
+    #[test]
+    fn seek_matches_sequential_stream_at_every_offset() {
+        let key = [5u8; 32];
+        let nonce = [8u8; 12];
+        let whole = ChaCha20::new(&key, &nonce).keystream(4 * BLOCK_LEN);
+        // Byte offsets straddling block boundaries (63/64/65, 127/128/129).
+        for pos in [0usize, 1, 63, 64, 65, 100, 127, 128, 129, 191] {
+            let mut s = ChaCha20::new(&key, &nonce);
+            s.seek(pos as u64);
+            assert_eq!(s.keystream(8), whole[pos..pos + 8], "offset {pos}");
+        }
+    }
+
+    #[test]
+    fn fused_apply_equals_keystream_xor_across_chunkings() {
+        let key = [11u8; 32];
+        let nonce = [2u8; 12];
+        let msg: Vec<u8> = (0..500).map(|i| (i * 37) as u8).collect();
+        let ks = ChaCha20::new(&key, &nonce).keystream(msg.len());
+        let expected: Vec<u8> = msg.iter().zip(&ks).map(|(m, k)| m ^ k).collect();
+        // Apply in irregular chunks so every partial-buffer path is hit.
+        let mut data = msg.clone();
+        let mut cipher = ChaCha20::new(&key, &nonce);
+        let mut start = 0;
+        for chunk in [1usize, 63, 64, 65, 7, 300] {
+            let end = (start + chunk).min(data.len());
+            cipher.apply(&mut data[start..end]);
+            start = end;
+        }
+        assert_eq!(data, expected);
     }
 
     #[test]

@@ -142,7 +142,21 @@ pub struct DleqBatchItem<'a> {
 /// A batch with any invalid proof is rejected except with probability
 /// ≤ 2⁻¹²⁸; a batch of one accepts exactly what [`verify`] accepts.
 /// Callers needing the failing index fall back to [`verify`] per item.
+///
+/// Large batches are split into per-thread sub-batches, each folded and
+/// verified concurrently on the vendored pool; the verdict is independent
+/// of the split, and the per-proof blame fallback in callers is untouched.
 pub fn batch_verify(group: &Group, items: &[DleqBatchItem<'_>]) -> bool {
+    let threads = rayon::current_num_threads();
+    // Below ~8 proofs per chunk the fold stops amortizing; don't split finer.
+    let chunk = items.len().div_ceil(threads).max(8);
+    batch_verify_chunked(group, items, chunk)
+}
+
+/// [`batch_verify`] with an explicit sub-batch size: items are folded in
+/// chunks of `chunk_size` and the chunks verified concurrently.  The
+/// verdict does not depend on `chunk_size` (exposed for equivalence tests).
+pub fn batch_verify_chunked(group: &Group, items: &[DleqBatchItem<'_>], chunk_size: usize) -> bool {
     if items.is_empty() {
         return true;
     }
@@ -160,6 +174,22 @@ pub fn batch_verify(group: &Group, items: &[DleqBatchItem<'_>]) -> bool {
             return false;
         }
     }
+    let chunk_size = chunk_size.max(1);
+    if chunk_size >= items.len() {
+        return fold_verify(group, items);
+    }
+    use rayon::prelude::*;
+    let mut verdicts: Vec<bool> = Vec::new();
+    items
+        .par_chunks(chunk_size)
+        .map(|sub| fold_verify(group, sub))
+        .collect_into_vec(&mut verdicts);
+    verdicts.into_iter().all(|ok| ok)
+}
+
+/// One folded two-sided random-linear-combination check over `items`
+/// (already membership-screened, non-empty).
+fn fold_verify(group: &Group, items: &[DleqBatchItem<'_>]) -> bool {
     // Two weights per proof (one per verification equation), bound to every
     // statement, proof, and context byte in the batch (`batch_weights`
     // hashes with per-part length framing, so variable-length contexts are

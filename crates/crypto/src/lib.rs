@@ -25,6 +25,7 @@
 //! * [`chaum_pedersen`] — DLEQ proofs for verifiable decryption.
 //! * [`padding`] — the OAEP-style self-randomizing message padding that
 //!   guarantees witness bits for the accusation process.
+//! * [`xor`] — word-level buffer XOR, the DC-net folding primitive.
 //!
 //! Security note: this code is a research reproduction.  It is not
 //! constant-time and has not been audited; do not use it to protect real
@@ -45,6 +46,7 @@ pub mod padding;
 pub mod prng;
 pub mod schnorr;
 pub mod sha256;
+pub mod xor;
 
 pub use bigint::BigUint;
 pub use dh::DhKeyPair;

@@ -16,6 +16,10 @@ use rand::{CryptoRng, RngCore};
 #[derive(Clone)]
 pub struct DetPrng {
     stream: ChaCha20,
+    /// Remaining bits of the byte buffered for [`DetPrng::bit`], served
+    /// LSB-first.
+    bit_buf: u8,
+    bit_left: u8,
 }
 
 impl DetPrng {
@@ -33,6 +37,8 @@ impl DetPrng {
         nonce.copy_from_slice(&nonce_src[..NONCE_LEN]);
         DetPrng {
             stream: ChaCha20::new(&derived, &nonce),
+            bit_buf: 0,
+            bit_left: 0,
         }
     }
 
@@ -52,9 +58,39 @@ impl DetPrng {
         self.stream.fill(out);
     }
 
+    /// XOR the pseudo-random stream into `data` in place, without
+    /// materializing the stream (see [`ChaCha20::apply`]).  Consumes exactly
+    /// the bytes [`DetPrng::fill`] would have.
+    pub fn xor_into(&mut self, data: &mut [u8]) {
+        self.stream.apply(data);
+    }
+
+    /// Reposition the stream at byte offset `pos` — O(1), because ChaCha20
+    /// is a random-access keystream.  Any buffered [`DetPrng::bit`] state is
+    /// discarded.
+    pub fn seek(&mut self, pos: u64) {
+        self.stream.seek(pos);
+        self.bit_left = 0;
+    }
+
     /// A single pseudo-random bit.
+    ///
+    /// Bits are served LSB-first from one buffered stream byte, so eight
+    /// consecutive calls consume a single stream byte (shuffle challenge
+    /// derivation draws thousands).  Byte-level draws interleaved between
+    /// `bit` calls leave the buffered bits intact; only [`DetPrng::seek`]
+    /// discards them.
     pub fn bit(&mut self) -> bool {
-        self.bytes(1)[0] & 1 == 1
+        if self.bit_left == 0 {
+            let mut b = [0u8; 1];
+            self.fill(&mut b);
+            self.bit_buf = b[0];
+            self.bit_left = 8;
+        }
+        let v = self.bit_buf & 1 == 1;
+        self.bit_buf >>= 1;
+        self.bit_left -= 1;
+        v
     }
 
     /// A uniformly random `u64` below `bound` (rejection sampling).
@@ -159,5 +195,40 @@ mod tests {
         let mut prng = DetPrng::new(&[9u8; 32], b"bits");
         let ones = (0..10_000).filter(|_| prng.bit()).count();
         assert!(ones > 4500 && ones < 5500, "ones = {ones}");
+    }
+
+    #[test]
+    fn bits_are_served_from_buffered_bytes() {
+        // Eight bit() calls must consume exactly one stream byte, LSB-first.
+        let key = [4u8; 32];
+        let reference = DetPrng::new(&key, b"bitbuf").bytes(4);
+        let mut prng = DetPrng::new(&key, b"bitbuf");
+        for (byte_idx, &byte) in reference.iter().enumerate() {
+            for k in 0..8 {
+                assert_eq!(prng.bit(), (byte >> k) & 1 == 1, "byte {byte_idx} bit {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn seek_matches_sequential_bytes() {
+        let key = [6u8; 32];
+        let whole = DetPrng::new(&key, b"seek").bytes(300);
+        for pos in [0usize, 1, 63, 64, 65, 200] {
+            let mut prng = DetPrng::new(&key, b"seek");
+            prng.seek(pos as u64);
+            assert_eq!(prng.bytes(16), whole[pos..pos + 16], "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn xor_into_equals_bytes_xor() {
+        let key = [8u8; 32];
+        let data: Vec<u8> = (0..777).map(|i| (i % 251) as u8).collect();
+        let stream = DetPrng::new(&key, b"fused").bytes(data.len());
+        let expected: Vec<u8> = data.iter().zip(&stream).map(|(d, s)| d ^ s).collect();
+        let mut fused = data.clone();
+        DetPrng::new(&key, b"fused").xor_into(&mut fused);
+        assert_eq!(fused, expected);
     }
 }

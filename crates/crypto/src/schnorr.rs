@@ -133,7 +133,27 @@ pub struct BatchItem<'a> {
 /// batch of one accepts exactly the signatures [`verify`] accepts (the
 /// subgroup-membership screening is identical).  Callers that need to know
 /// *which* signature failed fall back to [`verify`] per item.
+///
+/// Large batches are split into per-thread sub-batches, each folded and
+/// verified concurrently on the vendored pool (see [`batch_verify_chunked`]);
+/// the accept/reject verdict is independent of the split, and the
+/// per-proof fallback callers use for blame attribution is untouched, so
+/// blame indices are identical to a serial run.
 pub fn batch_verify(group: &Group, items: &[BatchItem<'_>]) -> bool {
+    let threads = rayon::current_num_threads();
+    // Sub-batches below ~8 proofs stop amortizing the fold, so don't split
+    // finer than that no matter how many workers are idle.
+    let chunk = items.len().div_ceil(threads).max(8);
+    batch_verify_chunked(group, items, chunk)
+}
+
+/// [`batch_verify`] with an explicit sub-batch size: items are folded in
+/// chunks of `chunk_size` and the chunks verified concurrently.
+///
+/// The verdict is the conjunction of independent random-linear-combination
+/// checks, one per chunk, so it does not depend on `chunk_size` (exposed so
+/// equivalence tests can sweep split points).
+pub fn batch_verify_chunked(group: &Group, items: &[BatchItem<'_>], chunk_size: usize) -> bool {
     if items.is_empty() {
         return true;
     }
@@ -143,6 +163,22 @@ pub fn batch_verify(group: &Group, items: &[BatchItem<'_>]) -> bool {
             return false;
         }
     }
+    let chunk_size = chunk_size.max(1);
+    if chunk_size >= items.len() {
+        return fold_verify(group, items);
+    }
+    use rayon::prelude::*;
+    let mut verdicts: Vec<bool> = Vec::new();
+    items
+        .par_chunks(chunk_size)
+        .map(|sub| fold_verify(group, sub))
+        .collect_into_vec(&mut verdicts);
+    verdicts.into_iter().all(|ok| ok)
+}
+
+/// One folded random-linear-combination check over `items` (which have
+/// already passed membership screening and are non-empty).
+fn fold_verify(group: &Group, items: &[BatchItem<'_>]) -> bool {
     // Weights bound to every byte of the batch (`batch_weights` hashes with
     // per-part length framing, so variable-length messages are unambiguous).
     let mut transcript: Vec<Vec<u8>> = Vec::with_capacity(4 * items.len() + 1);

@@ -1,0 +1,206 @@
+//! Chunked/parallel batch verification must be verdict-identical to the
+//! serial fold for every split point.
+//!
+//! `batch_verify` splits large batches into per-thread sub-batches, each
+//! checked with its own random-linear-combination fold.  The verdict — and
+//! therefore every caller-visible behaviour, including the per-proof blame
+//! fallback — must not depend on the chunk size.  This file is its own test
+//! binary, so the pool can be forced to 4 workers even on a 1-core box and
+//! the parallel path really runs multi-threaded.
+
+use dissent_crypto::chaum_pedersen::{self, DleqBatchItem, DleqProof};
+use dissent_crypto::group::{Element, Group, Scalar};
+use dissent_crypto::schnorr::{self, BatchItem, Signature, SigningKeyPair};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn force_multithreaded_pool() {
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+}
+
+struct SchnorrFixture {
+    group: Group,
+    keys: Vec<SigningKeyPair>,
+    messages: Vec<Vec<u8>>,
+    sigs: Vec<Signature>,
+}
+
+fn schnorr_fixture(k: usize, seed: u64) -> SchnorrFixture {
+    let group = Group::testing_256();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys: Vec<SigningKeyPair> = (0..k)
+        .map(|_| SigningKeyPair::generate(&group, &mut rng))
+        .collect();
+    let messages: Vec<Vec<u8>> = (0..k).map(|i| format!("round {i}").into_bytes()).collect();
+    let sigs: Vec<Signature> = keys
+        .iter()
+        .zip(&messages)
+        .map(|(kp, m)| kp.sign(&group, &mut rng, m))
+        .collect();
+    SchnorrFixture {
+        group,
+        keys,
+        messages,
+        sigs,
+    }
+}
+
+fn schnorr_items(f: &SchnorrFixture) -> Vec<BatchItem<'_>> {
+    f.keys
+        .iter()
+        .zip(&f.messages)
+        .zip(&f.sigs)
+        .map(|((kp, m), s)| BatchItem {
+            public: kp.public(),
+            message: m,
+            signature: s,
+        })
+        .collect()
+}
+
+#[test]
+fn schnorr_verdict_is_chunk_size_invariant() {
+    force_multithreaded_pool();
+    let k = 17;
+    let valid = schnorr_fixture(k, 1);
+    let items = schnorr_items(&valid);
+    for chunk in 1..=k + 2 {
+        assert!(
+            schnorr::batch_verify_chunked(&valid.group, &items, chunk),
+            "valid batch rejected at chunk size {chunk}"
+        );
+    }
+    // One corruption at each position must reject at every split point
+    // (in particular when the bad proof sits alone in a sub-batch, and
+    // when it shares one with 16 valid neighbours).
+    for target in [0usize, 7, k - 1] {
+        let mut bad = schnorr_fixture(k, 1);
+        bad.sigs[target].response = bad
+            .group
+            .scalar_add(&bad.sigs[target].response, &Scalar::one());
+        let items = schnorr_items(&bad);
+        for chunk in 1..=k + 2 {
+            assert!(
+                !schnorr::batch_verify_chunked(&bad.group, &items, chunk),
+                "corrupted batch (target {target}) accepted at chunk size {chunk}"
+            );
+        }
+        // The blame fallback callers run is chunk-independent by
+        // construction; confirm the per-item verdicts pinpoint the target.
+        let failing: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| !schnorr::verify(&bad.group, it.public, it.message, it.signature))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(failing, vec![target]);
+    }
+}
+
+struct DleqFixture {
+    group: Group,
+    h: Element,
+    statements: Vec<(Element, Element)>,
+    proofs: Vec<DleqProof>,
+    contexts: Vec<Vec<u8>>,
+}
+
+fn dleq_fixture(k: usize, seed: u64) -> DleqFixture {
+    let group = Group::testing_256();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h = group.exp_base(&group.random_scalar(&mut rng));
+    let mut statements = Vec::new();
+    let mut proofs = Vec::new();
+    let mut contexts = Vec::new();
+    for i in 0..k {
+        let x = group.random_scalar(&mut rng);
+        let a = group.exp_base(&x);
+        let b = group.exp(&h, &x);
+        let context = format!("entry {i}").into_bytes();
+        let proof = chaum_pedersen::prove(&group, &mut rng, &group.generator(), &h, &x, &context);
+        statements.push((a, b));
+        proofs.push(proof);
+        contexts.push(context);
+    }
+    DleqFixture {
+        group,
+        h,
+        statements,
+        proofs,
+        contexts,
+    }
+}
+
+fn dleq_items<'a>(f: &'a DleqFixture, generator: &'a Element) -> Vec<DleqBatchItem<'a>> {
+    (0..f.proofs.len())
+        .map(|i| DleqBatchItem {
+            g: generator,
+            h: &f.h,
+            a: &f.statements[i].0,
+            b: &f.statements[i].1,
+            proof: &f.proofs[i],
+            context: &f.contexts[i],
+        })
+        .collect()
+}
+
+#[test]
+fn dleq_verdict_is_chunk_size_invariant() {
+    force_multithreaded_pool();
+    let k = 17;
+    let valid = dleq_fixture(k, 2);
+    let generator = valid.group.generator();
+    let items = dleq_items(&valid, &generator);
+    for chunk in 1..=k + 2 {
+        assert!(
+            chaum_pedersen::batch_verify_chunked(&valid.group, &items, chunk),
+            "valid batch rejected at chunk size {chunk}"
+        );
+    }
+    for target in [0usize, 8, k - 1] {
+        let mut bad = dleq_fixture(k, 2);
+        bad.proofs[target].response = bad
+            .group
+            .scalar_add(&bad.proofs[target].response, &Scalar::one());
+        let generator = bad.group.generator();
+        let items = dleq_items(&bad, &generator);
+        for chunk in 1..=k + 2 {
+            assert!(
+                !chaum_pedersen::batch_verify_chunked(&bad.group, &items, chunk),
+                "corrupted batch (target {target}) accepted at chunk size {chunk}"
+            );
+        }
+        let failing: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| {
+                !chaum_pedersen::verify(&bad.group, it.g, it.h, it.a, it.b, it.proof, it.context)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(failing, vec![target]);
+    }
+}
+
+#[test]
+fn default_chunking_agrees_with_serial_fold() {
+    force_multithreaded_pool();
+    // The production entry point (auto chunk = len / threads) against the
+    // one-fold serial verdict, valid and corrupted.
+    let f = schnorr_fixture(33, 3);
+    let items = schnorr_items(&f);
+    assert_eq!(
+        schnorr::batch_verify(&f.group, &items),
+        schnorr::batch_verify_chunked(&f.group, &items, items.len())
+    );
+    let mut bad = schnorr_fixture(33, 3);
+    bad.sigs[20].commitment = bad
+        .group
+        .mul(&bad.sigs[20].commitment, &bad.group.generator());
+    let items = schnorr_items(&bad);
+    assert_eq!(
+        schnorr::batch_verify(&bad.group, &items),
+        schnorr::batch_verify_chunked(&bad.group, &items, items.len())
+    );
+    assert!(!schnorr::batch_verify(&bad.group, &items));
+}

@@ -88,6 +88,11 @@ pub struct ServerReveal {
     pub server_ct_bit: bool,
 }
 
+/// Minimum composite size before the per-client pad-bit derivations are
+/// sharded across the pool (each is one HKDF + one ChaCha block since
+/// [`pad_bit`] seeks, so small reveals stay serial).
+const PARALLEL_REVEAL_MIN_CLIENTS: usize = 64;
+
 /// Honest-server helper: build a [`ServerReveal`] from the server's own
 /// round state.
 pub fn build_server_reveal(
@@ -99,10 +104,28 @@ pub fn build_server_reveal(
     own_ciphertexts: &BTreeMap<ClientId, Vec<u8>>,
     server_ciphertext: &[u8],
 ) -> ServerReveal {
-    let pad_bits = composite
-        .iter()
-        .map(|c| (*c, pad_bit(&client_secrets[c], round, total_len, bit)))
-        .collect();
+    let threads = rayon::current_num_threads();
+    let pad_bits: BTreeMap<ClientId, bool> =
+        if threads > 1 && composite.len() >= PARALLEL_REVEAL_MIN_CLIENTS {
+            use rayon::prelude::*;
+            let chunk = composite.len().div_ceil(threads);
+            let mut parts: Vec<Vec<(ClientId, bool)>> = Vec::new();
+            composite
+                .par_chunks(chunk)
+                .map(|clients| {
+                    clients
+                        .iter()
+                        .map(|c| (*c, pad_bit(&client_secrets[c], round, total_len, bit)))
+                        .collect()
+                })
+                .collect_into_vec(&mut parts);
+            parts.into_iter().flatten().collect()
+        } else {
+            composite
+                .iter()
+                .map(|c| (*c, pad_bit(&client_secrets[c], round, total_len, bit)))
+                .collect()
+        };
     let client_ct_bits = own_ciphertexts
         .iter()
         .map(|(c, ct)| (*c, get_bit(ct, bit)))

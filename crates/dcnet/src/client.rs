@@ -8,7 +8,7 @@
 //! every other client's online status — the property that lets the servers
 //! finish a round despite churn.
 
-use crate::pad::{pad, set_bit, xor_into, SharedSecret};
+use crate::pad::{accumulate_pads, set_bit, SharedSecret};
 use crate::slots::{RoundLayout, SlotPayload};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -129,6 +129,11 @@ impl ClientDcnet {
     }
 
     /// Produce the round ciphertext: `c_i = m_i ⊕ PRNG(K_i1) ⊕ … ⊕ PRNG(K_iM)`.
+    ///
+    /// The `M` per-server pads are fused-XORed into the cleartext without
+    /// materializing any pad buffer, sharded across the thread pool when the
+    /// round is large enough to pay for it (output is identical either way;
+    /// see [`accumulate_pads`]).
     pub fn ciphertext<R: RngCore + ?Sized>(
         &self,
         rng: &mut R,
@@ -136,10 +141,7 @@ impl ClientDcnet {
         submission: &Submission,
     ) -> ClientCiphertext {
         let (mut buf, record) = self.cleartext(rng, layout, submission);
-        for secret in &self.server_secrets {
-            let p = pad(secret, layout.round, layout.total_len);
-            xor_into(&mut buf, &p);
-        }
+        accumulate_pads(&mut buf, &self.server_secrets, layout.round);
         ClientCiphertext {
             ciphertext: buf,
             record,
@@ -162,6 +164,7 @@ impl ClientDcnet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pad::{pad, xor_into};
     use crate::slots::{SlotConfig, SlotSchedule};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -29,12 +29,81 @@ pub fn pad(secret: &SharedSecret, round: u64, len: usize) -> Vec<u8> {
     DetPrng::new(secret, &round_label(round)).bytes(len)
 }
 
+/// XOR the pad `s_ij` for a round directly into an accumulator — the fused,
+/// zero-allocation form of `xor_into(dst, &pad(secret, round, dst.len()))`.
+///
+/// ChaCha20 blocks stream straight into `dst` with word-level XOR; no
+/// per-client pad `Vec` is ever materialized.  This is the server's
+/// dominant per-round cost (N clients × L bytes), so the allocation and
+/// extra memory pass the naive form pays actually show up in Figure 7/8
+/// round times.
+pub fn pad_xor_into(secret: &SharedSecret, round: u64, dst: &mut [u8]) {
+    DetPrng::new(secret, &round_label(round)).xor_into(dst);
+}
+
 /// XOR `src` into `dst` in place; the buffers must have equal length.
+///
+/// Runs over `u64` words (see `dissent_crypto::xor`) — this is the hottest
+/// loop in the system.
 pub fn xor_into(dst: &mut [u8], src: &[u8]) {
-    assert_eq!(dst.len(), src.len(), "xor_into length mismatch");
-    for (d, s) in dst.iter_mut().zip(src.iter()) {
-        *d ^= s;
+    dissent_crypto::xor::xor_into(dst, src);
+}
+
+/// XOR many pads into `dst` in parallel: the secrets are split into
+/// `shards` contiguous groups, each group fused-accumulated into a private
+/// buffer on the thread pool, and the per-shard accumulators XOR-merged
+/// into `dst` in shard order.
+///
+/// XOR is associative and commutative, so the result is byte-identical for
+/// every shard count (proptested in `tests/proptest_pad.rs`); `shards <= 1`
+/// is the allocation-free serial path.
+pub fn accumulate_pads_sharded(
+    dst: &mut [u8],
+    secrets: &[SharedSecret],
+    round: u64,
+    shards: usize,
+) {
+    let shards = shards.clamp(1, secrets.len().max(1));
+    if shards <= 1 {
+        for secret in secrets {
+            pad_xor_into(secret, round, dst);
+        }
+        return;
     }
+    use rayon::prelude::*;
+    let chunk = secrets.len().div_ceil(shards);
+    let mut partials: Vec<Vec<u8>> = Vec::new();
+    secrets
+        .par_chunks(chunk)
+        .map(|group| {
+            let mut acc = vec![0u8; dst.len()];
+            for secret in group {
+                pad_xor_into(secret, round, &mut acc);
+            }
+            acc
+        })
+        .collect_into_vec(&mut partials);
+    for partial in &partials {
+        xor_into(dst, partial);
+    }
+}
+
+/// Work threshold (secrets × bytes) below which sharding costs more than
+/// it saves; ~one ChaCha20 block per microsecond per core puts 64 KiB of
+/// pad well under typical task dispatch + merge overhead.
+const PARALLEL_PAD_MIN_BYTES: usize = 64 * 1024;
+
+/// XOR many pads into `dst`, choosing the shard count automatically from
+/// the pool size and the amount of work.
+pub fn accumulate_pads(dst: &mut [u8], secrets: &[SharedSecret], round: u64) {
+    let threads = rayon::current_num_threads();
+    let work = secrets.len().saturating_mul(dst.len());
+    let shards = if threads <= 1 || work < PARALLEL_PAD_MIN_BYTES {
+        1
+    } else {
+        threads
+    };
+    accumulate_pads_sharded(dst, secrets, round, shards);
 }
 
 /// XOR an iterator of equal-length byte strings together.
@@ -69,10 +138,31 @@ pub fn set_bit(buf: &mut [u8], bit_index: usize, value: bool) {
 /// Recompute one bit of the pad `s_ij` for a round — the revelation step of
 /// the accusation process (§3.9): servers publish `s_ij[k]` for the witness
 /// bit `k` so everyone can locate the party that XORed an unmatched 1.
+///
+/// O(1) in the slot length: ChaCha20 is random-access, so the stream seeks
+/// straight to the containing byte instead of regenerating the whole pad
+/// prefix.  (The old prefix-generating form made one accusation over a
+/// 128 KB bulk slot cost ~2000 ChaCha blocks per (client, server) pair; see
+/// [`pad_bit_reference`], kept as the test oracle.)
 pub fn pad_bit(secret: &SharedSecret, round: u64, total_len: usize, bit_index: usize) -> bool {
     assert!(bit_index / 8 < total_len, "bit index out of range");
-    // Only the containing byte needs to be generated, but the stream must be
-    // advanced identically to the bulk generator, so we generate the prefix.
+    let mut prng = DetPrng::new(secret, &round_label(round));
+    prng.seek((bit_index / 8) as u64);
+    let mut byte = [0u8; 1];
+    prng.fill(&mut byte);
+    (byte[0] >> (7 - bit_index % 8)) & 1 == 1
+}
+
+/// Reference implementation of [`pad_bit`] that regenerates the pad prefix
+/// (O(bit_index) work).  Kept as the oracle the seeked fast path is tested
+/// against; not for production use.
+pub fn pad_bit_reference(
+    secret: &SharedSecret,
+    round: u64,
+    total_len: usize,
+    bit_index: usize,
+) -> bool {
+    assert!(bit_index / 8 < total_len, "bit index out of range");
     let prefix = pad(secret, round, bit_index / 8 + 1);
     get_bit(&prefix, bit_index)
 }
@@ -130,6 +220,50 @@ mod tests {
         for bit in [0usize, 1, 7, 8, 63, 799] {
             assert_eq!(pad_bit(&s, 42, 100, bit), get_bit(&full, bit), "bit {bit}");
         }
+    }
+
+    #[test]
+    fn pad_bit_matches_reference_across_block_boundaries() {
+        // Bits 511/512/513 straddle the first ChaCha20 block boundary of the
+        // pad stream (block = 512 bits); 1023/1024 the second.
+        let s = secret(3);
+        let len = 200;
+        for bit in [0usize, 7, 8, 510, 511, 512, 513, 1023, 1024, 1599] {
+            assert_eq!(
+                pad_bit(&s, 11, len, bit),
+                pad_bit_reference(&s, 11, len, bit),
+                "bit {bit}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_pad_xor_equals_pad_then_xor() {
+        let s = secret(4);
+        for len in [1usize, 63, 64, 65, 192, 1000] {
+            let base: Vec<u8> = (0..len).map(|i| (i * 3) as u8).collect();
+            let mut expected = base.clone();
+            xor_into(&mut expected, &pad(&s, 5, len));
+            let mut fused = base.clone();
+            pad_xor_into(&s, 5, &mut fused);
+            assert_eq!(fused, expected, "len {len}");
+        }
+    }
+
+    #[test]
+    fn sharded_accumulation_is_shard_count_invariant() {
+        let secrets: Vec<SharedSecret> = (0..7).map(|i| secret(i as u8 + 1)).collect();
+        let len = 300;
+        let mut serial = vec![0u8; len];
+        accumulate_pads_sharded(&mut serial, &secrets, 9, 1);
+        for shards in [2usize, 3, 4, 7, 100] {
+            let mut sharded = vec![0u8; len];
+            accumulate_pads_sharded(&mut sharded, &secrets, 9, shards);
+            assert_eq!(sharded, serial, "shards {shards}");
+        }
+        let mut auto = vec![0u8; len];
+        accumulate_pads(&mut auto, &secrets, 9);
+        assert_eq!(auto, serial);
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! in-memory state; `dissent-core` drives them over the (simulated) network
 //! and applies the timing policies.
 
-use crate::pad::{pad, xor_into, SharedSecret};
+use crate::pad::{accumulate_pads, xor_into, SharedSecret};
 use dissent_crypto::sha256::{sha256_tagged, DIGEST_LEN};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -89,6 +90,12 @@ pub fn trim_inventories(
 ///   client (keyed by client id, must cover every member of `l`);
 /// * `own_ciphertexts` — the ciphertexts of the clients assigned to this
 ///   server by [`trim_inventories`].
+///
+/// The pad expansion over N clients × L bytes dominates server round cost
+/// (the Figure 7/8 "server processing" term), so it is fused (no per-client
+/// pad buffer) and sharded across the thread pool; per-shard accumulators
+/// XOR-merge deterministically, making the output byte-identical to a
+/// serial run for any thread count.
 pub fn server_ciphertext(
     round: u64,
     total_len: usize,
@@ -96,14 +103,16 @@ pub fn server_ciphertext(
     client_secrets: &BTreeMap<ClientId, SharedSecret>,
     own_ciphertexts: &BTreeMap<ClientId, Vec<u8>>,
 ) -> Vec<u8> {
+    let secrets: Vec<SharedSecret> = composite
+        .iter()
+        .map(|client| {
+            *client_secrets
+                .get(client)
+                .expect("missing shared secret for a client in the composite list")
+        })
+        .collect();
     let mut out = vec![0u8; total_len];
-    for client in composite {
-        let secret = client_secrets
-            .get(client)
-            .expect("missing shared secret for a client in the composite list");
-        let p = pad(secret, round, total_len);
-        xor_into(&mut out, &p);
-    }
+    accumulate_pads(&mut out, &secrets, round);
     for ct in own_ciphertexts.values() {
         assert_eq!(ct.len(), total_len, "client ciphertext length mismatch");
         xor_into(&mut out, ct);
@@ -134,13 +143,36 @@ pub fn verify_commitment(
     &commitment(round, server, ciphertext) == commit
 }
 
+/// Byte range per task when combining server ciphertexts in parallel; the
+/// work per byte is one XOR, so ranges are kept large.
+const COMBINE_RANGE_BYTES: usize = 64 * 1024;
+
 /// Combine all server ciphertexts into the round cleartext `m = ⊕_j s_j`.
+///
+/// The XOR fold is split across disjoint output ranges (not across the few
+/// servers), so bulk rounds (128 KB × M servers) use every core; each byte
+/// is owned by exactly one range, so the result cannot depend on
+/// scheduling.
 pub fn combine(total_len: usize, server_ciphertexts: &BTreeMap<ServerId, Vec<u8>>) -> Vec<u8> {
-    let mut out = vec![0u8; total_len];
     for ct in server_ciphertexts.values() {
         assert_eq!(ct.len(), total_len, "server ciphertext length mismatch");
-        xor_into(&mut out, ct);
     }
+    let parts: Vec<&[u8]> = server_ciphertexts.values().map(|v| v.as_slice()).collect();
+    let mut out = vec![0u8; total_len];
+    if rayon::current_num_threads() <= 1 || total_len < 2 * COMBINE_RANGE_BYTES {
+        for part in &parts {
+            xor_into(&mut out, part);
+        }
+        return out;
+    }
+    out.par_chunks_mut(COMBINE_RANGE_BYTES)
+        .enumerate()
+        .for_each(|(i, range)| {
+            let offset = i * COMBINE_RANGE_BYTES;
+            for part in &parts {
+                xor_into(range, &part[offset..offset + range.len()]);
+            }
+        });
     out
 }
 

@@ -1,0 +1,160 @@
+//! Property-based equivalence tests for the DC-net pad engine.
+//!
+//! The fused (`pad_xor_into`), seeked (`pad_bit`) and sharded
+//! (`accumulate_pads_sharded`, parallel `server_ciphertext`) fast paths
+//! must be byte-identical to the straightforward generate-then-XOR
+//! reference for every length, bit position and shard count.  The pool is
+//! forced to 4 workers (this file is its own test binary, hence its own
+//! process) so the parallel paths really execute on multiple threads even
+//! on a single-core CI box.
+
+use dissent_dcnet::client::{ClientDcnet, Submission};
+use dissent_dcnet::pad::{
+    accumulate_pads_sharded, get_bit, pad, pad_bit, pad_bit_reference, pad_xor_into, xor_into,
+    SharedSecret,
+};
+use dissent_dcnet::server::{server_ciphertext, ClientId};
+use dissent_dcnet::slots::{SlotConfig, SlotSchedule};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+fn force_multithreaded_pool() {
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+}
+
+fn secret_from(seed: u64, tag: u64) -> SharedSecret {
+    let mut s = [0u8; 32];
+    s[..8].copy_from_slice(&seed.to_be_bytes());
+    s[8..16].copy_from_slice(&tag.to_be_bytes());
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn seeked_pad_bit_equals_bulk_pad_across_block_boundaries(
+        seed in any::<u64>(),
+        round in any::<u64>(),
+    ) {
+        force_multithreaded_pool();
+        let secret = secret_from(seed, 1);
+        let total_len = 200; // 1600 bits: covers three ChaCha block boundaries
+        let full = pad(&secret, round, total_len);
+        // The ChaCha20 block is 512 bits: 511/512/513 straddle the first
+        // boundary, 1023/1024/1025 the second.
+        for bit in [0usize, 1, 7, 8, 63, 64, 510, 511, 512, 513, 1023, 1024, 1025, 1599] {
+            prop_assert_eq!(pad_bit(&secret, round, total_len, bit), get_bit(&full, bit));
+            prop_assert_eq!(
+                pad_bit(&secret, round, total_len, bit),
+                pad_bit_reference(&secret, round, total_len, bit)
+            );
+        }
+    }
+
+    #[test]
+    fn seeked_pad_bit_equals_reference_at_random_positions(
+        seed in any::<u64>(),
+        round in any::<u64>(),
+        bit in 0usize..4096,
+    ) {
+        force_multithreaded_pool();
+        let secret = secret_from(seed, 2);
+        let total_len = 512;
+        prop_assert_eq!(
+            pad_bit(&secret, round, total_len, bit),
+            pad_bit_reference(&secret, round, total_len, bit)
+        );
+    }
+
+    #[test]
+    fn fused_pad_xor_equals_pad_then_xor(
+        seed in any::<u64>(),
+        round in any::<u64>(),
+        len in 1usize..700,
+    ) {
+        force_multithreaded_pool();
+        let secret = secret_from(seed, 3);
+        let base: Vec<u8> = (0..len).map(|i| (i.wrapping_mul(37) ^ i >> 3) as u8).collect();
+        let mut expected = base.clone();
+        xor_into(&mut expected, &pad(&secret, round, len));
+        let mut fused = base;
+        pad_xor_into(&secret, round, &mut fused);
+        prop_assert_eq!(fused, expected);
+    }
+
+    #[test]
+    fn sharded_accumulation_matches_serial_for_1_to_4_shards(
+        seed in any::<u64>(),
+        round in any::<u64>(),
+        n_secrets in 1usize..20,
+        len in 1usize..400,
+    ) {
+        force_multithreaded_pool();
+        let secrets: Vec<SharedSecret> =
+            (0..n_secrets).map(|i| secret_from(seed, 100 + i as u64)).collect();
+        let mut serial = vec![0u8; len];
+        for s in &secrets {
+            xor_into(&mut serial, &pad(s, round, len));
+        }
+        for shards in 1usize..=4 {
+            let mut sharded = vec![0u8; len];
+            accumulate_pads_sharded(&mut sharded, &secrets, round, shards);
+            prop_assert_eq!(&sharded, &serial);
+        }
+    }
+
+    #[test]
+    fn parallel_server_ciphertext_is_byte_identical_to_serial(
+        seed in any::<u64>(),
+        round in any::<u64>(),
+        n_clients in 1usize..40,
+    ) {
+        force_multithreaded_pool();
+        let total_len = 300;
+        let composite: Vec<ClientId> = (0..n_clients as ClientId).collect();
+        let secrets: BTreeMap<ClientId, SharedSecret> = composite
+            .iter()
+            .map(|&c| (c, secret_from(seed, 200 + c as u64)))
+            .collect();
+        let own: BTreeMap<ClientId, Vec<u8>> = composite
+            .iter()
+            .filter(|&&c| c % 3 == 0)
+            .map(|&c| (c, pad(&secret_from(seed, 300 + c as u64), round, total_len)))
+            .collect();
+        // Serial reference: generate-then-XOR, one client at a time.
+        let mut expected = vec![0u8; total_len];
+        for c in &composite {
+            xor_into(&mut expected, &pad(&secrets[c], round, total_len));
+        }
+        for ct in own.values() {
+            xor_into(&mut expected, ct);
+        }
+        // The production path shards across the 4-worker pool.
+        let got = server_ciphertext(round, total_len, &composite, &secrets, &own);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn client_ciphertext_unchanged_by_parallel_pad_path(
+        seed in any::<u64>(),
+        n_servers in 1usize..8,
+    ) {
+        force_multithreaded_pool();
+        let secrets: Vec<SharedSecret> =
+            (0..n_servers).map(|j| secret_from(seed, 400 + j as u64)).collect();
+        let schedule = SlotSchedule::new_all_open(4, SlotConfig::default());
+        let layout = schedule.layout();
+        let client = ClientDcnet::new(2, secrets.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ct = client.ciphertext(&mut rng, &layout, &Submission::null());
+        // Null submission: the ciphertext is exactly the XOR of the pads.
+        let mut expected = vec![0u8; layout.total_len];
+        for s in &secrets {
+            xor_into(&mut expected, &pad(s, layout.round, layout.total_len));
+        }
+        prop_assert_eq!(ct.ciphertext, expected);
+    }
+}

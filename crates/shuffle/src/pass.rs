@@ -22,6 +22,46 @@ use dissent_crypto::group::Element;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
+/// Minimum entry count before per-entry verification loops are sharded
+/// across the thread pool.
+const PARALLEL_ENTRIES_MIN: usize = 16;
+
+/// Find the lowest index whose entry fails `fails`, sharding the scan
+/// across the pool for large lists.
+///
+/// Serial scanning returns the *first* failing index; taking the minimum
+/// over all failing indices found by the shards returns the same index, so
+/// blame attribution is identical for every thread count.
+fn first_failure<F>(n: usize, fails: F) -> Option<usize>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || n < PARALLEL_ENTRIES_MIN {
+        return (0..n).find(|&k| fails(k));
+    }
+    // Shard index *ranges* (one slot per shard) rather than materializing a
+    // 0..n index vector; this scan runs on every successful verify_pass.
+    let chunk = n.div_ceil(threads);
+    let slots: Vec<std::sync::Mutex<Option<usize>>> = (0..n.div_ceil(chunk))
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    rayon::scope(|s| {
+        for (i, slot) in slots.iter().enumerate() {
+            let fails = &fails;
+            s.spawn(move |_| {
+                let start = i * chunk;
+                let end = (start + chunk).min(n);
+                *slot.lock().expect("shard slot poisoned") = (start..end).find(|&k| fails(k));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .filter_map(|m| m.into_inner().expect("shard slot poisoned"))
+        .min()
+}
+
 /// Why one server's pass transcript failed verification.
 ///
 /// Every variant names the exact check (and entry index) that failed, so
@@ -232,9 +272,12 @@ pub fn verify_pass(
         .collect();
     if !chaum_pedersen::batch_verify(group, &items) {
         // The batch can only fail because some single proof fails; locate
-        // it so blame lands on a concrete entry.
-        for (k, item) in items.iter().enumerate() {
-            if !chaum_pedersen::verify(
+        // it so blame lands on a concrete entry.  The per-entry rescans run
+        // sharded, but the minimum failing index is reported, so the blamed
+        // entry is exactly the one a serial scan would name.
+        let failing = first_failure(n, |k| {
+            let item = &items[k];
+            !chaum_pedersen::verify(
                 group,
                 item.g,
                 item.h,
@@ -242,27 +285,27 @@ pub fn verify_pass(
                 item.b,
                 item.proof,
                 item.context,
-            ) {
-                return Err(PassError::DecryptionProof { entry: k });
-            }
-        }
-        return Err(PassError::Malformed);
+            )
+        });
+        return Err(match failing {
+            Some(entry) => PassError::DecryptionProof { entry },
+            None => PassError::Malformed,
+        });
     }
-    for k in 0..n {
+    // The stripped entry must be exactly (c1, c2 / share) — checked
+    // multiplicatively as stripped.c2 · share == c2, which costs one group
+    // multiplication instead of a modular inversion per entry.  The
+    // explicit canonical-range check keeps this exactly as strict as
+    // comparing against the (always-canonical) quotient.
+    if let Some(entry) = first_failure(n, |k| {
         let ct = &transcript.shuffled[k];
         let share = &transcript.decryption_shares[k];
-        // The stripped entry must be exactly (c1, c2 / share) — checked
-        // multiplicatively as stripped.c2 · share == c2, which costs one
-        // group multiplication instead of a modular inversion per entry.
-        // The explicit canonical-range check keeps this exactly as strict
-        // as comparing against the (always-canonical) quotient.
         let stripped = &transcript.stripped[k];
-        if stripped.c1 != ct.c1
+        stripped.c1 != ct.c1
             || stripped.c2.as_biguint() >= group.modulus()
             || group.mul(&stripped.c2, share) != ct.c2
-        {
-            return Err(PassError::StrippedEntry { entry: k });
-        }
+    }) {
+        return Err(PassError::StrippedEntry { entry });
     }
     Ok(())
 }

@@ -1,0 +1,115 @@
+//! `verify_pass` blame attribution under a multi-threaded pool.
+//!
+//! The per-entry DLEQ fallback and the stripped-entry consistency scan run
+//! sharded across the pool for passes with ≥16 entries; the reported entry
+//! index must be exactly the one a serial scan names (the minimum failing
+//! index), for any thread count.  This file is its own test binary, so the
+//! pool is forced to 4 workers even on a 1-core box.
+
+use dissent_crypto::dh::DhKeyPair;
+use dissent_crypto::elgamal::{Ciphertext, ElGamal};
+use dissent_crypto::group::{Element, Group, Scalar};
+use dissent_shuffle::pass::{perform_pass, verify_pass, PassError, PassTranscript};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SOUNDNESS: usize = 8;
+/// Enough entries to trigger the sharded per-entry scans (threshold 16).
+const ENTRIES: usize = 24;
+
+fn force_multithreaded_pool() {
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+}
+
+struct Fixture {
+    elgamal: ElGamal,
+    server_keys: Vec<Element>,
+    input: Vec<Ciphertext>,
+    transcript: PassTranscript,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let group = Group::testing_256();
+    let elgamal = ElGamal::new(group.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let servers: Vec<DhKeyPair> = (0..2)
+        .map(|_| DhKeyPair::generate(&group, &mut rng))
+        .collect();
+    let server_keys: Vec<Element> = servers.iter().map(|s| s.public().clone()).collect();
+    let combined = elgamal.combine_keys(&server_keys);
+    let input: Vec<Ciphertext> = (0..ENTRIES)
+        .map(|_| {
+            let m = group.exp_base(&group.random_scalar(&mut rng));
+            elgamal.encrypt(&mut rng, &combined, &m)
+        })
+        .collect();
+    let transcript = perform_pass(
+        &elgamal,
+        &server_keys,
+        0,
+        &servers[0],
+        &input,
+        SOUNDNESS,
+        b"parallel-verify",
+        &mut rng,
+    );
+    Fixture {
+        elgamal,
+        server_keys,
+        input,
+        transcript,
+    }
+}
+
+#[test]
+fn honest_pass_verifies_under_parallel_scan() {
+    force_multithreaded_pool();
+    let f = fixture(0xA0);
+    assert!(verify_pass(
+        &f.elgamal,
+        &f.server_keys,
+        &f.input,
+        &f.transcript,
+        b"parallel-verify"
+    )
+    .is_ok());
+}
+
+#[test]
+fn tampered_dleq_proof_blames_minimum_failing_entry() {
+    force_multithreaded_pool();
+    // Corrupt two proofs; blame must land on the lower index, exactly as a
+    // serial first-failure scan would report.
+    let f = fixture(0xA1);
+    let group = f.elgamal.group().clone();
+    for (lo, hi) in [(3usize, 19usize), (0, ENTRIES - 1), (17, 18)] {
+        let mut t = f.transcript.clone();
+        for k in [lo, hi] {
+            t.decryption_proofs[k].response =
+                group.scalar_add(&t.decryption_proofs[k].response, &Scalar::one());
+        }
+        assert_eq!(
+            verify_pass(&f.elgamal, &f.server_keys, &f.input, &t, b"parallel-verify"),
+            Err(PassError::DecryptionProof { entry: lo }),
+            "corrupted entries {lo} and {hi}"
+        );
+    }
+}
+
+#[test]
+fn tampered_stripped_entries_blame_minimum_failing_entry() {
+    force_multithreaded_pool();
+    let f = fixture(0xA2);
+    let group = f.elgamal.group().clone();
+    for (lo, hi) in [(5usize, 21usize), (0, 16)] {
+        let mut t = f.transcript.clone();
+        for k in [lo, hi] {
+            t.stripped[k].c2 = group.mul(&t.stripped[k].c2, &group.generator());
+        }
+        assert_eq!(
+            verify_pass(&f.elgamal, &f.server_keys, &f.input, &t, b"parallel-verify"),
+            Err(PassError::StrippedEntry { entry: lo }),
+            "corrupted entries {lo} and {hi}"
+        );
+    }
+}

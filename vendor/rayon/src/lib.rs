@@ -1,0 +1,315 @@
+//! Offline API-compatible subset of the `rayon` crate.
+//!
+//! The build environment has no crates-registry access, so this shim
+//! provides the slice-parallelism surface the workspace actually uses —
+//! [`scope`]/[`Scope::spawn`], [`join`], [`current_num_threads`], and the
+//! `par_chunks`/`par_chunks_mut` slice adapters of [`prelude`] — over a
+//! small global pool of OS threads.  If registry access ever appears, the
+//! real `rayon` is a drop-in replacement (see vendor/README.md).
+//!
+//! Design notes:
+//!
+//! * One lazily-started global pool; worker count is
+//!   `RAYON_NUM_THREADS` (if set and positive) or
+//!   `std::thread::available_parallelism()`.
+//! * [`scope`] blocks until every task spawned inside it has finished, which
+//!   is what makes lending non-`'static` borrows to tasks sound (the same
+//!   contract as rayon/crossbeam scopes).
+//! * Threads that wait on a scope *help*: they pull queued tasks — anyone's
+//!   tasks — and run them while waiting, so nested scopes cannot deadlock
+//!   the fixed-size pool.
+//! * Task panics are captured and re-thrown from the scope owner, after all
+//!   sibling tasks have completed.
+//!
+//! Nothing here is load-balanced as finely as real rayon (no work stealing
+//! deques, no splitting adaptively); callers shard work into roughly
+//! per-thread chunks, which is exactly how the DC-net and batch-verification
+//! hot paths use it.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+pub mod slice;
+
+/// Re-exports mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled on task push *and* on scope completion; workers and scope
+    /// waiters share it.
+    cond: Condvar,
+    threads: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let threads = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        for i in 0..threads {
+            thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(worker_loop)
+                .expect("failed to spawn pool worker");
+        }
+        Pool {
+            queue: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            threads,
+        }
+    })
+}
+
+fn worker_loop() {
+    // Blocks until the pool finishes initializing, then serves forever; the
+    // threads are daemons that die with the process.
+    let p = pool();
+    loop {
+        let job = {
+            let mut q = p.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = p.cond.wait(q).expect("pool queue poisoned");
+            }
+        };
+        // Scope jobs catch their own panics; this is a backstop so a stray
+        // panic can never kill a worker.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+/// Number of worker threads in the global pool.
+pub fn current_num_threads() -> usize {
+    pool().threads
+}
+
+struct ScopeState {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// A scope in which non-`'static` tasks may be spawned (subset of
+/// `rayon::Scope`).
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    // Invariant over 'scope, as in rayon: prevents shortening the lifetime.
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a task that may borrow from the enclosing [`scope`] call.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let task_scope = Scope {
+            state: self.state.clone(),
+            _marker: PhantomData,
+        };
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&task_scope))) {
+                let mut slot = task_scope.state.panic.lock().expect("panic slot poisoned");
+                slot.get_or_insert(payload);
+            }
+            finish_one(&task_scope.state);
+        });
+        // SAFETY: `scope` does not return until `pending` reaches zero, so
+        // every borrow with lifetime 'scope strictly outlives the job.  This
+        // is the standard scoped-pool lifetime erasure (crossbeam/rayon).
+        let job: Job = unsafe { std::mem::transmute(job) };
+        let p = pool();
+        let mut q = p.queue.lock().expect("pool queue poisoned");
+        q.push_back(job);
+        p.cond.notify_all();
+    }
+}
+
+fn finish_one(state: &ScopeState) {
+    let p = pool();
+    // Taking the queue lock orders the decrement against a waiter's
+    // "pending > 0, nothing queued → sleep" check, preventing lost wakeups.
+    let _guard = p.queue.lock().expect("pool queue poisoned");
+    if state.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+        p.cond.notify_all();
+    }
+}
+
+/// Create a scope, run `f` in it, and block until every task spawned inside
+/// has completed (subset of `rayon::scope`).
+///
+/// While blocked, the calling thread executes queued tasks, so scopes nest
+/// without deadlocking the fixed-size pool.  The first task panic (or the
+/// closure's own panic) is re-thrown after all tasks finish.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let state = Arc::new(ScopeState {
+        pending: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+    });
+    let s = Scope {
+        state: state.clone(),
+        _marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&s)));
+    wait_until_done(&state);
+    if let Some(payload) = state.panic.lock().expect("panic slot poisoned").take() {
+        resume_unwind(payload);
+    }
+    match result {
+        Ok(r) => r,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+fn wait_until_done(state: &ScopeState) {
+    let p = pool();
+    loop {
+        let job = {
+            let mut q = p.queue.lock().expect("pool queue poisoned");
+            loop {
+                if state.pending.load(Ordering::SeqCst) == 0 {
+                    return;
+                }
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = p.cond.wait(q).expect("pool queue poisoned");
+            }
+        };
+        job();
+    }
+}
+
+/// Run two closures, potentially in parallel, and return both results
+/// (subset of `rayon::join`).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb: Option<RB> = None;
+    let rb_ref = &mut rb;
+    let ra = scope(move |s| {
+        s.spawn(move |_| {
+            *rb_ref = Some(b());
+        });
+        a()
+    });
+    (ra, rb.expect("join: second closure did not run"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn force_multithreaded() {
+        // Every pool-touching test sets this before first pool use, so the
+        // lazily-created pool is multi-threaded even on a 1-core CI box.
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+    }
+
+    #[test]
+    fn scope_runs_all_tasks_and_borrows_stack_data() {
+        force_multithreaded();
+        let data: Vec<u64> = (0..1000).collect();
+        let total = AtomicU64::new(0);
+        scope(|s| {
+            for chunk in data.chunks(100) {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.into_inner(), 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        force_multithreaded();
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                let hits = &hits;
+                s.spawn(move |_| {
+                    scope(|inner| {
+                        for _ in 0..8 {
+                            inner.spawn(move |_| {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(hits.into_inner(), 64);
+    }
+
+    #[test]
+    fn tasks_can_spawn_siblings() {
+        force_multithreaded();
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            let hits = &hits;
+            s.spawn(move |s| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                s.spawn(move |_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(hits.into_inner(), 2);
+    }
+
+    #[test]
+    fn scope_propagates_task_panic() {
+        force_multithreaded();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("task exploded"));
+            });
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "task exploded");
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        force_multithreaded();
+        let (a, b) = join(|| 6 * 7, || "anonymity".len());
+        assert_eq!((a, b), (42, 9));
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        force_multithreaded();
+        assert!(current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! Slice parallelism: `par_chunks` / `par_chunks_mut` (subset of
+//! `rayon::slice`).
+//!
+//! The adapters mirror the call shapes of real rayon —
+//! `data.par_chunks(n).map(f).collect_into_vec(&mut out)`,
+//! `data.par_chunks_mut(n).for_each(f)`,
+//! `data.par_chunks(n).enumerate().map(f)` — but only those shapes: they are
+//! eager mini-pipelines over the scoped pool, not lazy parallel iterators.
+//! Chunks are dispatched one task per chunk, so callers pick a chunk size
+//! around `len.div_ceil(current_num_threads())`.
+//!
+//! When the pool has a single worker (or there is a single chunk) everything
+//! degenerates to a plain serial loop with no task overhead.  Results are
+//! collected by chunk index, so output order never depends on scheduling.
+
+use std::sync::Mutex;
+
+/// `par_chunks` on shared slices (subset of `rayon::slice::ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Split into chunks of `chunk_size` (last may be shorter), processed in
+    /// parallel.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "par_chunks: chunk size must be positive");
+        ParChunks {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// `par_chunks_mut` on mutable slices (subset of
+/// `rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into mutable chunks of `chunk_size` (last may be shorter),
+    /// processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(
+            chunk_size > 0,
+            "par_chunks_mut: chunk size must be positive"
+        );
+        ParChunksMut {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// Parallel shared chunks of a slice.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Pair every chunk with its chunk index.
+    pub fn enumerate(self) -> ParChunksEnumerate<'a, T> {
+        ParChunksEnumerate(self)
+    }
+
+    /// Run `f` on every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+
+    /// Map every chunk through `f`; results are gathered with
+    /// [`ParMap::collect_into_vec`] in chunk order.
+    #[allow(clippy::type_complexity)]
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, R, impl Fn((usize, &'a [T])) -> R + Sync>
+    where
+        R: Send,
+        F: Fn(&'a [T]) -> R + Sync,
+    {
+        self.enumerate()
+            .map(move |(_, chunk): (usize, &'a [T])| f(chunk))
+    }
+}
+
+/// Parallel shared chunks paired with their chunk index.
+pub struct ParChunksEnumerate<'a, T>(ParChunks<'a, T>);
+
+impl<'a, T: Sync> ParChunksEnumerate<'a, T> {
+    /// Run `f` on every `(chunk_index, chunk)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a [T])) + Sync,
+    {
+        self.map(f).run_discard();
+    }
+
+    /// Map every `(chunk_index, chunk)` pair through `f`.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, R, F>
+    where
+        R: Send,
+        F: Fn((usize, &'a [T])) -> R + Sync,
+    {
+        ParMap {
+            chunks: self.0,
+            f,
+            _result: std::marker::PhantomData,
+        }
+    }
+}
+
+/// The pending result of mapping chunks in parallel.
+pub struct ParMap<'a, T, R, F> {
+    chunks: ParChunks<'a, T>,
+    f: F,
+    _result: std::marker::PhantomData<R>,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, R, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn((usize, &'a [T])) -> R + Sync,
+{
+    /// Execute the map and write the per-chunk results into `out` in chunk
+    /// order (mirrors `IndexedParallelIterator::collect_into_vec`).
+    pub fn collect_into_vec(self, out: &mut Vec<R>) {
+        out.clear();
+        let ParMap { chunks, f, .. } = self;
+        let n_chunks = chunks.slice.len().div_ceil(chunks.size.max(1));
+        if n_chunks <= 1 || crate::current_num_threads() <= 1 {
+            out.extend(chunks.slice.chunks(chunks.size).enumerate().map(&f));
+            return;
+        }
+        // One mutex-guarded slot per chunk: each slot is written exactly
+        // once, and chunk counts are ~thread counts, so contention is nil.
+        let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        crate::scope(|s| {
+            for (i, chunk) in chunks.slice.chunks(chunks.size).enumerate() {
+                let slot = &slots[i];
+                let f = &f;
+                s.spawn(move |_| {
+                    *slot.lock().expect("result slot poisoned") = Some(f((i, chunk)));
+                });
+            }
+        });
+        out.extend(slots.into_iter().map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("chunk task did not run")
+        }));
+    }
+
+    fn run_discard(self) {
+        let ParMap { chunks, f, .. } = self;
+        let n_chunks = chunks.slice.len().div_ceil(chunks.size.max(1));
+        if n_chunks <= 1 || crate::current_num_threads() <= 1 {
+            for pair in chunks.slice.chunks(chunks.size).enumerate() {
+                f(pair);
+            }
+            return;
+        }
+        crate::scope(|s| {
+            for (i, chunk) in chunks.slice.chunks(chunks.size).enumerate() {
+                let f = &f;
+                s.spawn(move |_| {
+                    f((i, chunk));
+                });
+            }
+        });
+    }
+}
+
+/// Parallel mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair every chunk with its chunk index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate(self)
+    }
+
+    /// Run `f` on every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Parallel mutable chunks paired with their chunk index.
+pub struct ParChunksMutEnumerate<'a, T>(ParChunksMut<'a, T>);
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Run `f` on every `(chunk_index, chunk)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let ParChunksMut { slice, size } = self.0;
+        let n_chunks = slice.len().div_ceil(size.max(1));
+        if n_chunks <= 1 || crate::current_num_threads() <= 1 {
+            for (i, c) in slice.chunks_mut(size).enumerate() {
+                f((i, c));
+            }
+            return;
+        }
+        crate::scope(|s| {
+            for (i, chunk) in slice.chunks_mut(size).enumerate() {
+                let f = &f;
+                s.spawn(move |_| {
+                    f((i, chunk));
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn force_multithreaded() {
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+    }
+
+    #[test]
+    fn par_chunks_map_collects_in_order() {
+        force_multithreaded();
+        let data: Vec<u32> = (0..103).collect();
+        for chunk in [1usize, 7, 50, 103, 500] {
+            let mut sums: Vec<u32> = Vec::new();
+            data.par_chunks(chunk)
+                .map(|c| c.iter().sum())
+                .collect_into_vec(&mut sums);
+            let expected: Vec<u32> = data.chunks(chunk).map(|c| c.iter().sum()).collect();
+            assert_eq!(sums, expected, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_enumerate_sees_every_index() {
+        force_multithreaded();
+        let data = [0u8; 40];
+        let mut idx: Vec<usize> = Vec::new();
+        data.par_chunks(7)
+            .enumerate()
+            .map(|(i, _)| i)
+            .collect_into_vec(&mut idx);
+        assert_eq!(idx, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        force_multithreaded();
+        let mut data = vec![0u64; 1000];
+        data.par_chunks_mut(13).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v += 1 + i as u64;
+            }
+        });
+        for (k, v) in data.iter().enumerate() {
+            assert_eq!(*v, 1 + (k / 13) as u64, "element {k}");
+        }
+    }
+
+    #[test]
+    fn par_for_each_runs_all_chunks() {
+        force_multithreaded();
+        let data = vec![1u8; 997];
+        let count = AtomicUsize::new(0);
+        data.par_chunks(10).for_each(|c| {
+            count.fetch_add(c.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 997);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_size_panics() {
+        let data = [1u8, 2];
+        data.par_chunks(0).for_each(|_| {});
+    }
+}
