@@ -277,12 +277,123 @@ fn bench_symmetric_and_signatures(c: &mut Criterion) {
     g.finish();
 }
 
+/// Scalar block vs portable 4-way vs the runtime-dispatched SIMD stride,
+/// at the DC-net's interesting sizes (one block, a microblog-ish 4 KiB, the
+/// paper's 128 KiB bulk slot).  The dispatched entry is labelled with the
+/// backend the CPU actually selected (`avx2`/`sse2`/`portable4`), so CI
+/// logs show which kernel the ≥2× acceptance bar was measured on.
+fn bench_chacha_throughput(c: &mut Criterion) {
+    use dissent_crypto::chacha::{
+        chacha20_block, chacha20_blocks4_portable, wide_backend_name, ChaCha20, BLOCK_LEN, WIDE_LEN,
+    };
+    let key = [7u8; 32];
+    let nonce = [3u8; 12];
+    let mut g = c.benchmark_group("chacha_throughput");
+    for &(name, len) in &[("64B", 64usize), ("4KiB", 4096), ("128KiB", 128 * 1024)] {
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_function(BenchmarkId::new("scalar_block", name), |b| {
+            let mut buf = vec![0u8; len];
+            b.iter(|| {
+                let mut ctr = 0u32;
+                for chunk in buf.chunks_mut(BLOCK_LEN) {
+                    let block = chacha20_block(&key, &nonce, ctr);
+                    chunk.copy_from_slice(&block[..chunk.len()]);
+                    ctr = ctr.wrapping_add(1);
+                }
+            })
+        });
+        if len >= WIDE_LEN {
+            g.bench_function(BenchmarkId::new("wide4_portable", name), |b| {
+                let mut buf = vec![0u8; len];
+                b.iter(|| {
+                    let mut ctr = 0u32;
+                    for chunk in buf.chunks_mut(WIDE_LEN) {
+                        let mut stride = [0u8; WIDE_LEN];
+                        chacha20_blocks4_portable(&key, &nonce, ctr, &mut stride);
+                        chunk.copy_from_slice(&stride[..chunk.len()]);
+                        ctr = ctr.wrapping_add(4);
+                    }
+                })
+            });
+        }
+        g.bench_function(
+            BenchmarkId::new(format!("fill_{}", wide_backend_name()), name),
+            |b| {
+                let mut stream = ChaCha20::new(&key, &nonce);
+                let mut buf = vec![0u8; len];
+                b.iter(|| stream.fill(&mut buf))
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Shuffle proving, serial vs pool-chunked shadow generation (transcripts
+/// are bit-identical — see `dissent-shuffle/tests/parallel_prove.rs`; on a
+/// 1-core box the two entries should coincide, on multi-core the parallel
+/// one shows the shadow fan-out).
+fn bench_shuffle_prove(c: &mut Criterion) {
+    use dissent_crypto::dh::DhKeyPair;
+    use dissent_crypto::elgamal::ElGamal;
+    use dissent_shuffle::proof::{prove, prove_chunked, shuffle_and_rerandomize};
+    const SOUNDNESS: usize = 8;
+    let mut g = c.benchmark_group("shuffle_prove");
+    g.sample_size(10);
+    for &n in &[16usize, 64] {
+        let group = Group::testing_256();
+        let eg = ElGamal::new(group.clone());
+        let mut rng = StdRng::seed_from_u64(11);
+        let key = DhKeyPair::generate(&group, &mut rng);
+        let input: Vec<_> = (0..n)
+            .map(|_| {
+                let m = group.exp_base(&group.random_scalar(&mut rng));
+                eg.encrypt(&mut rng, key.public(), &m)
+            })
+            .collect();
+        let (output, witness) = shuffle_and_rerandomize(&eg, key.public(), &input, &mut rng);
+        g.bench_function(BenchmarkId::new("serial", n), |b| {
+            b.iter(|| {
+                let mut r = StdRng::seed_from_u64(5);
+                prove_chunked(
+                    &eg,
+                    key.public(),
+                    &input,
+                    &output,
+                    &witness,
+                    SOUNDNESS,
+                    b"bench",
+                    &mut r,
+                    SOUNDNESS,
+                )
+            })
+        });
+        g.bench_function(BenchmarkId::new("parallel", n), |b| {
+            b.iter(|| {
+                let mut r = StdRng::seed_from_u64(5);
+                prove(
+                    &eg,
+                    key.public(),
+                    &input,
+                    &output,
+                    &witness,
+                    SOUNDNESS,
+                    b"bench",
+                    &mut r,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_modexp_engine,
     bench_multi_exp,
     bench_multi_exp_n,
     bench_batch_verify,
-    bench_symmetric_and_signatures
+    bench_symmetric_and_signatures,
+    bench_chacha_throughput,
+    bench_shuffle_prove
 );
 criterion_main!(benches);

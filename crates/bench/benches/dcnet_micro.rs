@@ -65,10 +65,20 @@ fn bench(c: &mut Criterion) {
     }
     g.finish();
 
-    c.bench_function("pad_expand_128KiB", |b| {
-        let secret = [1u8; 32];
-        b.iter(|| pad(&secret, 3, 128 * 1024))
-    });
+    // Pad expansion rides the multi-block ChaCha20 engine: the entry is
+    // labelled with the dispatched backend (avx2/sse2/portable4) so CI logs
+    // show which kernel produced the number.  `DISSENT_CHACHA_FORCE_SCALAR=1`
+    // re-runs it on the portable kernel for an in-log comparison.
+    c.bench_function(
+        &format!(
+            "pad_expand_128KiB_{}",
+            dissent_crypto::chacha::wide_backend_name()
+        ),
+        |b| {
+            let secret = [1u8; 32];
+            b.iter(|| pad(&secret, 3, 128 * 1024))
+        },
+    );
 
     // Serial generate-then-XOR vs the fused zero-allocation engine vs the
     // sharded parallel accumulator, over the paper's bulk slot size.  The

@@ -126,6 +126,35 @@ impl ElGamal {
         }
     }
 
+    /// Re-randomize a batch of ciphertexts with explicit per-entry
+    /// randomness: entry `i` becomes
+    /// `(c1ᵢ · g^{rᵢ}, c2ᵢ · remaining_key^{rᵢ})`.
+    ///
+    /// Equivalent to [`Self::rerandomize_with`] per entry, but both element
+    /// positions run through [`Group::exp_mul_batch`]: one comb table per
+    /// base serves the whole batch and every product stays in the Montgomery
+    /// domain.  This is the shuffle prover's hot loop — `T` shadow rounds ×
+    /// `N` entries per pass — which is why the batch form exists.
+    pub fn rerandomize_batch(
+        &self,
+        remaining_key: &Element,
+        cts: &[&Ciphertext],
+        rs: &[Scalar],
+    ) -> Vec<Ciphertext> {
+        assert_eq!(cts.len(), rs.len(), "one randomizer per ciphertext");
+        let generator = self.group.generator();
+        let c1_pairs: Vec<(&Element, &Scalar)> =
+            cts.iter().zip(rs).map(|(ct, r)| (&ct.c1, r)).collect();
+        let c2_pairs: Vec<(&Element, &Scalar)> =
+            cts.iter().zip(rs).map(|(ct, r)| (&ct.c2, r)).collect();
+        let c1s = self.group.exp_mul_batch(&generator, &c1_pairs);
+        let c2s = self.group.exp_mul_batch(remaining_key, &c2_pairs);
+        c1s.into_iter()
+            .zip(c2s)
+            .map(|(c1, c2)| Ciphertext { c1, c2 })
+            .collect()
+    }
+
     /// Encrypt a byte-string message by embedding it in a group element
     /// first.  Fails if the message is too long for one element.
     pub fn encrypt_bytes<R: RngCore + ?Sized>(

@@ -86,16 +86,28 @@ pub struct WindowTable {
 /// so one squaring plus one table multiplication consumes one bit of *every*
 /// row at once.  An exponentiation then costs `span` squarings instead of
 /// `bit_len` — an ~8× reduction in the squaring chain, on top of the
-/// Montgomery arithmetic itself.  Used by `Group::exp_base`, where the
-/// generator's table is built once per parameter set and amortized over
-/// every key generation, ElGamal encryption, re-randomization and Schnorr
-/// signature in the session.
+/// Montgomery arithmetic itself.
+///
+/// The table is a dual (two-block) Lim–Lee comb: `table_hi[mask]` holds
+/// `table[mask]^(2^half)` where `half = ceil(span / 2)`, so each squaring
+/// step can consume a column from *both* halves of the rows — the squaring
+/// chain halves again to `span/2` at the cost of one extra table
+/// multiplication per column and twice the memory.  Used by
+/// `Group::exp_base` and every registered fixed base, where the tables are
+/// built once and amortized over every key generation, ElGamal encryption,
+/// re-randomization (`T·N` of them per shuffle pass) and Schnorr signature
+/// in the session.
 #[derive(Clone, Debug)]
 pub struct CombTable {
     /// Bits per tooth row (`ceil(max_exp_bits / COMB_TEETH)`).
     span: usize,
+    /// Bits of the low half of each row (`ceil(span / 2)`), the length of
+    /// the squaring chain.
+    half: usize,
     /// `2^COMB_TEETH` combined powers in Montgomery form.
     table: Vec<Vec<u64>>,
+    /// The same powers raised to `2^half` — the second Lim–Lee block.
+    table_hi: Vec<Vec<u64>>,
     /// The base the table was built for, kept so the wide-exponent fallback
     /// in [`MontgomeryCtx::pow_comb`] cannot be handed a mismatched base.
     base: BigUint,
@@ -453,11 +465,13 @@ impl MontgomeryCtx {
     /// Build a [`CombTable`] for `base`, covering exponents up to
     /// `max_exp_bits` bits.
     ///
-    /// Costs roughly one full exponentiation (`(COMB_TEETH−1)·span`
-    /// squarings plus `2^COMB_TEETH` multiplications), repaid after a
-    /// handful of [`Self::pow_comb`] calls.
+    /// Costs roughly two full exponentiations (two blocks of
+    /// `COMB_TEETH·span/2`-ish squarings plus `2·2^COMB_TEETH`
+    /// multiplications), repaid after a handful of [`Self::pow_comb`]
+    /// calls.
     pub fn precompute_comb(&self, base: &BigUint, max_exp_bits: usize) -> CombTable {
         let span = max_exp_bits.div_ceil(COMB_TEETH).max(1);
+        let half = span.div_ceil(2);
         // powers[t] = base^(2^(span·t)) in Montgomery form.
         let mut powers = Vec::with_capacity(COMB_TEETH);
         powers.push(self.to_mont(base).limbs);
@@ -468,21 +482,37 @@ impl MontgomeryCtx {
             }
             powers.push(cur);
         }
+        // powers_hi[t] = powers[t]^(2^half) — the second Lim–Lee block.
+        let powers_hi: Vec<Vec<u64>> = powers
+            .iter()
+            .map(|p| {
+                let mut cur = p.clone();
+                for _ in 0..half {
+                    cur = self.mont_sqr_limbs(&cur);
+                }
+                cur
+            })
+            .collect();
         // table[mask] = Π_{t ∈ mask} powers[t], built by peeling the top bit.
-        let mut table = Vec::with_capacity(1 << COMB_TEETH);
-        table.push(self.one.clone());
-        for mask in 1usize..1 << COMB_TEETH {
-            let rest = mask & (mask - 1);
-            let tooth = (mask ^ rest).trailing_zeros() as usize;
-            if rest == 0 {
-                table.push(powers[tooth].clone());
-            } else {
-                table.push(self.mont_mul_limbs(&table[rest], &powers[tooth]));
+        let build = |powers: &[Vec<u64>]| {
+            let mut table = Vec::with_capacity(1 << COMB_TEETH);
+            table.push(self.one.clone());
+            for mask in 1usize..1 << COMB_TEETH {
+                let rest = mask & (mask - 1);
+                let tooth = (mask ^ rest).trailing_zeros() as usize;
+                if rest == 0 {
+                    table.push(powers[tooth].clone());
+                } else {
+                    table.push(self.mont_mul_limbs(&table[rest], &powers[tooth]));
+                }
             }
-        }
+            table
+        };
         CombTable {
             span,
-            table,
+            half,
+            table: build(&powers),
+            table_hi: build(&powers_hi),
             base: base.clone(),
         }
     }
@@ -492,34 +522,59 @@ impl MontgomeryCtx {
     /// Falls back to [`Self::pow`] on the table's own base if the exponent
     /// is wider than the table was built for.
     pub fn pow_comb(&self, comb: &CombTable, exponent: &BigUint) -> BigUint {
+        self.from_mont(&self.pow_comb_mont(comb, exponent))
+    }
+
+    /// [`Self::pow_comb`] that stays in the Montgomery domain.
+    ///
+    /// Batched callers (`Group::exp_mul_batch`, the shuffle prover's
+    /// re-randomization) multiply the result straight into other
+    /// Montgomery-form factors, so converting out here would only be undone
+    /// again; they pay one `from_mont` per finished product instead of one
+    /// per exponentiation.
+    pub fn pow_comb_mont(&self, comb: &CombTable, exponent: &BigUint) -> MontInt {
         if exponent.bit_len() > comb.max_bits() {
-            return self.pow(&comb.base, exponent);
+            return self.to_mont(&self.pow(&comb.base, exponent));
         }
+        // Dual-block evaluation: column `b` of the low half pairs with
+        // column `b + half` served from `table_hi` (whose entries carry the
+        // 2^half scaling), so the squaring chain is `half ≈ span/2` long —
+        // Π_b (table[mask(b)] · table_hi[mask(b + half)])^(2^b).
         let span = comb.span;
-        let mut scratch = Scratch::default();
-        let mut r: Vec<u64> = Vec::new();
-        let mut started = false;
-        for b in (0..span).rev() {
-            if started {
-                self.sqr_swap(&mut r, &mut scratch);
-            }
+        let half = comb.half;
+        let gather = |b: usize| {
             let mut mask = 0usize;
             for t in 0..COMB_TEETH {
                 mask |= (exponent.bit(b + span * t) as usize) << t;
             }
-            if mask != 0 {
-                if started {
-                    self.mul_swap(&mut r, &comb.table[mask], &mut scratch);
-                } else {
-                    r = comb.table[mask].clone();
-                    started = true;
+            mask
+        };
+        let mut scratch = Scratch::default();
+        let mut r: Vec<u64> = Vec::new();
+        let mut started = false;
+        for b in (0..half).rev() {
+            if started {
+                self.sqr_swap(&mut r, &mut scratch);
+            }
+            let mask_lo = gather(b);
+            // For odd spans the final high column falls outside the rows;
+            // its bits are all zero by construction.
+            let mask_hi = if b + half < span { gather(b + half) } else { 0 };
+            for (mask, table) in [(mask_lo, &comb.table), (mask_hi, &comb.table_hi)] {
+                if mask != 0 {
+                    if started {
+                        self.mul_swap(&mut r, &table[mask], &mut scratch);
+                    } else {
+                        r = table[mask].clone();
+                        started = true;
+                    }
                 }
             }
         }
         if !started {
             r = self.one.clone();
         }
-        self.from_mont(&MontInt { limbs: r })
+        MontInt { limbs: r }
     }
 
     /// Simultaneous double exponentiation `g^a · h^b mod n` (Shamir/Straus).

@@ -54,6 +54,10 @@ impl DetPrng {
     }
 
     /// Fill a buffer with pseudo-random bytes.
+    ///
+    /// Large fills stream through the multi-block ChaCha20 kernel in 256 B
+    /// strides (see [`crate::chacha::chacha20_blocks4`]); the byte stream is
+    /// identical to byte-at-a-time draws for every chunking.
     pub fn fill(&mut self, out: &mut [u8]) {
         self.stream.fill(out);
     }

@@ -217,6 +217,59 @@ proptest! {
     }
 
     #[test]
+    fn exp_mul_batch_matches_per_entry_mul_exp(seed in any::<u64>()) {
+        // The batched fixed-base multiply-exponentiate (the shuffle
+        // prover's re-randomization engine) against the per-entry
+        // `mul(f, exp(base, e))` reference, on every parameter set, with
+        // degenerate exponents mixed in, for the generator, a registered
+        // base, an unregistered base above the comb-build threshold, and an
+        // unregistered base below it (the per-entry fallback).
+        for group in groups() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let q = group.order();
+            let base = group.exp_base(&group.random_scalar(&mut rng));
+            let factors: Vec<Element> = (0..5)
+                .map(|_| group.exp_base(&group.random_scalar(&mut rng)))
+                .collect();
+            let mut exps: Vec<Scalar> = (0..3).map(|_| group.random_scalar(&mut rng)).collect();
+            exps.push(Scalar::zero());
+            exps.push(Scalar::from_biguint(q.sub(&BigUint::one()), &group));
+            let pairs: Vec<(&Element, &Scalar)> =
+                factors.iter().zip(exps.iter()).collect();
+            let gen = group.generator();
+            for b in [&gen, &base] {
+                let expected: Vec<Element> = pairs
+                    .iter()
+                    .map(|(f, e)| group.mul(f, &group.exp(b, e)))
+                    .collect();
+                prop_assert_eq!(group.exp_mul_batch(b, &pairs), expected.clone());
+                // Small batch (below the comb-build threshold) hits the
+                // per-entry fallback for unregistered bases.
+                prop_assert_eq!(group.exp_mul_batch(b, &pairs[..2]), expected[..2].to_vec());
+                group.register_fixed_base(b);
+                prop_assert_eq!(group.exp_mul_batch(b, &pairs), expected);
+            }
+            prop_assert_eq!(group.exp_mul_batch(&base, &[]), Vec::<Element>::new());
+        }
+    }
+
+    #[test]
+    fn pow_comb_mont_stays_in_domain_consistently(seed in any::<u64>()) {
+        // pow_comb == from_mont(pow_comb_mont) by construction; check the
+        // domain form also multiplies correctly against another factor.
+        for group in groups() {
+            let p = group.modulus();
+            let ctx = MontgomeryCtx::new(p).unwrap();
+            let base = value_below(p, seed | 1);
+            let comb = ctx.precompute_comb(&base, p.bit_len());
+            let e = value_below(p, seed.wrapping_add(9));
+            let f = value_below(p, seed.wrapping_add(10));
+            let via_mont = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&f), &ctx.pow_comb_mont(&comb, &e)));
+            prop_assert_eq!(&via_mont, &f.mod_mul(&ctx.pow_comb(&comb, &e), p));
+        }
+    }
+
+    #[test]
     fn group_exp_apis_agree(seed in any::<u64>()) {
         // Group::exp, Group::exp_base and Group::multi_exp against each
         // other and the exponent laws, on the fast test group.

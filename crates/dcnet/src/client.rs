@@ -131,9 +131,10 @@ impl ClientDcnet {
     /// Produce the round ciphertext: `c_i = m_i ⊕ PRNG(K_i1) ⊕ … ⊕ PRNG(K_iM)`.
     ///
     /// The `M` per-server pads are fused-XORed into the cleartext without
-    /// materializing any pad buffer, sharded across the thread pool when the
-    /// round is large enough to pay for it (output is identical either way;
-    /// see [`accumulate_pads`]).
+    /// materializing any pad buffer — each pad expands through the
+    /// multi-block ChaCha20 kernel in 256 B strides — and the fold is
+    /// sharded across the thread pool when the round is large enough to pay
+    /// for it (output is identical either way; see [`accumulate_pads`]).
     pub fn ciphertext<R: RngCore + ?Sized>(
         &self,
         rng: &mut R,

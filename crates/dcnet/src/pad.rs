@@ -32,11 +32,13 @@ pub fn pad(secret: &SharedSecret, round: u64, len: usize) -> Vec<u8> {
 /// XOR the pad `s_ij` for a round directly into an accumulator — the fused,
 /// zero-allocation form of `xor_into(dst, &pad(secret, round, dst.len()))`.
 ///
-/// ChaCha20 blocks stream straight into `dst` with word-level XOR; no
-/// per-client pad `Vec` is ever materialized.  This is the server's
-/// dominant per-round cost (N clients × L bytes), so the allocation and
-/// extra memory pass the naive form pays actually show up in Figure 7/8
-/// round times.
+/// ChaCha20 keystream streams straight into `dst` with word-level XOR in
+/// whole 4-block (256 B) strides through the multi-block kernel
+/// (`dissent_crypto::chacha::chacha20_blocks4` — SIMD-dispatched, portable
+/// 4-way fallback); no per-client pad `Vec` is ever materialized.  This is
+/// the server's dominant per-round cost (N clients × L bytes), so both the
+/// block-function throughput and the memory traffic the naive form pays
+/// actually show up in Figure 7/8 round times.
 pub fn pad_xor_into(secret: &SharedSecret, round: u64, dst: &mut [u8]) {
     DetPrng::new(secret, &round_label(round)).xor_into(dst);
 }

@@ -93,9 +93,10 @@ pub fn trim_inventories(
 ///
 /// The pad expansion over N clients × L bytes dominates server round cost
 /// (the Figure 7/8 "server processing" term), so it is fused (no per-client
-/// pad buffer) and sharded across the thread pool; per-shard accumulators
-/// XOR-merge deterministically, making the output byte-identical to a
-/// serial run for any thread count.
+/// pad buffer, keystream generated in 4-block strides by the SIMD-dispatched
+/// ChaCha20 kernel) and sharded across the thread pool; per-shard
+/// accumulators XOR-merge deterministically, making the output
+/// byte-identical to a serial run for any thread count.
 pub fn server_ciphertext(
     round: u64,
     total_len: usize,

@@ -70,6 +70,38 @@ proptest! {
     }
 
     #[test]
+    fn bulk_pad_equals_bytewise_pad_across_wide_strides(
+        seed in any::<u64>(),
+        round in any::<u64>(),
+    ) {
+        // The bulk generator now consumes the keystream in 256 B
+        // multi-block strides; drawing the same pad one byte at a time
+        // forces the scalar buffered path the whole way.  Both must agree
+        // at every stride-straddling length.
+        force_multithreaded_pool();
+        let secret = secret_from(seed, 9);
+        for len in [1usize, 255, 256, 257, 511, 512, 513, 700] {
+            let bulk = pad(&secret, round, len);
+            let mut prng = dissent_crypto::prng::DetPrng::new(
+                &secret,
+                &{
+                    let mut label = b"dissent-dcnet-pad-round-".to_vec();
+                    label.extend_from_slice(&round.to_be_bytes());
+                    label
+                },
+            );
+            let bytewise: Vec<u8> = (0..len)
+                .map(|_| {
+                    let mut b = [0u8; 1];
+                    prng.fill(&mut b);
+                    b[0]
+                })
+                .collect();
+            prop_assert_eq!(&bulk, &bytewise);
+        }
+    }
+
+    #[test]
     fn fused_pad_xor_equals_pad_then_xor(
         seed in any::<u64>(),
         round in any::<u64>(),

@@ -128,6 +128,13 @@ pub struct PassTranscript {
 
 /// Perform one server's pass.
 ///
+/// The shuffle half is the pass's dominant cost: the real shuffle and every
+/// shadow round re-randomize all `n` entries through the batched
+/// Montgomery-domain comb path (`ElGamal::rerandomize_batch`), and the
+/// `soundness` shadow rounds fan out across the thread pool with
+/// deterministic per-round child RNGs — the transcript is bit-identical for
+/// every worker count (see [`proof::prove`]).
+///
 /// * `elgamal` — the ElGamal instance over the session group;
 /// * `server_keys` — every server's DH public key, in shuffle order;
 /// * `server_index` — this server's position in that order;

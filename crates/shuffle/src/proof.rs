@@ -40,7 +40,7 @@ use serde::{Deserialize, Serialize};
 pub const DEFAULT_SOUNDNESS: usize = 40;
 
 /// The response for a single shadow round.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ShadowResponse {
     /// Challenge bit 0: open the shadow — reveal its permutation and
     /// per-output randomizers relative to the *input*.
@@ -61,7 +61,10 @@ pub enum ShadowResponse {
 }
 
 /// A non-interactive shuffle proof.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `PartialEq` is derived so tests can assert that parallel and serial
+/// proving produce bit-identical transcripts.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShuffleProof {
     /// The shadow shuffles, one list of ciphertexts per round.
     pub shadows: Vec<Vec<Ciphertext>>,
@@ -120,15 +123,12 @@ pub fn shuffle_and_rerandomize<R: RngCore + ?Sized>(
     let n = input.len();
     let permutation = Permutation::random(rng, n);
     let randomizers: Vec<Scalar> = (0..n).map(|_| elgamal.group().random_scalar(rng)).collect();
-    let output: Vec<Ciphertext> = (0..n)
-        .map(|i| {
-            elgamal.rerandomize_with(
-                remaining_key,
-                &input[permutation.source_of(i)],
-                &randomizers[i],
-            )
-        })
-        .collect();
+    // Re-randomize all entries as one batch: both bases (generator and
+    // remaining key) serve the whole list from their cached comb tables in
+    // the Montgomery domain (`ElGamal::rerandomize_batch`), instead of a
+    // per-entry `exp` + division-based multiply.
+    let permuted: Vec<&Ciphertext> = (0..n).map(|i| &input[permutation.source_of(i)]).collect();
+    let output = elgamal.rerandomize_batch(remaining_key, &permuted, &randomizers);
     (
         output,
         ShuffleWitness {
@@ -168,8 +168,31 @@ fn challenge_bits(
     (0..shadows.len()).map(|_| prng.bit()).collect()
 }
 
+/// The deterministic child RNG for shadow round `t`.
+///
+/// All shadow randomness descends from one 32-byte seed drawn from the
+/// caller's RNG before any shadow work starts; each round then gets its own
+/// domain-separated stream.  Two consequences the parallel prover relies
+/// on:
+///
+/// * a shadow's bytes depend only on `(seed, t)` — never on which worker
+///   generates it or in what order — so the transcript is reproducible and
+///   identical for every thread count and chunking;
+/// * the caller's RNG state advances by exactly the seed draw, independent
+///   of the soundness parameter.
+fn shadow_rng(seed: &[u8; 32], t: usize) -> DetPrng {
+    let mut label = b"dissent-shuffle-shadow-rng-".to_vec();
+    label.extend_from_slice(&(t as u64).to_be_bytes());
+    DetPrng::new(seed, &label)
+}
+
 /// Produce a proof that `output` is a permutation and re-randomization of
 /// `input` under `remaining_key`.
+///
+/// Shadow generation — the prover's dominant cost, `soundness` independent
+/// re-randomized shuffles of the input — runs on the thread pool in chunks
+/// of `soundness / threads`.  See [`prove_chunked`] for the determinism
+/// contract (the transcript is bit-identical for every worker count).
 #[allow(clippy::too_many_arguments)]
 pub fn prove<R: RngCore + ?Sized>(
     elgamal: &ElGamal,
@@ -181,13 +204,69 @@ pub fn prove<R: RngCore + ?Sized>(
     context: &[u8],
     rng: &mut R,
 ) -> ShuffleProof {
+    let chunk = soundness.div_ceil(rayon::current_num_threads()).max(1);
+    prove_chunked(
+        elgamal,
+        remaining_key,
+        input,
+        output,
+        witness,
+        soundness,
+        context,
+        rng,
+        chunk,
+    )
+}
+
+/// [`prove`] with an explicit shadow chunk size — one pool task generates
+/// `chunk_size` consecutive shadow rounds.
+///
+/// Exposed so the equivalence tests can emulate every worker count in one
+/// process: because each shadow round draws from its own deterministic
+/// child RNG ([`shadow_rng`]) and results are collected in round order, the
+/// proof is **bit-identical for every chunk size and thread count** given
+/// the same caller RNG state.  `chunk_size >= soundness` is the serial
+/// path.
+#[allow(clippy::too_many_arguments)]
+pub fn prove_chunked<R: RngCore + ?Sized>(
+    elgamal: &ElGamal,
+    remaining_key: &Element,
+    input: &[Ciphertext],
+    output: &[Ciphertext],
+    witness: &ShuffleWitness,
+    soundness: usize,
+    context: &[u8],
+    rng: &mut R,
+    chunk_size: usize,
+) -> ShuffleProof {
+    use rayon::prelude::*;
     let group = elgamal.group();
     let n = input.len();
-    // Generate the shadow shuffles.
-    let mut shadow_witnesses = Vec::with_capacity(soundness);
+    // Register once, before the pool forks: every shadow raises the
+    // remaining key per entry.
+    group.register_fixed_base(remaining_key);
+    let mut seed = [0u8; 32];
+    rng.fill_bytes(&mut seed);
+    // Generate the shadow shuffles, one domain-separated child RNG per
+    // round, chunked across the pool.  Chunk results are collected by index
+    // and flattened in order, so scheduling never reorders rounds.
+    let rounds: Vec<usize> = (0..soundness).collect();
+    let mut per_chunk: Vec<Vec<(Vec<Ciphertext>, ShuffleWitness)>> = Vec::new();
+    rounds
+        .par_chunks(chunk_size.max(1))
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|&t| {
+                    let mut child = shadow_rng(&seed, t);
+                    shuffle_and_rerandomize(elgamal, remaining_key, input, &mut child)
+                })
+                .collect()
+        })
+        .collect_into_vec(&mut per_chunk);
     let mut shadows = Vec::with_capacity(soundness);
-    for _ in 0..soundness {
-        let (s, w) = shuffle_and_rerandomize(elgamal, remaining_key, input, rng);
+    let mut shadow_witnesses = Vec::with_capacity(soundness);
+    for (s, w) in per_chunk.into_iter().flatten() {
         shadows.push(s);
         shadow_witnesses.push(w);
     }

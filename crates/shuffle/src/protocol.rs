@@ -16,6 +16,12 @@
 //! permuted plaintexts.  The functions here run the whole pipeline
 //! in-memory; `dissent-core` distributes the passes across the simulated
 //! network and charges virtual time for them.
+//!
+//! Both the proving side (shadow rounds fan out over the thread pool,
+//! re-randomization runs the batched comb path) and the verifying side
+//! (batched DLEQ checks, sharded per-entry scans) are parallel; every
+//! transcript and verdict is proven identical to a serial run, so the
+//! protocol semantics are untouched by the thread count.
 
 use crate::pass::{perform_pass, verify_pass, PassError, PassTranscript};
 use dissent_crypto::dh::DhKeyPair;

@@ -1,0 +1,152 @@
+//! Parallel-prover equivalence and determinism suite.
+//!
+//! The shuffle prover's shadow generation runs on the thread pool, but its
+//! transcript must be a pure function of the caller's RNG state: every
+//! shadow round draws from its own domain-separated child RNG, so worker
+//! count and chunk size cannot influence a single byte.  This file pins
+//! that contract — parallel == serial bit-for-bit for every chunking (the
+//! in-process stand-in for `RAYON_NUM_THREADS` 1..4, which is fixed per
+//! process; the pool here is forced to 4 workers so the parallel path
+//! really runs multi-threaded) — and proves the batched comb
+//! re-randomization path equal to the old per-entry `exp` path on all four
+//! parameter sets.
+
+use dissent_crypto::dh::DhKeyPair;
+use dissent_crypto::elgamal::{Ciphertext, ElGamal};
+use dissent_crypto::group::{Element, Group};
+use dissent_shuffle::proof::{prove, prove_chunked, shuffle_and_rerandomize, verify, ShuffleProof};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn force_multithreaded_pool() {
+    // This file is its own test binary (own process), so the lazily-created
+    // global pool really gets 4 workers even on a 1-core CI box.
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+}
+
+const SOUNDNESS: usize = 10;
+
+fn setup(n: usize, seed: u64) -> (ElGamal, Element, Vec<Ciphertext>, StdRng) {
+    let group = Group::testing_256();
+    let eg = ElGamal::new(group.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let key = DhKeyPair::generate(&group, &mut rng);
+    let input: Vec<Ciphertext> = (0..n)
+        .map(|_| {
+            let m = group.exp_base(&group.random_scalar(&mut rng));
+            eg.encrypt(&mut rng, key.public(), &m)
+        })
+        .collect();
+    (eg, key.public().clone(), input, rng)
+}
+
+/// One full prove run at a given chunk size, from a fixed RNG seed.
+fn proof_at_chunk(chunk: Option<usize>, seed: u64) -> (ShuffleProof, bool) {
+    let (eg, key, input, mut rng) = setup(8, seed);
+    let (output, witness) = shuffle_and_rerandomize(&eg, &key, &input, &mut rng);
+    let proof = match chunk {
+        Some(c) => prove_chunked(
+            &eg, &key, &input, &output, &witness, SOUNDNESS, b"par", &mut rng, c,
+        ),
+        None => prove(
+            &eg, &key, &input, &output, &witness, SOUNDNESS, b"par", &mut rng,
+        ),
+    };
+    let ok = verify(&eg, &key, &input, &output, &proof, b"par").is_ok();
+    (proof, ok)
+}
+
+#[test]
+fn parallel_prove_is_bit_identical_to_serial_for_all_chunkings() {
+    force_multithreaded_pool();
+    // chunk >= soundness is the serial path; 1..4 emulate 1..4-worker
+    // shard shapes on the 4-thread pool.
+    let (serial, serial_ok) = proof_at_chunk(Some(SOUNDNESS), 0xC0FFEE);
+    assert!(serial_ok, "serial proof must verify");
+    for chunk in 1..=4usize {
+        let (parallel, ok) = proof_at_chunk(Some(chunk), 0xC0FFEE);
+        assert!(ok, "chunk {chunk} proof must verify");
+        assert_eq!(parallel, serial, "chunk {chunk} transcript differs");
+    }
+    // The production entry point (pool-derived chunk size) matches too.
+    let (auto, ok) = proof_at_chunk(None, 0xC0FFEE);
+    assert!(ok);
+    assert_eq!(auto, serial);
+}
+
+#[test]
+fn prove_is_deterministic_for_a_fixed_rng_seed() {
+    force_multithreaded_pool();
+    let (a, _) = proof_at_chunk(None, 7);
+    let (b, _) = proof_at_chunk(None, 7);
+    assert_eq!(a, b);
+    let (c, _) = proof_at_chunk(None, 8);
+    assert_ne!(a, c, "different RNG seeds must give different shadows");
+}
+
+#[test]
+fn parallel_proofs_survive_the_full_tamper_checks() {
+    force_multithreaded_pool();
+    // A parallel-proved transcript is still sound: tampering with the
+    // output after proving must be rejected.
+    let (eg, key, input, mut rng) = setup(6, 42);
+    let (mut output, witness) = shuffle_and_rerandomize(&eg, &key, &input, &mut rng);
+    let proof = prove_chunked(
+        &eg, &key, &input, &output, &witness, SOUNDNESS, b"t", &mut rng, 2,
+    );
+    assert!(verify(&eg, &key, &input, &output, &proof, b"t").is_ok());
+    let m = eg.group().exp_base(&eg.group().random_scalar(&mut rng));
+    output[1] = eg.encrypt(&mut rng, &key, &m);
+    assert!(verify(&eg, &key, &input, &output, &proof, b"t").is_err());
+}
+
+/// All four parameter sets, sized so the 2048-bit group stays affordable.
+fn all_groups() -> Vec<(Group, usize)> {
+    vec![
+        (Group::testing_256(), 6),
+        (Group::modp_512(), 4),
+        (Group::modp_1024(), 3),
+        (Group::rfc3526_2048(), 2),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn batched_rerandomization_equals_per_entry_exp_path(seed in any::<u64>()) {
+        force_multithreaded_pool();
+        for (group, n) in all_groups() {
+            let eg = ElGamal::new(group.clone());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let key = DhKeyPair::generate(&group, &mut rng);
+            let cts: Vec<Ciphertext> = (0..n)
+                .map(|_| {
+                    let m = group.exp_base(&group.random_scalar(&mut rng));
+                    eg.encrypt(&mut rng, key.public(), &m)
+                })
+                .collect();
+            let rs: Vec<_> = (0..n).map(|_| group.random_scalar(&mut rng)).collect();
+            // Old path: per-entry exp (general exponentiation, the key is
+            // deliberately NOT registered in this fresh Group handle).
+            let expected: Vec<Ciphertext> = cts
+                .iter()
+                .zip(&rs)
+                .map(|(ct, r)| eg.rerandomize_with(key.public(), ct, r))
+                .collect();
+            let refs: Vec<&Ciphertext> = cts.iter().collect();
+            let batched = eg.rerandomize_batch(key.public(), &refs, &rs);
+            prop_assert_eq!(batched, expected);
+            // And with the base registered (the prover's configuration).
+            group.register_fixed_base(key.public());
+            let registered = eg.rerandomize_batch(key.public(), &refs, &rs);
+            let expected_reg: Vec<Ciphertext> = cts
+                .iter()
+                .zip(&rs)
+                .map(|(ct, r)| eg.rerandomize_with(key.public(), ct, r))
+                .collect();
+            prop_assert_eq!(registered, expected_reg);
+        }
+    }
+}
