@@ -174,6 +174,7 @@ mod tests {
             corrupted_slots: vec![],
             expelled: vec![],
             certified: true,
+            cleartext: vec![],
         });
         assert_eq!(feed.len(), 2);
         assert_eq!(feed.posts[0].slot, 2);

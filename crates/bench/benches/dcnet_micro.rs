@@ -58,7 +58,7 @@ fn bench(c: &mut Criterion) {
                     len,
                     &composite,
                     &secrets,
-                    &BTreeMap::new(),
+                    &BTreeMap::<u32, Vec<u8>>::new(),
                 )
             })
         });

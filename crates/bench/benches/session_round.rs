@@ -1,0 +1,91 @@
+//! Round-engine benchmarks: real-cryptography rounds/sec through the
+//! lock-step and pipelined drivers, plus simulated round-latency quantiles
+//! from the event-driven net driver.
+//!
+//! The `session_round` group runs the full phase state machine (client
+//! ciphertexts, server commit/reveal, certification, finalize) on the fast
+//! testing group; the throughput line reports rounds/sec, so the scaling
+//! across N clients and window W is visible directly in CI logs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dissent_core::messages::sim_wire_sizes;
+use dissent_core::{ClientAction, GroupBuilder, PerEntityRng, PipelinedSession, Session, Workload};
+use dissent_crypto::group::Group;
+use dissent_net::churn::ChurnModel;
+use dissent_net::driver::{simulate, SimConfig};
+use dissent_net::topology::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    // Rounds/sec through the real engine: N clients × window W.  Idle
+    // steady-state rounds — the DC-net data path without message payloads —
+    // so the number isolates the per-round protocol cost.
+    let mut g = c.benchmark_group("session_round");
+    for &clients in &[8usize, 16] {
+        for &window in &[1usize, 2, 4] {
+            g.throughput(Throughput::Elements(window as u64));
+            g.bench_with_input(
+                BenchmarkId::new(format!("clients{clients}"), format!("W{window}")),
+                &window,
+                |b, &window| {
+                    let mut rng = StdRng::seed_from_u64(5);
+                    let group = GroupBuilder::new(clients, 2)
+                        .with_shuffle_soundness(2)
+                        .build();
+                    let session = Session::new(&group, &mut rng).expect("session");
+                    let mut pipe = PipelinedSession::new(session, window).expect("window");
+                    let mut rngs = PerEntityRng::new(1, clients, 2);
+                    let batch: Vec<Vec<ClientAction>> = (0..window)
+                        .map(|_| vec![ClientAction::Idle; clients])
+                        .collect();
+                    b.iter(|| pipe.run_batch(&batch, &mut rngs));
+                },
+            );
+        }
+    }
+    g.finish();
+
+    // Simulated round-latency quantiles (virtual time) from the net driver,
+    // printed alongside the wall-clock cost of running the simulation.
+    let mut g = c.benchmark_group("sim_round_latency");
+    let wire_group = Group::rfc3526_2048();
+    let workload = Workload::paper_microblog();
+    let testbeds = [
+        (
+            "deterlab640c32s",
+            Topology::deterlab(640, 32),
+            ChurnModel::deterlab(),
+        ),
+        (
+            "planetlab560c17s",
+            Topology::planetlab(560, 17),
+            ChurnModel::planetlab(),
+        ),
+    ];
+    for (label, topology, churn) in testbeds {
+        for &window in &[1usize, 4] {
+            let total_len = workload.cleartext_len(topology.num_clients);
+            let mut cfg = SimConfig::new(topology.clone(), churn.clone(), total_len, window, 24);
+            cfg.sizes = sim_wire_sizes(&wire_group, total_len);
+            let report = simulate(cfg.clone());
+            println!(
+                "sim_round_latency/{label}/W{window}: p50 {:.2} s  p90 {:.2} s  p99 {:.2} s  ({:.2} rounds/s, {:.0} msgs/s)",
+                report.round_latency.quantile(0.5),
+                report.round_latency.quantile(0.9),
+                report.round_latency.quantile(0.99),
+                report.rounds_per_sec,
+                report.messages_per_sec,
+            );
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("W{window}")),
+                &cfg,
+                |b, cfg| b.iter(|| simulate(cfg.clone())),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Subcommands: `sec5_1`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`, `fig11`,
-//! `baseline`, `alpha`, `calibrate`, `all`.
+//! `pipeline`, `baseline`, `alpha`, `calibrate`, `all`.
 
 use dissent_bench::*;
 
@@ -24,6 +24,7 @@ fn main() {
         "fig9" => fig9(),
         "fig10" => fig10(),
         "fig11" => fig11(),
+        "pipeline" => pipeline(rounds),
         "baseline" | "ablation_baseline" => baseline(),
         "alpha" | "ablation_alpha" => alpha(),
         "calibrate" => calibrate(),
@@ -35,13 +36,16 @@ fn main() {
             fig9();
             fig10();
             fig11();
+            pipeline(rounds);
             baseline();
             alpha();
             calibrate();
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("known: sec5_1 fig6 fig7 fig8 fig9 fig10 fig11 baseline alpha calibrate all");
+            eprintln!(
+                "known: sec5_1 fig6 fig7 fig8 fig9 fig10 fig11 pipeline baseline alpha calibrate all"
+            );
             std::process::exit(2);
         }
     }
@@ -191,6 +195,29 @@ fn fig11() {
             })
             .collect();
         println!("  {:<10} {}", format!("{:.0}%", q * 100.0), row.join(" "));
+    }
+}
+
+fn pipeline(rounds: usize) {
+    header("Pipelining (§3.6 / Fig. 8) — round latency & throughput vs clients vs window W");
+    println!("(event-driven net simulator; message sizes from the real wire encodings)");
+    println!(
+        "  {:<22} {:>7} {:>3} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "topology", "clients", "W", "mean lat", "p50", "p90", "p99", "rounds/s", "msgs/s"
+    );
+    for p in pipeline_study(&[100, 320, 1000], &[1, 2, 4, 8], rounds.max(16)) {
+        println!(
+            "  {:<22} {:>7} {:>3} {:>8.2} s {:>8.2} s {:>8.2} s {:>8.2} s {:>12.2} {:>12.0}",
+            p.topology,
+            p.clients,
+            p.window,
+            p.mean_latency_s,
+            p.p50_latency_s,
+            p.p90_latency_s,
+            p.p99_latency_s,
+            p.rounds_per_sec,
+            p.messages_per_sec
+        );
     }
 }
 

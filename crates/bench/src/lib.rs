@@ -378,6 +378,79 @@ pub fn alpha_ablation(dos_fraction: f64) -> Vec<(f64, f64, usize)> {
         .collect()
 }
 
+/// One point of the pipelining study (§3.6 / Figure 8): round latency and
+/// throughput for one topology × client count × pipeline window.
+#[derive(Clone, Debug)]
+pub struct PipelinePoint {
+    /// Topology label.
+    pub topology: String,
+    /// Number of clients.
+    pub clients: usize,
+    /// Pipeline window W (rounds in flight).
+    pub window: usize,
+    /// Mean round latency in seconds (batch open → last delivery).
+    pub mean_latency_s: f64,
+    /// Median round latency.
+    pub p50_latency_s: f64,
+    /// 90th-percentile round latency.
+    pub p90_latency_s: f64,
+    /// 99th-percentile round latency.
+    pub p99_latency_s: f64,
+    /// Round throughput.
+    pub rounds_per_sec: f64,
+    /// Protocol-message throughput.
+    pub messages_per_sec: f64,
+}
+
+/// Pipelining study: sweep client counts × pipeline windows over the
+/// DeterLab and PlanetLab testbeds on the event-driven `dissent-net`
+/// round driver.  Message sizes are derived from the real typed-message
+/// encodings at production (2048-bit) parameters, so the simulated bytes
+/// match what `dissent-core::messages` would put on the wire.
+pub fn pipeline_study(
+    client_counts: &[usize],
+    windows: &[usize],
+    rounds: usize,
+) -> Vec<PipelinePoint> {
+    use dissent_core::messages::sim_wire_sizes;
+    use dissent_crypto::group::Group;
+    use dissent_net::churn::ChurnModel;
+    use dissent_net::driver::{simulate, SimConfig};
+    use dissent_net::topology::Topology;
+
+    let group = Group::rfc3526_2048();
+    let workload = Workload::paper_microblog();
+    let mut out = Vec::new();
+    for &n in client_counts {
+        let total_len = workload.cleartext_len(n);
+        let sizes = sim_wire_sizes(&group, total_len);
+        let testbeds = [
+            (Topology::deterlab(n, 32), ChurnModel::deterlab()),
+            (Topology::planetlab(n, 17), ChurnModel::planetlab()),
+        ];
+        for (topology, churn) in testbeds {
+            for &window in windows {
+                let mut cfg =
+                    SimConfig::new(topology.clone(), churn.clone(), total_len, window, rounds);
+                cfg.sizes = sizes;
+                let report = simulate(cfg);
+                out.push(PipelinePoint {
+                    topology: topology.name.clone(),
+                    clients: n,
+                    window,
+                    mean_latency_s: report.round_latency.mean(),
+                    p50_latency_s: report.round_latency.quantile(0.5),
+                    p90_latency_s: report.round_latency.quantile(0.9),
+                    p99_latency_s: report.round_latency.quantile(0.99),
+                    rounds_per_sec: report.rounds_per_sec,
+                    messages_per_sec: report.messages_per_sec,
+                });
+            }
+        }
+    }
+    out
+}
+
 /// Measure the real cost of one modular exponentiation in each parameter
 /// set, for re-calibrating the [`dissent_net::CostModel`].
 pub fn calibrate_modexp() -> Vec<(String, f64)> {
@@ -523,6 +596,42 @@ mod tests {
         assert!(no_guard.1 > 0.99);
         // A strict threshold refuses some rounds under attack.
         assert!(strict.1 < no_guard.1);
+    }
+
+    #[test]
+    fn pipelining_raises_throughput_on_both_testbeds() {
+        let points = pipeline_study(&[320], &[1, 4], 16);
+        assert_eq!(points.len(), 4);
+        for testbed in ["deterlab", "planetlab"] {
+            let get = |w: usize| {
+                points
+                    .iter()
+                    .find(|p| p.topology.starts_with(testbed) && p.window == w)
+                    .unwrap()
+            };
+            let w1 = get(1);
+            let w4 = get(4);
+            assert!(
+                w4.rounds_per_sec > w1.rounds_per_sec,
+                "{testbed}: W=4 {} vs W=1 {} rounds/s",
+                w4.rounds_per_sec,
+                w1.rounds_per_sec
+            );
+            // Latency quantiles are ordered and positive.
+            assert!(w1.p50_latency_s > 0.0);
+            assert!(w1.p50_latency_s <= w1.p90_latency_s);
+            assert!(w1.p90_latency_s <= w1.p99_latency_s);
+        }
+        // The wide-area testbed pays more latency than the LAN.
+        let det = points
+            .iter()
+            .find(|p| p.topology.starts_with("deterlab") && p.window == 1)
+            .unwrap();
+        let pl = points
+            .iter()
+            .find(|p| p.topology.starts_with("planetlab") && p.window == 1)
+            .unwrap();
+        assert!(pl.p50_latency_s > det.p50_latency_s);
     }
 
     #[test]

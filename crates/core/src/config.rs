@@ -38,6 +38,11 @@ pub struct GroupConfig {
     pub slot_config: SlotConfig,
     /// Soundness parameter (shadow rounds) for the verifiable shuffles.
     pub shuffle_soundness: usize,
+    /// How many completed rounds of blame evidence (client and server
+    /// ciphertexts) the servers retain.  Accusations naming a round older
+    /// than this horizon are rejected — the paper's bounded-blame window.
+    /// Must be at least the pipeline window of any driver run on top.
+    pub blame_horizon: u64,
 }
 
 impl GroupConfig {
@@ -118,6 +123,7 @@ pub struct GroupBuilder {
     window_policy: WindowPolicy,
     slot_config: SlotConfig,
     shuffle_soundness: usize,
+    blame_horizon: u64,
     seed: u64,
 }
 
@@ -133,6 +139,7 @@ impl GroupBuilder {
             window_policy: WindowPolicy::default(),
             slot_config: SlotConfig::default(),
             shuffle_soundness: 8,
+            blame_horizon: 32,
             seed: 0xD155E27,
         }
     }
@@ -165,6 +172,13 @@ impl GroupBuilder {
     /// Set the shuffle soundness parameter.
     pub fn with_shuffle_soundness(mut self, soundness: usize) -> Self {
         self.shuffle_soundness = soundness.max(1);
+        self
+    }
+
+    /// Set the blame retention horizon (rounds of evidence kept; must cover
+    /// the deepest pipeline window the session will be driven with).
+    pub fn with_blame_horizon(mut self, horizon: u64) -> Self {
+        self.blame_horizon = horizon.max(1);
         self
     }
 
@@ -214,6 +228,7 @@ impl GroupBuilder {
             window_policy: self.window_policy,
             slot_config: self.slot_config,
             shuffle_soundness: self.shuffle_soundness,
+            blame_horizon: self.blame_horizon,
         };
         GeneratedGroup {
             config,

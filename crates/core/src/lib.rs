@@ -10,6 +10,14 @@
 //! * [`session`] — an in-memory session running the real cryptography: key
 //!   shuffle scheduling, DC-net rounds (Algorithms 1 & 2), churn handling,
 //!   accusations and disruptor expulsion.
+//! * [`messages`] — the typed protocol messages (`ClientSubmit`,
+//!   `ServerCommit`, `ServerReveal`, `Certify`, `AccusationFiled`) with
+//!   canonical wire forms.
+//! * [`round`] — the round state machine: each protocol phase as a separate
+//!   function advancing per-round state, driven by the typed messages.
+//! * [`pipeline`] — the pipelined driver keeping a window of W rounds in
+//!   flight (§3.6), with layouts frozen per batch and expulsions applied at
+//!   pipeline boundaries.
 //! * [`timing`] — the round-timing simulator that reproduces the shapes of
 //!   Figures 6–9 over the `dissent-net` testbed models.
 
@@ -17,12 +25,20 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod messages;
+pub mod pipeline;
 pub mod policy;
+pub mod round;
 pub mod session;
 pub mod timing;
 
 pub use config::{GeneratedGroup, GroupBuilder, GroupConfig};
+pub use messages::{
+    AccusationFiled, Certify, ClientSubmit, ProtocolMessage, ServerCommit, ServerReveal,
+};
+pub use pipeline::PipelinedSession;
 pub use policy::{participation_threshold, RoundCompletion, WindowOutcome, WindowPolicy};
+pub use round::{PerEntityRng, RngSource, RoundPhase, RoundState, SharedRng};
 pub use session::{ClientAction, RoundResult, Session, SessionError};
 pub use timing::{
     simulate_full_protocol, simulate_round, simulate_rounds, FullProtocolTiming, RoundTiming,

@@ -1,0 +1,211 @@
+//! The pipelined round driver (paper §3.6, Figure 8).
+//!
+//! Round latency (client links, stragglers) must not gate round throughput,
+//! so clients keep ciphertexts for a window of W future rounds in flight.
+//! [`PipelinedSession`] drives the phase state machine of [`crate::round`]
+//! batch-wise:
+//!
+//! * At a **pipeline boundary** the slot schedule's current state is frozen
+//!   into layouts for the next W rounds — every in-flight round uses the
+//!   same slot sizes.  Slot-size changes (grow/shrink/open/close) requested
+//!   by round outputs, and expulsions decided by blame, take effect at the
+//!   *next* boundary.
+//! * Clients precompute and submit ciphertexts for all W rounds
+//!   back-to-back; the servers then run commit → reveal → certify for each
+//!   round in order, and the outputs are finalized in round order.
+//! * Blame evidence is retained for the configured horizon, so an
+//!   accusation about a round W−1 deep in the pipeline still traces the
+//!   disruptor.
+//!
+//! With `W = 1` every boundary falls between consecutive rounds, which makes
+//! the driver *bit-identical* to the lock-step [`Session::run_round`] path —
+//! proven against pre-refactor golden digests in
+//! `tests/pipeline_equivalence.rs`.  For `W > 1` the per-entity RNG streams
+//! of [`crate::round::PerEntityRng`] keep every client's and server's byte
+//! stream independent of how the phases interleave, so steady-state batches
+//! reproduce the lock-step outputs bit-for-bit as well.
+
+use crate::round::{RngSource, RoundState};
+use crate::session::{ClientAction, RoundResult, Session, SessionError};
+
+/// A session driven with a window of W rounds in flight.
+pub struct PipelinedSession {
+    session: Session,
+    window: usize,
+}
+
+impl PipelinedSession {
+    /// Wrap a session in a pipelined driver with the given window.
+    ///
+    /// Fails if the window is zero or exceeds the session's blame horizon
+    /// (accusations about the oldest in-flight round must still resolve).
+    pub fn new(session: Session, window: usize) -> Result<PipelinedSession, SessionError> {
+        if window == 0 {
+            return Err(SessionError::BadConfig(
+                "pipeline window must be at least 1".into(),
+            ));
+        }
+        if window as u64 > session.config().blame_horizon {
+            return Err(SessionError::BadConfig(format!(
+                "pipeline window {window} exceeds the blame horizon {}",
+                session.config().blame_horizon
+            )));
+        }
+        Ok(PipelinedSession { session, window })
+    }
+
+    /// The pipeline window W.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The wrapped session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Unwrap the driver, returning the session at the current boundary.
+    pub fn into_session(self) -> Session {
+        self.session
+    }
+
+    /// The round number the next batch will start at.
+    pub fn next_round(&self) -> u64 {
+        self.session.next_round()
+    }
+
+    /// Run one batch of up to `window` rounds in flight.
+    ///
+    /// `actions_per_round[k][i]` is client `i`'s action in the k-th round of
+    /// the batch.  Returns one [`RoundResult`] per round, in round order.
+    pub fn run_batch<S: RngSource>(
+        &mut self,
+        actions_per_round: &[Vec<ClientAction>],
+        rngs: &mut S,
+    ) -> Vec<RoundResult> {
+        assert!(
+            !actions_per_round.is_empty() && actions_per_round.len() <= self.window,
+            "a batch carries between 1 and W={} rounds",
+            self.window
+        );
+        // Pipeline boundary: freeze the schedule's current slot layout for
+        // every round of the batch.
+        let base = self.session.schedule.layout();
+        let mut states: Vec<RoundState> = (0..actions_per_round.len())
+            .map(|k| {
+                let mut layout = base.clone();
+                layout.round = base.round + k as u64;
+                RoundState::new(layout)
+            })
+            .collect();
+
+        // Clients precompute and submit ciphertexts for the whole window.
+        for (state, actions) in states.iter_mut().zip(actions_per_round) {
+            let submits = self.session.client_phase(state, actions, rngs);
+            self.session.deliver_submissions(state, submits);
+        }
+
+        // Servers drain the in-flight rounds in order: commit → reveal →
+        // certify per round.
+        for state in states.iter_mut() {
+            let commits = self.session.server_commit_phase(state);
+            Session::deliver_commits(state, commits);
+            let reveals = Session::server_reveal_phase(state);
+            self.session.deliver_reveals(state, reveals);
+            let certs = self.session.certify_phase(state, rngs);
+            self.session.deliver_certificates(state, certs);
+        }
+
+        // Finalize in round order: outputs feed the schedule (taking effect
+        // at the next boundary, since this batch's layouts are frozen),
+        // victims file accusations, blame resolves, expulsions apply to the
+        // next batch.
+        states
+            .into_iter()
+            .map(|state| self.session.finalize_round(state, rngs))
+            .collect()
+    }
+
+    /// Run a script of rounds, batching `window` rounds at a time.
+    pub fn run_rounds<S: RngSource>(
+        &mut self,
+        actions_per_round: &[Vec<ClientAction>],
+        rngs: &mut S,
+    ) -> Vec<RoundResult> {
+        let mut out = Vec::with_capacity(actions_per_round.len());
+        for chunk in actions_per_round.chunks(self.window) {
+            out.extend(self.run_batch(chunk, rngs));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GroupBuilder;
+    use crate::round::PerEntityRng;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn session(clients: usize, servers: usize, horizon: u64) -> Session {
+        let mut rng = StdRng::seed_from_u64(0x1990);
+        let group = GroupBuilder::new(clients, servers)
+            .with_shuffle_soundness(4)
+            .with_blame_horizon(horizon)
+            .build();
+        Session::new(&group, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn invalid_windows_are_rejected() {
+        assert!(matches!(
+            PipelinedSession::new(session(3, 2, 8), 0),
+            Err(SessionError::BadConfig(_))
+        ));
+        assert!(matches!(
+            PipelinedSession::new(session(3, 2, 2), 3),
+            Err(SessionError::BadConfig(_))
+        ));
+        assert!(PipelinedSession::new(session(3, 2, 2), 2).is_ok());
+    }
+
+    #[test]
+    fn pipelined_batch_delivers_messages() {
+        let mut pipe = PipelinedSession::new(session(4, 2, 8), 2).unwrap();
+        let mut rngs = PerEntityRng::new(7, 4, 2);
+        let idle = || vec![ClientAction::Idle; 4];
+        // Batch 1: client 2 requests its slot in round 0; the slot opens at
+        // the next boundary, so the message leaves in batch 2.
+        let mut a0 = idle();
+        a0[2] = ClientAction::Send(b"pipelined post".to_vec());
+        let results = pipe.run_batch(&[a0, idle()], &mut rngs);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.certified));
+        let results = pipe.run_batch(&[idle(), idle()], &mut rngs);
+        let delivered: Vec<_> = results
+            .iter()
+            .flat_map(|r| r.messages.iter().map(|(_, m)| m.clone()))
+            .collect();
+        assert!(delivered.contains(&b"pipelined post".to_vec()));
+    }
+
+    #[test]
+    fn layouts_are_frozen_within_a_batch() {
+        let mut pipe = PipelinedSession::new(session(3, 2, 8), 4).unwrap();
+        let mut rngs = PerEntityRng::new(8, 3, 2);
+        let idle = || vec![ClientAction::Idle; 3];
+        // Round 0 requests a slot; rounds 1..3 of the same batch still run
+        // the frozen (all-closed) layout, so nothing can be delivered before
+        // the boundary.
+        let mut a0 = idle();
+        a0[0] = ClientAction::Send(b"x".to_vec());
+        let results = pipe.run_batch(&[a0, idle(), idle(), idle()], &mut rngs);
+        assert!(results.iter().all(|r| r.messages.is_empty()));
+        let lens: Vec<usize> = results.iter().map(|r| r.cleartext.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "frozen layouts");
+        // After the boundary the slot is open and the message drains.
+        let results = pipe.run_batch(&[idle(), idle()], &mut rngs);
+        assert!(results.iter().any(|r| !r.messages.is_empty()));
+    }
+}

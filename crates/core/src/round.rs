@@ -1,0 +1,729 @@
+//! The round state machine: one DC-net round as explicit message-driven
+//! phases.
+//!
+//! `Session::run_round` used to be a single ~300-line lock-step body; it is
+//! now a thin driver over the phase functions here, and the pipelined driver
+//! in [`crate::pipeline`] interleaves the same phases across a window of
+//! in-flight rounds.  Each phase consumes and produces the typed protocol
+//! messages of [`crate::messages`]:
+//!
+//! ```text
+//! Submission ──ClientSubmit──▶ Commit ──ServerCommit──▶ Reveal
+//!     ──ServerReveal──▶ Certification ──Certify──▶ Complete
+//!                                 └─▶ finalize: output, AccusationFiled, blame
+//! ```
+//!
+//! All state that belongs to *one round in flight* lives in [`RoundState`];
+//! the [`Session`](crate::session::Session) only holds cross-round state
+//! (roster, schedule, expulsions, blame records).  That separation is what
+//! lets W rounds proceed concurrently.
+
+use crate::messages::{AccusationFiled, Certify, ClientSubmit, ServerCommit, ServerReveal};
+use crate::policy::participation_threshold;
+use crate::session::{ClientAction, RoundRecord, RoundResult, Session};
+use dissent_crypto::schnorr;
+use dissent_crypto::sha256::sha256_tagged;
+use dissent_dcnet::accusation;
+use dissent_dcnet::client::TransmissionRecord;
+use dissent_dcnet::server::{
+    self, certification_digest, combine, server_ciphertext, trim_inventories, ClientId, ServerId,
+};
+use dissent_dcnet::slots::RoundLayout;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Where a round currently stands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoundPhase {
+    /// Collecting client ciphertexts.
+    Submission,
+    /// Servers have the submissions; commitments are being exchanged.
+    Commit,
+    /// Commitments are bound; server ciphertexts are being revealed.
+    Reveal,
+    /// The cleartext is combined; certification signatures are circulating.
+    Certification,
+    /// The round output is certified and finalized.
+    Complete,
+}
+
+/// All state of one round in flight.
+#[derive(Clone, Debug)]
+pub struct RoundState {
+    /// The (frozen) layout this round runs under.
+    pub layout: RoundLayout,
+    /// Current phase.
+    pub phase: RoundPhase,
+    /// Per-upstream-server submissions, each ciphertext materialized once.
+    pub(crate) per_server: BTreeMap<ServerId, BTreeMap<ClientId, Arc<[u8]>>>,
+    /// Transmission records of clients that wrote to their slot this round
+    /// (client-side secrets, kept for disruption detection), client order.
+    pub(crate) records: Vec<(usize, TransmissionRecord)>,
+    /// The agreed composite client list `l`.
+    pub(crate) composite: Vec<ClientId>,
+    /// Which server received each composite client's ciphertext.
+    pub(crate) assignment: BTreeMap<ClientId, ServerId>,
+    /// Server ciphertexts awaiting reveal (each server's own stash).
+    pub(crate) pending_reveals: BTreeMap<ServerId, Arc<[u8]>>,
+    /// Commitments received from the `ServerCommit` exchange.
+    pub(crate) commitments: BTreeMap<ServerId, [u8; 32]>,
+    /// Revealed server ciphertexts that passed the commitment check.
+    pub(crate) server_cts: BTreeMap<ServerId, Arc<[u8]>>,
+    /// Whether every reveal matched its commitment.
+    pub(crate) commits_ok: bool,
+    /// The combined round cleartext.
+    pub(crate) cleartext: Vec<u8>,
+    /// The certification digest, computed once in the certify phase.
+    pub(crate) cert_digest: Option<[u8; 32]>,
+    /// Whether every certification signature verified (and `commits_ok`).
+    pub(crate) certified: bool,
+}
+
+impl RoundState {
+    /// A fresh round over `layout`.
+    pub fn new(layout: RoundLayout) -> Self {
+        RoundState {
+            layout,
+            phase: RoundPhase::Submission,
+            per_server: BTreeMap::new(),
+            records: Vec::new(),
+            composite: Vec::new(),
+            assignment: BTreeMap::new(),
+            pending_reveals: BTreeMap::new(),
+            commitments: BTreeMap::new(),
+            server_cts: BTreeMap::new(),
+            commits_ok: false,
+            cleartext: Vec::new(),
+            cert_digest: None,
+            certified: false,
+        }
+    }
+
+    /// The round number.
+    pub fn round(&self) -> u64 {
+        self.layout.round
+    }
+}
+
+/// Source of per-entity randomness for the round engine.
+///
+/// The lock-step path threads one caller-supplied RNG through every
+/// operation in protocol order ([`SharedRng`]) — exactly the pre-refactor
+/// behaviour.  The pipelined driver gives every client and server its own
+/// deterministic stream ([`PerEntityRng`]), so the *interleaving* of phases
+/// across in-flight rounds cannot change any entity's byte stream — the
+/// property the W-equivalence tests rely on.
+pub trait RngSource {
+    /// The concrete RNG type handed out.
+    type Rng: RngCore + ?Sized;
+    /// The RNG driving client `i`'s randomness.
+    fn client_rng(&mut self, client: usize) -> &mut Self::Rng;
+    /// The RNG driving server `j`'s randomness.
+    fn server_rng(&mut self, server: usize) -> &mut Self::Rng;
+}
+
+/// One shared RNG for every entity (the lock-step path).
+pub struct SharedRng<'a, R: RngCore + ?Sized>(pub &'a mut R);
+
+impl<R: RngCore + ?Sized> RngSource for SharedRng<'_, R> {
+    type Rng = R;
+    fn client_rng(&mut self, _client: usize) -> &mut R {
+        self.0
+    }
+    fn server_rng(&mut self, _server: usize) -> &mut R {
+        self.0
+    }
+}
+
+/// An independent deterministic stream per client and per server, derived
+/// from a master seed by domain-separated hashing.
+pub struct PerEntityRng {
+    clients: Vec<StdRng>,
+    servers: Vec<StdRng>,
+}
+
+impl PerEntityRng {
+    /// Derive streams for `num_clients` clients and `num_servers` servers.
+    pub fn new(seed: u64, num_clients: usize, num_servers: usize) -> Self {
+        let derive = |role: &[u8], index: usize| {
+            let digest = sha256_tagged(&[
+                b"dissent-round-rng",
+                &seed.to_be_bytes(),
+                role,
+                &(index as u64).to_be_bytes(),
+            ]);
+            StdRng::from_seed(digest)
+        };
+        PerEntityRng {
+            clients: (0..num_clients).map(|i| derive(b"client", i)).collect(),
+            servers: (0..num_servers).map(|j| derive(b"server", j)).collect(),
+        }
+    }
+}
+
+impl RngSource for PerEntityRng {
+    type Rng = StdRng;
+    fn client_rng(&mut self, client: usize) -> &mut StdRng {
+        &mut self.clients[client]
+    }
+    fn server_rng(&mut self, server: usize) -> &mut StdRng {
+        &mut self.servers[server]
+    }
+}
+
+impl Session {
+    /// Open the next round in lock-step: its layout is the schedule's
+    /// current layout.  (The pipelined driver freezes layouts for a whole
+    /// batch instead.)
+    pub fn begin_round(&self) -> RoundState {
+        RoundState::new(self.schedule.layout())
+    }
+
+    /// **Submission phase (client side).**  Every online, non-expelled
+    /// client turns its [`ClientAction`] into a DC-net ciphertext for the
+    /// round `state` belongs to and addresses it to its upstream server.
+    /// Transmission records (the client-side evidence needed to detect
+    /// disruption of its own slot) are stashed in `state`.
+    pub fn client_phase<S: RngSource>(
+        &mut self,
+        state: &mut RoundState,
+        actions: &[ClientAction],
+        rngs: &mut S,
+    ) -> Vec<ClientSubmit> {
+        assert_eq!(
+            actions.len(),
+            self.config.num_clients(),
+            "one action per roster client required"
+        );
+        assert_eq!(
+            state.phase,
+            RoundPhase::Submission,
+            "round already past submission"
+        );
+        let layout = state.layout.clone();
+        let num_servers = self.config.num_servers();
+        let mut out = Vec::new();
+        for (i, action) in actions.iter().enumerate() {
+            if self.expelled.contains(&(i as ClientId)) {
+                continue;
+            }
+            let Some(submission) = self.build_submission(i, action, &layout, rngs.client_rng(i))
+            else {
+                continue;
+            };
+            let client = &mut self.clients[i];
+            let ct = client
+                .dcnet
+                .ciphertext(rngs.client_rng(i), &layout, &submission);
+            let mut bytes = ct.ciphertext;
+            if let Some(record) = ct.record {
+                state.records.push((i, record));
+            }
+            // A disruptor flips bits over its victim's slot on top of its
+            // otherwise well-formed ciphertext.
+            if let ClientAction::Disrupt { victim_slot } = action {
+                if let Some(range) = layout.slots.get(*victim_slot).copied().flatten() {
+                    let rng = rngs.client_rng(i);
+                    for b in &mut bytes[range.offset..range.offset + range.len] {
+                        *b ^= rng.next_u32() as u8;
+                    }
+                }
+            }
+            out.push(ClientSubmit {
+                round: layout.round,
+                client: i as ClientId,
+                upstream: (i % num_servers) as ServerId,
+                ciphertext: bytes.into(),
+            });
+        }
+        out
+    }
+
+    /// Deliver `ClientSubmit`s to the servers (latest submission wins,
+    /// mirroring the prototype).
+    ///
+    /// A submission is dropped unless it is well-formed for this round: the
+    /// round number matches, the client is a non-expelled roster member, the
+    /// upstream server is the one the balanced assignment fixes for that
+    /// client (a spoofed upstream would otherwise plant a phantom inventory
+    /// whose clients enter the composite list but whose ciphertexts never
+    /// combine), and the ciphertext has exactly the round's length (a wrong
+    /// length would poison the servers' XOR fold).
+    ///
+    /// Submissions are not yet authenticated to their sender: the in-process
+    /// drivers construct them directly, and a real transport must bind a
+    /// `ClientSubmit` to the roster member's connection (or a signature)
+    /// before handing it here — see the ROADMAP transport follow-up.
+    pub fn deliver_submissions(&self, state: &mut RoundState, msgs: Vec<ClientSubmit>) {
+        let num_servers = self.config.num_servers();
+        for j in 0..num_servers {
+            state.per_server.entry(j as ServerId).or_default();
+        }
+        for msg in msgs {
+            let client = msg.client as usize;
+            if msg.round != state.layout.round
+                || client >= self.config.num_clients()
+                || msg.upstream as usize != client % num_servers
+                || self.expelled.contains(&msg.client)
+                || msg.ciphertext.len() != state.layout.total_len
+            {
+                continue;
+            }
+            state
+                .per_server
+                .entry(msg.upstream)
+                .or_default()
+                .insert(msg.client, msg.ciphertext);
+        }
+    }
+
+    /// **Commit phase (server side, Algorithm 2 steps 2–3).**  The servers
+    /// exchange inventories, agree on the composite client list, expand
+    /// their pads, and broadcast binding commitments to their ciphertexts.
+    ///
+    /// Every server's pad expansion is independent, so the M simulated
+    /// servers run concurrently on the pool (each server's own fold shards
+    /// further across clients inside `server_ciphertext`); results are keyed
+    /// by server id, so scheduling cannot reorder them.
+    pub fn server_commit_phase(&self, state: &mut RoundState) -> Vec<ServerCommit> {
+        assert_eq!(
+            state.phase,
+            RoundPhase::Submission,
+            "commit phase re-entered"
+        );
+        let round = state.layout.round;
+        let inventories: BTreeMap<ServerId, Vec<ClientId>> = state
+            .per_server
+            .iter()
+            .map(|(&j, subs)| (j, subs.keys().copied().collect()))
+            .collect();
+        let (trimmed, composite) = trim_inventories(&inventories);
+        state.assignment = trimmed
+            .iter()
+            .flat_map(|(&srv, clients)| clients.iter().map(move |&c| (c, srv)))
+            .collect();
+        state.composite = composite;
+
+        type ServerOutput = (ServerId, Vec<u8>, [u8; 32]);
+        let total_len = state.layout.total_len;
+        let composite = &state.composite;
+        let per_server = &state.per_server;
+        let server_outputs: Vec<ServerOutput> = {
+            use rayon::prelude::*;
+            let chunk = self
+                .servers
+                .len()
+                .div_ceil(rayon::current_num_threads())
+                .max(1);
+            let mut shards: Vec<Vec<ServerOutput>> = Vec::new();
+            self.servers
+                .par_chunks(chunk)
+                .map(|srvs| {
+                    srvs.iter()
+                        .map(|srv| {
+                            let id = srv.index as ServerId;
+                            let own: BTreeMap<ClientId, Arc<[u8]>> = trimmed[&id]
+                                .iter()
+                                .map(|c| (*c, per_server[&id][c].clone()))
+                                .collect();
+                            let sct = server_ciphertext(
+                                round,
+                                total_len,
+                                composite,
+                                &srv.client_secrets,
+                                &own,
+                            );
+                            let commit = server::commitment(round, id, &sct);
+                            (id, sct, commit)
+                        })
+                        .collect()
+                })
+                .collect_into_vec(&mut shards);
+            shards.into_iter().flatten().collect()
+        };
+        let mut out = Vec::with_capacity(server_outputs.len());
+        for (j, sct, commitment) in server_outputs {
+            state.pending_reveals.insert(j, sct.into());
+            out.push(ServerCommit {
+                round,
+                server: j,
+                commitment,
+            });
+        }
+        state.phase = RoundPhase::Commit;
+        out
+    }
+
+    /// Record the commitment broadcast.  Once all commitments are bound the
+    /// round can move to the reveal phase.
+    pub fn deliver_commits(state: &mut RoundState, msgs: Vec<ServerCommit>) {
+        for msg in msgs {
+            if msg.round != state.layout.round {
+                continue;
+            }
+            state.commitments.insert(msg.server, msg.commitment);
+        }
+        state.phase = RoundPhase::Reveal;
+    }
+
+    /// **Reveal phase.**  Each server publishes the ciphertext it committed
+    /// to.
+    pub fn server_reveal_phase(state: &mut RoundState) -> Vec<ServerReveal> {
+        assert_eq!(
+            state.phase,
+            RoundPhase::Reveal,
+            "reveal before commitments bound"
+        );
+        let round = state.layout.round;
+        state
+            .pending_reveals
+            .iter()
+            .map(|(&server, ct)| ServerReveal {
+                round,
+                server,
+                ciphertext: ct.clone(),
+            })
+            .collect()
+    }
+
+    /// Check every reveal against its commitment (the step that stops a
+    /// dishonest server adapting its ciphertext after seeing the others')
+    /// and store the ciphertexts that bind.
+    ///
+    /// `commits_ok` requires a binding, correctly-sized reveal from *every*
+    /// roster server: a missing reveal would leave that server's pads
+    /// uncancelled and silently certify keystream garbage, so an incomplete
+    /// set can never certify.  Reveals that fail the commitment or length
+    /// check are simply dropped — an injected garbage reveal cannot veto a
+    /// round whose roster reveals all bind (the commitment scheme already
+    /// guarantees at most one binding ciphertext per server).
+    pub fn deliver_reveals(&self, state: &mut RoundState, msgs: Vec<ServerReveal>) {
+        let round = state.layout.round;
+        for msg in msgs {
+            if msg.round != round {
+                continue;
+            }
+            let bound = msg.ciphertext.len() == state.layout.total_len
+                && state.commitments.get(&msg.server).is_some_and(|c| {
+                    server::verify_commitment(round, msg.server, &msg.ciphertext, c)
+                });
+            if bound {
+                state.server_cts.insert(msg.server, msg.ciphertext);
+            }
+        }
+        state.commits_ok = state.server_cts.len() == self.servers.len();
+        state.phase = RoundPhase::Certification;
+    }
+
+    /// **Certification phase (Algorithm 2 step 5).**  Combine the server
+    /// ciphertexts into the round cleartext and have every server sign the
+    /// certification digest.
+    pub fn certify_phase<S: RngSource>(
+        &self,
+        state: &mut RoundState,
+        rngs: &mut S,
+    ) -> Vec<Certify> {
+        assert_eq!(
+            state.phase,
+            RoundPhase::Certification,
+            "certify before reveals"
+        );
+        let round = state.layout.round;
+        state.cleartext = combine(state.layout.total_len, &state.server_cts);
+        let digest = certification_digest(round, &state.composite, &state.cleartext);
+        state.cert_digest = Some(digest);
+        let group = &self.config.group;
+        self.servers
+            .iter()
+            .map(|srv| Certify {
+                round,
+                server: srv.index as ServerId,
+                signature: srv.signing.sign(group, rngs.server_rng(srv.index), &digest),
+            })
+            .collect()
+    }
+
+    /// Verify the certification signatures against the group's server
+    /// signing keys; the round is certified iff every commitment bound and
+    /// every *distinct* roster server contributed a valid signature.
+    /// Duplicate `Certify` messages from one server cannot stand in for a
+    /// missing server's, and injected invalid signatures are dropped rather
+    /// than vetoing a round whose roster signatures are all present.
+    pub fn deliver_certificates(&self, state: &mut RoundState, msgs: Vec<Certify>) {
+        let round = state.layout.round;
+        let digest = state
+            .cert_digest
+            .unwrap_or_else(|| certification_digest(round, &state.composite, &state.cleartext));
+        let group = &self.config.group;
+        let mut signed = std::collections::BTreeSet::new();
+        for msg in &msgs {
+            if msg.round != round {
+                continue;
+            }
+            if let Some(pk) = self.config.server_sign_keys.get(msg.server as usize) {
+                if schnorr::verify(group, pk, &digest, &msg.signature) {
+                    signed.insert(msg.server);
+                }
+            }
+        }
+        state.certified = state.commits_ok && signed.len() == self.servers.len();
+    }
+
+    /// Queue filed accusations for blame resolution.  The pseudonym
+    /// signatures are verified (batched) when the accusations are resolved
+    /// at the end of the round, so this ingest only enqueues.
+    pub fn deliver_accusations(&mut self, msgs: Vec<AccusationFiled>) {
+        for msg in msgs {
+            self.pending_accusations
+                .push((msg.accusation, msg.signature));
+        }
+    }
+
+    /// **Finalize.**  Record the round for the blame horizon, apply the
+    /// output to the shared slot schedule, let victims search for witness
+    /// bits and file accusations, and resolve blame.
+    pub fn finalize_round<S: RngSource>(
+        &mut self,
+        mut state: RoundState,
+        rngs: &mut S,
+    ) -> RoundResult {
+        let round = state.layout.round;
+        let group = self.config.group.clone();
+
+        // Keep the round record for potential blame: the stored maps share
+        // the submission `Arc`s, so no ciphertext is copied.
+        let mut all_client_cts: BTreeMap<ClientId, Arc<[u8]>> = BTreeMap::new();
+        for subs in state.per_server.values() {
+            for (c, ct) in subs {
+                all_client_cts.insert(*c, ct.clone());
+            }
+        }
+        self.round_records.insert(
+            round,
+            RoundRecord {
+                layout: state.layout.clone(),
+                composite: state.composite.clone(),
+                assignment: std::mem::take(&mut state.assignment),
+                client_ciphertexts: all_client_cts,
+                server_ciphertexts: state.server_cts.clone(),
+            },
+        );
+        // Bounded blame horizon: evict records older than the window so the
+        // evidence store cannot grow without bound; accusations naming an
+        // evicted round no longer resolve.
+        let horizon = self.config.blame_horizon.max(1);
+        let keep_from = (round + 1).saturating_sub(horizon);
+        self.round_records = self.round_records.split_off(&keep_from);
+
+        // Output phase: every node digests the cleartext.
+        let output = self
+            .schedule
+            .apply_round_output(&state.layout, &state.cleartext);
+        self.participation = state.composite.len();
+        let required = participation_threshold(self.config.alpha, self.participation);
+
+        // Disruption detection: victims look for witness bits and file
+        // signed accusations — as `AccusationFiled` messages, the same
+        // structure a real transport would route through the accusation
+        // shuffle.
+        let mut filed = Vec::new();
+        for (i, record) in &state.records {
+            if record.round != round {
+                continue;
+            }
+            let observed =
+                &state.cleartext[record.slot_offset..record.slot_offset + record.slot_wire.len()];
+            if let Some(acc) = accusation::find_witness(
+                round,
+                self.clients[*i].dcnet.slot(),
+                record.slot_offset,
+                &record.slot_wire,
+                observed,
+            ) {
+                let signature =
+                    self.clients[*i]
+                        .pseudonym
+                        .sign(&group, rngs.client_rng(*i), &acc.to_bytes());
+                filed.push(AccusationFiled {
+                    accusation: acc,
+                    signature,
+                });
+            }
+        }
+        self.deliver_accusations(filed);
+
+        let expelled_now = self.resolve_accusations(&group);
+        state.phase = RoundPhase::Complete;
+
+        RoundResult {
+            round,
+            messages: output.messages(),
+            participation: self.participation,
+            required_participation: required,
+            corrupted_slots: output.corrupted(),
+            expelled: expelled_now,
+            certified: state.certified,
+            cleartext: state.cleartext,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GroupBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn session(clients: usize, servers: usize) -> (Session, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0xFA2E);
+        let group = GroupBuilder::new(clients, servers)
+            .with_shuffle_soundness(4)
+            .build();
+        let session = Session::new(&group, &mut rng).unwrap();
+        (session, rng)
+    }
+
+    /// Drive one round's phases, letting `tamper` rewrite each message batch
+    /// before delivery; returns the finalized result.
+    fn run_tampered(
+        session: &mut Session,
+        rng: &mut StdRng,
+        tamper_submits: impl FnOnce(&mut Vec<ClientSubmit>),
+        tamper_reveals: impl FnOnce(&mut Vec<ServerReveal>),
+        tamper_certs: impl FnOnce(&mut Vec<Certify>),
+    ) -> RoundResult {
+        let actions = vec![crate::session::ClientAction::Idle; session.config().num_clients()];
+        let mut rngs = crate::round::SharedRng(rng);
+        let mut state = session.begin_round();
+        let mut submits = session.client_phase(&mut state, &actions, &mut rngs);
+        tamper_submits(&mut submits);
+        session.deliver_submissions(&mut state, submits);
+        let commits = session.server_commit_phase(&mut state);
+        Session::deliver_commits(&mut state, commits);
+        let mut reveals = Session::server_reveal_phase(&mut state);
+        tamper_reveals(&mut reveals);
+        session.deliver_reveals(&mut state, reveals);
+        let mut certs = session.certify_phase(&mut state, &mut rngs);
+        tamper_certs(&mut certs);
+        session.deliver_certificates(&mut state, certs);
+        session.finalize_round(state, &mut rngs)
+    }
+
+    #[test]
+    fn untampered_phases_certify() {
+        let (mut session, mut rng) = session(4, 2);
+        let r = run_tampered(&mut session, &mut rng, |_| {}, |_| {}, |_| {});
+        assert!(r.certified);
+        assert_eq!(r.participation, 4);
+    }
+
+    #[test]
+    fn spoofed_upstream_submission_is_rejected() {
+        // A submission addressed to a phantom (or merely wrong) server must
+        // be dropped: otherwise its client enters the composite list while
+        // its ciphertext never combines, poisoning the whole round.
+        let (mut session, mut rng) = session(4, 2);
+        let r = run_tampered(
+            &mut session,
+            &mut rng,
+            |submits| {
+                submits[0].upstream = 999;
+                submits[1].upstream = (submits[1].client as usize % 2) as u32 ^ 1;
+            },
+            |_| {},
+            |_| {},
+        );
+        // The two malformed submissions are excluded; the round stays
+        // internally consistent and certifies with the remaining clients.
+        assert!(r.certified);
+        assert_eq!(r.participation, 2);
+    }
+
+    #[test]
+    fn wrong_length_submission_is_rejected() {
+        let (mut session, mut rng) = session(3, 2);
+        let r = run_tampered(
+            &mut session,
+            &mut rng,
+            |submits| {
+                let mut short = submits[0].ciphertext.to_vec();
+                short.pop();
+                submits[0].ciphertext = short.into();
+            },
+            |_| {},
+            |_| {},
+        );
+        assert!(r.certified);
+        assert_eq!(r.participation, 2);
+    }
+
+    #[test]
+    fn missing_reveal_cannot_certify() {
+        // A dropped ServerReveal leaves that server's pads uncancelled; the
+        // combined output is keystream garbage and must not certify.
+        let (mut session, mut rng) = session(4, 2);
+        let r = run_tampered(
+            &mut session,
+            &mut rng,
+            |_| {},
+            |reveals| {
+                reveals.pop();
+            },
+            |_| {},
+        );
+        assert!(!r.certified);
+    }
+
+    #[test]
+    fn tampered_reveal_cannot_certify() {
+        let (mut session, mut rng) = session(4, 2);
+        let r = run_tampered(
+            &mut session,
+            &mut rng,
+            |_| {},
+            |reveals| {
+                let mut ct = reveals[0].ciphertext.to_vec();
+                ct[0] ^= 1;
+                reveals[0].ciphertext = ct.into();
+            },
+            |_| {},
+        );
+        assert!(!r.certified);
+    }
+
+    #[test]
+    fn duplicate_certify_cannot_replace_a_missing_server() {
+        // Two valid signatures from server 0 must not count as "every server
+        // signed": the anytrust guarantee needs each server's own signature.
+        let (mut session, mut rng) = session(4, 2);
+        let r = run_tampered(
+            &mut session,
+            &mut rng,
+            |_| {},
+            |_| {},
+            |certs| {
+                let dup = certs[0].clone();
+                certs[1] = dup;
+            },
+        );
+        assert!(!r.certified);
+    }
+
+    #[test]
+    fn forged_certify_signature_cannot_certify() {
+        let (mut session, mut rng) = session(4, 2);
+        let r = run_tampered(
+            &mut session,
+            &mut rng,
+            |_| {},
+            |_| {},
+            |certs| {
+                certs[1].server = 0; // server 1's signature under server 0's key
+            },
+        );
+        assert!(!r.certified);
+    }
+}

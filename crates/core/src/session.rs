@@ -31,25 +31,21 @@
 //! change *how* the bytes travel, not what is verified.
 
 use crate::config::{GeneratedGroup, GroupConfig};
-use crate::policy::participation_threshold;
+use crate::round::SharedRng;
 use dissent_crypto::dh::DhKeyPair;
 use dissent_crypto::elgamal::ElGamal;
-use dissent_crypto::group::Element;
+use dissent_crypto::group::{Element, Group};
 use dissent_crypto::schnorr::{self, SigningKeyPair};
-use dissent_dcnet::accusation::{
-    self, build_server_reveal, evaluate_blame, Accusation, BlameOutcome,
-};
-use dissent_dcnet::client::{ClientDcnet, Submission, TransmissionRecord};
+use dissent_dcnet::accusation::{build_server_reveal, evaluate_blame, Accusation, BlameOutcome};
+use dissent_dcnet::client::{ClientDcnet, Submission};
 use dissent_dcnet::pad::SharedSecret;
-use dissent_dcnet::server::{
-    self, certification_digest, combine, server_ciphertext, trim_inventories, ClientId, ServerId,
-    SubmissionSet,
-};
+use dissent_dcnet::server::{combine, ClientId, ServerId};
 use dissent_dcnet::slots::{RoundLayout, SlotPayload, SlotSchedule};
 use dissent_shuffle::protocol::{run_shuffle, submit_element};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Errors a session can produce.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -109,47 +105,53 @@ pub struct RoundResult {
     pub expelled: Vec<ClientId>,
     /// Whether every server signature over the output verified.
     pub certified: bool,
+    /// The combined round cleartext every node digests (request-bit region
+    /// followed by the open slots).  Exposed so equivalence tests can compare
+    /// engines bit-for-bit and applications can reprocess raw slots.
+    pub cleartext: Vec<u8>,
 }
 
-struct ClientState {
-    dcnet: ClientDcnet,
-    pseudonym: SigningKeyPair,
+pub(crate) struct ClientState {
+    pub(crate) dcnet: ClientDcnet,
+    pub(crate) pseudonym: SigningKeyPair,
     /// Messages waiting for the slot to open (or grow) — a queue, so posts
     /// submitted in quick succession are never dropped.
     pending: std::collections::VecDeque<Vec<u8>>,
     requested: bool,
-    last_record: Option<TransmissionRecord>,
 }
 
-struct ServerState {
-    index: usize,
-    signing: SigningKeyPair,
-    client_secrets: BTreeMap<ClientId, SharedSecret>,
+pub(crate) struct ServerState {
+    pub(crate) index: usize,
+    pub(crate) signing: SigningKeyPair,
+    pub(crate) client_secrets: BTreeMap<ClientId, SharedSecret>,
 }
 
-/// A record of one round the servers keep for potential later blame.
-struct RoundRecord {
-    layout: RoundLayout,
-    composite: Vec<ClientId>,
-    assignment: BTreeMap<ClientId, ServerId>,
-    client_ciphertexts: BTreeMap<ClientId, Vec<u8>>,
-    server_ciphertexts: BTreeMap<ServerId, Vec<u8>>,
+/// A record of one round the servers keep for potential later blame.  The
+/// ciphertext maps share the submission `Arc`s — keeping a record never
+/// copies a ciphertext — and records older than the configured blame
+/// horizon are evicted when a round completes.
+pub(crate) struct RoundRecord {
+    pub(crate) layout: RoundLayout,
+    pub(crate) composite: Vec<ClientId>,
+    pub(crate) assignment: BTreeMap<ClientId, ServerId>,
+    pub(crate) client_ciphertexts: BTreeMap<ClientId, Arc<[u8]>>,
+    pub(crate) server_ciphertexts: BTreeMap<ServerId, Arc<[u8]>>,
 }
 
 /// An in-memory Dissent session.
 pub struct Session {
-    config: GroupConfig,
-    clients: Vec<ClientState>,
-    servers: Vec<ServerState>,
-    schedule: SlotSchedule,
+    pub(crate) config: GroupConfig,
+    pub(crate) clients: Vec<ClientState>,
+    pub(crate) servers: Vec<ServerState>,
+    pub(crate) schedule: SlotSchedule,
     /// slot → client index (the secret permutation; held here only so tests
     /// and the blame path can resolve it, never exposed to other clients).
     slot_owner: Vec<usize>,
     pseudonym_keys: Vec<Element>,
-    expelled: BTreeSet<ClientId>,
-    participation: usize,
-    round_records: BTreeMap<u64, RoundRecord>,
-    pending_accusations: Vec<(Accusation, dissent_crypto::schnorr::Signature)>,
+    pub(crate) expelled: BTreeSet<ClientId>,
+    pub(crate) participation: usize,
+    pub(crate) round_records: BTreeMap<u64, RoundRecord>,
+    pub(crate) pending_accusations: Vec<(Accusation, dissent_crypto::schnorr::Signature)>,
 }
 
 impl Session {
@@ -217,7 +219,6 @@ impl Session {
                 pseudonym: pseudonyms[i].clone(),
                 pending: std::collections::VecDeque::new(),
                 requested: false,
-                last_record: None,
             });
         }
         let servers = generated
@@ -295,7 +296,7 @@ impl Session {
         self.schedule.round()
     }
 
-    fn build_submission<R: RngCore + ?Sized>(
+    pub(crate) fn build_submission<R: RngCore + ?Sized>(
         &mut self,
         client_idx: usize,
         action: &ClientAction,
@@ -360,181 +361,45 @@ impl Session {
         }
     }
 
-    /// Run one DC-net round.
+    /// Run one DC-net round in lock-step.
     ///
     /// `actions[i]` describes client `i`'s behaviour.  Expelled clients are
     /// treated as offline regardless of their action.
+    ///
+    /// This is a thin driver over the phase state machine in
+    /// [`crate::round`]: client submissions, server commit/reveal,
+    /// certification and finalization run back-to-back for a single round,
+    /// threading the caller's RNG through every operation in protocol order
+    /// — bit-identical to the pre-refactor monolithic engine (locked by the
+    /// golden digests in `tests/pipeline_equivalence.rs`).  The pipelined
+    /// driver in [`crate::pipeline`] runs the same phases with a window of
+    /// rounds in flight.
     pub fn run_round<R: RngCore + ?Sized>(
         &mut self,
         actions: &[ClientAction],
         rng: &mut R,
     ) -> RoundResult {
-        assert_eq!(
-            actions.len(),
-            self.config.num_clients(),
-            "one action per roster client required"
-        );
-        let layout = self.schedule.layout();
-        let round = layout.round;
-        let group = self.config.group.clone();
-        let group_id = self.config.group_id();
+        let mut rngs = SharedRng(rng);
+        let mut state = self.begin_round();
+        let submits = self.client_phase(&mut state, actions, &mut rngs);
+        self.deliver_submissions(&mut state, submits);
+        let commits = self.server_commit_phase(&mut state);
+        Session::deliver_commits(&mut state, commits);
+        let reveals = Session::server_reveal_phase(&mut state);
+        self.deliver_reveals(&mut state, reveals);
+        let certs = self.certify_phase(&mut state, &mut rngs);
+        self.deliver_certificates(&mut state, certs);
+        self.finalize_round(state, &mut rngs)
+    }
 
-        // --- Client phase: build ciphertexts and submit to upstream server.
-        let mut per_server: Vec<SubmissionSet> = (0..self.config.num_servers())
-            .map(|_| SubmissionSet::new())
-            .collect();
-        for (i, action) in actions.iter().enumerate() {
-            if self.expelled.contains(&(i as ClientId)) {
-                continue;
-            }
-            let Some(submission) = self.build_submission(i, action, &layout, rng) else {
-                self.clients[i].last_record = None;
-                continue;
-            };
-            let state = &mut self.clients[i];
-            let ct = state.dcnet.ciphertext(rng, &layout, &submission);
-            let mut bytes = ct.ciphertext;
-            state.last_record = ct.record;
-            // A disruptor flips bits over its victim's slot on top of its
-            // otherwise well-formed ciphertext.
-            if let ClientAction::Disrupt { victim_slot } = action {
-                if let Some(range) = layout.slots.get(*victim_slot).copied().flatten() {
-                    for b in &mut bytes[range.offset..range.offset + range.len] {
-                        *b ^= rng.next_u32() as u8;
-                    }
-                }
-            }
-            let upstream = i % self.config.num_servers();
-            per_server[upstream].insert(i as ClientId, bytes);
-        }
-
-        // --- Server phase (Algorithm 2).
-        let inventories: BTreeMap<ServerId, Vec<ClientId>> = per_server
-            .iter()
-            .enumerate()
-            .map(|(j, s)| (j as ServerId, s.inventory()))
-            .collect();
-        let (trimmed, composite) = trim_inventories(&inventories);
-        let assignment: BTreeMap<ClientId, ServerId> = trimmed
-            .iter()
-            .flat_map(|(&srv, clients)| clients.iter().map(move |&c| (c, srv)))
-            .collect();
-
-        // Every server's pad expansion + commitment is independent of the
-        // others', so the M simulated servers run concurrently on the pool
-        // (each server's own pad fold shards further across clients inside
-        // `server_ciphertext`; nested scopes share the same workers).
-        // Results are keyed by server id, so scheduling cannot reorder them.
-        type ServerOutput = (ServerId, Vec<u8>, [u8; 32]);
-        let server_outputs: Vec<ServerOutput> = {
-            use rayon::prelude::*;
-            let chunk = self
-                .servers
-                .len()
-                .div_ceil(rayon::current_num_threads())
-                .max(1);
-            let mut shards: Vec<Vec<ServerOutput>> = Vec::new();
-            self.servers
-                .par_chunks(chunk)
-                .map(|srvs| {
-                    srvs.iter()
-                        .map(|srv| {
-                            let own: BTreeMap<ClientId, Vec<u8>> = trimmed
-                                [&(srv.index as ServerId)]
-                                .iter()
-                                .map(|c| (*c, per_server[srv.index].ciphertexts[c].clone()))
-                                .collect();
-                            let sct = server_ciphertext(
-                                round,
-                                layout.total_len,
-                                &composite,
-                                &srv.client_secrets,
-                                &own,
-                            );
-                            let commit = server::commitment(round, srv.index as ServerId, &sct);
-                            (srv.index as ServerId, sct, commit)
-                        })
-                        .collect()
-                })
-                .collect_into_vec(&mut shards);
-            shards.into_iter().flatten().collect()
-        };
-        let mut server_cts: BTreeMap<ServerId, Vec<u8>> = BTreeMap::new();
-        let mut commitments: BTreeMap<ServerId, [u8; 32]> = BTreeMap::new();
-        for (j, sct, commit) in server_outputs {
-            commitments.insert(j, commit);
-            server_cts.insert(j, sct);
-        }
-        // Commit verification (honest servers always pass; the check is the
-        // protocol step that stops a dishonest server adapting its ciphertext
-        // after seeing the others').
-        let commits_ok = server_cts
-            .iter()
-            .all(|(&j, ct)| server::verify_commitment(round, j, ct, &commitments[&j]));
-        let cleartext = combine(layout.total_len, &server_cts);
-
-        // Certification: every server signs the output digest; clients check.
-        let digest = certification_digest(round, &composite, &cleartext);
-        let signatures: Vec<_> = self
-            .servers
-            .iter()
-            .map(|s| s.signing.sign(&group, rng, &digest))
-            .collect();
-        let certified = commits_ok
-            && signatures
-                .iter()
-                .zip(self.config.server_sign_keys.iter())
-                .all(|(sig, pk)| schnorr::verify(&group, pk, &digest, sig));
-
-        // Keep the round record for potential blame.
-        let mut all_client_cts = BTreeMap::new();
-        for set in &per_server {
-            for (c, ct) in &set.ciphertexts {
-                all_client_cts.insert(*c, ct.clone());
-            }
-        }
-        self.round_records.insert(
-            round,
-            RoundRecord {
-                layout: layout.clone(),
-                composite: composite.clone(),
-                assignment,
-                client_ciphertexts: all_client_cts,
-                server_ciphertexts: server_cts,
-            },
-        );
-
-        // --- Output phase: every node digests the cleartext.
-        let output = self.schedule.apply_round_output(&layout, &cleartext);
-        self.participation = composite.len();
-        let required = participation_threshold(self.config.alpha, self.participation);
-
-        // --- Disruption detection: victims look for witness bits and file
-        // signed accusations.
-        for state in &mut self.clients {
-            if let Some(record) = state.last_record.take() {
-                if record.round == round {
-                    let observed =
-                        &cleartext[record.slot_offset..record.slot_offset + record.slot_wire.len()];
-                    if let Some(acc) = accusation::find_witness(
-                        round,
-                        state.dcnet.slot(),
-                        record.slot_offset,
-                        &record.slot_wire,
-                        observed,
-                    ) {
-                        let sig = state.pseudonym.sign(&group, rng, &acc.to_bytes());
-                        self.pending_accusations.push((acc, sig));
-                    }
-                }
-            }
-        }
-
-        // --- Blame: resolve pending accusations.  All pseudonym signatures
-        // are screened in one batched verification; only if the batch
-        // rejects (some signature is forged) does the path fall back to
-        // per-signature checks, so a disruptor cannot force per-accusation
-        // cost on the servers just by filing many valid accusations.
+    /// Resolve every pending accusation, returning the clients expelled.
+    ///
+    /// All pseudonym signatures are screened in one batched verification;
+    /// only if the batch rejects (some signature is forged) does the path
+    /// fall back to per-signature checks, so a disruptor cannot force
+    /// per-accusation cost on the servers just by filing many valid
+    /// accusations.
+    pub(crate) fn resolve_accusations(&mut self, group: &Group) -> Vec<ClientId> {
         let mut expelled_now = Vec::new();
         let accusations = std::mem::take(&mut self.pending_accusations);
         let messages: Vec<Vec<u8>> = accusations.iter().map(|(acc, _)| acc.to_bytes()).collect();
@@ -551,52 +416,49 @@ impl Session {
                 batch_idx.push(i);
             }
         }
-        if schnorr::batch_verify(&group, &batch) {
+        if schnorr::batch_verify(group, &batch) {
             for &i in &batch_idx {
                 sig_ok[i] = true;
             }
         } else {
             for (item, &i) in batch.iter().zip(&batch_idx) {
-                sig_ok[i] = schnorr::verify(&group, item.public, item.message, item.signature);
+                sig_ok[i] = schnorr::verify(group, item.public, item.message, item.signature);
             }
         }
         for ((acc, _), ok) in accusations.iter().zip(sig_ok) {
             if !ok {
                 continue;
             }
-            if let Some(culprit) = self.process_accusation(acc, &group_id) {
+            if let Some(culprit) = self.process_accusation(acc) {
                 if self.expelled.insert(culprit) {
                     expelled_now.push(culprit);
                 }
             }
         }
-
-        RoundResult {
-            round,
-            messages: output.messages(),
-            participation: self.participation,
-            required_participation: required,
-            corrupted_slots: output.corrupted(),
-            expelled: expelled_now,
-            certified,
-        }
+        expelled_now
     }
 
     /// Process an accusation whose pseudonym signature has already been
     /// verified (batched with the round's other accusations by the caller):
     /// collect every server's bit reveals, evaluate blame, and return the
     /// culprit to expel (if the accusation traces to a client).
-    fn process_accusation(&self, acc: &Accusation, _group_id: &[u8]) -> Option<ClientId> {
+    ///
+    /// Accusations naming a round older than the configured blame horizon
+    /// are rejected — the evidence has been evicted (paper's bounded-blame
+    /// window), so the accusation cannot resolve to anyone.
+    fn process_accusation(&self, acc: &Accusation) -> Option<ClientId> {
         let record = self.round_records.get(&acc.round)?;
         if acc.bit >= record.layout.total_len * 8 {
             return None;
         }
-        // Every server reveals its bits for the witness position.
+        // Every server reveals its bits for the witness position.  The
+        // `own` maps share the recorded ciphertext `Arc`s — the blame path
+        // never copies a ciphertext.
         let reveals: BTreeMap<ServerId, _> = self
             .servers
             .iter()
             .map(|srv| {
-                let own: BTreeMap<ClientId, Vec<u8>> = record
+                let own: BTreeMap<ClientId, Arc<[u8]>> = record
                     .client_ciphertexts
                     .iter()
                     .filter(|(c, _)| record.assignment.get(c) == Some(&(srv.index as ServerId)))
@@ -611,7 +473,7 @@ impl Session {
                         &record.composite,
                         &srv.client_secrets,
                         &own,
-                        &record.server_ciphertexts[&(srv.index as ServerId)],
+                        record.server_ciphertexts[&(srv.index as ServerId)].as_ref(),
                     ),
                 )
             })
@@ -774,6 +636,38 @@ mod tests {
         }
         let r = session.run_round(&actions, &mut rng);
         assert_eq!(r.participation, 6);
+    }
+
+    #[test]
+    fn blame_records_respect_the_horizon() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let group = GroupBuilder::new(4, 2)
+            .with_shuffle_soundness(4)
+            .with_blame_horizon(3)
+            .build();
+        let mut session = Session::new(&group, &mut rng).unwrap();
+        for _ in 0..6 {
+            session.run_round(&idle(4), &mut rng);
+        }
+        // Only the last `horizon` rounds of evidence remain.
+        let kept: Vec<u64> = session.round_records.keys().copied().collect();
+        assert_eq!(kept, vec![3, 4, 5]);
+        // An accusation naming an evicted round cannot resolve to anyone.
+        let stale = Accusation {
+            round: 0,
+            slot: 0,
+            bit: 0,
+        };
+        assert_eq!(session.process_accusation(&stale), None);
+        // One naming a retained round still evaluates (consistent here, so
+        // no culprit — but the evidence was found).
+        let fresh = Accusation {
+            round: 5,
+            slot: 0,
+            bit: 0,
+        };
+        assert_eq!(session.process_accusation(&fresh), None);
+        assert!(session.round_records.contains_key(&5));
     }
 
     #[test]

@@ -94,14 +94,15 @@ pub struct ServerReveal {
 const PARALLEL_REVEAL_MIN_CLIENTS: usize = 64;
 
 /// Honest-server helper: build a [`ServerReveal`] from the server's own
-/// round state.
-pub fn build_server_reveal(
+/// round state.  `own_ciphertexts` is generic over the buffer type so the
+/// blame path can read shared `Arc<[u8]>` ciphertexts without copying them.
+pub fn build_server_reveal<B: AsRef<[u8]>>(
     round: u64,
     total_len: usize,
     bit: usize,
     composite: &[ClientId],
     client_secrets: &BTreeMap<ClientId, SharedSecret>,
-    own_ciphertexts: &BTreeMap<ClientId, Vec<u8>>,
+    own_ciphertexts: &BTreeMap<ClientId, B>,
     server_ciphertext: &[u8],
 ) -> ServerReveal {
     let threads = rayon::current_num_threads();
@@ -128,7 +129,7 @@ pub fn build_server_reveal(
         };
     let client_ct_bits = own_ciphertexts
         .iter()
-        .map(|(c, ct)| (*c, get_bit(ct, bit)))
+        .map(|(c, ct)| (*c, get_bit(ct.as_ref(), bit)))
         .collect();
     ServerReveal {
         pad_bits,

@@ -97,12 +97,15 @@ pub fn trim_inventories(
 /// ChaCha20 kernel) and sharded across the thread pool; per-shard
 /// accumulators XOR-merge deterministically, making the output
 /// byte-identical to a serial run for any thread count.
-pub fn server_ciphertext(
+///
+/// `own_ciphertexts` is generic over the byte-buffer type so callers can
+/// hand in shared `Arc<[u8]>` ciphertexts without re-materializing them.
+pub fn server_ciphertext<B: AsRef<[u8]>>(
     round: u64,
     total_len: usize,
     composite: &[ClientId],
     client_secrets: &BTreeMap<ClientId, SharedSecret>,
-    own_ciphertexts: &BTreeMap<ClientId, Vec<u8>>,
+    own_ciphertexts: &BTreeMap<ClientId, B>,
 ) -> Vec<u8> {
     let secrets: Vec<SharedSecret> = composite
         .iter()
@@ -115,6 +118,7 @@ pub fn server_ciphertext(
     let mut out = vec![0u8; total_len];
     accumulate_pads(&mut out, &secrets, round);
     for ct in own_ciphertexts.values() {
+        let ct = ct.as_ref();
         assert_eq!(ct.len(), total_len, "client ciphertext length mismatch");
         xor_into(&mut out, ct);
     }
@@ -154,11 +158,18 @@ const COMBINE_RANGE_BYTES: usize = 64 * 1024;
 /// servers), so bulk rounds (128 KB × M servers) use every core; each byte
 /// is owned by exactly one range, so the result cannot depend on
 /// scheduling.
-pub fn combine(total_len: usize, server_ciphertexts: &BTreeMap<ServerId, Vec<u8>>) -> Vec<u8> {
+pub fn combine<B: AsRef<[u8]>>(
+    total_len: usize,
+    server_ciphertexts: &BTreeMap<ServerId, B>,
+) -> Vec<u8> {
     for ct in server_ciphertexts.values() {
-        assert_eq!(ct.len(), total_len, "server ciphertext length mismatch");
+        assert_eq!(
+            ct.as_ref().len(),
+            total_len,
+            "server ciphertext length mismatch"
+        );
     }
-    let parts: Vec<&[u8]> = server_ciphertexts.values().map(|v| v.as_slice()).collect();
+    let parts: Vec<&[u8]> = server_ciphertexts.values().map(|v| v.as_ref()).collect();
     let mut out = vec![0u8; total_len];
     if rayon::current_num_threads() <= 1 || total_len < 2 * COMBINE_RANGE_BYTES {
         for part in &parts {

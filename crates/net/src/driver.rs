@@ -1,0 +1,447 @@
+//! Event-driven driver for pipelined DC-net rounds.
+//!
+//! The paper's headline scaling result rests on pipelining (§3.6, Figure 8):
+//! clients keep ciphertexts for several future rounds in flight, so round
+//! *latency* (dominated by client links and stragglers) stops gating round
+//! *throughput* (dominated by server processing).  This module simulates
+//! exactly that message flow on the discrete-event core: every
+//! `ClientSubmit`, `ServerCommit`, `ServerReveal` and `Certify` transfer is
+//! scheduled through the [`EventQueue`] with per-link latency/bandwidth from
+//! a [`Topology`], computation charged by a [`CostModel`], and per-round
+//! client behaviour drawn from a [`ChurnModel`].
+//!
+//! The driver mirrors the batch-pipelined engine in `dissent-core`
+//! (`PipelinedSession`): a batch of `window` rounds opens at once, clients
+//! submit ciphertexts for every round of the batch back-to-back, the
+//! servers' (serialized) processing pipeline drains the rounds in order, and
+//! the next batch opens when the last cleartext of the current batch is
+//! delivered.  Message sizes come from [`WireSizes`] — `dissent-core`
+//! derives them from the real typed-message encodings.
+
+use crate::churn::{ChurnModel, ClientBehavior};
+use crate::costmodel::CostModel;
+use crate::sim::{to_secs, EventQueue, SimTime, Stats};
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// On-wire size in bytes of each protocol message kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireSizes {
+    /// One client ciphertext submission.
+    pub client_submit: usize,
+    /// One server commitment broadcast.
+    pub server_commit: usize,
+    /// One revealed server ciphertext.
+    pub server_reveal: usize,
+    /// One certification signature.
+    pub certify: usize,
+    /// The signed cleartext pushed down to each client.
+    pub cleartext_push: usize,
+}
+
+impl WireSizes {
+    /// Rough sizes for a round with `total_len` cleartext bytes — header
+    /// estimates only; `dissent-core::messages::sim_wire_sizes` derives the
+    /// exact figures from the typed-message encodings.
+    pub fn for_cleartext(total_len: usize) -> Self {
+        WireSizes {
+            client_submit: total_len + 21,
+            server_commit: 45,
+            server_reveal: total_len + 17,
+            certify: 81,
+            cleartext_push: total_len + 81,
+        }
+    }
+}
+
+/// Configuration of one simulated run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Links and node counts.
+    pub topology: Topology,
+    /// Computation-cost model.
+    pub cost: CostModel,
+    /// Per-round client behaviour.
+    pub churn: ChurnModel,
+    /// Message sizes (see [`WireSizes`]).
+    pub sizes: WireSizes,
+    /// Cleartext length per round (drives computation costs).
+    pub total_len: usize,
+    /// Pipeline window W: rounds kept in flight per batch.
+    pub window: usize,
+    /// Number of rounds to simulate.
+    pub rounds: usize,
+    /// Fraction of online submissions the servers wait for before closing a
+    /// round's window (the §5.1 policy front-end, paper default 0.95).
+    pub close_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A configuration with the paper's defaults for the tunables.
+    pub fn new(
+        topology: Topology,
+        churn: ChurnModel,
+        total_len: usize,
+        window: usize,
+        rounds: usize,
+    ) -> Self {
+        SimConfig {
+            topology,
+            cost: CostModel::default(),
+            churn,
+            sizes: WireSizes::for_cleartext(total_len),
+            total_len,
+            window: window.max(1),
+            rounds,
+            close_fraction: 0.95,
+            seed: 0x51D,
+        }
+    }
+}
+
+/// What one simulated run measured.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Topology label.
+    pub topology: String,
+    /// Pipeline window used.
+    pub window: usize,
+    /// Rounds that ran to completion.
+    pub rounds_completed: usize,
+    /// Total virtual duration.
+    pub duration: SimTime,
+    /// Per-round latency (seconds) from batch open to last cleartext
+    /// delivery of that round.
+    pub round_latency: Stats,
+    /// Total protocol messages exchanged.
+    pub messages: u64,
+    /// Round throughput.
+    pub rounds_per_sec: f64,
+    /// Message throughput.
+    pub messages_per_sec: f64,
+}
+
+/// Events flowing through the queue — one per protocol-message arrival or
+/// phase completion.
+#[derive(Clone, Copy, Debug)]
+enum SimEvent {
+    /// A `ClientSubmit` reached the upstream server.
+    SubmitArrived { round: usize },
+    /// The submission window for a round closed with no arrivals (all
+    /// clients offline).
+    WindowClosed { round: usize },
+    /// Commit/reveal/certify exchange finished; the round output is signed.
+    Certified { round: usize },
+    /// One client received the signed cleartext.
+    Delivered { round: usize },
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct RoundTrack {
+    open_time: SimTime,
+    online: usize,
+    arrived: usize,
+    target: usize,
+    closed: bool,
+    delivered: usize,
+    complete: bool,
+}
+
+/// The event-driven pipelined round driver.
+pub struct SimDriver {
+    cfg: SimConfig,
+    queue: EventQueue<SimEvent>,
+    rng: StdRng,
+    rounds: Vec<RoundTrack>,
+    /// When the server pipeline stage (pad expansion + XOR + signing
+    /// compute) frees up — successive rounds serialize on it while their
+    /// network exchanges overlap.
+    server_busy_until: SimTime,
+    batch_end: usize,
+    batch_remaining: usize,
+    completed: usize,
+    messages: u64,
+    latency: Stats,
+}
+
+impl SimDriver {
+    /// Set up a driver for one configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let rounds = vec![RoundTrack::default(); cfg.rounds];
+        SimDriver {
+            cfg,
+            queue: EventQueue::new(),
+            rng,
+            rounds,
+            server_busy_until: 0,
+            batch_end: 0,
+            batch_remaining: 0,
+            completed: 0,
+            messages: 0,
+            latency: Stats::new(),
+        }
+    }
+
+    /// Run the configured number of rounds and report.
+    pub fn run(mut self) -> SimReport {
+        if self.cfg.rounds > 0 {
+            self.start_batch(0);
+        }
+        while let Some((_, event)) = self.queue.pop() {
+            match event {
+                SimEvent::SubmitArrived { round } => {
+                    let t = &mut self.rounds[round];
+                    t.arrived += 1;
+                    if !t.closed && t.arrived >= t.target {
+                        self.close_window(round);
+                    }
+                }
+                SimEvent::WindowClosed { round } => {
+                    if !self.rounds[round].closed {
+                        self.close_window(round);
+                    }
+                }
+                SimEvent::Certified { round } => self.certified(round),
+                SimEvent::Delivered { round } => {
+                    self.rounds[round].delivered += 1;
+                    if self.rounds[round].delivered >= self.rounds[round].online {
+                        self.complete_round(round);
+                    }
+                }
+            }
+            if self.completed == self.cfg.rounds {
+                break;
+            }
+        }
+        let duration = self.queue.now().max(1);
+        let secs = to_secs(duration);
+        SimReport {
+            topology: self.cfg.topology.name.clone(),
+            window: self.cfg.window,
+            rounds_completed: self.completed,
+            duration,
+            round_latency: self.latency,
+            messages: self.messages,
+            rounds_per_sec: self.completed as f64 / secs,
+            messages_per_sec: self.messages as f64 / secs,
+        }
+    }
+
+    /// Open a batch of up to `window` rounds: every online client schedules
+    /// its `ClientSubmit` transfers for all rounds of the batch, serialized
+    /// back-to-back into its uplink (the "ciphertexts in flight").
+    fn start_batch(&mut self, first: usize) {
+        let end = (first + self.cfg.window).min(self.cfg.rounds);
+        self.batch_end = end;
+        self.batch_remaining = end - first;
+        let now = self.queue.now();
+        let n = self.cfg.topology.num_clients;
+        let m = self.cfg.topology.num_servers.max(1);
+        let compute = self.cfg.cost.client_round_compute(self.cfg.total_len, m);
+        let stagger = self
+            .cfg
+            .topology
+            .client_link
+            .serialization_time(self.cfg.sizes.client_submit);
+        for round in first..end {
+            let mut online = 0usize;
+            for _ in 0..n {
+                match self.cfg.churn.sample(&mut self.rng) {
+                    ClientBehavior::Offline => {}
+                    ClientBehavior::Submits { delay } => {
+                        online += 1;
+                        let transfer = self
+                            .cfg
+                            .topology
+                            .client_link
+                            .transfer_time_jittered(self.cfg.sizes.client_submit, &mut self.rng);
+                        let in_flight = (round - first) as SimTime * stagger;
+                        self.queue.schedule(
+                            delay + compute + transfer + in_flight,
+                            SimEvent::SubmitArrived { round },
+                        );
+                    }
+                }
+            }
+            self.messages += online as u64;
+            let target = ((online as f64 * self.cfg.close_fraction).ceil() as usize).max(1);
+            self.rounds[round] = RoundTrack {
+                open_time: now,
+                online,
+                target: target.min(online.max(1)),
+                ..RoundTrack::default()
+            };
+            if online == 0 {
+                self.queue.schedule(0, SimEvent::WindowClosed { round });
+            }
+        }
+    }
+
+    /// The submission window for `round` closed: run the server phase.  The
+    /// compute stage (pad expansion over the participants, XOR, hashing,
+    /// signing) is a serialized pipeline stage shared by consecutive rounds;
+    /// the commit/reveal/certify exchanges of different rounds overlap.
+    fn close_window(&mut self, round: usize) {
+        let now = self.queue.now();
+        let t = &mut self.rounds[round];
+        t.closed = true;
+        let participating = t.arrived.max(1);
+        let m = self.cfg.topology.num_servers.max(1);
+        let own = participating.div_ceil(m);
+        let link = &self.cfg.topology.server_link;
+
+        let start = now.max(self.server_busy_until);
+        let compute = self
+            .cfg
+            .cost
+            .server_round_compute(self.cfg.total_len, participating, own, m);
+        self.server_busy_until = start + compute;
+
+        // Inventory lists, then commitments, then full reveals, then
+        // signatures — each an all-to-all exchange among the M servers.
+        let inventory = link.rtt() + link.serialization_time(participating * 4 * m);
+        let commits = link.latency_us + link.serialization_time(self.cfg.sizes.server_commit * m);
+        let reveals = link.latency_us
+            + link.serialization_time(self.cfg.sizes.server_reveal * m.saturating_sub(1));
+        let certs = link.latency_us + link.serialization_time(self.cfg.sizes.certify * m);
+        self.messages += 4 * (m as u64) * (m as u64);
+
+        let done = start + compute + inventory + commits + reveals + certs;
+        self.queue.schedule_at(done, SimEvent::Certified { round });
+    }
+
+    /// The round output is certified: push the signed cleartext to every
+    /// online client over its downlink.
+    fn certified(&mut self, round: usize) {
+        let online = self.rounds[round].online;
+        if online == 0 {
+            self.complete_round(round);
+            return;
+        }
+        self.messages += online as u64;
+        for _ in 0..online {
+            let transfer = self
+                .cfg
+                .topology
+                .client_link
+                .transfer_time_jittered(self.cfg.sizes.cleartext_push, &mut self.rng);
+            self.queue.schedule(transfer, SimEvent::Delivered { round });
+        }
+    }
+
+    fn complete_round(&mut self, round: usize) {
+        let t = &mut self.rounds[round];
+        if t.complete {
+            return;
+        }
+        t.complete = true;
+        self.completed += 1;
+        self.latency.push(to_secs(self.queue.now() - t.open_time));
+        self.batch_remaining -= 1;
+        // Pipeline boundary: the next batch opens once every round of the
+        // current batch has delivered (layout/expulsion changes take effect
+        // here in the real engine).
+        if self.batch_remaining == 0 && self.batch_end < self.cfg.rounds {
+            self.start_batch(self.batch_end);
+        }
+    }
+}
+
+/// Convenience wrapper: simulate one configuration.
+pub fn simulate(cfg: SimConfig) -> SimReport {
+    SimDriver::new(cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(window: usize) -> SimConfig {
+        SimConfig::new(
+            Topology::deterlab(100, 8),
+            ChurnModel::deterlab(),
+            4_000,
+            window,
+            24,
+        )
+    }
+
+    #[test]
+    fn all_rounds_complete_and_latency_is_sane() {
+        let report = simulate(config(1));
+        assert_eq!(report.rounds_completed, 24);
+        assert_eq!(report.round_latency.len(), 24);
+        let mean = report.round_latency.mean();
+        // §5.2: small DeterLab groups run sub-second to ~1 s rounds.
+        assert!(mean > 0.05 && mean < 5.0, "mean latency {mean}");
+        assert!(report.messages > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = simulate(config(2));
+        let b = simulate(config(2));
+        assert_eq!(a.duration, b.duration);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.round_latency.samples(), b.round_latency.samples());
+    }
+
+    #[test]
+    fn pipelining_raises_throughput() {
+        // Figure 8's point: with W rounds in flight, the client-side latency
+        // is amortized over the batch, so rounds/sec rises with the window.
+        let w1 = simulate(config(1));
+        let w4 = simulate(config(4));
+        assert!(
+            w4.rounds_per_sec > 1.5 * w1.rounds_per_sec,
+            "W=4 {} rounds/s vs W=1 {} rounds/s",
+            w4.rounds_per_sec,
+            w1.rounds_per_sec
+        );
+        // Same work, less wall-clock: message throughput rises too.
+        assert!(w4.messages_per_sec > w1.messages_per_sec);
+    }
+
+    #[test]
+    fn wide_area_latency_dominates_and_pipelining_still_helps() {
+        let mk = |w| {
+            SimConfig::new(
+                Topology::planetlab(200, 8),
+                ChurnModel::planetlab(),
+                4_000,
+                w,
+                16,
+            )
+        };
+        let w1 = simulate(mk(1));
+        let w8 = simulate(mk(8));
+        assert_eq!(w1.rounds_completed, 16);
+        assert!(w8.rounds_per_sec > w1.rounds_per_sec);
+    }
+
+    #[test]
+    fn total_churn_does_not_deadlock() {
+        let mut cfg = config(4);
+        cfg.churn = ChurnModel::reliable_lan().with_dos_fraction(1.0);
+        let report = simulate(cfg);
+        assert_eq!(report.rounds_completed, 24, "empty rounds must still close");
+    }
+
+    #[test]
+    fn server_pipeline_serializes_compute() {
+        // With an expensive server phase and cheap links, W=4 cannot be more
+        // than ~4x faster than W=1 — the serialized compute stage bounds it.
+        let mut w1 = config(1);
+        w1.cost.server_parallelism = 0.05;
+        let mut w4 = config(4);
+        w4.cost.server_parallelism = 0.05;
+        let r1 = simulate(w1);
+        let r4 = simulate(w4);
+        assert!(r4.rounds_per_sec < 5.0 * r1.rounds_per_sec);
+    }
+}

@@ -11,12 +11,16 @@
 //! * [`churn`] — per-round client online/offline and straggler behaviour.
 //! * [`trace`] — synthetic PlanetLab-style submission traces (Figure 6).
 //! * [`costmodel`] — virtual-time costs of the cryptographic operations.
+//! * [`driver`] — the event-driven pipelined round driver (§3.6 / Figure 8):
+//!   protocol messages scheduled through the event queue with per-link
+//!   latency/bandwidth, churn, and a configurable pipeline window.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod churn;
 pub mod costmodel;
+pub mod driver;
 pub mod link;
 pub mod sim;
 pub mod topology;
@@ -24,6 +28,7 @@ pub mod trace;
 
 pub use churn::{ChurnModel, ClientBehavior};
 pub use costmodel::CostModel;
+pub use driver::{SimConfig, SimDriver, SimReport, WireSizes};
 pub use link::Link;
 pub use sim::{EventQueue, SimTime, Stats, MILLISECOND, SECOND};
 pub use topology::Topology;

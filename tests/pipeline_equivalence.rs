@@ -1,0 +1,300 @@
+//! Equivalence proofs for the pipelined round engine.
+//!
+//! * The refactored lock-step path (`Session::run_round`) and the pipelined
+//!   driver at W=1 must be **bit-identical to the pre-refactor monolithic
+//!   engine**: the golden digests below were captured from the seed engine
+//!   before `run_round` was split into phases, and every refactor since must
+//!   keep reproducing them.
+//! * The pipelined driver at W ∈ {2, 4} must produce bit-identical
+//!   cleartexts, certification verdicts and expulsions to the (proven)
+//!   lock-step W=1 driver under mixed client actions at steady state.
+//! * Blame must still trace the culprit when the accused round is W−1 deep
+//!   in the pipeline.
+
+use dissent::crypto::sha256::{sha256_tagged, to_hex};
+use dissent::dcnet::slots::SlotConfig;
+use dissent::protocol::{
+    ClientAction, GroupBuilder, PerEntityRng, PipelinedSession, RoundResult, Session, SharedRng,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn idle(n: usize) -> Vec<ClientAction> {
+    vec![ClientAction::Idle; n]
+}
+
+/// Digest every observable output of one round: the raw cleartext plus the
+/// decoded messages, certification verdict, participation and expulsions.
+fn round_digest(r: &RoundResult) -> String {
+    let mut parts: Vec<Vec<u8>> = vec![
+        r.round.to_be_bytes().to_vec(),
+        r.cleartext.clone(),
+        vec![r.certified as u8],
+        (r.participation as u64).to_be_bytes().to_vec(),
+        (r.required_participation as u64).to_be_bytes().to_vec(),
+    ];
+    for c in &r.expelled {
+        parts.push(c.to_be_bytes().to_vec());
+    }
+    for s in &r.corrupted_slots {
+        parts.push((*s as u64).to_be_bytes().to_vec());
+    }
+    for (slot, msg) in &r.messages {
+        parts.push((*slot as u64).to_be_bytes().to_vec());
+        parts.push(msg.clone());
+    }
+    let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+    to_hex(&sha256_tagged(&refs))
+}
+
+/// The mixed-action script the golden digests were captured over: sends,
+/// idles, churn and a disruption wave against a transmitting victim.
+fn golden_script(session: &Session) -> Vec<Vec<ClientAction>> {
+    let n = 6;
+    let idle = || vec![ClientAction::Idle; n];
+    let victim_slot = session.slot_of_client(1);
+    let mut rounds = Vec::new();
+    // r0: client 0 requests its slot.
+    let mut a = idle();
+    a[0] = ClientAction::Send(b"alpha".to_vec());
+    rounds.push(a);
+    // r1: the message goes out; client 1 queues one.
+    let mut a = idle();
+    a[1] = ClientAction::Send(b"bravo".to_vec());
+    rounds.push(a);
+    // r2: churn plus a second sender.
+    let mut a = idle();
+    a[2] = ClientAction::Offline;
+    a[4] = ClientAction::Send(b"charlie".to_vec());
+    rounds.push(a);
+    // r3..r6: client 3 jams the victim's slot until blame expels it.
+    for _ in 0..4 {
+        let mut a = idle();
+        a[1] = ClientAction::Send(b"delta".to_vec());
+        a[3] = ClientAction::Disrupt { victim_slot };
+        rounds.push(a);
+    }
+    // r7: recovery round with churn.
+    let mut a = idle();
+    a[5] = ClientAction::Offline;
+    a[0] = ClientAction::Send(b"echo".to_vec());
+    rounds.push(a);
+    // r8..r9: drain.
+    rounds.push(idle());
+    rounds.push(idle());
+    rounds
+}
+
+fn golden_session() -> (Session, StdRng) {
+    let mut rng = StdRng::seed_from_u64(0x601D);
+    let group = GroupBuilder::new(6, 2).with_shuffle_soundness(4).build();
+    let session = Session::new(&group, &mut rng).expect("session setup");
+    (session, rng)
+}
+
+/// Captured from the pre-refactor monolithic `Session::run_round` at the
+/// seed of this PR (one digest per round of `golden_script`).  Do not update
+/// these values to make a refactor pass: they are the definition of
+/// "bit-identical to the lock-step engine".
+const GOLDEN_DIGESTS: &[&str] = &[
+    "05d4b40b6585a1219f54c0f8b90d4cdc13e851563c6880eea832516cbb87e412",
+    "5d3f8ca8bd7fa44b1e8167a78b0b8f67b0709fd619b4a67446685e7853eb1de5",
+    "3b963c77d5be93afd8b632bd03c50267e72c58ca2f77c6a0699e8efe60addc46",
+    "7c81a106bd423748f89e783df412b798d8fa7c99a21a6367af46002327748b06",
+    "f22a7b73315e42dc7149af8ced677afea48b18ef403c165bf2cff25feb791b78",
+    "2f225235d08630d70bb51a360b23a2c903193f32463996c9b21cdeb816df5ac3",
+    "1c58c4c59d3537616d4ba12313a1207ca2ae6c4ada830a35afec551ca419a0ae",
+    "06458c6b305d0edb7e60317b28423285e152cc865fd2133df27953bb770b1988",
+    "6bfacf0c3275437486fd7433535c1780fc9431b454aeda1a5d517467f41a0353",
+    "59c1fdb127f4750f6709fae98a800daafcde5c6763a02a266327752910f382b0",
+];
+
+#[test]
+fn lockstep_run_round_matches_pre_refactor_golden() {
+    let (mut session, mut rng) = golden_session();
+    let script = golden_script(&session);
+    let digests: Vec<String> = script
+        .iter()
+        .map(|actions| round_digest(&session.run_round(actions, &mut rng)))
+        .collect();
+    if GOLDEN_DIGESTS.is_empty() {
+        panic!("capture mode: {digests:#?}");
+    }
+    assert_eq!(digests.len(), GOLDEN_DIGESTS.len());
+    for (i, (got, want)) in digests.iter().zip(GOLDEN_DIGESTS).enumerate() {
+        assert_eq!(got, want, "round {i} diverged from the pre-refactor engine");
+    }
+    // The script exercised the blame path: the disruptor was expelled.
+    assert!(session.expelled().contains(&3));
+}
+
+#[test]
+fn pipelined_w1_is_bit_identical_to_the_pre_refactor_engine() {
+    // The acceptance bar: the pipelined driver at W=1 reproduces the golden
+    // digests captured from the monolithic pre-refactor `run_round`, byte
+    // for byte — same cleartexts, certification verdicts and expulsions.
+    let (session, mut rng) = golden_session();
+    let script = golden_script(&session);
+    let mut pipe = PipelinedSession::new(session, 1).expect("window 1");
+    let mut digests = Vec::new();
+    for actions in &script {
+        let mut rngs = SharedRng(&mut rng);
+        let results = pipe.run_batch(std::slice::from_ref(actions), &mut rngs);
+        assert_eq!(results.len(), 1);
+        digests.push(round_digest(&results[0]));
+    }
+    assert_eq!(digests.len(), GOLDEN_DIGESTS.len());
+    for (i, (got, want)) in digests.iter().zip(GOLDEN_DIGESTS).enumerate() {
+        assert_eq!(got, want, "round {i}: pipelined W=1 diverged");
+    }
+    assert!(pipe.session().expelled().contains(&3));
+}
+
+/// A session warmed up (in lock-step) to steady state: every slot open at
+/// the default length, with a grace window long enough that idle rounds
+/// never close a slot — the regime where pipeline-frozen layouts coincide
+/// with the lock-step layouts round for round.
+fn steady_state_session(seed: u64) -> Session {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let group = GroupBuilder::new(6, 2)
+        .with_shuffle_soundness(4)
+        .with_slot_config(SlotConfig {
+            grace_rounds: 100,
+            ..SlotConfig::default()
+        })
+        .build();
+    let mut session = Session::new(&group, &mut rng).expect("session setup");
+    let all_send: Vec<ClientAction> = (0..6)
+        .map(|i| ClientAction::Send(format!("warm{i}").into_bytes()))
+        .collect();
+    session.run_round(&all_send, &mut rng); // every client requests its slot
+    session.run_round(&idle(6), &mut rng); // every slot opens and drains
+    session
+}
+
+/// Mixed steady-state actions: sends, churn, and disruptions aimed at
+/// clients that are idle that round (so no accusation is filed and the
+/// per-entity RNG streams stay aligned across windows).
+fn steady_script(session: &Session) -> Vec<Vec<ClientAction>> {
+    let slot = |c: usize| session.slot_of_client(c);
+    let mut rounds = Vec::new();
+    let mut a = idle(6);
+    a[0] = ClientAction::Send(b"m0".to_vec());
+    a[3] = ClientAction::Disrupt {
+        victim_slot: slot(4),
+    };
+    rounds.push(a);
+    let mut a = idle(6);
+    a[2] = ClientAction::Offline;
+    a[5] = ClientAction::Send(b"m1".to_vec());
+    rounds.push(a);
+    let mut a = idle(6);
+    a[1] = ClientAction::Send(b"m2".to_vec());
+    a[3] = ClientAction::Disrupt {
+        victim_slot: slot(0),
+    };
+    rounds.push(a);
+    rounds.push(idle(6));
+    let mut a = idle(6);
+    a[4] = ClientAction::Send(b"m3".to_vec());
+    a[2] = ClientAction::Disrupt {
+        victim_slot: slot(5),
+    };
+    rounds.push(a);
+    let mut a = idle(6);
+    a[0] = ClientAction::Offline;
+    a[1] = ClientAction::Offline;
+    rounds.push(a);
+    let mut a = idle(6);
+    a[3] = ClientAction::Send(b"m4".to_vec());
+    rounds.push(a);
+    rounds.push(idle(6));
+    rounds
+}
+
+#[test]
+fn pipelined_windows_are_bit_identical_at_steady_state() {
+    // W ∈ {1, 2, 4} over the same mixed-action script, same per-entity RNG
+    // streams: every round's cleartext, certification verdict and expulsion
+    // list must be bit-identical to the (proven) lock-step W=1 driver.
+    let reference: Vec<String> = {
+        let session = steady_state_session(0x57EA);
+        let script = steady_script(&session);
+        let mut pipe = PipelinedSession::new(session, 1).unwrap();
+        let mut rngs = PerEntityRng::new(42, 6, 2);
+        pipe.run_rounds(&script, &mut rngs)
+            .iter()
+            .map(round_digest)
+            .collect()
+    };
+    assert_eq!(reference.len(), 8);
+    for window in [2usize, 4] {
+        let session = steady_state_session(0x57EA);
+        let script = steady_script(&session);
+        let mut pipe = PipelinedSession::new(session, window).unwrap();
+        let mut rngs = PerEntityRng::new(42, 6, 2);
+        let results = pipe.run_rounds(&script, &mut rngs);
+        let digests: Vec<String> = results.iter().map(round_digest).collect();
+        for (i, (got, want)) in digests.iter().zip(&reference).enumerate() {
+            assert_eq!(got, want, "round {i} diverged at window {window}");
+        }
+        // The disruptions really did corrupt slots, the messages really did
+        // flow, and no one was (wrongly) expelled.
+        assert!(results.iter().any(|r| !r.corrupted_slots.is_empty()));
+        assert!(results.iter().any(|r| !r.messages.is_empty()));
+        assert!(results.iter().all(|r| r.expelled.is_empty() && r.certified));
+    }
+}
+
+#[test]
+fn blame_traces_the_culprit_from_deep_in_the_pipeline() {
+    // The victim transmits in every round of a W=4 batch while client 3
+    // jams its slot.  The accusation names the batch's first round — W−1
+    // rounds deep by the time the pipeline drains — and blame must still
+    // trace and expel the disruptor, because the evidence is retained for
+    // the full blame horizon.
+    let run = |window: usize| {
+        let session = steady_state_session(0xB1A);
+        let victim_slot = session.slot_of_client(1);
+        let mut pipe = PipelinedSession::new(session, window).unwrap();
+        let mut rngs = PerEntityRng::new(99, 6, 2);
+        let batch: Vec<Vec<ClientAction>> = (0..4)
+            .map(|_| {
+                let mut a = idle(6);
+                a[1] = ClientAction::Send(b"keep talking".to_vec());
+                a[3] = ClientAction::Disrupt { victim_slot };
+                a
+            })
+            .collect();
+        let results = pipe.run_rounds(&batch, &mut rngs);
+        (pipe, results, victim_slot)
+    };
+
+    let (mut pipe, results, victim_slot) = run(4);
+    let expelled: Vec<u32> = results.iter().flat_map(|r| r.expelled.clone()).collect();
+    assert_eq!(expelled, vec![3], "the disruptor is traced and expelled");
+    assert!(results
+        .iter()
+        .any(|r| r.corrupted_slots.contains(&victim_slot)));
+    // Expulsion takes effect at the pipeline boundary: the next batch runs
+    // without the disruptor.
+    let mut continuation = PerEntityRng::new(0xC0, 6, 2);
+    let next = pipe.run_batch(&[idle(6)], &mut continuation);
+    assert_eq!(next[0].participation, 5);
+
+    // The first disrupted round is identical whether the engine ran
+    // lock-step or 4-deep: same cleartext, same expulsion round.
+    let (_, lockstep, _) = run(1);
+    assert_eq!(round_digest(&lockstep[0]), round_digest(&results[0]));
+    let expelled_lockstep: Vec<(u64, Vec<u32>)> = lockstep
+        .iter()
+        .filter(|r| !r.expelled.is_empty())
+        .map(|r| (r.round, r.expelled.clone()))
+        .collect();
+    let expelled_pipelined: Vec<(u64, Vec<u32>)> = results
+        .iter()
+        .filter(|r| !r.expelled.is_empty())
+        .map(|r| (r.round, r.expelled.clone()))
+        .collect();
+    assert_eq!(expelled_lockstep, expelled_pipelined);
+}
