@@ -109,7 +109,7 @@ impl PipelinedSession {
         // certify per round.
         for state in states.iter_mut() {
             let commits = self.session.server_commit_phase(state);
-            Session::deliver_commits(state, commits);
+            self.session.deliver_commits(state, commits);
             let reveals = Session::server_reveal_phase(state);
             self.session.deliver_reveals(state, reveals);
             let certs = self.session.certify_phase(state, rngs);

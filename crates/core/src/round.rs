@@ -241,8 +241,8 @@ impl Session {
         out
     }
 
-    /// Deliver `ClientSubmit`s to the servers (latest submission wins,
-    /// mirroring the prototype).
+    /// Deliver `ClientSubmit`s to the servers (the first well-formed
+    /// submission per client wins; later duplicates are ignored).
     ///
     /// A submission is dropped unless it is well-formed for this round: the
     /// round number matches, the client is a non-expelled roster member, the
@@ -255,8 +255,16 @@ impl Session {
     /// Submissions are not yet authenticated to their sender: the in-process
     /// drivers construct them directly, and a real transport must bind a
     /// `ClientSubmit` to the roster member's connection (or a signature)
-    /// before handing it here — see the ROADMAP transport follow-up.
+    /// before handing it here — see the ROADMAP transport follow-up.  Until
+    /// that lands, first-write-wins is the in-engine mitigation: the honest
+    /// client's ciphertext arrives first in the in-process drivers, so an
+    /// injected duplicate cannot silently replace it.
     pub fn deliver_submissions(&self, state: &mut RoundState, msgs: Vec<ClientSubmit>) {
+        assert_eq!(
+            state.phase,
+            RoundPhase::Submission,
+            "submissions delivered out of phase"
+        );
         let num_servers = self.config.num_servers();
         for j in 0..num_servers {
             state.per_server.entry(j as ServerId).or_default();
@@ -275,7 +283,8 @@ impl Session {
                 .per_server
                 .entry(msg.upstream)
                 .or_default()
-                .insert(msg.client, msg.ciphertext);
+                .entry(msg.client)
+                .or_insert(msg.ciphertext);
         }
     }
 
@@ -358,12 +367,33 @@ impl Session {
 
     /// Record the commitment broadcast.  Once all commitments are bound the
     /// round can move to the reveal phase.
-    pub fn deliver_commits(state: &mut RoundState, msgs: Vec<ServerCommit>) {
+    ///
+    /// Only roster servers may commit: a commit under a phantom server id is
+    /// dropped, so an injected phantom commit+reveal pair can never stand in
+    /// for a missing roster server's.  The *first* commitment per server is
+    /// binding — a conflicting duplicate injected after the genuine broadcast
+    /// is ignored rather than overwriting it, so injected garbage cannot veto
+    /// an otherwise-complete round.
+    ///
+    /// Like every `deliver_*` ingest, this consumes its phase's whole message
+    /// batch exactly once — that is the in-process drivers' contract, and
+    /// out-of-phase delivery is a driver bug that panics.  A transport that
+    /// receives messages individually must buffer them into per-phase batches
+    /// (as `SimDriver` does) before handing them to the engine.
+    pub fn deliver_commits(&self, state: &mut RoundState, msgs: Vec<ServerCommit>) {
+        assert_eq!(
+            state.phase,
+            RoundPhase::Commit,
+            "commitments delivered out of phase"
+        );
         for msg in msgs {
-            if msg.round != state.layout.round {
+            if msg.round != state.layout.round || msg.server as usize >= self.servers.len() {
                 continue;
             }
-            state.commitments.insert(msg.server, msg.commitment);
+            state
+                .commitments
+                .entry(msg.server)
+                .or_insert(msg.commitment);
         }
         state.phase = RoundPhase::Reveal;
     }
@@ -395,14 +425,20 @@ impl Session {
     /// `commits_ok` requires a binding, correctly-sized reveal from *every*
     /// roster server: a missing reveal would leave that server's pads
     /// uncancelled and silently certify keystream garbage, so an incomplete
-    /// set can never certify.  Reveals that fail the commitment or length
-    /// check are simply dropped — an injected garbage reveal cannot veto a
-    /// round whose roster reveals all bind (the commitment scheme already
-    /// guarantees at most one binding ciphertext per server).
+    /// set can never certify.  Reveals under a non-roster server id and
+    /// reveals that fail the commitment or length check are simply dropped —
+    /// an injected garbage reveal cannot veto a round whose roster reveals
+    /// all bind (the commitment scheme already guarantees at most one
+    /// binding ciphertext per server).
     pub fn deliver_reveals(&self, state: &mut RoundState, msgs: Vec<ServerReveal>) {
+        assert_eq!(
+            state.phase,
+            RoundPhase::Reveal,
+            "reveals delivered out of phase"
+        );
         let round = state.layout.round;
         for msg in msgs {
-            if msg.round != round {
+            if msg.round != round || msg.server as usize >= self.servers.len() {
                 continue;
             }
             let bound = msg.ciphertext.len() == state.layout.total_len
@@ -413,7 +449,10 @@ impl Session {
                 state.server_cts.insert(msg.server, msg.ciphertext);
             }
         }
-        state.commits_ok = state.server_cts.len() == self.servers.len();
+        // Every roster server — by id, not by count — must have a binding
+        // reveal, so a phantom entry can never stand in for a missing one.
+        state.commits_ok =
+            (0..self.servers.len()).all(|j| state.server_cts.contains_key(&(j as ServerId)));
         state.phase = RoundPhase::Certification;
     }
 
@@ -452,6 +491,11 @@ impl Session {
     /// missing server's, and injected invalid signatures are dropped rather
     /// than vetoing a round whose roster signatures are all present.
     pub fn deliver_certificates(&self, state: &mut RoundState, msgs: Vec<Certify>) {
+        assert_eq!(
+            state.phase,
+            RoundPhase::Certification,
+            "certificates delivered out of phase"
+        );
         let round = state.layout.round;
         let digest = state
             .cert_digest
@@ -592,17 +636,41 @@ mod tests {
         session: &mut Session,
         rng: &mut StdRng,
         tamper_submits: impl FnOnce(&mut Vec<ClientSubmit>),
+        tamper_commits: impl FnOnce(&mut Vec<ServerCommit>),
         tamper_reveals: impl FnOnce(&mut Vec<ServerReveal>),
         tamper_certs: impl FnOnce(&mut Vec<Certify>),
     ) -> RoundResult {
         let actions = vec![crate::session::ClientAction::Idle; session.config().num_clients()];
+        run_tampered_with(
+            session,
+            rng,
+            &actions,
+            tamper_submits,
+            tamper_commits,
+            tamper_reveals,
+            tamper_certs,
+        )
+    }
+
+    /// `run_tampered` with caller-chosen client actions.
+    #[allow(clippy::too_many_arguments)]
+    fn run_tampered_with(
+        session: &mut Session,
+        rng: &mut StdRng,
+        actions: &[crate::session::ClientAction],
+        tamper_submits: impl FnOnce(&mut Vec<ClientSubmit>),
+        tamper_commits: impl FnOnce(&mut Vec<ServerCommit>),
+        tamper_reveals: impl FnOnce(&mut Vec<ServerReveal>),
+        tamper_certs: impl FnOnce(&mut Vec<Certify>),
+    ) -> RoundResult {
         let mut rngs = crate::round::SharedRng(rng);
         let mut state = session.begin_round();
-        let mut submits = session.client_phase(&mut state, &actions, &mut rngs);
+        let mut submits = session.client_phase(&mut state, actions, &mut rngs);
         tamper_submits(&mut submits);
         session.deliver_submissions(&mut state, submits);
-        let commits = session.server_commit_phase(&mut state);
-        Session::deliver_commits(&mut state, commits);
+        let mut commits = session.server_commit_phase(&mut state);
+        tamper_commits(&mut commits);
+        session.deliver_commits(&mut state, commits);
         let mut reveals = Session::server_reveal_phase(&mut state);
         tamper_reveals(&mut reveals);
         session.deliver_reveals(&mut state, reveals);
@@ -615,7 +683,7 @@ mod tests {
     #[test]
     fn untampered_phases_certify() {
         let (mut session, mut rng) = session(4, 2);
-        let r = run_tampered(&mut session, &mut rng, |_| {}, |_| {}, |_| {});
+        let r = run_tampered(&mut session, &mut rng, |_| {}, |_| {}, |_| {}, |_| {});
         assert!(r.certified);
         assert_eq!(r.participation, 4);
     }
@@ -633,6 +701,7 @@ mod tests {
                 submits[0].upstream = 999;
                 submits[1].upstream = (submits[1].client as usize % 2) as u32 ^ 1;
             },
+            |_| {},
             |_| {},
             |_| {},
         );
@@ -655,6 +724,7 @@ mod tests {
             },
             |_| {},
             |_| {},
+            |_| {},
         );
         assert!(r.certified);
         assert_eq!(r.participation, 2);
@@ -668,6 +738,7 @@ mod tests {
         let r = run_tampered(
             &mut session,
             &mut rng,
+            |_| {},
             |_| {},
             |reveals| {
                 reveals.pop();
@@ -683,6 +754,7 @@ mod tests {
         let r = run_tampered(
             &mut session,
             &mut rng,
+            |_| {},
             |_| {},
             |reveals| {
                 let mut ct = reveals[0].ciphertext.to_vec();
@@ -704,6 +776,7 @@ mod tests {
             &mut rng,
             |_| {},
             |_| {},
+            |_| {},
             |certs| {
                 let dup = certs[0].clone();
                 certs[1] = dup;
@@ -713,11 +786,112 @@ mod tests {
     }
 
     #[test]
+    fn phantom_server_cannot_replace_missing_reveal() {
+        // A phantom (non-roster) commit+reveal pair, injected alongside a
+        // dropped roster reveal, must not let the round certify: commits_ok
+        // requires a binding reveal from every *roster* server by id, and
+        // phantom ids are rejected at both ingests.
+        let (mut session, mut rng) = session(4, 2);
+        let actions = vec![crate::session::ClientAction::Idle; 4];
+        let mut rngs = SharedRng(&mut rng);
+        let mut state = session.begin_round();
+        let submits = session.client_phase(&mut state, &actions, &mut rngs);
+        session.deliver_submissions(&mut state, submits);
+        let mut commits = session.server_commit_phase(&mut state);
+        let round = state.round();
+        let phantom: ServerId = 999;
+        let garbage: Arc<[u8]> = vec![0xA5u8; state.layout.total_len].into();
+        commits.push(ServerCommit {
+            round,
+            server: phantom,
+            commitment: server::commitment(round, phantom, &garbage),
+        });
+        session.deliver_commits(&mut state, commits);
+        let mut reveals = Session::server_reveal_phase(&mut state);
+        reveals.pop(); // drop one roster server's reveal...
+        reveals.push(ServerReveal {
+            round,
+            server: phantom,
+            ciphertext: garbage, // ...and offer the phantom's in its place
+        });
+        session.deliver_reveals(&mut state, reveals);
+        let certs = session.certify_phase(&mut state, &mut rngs);
+        session.deliver_certificates(&mut state, certs);
+        let r = session.finalize_round(state, &mut rngs);
+        assert!(!r.certified);
+    }
+
+    #[test]
+    fn conflicting_duplicate_commit_cannot_veto() {
+        // The first commitment per server is binding: a conflicting
+        // duplicate injected after the genuine broadcast must not overwrite
+        // it (which would make the genuine reveal fail the binding check and
+        // veto an otherwise-complete round).
+        let (mut session, mut rng) = session(4, 2);
+        let r = run_tampered(
+            &mut session,
+            &mut rng,
+            |_| {},
+            |commits| {
+                let mut forged = commits[0].clone();
+                forged.commitment = [0xEE; 32];
+                commits.push(forged);
+            },
+            |_| {},
+            |_| {},
+        );
+        assert!(r.certified);
+        assert_eq!(r.participation, 4);
+    }
+
+    #[test]
+    fn injected_duplicate_submission_cannot_replace_honest() {
+        // Submissions are unauthenticated until the transport lands;
+        // first-write-wins means an injected duplicate for a roster client
+        // cannot displace the honest ciphertext that arrived first, so the
+        // round output is byte-identical to the untampered run.
+        let (mut session_a, mut rng_a) = session(4, 2);
+        let baseline = run_tampered(&mut session_a, &mut rng_a, |_| {}, |_| {}, |_| {}, |_| {});
+        let (mut session_b, mut rng_b) = session(4, 2);
+        let r = run_tampered(
+            &mut session_b,
+            &mut rng_b,
+            |submits| {
+                let mut forged = submits[0].clone();
+                let mut ct = forged.ciphertext.to_vec();
+                for b in &mut ct {
+                    *b ^= 0xFF;
+                }
+                forged.ciphertext = ct.into();
+                submits.push(forged);
+            },
+            |_| {},
+            |_| {},
+            |_| {},
+        );
+        assert!(r.certified);
+        assert_eq!(r.participation, 4);
+        assert_eq!(r.cleartext, baseline.cleartext);
+    }
+
+    #[test]
+    #[should_panic(expected = "commitments delivered out of phase")]
+    fn deliver_commits_out_of_phase_panics() {
+        // Delivering commitments before the commit exchange ran would skip
+        // the commit phase silently; the engine panics instead, like every
+        // other phase function.
+        let (session, _rng) = session(3, 2);
+        let mut state = session.begin_round();
+        session.deliver_commits(&mut state, Vec::new());
+    }
+
+    #[test]
     fn forged_certify_signature_cannot_certify() {
         let (mut session, mut rng) = session(4, 2);
         let r = run_tampered(
             &mut session,
             &mut rng,
+            |_| {},
             |_| {},
             |_| {},
             |certs| {

@@ -384,7 +384,7 @@ impl Session {
         let submits = self.client_phase(&mut state, actions, &mut rngs);
         self.deliver_submissions(&mut state, submits);
         let commits = self.server_commit_phase(&mut state);
-        Session::deliver_commits(&mut state, commits);
+        self.deliver_commits(&mut state, commits);
         let reveals = Session::server_reveal_phase(&mut state);
         self.deliver_reveals(&mut state, reveals);
         let certs = self.certify_phase(&mut state, &mut rngs);
