@@ -6,7 +6,11 @@
 //! ```
 //!
 //! Subcommands: `sec5_1`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`, `fig11`,
-//! `pipeline`, `baseline`, `alpha`, `calibrate`, `all`.
+//! `pipeline`, `baseline`, `alpha`, `calibrate`, `all`, and `bench`, which
+//! runs the perf-trajectory suite and writes `BENCH_6.json` (path
+//! overridable with `--out <path>`; schema documented in
+//! `dissent_bench::perfjson`).  `bench-pad` is the internal per-backend
+//! probe `bench` re-executes itself with.
 
 use dissent_bench::*;
 
@@ -28,6 +32,11 @@ fn main() {
         "baseline" | "ablation_baseline" => baseline(),
         "alpha" | "ablation_alpha" => alpha(),
         "calibrate" => calibrate(),
+        "bench" => bench(&args),
+        // Internal: single-backend pad probe, spawned by `bench` with the
+        // ChaCha20 force overrides set (the dispatch is latched per
+        // process, so each backend needs a fresh one).
+        "bench-pad" => println!("{}", pad_probe_json()),
         "all" => {
             sec5_1(rounds);
             fig6(rounds);
@@ -44,7 +53,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "known: sec5_1 fig6 fig7 fig8 fig9 fig10 fig11 pipeline baseline alpha calibrate all"
+                "known: sec5_1 fig6 fig7 fig8 fig9 fig10 fig11 pipeline baseline alpha calibrate bench all"
             );
             std::process::exit(2);
         }
@@ -53,6 +62,20 @@ fn main() {
 
 fn header(title: &str) {
     println!("\n=== {title} ===");
+}
+
+fn bench(args: &[String]) {
+    header("Perf trajectory (dissent-bench/v1)");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_6.json");
+    let json = bench_json();
+    print!("{json}");
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("bench: wrote {out}");
 }
 
 fn sec5_1(rounds: usize) {

@@ -12,6 +12,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perfjson;
+
+pub use perfjson::{bench_json, pad_probe_json};
+
 use dissent_core::policy::WindowPolicy;
 use dissent_core::timing::{simulate_full_protocol, simulate_rounds, Scenario, Workload};
 use dissent_net::sim::{to_secs, Stats, SECOND};

@@ -1,0 +1,431 @@
+//! Machine-readable perf trajectory: `experiments -- bench` emits
+//! `BENCH_<pr>.json`.
+//!
+//! Criterion logs are great for humans and useless for trend lines, so the
+//! bench runner also measures the handful of numbers this repo's perf work
+//! actually moves — pad keystream/XOR throughput per dispatched backend,
+//! batched-vs-unbatched shuffle proving, batch verification, and real
+//! protocol rounds per second — and writes them as one JSON document with a
+//! stable schema (`dissent-bench/v1`).  CI uploads the file as a build
+//! artifact; the repo keeps the latest run checked in at the root next to a
+//! `history` array carrying the headline numbers of earlier PRs, so the
+//! trajectory is diffable in review rather than buried in log output.
+//!
+//! # Schema (`dissent-bench/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "dissent-bench/v1",
+//!   "pr": 6,
+//!   "threads": 1,
+//!   "pad": [
+//!     {"wide4": "avx512", "wide8": "avx512",
+//!      "sizes": [{"bytes": 4096,
+//!                 "fill_mib_s": 0.0,
+//!                 "apply_fused_mib_s": 0.0,
+//!                 "apply_twopass_mib_s": 0.0,
+//!                 "pad_xor_fused_mib_s": 0.0,
+//!                 "pad_xor_twopass_mib_s": 0.0}]}
+//!   ],
+//!   "shuffle": [{"entries": 64, "soundness": 8,
+//!                "prove_batched_ms": 0.0, "prove_unbatched_ms": 0.0,
+//!                "verify_ms": 0.0}],
+//!   "session": {"clients": 16, "window": 4, "rounds_per_sec": 0.0},
+//!   "parallel": {"threads": 1, "secrets": 32, "bytes": 131072,
+//!                "accumulate_serial_ms": 0.0, "accumulate_pool_ms": 0.0,
+//!                "speedup": 1.0},
+//!   "history": [{"pr": 4, "...": "headline numbers of that PR"}]
+//! }
+//! ```
+//!
+//! * `pad` — one object per reachable ChaCha20 backend (the parent
+//!   re-executes itself with `DISSENT_CHACHA_FORCE_SCALAR` /
+//!   `DISSENT_CHACHA_FORCE_BACKEND` per candidate, because the dispatch is
+//!   latched process-wide).  `fill` is keystream generation,
+//!   `apply_fused` the in-place XOR path through the 8-block fused
+//!   kernels, `apply_twopass` the PR-4-era fill-then-XOR baseline, and the
+//!   `pad_xor_*` pair the same comparison through the DC-net
+//!   `pad`/`pad_xor_into` entry points (which add HKDF seeding per call).
+//! * `shuffle` — wall time of one full `perform_pass` with the batched
+//!   DLEQ prover vs the per-entry reference, plus `verify_pass`.
+//! * `session` — steady-state rounds/sec through the real pipelined round
+//!   engine (idle DC-net rounds, testing group).
+//! * `parallel` — measured pad-accumulation speedup on the current pool;
+//!   the `RAYON_NUM_THREADS=4` CI lane records the multi-core number.
+
+use std::time::Instant;
+
+use dissent_core::{ClientAction, GroupBuilder, PerEntityRng, PipelinedSession, Session};
+use dissent_crypto::chacha::{wide8_backend_name, wide_backend_name, ChaCha20};
+use dissent_crypto::dh::DhKeyPair;
+use dissent_crypto::elgamal::{Ciphertext, ElGamal};
+use dissent_crypto::group::{Element, Group};
+use dissent_crypto::xor::xor_into;
+use dissent_dcnet::pad::{accumulate_pads_sharded, pad, pad_xor_into, SharedSecret};
+use dissent_shuffle::{perform_pass, perform_pass_unbatched, verify_pass};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Schema identifier stamped into every document.
+pub const SCHEMA: &str = "dissent-bench/v1";
+
+/// The PR this runner reports for (also names the output file).
+pub const PR: u32 = 6;
+
+/// Time `f`, returning seconds per iteration: one warm-up call, then as
+/// many timed iterations as fit in `min_secs` (at least three).
+fn secs_per_iter<F: FnMut()>(min_secs: f64, mut f: F) -> f64 {
+    f();
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        f();
+        iters += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if iters >= 3 && elapsed >= min_secs {
+            return elapsed / iters as f64;
+        }
+    }
+}
+
+fn mib_per_sec(bytes: usize, secs: f64) -> f64 {
+    (bytes as f64) / secs / (1024.0 * 1024.0)
+}
+
+/// Buffer sizes the pad probe measures: one small round (4 KiB) and the
+/// paper-scale 128 KiB cleartext.
+const PAD_SIZES: [usize; 2] = [4096, 131072];
+
+/// Measure pad/keystream throughput for the backend dispatched in *this*
+/// process and return it as one JSON object (a `pad` array element).
+///
+/// The ChaCha20 backend is latched process-wide on first use, so the
+/// parent sweeps backends by re-executing itself with the force overrides
+/// set and collecting this function's output line (subcommand
+/// `bench-pad`).
+pub fn pad_probe_json() -> String {
+    let key = [7u8; 32];
+    let nonce = [3u8; 12];
+    let secret: SharedSecret = [42u8; 32];
+    let mut sizes = Vec::new();
+    for &len in &PAD_SIZES {
+        let mut buf = vec![0u8; len];
+        let mut tmp = vec![0u8; len];
+
+        // Raw keystream generation through the wide kernels.
+        let fill = secs_per_iter(0.15, || {
+            let mut st = ChaCha20::new(&key, &nonce);
+            st.fill(&mut buf);
+        });
+        // Fused in-place XOR: keystream blocks XORed straight into the
+        // data by the 8-block kernels' store stage.
+        let fused = secs_per_iter(0.15, || {
+            let mut st = ChaCha20::new(&key, &nonce);
+            st.apply(&mut buf);
+        });
+        // The PR-4 shape: generate the keystream into a scratch buffer,
+        // then a separate word-level XOR pass over the data.
+        let twopass = secs_per_iter(0.15, || {
+            let mut st = ChaCha20::new(&key, &nonce);
+            st.fill(&mut tmp);
+            xor_into(&mut buf, &tmp);
+        });
+        // Same comparison at the DC-net entry points (adds HKDF seeding).
+        let pad_fused = secs_per_iter(0.15, || {
+            pad_xor_into(&secret, 9, &mut buf);
+        });
+        let pad_twopass = secs_per_iter(0.15, || {
+            let p = pad(&secret, 9, len);
+            xor_into(&mut buf, &p);
+        });
+
+        sizes.push(format!(
+            concat!(
+                "{{\"bytes\":{},\"fill_mib_s\":{:.1},\"apply_fused_mib_s\":{:.1},",
+                "\"apply_twopass_mib_s\":{:.1},\"pad_xor_fused_mib_s\":{:.1},",
+                "\"pad_xor_twopass_mib_s\":{:.1}}}"
+            ),
+            len,
+            mib_per_sec(len, fill),
+            mib_per_sec(len, fused),
+            mib_per_sec(len, twopass),
+            mib_per_sec(len, pad_fused),
+            mib_per_sec(len, pad_twopass),
+        ));
+    }
+    format!(
+        "{{\"wide4\":\"{}\",\"wide8\":\"{}\",\"sizes\":[{}]}}",
+        wide_backend_name(),
+        wide8_backend_name(),
+        sizes.join(",")
+    )
+}
+
+/// The backends worth probing on this machine, as (label, env var, value)
+/// triples for the child process.
+fn backend_candidates() -> Vec<(&'static str, &'static str, &'static str)> {
+    let mut out = vec![
+        ("scalar", "DISSENT_CHACHA_FORCE_SCALAR", "1"),
+        ("portable", "DISSENT_CHACHA_FORCE_BACKEND", "portable"),
+    ];
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("sse2") {
+            out.push(("sse2", "DISSENT_CHACHA_FORCE_BACKEND", "sse2"));
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            out.push(("avx2", "DISSENT_CHACHA_FORCE_BACKEND", "avx2"));
+        }
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx2")
+        {
+            out.push(("avx512", "DISSENT_CHACHA_FORCE_BACKEND", "avx512"));
+        }
+    }
+    out
+}
+
+/// Sweep every reachable backend by re-executing the current binary with
+/// the force override set, collecting one `pad` object per backend.
+fn pad_backend_sweep() -> Vec<String> {
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(_) => return vec![pad_probe_json()],
+    };
+    let mut out = Vec::new();
+    for (label, var, value) in backend_candidates() {
+        let result = std::process::Command::new(&exe)
+            .arg("bench-pad")
+            .env_remove("DISSENT_CHACHA_FORCE_SCALAR")
+            .env_remove("DISSENT_CHACHA_FORCE_BACKEND")
+            .env(var, value)
+            .output();
+        match result {
+            Ok(output) if output.status.success() => {
+                let stdout = String::from_utf8_lossy(&output.stdout);
+                if let Some(line) = stdout.lines().find(|l| l.starts_with('{')) {
+                    out.push(line.trim().to_string());
+                } else {
+                    eprintln!("bench: no pad probe output for backend {label}");
+                }
+            }
+            _ => eprintln!("bench: pad probe subprocess failed for backend {label}"),
+        }
+    }
+    if out.is_empty() {
+        out.push(pad_probe_json());
+    }
+    out
+}
+
+/// Shuffle batch sizes the prover comparison covers.
+const SHUFFLE_SIZES: [usize; 3] = [16, 64, 256];
+
+/// Shadow rounds for the prover benchmark — the PR-4 `shuffle_prove`
+/// criterion group used 8, so the trajectory stays comparable.
+const SHUFFLE_SOUNDNESS: usize = 8;
+
+fn shuffle_section() -> String {
+    let group = Group::testing_256();
+    let elgamal = ElGamal::new(group.clone());
+    let mut rng = StdRng::seed_from_u64(0xBE6C);
+    let servers: Vec<DhKeyPair> = (0..2)
+        .map(|_| DhKeyPair::generate(&group, &mut rng))
+        .collect();
+    let server_keys: Vec<Element> = servers.iter().map(|s| s.public().clone()).collect();
+    let combined = elgamal.combine_keys(&server_keys);
+    let context = b"bench-perf-trajectory";
+
+    let mut points = Vec::new();
+    for &n in &SHUFFLE_SIZES {
+        let input: Vec<Ciphertext> = (0..n)
+            .map(|_| {
+                let m = group.exp_base(&group.random_scalar(&mut rng));
+                elgamal.encrypt(&mut rng, &combined, &m)
+            })
+            .collect();
+        let batched = secs_per_iter(0.3, || {
+            let mut r = StdRng::seed_from_u64(1);
+            let t = perform_pass(
+                &elgamal,
+                &server_keys,
+                0,
+                &servers[0],
+                &input,
+                SHUFFLE_SOUNDNESS,
+                context,
+                &mut r,
+            );
+            std::hint::black_box(t);
+        });
+        let unbatched = secs_per_iter(0.3, || {
+            let mut r = StdRng::seed_from_u64(1);
+            let t = perform_pass_unbatched(
+                &elgamal,
+                &server_keys,
+                0,
+                &servers[0],
+                &input,
+                SHUFFLE_SOUNDNESS,
+                context,
+                &mut r,
+            );
+            std::hint::black_box(t);
+        });
+        let mut r = StdRng::seed_from_u64(1);
+        let transcript = perform_pass(
+            &elgamal,
+            &server_keys,
+            0,
+            &servers[0],
+            &input,
+            SHUFFLE_SOUNDNESS,
+            context,
+            &mut r,
+        );
+        let verify = secs_per_iter(0.3, || {
+            verify_pass(&elgamal, &server_keys, &input, &transcript, context)
+                .expect("bench transcript verifies");
+        });
+        points.push(format!(
+            concat!(
+                "{{\"entries\":{},\"soundness\":{},\"prove_batched_ms\":{:.2},",
+                "\"prove_unbatched_ms\":{:.2},\"verify_ms\":{:.2}}}"
+            ),
+            n,
+            SHUFFLE_SOUNDNESS,
+            batched * 1e3,
+            unbatched * 1e3,
+            verify * 1e3,
+        ));
+    }
+    format!("[{}]", points.join(","))
+}
+
+fn session_section() -> String {
+    let clients = 16;
+    let window = 4;
+    let mut rng = StdRng::seed_from_u64(5);
+    let group = GroupBuilder::new(clients, 2)
+        .with_shuffle_soundness(2)
+        .build();
+    let session = Session::new(&group, &mut rng).expect("session");
+    let mut pipe = PipelinedSession::new(session, window).expect("window");
+    let mut rngs = PerEntityRng::new(1, clients, 2);
+    let batch: Vec<Vec<ClientAction>> = (0..window)
+        .map(|_| vec![ClientAction::Idle; clients])
+        .collect();
+    let per_batch = secs_per_iter(1.0, || {
+        let results = pipe.run_batch(&batch, &mut rngs);
+        assert_eq!(results.len(), window, "pipelined batch completed");
+    });
+    format!(
+        "{{\"clients\":{},\"window\":{},\"rounds_per_sec\":{:.2}}}",
+        clients,
+        window,
+        window as f64 / per_batch
+    )
+}
+
+fn parallel_section() -> String {
+    let threads = rayon::current_num_threads();
+    let secrets: Vec<SharedSecret> = (0..32u8).map(|i| [i; 32]).collect();
+    let len = 131072;
+    let mut acc = vec![0u8; len];
+    let serial = secs_per_iter(0.3, || {
+        accumulate_pads_sharded(&mut acc, &secrets, 11, 1);
+    });
+    let pool = secs_per_iter(0.3, || {
+        accumulate_pads_sharded(&mut acc, &secrets, 11, threads);
+    });
+    format!(
+        concat!(
+            "{{\"threads\":{},\"secrets\":{},\"bytes\":{},",
+            "\"accumulate_serial_ms\":{:.2},\"accumulate_pool_ms\":{:.2},",
+            "\"speedup\":{:.2}}}"
+        ),
+        threads,
+        secrets.len(),
+        len,
+        serial * 1e3,
+        pool * 1e3,
+        serial / pool,
+    )
+}
+
+/// Headline numbers from earlier PRs, carried so the checked-in document
+/// is a trajectory rather than a point sample.  Sources: the criterion
+/// groups recorded in CHANGES.md when each PR landed (same machine class,
+/// release builds).
+fn history_section() -> String {
+    concat!(
+        "[",
+        "{\"pr\":4,\"note\":\"4-block kernels, two-pass apply, serial DLEQ proving\",",
+        "\"chacha_fill_mib_s\":{\"scalar_4096\":556,\"portable4_4096\":761,",
+        "\"avx2_4096\":1798,\"scalar_131072\":560,\"avx2_131072\":1768},",
+        "\"pad_expand_131072_us\":85,",
+        "\"shuffle_prove_entries64_soundness8_ms\":3.13},",
+        "{\"pr\":3,\"note\":\"single-block scalar engine, fused pad fold\",",
+        "\"pad_expand_131072_us\":223,",
+        "\"pad_bit_reveal_131072_us\":4.8},",
+        "{\"pr\":2,\"note\":\"batch verification via n-way multi-exp\",",
+        "\"dleq_batch_verify64_testing256_ms\":2.85,",
+        "\"dleq_sequential_verify64_testing256_ms\":4.13}",
+        "]"
+    )
+    .to_string()
+}
+
+/// Run the full measurement suite and return the `dissent-bench/v1`
+/// document as a pretty-enough JSON string (one top-level key per line).
+pub fn bench_json() -> String {
+    eprintln!("bench: sweeping pad backends...");
+    let pads = pad_backend_sweep();
+    eprintln!("bench: measuring shuffle proving...");
+    let shuffle = shuffle_section();
+    eprintln!("bench: measuring session rounds/sec...");
+    let session = session_section();
+    eprintln!("bench: measuring parallel pad accumulation...");
+    let parallel = parallel_section();
+    format!(
+        "{{\n\"schema\":\"{}\",\n\"pr\":{},\n\"threads\":{},\n\"pad\":[\n{}\n],\n\"shuffle\":{},\n\"session\":{},\n\"parallel\":{},\n\"history\":{}\n}}\n",
+        SCHEMA,
+        PR,
+        rayon::current_num_threads(),
+        pads.join(",\n"),
+        shuffle,
+        session,
+        parallel,
+        history_section(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_probe_emits_one_object_per_backend_pair() {
+        let json = pad_probe_json();
+        assert!(json.starts_with("{\"wide4\":\""));
+        assert!(json.contains("\"sizes\":["));
+        assert!(json.contains("\"bytes\":4096"));
+        assert!(json.contains("\"bytes\":131072"));
+        // Balanced braces/brackets — the hand-rolled emitter's cheap
+        // structural check (no JSON parser is vendored).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn history_is_structurally_balanced() {
+        let json = history_section();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"pr\":4"));
+    }
+}

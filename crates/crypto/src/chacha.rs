@@ -8,19 +8,29 @@
 //!
 //! The block function is the floor of the whole DC-net data path (a server
 //! expands N clients × L bytes of pad per round), so alongside the scalar
-//! [`chacha20_block`] the module provides [`chacha20_blocks4`]: four
-//! consecutive blocks computed at once, either by the portable 4-way
-//! interleaved kernel (independent lanes expose instruction-level
-//! parallelism) or by an SSE2/AVX2 kernel selected once at runtime via
-//! `is_x86_feature_detected!` and cached.  [`ChaCha20::fill`] and
-//! [`ChaCha20::apply`] consume whole 4-block (256 B) strides through it and
-//! fall back to the scalar block for heads and tails, so `seek`/byte-level
-//! semantics are exactly those of the scalar stream — proven byte-identical
-//! in `tests/proptest_chacha_wide.rs`.
+//! [`chacha20_block`] the module provides multi-block strides:
+//! [`chacha20_blocks4`] (four consecutive blocks, 256 B) and
+//! [`chacha20_blocks8`] (eight consecutive blocks, 512 B), each backed by a
+//! portable interleaved kernel (independent lanes expose instruction-level
+//! parallelism) and by SSE2/AVX2/AVX-512 kernels selected once at runtime
+//! via `is_x86_feature_detected!` and cached.  Every stride also exists in a
+//! *fused* form ([`chacha20_blocks4_xor`], [`chacha20_blocks8_xor`]) that
+//! XORs the keystream words into the destination right at the
+//! add-and-serialize step of the kernel — so [`ChaCha20::apply`] (and with
+//! it every DC-net pad fold) never round-trips keystream through a
+//! temporary buffer.  [`ChaCha20::fill`] and [`ChaCha20::apply`] consume
+//! whole 8-block then 4-block strides and fall back to the scalar block for
+//! heads and tails, so `seek`/byte-level semantics are exactly those of the
+//! scalar stream — proven byte-identical in
+//! `tests/proptest_chacha_wide.rs`.
 //!
 //! Setting `DISSENT_CHACHA_FORCE_SCALAR=1` in the environment pins the
 //! dispatcher to the portable kernel (read once, at first use); CI runs a
 //! lane with it set so the fallback stays covered on every push.
+//! `DISSENT_CHACHA_FORCE_BACKEND=portable|sse2|avx2|avx512` pins a specific
+//! kernel instead (falling back to portable, with a warning on stderr, if
+//! the hardware lacks the requested feature); the bench runner uses it to
+//! measure every backend the host supports.
 
 /// Key size in bytes.
 pub const KEY_LEN: usize = 32;
@@ -32,6 +42,10 @@ pub const BLOCK_LEN: usize = 64;
 pub const WIDE_BLOCKS: usize = 4;
 /// Bytes per wide stride (256).
 pub const WIDE_LEN: usize = WIDE_BLOCKS * BLOCK_LEN;
+/// Blocks per extra-wide stride ([`chacha20_blocks8`]).
+pub const WIDE8_BLOCKS: usize = 8;
+/// Bytes per extra-wide stride (512).
+pub const WIDE8_LEN: usize = WIDE8_BLOCKS * BLOCK_LEN;
 
 /// The four "expand 32-byte k" constant words.
 const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
@@ -109,8 +123,46 @@ pub fn chacha20_blocks4_portable(
     counter: u32,
     out: &mut [u8; WIDE_LEN],
 ) {
+    blocks_portable::<WIDE_BLOCKS, false>(key, nonce, counter, out);
+}
+
+/// Portable 8-way interleaved kernel: blocks `counter .. counter+7` (u32
+/// wrapping) written to `out` in order.  Twice the lane count of
+/// [`chacha20_blocks4_portable`]; same lockstep structure.
+pub fn chacha20_blocks8_portable(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    counter: u32,
+    out: &mut [u8; WIDE8_LEN],
+) {
+    blocks_portable::<WIDE8_BLOCKS, false>(key, nonce, counter, out);
+}
+
+/// Fused portable 8-way kernel: the keystream for blocks
+/// `counter .. counter+7` is XORed into `data` word-by-word at the final
+/// add-and-serialize step — no intermediate keystream buffer exists.
+pub fn chacha20_blocks8_xor_portable(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    counter: u32,
+    data: &mut [u8; WIDE8_LEN],
+) {
+    blocks_portable::<WIDE8_BLOCKS, true>(key, nonce, counter, data);
+}
+
+/// Shared body of the portable interleaved kernels: `LANES` independent
+/// block states stepped through every quarter-round position in lockstep.
+/// With `XOR` the serialization step folds each keystream word into the
+/// destination instead of overwriting it (the fused form).
+fn blocks_portable<const LANES: usize, const XOR: bool>(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    counter: u32,
+    out: &mut [u8],
+) {
+    debug_assert_eq!(out.len(), LANES * BLOCK_LEN);
     let base = initial_state(key, nonce, counter);
-    let mut init = [base; WIDE_BLOCKS];
+    let mut init = [base; LANES];
     for (lane, state) in init.iter_mut().enumerate() {
         state[12] = counter.wrapping_add(lane as u32);
     }
@@ -127,10 +179,16 @@ pub fn chacha20_blocks4_portable(
             quarter_round(s, 3, 4, 9, 14);
         }
     }
-    for lane in 0..WIDE_BLOCKS {
+    for lane in 0..LANES {
         let off = lane * BLOCK_LEN;
         for i in 0..16 {
-            let word = lanes[lane][i].wrapping_add(init[lane][i]);
+            let mut word = lanes[lane][i].wrapping_add(init[lane][i]);
+            if XOR {
+                let dst: [u8; 4] = out[off + i * 4..off + i * 4 + 4]
+                    .try_into()
+                    .expect("4-byte word");
+                word ^= u32::from_le_bytes(dst);
+            }
             out[off + i * 4..off + i * 4 + 4].copy_from_slice(&word.to_le_bytes());
         }
     }
@@ -153,9 +211,20 @@ mod x86 {
     //! four blocks' register sets in lockstep for ILP; the AVX2 kernel
     //! packs two blocks per 256-bit register (one per 128-bit lane — all
     //! shuffles used here operate lane-wise, so block lanes never mix) and
-    //! runs two such pairs in lockstep.
+    //! runs two such pairs in lockstep; the AVX-512 kernel packs four
+    //! blocks per 512-bit register (again one per 128-bit lane, rotating
+    //! diagonals with `vpermd` index vectors and using the native
+    //! `vprold` 32-bit rotate) and runs two such quads in lockstep for the
+    //! full 8-block stride.
+    //!
+    //! Every kernel is generic over `XOR`: with it set, the final
+    //! add-and-serialize step loads the destination, XORs the keystream
+    //! words in registers, and stores the result — the fused form that
+    //! [`super::chacha20_blocks4_xor`] / [`super::chacha20_blocks8_xor`]
+    //! dispatch to, eliminating the keystream temp buffer from
+    //! `ChaCha20::apply`.
 
-    use super::{BLOCK_LEN, KEY_LEN, NONCE_LEN, SIGMA, WIDE_LEN};
+    use super::{BLOCK_LEN, KEY_LEN, NONCE_LEN, SIGMA, WIDE8_LEN, WIDE_LEN};
     use core::arch::x86_64::*;
 
     /// Rotate each 32-bit element left by `$n` (SSE2).
@@ -205,6 +274,43 @@ mod x86 {
         counter: u32,
         out: &mut [u8; WIDE_LEN],
     ) {
+        blocks4_sse2_x::<false>(key, nonce, counter, out)
+    }
+
+    /// Blocks `counter .. counter+7` as two consecutive SSE2 4-block
+    /// strides (the register file is already saturated at four lockstep
+    /// sets, so wider lockstep would only spill).
+    ///
+    /// # Safety
+    /// Requires SSE2.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn blocks8_sse2<const XOR: bool>(
+        key: &[u8; KEY_LEN],
+        nonce: &[u8; NONCE_LEN],
+        counter: u32,
+        out: &mut [u8; WIDE8_LEN],
+    ) {
+        let (lo, hi) = out.split_at_mut(WIDE_LEN);
+        blocks4_sse2_x::<XOR>(key, nonce, counter, lo.try_into().expect("256 B half"));
+        blocks4_sse2_x::<XOR>(
+            key,
+            nonce,
+            counter.wrapping_add(4),
+            hi.try_into().expect("256 B half"),
+        );
+    }
+
+    /// [`blocks4_sse2`] body, generic over fused-XOR serialization.
+    ///
+    /// # Safety
+    /// Requires SSE2.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn blocks4_sse2_x<const XOR: bool>(
+        key: &[u8; KEY_LEN],
+        nonce: &[u8; NONCE_LEN],
+        counter: u32,
+        out: &mut [u8; WIDE_LEN],
+    ) {
         let a0 = _mm_loadu_si128(SIGMA.as_ptr() as *const __m128i);
         let b0 = _mm_loadu_si128(key.as_ptr() as *const __m128i);
         let c0 = _mm_loadu_si128(key.as_ptr().add(16) as *const __m128i);
@@ -246,10 +352,20 @@ mod x86 {
         }
         for j in 0..4 {
             let base = out.as_mut_ptr().add(j * BLOCK_LEN) as *mut __m128i;
-            _mm_storeu_si128(base, _mm_add_epi32(a[j], a0));
-            _mm_storeu_si128(base.add(1), _mm_add_epi32(b[j], b0));
-            _mm_storeu_si128(base.add(2), _mm_add_epi32(c[j], c0));
-            _mm_storeu_si128(base.add(3), _mm_add_epi32(d[j], d0[j]));
+            let mut fa = _mm_add_epi32(a[j], a0);
+            let mut fb = _mm_add_epi32(b[j], b0);
+            let mut fc = _mm_add_epi32(c[j], c0);
+            let mut fd = _mm_add_epi32(d[j], d0[j]);
+            if XOR {
+                fa = _mm_xor_si128(fa, _mm_loadu_si128(base));
+                fb = _mm_xor_si128(fb, _mm_loadu_si128(base.add(1)));
+                fc = _mm_xor_si128(fc, _mm_loadu_si128(base.add(2)));
+                fd = _mm_xor_si128(fd, _mm_loadu_si128(base.add(3)));
+            }
+            _mm_storeu_si128(base, fa);
+            _mm_storeu_si128(base.add(1), fb);
+            _mm_storeu_si128(base.add(2), fc);
+            _mm_storeu_si128(base.add(3), fd);
         }
     }
 
@@ -281,6 +397,45 @@ mod x86 {
     /// Requires AVX2; callers must check `is_x86_feature_detected!("avx2")`.
     #[target_feature(enable = "avx2")]
     pub unsafe fn blocks4_avx2(
+        key: &[u8; KEY_LEN],
+        nonce: &[u8; NONCE_LEN],
+        counter: u32,
+        out: &mut [u8; WIDE_LEN],
+    ) {
+        blocks4_avx2_x::<false>(key, nonce, counter, out)
+    }
+
+    /// Blocks `counter .. counter+7` as the AVX2 double stride: two
+    /// back-to-back 4-block kernels (two two-block register sets each).
+    /// Four lockstep two-block sets in one kernel would need 16 row
+    /// registers plus rotation tables and spill, so the double stride is
+    /// the sweet spot below AVX-512.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn blocks8_avx2<const XOR: bool>(
+        key: &[u8; KEY_LEN],
+        nonce: &[u8; NONCE_LEN],
+        counter: u32,
+        out: &mut [u8; WIDE8_LEN],
+    ) {
+        let (lo, hi) = out.split_at_mut(WIDE_LEN);
+        blocks4_avx2_x::<XOR>(key, nonce, counter, lo.try_into().expect("256 B half"));
+        blocks4_avx2_x::<XOR>(
+            key,
+            nonce,
+            counter.wrapping_add(4),
+            hi.try_into().expect("256 B half"),
+        );
+    }
+
+    /// [`blocks4_avx2`] body, generic over fused-XOR serialization.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn blocks4_avx2_x<const XOR: bool>(
         key: &[u8; KEY_LEN],
         nonce: &[u8; NONCE_LEN],
         counter: u32,
@@ -347,32 +502,149 @@ mod x86 {
             let fd = _mm256_add_epi32(d[j], d0[j]);
             let base = out.as_mut_ptr().add(j * 2 * BLOCK_LEN);
             // Un-pack the two lane-blocks: rows of the low-lane block, then
-            // rows of the high-lane block.
-            _mm_storeu_si128(base as *mut __m128i, _mm256_castsi256_si128(fa));
-            _mm_storeu_si128(base.add(16) as *mut __m128i, _mm256_castsi256_si128(fb));
-            _mm_storeu_si128(base.add(32) as *mut __m128i, _mm256_castsi256_si128(fc));
-            _mm_storeu_si128(base.add(48) as *mut __m128i, _mm256_castsi256_si128(fd));
-            _mm_storeu_si128(
-                base.add(64) as *mut __m128i,
-                _mm256_extracti128_si256(fa, 1),
-            );
-            _mm_storeu_si128(
-                base.add(80) as *mut __m128i,
-                _mm256_extracti128_si256(fb, 1),
-            );
-            _mm_storeu_si128(
-                base.add(96) as *mut __m128i,
-                _mm256_extracti128_si256(fc, 1),
-            );
-            _mm_storeu_si128(
-                base.add(112) as *mut __m128i,
-                _mm256_extracti128_si256(fd, 1),
-            );
+            // rows of the high-lane block.  The fused form stays in ymm
+            // registers: each pair of 64-byte blocks is re-packed row-wise,
+            // XORed against two 256-bit destination loads, and stored.
+            let rows = [fa, fb, fc, fd];
+            for (r, row) in rows.iter().enumerate() {
+                let mut lo = _mm256_castsi256_si128(*row);
+                let mut hi = _mm256_extracti128_si256(*row, 1);
+                let plo = base.add(16 * r) as *mut __m128i;
+                let phi = base.add(BLOCK_LEN + 16 * r) as *mut __m128i;
+                if XOR {
+                    lo = _mm_xor_si128(lo, _mm_loadu_si128(plo));
+                    hi = _mm_xor_si128(hi, _mm_loadu_si128(phi));
+                }
+                _mm_storeu_si128(plo, lo);
+                _mm_storeu_si128(phi, hi);
+            }
+        }
+    }
+
+    /// One AVX-512 quarter-round step over both four-block register sets.
+    /// All four rotation amounts use the native `vprold` rotate.
+    macro_rules! qround_512 {
+        ($a:ident, $b:ident, $c:ident, $d:ident) => {
+            for j in 0..2 {
+                $a[j] = _mm512_add_epi32($a[j], $b[j]);
+                $d[j] = _mm512_xor_si512($d[j], $a[j]);
+                $d[j] = _mm512_rol_epi32::<16>($d[j]);
+                $c[j] = _mm512_add_epi32($c[j], $d[j]);
+                $b[j] = _mm512_xor_si512($b[j], $c[j]);
+                $b[j] = _mm512_rol_epi32::<12>($b[j]);
+                $a[j] = _mm512_add_epi32($a[j], $b[j]);
+                $d[j] = _mm512_xor_si512($d[j], $a[j]);
+                $d[j] = _mm512_rol_epi32::<8>($d[j]);
+                $c[j] = _mm512_add_epi32($c[j], $d[j]);
+                $b[j] = _mm512_xor_si512($b[j], $c[j]);
+                $b[j] = _mm512_rol_epi32::<7>($b[j]);
+            }
+        };
+    }
+
+    /// Serialize one 128-bit lane (= one block's four rows) of a finished
+    /// register set, optionally fusing the XOR against the destination.
+    macro_rules! flush_lane_512 {
+        ($out:ident, $xor:expr, $block:expr, $k:literal,
+         $fa:ident, $fb:ident, $fc:ident, $fd:ident) => {{
+            let base = $out.as_mut_ptr().add($block * BLOCK_LEN) as *mut __m128i;
+            let mut r0 = _mm512_extracti32x4_epi32::<$k>($fa);
+            let mut r1 = _mm512_extracti32x4_epi32::<$k>($fb);
+            let mut r2 = _mm512_extracti32x4_epi32::<$k>($fc);
+            let mut r3 = _mm512_extracti32x4_epi32::<$k>($fd);
+            if $xor {
+                r0 = _mm_xor_si128(r0, _mm_loadu_si128(base));
+                r1 = _mm_xor_si128(r1, _mm_loadu_si128(base.add(1)));
+                r2 = _mm_xor_si128(r2, _mm_loadu_si128(base.add(2)));
+                r3 = _mm_xor_si128(r3, _mm_loadu_si128(base.add(3)));
+            }
+            _mm_storeu_si128(base, r0);
+            _mm_storeu_si128(base.add(1), r1);
+            _mm_storeu_si128(base.add(2), r2);
+            _mm_storeu_si128(base.add(3), r3);
+        }};
+    }
+
+    /// Blocks `counter .. counter+7` via two lockstep AVX-512 register
+    /// sets, each packing four blocks (one per 128-bit lane).
+    ///
+    /// # Safety
+    /// Requires AVX-512F; callers must check
+    /// `is_x86_feature_detected!("avx512f")`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn blocks8_avx512<const XOR: bool>(
+        key: &[u8; KEY_LEN],
+        nonce: &[u8; NONCE_LEN],
+        counter: u32,
+        out: &mut [u8; WIDE8_LEN],
+    ) {
+        // Per-128-bit-lane element rotation index vectors for the
+        // diagonalization step: `rotl1[i]` maps element `i` to the element
+        // one position left within its lane (the `vpshufd 0x39`
+        // equivalent), `rotl2` two positions (`0x4E`), `rotl3` three
+        // (`0x93`).  Expressed as `vpermd` index vectors because
+        // `_mm512_shuffle_epi32` takes a `_MM_PERM_ENUM` immediate that
+        // cannot be built from a const-generic rotation count.
+        #[rustfmt::skip]
+        let rotl1 = _mm512_setr_epi32(1, 2, 3, 0, 5, 6, 7, 4, 9, 10, 11, 8, 13, 14, 15, 12);
+        #[rustfmt::skip]
+        let rotl2 = _mm512_setr_epi32(2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13);
+        #[rustfmt::skip]
+        let rotl3 = _mm512_setr_epi32(3, 0, 1, 2, 7, 4, 5, 6, 11, 8, 9, 10, 15, 12, 13, 14);
+        let a0 = _mm512_broadcast_i32x4(_mm_loadu_si128(SIGMA.as_ptr() as *const __m128i));
+        let b0 = _mm512_broadcast_i32x4(_mm_loadu_si128(key.as_ptr() as *const __m128i));
+        let c0 = _mm512_broadcast_i32x4(_mm_loadu_si128(key.as_ptr().add(16) as *const __m128i));
+        let n = [
+            u32::from_le_bytes([nonce[0], nonce[1], nonce[2], nonce[3]]) as i32,
+            u32::from_le_bytes([nonce[4], nonce[5], nonce[6], nonce[7]]) as i32,
+            u32::from_le_bytes([nonce[8], nonce[9], nonce[10], nonce[11]]) as i32,
+        ];
+        let dbase = _mm512_broadcast_i32x4(_mm_set_epi32(n[2], n[1], n[0], counter as i32));
+        // Element 0 of each 128-bit lane is that lane-block's counter;
+        // 32-bit vector adds wrap exactly like `u32::wrapping_add`.
+        #[rustfmt::skip]
+        let off0 = _mm512_setr_epi32(0, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0);
+        #[rustfmt::skip]
+        let off1 = _mm512_setr_epi32(4, 0, 0, 0, 5, 0, 0, 0, 6, 0, 0, 0, 7, 0, 0, 0);
+        let d0 = [_mm512_add_epi32(dbase, off0), _mm512_add_epi32(dbase, off1)];
+        let mut a = [a0; 2];
+        let mut b = [b0; 2];
+        let mut c = [c0; 2];
+        let mut d = d0;
+        for _ in 0..10 {
+            qround_512!(a, b, c, d);
+            for j in 0..2 {
+                // `vpermd` with per-lane index vectors: both quads of
+                // packed blocks diagonalize independently.
+                b[j] = _mm512_permutexvar_epi32(rotl1, b[j]);
+                c[j] = _mm512_permutexvar_epi32(rotl2, c[j]);
+                d[j] = _mm512_permutexvar_epi32(rotl3, d[j]);
+            }
+            qround_512!(a, b, c, d);
+            for j in 0..2 {
+                b[j] = _mm512_permutexvar_epi32(rotl3, b[j]);
+                c[j] = _mm512_permutexvar_epi32(rotl2, c[j]);
+                d[j] = _mm512_permutexvar_epi32(rotl1, d[j]);
+            }
+        }
+        for j in 0..2 {
+            let fa = _mm512_add_epi32(a[j], a0);
+            let fb = _mm512_add_epi32(b[j], b0);
+            let fc = _mm512_add_epi32(c[j], c0);
+            let fd = _mm512_add_epi32(d[j], d0[j]);
+            flush_lane_512!(out, XOR, 4 * j, 0, fa, fb, fc, fd);
+            flush_lane_512!(out, XOR, 4 * j + 1, 1, fa, fb, fc, fd);
+            flush_lane_512!(out, XOR, 4 * j + 2, 2, fa, fb, fc, fd);
+            flush_lane_512!(out, XOR, 4 * j + 3, 3, fa, fb, fc, fd);
         }
     }
 }
 
 /// Which multi-block kernel the dispatcher selected.
+///
+/// `Avx512` is only selected when the CPU also has AVX2, because its
+/// 4-block stride runs on the AVX2 kernel (a half-width AVX-512 pass would
+/// waste the upper lanes for no gain).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum WideBackend {
     Portable,
@@ -380,11 +652,59 @@ enum WideBackend {
     Sse2,
     #[cfg(target_arch = "x86_64")]
     Avx2,
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+}
+
+/// The fastest backend the hardware supports.
+fn detect_backend() -> WideBackend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx2") {
+            return WideBackend::Avx512;
+        }
+        if is_x86_feature_detected!("avx2") {
+            return WideBackend::Avx2;
+        }
+        if is_x86_feature_detected!("sse2") {
+            return WideBackend::Sse2;
+        }
+    }
+    WideBackend::Portable
+}
+
+/// Resolve a `DISSENT_CHACHA_FORCE_BACKEND` name, falling back to the
+/// portable kernel (with a warning for anything that is not a spelling of
+/// it) when the hardware cannot honour the request — a forced backend must
+/// never select an undetected feature.
+fn forced_backend(name: &str) -> WideBackend {
+    let requested = name.to_ascii_lowercase();
+    #[cfg(target_arch = "x86_64")]
+    match requested.as_str() {
+        "avx512" if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx2") => {
+            return WideBackend::Avx512;
+        }
+        "avx2" if is_x86_feature_detected!("avx2") => return WideBackend::Avx2,
+        "sse2" if is_x86_feature_detected!("sse2") => return WideBackend::Sse2,
+        _ => {}
+    }
+    if !matches!(
+        requested.as_str(),
+        "portable" | "portable4" | "portable8" | "scalar"
+    ) {
+        eprintln!(
+            "DISSENT_CHACHA_FORCE_BACKEND={requested}: not supported on this host, \
+             using the portable kernel"
+        );
+    }
+    WideBackend::Portable
 }
 
 /// Backend selection: detected once on first use, then cached (an atomic
 /// load per stride thereafter).  `DISSENT_CHACHA_FORCE_SCALAR` (any value
-/// but `0`) pins the portable kernel.
+/// but `0`) pins the portable kernel and takes precedence;
+/// `DISSENT_CHACHA_FORCE_BACKEND=<name>` pins a specific kernel, subject
+/// to hardware support.
 fn wide_backend() -> WideBackend {
     use std::sync::OnceLock;
     static BACKEND: OnceLock<WideBackend> = OnceLock::new();
@@ -392,21 +712,15 @@ fn wide_backend() -> WideBackend {
         if std::env::var_os("DISSENT_CHACHA_FORCE_SCALAR").is_some_and(|v| v != *"0") {
             return WideBackend::Portable;
         }
-        #[cfg(target_arch = "x86_64")]
-        {
-            if is_x86_feature_detected!("avx2") {
-                return WideBackend::Avx2;
-            }
-            if is_x86_feature_detected!("sse2") {
-                return WideBackend::Sse2;
-            }
+        match std::env::var("DISSENT_CHACHA_FORCE_BACKEND") {
+            Ok(name) if !name.is_empty() => forced_backend(&name),
+            _ => detect_backend(),
         }
-        WideBackend::Portable
     })
 }
 
-/// Name of the selected multi-block backend (`"avx2"`, `"sse2"` or
-/// `"portable4"`) — for bench labels and CI logs.
+/// Name of the selected multi-block backend (`"avx512"`, `"avx2"`,
+/// `"sse2"` or `"portable4"`) — for bench labels and CI logs.
 pub fn wide_backend_name() -> &'static str {
     match wide_backend() {
         WideBackend::Portable => "portable4",
@@ -414,6 +728,23 @@ pub fn wide_backend_name() -> &'static str {
         WideBackend::Sse2 => "sse2",
         #[cfg(target_arch = "x86_64")]
         WideBackend::Avx2 => "avx2",
+        #[cfg(target_arch = "x86_64")]
+        WideBackend::Avx512 => "avx512",
+    }
+}
+
+/// Name of the kernel behind the 8-block stride (`"avx512"`, `"avx2x2"`,
+/// `"sse2x2"` or `"portable8"`) — the `x2` suffix marks double-stride
+/// compositions of the 4-block kernel.
+pub fn wide8_backend_name() -> &'static str {
+    match wide_backend() {
+        WideBackend::Portable => "portable8",
+        #[cfg(target_arch = "x86_64")]
+        WideBackend::Sse2 => "sse2x2",
+        #[cfg(target_arch = "x86_64")]
+        WideBackend::Avx2 => "avx2x2",
+        #[cfg(target_arch = "x86_64")]
+        WideBackend::Avx512 => "avx512",
     }
 }
 
@@ -437,7 +768,77 @@ pub fn chacha20_blocks4(
         #[cfg(target_arch = "x86_64")]
         WideBackend::Sse2 => unsafe { x86::blocks4_sse2(key, nonce, counter, out) },
         #[cfg(target_arch = "x86_64")]
-        WideBackend::Avx2 => unsafe { x86::blocks4_avx2(key, nonce, counter, out) },
+        WideBackend::Avx2 | WideBackend::Avx512 => unsafe {
+            x86::blocks4_avx2(key, nonce, counter, out)
+        },
+    }
+}
+
+/// Fused form of [`chacha20_blocks4`]: XOR the keystream of blocks
+/// `counter .. counter+3` into `data` with no intermediate buffer.
+#[allow(unsafe_code)] // see the note on `mod x86`
+pub fn chacha20_blocks4_xor(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    counter: u32,
+    data: &mut [u8; WIDE_LEN],
+) {
+    match wide_backend() {
+        WideBackend::Portable => blocks_portable::<WIDE_BLOCKS, true>(key, nonce, counter, data),
+        // SAFETY: feature availability proven by the dispatcher.
+        #[cfg(target_arch = "x86_64")]
+        WideBackend::Sse2 => unsafe { x86::blocks4_sse2_x::<true>(key, nonce, counter, data) },
+        #[cfg(target_arch = "x86_64")]
+        WideBackend::Avx2 | WideBackend::Avx512 => unsafe {
+            x86::blocks4_avx2_x::<true>(key, nonce, counter, data)
+        },
+    }
+}
+
+/// Compute the eight consecutive blocks `counter .. counter+7` (u32
+/// wrapping) into `out`, through the runtime-selected kernel.
+///
+/// Byte-identical to eight [`chacha20_block`] calls for every (key, nonce,
+/// counter), for every backend — same oracle contract as
+/// [`chacha20_blocks4`].
+#[allow(unsafe_code)] // see the note on `mod x86`
+pub fn chacha20_blocks8(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    counter: u32,
+    out: &mut [u8; WIDE8_LEN],
+) {
+    match wide_backend() {
+        WideBackend::Portable => chacha20_blocks8_portable(key, nonce, counter, out),
+        // SAFETY: feature availability proven by the dispatcher.
+        #[cfg(target_arch = "x86_64")]
+        WideBackend::Sse2 => unsafe { x86::blocks8_sse2::<false>(key, nonce, counter, out) },
+        #[cfg(target_arch = "x86_64")]
+        WideBackend::Avx2 => unsafe { x86::blocks8_avx2::<false>(key, nonce, counter, out) },
+        #[cfg(target_arch = "x86_64")]
+        WideBackend::Avx512 => unsafe { x86::blocks8_avx512::<false>(key, nonce, counter, out) },
+    }
+}
+
+/// Fused form of [`chacha20_blocks8`]: XOR the keystream of blocks
+/// `counter .. counter+7` into `data` with no intermediate buffer — the
+/// engine under [`ChaCha20::apply`] and every DC-net pad fold.
+#[allow(unsafe_code)] // see the note on `mod x86`
+pub fn chacha20_blocks8_xor(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    counter: u32,
+    data: &mut [u8; WIDE8_LEN],
+) {
+    match wide_backend() {
+        WideBackend::Portable => chacha20_blocks8_xor_portable(key, nonce, counter, data),
+        // SAFETY: feature availability proven by the dispatcher.
+        #[cfg(target_arch = "x86_64")]
+        WideBackend::Sse2 => unsafe { x86::blocks8_sse2::<true>(key, nonce, counter, data) },
+        #[cfg(target_arch = "x86_64")]
+        WideBackend::Avx2 => unsafe { x86::blocks8_avx2::<true>(key, nonce, counter, data) },
+        #[cfg(target_arch = "x86_64")]
+        WideBackend::Avx512 => unsafe { x86::blocks8_avx512::<true>(key, nonce, counter, data) },
     }
 }
 
@@ -496,6 +897,11 @@ impl ChaCha20 {
         self.counter >> 32 == self.counter.wrapping_add(WIDE_BLOCKS as u64 - 1) >> 32
     }
 
+    /// Same guard for the 8-block stride.
+    fn wide8_stride_ok(&self) -> bool {
+        self.counter >> 32 == self.counter.wrapping_add(WIDE8_BLOCKS as u64 - 1) >> 32
+    }
+
     fn refill(&mut self) {
         self.buffer = self.next_block();
         self.buffer_pos = 0;
@@ -525,10 +931,11 @@ impl ChaCha20 {
 
     /// Fill `out` with keystream bytes.
     ///
-    /// Whole 4-block (256 B) strides stream through [`chacha20_blocks4`];
-    /// the partial-block head left by an unaligned [`Self::seek`] (or a
+    /// Whole 8-block (512 B) strides stream through [`chacha20_blocks8`]
+    /// and 4-block (256 B) strides through [`chacha20_blocks4`]; the
+    /// partial-block head left by an unaligned [`Self::seek`] (or a
     /// previous short read) is always drained from the buffer *before* the
-    /// wide loop, and the tail falls back to the scalar block, so chunking
+    /// wide loops, and the tail falls back to the scalar block, so chunking
     /// never changes the byte stream.
     pub fn fill(&mut self, out: &mut [u8]) {
         let mut written = 0;
@@ -538,6 +945,20 @@ impl ChaCha20 {
             out[..take].copy_from_slice(&self.buffer[self.buffer_pos..self.buffer_pos + take]);
             self.buffer_pos += take;
             written = take;
+        }
+        // Extra-wide strides straight into the output.
+        while out.len() - written >= WIDE8_LEN && self.wide8_stride_ok() {
+            let chunk: &mut [u8; WIDE8_LEN] = (&mut out[written..written + WIDE8_LEN])
+                .try_into()
+                .expect("stride is WIDE8_LEN bytes");
+            chacha20_blocks8(
+                &self.key,
+                &self.effective_nonce(),
+                self.counter as u32,
+                chunk,
+            );
+            self.counter = self.counter.wrapping_add(WIDE8_BLOCKS as u64);
+            written += WIDE8_LEN;
         }
         // Wide strides straight into the output.
         while out.len() - written >= WIDE_LEN && self.wide_stride_ok() {
@@ -576,10 +997,12 @@ impl ChaCha20 {
     /// XOR the keystream into `data` in place (encryption == decryption).
     ///
     /// Equivalent to XORing [`Self::keystream`]`(data.len())` into `data`,
-    /// but fused: whole blocks are XORed word-wise straight from the block
-    /// function into `data` with no intermediate keystream allocation or
-    /// copy.  This is the engine under the DC-net pad accumulators, where it
-    /// runs over clients × cleartext-length bytes per round.
+    /// but fused end to end: whole 8- and 4-block strides go through
+    /// [`chacha20_blocks8_xor`] / [`chacha20_blocks4_xor`], whose kernels
+    /// XOR the keystream words against the destination in SIMD registers —
+    /// the keystream for a stride never exists in memory at all.  This is
+    /// the engine under the DC-net pad accumulators, where it runs over
+    /// clients × cleartext-length bytes per round.
     pub fn apply(&mut self, data: &mut [u8]) {
         let mut pos = 0;
         // Drain any partial block buffered by a previous unaligned read.
@@ -592,18 +1015,33 @@ impl ChaCha20 {
             self.buffer_pos += take;
             pos = take;
         }
-        // Wide strides: 256 B of keystream at a time, folded in with the
-        // word-level XOR.
-        while data.len() - pos >= WIDE_LEN && self.wide_stride_ok() {
-            let mut ks = [0u8; WIDE_LEN];
-            chacha20_blocks4(
+        // Extra-wide strides: 512 B of keystream folded straight into the
+        // destination by the fused kernel.
+        while data.len() - pos >= WIDE8_LEN && self.wide8_stride_ok() {
+            let chunk: &mut [u8; WIDE8_LEN] = (&mut data[pos..pos + WIDE8_LEN])
+                .try_into()
+                .expect("stride is WIDE8_LEN bytes");
+            chacha20_blocks8_xor(
                 &self.key,
                 &self.effective_nonce(),
                 self.counter as u32,
-                &mut ks,
+                chunk,
+            );
+            self.counter = self.counter.wrapping_add(WIDE8_BLOCKS as u64);
+            pos += WIDE8_LEN;
+        }
+        // Wide strides: 256 B at a time through the fused 4-block kernel.
+        while data.len() - pos >= WIDE_LEN && self.wide_stride_ok() {
+            let chunk: &mut [u8; WIDE_LEN] = (&mut data[pos..pos + WIDE_LEN])
+                .try_into()
+                .expect("stride is WIDE_LEN bytes");
+            chacha20_blocks4_xor(
+                &self.key,
+                &self.effective_nonce(),
+                self.counter as u32,
+                chunk,
             );
             self.counter = self.counter.wrapping_add(WIDE_BLOCKS as u64);
-            crate::xor::xor_into(&mut data[pos..pos + WIDE_LEN], &ks);
             pos += WIDE_LEN;
         }
         // Full blocks stream directly from the block function.
@@ -733,6 +1171,136 @@ mod tests {
                 "dispatched ({}), counter {counter}",
                 wide_backend_name()
             );
+        }
+    }
+
+    /// Eight consecutive scalar blocks — the oracle for the 8-block kernels.
+    fn eight_scalar_blocks(
+        key: &[u8; KEY_LEN],
+        nonce: &[u8; NONCE_LEN],
+        counter: u32,
+    ) -> [u8; WIDE8_LEN] {
+        let mut expected = [0u8; WIDE8_LEN];
+        for b in 0..WIDE8_BLOCKS {
+            let block = chacha20_block(key, nonce, counter.wrapping_add(b as u32));
+            expected[b * BLOCK_LEN..(b + 1) * BLOCK_LEN].copy_from_slice(&block);
+        }
+        expected
+    }
+
+    #[test]
+    fn wide8_kernels_match_eight_scalar_blocks() {
+        let mut key = [0u8; 32];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = (i as u8).wrapping_mul(11).wrapping_add(5);
+        }
+        let nonce = [0x6Eu8; 12];
+        for counter in [0u32, 1, 1000, u32::MAX - 7, u32::MAX - 3, u32::MAX] {
+            let expected = eight_scalar_blocks(&key, &nonce, counter);
+            let mut portable = [0u8; WIDE8_LEN];
+            chacha20_blocks8_portable(&key, &nonce, counter, &mut portable);
+            assert_eq!(portable, expected, "portable8, counter {counter}");
+            let mut dispatched = [0u8; WIDE8_LEN];
+            chacha20_blocks8(&key, &nonce, counter, &mut dispatched);
+            assert_eq!(
+                dispatched,
+                expected,
+                "dispatched ({}), counter {counter}",
+                wide8_backend_name()
+            );
+        }
+    }
+
+    #[test]
+    fn fused_xor_kernels_equal_compute_then_xor() {
+        let key = [0x2Bu8; 32];
+        let nonce = [0x17u8; 12];
+        for counter in [0u32, 3, u32::MAX - 5] {
+            let base: Vec<u8> = (0..WIDE8_LEN).map(|i| (i * 7 + 1) as u8).collect();
+            let ks = eight_scalar_blocks(&key, &nonce, counter);
+            let expected: Vec<u8> = base.iter().zip(ks.iter()).map(|(m, k)| m ^ k).collect();
+            // Dispatched 8-block fused kernel.
+            let mut fused8: [u8; WIDE8_LEN] = base.clone().try_into().unwrap();
+            chacha20_blocks8_xor(&key, &nonce, counter, &mut fused8);
+            assert_eq!(
+                fused8.to_vec(),
+                expected,
+                "blocks8_xor ({}), counter {counter}",
+                wide8_backend_name()
+            );
+            // Portable 8-block fused kernel, called directly.
+            let mut fusedp: [u8; WIDE8_LEN] = base.clone().try_into().unwrap();
+            chacha20_blocks8_xor_portable(&key, &nonce, counter, &mut fusedp);
+            assert_eq!(
+                fusedp.to_vec(),
+                expected,
+                "portable8 xor, counter {counter}"
+            );
+            // Dispatched 4-block fused kernel over both halves.
+            let mut fused4: [u8; WIDE8_LEN] = base.clone().try_into().unwrap();
+            let (lo, hi) = fused4.split_at_mut(WIDE_LEN);
+            chacha20_blocks4_xor(&key, &nonce, counter, lo.try_into().unwrap());
+            chacha20_blocks4_xor(
+                &key,
+                &nonce,
+                counter.wrapping_add(4),
+                hi.try_into().unwrap(),
+            );
+            assert_eq!(
+                fused4.to_vec(),
+                expected,
+                "blocks4_xor ({}), counter {counter}",
+                wide_backend_name()
+            );
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    #[allow(unsafe_code)] // see the note on `mod x86`
+    fn x86_wide8_kernels_match_eight_scalar_blocks_directly() {
+        // Direct per-kernel coverage independent of what the dispatcher
+        // picked, plain and fused, including at the u32 counter wrap.
+        let key = [0x44u8; 32];
+        let nonce = [0x99u8; 12];
+        for counter in [0u32, 12, u32::MAX - 7] {
+            let expected = eight_scalar_blocks(&key, &nonce, counter);
+            let base: Vec<u8> = (0..WIDE8_LEN).map(|i| (i * 5 + 2) as u8).collect();
+            let xored: Vec<u8> = base
+                .iter()
+                .zip(expected.iter())
+                .map(|(m, k)| m ^ k)
+                .collect();
+            if is_x86_feature_detected!("sse2") {
+                let mut got = [0u8; WIDE8_LEN];
+                // SAFETY: SSE2 availability checked above.
+                unsafe { x86::blocks8_sse2::<false>(&key, &nonce, counter, &mut got) };
+                assert_eq!(got, expected, "sse2x2, counter {counter}");
+                let mut fused: [u8; WIDE8_LEN] = base.clone().try_into().unwrap();
+                // SAFETY: as above.
+                unsafe { x86::blocks8_sse2::<true>(&key, &nonce, counter, &mut fused) };
+                assert_eq!(fused.to_vec(), xored, "sse2x2 fused, counter {counter}");
+            }
+            if is_x86_feature_detected!("avx2") {
+                let mut got = [0u8; WIDE8_LEN];
+                // SAFETY: AVX2 availability checked above.
+                unsafe { x86::blocks8_avx2::<false>(&key, &nonce, counter, &mut got) };
+                assert_eq!(got, expected, "avx2x2, counter {counter}");
+                let mut fused: [u8; WIDE8_LEN] = base.clone().try_into().unwrap();
+                // SAFETY: as above.
+                unsafe { x86::blocks8_avx2::<true>(&key, &nonce, counter, &mut fused) };
+                assert_eq!(fused.to_vec(), xored, "avx2x2 fused, counter {counter}");
+            }
+            if is_x86_feature_detected!("avx512f") {
+                let mut got = [0u8; WIDE8_LEN];
+                // SAFETY: AVX-512F availability checked above.
+                unsafe { x86::blocks8_avx512::<false>(&key, &nonce, counter, &mut got) };
+                assert_eq!(got, expected, "avx512, counter {counter}");
+                let mut fused: [u8; WIDE8_LEN] = base.clone().try_into().unwrap();
+                // SAFETY: as above.
+                unsafe { x86::blocks8_avx512::<true>(&key, &nonce, counter, &mut fused) };
+                assert_eq!(fused.to_vec(), xored, "avx512 fused, counter {counter}");
+            }
         }
     }
 

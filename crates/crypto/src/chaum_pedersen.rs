@@ -74,6 +74,80 @@ pub fn prove<R: RngCore + ?Sized>(
     DleqProof { t1, t2, response }
 }
 
+/// One statement of a DLEQ *proving* batch: the second base `h`, its image
+/// `b = h^x`, and the transcript context.  The first base `g`, the witness
+/// `x`, and the image `a = g^x` are shared across the batch — the
+/// shuffle-pass shape, where `g` is the generator, `a` the server's public
+/// key, and each entry contributes `(c1, share)`.
+#[derive(Clone, Copy, Debug)]
+pub struct DleqProveItem<'a> {
+    /// Second base (e.g. `c1`).
+    pub h: &'a Element,
+    /// `h^x` (e.g. the decryption share), computed by the caller.
+    pub b: &'a Element,
+    /// The transcript context to bind the proof to.
+    pub context: &'a [u8],
+}
+
+/// Entry count from which the per-entry half of [`prove_batch`] (the
+/// `h^w` commitments, challenges, and responses) shards across the pool.
+const PARALLEL_PROVE_MIN: usize = 16;
+
+/// Prove `a = g^x ∧ bᵢ = hᵢ^x` for every item, sharing the batched work.
+///
+/// Produces exactly the proofs a loop of [`prove`] calls would: one
+/// blinding scalar `wᵢ` is drawn *per entry, in entry order* (sharing `w`
+/// across entries would surrender `x` to anyone subtracting two
+/// responses), so the RNG stream — and with it every transcript byte — is
+/// identical to the per-entry loop.  What the batch saves is arithmetic,
+/// not randomness: the caller passes `a` and each `bᵢ` in instead of
+/// having them recomputed per entry (two exponentiations saved each), and
+/// all `g^{wᵢ}` commitments run through one comb-domain
+/// [`Group::exp_batch`] sweep.  The irreducible per-entry cost — `hᵢ^{wᵢ}`
+/// against a fresh base — shards across the thread pool for large batches.
+///
+/// Verification is unchanged: the output satisfies [`verify`] and
+/// [`batch_verify`] exactly as per-entry proofs do, so blame attribution
+/// in callers keeps working entry by entry.
+pub fn prove_batch<R: RngCore + ?Sized>(
+    group: &Group,
+    rng: &mut R,
+    g: &Element,
+    x: &Scalar,
+    a: &Element,
+    items: &[DleqProveItem<'_>],
+) -> Vec<DleqProof> {
+    debug_assert!(group.exp(g, x) == *a, "a must equal g^x");
+    let ws: Vec<Scalar> = items.iter().map(|_| group.random_scalar(rng)).collect();
+    let w_refs: Vec<&Scalar> = ws.iter().collect();
+    let t1s = group.exp_batch(g, &w_refs);
+    let finish = |k: usize| -> DleqProof {
+        let (item, w, t1) = (&items[k], &ws[k], &t1s[k]);
+        let t2 = group.exp(item.h, w);
+        let e = challenge(group, g, item.h, a, item.b, t1, &t2, item.context);
+        let response = group.scalar_add(w, &group.scalar_mul(&e, x));
+        DleqProof {
+            t1: t1.clone(),
+            t2,
+            response,
+        }
+    };
+    let threads = rayon::current_num_threads();
+    if items.len() >= PARALLEL_PROVE_MIN && threads > 1 {
+        use rayon::prelude::*;
+        let indices: Vec<usize> = (0..items.len()).collect();
+        let chunk = indices.len().div_ceil(threads);
+        let mut parts: Vec<Vec<DleqProof>> = Vec::new();
+        indices
+            .par_chunks(chunk)
+            .map(|ix| ix.iter().map(|&k| finish(k)).collect::<Vec<_>>())
+            .collect_into_vec(&mut parts);
+        parts.into_iter().flatten().collect()
+    } else {
+        (0..items.len()).map(finish).collect()
+    }
+}
+
 /// Verify a DLEQ proof that `a = g^x` and `b = h^x` for some common `x`.
 pub fn verify(
     group: &Group,
@@ -350,6 +424,42 @@ mod tests {
         proofs[2].t2 = group.mul(&proofs[2].t2, &g);
         assert!(!make_items(&build(&proofs)));
         assert!(batch_verify(&group, &[]));
+    }
+
+    #[test]
+    fn prove_batch_is_bit_identical_to_per_entry_prove() {
+        let (group, mut rng) = setup();
+        let g = group.generator();
+        let x = group.random_scalar(&mut rng);
+        let a = group.exp(&g, &x);
+        let n = 6;
+        let hs: Vec<Element> = (0..n)
+            .map(|_| group.exp_base(&group.random_scalar(&mut rng)))
+            .collect();
+        let bs: Vec<Element> = hs.iter().map(|h| group.exp(h, &x)).collect();
+        let contexts: Vec<Vec<u8>> = (0..n).map(|i| format!("entry-{i}").into_bytes()).collect();
+        // Same seed for both sides: the batched prover must consume the RNG
+        // exactly like the loop, so the outputs match byte for byte.
+        let mut rng_loop = StdRng::seed_from_u64(99);
+        let looped: Vec<DleqProof> = hs
+            .iter()
+            .zip(&contexts)
+            .map(|(h, ctx)| prove(&group, &mut rng_loop, &g, h, &x, ctx))
+            .collect();
+        let mut rng_batch = StdRng::seed_from_u64(99);
+        let items: Vec<DleqProveItem> = hs
+            .iter()
+            .zip(&bs)
+            .zip(&contexts)
+            .map(|((h, b), ctx)| DleqProveItem { h, b, context: ctx })
+            .collect();
+        let batched = prove_batch(&group, &mut rng_batch, &g, &x, &a, &items);
+        assert_eq!(batched, looped);
+        // And of course each batched proof verifies.
+        for ((h, b), (proof, ctx)) in hs.iter().zip(&bs).zip(batched.iter().zip(&contexts)) {
+            assert!(verify(&group, &g, h, &a, b, proof, ctx));
+        }
+        assert!(prove_batch(&group, &mut rng_batch, &g, &x, &a, &[]).is_empty());
     }
 
     #[test]

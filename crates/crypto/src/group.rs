@@ -577,6 +577,39 @@ impl Group {
             .collect()
     }
 
+    /// Shared-base batch exponentiation: `base^eᵢ` for every exponent, with
+    /// one comb-table selection (and at most one throwaway comb build)
+    /// amortized over the whole batch — [`Group::exp_mul_batch`] without
+    /// the per-entry factor.  This is the proving-side analogue of the
+    /// batched verification paths: a shuffle pass computes all its DLEQ
+    /// commitments `g^{wₖ}` through it in one comb-domain sweep.
+    pub fn exp_batch(&self, base: &Element, exps: &[&Scalar]) -> Vec<Element> {
+        /// Same build-vs-fallback threshold as [`Group::exp_mul_batch`].
+        const BUILD_COMB_MIN: usize = 4;
+        if exps.is_empty() {
+            return Vec::new();
+        }
+        let ctx = self.mont();
+        let cached;
+        let built;
+        let comb: &CombTable = if base.value == self.params.g {
+            self.generator_comb()
+        } else if let Some(t) = self.fixed_base(&base.value) {
+            cached = t;
+            &cached.comb
+        } else if exps.len() >= BUILD_COMB_MIN {
+            built = ctx.precompute_comb(&base.value, self.params.p.bit_len());
+            &built
+        } else {
+            return exps.iter().map(|e| self.exp(base, e)).collect();
+        };
+        exps.iter()
+            .map(|e| Element {
+                value: ctx.pow_comb(comb, &e.value),
+            })
+            .collect()
+    }
+
     /// Group multiplication: `a · b mod p`.
     pub fn mul(&self, a: &Element, b: &Element) -> Element {
         Element {

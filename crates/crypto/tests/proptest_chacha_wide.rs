@@ -1,16 +1,22 @@
 //! Wide-vs-scalar oracle suite for the multi-block ChaCha20 engine.
 //!
-//! The contract: the portable 4-way kernel, the runtime-dispatched SIMD
-//! kernel, and the stride-consuming `fill`/`apply` paths are all *byte
-//! identical* to the scalar `chacha20_block` oracle — for every length,
-//! chunking, seek position and counter value.  Nothing here is
-//! self-consistency alone: the scalar oracle is itself pinned to the RFC
-//! 8439 test vectors (including a ≥4-consecutive-block known answer whose
-//! counter-1 block is the verbatim §2.3.2 vector).
+//! The contract: the portable 4-way and 8-way kernels, the
+//! runtime-dispatched SIMD kernels (SSE2/AVX2/AVX-512), their fused
+//! keystream-XOR variants, and the stride-consuming `fill`/`apply` paths
+//! are all *byte identical* to the scalar `chacha20_block` oracle — for
+//! every length, chunking, seek position and counter value (including u32
+//! counter wrap-around inside a stride).  Nothing here is self-consistency
+//! alone: the scalar oracle is itself pinned to the RFC 8439 test vectors
+//! (including an 8-consecutive-block known answer whose counter-1 block is
+//! the verbatim §2.3.2 vector), and the `DISSENT_CHACHA_FORCE_*` override
+//! tests re-run the oracle in subprocesses pinned to each backend this CPU
+//! supports.
 
 use dissent_crypto::chacha::{
-    chacha20_block, chacha20_blocks4, chacha20_blocks4_portable, wide_backend_name, ChaCha20,
-    BLOCK_LEN, WIDE_BLOCKS, WIDE_LEN,
+    chacha20_block, chacha20_blocks4, chacha20_blocks4_portable, chacha20_blocks4_xor,
+    chacha20_blocks8, chacha20_blocks8_portable, chacha20_blocks8_xor,
+    chacha20_blocks8_xor_portable, wide8_backend_name, wide_backend_name, ChaCha20, BLOCK_LEN,
+    WIDE8_BLOCKS, WIDE8_LEN, WIDE_BLOCKS, WIDE_LEN,
 };
 use proptest::prelude::*;
 
@@ -67,6 +73,85 @@ proptest! {
     }
 
     #[test]
+    fn blocks8_kernels_equal_eight_scalar_blocks(
+        seed in any::<u64>(),
+        counter in any::<u32>(),
+    ) {
+        // `counter` ranges over all of u32, so wrap-around inside the
+        // stride (counter > u32::MAX - 7) is sampled too; the kernels'
+        // per-lane `wrapping_add` must match eight wrapping scalar blocks.
+        let key = key_from(seed);
+        let nonce = nonce_from(seed.rotate_left(29));
+        let mut expected = [0u8; WIDE8_LEN];
+        for b in 0..WIDE8_BLOCKS {
+            expected[b * BLOCK_LEN..(b + 1) * BLOCK_LEN]
+                .copy_from_slice(&chacha20_block(&key, &nonce, counter.wrapping_add(b as u32)));
+        }
+        let mut portable = [0u8; WIDE8_LEN];
+        chacha20_blocks8_portable(&key, &nonce, counter, &mut portable);
+        prop_assert_eq!(&portable[..], &expected[..]);
+        let mut dispatched = [0u8; WIDE8_LEN];
+        chacha20_blocks8(&key, &nonce, counter, &mut dispatched);
+        prop_assert_eq!(&dispatched[..], &expected[..]);
+    }
+
+    #[test]
+    fn fused_xor_kernels_equal_compute_then_xor(
+        seed in any::<u64>(),
+        counter in any::<u32>(),
+    ) {
+        let key = key_from(seed);
+        let nonce = nonce_from(seed.rotate_left(41));
+        let base: Vec<u8> = (0..WIDE8_LEN).map(|i| (i * 37 + 11) as u8).collect();
+        let mut ks = [0u8; WIDE8_LEN];
+        chacha20_blocks8(&key, &nonce, counter, &mut ks);
+        let expected: Vec<u8> = base.iter().zip(ks.iter()).map(|(m, k)| m ^ k).collect();
+        // Dispatched fused 8-block kernel.
+        let mut fused: [u8; WIDE8_LEN] = base.clone().try_into().unwrap();
+        chacha20_blocks8_xor(&key, &nonce, counter, &mut fused);
+        prop_assert_eq!(&fused[..], &expected[..]);
+        // Portable fused 8-block kernel.
+        let mut fused: [u8; WIDE8_LEN] = base.clone().try_into().unwrap();
+        chacha20_blocks8_xor_portable(&key, &nonce, counter, &mut fused);
+        prop_assert_eq!(&fused[..], &expected[..]);
+        // Dispatched fused 4-block kernel over both halves of the stride.
+        let mut fused: [u8; WIDE8_LEN] = base.try_into().unwrap();
+        let (lo, hi) = fused.split_at_mut(WIDE_LEN);
+        chacha20_blocks4_xor(&key, &nonce, counter, lo.try_into().unwrap());
+        chacha20_blocks4_xor(
+            &key,
+            &nonce,
+            counter.wrapping_add(WIDE_BLOCKS as u32),
+            hi.try_into().unwrap(),
+        );
+        prop_assert_eq!(&fused[..], &expected[..]);
+    }
+
+    #[test]
+    fn fused_apply_equals_fill_then_xor_after_seek(
+        seed in any::<u64>(),
+        pos in 0u64..4096,
+        len in 0usize..2048,
+    ) {
+        // `apply` (keystream XORed in-register by the fused kernels) must
+        // equal the two-pass form: `fill` a keystream buffer, then XOR it
+        // in — for every length and stream position.
+        let key = key_from(seed);
+        let nonce = nonce_from(seed ^ 0xC0FFEE);
+        let msg: Vec<u8> = (0..len).map(|i| (i * 89 + 3) as u8).collect();
+        let mut ks = vec![0u8; len];
+        let mut stream = ChaCha20::new(&key, &nonce);
+        stream.seek(pos);
+        stream.fill(&mut ks);
+        let expected: Vec<u8> = msg.iter().zip(&ks).map(|(m, k)| m ^ k).collect();
+        let mut data = msg;
+        let mut stream = ChaCha20::new(&key, &nonce);
+        stream.seek(pos);
+        stream.apply(&mut data);
+        prop_assert_eq!(data, expected);
+    }
+
+    #[test]
     fn fill_matches_scalar_oracle_for_all_lengths(
         seed in any::<u64>(),
         len in 0usize..1024,
@@ -82,12 +167,13 @@ proptest! {
     #[test]
     fn fill_across_stride_boundaries_matches_oracle(seed in any::<u64>()) {
         // 255/256/257 straddle the first 4-block stride, 511/512/513 the
-        // second; every split of the whole stream at those lengths must
-        // reassemble to the oracle stream.
+        // 8-block stride, 1023/1024/1025 the second 8-block stride; every
+        // split of the whole stream at those lengths must reassemble to
+        // the oracle stream.
         let key = key_from(seed);
         let nonce = nonce_from(seed ^ 0x5A5A);
         let expected = scalar_keystream(&key, &nonce, 2048);
-        for &head in &[255usize, 256, 257, 511, 512, 513] {
+        for &head in &[255usize, 256, 257, 511, 512, 513, 1023, 1024, 1025] {
             let mut stream = ChaCha20::new(&key, &nonce);
             let mut out = vec![0u8; 2048];
             let (a, b) = out.split_at_mut(head);
@@ -135,12 +221,13 @@ proptest! {
     }
 }
 
-/// RFC 8439 §2.3.2 key/nonce, keystream blocks for counters 0..=5 — a
-/// known-answer vector four-plus blocks long, so the wide 256-byte stride is
-/// exercised against pinned bytes rather than self-consistency.  Bytes
-/// 64..128 are verbatim the §2.3.2 block-function test vector (counter = 1),
-/// anchoring the whole pin to the RFC; the remaining blocks were expanded
-/// from the same scalar block function those 64 bytes validate.
+/// RFC 8439 §2.3.2 key/nonce, keystream blocks for counters 0..=7 — a
+/// known-answer vector a full 8-block (512-byte) stride long, so both the
+/// 4-block and the 8-block wide paths are exercised against pinned bytes
+/// rather than self-consistency.  Bytes 64..128 are verbatim the §2.3.2
+/// block-function test vector (counter = 1), anchoring the whole pin to the
+/// RFC; the remaining blocks were expanded from the same scalar block
+/// function those 64 bytes validate.
 const RFC8439_EXTENDED_KEYSTREAM: &str =
     "8adc91fd9ff4f0f51b0fad50ff15d637e40efda206cc52c783a74200503c1582\
      cd9833367d0a54d57d3c9e998f490ee69ca34c1ff9e939a75584c52d690a35d4\
@@ -153,7 +240,11 @@ const RFC8439_EXTENDED_KEYSTREAM: &str =
      69d09f0d336478ca9068335ae2b3090905fb0fe5d45115371d126e5ba85e9924\
      32729aa7d77ddc5e3cc689d8445c1ab754a7409ee8befc2bdd3868d27f6e1ad8\
      a919bfe7a39def0c7c74981952cd16b77989597e08679e57615f79691946a58f\
-     f9cdab03770dd60bf523f9fba6bda60c267cd9fc2e9a85f1c41334bee30d578f";
+     f9cdab03770dd60bf523f9fba6bda60c267cd9fc2e9a85f1c41334bee30d578f\
+     182b358e096f14b1a4bbdc69357a4c4c5f3a6d4e7ea8577ca7d19e05c05507c2\
+     40e8c20d0d459c67df97c8d35a51433d9202e31378df5fad8f0c815cba5b2176\
+     cadfa21657898aac16038885f602a5ebbd7db48afc0f120c1c4add4da10fcad8\
+     e4a302868b7881dc3ed06093ba9541d652b7616b7b2eea6c3f4bdf97595019c5";
 
 fn rfc_key_nonce() -> ([u8; 32], [u8; 12]) {
     let mut key = [0u8; 32];
@@ -180,7 +271,7 @@ fn rfc8439_extended_known_answer_block_one_is_the_rfc_vector() {
     // The external anchor: bytes 64..128 of the pin are the literal RFC 8439
     // §2.3.2 serialized block for counter = 1.
     let expected = unhex(RFC8439_EXTENDED_KEYSTREAM);
-    assert_eq!(expected.len(), 6 * BLOCK_LEN);
+    assert_eq!(expected.len(), 8 * BLOCK_LEN);
     assert_eq!(
         &expected[64..128],
         &unhex(
@@ -209,14 +300,25 @@ fn rfc8439_extended_known_answer_wide_paths() {
     let mut wide = [0u8; WIDE_LEN];
     chacha20_blocks4(&key, &nonce, 0, &mut wide);
     assert_eq!(&wide[..], &expected[..WIDE_LEN], "{}", wide_backend_name());
-    // The streaming engine over all six blocks, in one gulp and in odd
+    // Portable 8-way and dispatched kernels over the full 8-block stride.
+    let mut wide8 = [0u8; WIDE8_LEN];
+    chacha20_blocks8_portable(&key, &nonce, 0, &mut wide8);
+    assert_eq!(&wide8[..], &expected[..], "portable8");
+    let mut wide8 = [0u8; WIDE8_LEN];
+    chacha20_blocks8(&key, &nonce, 0, &mut wide8);
+    assert_eq!(&wide8[..], &expected[..], "{}", wide8_backend_name());
+    // The fused XOR kernel applied to the pin itself must zero the buffer.
+    let mut zeroed: [u8; WIDE8_LEN] = expected.clone().try_into().unwrap();
+    chacha20_blocks8_xor(&key, &nonce, 0, &mut zeroed);
+    assert!(zeroed.iter().all(|&b| b == 0), "fused xor vs pinned bytes");
+    // The streaming engine over all eight blocks, in one gulp and in odd
     // chunks.
     let mut out = vec![0u8; expected.len()];
     ChaCha20::new(&key, &nonce).fill(&mut out);
     assert_eq!(out, expected, "one-gulp fill");
     let mut stream = ChaCha20::new(&key, &nonce);
     let mut pieces = Vec::new();
-    for chunk in [1usize, 63, 64, 65, 100, 91] {
+    for chunk in [1usize, 63, 64, 65, 100, 91, 128] {
         pieces.extend(stream.keystream(chunk));
     }
     assert_eq!(pieces, expected, "chunked fill");
@@ -224,17 +326,18 @@ fn rfc8439_extended_known_answer_wide_paths() {
 
 #[test]
 fn fill_heads_and_tails_around_stride_boundaries() {
-    // Deterministic spot checks at the exact stride edges (255/256/257 and
-    // 511/512/513), filling from both an aligned start and an unaligned
+    // Deterministic spot checks at the exact stride edges (255/256/257
+    // around the 4-block stride, 511/512/513 and 1023/1024/1025 around the
+    // 8-block one), filling from both an aligned start and an unaligned
     // seek — the lengths the proptests sample around, pinned explicitly.
     let key = key_from(0xDEADBEEF);
     let nonce = nonce_from(0xFEEDFACE);
-    let expected = scalar_keystream(&key, &nonce, 2048);
-    for &len in &[255usize, 256, 257, 511, 512, 513] {
+    let expected = scalar_keystream(&key, &nonce, 4096);
+    for &len in &[255usize, 256, 257, 511, 512, 513, 1023, 1024, 1025] {
         let mut out = vec![0u8; len];
         ChaCha20::new(&key, &nonce).fill(&mut out);
         assert_eq!(out, expected[..len], "aligned len {len}");
-        for &pos in &[1usize, 63, 65, 255, 257] {
+        for &pos in &[1usize, 63, 65, 255, 257, 511, 513] {
             let mut stream = ChaCha20::new(&key, &nonce);
             stream.seek(pos as u64);
             let mut out = vec![0u8; len];
@@ -274,4 +377,130 @@ fn seek_then_fill_interleaved_regression() {
             "pos {pos} len {len}"
         );
     }
+}
+
+#[test]
+fn fused_apply_at_stride_edges_after_seek() {
+    // The fused in-place `apply` at the exact 8-block stride edges
+    // (511/512/513 and 1023/1024/1025), after unaligned seeks, against the
+    // scalar keystream oracle — the deterministic anchor for the
+    // `fused_apply_equals_fill_then_xor_after_seek` proptest.
+    let key = key_from(0xBADC0DE);
+    let nonce = nonce_from(0x5EED);
+    let whole = scalar_keystream(&key, &nonce, 4096);
+    for &len in &[511usize, 512, 513, 1023, 1024, 1025] {
+        for &pos in &[0usize, 1, 63, 255, 257, 512, 515] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 7 + pos) as u8).collect();
+            let expected: Vec<u8> = msg
+                .iter()
+                .zip(&whole[pos..pos + len])
+                .map(|(m, k)| m ^ k)
+                .collect();
+            let mut data = msg;
+            let mut stream = ChaCha20::new(&key, &nonce);
+            stream.seek(pos as u64);
+            stream.apply(&mut data);
+            assert_eq!(data, expected, "pos {pos} len {len}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DISSENT_CHACHA_FORCE_* override tests.
+//
+// The backend choice is latched in a process-wide `OnceLock`, so each
+// override is exercised in a fresh subprocess: the parent re-executes this
+// test binary with the env var set and a hidden child test selected, and
+// the child asserts both the reported backend names and kernel correctness
+// against the RFC pin under that forced dispatch.
+
+/// Marker env vars the parent sets for the child assertions.
+const EXPECT_WIDE4: &str = "DISSENT_CHACHA_TEST_EXPECT_WIDE4";
+const EXPECT_WIDE8: &str = "DISSENT_CHACHA_TEST_EXPECT_WIDE8";
+
+#[test]
+fn forced_backend_child_asserts_dispatch() {
+    // No-op unless spawned by `forced_backend_overrides_are_honored` below.
+    let (Ok(want4), Ok(want8)) = (std::env::var(EXPECT_WIDE4), std::env::var(EXPECT_WIDE8)) else {
+        return;
+    };
+    assert_eq!(wide_backend_name(), want4, "4-block dispatch");
+    assert_eq!(wide8_backend_name(), want8, "8-block dispatch");
+    // The forced backend must still produce RFC-correct keystream.
+    let (key, nonce) = rfc_key_nonce();
+    let expected = unhex(RFC8439_EXTENDED_KEYSTREAM);
+    let mut wide = [0u8; WIDE_LEN];
+    chacha20_blocks4(&key, &nonce, 0, &mut wide);
+    assert_eq!(&wide[..], &expected[..WIDE_LEN], "forced {want4}");
+    let mut wide8 = [0u8; WIDE8_LEN];
+    chacha20_blocks8(&key, &nonce, 0, &mut wide8);
+    assert_eq!(&wide8[..], &expected[..], "forced {want8}");
+    let mut zeroed: [u8; WIDE8_LEN] = expected.try_into().unwrap();
+    chacha20_blocks8_xor(&key, &nonce, 0, &mut zeroed);
+    assert!(zeroed.iter().all(|&b| b == 0), "forced fused xor");
+}
+
+/// Spawn the child test with `envs` applied and assert it passes.
+fn run_forced_child(envs: &[(&str, &str)]) {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("forced_backend_child_asserts_dispatch")
+        .arg("--exact")
+        .arg("--nocapture")
+        // A clean slate: the parent harness may itself run under overrides.
+        .env_remove("DISSENT_CHACHA_FORCE_SCALAR")
+        .env_remove("DISSENT_CHACHA_FORCE_BACKEND");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn child test");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success() && stdout.contains("1 passed"),
+        "child {envs:?} failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn forced_backend_overrides_are_honored() {
+    // Every backend this CPU supports, by its accepted spelling.
+    let mut cases: Vec<(&str, &str, &str)> = vec![("portable", "portable4", "portable8")];
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        if is_x86_feature_detected!("sse2") {
+            cases.push(("sse2", "sse2", "sse2x2"));
+        }
+        if is_x86_feature_detected!("avx2") {
+            cases.push(("avx2", "avx2", "avx2x2"));
+        }
+        if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx2") {
+            cases.push(("avx512", "avx512", "avx512"));
+        }
+    }
+    for (force, want4, want8) in cases {
+        run_forced_child(&[
+            ("DISSENT_CHACHA_FORCE_BACKEND", force),
+            (EXPECT_WIDE4, want4),
+            (EXPECT_WIDE8, want8),
+        ]);
+    }
+}
+
+#[test]
+fn force_scalar_beats_force_backend() {
+    // The CI fallback lane contract: DISSENT_CHACHA_FORCE_SCALAR=1 must
+    // bypass every SIMD path even when a SIMD backend is also requested.
+    run_forced_child(&[
+        ("DISSENT_CHACHA_FORCE_SCALAR", "1"),
+        ("DISSENT_CHACHA_FORCE_BACKEND", "avx512"),
+        (EXPECT_WIDE4, "portable4"),
+        (EXPECT_WIDE8, "portable8"),
+    ]);
+    // An unknown spelling degrades to the portable kernels.
+    run_forced_child(&[
+        ("DISSENT_CHACHA_FORCE_BACKEND", "quantum"),
+        (EXPECT_WIDE4, "portable4"),
+        (EXPECT_WIDE8, "portable8"),
+    ]);
 }

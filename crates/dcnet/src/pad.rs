@@ -32,11 +32,13 @@ pub fn pad(secret: &SharedSecret, round: u64, len: usize) -> Vec<u8> {
 /// XOR the pad `s_ij` for a round directly into an accumulator — the fused,
 /// zero-allocation form of `xor_into(dst, &pad(secret, round, dst.len()))`.
 ///
-/// ChaCha20 keystream streams straight into `dst` with word-level XOR in
-/// whole 4-block (256 B) strides through the multi-block kernel
-/// (`dissent_crypto::chacha::chacha20_blocks4` — SIMD-dispatched, portable
-/// 4-way fallback); no per-client pad `Vec` is ever materialized.  This is
-/// the server's dominant per-round cost (N clients × L bytes), so both the
+/// ChaCha20 keystream is XORed straight into `dst` inside the fused
+/// multi-block kernels (`dissent_crypto::chacha::chacha20_blocks8_xor` for
+/// 512 B strides, `chacha20_blocks4_xor` for 256 B ones — AVX-512/AVX2/SSE2
+/// dispatched, portable interleaved fallback): the keystream words meet the
+/// destination in SIMD registers, so neither a per-client pad `Vec` nor a
+/// per-stride keystream temp buffer is ever materialized.  This is the
+/// server's dominant per-round cost (N clients × L bytes), so both the
 /// block-function throughput and the memory traffic the naive form pays
 /// actually show up in Figure 7/8 round times.
 pub fn pad_xor_into(secret: &SharedSecret, round: u64, dst: &mut [u8]) {

@@ -20,6 +20,7 @@
 
 use crate::churn::{ChurnModel, ClientBehavior};
 use crate::costmodel::CostModel;
+use crate::policy::WindowPolicy;
 use crate::sim::{to_secs, EventQueue, SimTime, Stats};
 use crate::topology::Topology;
 use rand::rngs::StdRng;
@@ -73,9 +74,11 @@ pub struct SimConfig {
     pub window: usize,
     /// Number of rounds to simulate.
     pub rounds: usize,
-    /// Fraction of online submissions the servers wait for before closing a
-    /// round's window (the §5.1 policy front-end, paper default 0.95).
-    pub close_fraction: f64,
+    /// Submission-window closure policy (§5.1): the driver schedules each
+    /// round's `WindowClosed` event exactly as the policy dictates — count
+    /// triggers, multiplier timers and hard deadlines all flow through the
+    /// event queue.  Paper default: 95 % then 1.1×, 120 s hard deadline.
+    pub policy: WindowPolicy,
     /// RNG seed.
     pub seed: u64,
 }
@@ -97,7 +100,7 @@ impl SimConfig {
             total_len,
             window: window.max(1),
             rounds,
-            close_fraction: 0.95,
+            policy: WindowPolicy::default(),
             seed: 0x51D,
         }
     }
@@ -117,6 +120,9 @@ pub struct SimReport {
     /// Per-round latency (seconds) from batch open to last cleartext
     /// delivery of that round.
     pub round_latency: Stats,
+    /// Per-round participant count: submissions that made it in before the
+    /// window-closure policy fired.
+    pub participants: Stats,
     /// Total protocol messages exchanged.
     pub messages: u64,
     /// Round throughput.
@@ -131,8 +137,10 @@ pub struct SimReport {
 enum SimEvent {
     /// A `ClientSubmit` reached the upstream server.
     SubmitArrived { round: usize },
-    /// The submission window for a round closed with no arrivals (all
-    /// clients offline).
+    /// A scheduled closure for a round's submission window fired: a fixed
+    /// window elapsing, a policy hard deadline, an armed multiplier timer,
+    /// or the degenerate all-offline round.  Ignored if the window already
+    /// closed earlier (e.g. every client arrived before the deadline).
     WindowClosed { round: usize },
     /// Commit/reveal/certify exchange finished; the round output is signed.
     Certified { round: usize },
@@ -145,7 +153,9 @@ struct RoundTrack {
     open_time: SimTime,
     online: usize,
     arrived: usize,
-    target: usize,
+    /// A `FractionThenMultiplier` policy reached its fraction target and
+    /// scheduled the multiplier closure (armed at most once per round).
+    armed: bool,
     closed: bool,
     delivered: usize,
     complete: bool,
@@ -166,6 +176,7 @@ pub struct SimDriver {
     completed: usize,
     messages: u64,
     latency: Stats,
+    participants: Stats,
 }
 
 impl SimDriver {
@@ -184,6 +195,7 @@ impl SimDriver {
             completed: 0,
             messages: 0,
             latency: Stats::new(),
+            participants: Stats::new(),
         }
     }
 
@@ -194,13 +206,7 @@ impl SimDriver {
         }
         while let Some((_, event)) = self.queue.pop() {
             match event {
-                SimEvent::SubmitArrived { round } => {
-                    let t = &mut self.rounds[round];
-                    t.arrived += 1;
-                    if !t.closed && t.arrived >= t.target {
-                        self.close_window(round);
-                    }
-                }
+                SimEvent::SubmitArrived { round } => self.submit_arrived(round),
                 SimEvent::WindowClosed { round } => {
                     if !self.rounds[round].closed {
                         self.close_window(round);
@@ -226,6 +232,7 @@ impl SimDriver {
             rounds_completed: self.completed,
             duration,
             round_latency: self.latency,
+            participants: self.participants,
             messages: self.messages,
             rounds_per_sec: self.completed as f64 / secs,
             messages_per_sec: self.messages as f64 / secs,
@@ -269,15 +276,72 @@ impl SimDriver {
                 }
             }
             self.messages += online as u64;
-            let target = ((online as f64 * self.cfg.close_fraction).ceil() as usize).max(1);
             self.rounds[round] = RoundTrack {
                 open_time: now,
                 online,
-                target: target.min(online.max(1)),
                 ..RoundTrack::default()
             };
+            // Time-driven closure per policy: a fixed window always elapses;
+            // the adaptive policies get their hard deadline as a backstop
+            // (arrivals close them earlier via `submit_arrived`).  A round
+            // with every client offline closes immediately — there is
+            // nothing to wait for and §3.7 requires empty rounds to
+            // complete so the pipeline keeps draining.
             if online == 0 {
                 self.queue.schedule(0, SimEvent::WindowClosed { round });
+            } else {
+                match self.cfg.policy {
+                    WindowPolicy::Fixed { window } => {
+                        self.queue
+                            .schedule(window, SimEvent::WindowClosed { round });
+                    }
+                    WindowPolicy::WaitAll { hard_deadline }
+                    | WindowPolicy::FractionThenMultiplier { hard_deadline, .. } => {
+                        self.queue
+                            .schedule(hard_deadline, SimEvent::WindowClosed { round });
+                    }
+                }
+            }
+        }
+    }
+
+    /// One `ClientSubmit` arrived: feed the window-closure policy.
+    /// `WaitAll` closes once every online client is in;
+    /// `FractionThenMultiplier` arms its multiplier timer when the fraction
+    /// target is reached; `Fixed` ignores arrivals entirely.
+    fn submit_arrived(&mut self, round: usize) {
+        let now = self.queue.now();
+        let t = &mut self.rounds[round];
+        t.arrived += 1;
+        if t.closed {
+            return;
+        }
+        let (arrived, armed, online, open_time) = (t.arrived, t.armed, t.online, t.open_time);
+        match self.cfg.policy {
+            WindowPolicy::Fixed { .. } => {}
+            WindowPolicy::WaitAll { .. } => {
+                if arrived >= online {
+                    self.close_window(round);
+                }
+            }
+            WindowPolicy::FractionThenMultiplier {
+                multiplier,
+                hard_deadline,
+                ..
+            } => {
+                let needed = self
+                    .cfg
+                    .policy
+                    .arrival_target(online)
+                    .expect("fraction policy has a target");
+                if !armed && arrived >= needed {
+                    self.rounds[round].armed = true;
+                    let elapsed = now.saturating_sub(open_time);
+                    let slack = ((elapsed as f64) * multiplier) as SimTime;
+                    let close_at = (open_time + slack.min(hard_deadline)).max(now);
+                    self.queue
+                        .schedule_at(close_at, SimEvent::WindowClosed { round });
+                }
             }
         }
     }
@@ -290,6 +354,7 @@ impl SimDriver {
         let now = self.queue.now();
         let t = &mut self.rounds[round];
         t.closed = true;
+        self.participants.push(t.arrived as f64);
         let participating = t.arrived.max(1);
         let m = self.cfg.topology.num_servers.max(1);
         let own = participating.div_ceil(m);
@@ -422,6 +487,102 @@ mod tests {
         let w8 = simulate(mk(8));
         assert_eq!(w1.rounds_completed, 16);
         assert!(w8.rounds_per_sec > w1.rounds_per_sec);
+    }
+
+    #[test]
+    fn window_policy_drives_closure() {
+        // Straggler-heavy wide-area churn (5 % Pareto tail): the closure
+        // policy visibly changes what the simulator reports.  A flat
+        // 95 %-cutoff is exactly FractionThenMultiplier with multiplier 1.0
+        // (close the instant the 95th submission lands); giving stragglers
+        // 5x the elapsed time must admit strictly more of them.
+        let run = |policy: WindowPolicy| {
+            let mut cfg = SimConfig::new(
+                Topology::planetlab(100, 8),
+                ChurnModel::planetlab(),
+                4_000,
+                1,
+                8,
+            );
+            cfg.policy = policy;
+            simulate(cfg)
+        };
+        let ftm = |multiplier: f64| WindowPolicy::FractionThenMultiplier {
+            fraction: 0.95,
+            multiplier,
+            hard_deadline: 120 * crate::sim::SECOND,
+        };
+        let flat = run(ftm(1.0));
+        let slack = run(ftm(5.0));
+        assert_eq!(flat.rounds_completed, 8);
+        assert_eq!(slack.rounds_completed, 8);
+        assert!(
+            slack.participants.mean() > flat.participants.mean(),
+            "5x slack {} vs flat {} participants",
+            slack.participants.mean(),
+            flat.participants.mean()
+        );
+        assert!(slack.round_latency.mean() >= flat.round_latency.mean());
+    }
+
+    #[test]
+    fn wait_all_pays_for_stragglers_the_cutoff_avoids() {
+        // Figure 6's comparison: waiting for everyone includes at least as
+        // many participants but costs far more latency than the paper's
+        // 95 %-then-1.1x policy under the same churn.
+        let run = |policy: WindowPolicy| {
+            let mut cfg = SimConfig::new(
+                Topology::planetlab(100, 8),
+                ChurnModel::planetlab(),
+                4_000,
+                1,
+                8,
+            );
+            cfg.policy = policy;
+            simulate(cfg)
+        };
+        let wait_all = run(WindowPolicy::WaitAll {
+            hard_deadline: 120 * crate::sim::SECOND,
+        });
+        let cutoff = run(WindowPolicy::default());
+        assert_eq!(wait_all.rounds_completed, 8);
+        assert_eq!(cutoff.rounds_completed, 8);
+        assert!(wait_all.participants.mean() >= cutoff.participants.mean());
+        assert!(
+            wait_all.round_latency.mean() > 2.0 * cutoff.round_latency.mean(),
+            "wait-all {} s vs cutoff {} s",
+            wait_all.round_latency.mean(),
+            cutoff.round_latency.mean()
+        );
+    }
+
+    #[test]
+    fn fixed_window_closes_on_the_clock() {
+        // A tiny fixed window ignores arrivals entirely: it admits fewer
+        // participants than the adaptive default and its closure time does
+        // not react to stragglers.
+        let run = |policy: WindowPolicy| {
+            let mut cfg = SimConfig::new(
+                Topology::planetlab(100, 8),
+                ChurnModel::planetlab(),
+                4_000,
+                1,
+                8,
+            );
+            cfg.policy = policy;
+            simulate(cfg)
+        };
+        let fixed = run(WindowPolicy::Fixed {
+            window: crate::sim::SECOND,
+        });
+        let adaptive = run(WindowPolicy::default());
+        assert_eq!(fixed.rounds_completed, 8);
+        assert!(
+            fixed.participants.mean() < adaptive.participants.mean(),
+            "fixed {} vs adaptive {} participants",
+            fixed.participants.mean(),
+            adaptive.participants.mean()
+        );
     }
 
     #[test]

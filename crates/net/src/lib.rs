@@ -9,6 +9,8 @@
 //! * [`link`] — latency/bandwidth/jitter link model.
 //! * [`topology`] — testbed presets matching §5 of the paper.
 //! * [`churn`] — per-round client online/offline and straggler behaviour.
+//! * [`policy`] — the §5.1 submission-window closure policies; the driver
+//!   routes its window-closure events through them.
 //! * [`trace`] — synthetic PlanetLab-style submission traces (Figure 6).
 //! * [`costmodel`] — virtual-time costs of the cryptographic operations.
 //! * [`driver`] — the event-driven pipelined round driver (§3.6 / Figure 8):
@@ -22,6 +24,7 @@ pub mod churn;
 pub mod costmodel;
 pub mod driver;
 pub mod link;
+pub mod policy;
 pub mod sim;
 pub mod topology;
 pub mod trace;
@@ -30,6 +33,7 @@ pub use churn::{ChurnModel, ClientBehavior};
 pub use costmodel::CostModel;
 pub use driver::{SimConfig, SimDriver, SimReport, WireSizes};
 pub use link::Link;
+pub use policy::{WindowOutcome, WindowPolicy};
 pub use sim::{EventQueue, SimTime, Stats, MILLISECOND, SECOND};
 pub use topology::Topology;
 pub use trace::{SubmissionTrace, TraceConfig, TraceRound};

@@ -1,0 +1,266 @@
+//! Submission-window closure policies (§5.1).
+//!
+//! "Dissent's servers prevent slow nodes from impeding the protocol's
+//! overall progress by imposing a ciphertext submission window."  The
+//! evaluation compares a baseline policy (wait for everyone or a 120-second
+//! hard deadline) against early-cutoff policies that close the window once
+//! 95 % of clients have submitted, multiplied by a constant factor (1.1×,
+//! 1.2×, 2×).
+//!
+//! The policy lives here in `dissent-net` so the event-driven
+//! [`driver`](crate::driver) can route its window-closure events through
+//! the same code the analytic studies use; `dissent-core::policy`
+//! re-exports these types (together with the §3.7 α-threshold helpers that
+//! remain there) for the higher layers.
+
+use crate::sim::{SimTime, SECOND};
+use serde::{Deserialize, Serialize};
+
+/// A window-closure policy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WindowPolicy {
+    /// Wait until every expected client submits, or the hard deadline.
+    WaitAll {
+        /// Hard deadline after which the window closes regardless.
+        hard_deadline: SimTime,
+    },
+    /// Close once `fraction` of the expected clients have submitted,
+    /// multiplied by `multiplier` (the paper's 95 %-then-1.1×/1.2×/2×
+    /// policies), bounded by the hard deadline.
+    FractionThenMultiplier {
+        /// Fraction of expected clients to wait for (e.g. 0.95).
+        fraction: f64,
+        /// Multiplicative slack applied to the elapsed time at that point.
+        multiplier: f64,
+        /// Hard deadline after which the window closes regardless.
+        hard_deadline: SimTime,
+    },
+    /// A fixed window length (the 120-second static window used while
+    /// collecting the paper's PlanetLab trace).
+    Fixed {
+        /// Window length.
+        window: SimTime,
+    },
+}
+
+impl Default for WindowPolicy {
+    fn default() -> Self {
+        // The policy the paper selected for its evaluation (§5.1).
+        WindowPolicy::FractionThenMultiplier {
+            fraction: 0.95,
+            multiplier: 1.1,
+            hard_deadline: 120 * SECOND,
+        }
+    }
+}
+
+/// The outcome of applying a window policy to one round's submission delays.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowOutcome {
+    /// When (relative to round start) the submission window closed.
+    pub close_time: SimTime,
+    /// How many of the expected clients made it into the window.
+    pub included: usize,
+    /// How many submitted eventually but after the window closed.
+    pub missed: usize,
+    /// Whether the hard deadline forced the closure.
+    pub hit_hard_deadline: bool,
+}
+
+impl WindowPolicy {
+    /// The hard deadline of the policy, if it has one.
+    pub fn hard_deadline(&self) -> Option<SimTime> {
+        match self {
+            WindowPolicy::WaitAll { hard_deadline }
+            | WindowPolicy::FractionThenMultiplier { hard_deadline, .. } => Some(*hard_deadline),
+            WindowPolicy::Fixed { .. } => None,
+        }
+    }
+
+    /// How many of `expected` submissions must arrive before the policy
+    /// takes its closing action (closing outright for [`WindowPolicy::WaitAll`],
+    /// arming the multiplier timer for
+    /// [`WindowPolicy::FractionThenMultiplier`]).  `None` for
+    /// [`WindowPolicy::Fixed`], whose closure is purely time-driven.
+    pub fn arrival_target(&self, expected: usize) -> Option<usize> {
+        match *self {
+            WindowPolicy::Fixed { .. } => None,
+            WindowPolicy::WaitAll { .. } => Some(expected),
+            WindowPolicy::FractionThenMultiplier { fraction, .. } => {
+                Some((((expected as f64) * fraction).ceil() as usize).clamp(1, expected.max(1)))
+            }
+        }
+    }
+
+    /// Apply the policy to one round.
+    ///
+    /// * `delays` — submission delays (relative to round start) of the
+    ///   clients that would eventually submit; offline clients are simply
+    ///   absent from the slice.
+    /// * `expected` — the number of clients the servers expect (the roster
+    ///   size, or the previous participation count).
+    pub fn apply(&self, delays: &[SimTime], expected: usize) -> WindowOutcome {
+        let mut sorted: Vec<SimTime> = delays.to_vec();
+        sorted.sort_unstable();
+        let (close_time, hit_hard_deadline) = match *self {
+            WindowPolicy::Fixed { window } => (window, false),
+            WindowPolicy::WaitAll { hard_deadline } => match sorted.last() {
+                Some(&last) if last <= hard_deadline && sorted.len() >= expected => (last, false),
+                _ => (hard_deadline, true),
+            },
+            WindowPolicy::FractionThenMultiplier {
+                fraction,
+                multiplier,
+                hard_deadline,
+            } => {
+                let needed = ((expected as f64) * fraction).ceil() as usize;
+                if needed == 0 {
+                    (0, false)
+                } else if sorted.len() >= needed {
+                    let t95 = sorted[needed - 1];
+                    let close = ((t95 as f64) * multiplier) as SimTime;
+                    if close >= hard_deadline {
+                        (hard_deadline, true)
+                    } else {
+                        (close, false)
+                    }
+                } else {
+                    // Not enough clients ever submit: the hard deadline fires.
+                    (hard_deadline, true)
+                }
+            }
+        };
+        let included = sorted.iter().filter(|&&d| d <= close_time).count();
+        let missed = sorted.len().saturating_sub(included);
+        WindowOutcome {
+            close_time,
+            included,
+            missed,
+            hit_hard_deadline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(xs: &[f64]) -> Vec<SimTime> {
+        xs.iter().map(|&x| (x * SECOND as f64) as SimTime).collect()
+    }
+
+    #[test]
+    fn fixed_window_includes_only_early_clients() {
+        let policy = WindowPolicy::Fixed { window: 2 * SECOND };
+        let outcome = policy.apply(&secs(&[0.5, 1.0, 1.9, 2.5, 30.0]), 5);
+        assert_eq!(outcome.close_time, 2 * SECOND);
+        assert_eq!(outcome.included, 3);
+        assert_eq!(outcome.missed, 2);
+    }
+
+    #[test]
+    fn wait_all_waits_for_stragglers() {
+        let policy = WindowPolicy::WaitAll {
+            hard_deadline: 120 * SECOND,
+        };
+        let outcome = policy.apply(&secs(&[0.5, 1.0, 45.0]), 3);
+        assert_eq!(outcome.close_time, 45 * SECOND);
+        assert_eq!(outcome.included, 3);
+        assert!(!outcome.hit_hard_deadline);
+    }
+
+    #[test]
+    fn wait_all_hits_hard_deadline_when_a_client_never_submits() {
+        let policy = WindowPolicy::WaitAll {
+            hard_deadline: 120 * SECOND,
+        };
+        // Only 2 of 3 expected clients ever submit.
+        let outcome = policy.apply(&secs(&[0.5, 1.0]), 3);
+        assert_eq!(outcome.close_time, 120 * SECOND);
+        assert!(outcome.hit_hard_deadline);
+        assert_eq!(outcome.included, 2);
+    }
+
+    #[test]
+    fn fraction_policy_cuts_off_stragglers() {
+        let policy = WindowPolicy::FractionThenMultiplier {
+            fraction: 0.95,
+            multiplier: 1.1,
+            hard_deadline: 120 * SECOND,
+        };
+        // 100 clients: 95 submit within 2 s, 5 stragglers at 60–100 s.
+        let mut delays: Vec<f64> = (0..95).map(|i| 0.5 + i as f64 * 0.015).collect();
+        delays.extend([60.0, 70.0, 80.0, 90.0, 100.0]);
+        let outcome = policy.apply(&secs(&delays), 100);
+        // The 95th client arrived at ~1.91 s, so the window closes at ~2.1 s,
+        // an order of magnitude before the stragglers.
+        assert!(outcome.close_time < 3 * SECOND);
+        assert_eq!(outcome.included, 95);
+        assert_eq!(outcome.missed, 5);
+        assert!(!outcome.hit_hard_deadline);
+    }
+
+    #[test]
+    fn larger_multiplier_admits_more_clients() {
+        let delays = secs(&[
+            1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.05, 1.3, 1.9, 5.0,
+        ]);
+        let outcome = |mult: f64| {
+            WindowPolicy::FractionThenMultiplier {
+                fraction: 0.7,
+                multiplier: mult,
+                hard_deadline: 120 * SECOND,
+            }
+            .apply(&delays, 13)
+        };
+        assert!(outcome(2.0).included >= outcome(1.2).included);
+        assert!(outcome(1.2).included >= outcome(1.1).included);
+    }
+
+    #[test]
+    fn fraction_policy_falls_back_to_hard_deadline() {
+        let policy = WindowPolicy::FractionThenMultiplier {
+            fraction: 0.95,
+            multiplier: 1.1,
+            hard_deadline: 10 * SECOND,
+        };
+        // Only half the expected clients ever submit.
+        let outcome = policy.apply(&secs(&[1.0, 2.0]), 4);
+        assert!(outcome.hit_hard_deadline);
+        assert_eq!(outcome.close_time, 10 * SECOND);
+    }
+
+    #[test]
+    fn arrival_target_matches_apply_semantics() {
+        assert_eq!(WindowPolicy::default().arrival_target(100), Some(95));
+        assert_eq!(WindowPolicy::default().arrival_target(101), Some(96));
+        assert_eq!(WindowPolicy::default().arrival_target(0), Some(1));
+        assert_eq!(
+            WindowPolicy::WaitAll {
+                hard_deadline: SECOND
+            }
+            .arrival_target(7),
+            Some(7)
+        );
+        assert_eq!(
+            WindowPolicy::Fixed { window: SECOND }.arrival_target(7),
+            None
+        );
+    }
+
+    #[test]
+    fn default_policy_matches_paper() {
+        match WindowPolicy::default() {
+            WindowPolicy::FractionThenMultiplier {
+                fraction,
+                multiplier,
+                hard_deadline,
+            } => {
+                assert!((fraction - 0.95).abs() < 1e-9);
+                assert!((multiplier - 1.1).abs() < 1e-9);
+                assert_eq!(hard_deadline, 120 * SECOND);
+            }
+            _ => panic!("unexpected default policy"),
+        }
+    }
+}

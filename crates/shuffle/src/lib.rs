@@ -26,7 +26,7 @@ pub mod permutation;
 pub mod proof;
 pub mod protocol;
 
-pub use pass::{perform_pass, verify_pass, PassTranscript};
+pub use pass::{perform_pass, perform_pass_unbatched, verify_pass, PassError, PassTranscript};
 pub use permutation::Permutation;
 pub use proof::{ShuffleProof, DEFAULT_SOUNDNESS};
 pub use protocol::{

@@ -15,7 +15,7 @@
 //! shuffle restarts without it (go/no-go behaviour handled by the caller).
 
 use crate::proof::{self, ShuffleProof, ShuffleProofError};
-use dissent_crypto::chaum_pedersen::{self, DleqBatchItem, DleqProof};
+use dissent_crypto::chaum_pedersen::{self, DleqBatchItem, DleqProof, DleqProveItem};
 use dissent_crypto::dh::DhKeyPair;
 use dissent_crypto::elgamal::{Ciphertext, ElGamal};
 use dissent_crypto::group::Element;
@@ -143,6 +143,14 @@ pub struct PassTranscript {
 ///   clients, for the first server), encrypted under the keys of servers
 ///   `server_index..`;
 /// * `soundness` — number of shadow rounds in the shuffle proof.
+///
+/// The decryption half batches its DLEQ proving through
+/// [`chaum_pedersen::prove_batch`]: the server's public key and each
+/// entry's share are passed into the prover instead of being recomputed
+/// per entry, and every `g^w` commitment runs through one comb-domain
+/// sweep.  The blinding scalars are still drawn one per entry in entry
+/// order, so the transcript is bit-identical to the per-entry-prove form
+/// ([`perform_pass_unbatched`], kept as the reference and bench baseline).
 #[allow(clippy::too_many_arguments)]
 pub fn perform_pass<R: RngCore + ?Sized>(
     elgamal: &ElGamal,
@@ -153,6 +161,61 @@ pub fn perform_pass<R: RngCore + ?Sized>(
     soundness: usize,
     context: &[u8],
     rng: &mut R,
+) -> PassTranscript {
+    perform_pass_inner(
+        elgamal,
+        server_keys,
+        server_index,
+        server_keypair,
+        input,
+        soundness,
+        context,
+        rng,
+        true,
+    )
+}
+
+/// [`perform_pass`] with the original per-entry DLEQ proving loop.
+///
+/// Produces a transcript bit-identical to [`perform_pass`] for the same
+/// RNG state (asserted in the shuffle test suite); kept as the reference
+/// implementation and as the baseline the bench runner measures the
+/// batched prover against.
+#[allow(clippy::too_many_arguments)]
+pub fn perform_pass_unbatched<R: RngCore + ?Sized>(
+    elgamal: &ElGamal,
+    server_keys: &[Element],
+    server_index: usize,
+    server_keypair: &DhKeyPair,
+    input: &[Ciphertext],
+    soundness: usize,
+    context: &[u8],
+    rng: &mut R,
+) -> PassTranscript {
+    perform_pass_inner(
+        elgamal,
+        server_keys,
+        server_index,
+        server_keypair,
+        input,
+        soundness,
+        context,
+        rng,
+        false,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn perform_pass_inner<R: RngCore + ?Sized>(
+    elgamal: &ElGamal,
+    server_keys: &[Element],
+    server_index: usize,
+    server_keypair: &DhKeyPair,
+    input: &[Ciphertext],
+    soundness: usize,
+    context: &[u8],
+    rng: &mut R,
+    batched: bool,
 ) -> PassTranscript {
     let group = elgamal.group();
     assert_eq!(
@@ -177,23 +240,53 @@ pub fn perform_pass<R: RngCore + ?Sized>(
     );
 
     // Strip this server's layer element-wise and prove each share.
-    let mut stripped = Vec::with_capacity(shuffled.len());
-    let mut decryption_shares = Vec::with_capacity(shuffled.len());
-    let mut decryption_proofs = Vec::with_capacity(shuffled.len());
-    for (k, ct) in shuffled.iter().enumerate() {
-        let share = elgamal.decryption_share(server_keypair.secret(), ct);
-        let proof = chaum_pedersen::prove(
+    let secret = server_keypair.secret();
+    let decryption_shares: Vec<Element> = shuffled
+        .iter()
+        .map(|ct| elgamal.decryption_share(secret, ct))
+        .collect();
+    let decryption_proofs: Vec<DleqProof> = if batched {
+        let entry_contexts: Vec<Vec<u8>> = (0..shuffled.len())
+            .map(|k| entry_context(context, server_index, k))
+            .collect();
+        let items: Vec<DleqProveItem> = shuffled
+            .iter()
+            .zip(&decryption_shares)
+            .zip(&entry_contexts)
+            .map(|((ct, share), ctx)| DleqProveItem {
+                h: &ct.c1,
+                b: share,
+                context: ctx,
+            })
+            .collect();
+        chaum_pedersen::prove_batch(
             group,
             rng,
             &group.generator(),
-            &ct.c1,
-            server_keypair.secret(),
-            &entry_context(context, server_index, k),
-        );
-        stripped.push(elgamal.strip_layer(server_keypair.secret(), ct));
-        decryption_shares.push(share);
-        decryption_proofs.push(proof);
-    }
+            secret,
+            server_keypair.public(),
+            &items,
+        )
+    } else {
+        shuffled
+            .iter()
+            .enumerate()
+            .map(|(k, ct)| {
+                chaum_pedersen::prove(
+                    group,
+                    rng,
+                    &group.generator(),
+                    &ct.c1,
+                    secret,
+                    &entry_context(context, server_index, k),
+                )
+            })
+            .collect()
+    };
+    let stripped: Vec<Ciphertext> = shuffled
+        .iter()
+        .map(|ct| elgamal.strip_layer(secret, ct))
+        .collect();
 
     PassTranscript {
         server_index,
@@ -386,6 +479,42 @@ mod tests {
         out.sort();
         expected.sort();
         assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn batched_and_unbatched_passes_produce_identical_transcripts() {
+        // Same RNG seed on both sides: prove_batch draws one blinding
+        // scalar per entry in entry order, so the transcripts — shuffle
+        // half included — must match byte for byte.
+        let f = fixture(5, 2);
+        let mut rng_a = StdRng::seed_from_u64(0x51);
+        let a = perform_pass(
+            &f.elgamal,
+            &f.server_keys,
+            0,
+            &f.servers[0],
+            &f.input,
+            SOUNDNESS,
+            b"ctx",
+            &mut rng_a,
+        );
+        let mut rng_b = StdRng::seed_from_u64(0x51);
+        let b = perform_pass_unbatched(
+            &f.elgamal,
+            &f.server_keys,
+            0,
+            &f.servers[0],
+            &f.input,
+            SOUNDNESS,
+            b"ctx",
+            &mut rng_b,
+        );
+        assert_eq!(a.shuffled, b.shuffled);
+        assert_eq!(a.stripped, b.stripped);
+        assert_eq!(a.decryption_shares, b.decryption_shares);
+        assert_eq!(a.decryption_proofs, b.decryption_proofs);
+        assert!(verify_pass(&f.elgamal, &f.server_keys, &f.input, &a, b"ctx").is_ok());
+        assert!(verify_pass(&f.elgamal, &f.server_keys, &f.input, &b, b"ctx").is_ok());
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Adversarial blame-attribution suite for the batched DLEQ prover.
+//!
+//! `perform_pass` now proves all of a pass's decryption shares through
+//! `chaum_pedersen::prove_batch`.  Batching the prover must not blur the
+//! accountability path: given a transcript whose decryption half is
+//! corrupted at exactly one entry — proof scalar, commitment element,
+//! claimed share, stripped ciphertext, cross-wired proofs, or a non-member
+//! element that only the membership screen can catch — `verify_pass` must
+//! reject with the *exact* entry index, at every batch position, across
+//! all four parameter sets.  (Mirror of `dissent-crypto`'s
+//! `proptest_batch_verify`, lifted from raw DLEQ batches to full pass
+//! transcripts produced by the batched prover.)
+
+use dissent_crypto::bigint::BigUint;
+use dissent_crypto::dh::DhKeyPair;
+use dissent_crypto::elgamal::{Ciphertext, ElGamal};
+use dissent_crypto::group::{Element, Group, Scalar};
+use dissent_shuffle::pass::PassError;
+use dissent_shuffle::{perform_pass, verify_pass, PassTranscript};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// All four parameter sets, smallest to largest.
+fn groups() -> [Group; 4] {
+    [
+        Group::testing_256(),
+        Group::modp_512(),
+        Group::modp_1024(),
+        Group::rfc3526_2048(),
+    ]
+}
+
+/// Shadow rounds for the shuffle half — the minimum that still produces a
+/// verifiable argument; the shuffle half is not under test here.
+const SOUNDNESS: usize = 2;
+const ENTRIES: usize = 3;
+const CONTEXT: &[u8] = b"batched-prover-blame";
+
+struct Fixture {
+    elgamal: ElGamal,
+    server_keys: Vec<Element>,
+    input: Vec<Ciphertext>,
+    transcript: PassTranscript,
+}
+
+fn fixture(group: &Group) -> Fixture {
+    let elgamal = ElGamal::new(group.clone());
+    let mut rng = StdRng::seed_from_u64(0xB1A3E);
+    let servers: Vec<DhKeyPair> = (0..2)
+        .map(|_| DhKeyPair::generate(group, &mut rng))
+        .collect();
+    let server_keys: Vec<Element> = servers.iter().map(|s| s.public().clone()).collect();
+    let combined = elgamal.combine_keys(&server_keys);
+    let input: Vec<Ciphertext> = (0..ENTRIES)
+        .map(|_| {
+            let m = group.exp_base(&group.random_scalar(&mut rng));
+            elgamal.encrypt(&mut rng, &combined, &m)
+        })
+        .collect();
+    let transcript = perform_pass(
+        &elgamal,
+        &server_keys,
+        0,
+        &servers[0],
+        &input,
+        SOUNDNESS,
+        CONTEXT,
+        &mut rng,
+    );
+    Fixture {
+        elgamal,
+        server_keys,
+        input,
+        transcript,
+    }
+}
+
+/// Every way to corrupt exactly one entry of the decryption half, paired
+/// with the error `verify_pass` must name for it.
+const CORRUPTIONS: usize = 8;
+
+/// Apply corruption `which` at `target`; returns the exact error expected.
+fn corrupt(group: &Group, t: &mut PassTranscript, target: usize, which: usize) -> PassError {
+    let g = group.generator();
+    match which {
+        // Proof scalar: response bumped by one.
+        0 => {
+            t.decryption_proofs[target].response =
+                group.scalar_add(&t.decryption_proofs[target].response, &Scalar::one());
+            PassError::DecryptionProof { entry: target }
+        }
+        // First commitment element.
+        1 => {
+            t.decryption_proofs[target].t1 = group.mul(&t.decryption_proofs[target].t1, &g);
+            PassError::DecryptionProof { entry: target }
+        }
+        // Second commitment element.
+        2 => {
+            t.decryption_proofs[target].t2 = group.mul(&t.decryption_proofs[target].t2, &g);
+            PassError::DecryptionProof { entry: target }
+        }
+        // The claimed share (the DLEQ statement image b): the proof check
+        // runs before the stripped-entry check, so blame lands on the proof.
+        3 => {
+            t.decryption_shares[target] = group.mul(&t.decryption_shares[target], &g);
+            PassError::DecryptionProof { entry: target }
+        }
+        // The stripped ciphertext itself, proofs left intact.
+        4 => {
+            t.stripped[target].c2 = group.mul(&t.stripped[target].c2, &g);
+            PassError::StrippedEntry { entry: target }
+        }
+        // Cross-wiring: neighbouring proofs swapped — both entries fail and
+        // the verifier must blame the lower index, matching a serial scan.
+        5 => {
+            let other = (target + 1) % ENTRIES;
+            t.decryption_proofs.swap(target, other);
+            PassError::DecryptionProof {
+                entry: target.min(other),
+            }
+        }
+        // Non-member commitment (order-2q element): only the membership
+        // screen catches this, and it must still name the entry.
+        6 => {
+            let minus_one = Element::from_biguint_unchecked(group.modulus().sub(&BigUint::one()));
+            t.decryption_proofs[target].t1 = group.mul(&t.decryption_proofs[target].t1, &minus_one);
+            PassError::DecryptionProof { entry: target }
+        }
+        // Non-member share.
+        7 => {
+            let minus_one = Element::from_biguint_unchecked(group.modulus().sub(&BigUint::one()));
+            t.decryption_shares[target] = group.mul(&t.decryption_shares[target], &minus_one);
+            PassError::DecryptionProof { entry: target }
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn single_corruption_blames_the_exact_entry_across_all_groups() {
+    for group in groups() {
+        let f = fixture(&group);
+        assert_eq!(
+            verify_pass(&f.elgamal, &f.server_keys, &f.input, &f.transcript, CONTEXT),
+            Ok(()),
+            "valid batched-prover transcript rejected ({})",
+            group.name()
+        );
+        for target in 0..ENTRIES {
+            for which in 0..CORRUPTIONS {
+                let mut t = f.transcript.clone();
+                let expected = corrupt(&group, &mut t, target, which);
+                assert_eq!(
+                    verify_pass(&f.elgamal, &f.server_keys, &f.input, &t, CONTEXT),
+                    Err(expected),
+                    "corruption {which} at entry {target} ({})",
+                    group.name()
+                );
+            }
+        }
+    }
+}
