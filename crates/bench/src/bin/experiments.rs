@@ -7,7 +7,7 @@
 //!
 //! Subcommands: `sec5_1`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`, `fig11`,
 //! `pipeline`, `baseline`, `alpha`, `calibrate`, `all`, and `bench`, which
-//! runs the perf-trajectory suite and writes `BENCH_6.json` (path
+//! runs the perf-trajectory suite and writes `BENCH_7.json` (path
 //! overridable with `--out <path>`; schema documented in
 //! `dissent_bench::perfjson`).  `bench-pad` is the internal per-backend
 //! probe `bench` re-executes itself with.
@@ -71,7 +71,7 @@ fn bench(args: &[String]) {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
-        .unwrap_or("BENCH_6.json");
+        .unwrap_or("BENCH_7.json");
     let json = bench_json();
     print!("{json}");
     std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));

@@ -70,7 +70,7 @@ use rand::SeedableRng;
 pub const SCHEMA: &str = "dissent-bench/v1";
 
 /// The PR this runner reports for (also names the output file).
-pub const PR: u32 = 6;
+pub const PR: u32 = 7;
 
 /// Time `f`, returning seconds per iteration: one warm-up call, then as
 /// many timed iterations as fit in `min_secs` (at least three).
@@ -360,6 +360,12 @@ fn parallel_section() -> String {
 fn history_section() -> String {
     concat!(
         "[",
+        "{\"pr\":6,\"note\":\"8-block fused ChaCha20 engine, batched DLEQ proving\",",
+        "\"chacha_fill_mib_s\":{\"avx512_131072\":3294},",
+        "\"apply_fused_131072_mib_s\":3537,\"apply_twopass_131072_mib_s\":2673,",
+        "\"shuffle_prove_batched_entries64_soundness8_ms\":8.13,",
+        "\"shuffle_prove_unbatched_entries64_soundness8_ms\":9.33,",
+        "\"session16_window4_rounds_per_sec\":2280},",
         "{\"pr\":4,\"note\":\"4-block kernels, two-pass apply, serial DLEQ proving\",",
         "\"chacha_fill_mib_s\":{\"scalar_4096\":556,\"portable4_4096\":761,",
         "\"avx2_4096\":1798,\"scalar_131072\":560,\"avx2_131072\":1768},",

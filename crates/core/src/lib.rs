@@ -18,6 +18,9 @@
 //! * [`pipeline`] — the pipelined driver keeping a window of W rounds in
 //!   flight (§3.6), with layouts frozen per batch and expulsions applied at
 //!   pipeline boundaries.
+//! * [`node`] — the same engine behind real sockets: a server process
+//!   authenticating client connections with the `dissent-net` handshake and
+//!   a client loop submitting over the framed transport.
 //! * [`timing`] — the round-timing simulator that reproduces the shapes of
 //!   Figures 6–9 over the `dissent-net` testbed models.
 
@@ -26,6 +29,7 @@
 
 pub mod config;
 pub mod messages;
+pub mod node;
 pub mod pipeline;
 pub mod policy;
 pub mod round;
@@ -34,8 +38,10 @@ pub mod timing;
 
 pub use config::{GeneratedGroup, GroupBuilder, GroupConfig};
 pub use messages::{
-    AccusationFiled, Certify, ClientSubmit, ProtocolMessage, ServerCommit, ServerReveal,
+    AccusationFiled, Certify, ClientSubmit, MessageOrigin, ProtocolMessage, ServerCommit,
+    ServerReveal,
 };
+pub use node::{run_client, ClientOutcome, NodeError, RosterSpec, ServerNode, ServerSummary};
 pub use pipeline::PipelinedSession;
 pub use policy::{participation_threshold, RoundCompletion, WindowOutcome, WindowPolicy};
 pub use round::{PerEntityRng, RngSource, RoundPhase, RoundState, SharedRng};

@@ -78,6 +78,45 @@ pub struct AccusationFiled {
     pub signature: Signature,
 }
 
+/// The authenticated provenance of an inbound protocol message.
+///
+/// The transport's challenge–response handshake (`dissent-net::auth`) binds
+/// each connection to one roster identity; the engine's `deliver_*` ingests
+/// take that identity and drop any message whose embedded sender does not
+/// match.  [`MessageOrigin::Local`] is the in-process drivers' origin — the
+/// lock-step session, the pipelined driver and the simulator construct
+/// message batches themselves, so every sender field is trusted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MessageOrigin {
+    /// Constructed in-process by a trusted driver; sender fields are
+    /// accepted as-is.
+    Local,
+    /// Received over a connection authenticated as this roster client.
+    Client(ClientId),
+    /// Received over a connection authenticated as this roster server.
+    Server(ServerId),
+}
+
+impl MessageOrigin {
+    /// May this origin deliver a `ClientSubmit` claiming `client`?
+    pub fn allows_client(&self, client: ClientId) -> bool {
+        match self {
+            MessageOrigin::Local => true,
+            MessageOrigin::Client(i) => *i == client,
+            MessageOrigin::Server(_) => false,
+        }
+    }
+
+    /// May this origin deliver a server-sent message claiming `server`?
+    pub fn allows_server(&self, server: ServerId) -> bool {
+        match self {
+            MessageOrigin::Local => true,
+            MessageOrigin::Client(_) => false,
+            MessageOrigin::Server(j) => *j == server,
+        }
+    }
+}
+
 /// Any protocol message, for transports that multiplex one channel.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ProtocolMessage {
@@ -104,6 +143,9 @@ pub enum WireError {
     BadElement,
     /// Bytes were left over after the message.
     TrailingBytes,
+    /// A size field exceeds this platform's addressable range (a `u64`
+    /// slot/bit index that does not fit in `usize` on a 32-bit target).
+    Overflow,
 }
 
 impl std::fmt::Display for WireError {
@@ -113,6 +155,7 @@ impl std::fmt::Display for WireError {
             WireError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
             WireError::BadElement => write!(f, "embedded element is not a subgroup member"),
             WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+            WireError::Overflow => write!(f, "size field exceeds the platform's address range"),
         }
     }
 }
@@ -167,9 +210,24 @@ impl<'a> Reader<'a> {
         Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
     }
 
+    /// A length-prefixed field.  The declared length is validated against
+    /// the bytes actually remaining *before* anything is sliced or copied,
+    /// so a forged `0xFFFF_FFFF` prefix errors as `Truncated` without ever
+    /// attempting a multi-GiB allocation at the `.into()`/`.to_vec()` call
+    /// sites downstream.
     fn bytes(&mut self) -> Result<&'a [u8], WireError> {
         let len = self.u32()? as usize;
+        if self.buf.len() - self.pos < len {
+            return Err(WireError::Truncated);
+        }
         self.take(len)
+    }
+
+    /// A `u64` field holding an in-memory index (slot, bit offset).  The
+    /// checked narrowing matters on 32-bit targets, where `as usize` would
+    /// silently truncate a forged 2^32+k index into a plausible small one.
+    fn u64_index(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.u64()?).map_err(|_| WireError::Overflow)
     }
 
     fn signature(&mut self, group: &Group) -> Result<Signature, WireError> {
@@ -288,8 +346,8 @@ impl ProtocolMessage {
             TAG_ACCUSATION => ProtocolMessage::AccusationFiled(AccusationFiled {
                 accusation: Accusation {
                     round: r.u64()?,
-                    slot: r.u64()? as usize,
-                    bit: r.u64()? as usize,
+                    slot: r.u64_index()?,
+                    bit: r.u64_index()?,
                 },
                 signature: r.signature(group)?,
             }),
@@ -462,6 +520,74 @@ mod tests {
             ProtocolMessage::from_bytes(&forged, &group),
             Err(WireError::BadElement)
         );
+    }
+
+    #[test]
+    fn forged_giant_length_prefix_is_truncated_without_allocation() {
+        // A ClientSubmit whose ciphertext length field is rewritten to
+        // 0xFFFF_FFFF: the decoder must bounds-check the declared length
+        // against the remaining buffer *before* any allocation, so this
+        // returns `Truncated` immediately instead of reserving 4 GiB.
+        let group = Group::testing_256();
+        let msg = ProtocolMessage::ClientSubmit(ClientSubmit {
+            round: 1,
+            client: 0,
+            upstream: 0,
+            ciphertext: vec![0u8; 16].into(),
+        });
+        let mut bytes = msg.to_bytes(&group);
+        let len_at = 1 + 8 + 4 + 4; // tag, round, client, upstream
+        bytes[len_at..len_at + 4].copy_from_slice(&0xFFFF_FFFFu32.to_be_bytes());
+        assert_eq!(
+            ProtocolMessage::from_bytes(&bytes, &group),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn u64_slot_and_bit_fields_use_checked_narrowing() {
+        // On 64-bit targets any u64 index fits, so the full range must
+        // round-trip; on 32-bit targets the same decode path returns
+        // `WireError::Overflow` instead of silently truncating the index.
+        let group = Group::testing_256();
+        let mut rng = StdRng::seed_from_u64(21);
+        let kp = dissent_crypto::schnorr::SigningKeyPair::generate(&group, &mut rng);
+        let sig = kp.sign(&group, &mut rng, b"m");
+        let big = u32::MAX as u64 + 17;
+        let msg = ProtocolMessage::AccusationFiled(AccusationFiled {
+            accusation: Accusation {
+                round: 3,
+                slot: 5,
+                bit: 7,
+            },
+            signature: sig,
+        });
+        let mut bytes = msg.to_bytes(&group);
+        // Rewrite the slot field (after tag + round) to a value above u32.
+        bytes[9..17].copy_from_slice(&big.to_be_bytes());
+        let decoded = ProtocolMessage::from_bytes(&bytes, &group);
+        if usize::try_from(big).is_ok() {
+            match decoded {
+                Ok(ProtocolMessage::AccusationFiled(m)) => {
+                    assert_eq!(m.accusation.slot as u64, big)
+                }
+                other => panic!("expected decode, got {other:?}"),
+            }
+        } else {
+            assert_eq!(decoded, Err(WireError::Overflow));
+        }
+    }
+
+    #[test]
+    fn origin_gates_sender_identity() {
+        assert!(MessageOrigin::Local.allows_client(3));
+        assert!(MessageOrigin::Local.allows_server(1));
+        assert!(MessageOrigin::Client(3).allows_client(3));
+        assert!(!MessageOrigin::Client(3).allows_client(4));
+        assert!(!MessageOrigin::Client(3).allows_server(3));
+        assert!(MessageOrigin::Server(1).allows_server(1));
+        assert!(!MessageOrigin::Server(1).allows_server(0));
+        assert!(!MessageOrigin::Server(1).allows_client(1));
     }
 
     #[test]

@@ -1,0 +1,716 @@
+//! Real-socket nodes: the session engine behind an authenticated framed
+//! TCP transport.
+//!
+//! Everything below `crate::session` is transport-agnostic — the simulators
+//! drive the phase state machine in-process.  This module puts the same
+//! engine behind real sockets:
+//!
+//! * [`RosterSpec`] — a tiny plain-text description (`key = value` lines)
+//!   of a group every node derives *identically*: the
+//!   [`GroupBuilder`](crate::config::GroupBuilder) seed fixes all long-term
+//!   keys, and the session RNG is derived from the same seed, so separate
+//!   OS processes running [`RosterSpec::session`] hold bit-identical
+//!   shared-secret state.  Only simulations distribute private keys this
+//!   way; a deployment would hand each node its own identity.
+//! * [`ServerNode`] — one process hosting the anytrust server set.  Client
+//!   connections are authenticated by the challenge–response handshake in
+//!   `dissent_net::auth`; every inbound `ClientSubmit` is checked against
+//!   the connection's authenticated identity *before* it reaches the round
+//!   engine, and delivered with a per-connection
+//!   [`MessageOrigin`](crate::messages::MessageOrigin) so the engine
+//!   re-checks it.  This closes the spoofed-submission hole: first-write-wins
+//!   ingestion alone cannot reject a forged submission that arrives first.
+//! * [`run_client`] — a client process: connect, prove identity, then for
+//!   each `RoundOpen` compute this client's own DC-net ciphertext (all other
+//!   roster clients are `Offline` from this process's point of view) and
+//!   submit it; `Cleartext` frames advance the local slot schedule in
+//!   lock-step with the servers via
+//!   [`Session::apply_certified_cleartext`].
+//!
+//! The handshake nonces and signature blinding draw from an RNG seeded by
+//! wall-clock time and the process id — adequate for a research testbed,
+//! *not* an OS entropy source; the vendored `rand` shim is deliberately
+//! deterministic and offline.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use dissent_crypto::sha256::sha256_tagged;
+use dissent_net::{AuthError, Frame, FramedConn, Peer, RosterKeys, TransportError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{GeneratedGroup, GroupBuilder};
+use crate::messages::{MessageOrigin, ProtocolMessage};
+use crate::round::SharedRng;
+use crate::session::{ClientAction, Session, SessionError};
+use dissent_crypto::Group;
+
+/// Errors from the node layer.
+#[derive(Debug)]
+pub enum NodeError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The authentication handshake failed.
+    Auth(AuthError),
+    /// A frame could not be read or written.
+    Transport(TransportError),
+    /// The session engine rejected something.
+    Session(SessionError),
+    /// The roster file could not be parsed.
+    Roster(String),
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::Io(e) => write!(f, "io: {e}"),
+            NodeError::Auth(e) => write!(f, "auth: {e}"),
+            NodeError::Transport(e) => write!(f, "transport: {e}"),
+            NodeError::Session(e) => write!(f, "session: {e}"),
+            NodeError::Roster(m) => write!(f, "roster: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+impl From<io::Error> for NodeError {
+    fn from(e: io::Error) -> Self {
+        NodeError::Io(e)
+    }
+}
+impl From<AuthError> for NodeError {
+    fn from(e: AuthError) -> Self {
+        NodeError::Auth(e)
+    }
+}
+impl From<TransportError> for NodeError {
+    fn from(e: TransportError) -> Self {
+        NodeError::Transport(e)
+    }
+}
+impl From<SessionError> for NodeError {
+    fn from(e: SessionError) -> Self {
+        NodeError::Session(e)
+    }
+}
+
+/// A plain-text group description every node derives identically.
+///
+/// Format: one `key = value` per line; `#` starts a comment.  Recognised
+/// keys: `clients` and `servers` (required), `seed`, `group`
+/// (`testing-256` or `rfc3526-2048`), `alpha`, `soundness`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RosterSpec {
+    /// Number of roster clients.
+    pub clients: usize,
+    /// Number of anytrust servers.
+    pub servers: usize,
+    /// Seed all long-term keys and the session RNG derive from.
+    pub seed: u64,
+    /// Group name (`testing-256` or `rfc3526-2048`).
+    pub group: String,
+    /// Participation threshold α.
+    pub alpha: f64,
+    /// Shuffle soundness parameter.
+    pub soundness: usize,
+}
+
+impl RosterSpec {
+    /// A spec with testbed defaults for the given roster size.
+    pub fn new(clients: usize, servers: usize) -> RosterSpec {
+        RosterSpec {
+            clients,
+            servers,
+            seed: 7,
+            group: "testing-256".into(),
+            alpha: 0.75,
+            soundness: 4,
+        }
+    }
+
+    /// Parse the plain-text roster format.
+    pub fn parse(text: &str) -> Result<RosterSpec, NodeError> {
+        let mut clients = None;
+        let mut servers = None;
+        let mut spec = RosterSpec::new(0, 0);
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let bad =
+                |what: &str| NodeError::Roster(format!("line {}: {what}: {raw:?}", lineno + 1));
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| bad("expected `key = value`"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "clients" => {
+                    clients = Some(value.parse().map_err(|_| bad("bad count"))?);
+                }
+                "servers" => {
+                    servers = Some(value.parse().map_err(|_| bad("bad count"))?);
+                }
+                "seed" => spec.seed = value.parse().map_err(|_| bad("bad seed"))?,
+                "alpha" => spec.alpha = value.parse().map_err(|_| bad("bad alpha"))?,
+                "soundness" => {
+                    spec.soundness = value.parse().map_err(|_| bad("bad soundness"))?;
+                }
+                "group" => match value {
+                    "testing-256" | "rfc3526-2048" => spec.group = value.into(),
+                    _ => return Err(bad("unknown group")),
+                },
+                _ => return Err(bad("unknown key")),
+            }
+        }
+        spec.clients = clients.ok_or_else(|| NodeError::Roster("missing `clients`".into()))?;
+        spec.servers = servers.ok_or_else(|| NodeError::Roster("missing `servers`".into()))?;
+        if spec.clients == 0 || spec.servers == 0 {
+            return Err(NodeError::Roster(
+                "a roster needs at least one client and one server".into(),
+            ));
+        }
+        Ok(spec)
+    }
+
+    /// Render back to the plain-text format [`RosterSpec::parse`] accepts.
+    pub fn to_text(&self) -> String {
+        format!(
+            "clients = {}\nservers = {}\nseed = {}\ngroup = {}\nalpha = {}\nsoundness = {}\n",
+            self.clients, self.servers, self.seed, self.group, self.alpha, self.soundness
+        )
+    }
+
+    fn algebraic_group(&self) -> Group {
+        match self.group.as_str() {
+            "rfc3526-2048" => Group::rfc3526_2048(),
+            _ => Group::testing_256(),
+        }
+    }
+
+    /// Derive the full group (all identities) from the spec.
+    pub fn generate(&self) -> GeneratedGroup {
+        GroupBuilder::new(self.clients, self.servers)
+            .with_group(self.algebraic_group())
+            .with_alpha(self.alpha)
+            .with_shuffle_soundness(self.soundness)
+            .with_seed(self.seed)
+            .build()
+    }
+
+    /// Build the session every node runs.  The RNG is derived from the
+    /// roster seed, so every process ends up with bit-identical session
+    /// state (pad secrets, slot schedule) — the property that lets clients
+    /// and servers compute compatible ciphertexts without any key exchange
+    /// over the wire.
+    pub fn session(&self, generated: &GeneratedGroup) -> Result<Session, NodeError> {
+        let digest = sha256_tagged(&[b"dissent-node-session", &self.seed.to_be_bytes()]);
+        let mut rng = StdRng::from_seed(digest);
+        Ok(Session::new(generated, &mut rng)?)
+    }
+
+    /// The public verification material connections authenticate against.
+    pub fn roster_keys(&self, generated: &GeneratedGroup) -> RosterKeys {
+        RosterKeys {
+            group: generated.config.group.clone(),
+            fingerprint: generated.config.group_id(),
+            client_keys: generated.config.client_sign_keys.clone(),
+            server_keys: generated.config.server_sign_keys.clone(),
+        }
+    }
+}
+
+/// An RNG for handshake nonces and signature blinding, seeded from
+/// wall-clock time, the process id and a caller tag.  Testbed-grade only:
+/// the vendored `rand` has no OS entropy source.
+pub fn entropy_rng(tag: &[u8]) -> StdRng {
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
+    let digest = sha256_tagged(&[
+        b"dissent-node-entropy",
+        tag,
+        &now.as_nanos().to_be_bytes(),
+        &std::process::id().to_be_bytes(),
+    ]);
+    StdRng::from_seed(digest)
+}
+
+/// What one [`ServerNode::run`] observed, for tests and operators.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerSummary {
+    /// Rounds driven to completion.
+    pub rounds: u64,
+    /// Rounds whose output every server certified.
+    pub certified_rounds: u64,
+    /// Frames dropped *before the round engine* because the message claimed
+    /// an identity other than the one the connection authenticated as.
+    pub rejected_spoofs: u64,
+    /// Connections that failed the challenge–response handshake.
+    pub handshake_failures: u64,
+    /// Authenticated connections that dropped (EOF, truncated frame, …).
+    pub disconnects: u64,
+    /// Anonymous messages revealed, as `(round, slot, bytes)`.
+    pub messages: Vec<(u64, usize, Vec<u8>)>,
+}
+
+/// Events the per-connection threads report to the round loop.
+enum NetEvent {
+    Connected(Peer, FramedConn<TcpStream>),
+    Frame(Peer, Frame),
+    Disconnected(Peer),
+    HandshakeFailed,
+}
+
+/// One process hosting the anytrust server set behind a TCP listener.
+///
+/// The M servers run in-process (their commit/reveal/certify exchanges are
+/// delivered with [`MessageOrigin::Local`]); clients are real socket peers.
+pub struct ServerNode {
+    listener: TcpListener,
+    spec: RosterSpec,
+    /// How long to wait for the roster's clients to connect before starting
+    /// round 0 regardless.
+    pub connect_timeout: Duration,
+    /// How long one round may wait for submissions from connected clients.
+    pub round_timeout: Duration,
+}
+
+impl ServerNode {
+    /// Bind the listener (use port 0 for an OS-assigned port).
+    pub fn bind(spec: RosterSpec, addr: &str) -> Result<ServerNode, NodeError> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(ServerNode {
+            listener,
+            spec,
+            connect_timeout: Duration::from_secs(10),
+            round_timeout: Duration::from_secs(10),
+        })
+    }
+
+    /// The bound address (needed when binding port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, NodeError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Accept and authenticate connections, then drive `rounds` rounds,
+    /// broadcasting `RoundOpen` / `Cleartext` frames and ingesting
+    /// `ClientSubmit`s per authenticated origin.
+    pub fn run(self, rounds: u64) -> Result<ServerSummary, NodeError> {
+        let generated = self.spec.generate();
+        let mut session = self.spec.session(&generated)?;
+        let keys = Arc::new(self.spec.roster_keys(&generated));
+        let num_clients = self.spec.clients;
+
+        let (tx, rx) = mpsc::channel::<NetEvent>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = spawn_acceptor(self.listener, keys, tx, stop.clone());
+
+        let mut summary = ServerSummary::default();
+        // Authenticated client connections we can write to, by client index.
+        let mut writers: BTreeMap<u32, FramedConn<TcpStream>> = BTreeMap::new();
+
+        // Admission: wait until every roster slot is accounted for (an
+        // authenticated connection, a failed handshake, or a disconnect) or
+        // the grace period runs out, then start with whoever made it.
+        let deadline = Instant::now() + self.connect_timeout;
+        while (writers.len() as u64) + summary.handshake_failures + summary.disconnects
+            < num_clients as u64
+        {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            match rx.recv_timeout(left) {
+                Ok(event) => {
+                    handle_idle_event(event, &mut writers, &mut summary);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => break,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        let mut rng = StdRng::from_seed(sha256_tagged(&[
+            b"dissent-node-server-rng",
+            &self.spec.seed.to_be_bytes(),
+        ]));
+        let mut rngs = SharedRng(&mut rng);
+
+        for _ in 0..rounds {
+            let round = session.next_round();
+            let mut state = session.begin_round();
+            broadcast(&mut writers, &Frame::RoundOpen { round }, &mut summary);
+
+            // Collect one submission (or a disconnect) per connected client.
+            let mut heard: BTreeSet<u32> = BTreeSet::new();
+            let deadline = Instant::now() + self.round_timeout;
+            while !writers.keys().all(|id| heard.contains(id)) {
+                let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                    break;
+                };
+                let event = match rx.recv_timeout(left) {
+                    Ok(event) => event,
+                    Err(mpsc::RecvTimeoutError::Timeout) => break,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                };
+                match event {
+                    NetEvent::Connected(peer, mut conn) => {
+                        // A late client can still catch this round.
+                        if conn.send(&Frame::RoundOpen { round }).is_ok() {
+                            if let Peer::Client(id) = peer {
+                                writers.insert(id, conn);
+                            }
+                        }
+                    }
+                    NetEvent::Disconnected(peer) => {
+                        if let Peer::Client(id) = peer {
+                            writers.remove(&id);
+                            heard.remove(&id);
+                        }
+                        summary.disconnects += 1;
+                    }
+                    NetEvent::HandshakeFailed => summary.handshake_failures += 1,
+                    NetEvent::Frame(peer, Frame::Protocol { payload }) => {
+                        let Peer::Client(id) = peer else {
+                            // No server peers exist in this topology; any
+                            // claim to be one is a spoof attempt.
+                            summary.rejected_spoofs += 1;
+                            continue;
+                        };
+                        heard.insert(id);
+                        let msg =
+                            match ProtocolMessage::from_bytes(&payload, &session.config().group) {
+                                Ok(msg) => msg,
+                                // Malformed payloads are dropped; the frame
+                                // layer already bounded their size.
+                                Err(_) => continue,
+                            };
+                        match msg {
+                            ProtocolMessage::ClientSubmit(submit) => {
+                                // The transport-level check the ISSUE is
+                                // about: the submission's claimed client
+                                // must be the connection's authenticated
+                                // identity.  Rejected here, before the
+                                // round engine — and the engine re-checks
+                                // via the origin we pass.
+                                if submit.client != id {
+                                    summary.rejected_spoofs += 1;
+                                    continue;
+                                }
+                                session.deliver_submissions(
+                                    &mut state,
+                                    vec![submit],
+                                    MessageOrigin::Client(id),
+                                );
+                            }
+                            // A client connection has no business sending
+                            // server-phase or accusation traffic here.
+                            _ => summary.rejected_spoofs += 1,
+                        }
+                    }
+                    NetEvent::Frame(_, _) => {}
+                }
+            }
+
+            // Server phases run in-process: Local origin.
+            let commits = session.server_commit_phase(&mut state);
+            session.deliver_commits(&mut state, commits, MessageOrigin::Local);
+            let reveals = Session::server_reveal_phase(&mut state);
+            session.deliver_reveals(&mut state, reveals, MessageOrigin::Local);
+            let certs = session.certify_phase(&mut state, &mut rngs);
+            session.deliver_certificates(&mut state, certs, MessageOrigin::Local);
+            let result = session.finalize_round(state, &mut rngs);
+
+            summary.rounds += 1;
+            if result.certified {
+                summary.certified_rounds += 1;
+            }
+            summary.messages.extend(
+                result
+                    .messages
+                    .iter()
+                    .map(|(slot, m)| (round, *slot, m.clone())),
+            );
+            broadcast(
+                &mut writers,
+                &Frame::Cleartext {
+                    round,
+                    certified: result.certified,
+                    payload: result.cleartext,
+                },
+                &mut summary,
+            );
+        }
+
+        broadcast(&mut writers, &Frame::Goodbye, &mut summary);
+        stop.store(true, Ordering::SeqCst);
+        let _ = acceptor.join();
+        Ok(summary)
+    }
+}
+
+/// Accept loop: non-blocking accepts polled against the stop flag; each
+/// connection gets its own handshake + reader thread.
+fn spawn_acceptor(
+    listener: TcpListener,
+    keys: Arc<RosterKeys>,
+    tx: mpsc::Sender<NetEvent>,
+    stop: Arc<AtomicBool>,
+) -> thread::JoinHandle<()> {
+    thread::spawn(move || {
+        if listener.set_nonblocking(true).is_err() {
+            return;
+        }
+        while !stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let keys = keys.clone();
+                    let tx = tx.clone();
+                    thread::spawn(move || serve_connection(stream, &keys, &tx));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => break,
+            }
+        }
+    })
+}
+
+/// Handshake then pump frames into the event channel until EOF or error.
+fn serve_connection(stream: TcpStream, keys: &RosterKeys, tx: &mpsc::Sender<NetEvent>) {
+    let _ = stream.set_nodelay(true);
+    let mut conn = FramedConn::new(stream);
+    let mut rng = entropy_rng(b"server-handshake");
+    let peer = match keys.verifier_handshake(&mut conn, &mut rng) {
+        Ok(peer) => peer,
+        Err(_) => {
+            let _ = tx.send(NetEvent::HandshakeFailed);
+            return;
+        }
+    };
+    let Ok(writer) = conn.try_clone() else {
+        let _ = tx.send(NetEvent::HandshakeFailed);
+        return;
+    };
+    if tx.send(NetEvent::Connected(peer, writer)).is_err() {
+        return;
+    }
+    loop {
+        match conn.recv() {
+            Ok(Some(Frame::Goodbye)) | Ok(None) | Err(_) => {
+                let _ = tx.send(NetEvent::Disconnected(peer));
+                return;
+            }
+            Ok(Some(frame)) => {
+                if tx.send(NetEvent::Frame(peer, frame)).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Process connection-level events while no round is collecting.
+fn handle_idle_event(
+    event: NetEvent,
+    writers: &mut BTreeMap<u32, FramedConn<TcpStream>>,
+    summary: &mut ServerSummary,
+) {
+    match event {
+        NetEvent::Connected(Peer::Client(id), conn) => {
+            writers.insert(id, conn);
+        }
+        NetEvent::Connected(Peer::Server(_), _) => {}
+        NetEvent::Disconnected(Peer::Client(id)) => {
+            writers.remove(&id);
+            summary.disconnects += 1;
+        }
+        NetEvent::Disconnected(Peer::Server(_)) => summary.disconnects += 1,
+        NetEvent::HandshakeFailed => summary.handshake_failures += 1,
+        // Frames before the first RoundOpen have nowhere to go.
+        NetEvent::Frame(_, _) => {}
+    }
+}
+
+/// Send a frame to every connected client, dropping writers that fail.
+fn broadcast(
+    writers: &mut BTreeMap<u32, FramedConn<TcpStream>>,
+    frame: &Frame,
+    summary: &mut ServerSummary,
+) {
+    let dead: Vec<u32> = writers
+        .iter_mut()
+        .filter_map(|(id, conn)| conn.send(frame).is_err().then_some(*id))
+        .collect();
+    for id in dead {
+        writers.remove(&id);
+        summary.disconnects += 1;
+    }
+}
+
+/// What one [`run_client`] observed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClientOutcome {
+    /// `Cleartext` frames received.
+    pub rounds_seen: u64,
+    /// Of those, how many the servers certified.
+    pub certified_rounds: u64,
+    /// Anonymous messages revealed, as `(round, slot, bytes)`.
+    pub delivered: Vec<(u64, usize, Vec<u8>)>,
+}
+
+/// Connect to a [`ServerNode`], authenticate as roster client `index`, and
+/// participate until the server says `Goodbye`.
+///
+/// `posts` are queued as [`ClientAction::Send`]s, one per round, then the
+/// client idles (its slot still carries cover traffic).  All *other* roster
+/// clients are `Offline` from this process's point of view — each runs in
+/// its own process and submits its own ciphertext.
+pub fn run_client(
+    spec: &RosterSpec,
+    addr: &str,
+    index: usize,
+    posts: Vec<Vec<u8>>,
+) -> Result<ClientOutcome, NodeError> {
+    let generated = self_check_index(spec, index)?;
+    let mut session = spec.session(&generated)?;
+    let keys = spec.roster_keys(&generated);
+    let signing = generated.clients[index].signing.clone();
+
+    let stream = connect_with_retry(addr, Duration::from_secs(5))?;
+    let _ = stream.set_nodelay(true);
+    let mut conn = FramedConn::new(stream);
+    let mut hs_rng = entropy_rng(format!("client-{index}").as_bytes());
+    keys.prover_handshake(&mut conn, Peer::Client(index as u32), &signing, &mut hs_rng)?;
+
+    // Per-round randomness never has to agree with any other process, only
+    // the long-term session state does.
+    let mut round_rng = entropy_rng(format!("client-rounds-{index}").as_bytes());
+    let mut rngs = SharedRng(&mut round_rng);
+    let mut posts: VecDeque<Vec<u8>> = posts.into();
+    let mut outcome = ClientOutcome::default();
+
+    loop {
+        match conn.recv()? {
+            Some(Frame::RoundOpen { round }) => {
+                if round != session.next_round() {
+                    // We joined late or missed a cleartext; we cannot build
+                    // a ciphertext for a layout we do not have.
+                    continue;
+                }
+                let mut actions = vec![ClientAction::Offline; spec.clients];
+                actions[index] = match posts.pop_front() {
+                    Some(post) => ClientAction::Send(post),
+                    None => ClientAction::Idle,
+                };
+                let mut state = session.begin_round();
+                let submits = session.client_phase(&mut state, &actions, &mut rngs);
+                for submit in submits {
+                    let payload =
+                        ProtocolMessage::ClientSubmit(submit).to_bytes(&session.config().group);
+                    conn.send(&Frame::Protocol { payload })?;
+                }
+            }
+            Some(Frame::Cleartext {
+                round,
+                certified,
+                payload,
+            }) => {
+                outcome.rounds_seen += 1;
+                if certified {
+                    outcome.certified_rounds += 1;
+                }
+                if round == session.next_round() {
+                    let revealed = session.apply_certified_cleartext(round, &payload)?;
+                    outcome
+                        .delivered
+                        .extend(revealed.into_iter().map(|(slot, m)| (round, slot, m)));
+                }
+            }
+            Some(Frame::Goodbye) | None => break,
+            Some(_) => {}
+        }
+    }
+    Ok(outcome)
+}
+
+fn self_check_index(spec: &RosterSpec, index: usize) -> Result<GeneratedGroup, NodeError> {
+    if index >= spec.clients {
+        return Err(NodeError::Roster(format!(
+            "client index {index} out of range for a {}-client roster",
+            spec.clients
+        )));
+    }
+    Ok(spec.generate())
+}
+
+/// Dial with retries so a client started before its server still connects.
+pub fn connect_with_retry(addr: &str, patience: Duration) -> Result<TcpStream, NodeError> {
+    let deadline = Instant::now() + patience;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(NodeError::Io(e));
+                }
+                thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_round_trips_through_text() {
+        let spec = RosterSpec {
+            clients: 4,
+            servers: 2,
+            seed: 99,
+            group: "testing-256".into(),
+            alpha: 0.5,
+            soundness: 6,
+        };
+        assert_eq!(RosterSpec::parse(&spec.to_text()).unwrap(), spec);
+    }
+
+    #[test]
+    fn roster_parser_rejects_garbage() {
+        assert!(RosterSpec::parse("clients = 4").is_err()); // missing servers
+        assert!(RosterSpec::parse("clients = 4\nservers = 0\n").is_err());
+        assert!(RosterSpec::parse("clients = 4\nservers = 1\nwat = 3\n").is_err());
+        assert!(RosterSpec::parse("clients = 4\nservers = 1\ngroup = moon\n").is_err());
+        assert!(RosterSpec::parse("clients four\nservers = 1\n").is_err());
+        // Comments and blank lines are fine.
+        let spec = RosterSpec::parse("# testbed\nclients = 2 # pair\n\nservers = 1\n").unwrap();
+        assert_eq!((spec.clients, spec.servers), (2, 1));
+    }
+
+    #[test]
+    fn two_processes_would_derive_identical_sessions() {
+        let spec = RosterSpec::new(3, 2);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.config.group_id(), b.config.group_id());
+        let sa = spec.session(&a).unwrap();
+        let sb = spec.session(&b).unwrap();
+        // The observable projection: identical pseudonym key orderings and
+        // slot permutations.
+        assert_eq!(sa.pseudonym_keys(), sb.pseudonym_keys());
+        assert_eq!(
+            (0..3).map(|c| sa.slot_of_client(c)).collect::<Vec<_>>(),
+            (0..3).map(|c| sb.slot_of_client(c)).collect::<Vec<_>>()
+        );
+    }
+}

@@ -25,6 +25,7 @@
 //! stream independent of how the phases interleave, so steady-state batches
 //! reproduce the lock-step outputs bit-for-bit as well.
 
+use crate::messages::MessageOrigin;
 use crate::round::{RngSource, RoundState};
 use crate::session::{ClientAction, RoundResult, Session, SessionError};
 
@@ -102,18 +103,22 @@ impl PipelinedSession {
         // Clients precompute and submit ciphertexts for the whole window.
         for (state, actions) in states.iter_mut().zip(actions_per_round) {
             let submits = self.session.client_phase(state, actions, rngs);
-            self.session.deliver_submissions(state, submits);
+            self.session
+                .deliver_submissions(state, submits, MessageOrigin::Local);
         }
 
         // Servers drain the in-flight rounds in order: commit → reveal →
         // certify per round.
         for state in states.iter_mut() {
             let commits = self.session.server_commit_phase(state);
-            self.session.deliver_commits(state, commits);
+            self.session
+                .deliver_commits(state, commits, MessageOrigin::Local);
             let reveals = Session::server_reveal_phase(state);
-            self.session.deliver_reveals(state, reveals);
+            self.session
+                .deliver_reveals(state, reveals, MessageOrigin::Local);
             let certs = self.session.certify_phase(state, rngs);
-            self.session.deliver_certificates(state, certs);
+            self.session
+                .deliver_certificates(state, certs, MessageOrigin::Local);
         }
 
         // Finalize in round order: outputs feed the schedule (taking effect

@@ -18,7 +18,9 @@
 //! (roster, schedule, expulsions, blame records).  That separation is what
 //! lets W rounds proceed concurrently.
 
-use crate::messages::{AccusationFiled, Certify, ClientSubmit, ServerCommit, ServerReveal};
+use crate::messages::{
+    AccusationFiled, Certify, ClientSubmit, MessageOrigin, ServerCommit, ServerReveal,
+};
 use crate::policy::participation_threshold;
 use crate::session::{ClientAction, RoundRecord, RoundResult, Session};
 use dissent_crypto::schnorr;
@@ -252,14 +254,20 @@ impl Session {
     /// combine), and the ciphertext has exactly the round's length (a wrong
     /// length would poison the servers' XOR fold).
     ///
-    /// Submissions are not yet authenticated to their sender: the in-process
-    /// drivers construct them directly, and a real transport must bind a
-    /// `ClientSubmit` to the roster member's connection (or a signature)
-    /// before handing it here — see the ROADMAP transport follow-up.  Until
-    /// that lands, first-write-wins is the in-engine mitigation: the honest
-    /// client's ciphertext arrives first in the in-process drivers, so an
-    /// injected duplicate cannot silently replace it.
-    pub fn deliver_submissions(&self, state: &mut RoundState, msgs: Vec<ClientSubmit>) {
+    /// `origin` is the authenticated identity of whichever connection (or
+    /// in-process driver) delivered the batch: a submission claiming a
+    /// different client than the connection authenticated as is dropped
+    /// *here*, before it can race the honest one — first-write-wins alone
+    /// cannot reject a spoof that arrives first, which is exactly the PR 5
+    /// hole the transport's challenge–response handshake closes.
+    /// [`MessageOrigin::Local`] (the in-process drivers, which construct
+    /// their own batches) trusts the sender fields as before.
+    pub fn deliver_submissions(
+        &self,
+        state: &mut RoundState,
+        msgs: Vec<ClientSubmit>,
+        origin: MessageOrigin,
+    ) {
         assert_eq!(
             state.phase,
             RoundPhase::Submission,
@@ -271,7 +279,8 @@ impl Session {
         }
         for msg in msgs {
             let client = msg.client as usize;
-            if msg.round != state.layout.round
+            if !origin.allows_client(msg.client)
+                || msg.round != state.layout.round
                 || client >= self.config.num_clients()
                 || msg.upstream as usize != client % num_servers
                 || self.expelled.contains(&msg.client)
@@ -380,14 +389,26 @@ impl Session {
     /// out-of-phase delivery is a driver bug that panics.  A transport that
     /// receives messages individually must buffer them into per-phase batches
     /// (as `SimDriver` does) before handing them to the engine.
-    pub fn deliver_commits(&self, state: &mut RoundState, msgs: Vec<ServerCommit>) {
+    ///
+    /// `origin` must be allowed to speak for the commit's claimed server: a
+    /// connection authenticated as server *j* (or as any client) cannot
+    /// plant a commitment under server *k*'s id.
+    pub fn deliver_commits(
+        &self,
+        state: &mut RoundState,
+        msgs: Vec<ServerCommit>,
+        origin: MessageOrigin,
+    ) {
         assert_eq!(
             state.phase,
             RoundPhase::Commit,
             "commitments delivered out of phase"
         );
         for msg in msgs {
-            if msg.round != state.layout.round || msg.server as usize >= self.servers.len() {
+            if !origin.allows_server(msg.server)
+                || msg.round != state.layout.round
+                || msg.server as usize >= self.servers.len()
+            {
                 continue;
             }
             state
@@ -430,7 +451,12 @@ impl Session {
     /// an injected garbage reveal cannot veto a round whose roster reveals
     /// all bind (the commitment scheme already guarantees at most one
     /// binding ciphertext per server).
-    pub fn deliver_reveals(&self, state: &mut RoundState, msgs: Vec<ServerReveal>) {
+    pub fn deliver_reveals(
+        &self,
+        state: &mut RoundState,
+        msgs: Vec<ServerReveal>,
+        origin: MessageOrigin,
+    ) {
         assert_eq!(
             state.phase,
             RoundPhase::Reveal,
@@ -438,7 +464,10 @@ impl Session {
         );
         let round = state.layout.round;
         for msg in msgs {
-            if msg.round != round || msg.server as usize >= self.servers.len() {
+            if !origin.allows_server(msg.server)
+                || msg.round != round
+                || msg.server as usize >= self.servers.len()
+            {
                 continue;
             }
             let bound = msg.ciphertext.len() == state.layout.total_len
@@ -490,7 +519,12 @@ impl Session {
     /// Duplicate `Certify` messages from one server cannot stand in for a
     /// missing server's, and injected invalid signatures are dropped rather
     /// than vetoing a round whose roster signatures are all present.
-    pub fn deliver_certificates(&self, state: &mut RoundState, msgs: Vec<Certify>) {
+    pub fn deliver_certificates(
+        &self,
+        state: &mut RoundState,
+        msgs: Vec<Certify>,
+        origin: MessageOrigin,
+    ) {
         assert_eq!(
             state.phase,
             RoundPhase::Certification,
@@ -503,7 +537,7 @@ impl Session {
         let group = &self.config.group;
         let mut signed = std::collections::BTreeSet::new();
         for msg in &msgs {
-            if msg.round != round {
+            if !origin.allows_server(msg.server) || msg.round != round {
                 continue;
             }
             if let Some(pk) = self.config.server_sign_keys.get(msg.server as usize) {
@@ -518,6 +552,12 @@ impl Session {
     /// Queue filed accusations for blame resolution.  The pseudonym
     /// signatures are verified (batched) when the accusations are resolved
     /// at the end of the round, so this ingest only enqueues.
+    ///
+    /// Unlike the other ingests this one takes no origin: accusations are
+    /// deliberately *anonymous* — authenticated by the unlinkable pseudonym
+    /// signature inside the message, never by the connection that carried
+    /// it (binding them to a roster connection would deanonymize the
+    /// victim).
     pub fn deliver_accusations(&mut self, msgs: Vec<AccusationFiled>) {
         for msg in msgs {
             self.pending_accusations
@@ -667,16 +707,16 @@ mod tests {
         let mut state = session.begin_round();
         let mut submits = session.client_phase(&mut state, actions, &mut rngs);
         tamper_submits(&mut submits);
-        session.deliver_submissions(&mut state, submits);
+        session.deliver_submissions(&mut state, submits, MessageOrigin::Local);
         let mut commits = session.server_commit_phase(&mut state);
         tamper_commits(&mut commits);
-        session.deliver_commits(&mut state, commits);
+        session.deliver_commits(&mut state, commits, MessageOrigin::Local);
         let mut reveals = Session::server_reveal_phase(&mut state);
         tamper_reveals(&mut reveals);
-        session.deliver_reveals(&mut state, reveals);
+        session.deliver_reveals(&mut state, reveals, MessageOrigin::Local);
         let mut certs = session.certify_phase(&mut state, &mut rngs);
         tamper_certs(&mut certs);
-        session.deliver_certificates(&mut state, certs);
+        session.deliver_certificates(&mut state, certs, MessageOrigin::Local);
         session.finalize_round(state, &mut rngs)
     }
 
@@ -796,7 +836,7 @@ mod tests {
         let mut rngs = SharedRng(&mut rng);
         let mut state = session.begin_round();
         let submits = session.client_phase(&mut state, &actions, &mut rngs);
-        session.deliver_submissions(&mut state, submits);
+        session.deliver_submissions(&mut state, submits, MessageOrigin::Local);
         let mut commits = session.server_commit_phase(&mut state);
         let round = state.round();
         let phantom: ServerId = 999;
@@ -806,7 +846,7 @@ mod tests {
             server: phantom,
             commitment: server::commitment(round, phantom, &garbage),
         });
-        session.deliver_commits(&mut state, commits);
+        session.deliver_commits(&mut state, commits, MessageOrigin::Local);
         let mut reveals = Session::server_reveal_phase(&mut state);
         reveals.pop(); // drop one roster server's reveal...
         reveals.push(ServerReveal {
@@ -814,9 +854,9 @@ mod tests {
             server: phantom,
             ciphertext: garbage, // ...and offer the phantom's in its place
         });
-        session.deliver_reveals(&mut state, reveals);
+        session.deliver_reveals(&mut state, reveals, MessageOrigin::Local);
         let certs = session.certify_phase(&mut state, &mut rngs);
-        session.deliver_certificates(&mut state, certs);
+        session.deliver_certificates(&mut state, certs, MessageOrigin::Local);
         let r = session.finalize_round(state, &mut rngs);
         assert!(!r.certified);
     }
@@ -875,6 +915,107 @@ mod tests {
     }
 
     #[test]
+    fn spoofed_submission_from_wrong_origin_is_rejected_even_when_first() {
+        // The PR 5 hole, now closed at the right layer: first-write-wins
+        // alone cannot reject a spoofed ClientSubmit that *beats* the honest
+        // one to the ingest.  With authenticated origins it does not matter
+        // who wins the race — a connection authenticated as client 1 cannot
+        // deliver a submission claiming client 0, so the forgery is dropped
+        // and the honest ciphertext (arriving second!) is accepted.
+        let (mut session_a, mut rng_a) = session(4, 2);
+        let baseline = run_tampered(&mut session_a, &mut rng_a, |_| {}, |_| {}, |_| {}, |_| {});
+
+        let (mut session_b, mut rng_b) = session(4, 2);
+        let actions = vec![crate::session::ClientAction::Idle; 4];
+        let mut rngs = SharedRng(&mut rng_b);
+        let mut state = session_b.begin_round();
+        let submits = session_b.client_phase(&mut state, &actions, &mut rngs);
+        // Client 1's connection forges client 0's submission and delivers
+        // it FIRST.
+        let mut forged = submits[0].clone();
+        let mut ct = forged.ciphertext.to_vec();
+        for b in &mut ct {
+            *b ^= 0xFF;
+        }
+        forged.ciphertext = ct.into();
+        session_b.deliver_submissions(&mut state, vec![forged], MessageOrigin::Client(1));
+        // The honest clients deliver afterwards, each over its own
+        // authenticated connection.
+        for submit in submits {
+            let origin = MessageOrigin::Client(submit.client);
+            session_b.deliver_submissions(&mut state, vec![submit], origin);
+        }
+        let commits = session_b.server_commit_phase(&mut state);
+        session_b.deliver_commits(&mut state, commits, MessageOrigin::Local);
+        let reveals = Session::server_reveal_phase(&mut state);
+        session_b.deliver_reveals(&mut state, reveals, MessageOrigin::Local);
+        let certs = session_b.certify_phase(&mut state, &mut rngs);
+        session_b.deliver_certificates(&mut state, certs, MessageOrigin::Local);
+        let r = session_b.finalize_round(state, &mut rngs);
+        assert!(r.certified);
+        assert_eq!(r.participation, 4);
+        assert_eq!(
+            r.cleartext, baseline.cleartext,
+            "forged first-arriving submission must not displace the honest one"
+        );
+    }
+
+    #[test]
+    fn client_origin_cannot_speak_for_servers() {
+        // A connection authenticated as a client delivers a batch containing
+        // server 0's (otherwise valid!) commit: the origin check drops it,
+        // so server 0's genuine reveal later finds no commitment and the
+        // round cannot certify — the forgery is inert rather than binding.
+        let (mut session, mut rng) = session(4, 2);
+        let actions = vec![crate::session::ClientAction::Idle; 4];
+        let mut rngs = SharedRng(&mut rng);
+        let mut state = session.begin_round();
+        let submits = session.client_phase(&mut state, &actions, &mut rngs);
+        session.deliver_submissions(&mut state, submits, MessageOrigin::Local);
+        let commits = session.server_commit_phase(&mut state);
+        // The whole (valid!) commit batch arrives via a connection
+        // authenticated as client 2: every commit is dropped, so no reveal
+        // can later bind.
+        session.deliver_commits(&mut state, commits, MessageOrigin::Client(2));
+        assert!(
+            state.commitments.is_empty(),
+            "client-origin commits must not bind"
+        );
+        let reveals = Session::server_reveal_phase(&mut state);
+        session.deliver_reveals(&mut state, reveals, MessageOrigin::Local);
+        let certs = session.certify_phase(&mut state, &mut rngs);
+        session.deliver_certificates(&mut state, certs, MessageOrigin::Local);
+        let r = session.finalize_round(state, &mut rngs);
+        assert!(!r.certified);
+    }
+
+    #[test]
+    fn wrong_server_origin_cannot_plant_a_reveal() {
+        // Server 1's connection replays server 0's genuine reveal under its
+        // own authenticated origin: dropped, so the round is missing server
+        // 0's ciphertext and cannot certify.
+        let (mut session, mut rng) = session(4, 2);
+        let actions = vec![crate::session::ClientAction::Idle; 4];
+        let mut rngs = SharedRng(&mut rng);
+        let mut state = session.begin_round();
+        let submits = session.client_phase(&mut state, &actions, &mut rngs);
+        session.deliver_submissions(&mut state, submits, MessageOrigin::Local);
+        let commits = session.server_commit_phase(&mut state);
+        session.deliver_commits(&mut state, commits, MessageOrigin::Local);
+        let reveals = Session::server_reveal_phase(&mut state);
+        // Every reveal — including server 0's genuine one — is delivered
+        // over server 1's authenticated connection: only server 1's own
+        // passes the origin check, so server 0's ciphertext stays missing.
+        session.deliver_reveals(&mut state, reveals, MessageOrigin::Server(1));
+        assert!(state.server_cts.contains_key(&1));
+        assert!(!state.server_cts.contains_key(&0));
+        let certs = session.certify_phase(&mut state, &mut rngs);
+        session.deliver_certificates(&mut state, certs, MessageOrigin::Local);
+        let r = session.finalize_round(state, &mut rngs);
+        assert!(!r.certified);
+    }
+
+    #[test]
     #[should_panic(expected = "commitments delivered out of phase")]
     fn deliver_commits_out_of_phase_panics() {
         // Delivering commitments before the commit exchange ran would skip
@@ -882,7 +1023,7 @@ mod tests {
         // other phase function.
         let (session, _rng) = session(3, 2);
         let mut state = session.begin_round();
-        session.deliver_commits(&mut state, Vec::new());
+        session.deliver_commits(&mut state, Vec::new(), MessageOrigin::Local);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! change *how* the bytes travel, not what is verified.
 
 use crate::config::{GeneratedGroup, GroupConfig};
+use crate::messages::MessageOrigin;
 use crate::round::SharedRng;
 use dissent_crypto::dh::DhKeyPair;
 use dissent_crypto::elgamal::ElGamal;
@@ -382,14 +383,44 @@ impl Session {
         let mut rngs = SharedRng(rng);
         let mut state = self.begin_round();
         let submits = self.client_phase(&mut state, actions, &mut rngs);
-        self.deliver_submissions(&mut state, submits);
+        self.deliver_submissions(&mut state, submits, MessageOrigin::Local);
         let commits = self.server_commit_phase(&mut state);
-        self.deliver_commits(&mut state, commits);
+        self.deliver_commits(&mut state, commits, MessageOrigin::Local);
         let reveals = Session::server_reveal_phase(&mut state);
-        self.deliver_reveals(&mut state, reveals);
+        self.deliver_reveals(&mut state, reveals, MessageOrigin::Local);
         let certs = self.certify_phase(&mut state, &mut rngs);
-        self.deliver_certificates(&mut state, certs);
+        self.deliver_certificates(&mut state, certs, MessageOrigin::Local);
         self.finalize_round(state, &mut rngs)
+    }
+
+    /// Apply a *certified* round cleartext received over the transport to
+    /// this node's copy of the slot schedule, advancing it exactly as the
+    /// servers' finalize does.  Client processes call this when the
+    /// `Cleartext` frame for the schedule's current round arrives; because
+    /// every node applies the identical bytes, all schedules stay in
+    /// lock-step without any further coordination.  Returns the `(slot,
+    /// message)` pairs revealed this round.
+    pub fn apply_certified_cleartext(
+        &mut self,
+        round: u64,
+        cleartext: &[u8],
+    ) -> Result<Vec<(usize, Vec<u8>)>, SessionError> {
+        let layout = self.schedule.layout();
+        if layout.round != round {
+            return Err(SessionError::BadConfig(format!(
+                "cleartext is for round {round} but the schedule is at round {}",
+                layout.round
+            )));
+        }
+        if cleartext.len() != layout.total_len {
+            return Err(SessionError::BadConfig(format!(
+                "cleartext is {} bytes but round {round}'s layout needs {}",
+                cleartext.len(),
+                layout.total_len
+            )));
+        }
+        let output = self.schedule.apply_round_output(&layout, cleartext);
+        Ok(output.messages())
     }
 
     /// Resolve every pending accusation, returning the clients expelled.

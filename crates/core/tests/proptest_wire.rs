@@ -1,0 +1,136 @@
+//! Fuzzing the canonical wire codecs: random byte mutations of valid
+//! `ProtocolMessage` encodings (and pure garbage) must never panic the
+//! decoder, and everything the decoder *accepts* must re-encode/decode to a
+//! fixed point — so a hostile transport peer can neither crash a node nor
+//! smuggle a message whose meaning shifts when relayed.
+//!
+//! The corpus is harvested from a real mini-session, so every message type
+//! that actually crosses the socket (submit, commit, reveal, certify) is
+//! fuzzed with genuine field widths for the testing group.
+
+use std::sync::OnceLock;
+
+use dissent_core::{
+    ClientAction, GroupBuilder, MessageOrigin, PerEntityRng, ProtocolMessage, Session,
+};
+use dissent_crypto::Group;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn corpus() -> &'static (Group, Vec<Vec<u8>>) {
+    static CORPUS: OnceLock<(Group, Vec<Vec<u8>>)> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let generated = GroupBuilder::new(3, 2)
+            .with_shuffle_soundness(2)
+            .with_seed(0xF422)
+            .build();
+        let group = generated.config.group.clone();
+        let mut rng = StdRng::seed_from_u64(0xF422);
+        let mut session = Session::new(&generated, &mut rng).unwrap();
+        let mut rngs = PerEntityRng::new(0xF422, 3, 2);
+
+        let mut encodings = Vec::new();
+        // Two rounds so a slot request and an open-slot payload both occur.
+        for round in 0..2 {
+            let mut actions = vec![ClientAction::Idle; 3];
+            if round == 0 {
+                actions[1] = ClientAction::Send(b"fuzz corpus payload".to_vec());
+            }
+            let mut state = session.begin_round();
+            let submits = session.client_phase(&mut state, &actions, &mut rngs);
+            encodings.extend(
+                submits
+                    .iter()
+                    .map(|s| ProtocolMessage::ClientSubmit(s.clone()).to_bytes(&group)),
+            );
+            session.deliver_submissions(&mut state, submits, MessageOrigin::Local);
+            let commits = session.server_commit_phase(&mut state);
+            encodings.extend(
+                commits
+                    .iter()
+                    .map(|c| ProtocolMessage::ServerCommit(c.clone()).to_bytes(&group)),
+            );
+            session.deliver_commits(&mut state, commits, MessageOrigin::Local);
+            let reveals = Session::server_reveal_phase(&mut state);
+            encodings.extend(
+                reveals
+                    .iter()
+                    .map(|r| ProtocolMessage::ServerReveal(r.clone()).to_bytes(&group)),
+            );
+            session.deliver_reveals(&mut state, reveals, MessageOrigin::Local);
+            let certs = session.certify_phase(&mut state, &mut rngs);
+            encodings.extend(
+                certs
+                    .iter()
+                    .map(|c| ProtocolMessage::Certify(c.clone()).to_bytes(&group)),
+            );
+            session.deliver_certificates(&mut state, certs, MessageOrigin::Local);
+            session.finalize_round(state, &mut rngs);
+        }
+        assert!(encodings.len() >= 10, "corpus too small");
+        (group, encodings)
+    })
+}
+
+/// Valid encodings decode, and re-encode byte-exactly.
+#[test]
+fn valid_encodings_round_trip_byte_exactly() {
+    let (group, encodings) = corpus();
+    for bytes in encodings {
+        let msg = ProtocolMessage::from_bytes(bytes, group).expect("corpus must decode");
+        assert_eq!(&msg.to_bytes(group), bytes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // Arbitrary byte soup never panics the decoder.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let (group, _) = corpus();
+        let _ = ProtocolMessage::from_bytes(&bytes, group);
+    }
+
+    // Mutations of valid encodings never panic, and anything still
+    // accepted is a decode/encode fixed point.  (Byte-exactness is not
+    // required of *mutants*: scalar fields decode modulo the group order,
+    // so a non-canonical residue can legally alias a canonical one.)
+    #[test]
+    fn mutated_encodings_never_panic_and_accepts_are_stable(
+        pick in any::<u64>(),
+        kind in 0u8..4,
+        pos in any::<u64>(),
+        patch in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let (group, encodings) = corpus();
+        let mut bytes = encodings[(pick % encodings.len() as u64) as usize].clone();
+        let pos = (pos % bytes.len() as u64) as usize;
+        match kind {
+            // Overwrite a window.
+            0 => {
+                for (i, b) in patch.iter().enumerate() {
+                    if let Some(slot) = bytes.get_mut(pos + i) {
+                        *slot ^= b;
+                    }
+                }
+            }
+            // Truncate.
+            1 => bytes.truncate(pos),
+            // Insert garbage mid-stream.
+            2 => {
+                let tail = bytes.split_off(pos);
+                bytes.extend_from_slice(&patch);
+                bytes.extend_from_slice(&tail);
+            }
+            // Append trailing garbage (canonical decoders must reject it).
+            _ => bytes.extend_from_slice(&patch),
+        }
+        if let Ok(msg) = ProtocolMessage::from_bytes(&bytes, group) {
+            let reencoded = msg.to_bytes(group);
+            let reparsed = ProtocolMessage::from_bytes(&reencoded, group);
+            prop_assert_eq!(reparsed.ok(), Some(msg));
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Adversarial transport suite: the spoofing hole the authenticated
+//! transport closes, plus hostile-peer behaviour at the frame layer.
+//!
+//! Every test runs a real [`ServerNode`] on a localhost socket and attacks
+//! it with hand-driven connections.
+
+use std::io::Write;
+use std::net::Shutdown;
+use std::thread;
+use std::time::Duration;
+
+use dissent_core::node::{connect_with_retry, entropy_rng, run_client, RosterSpec, ServerNode};
+use dissent_core::{ClientAction, ProtocolMessage};
+use dissent_net::{Frame, FramedConn, Peer, PROTOCOL_VERSION};
+
+fn spec(clients: usize) -> RosterSpec {
+    let mut spec = RosterSpec::new(clients, 1);
+    spec.seed = 0xAD5E;
+    spec.alpha = 0.5;
+    spec
+}
+
+fn spawn_server(
+    spec: &RosterSpec,
+    rounds: u64,
+) -> (String, thread::JoinHandle<dissent_core::ServerSummary>) {
+    let mut server = ServerNode::bind(spec.clone(), "127.0.0.1:0").unwrap();
+    server.connect_timeout = Duration::from_secs(5);
+    server.round_timeout = Duration::from_secs(5);
+    let addr = server.local_addr().unwrap().to_string();
+    (addr, thread::spawn(move || server.run(rounds).unwrap()))
+}
+
+/// Client 1 authenticates as itself, then submits byte-valid ciphertexts
+/// claiming to be client 0 — *before* client 0's own submissions can land.
+/// Under PR 5's first-write-wins ingestion the forgery would have displaced
+/// the honest ciphertext; the authenticated transport rejects it before the
+/// round engine, and client 0's post still surfaces.
+#[test]
+fn client_i_cannot_submit_as_j_even_when_arriving_first() {
+    let spec = spec(4);
+    const ROUNDS: u64 = 5;
+    let (addr, server) = spawn_server(&spec, ROUNDS);
+
+    // The spoofer: because the testbed roster is seed-derived, client 1 can
+    // compute client 0's exact ciphertexts — the strongest possible forgery.
+    let spoofer = {
+        let spec = spec.clone();
+        let addr = addr.clone();
+        thread::spawn(move || {
+            let generated = spec.generate();
+            let mut session = spec.session(&generated).unwrap();
+            let key = generated.clients[1].signing.clone();
+            let keys = spec.roster_keys(&generated);
+            let stream = connect_with_retry(&addr, Duration::from_secs(5)).unwrap();
+            let mut conn = FramedConn::new(stream);
+            let mut rng = entropy_rng(b"spoofer-hs");
+            keys.prover_handshake(&mut conn, Peer::Client(1), &key, &mut rng)
+                .unwrap();
+            let mut round_rng = entropy_rng(b"spoofer-rounds");
+            let mut rngs = dissent_core::SharedRng(&mut round_rng);
+            let mut spoofs_sent = 0u64;
+            loop {
+                match conn.recv().unwrap() {
+                    Some(Frame::RoundOpen { round }) if round == session.next_round() => {
+                        // Craft client 0's submission, not our own.
+                        let mut actions = vec![ClientAction::Offline; 4];
+                        actions[0] = ClientAction::Idle;
+                        let mut state = session.begin_round();
+                        let submits = session.client_phase(&mut state, &actions, &mut rngs);
+                        for submit in submits {
+                            assert_eq!(submit.client, 0, "forgery must claim client 0");
+                            let payload = ProtocolMessage::ClientSubmit(submit)
+                                .to_bytes(&session.config().group);
+                            conn.send(&Frame::Protocol { payload }).unwrap();
+                            spoofs_sent += 1;
+                        }
+                    }
+                    Some(Frame::Cleartext { round, payload, .. }) => {
+                        let _ = session.apply_certified_cleartext(round, &payload);
+                    }
+                    Some(Frame::Goodbye) | None => break,
+                    Some(_) => {}
+                }
+            }
+            spoofs_sent
+        })
+    };
+
+    let honest: Vec<_> = [0usize, 2, 3]
+        .into_iter()
+        .map(|i| {
+            let spec = spec.clone();
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let posts = if i == 0 {
+                    vec![b"honest post from client 0".to_vec()]
+                } else {
+                    vec![]
+                };
+                run_client(&spec, &addr, i, posts).unwrap()
+            })
+        })
+        .collect();
+
+    let summary = server.join().unwrap();
+    let spoofs_sent = spoofer.join().unwrap();
+    let outcomes: Vec<_> = honest.into_iter().map(|c| c.join().unwrap()).collect();
+
+    assert!(spoofs_sent >= ROUNDS, "spoofer sent {spoofs_sent}");
+    assert_eq!(
+        summary.rejected_spoofs, spoofs_sent,
+        "every forgery must be rejected before the engine: {summary:?}"
+    );
+    assert!(summary.certified_rounds >= 3, "{summary:?}");
+    // The honest client's post made it through untouched.
+    assert!(
+        summary
+            .messages
+            .iter()
+            .any(|(_, _, m)| m == b"honest post from client 0"),
+        "{summary:?}"
+    );
+    assert!(outcomes[0]
+        .delivered
+        .iter()
+        .any(|(_, _, m)| m == b"honest post from client 0"));
+}
+
+/// A hello claiming the wrong group fingerprint or the wrong protocol
+/// version is refused with `AuthReject` and never authenticates.
+#[test]
+fn hello_mismatch_is_rejected() {
+    let spec = spec(2);
+    let (addr, server) = spawn_server(&spec, 0);
+
+    // Wrong fingerprint.
+    let stream = connect_with_retry(&addr, Duration::from_secs(5)).unwrap();
+    let mut conn = FramedConn::new(stream);
+    conn.send(&Frame::Hello {
+        version: PROTOCOL_VERSION,
+        fingerprint: [0xAB; 32],
+        role: 1,
+        id: 0,
+    })
+    .unwrap();
+    match conn.recv().unwrap() {
+        Some(Frame::AuthReject { reason }) => {
+            assert!(reason.contains("fingerprint"), "reason: {reason}")
+        }
+        other => panic!("expected AuthReject, got {other:?}"),
+    }
+
+    // Wrong version.
+    let generated = spec.generate();
+    let stream = connect_with_retry(&addr, Duration::from_secs(5)).unwrap();
+    let mut conn = FramedConn::new(stream);
+    conn.send(&Frame::Hello {
+        version: PROTOCOL_VERSION + 1,
+        fingerprint: generated.config.group_id(),
+        role: 1,
+        id: 0,
+    })
+    .unwrap();
+    assert!(matches!(
+        conn.recv().unwrap(),
+        Some(Frame::AuthReject { .. })
+    ));
+
+    let summary = server.join().unwrap();
+    assert_eq!(summary.handshake_failures, 2, "{summary:?}");
+    assert_eq!(summary.rounds, 0);
+}
+
+/// Oversize length prefixes and connections cut mid-header are dropped at
+/// the frame layer without ever allocating or authenticating.
+#[test]
+fn truncated_and_oversize_frames_drop_the_connection() {
+    let spec = spec(2);
+    let (addr, server) = spawn_server(&spec, 0);
+
+    // A header declaring a 4 GiB frame: rejected from the header alone.
+    let mut stream = connect_with_retry(&addr, Duration::from_secs(5)).unwrap();
+    stream.write_all(&0xFFFF_FFFFu32.to_be_bytes()).unwrap();
+    stream.flush().unwrap();
+    drop(stream);
+
+    // A connection that dies mid-header.
+    let mut stream = connect_with_retry(&addr, Duration::from_secs(5)).unwrap();
+    stream.write_all(&[0x00, 0x00]).unwrap();
+    stream.flush().unwrap();
+    stream.shutdown(Shutdown::Both).unwrap();
+
+    let summary = server.join().unwrap();
+    assert_eq!(summary.handshake_failures, 2, "{summary:?}");
+}
+
+/// A protocol frame sent before authenticating is an `AuthReject`, not a
+/// path into the round engine.
+#[test]
+fn pre_auth_protocol_frame_is_rejected() {
+    let spec = spec(1);
+    let (addr, server) = spawn_server(&spec, 0);
+
+    let stream = connect_with_retry(&addr, Duration::from_secs(5)).unwrap();
+    let mut conn = FramedConn::new(stream);
+    conn.send(&Frame::Protocol {
+        payload: vec![0x01, 0x02, 0x03],
+    })
+    .unwrap();
+    assert!(matches!(
+        conn.recv().unwrap(),
+        Some(Frame::AuthReject { .. })
+    ));
+
+    let summary = server.join().unwrap();
+    assert_eq!(summary.handshake_failures, 1, "{summary:?}");
+    assert_eq!(summary.rejected_spoofs, 0);
+}
+
+/// An authenticated client that dies mid-frame neither stalls nor poisons
+/// the round: the server counts the disconnect and keeps certifying with
+/// the remaining clients.
+#[test]
+fn mid_frame_disconnect_after_auth_keeps_rounds_certifying() {
+    let spec = spec(4);
+    const ROUNDS: u64 = 4;
+    let (addr, server) = spawn_server(&spec, ROUNDS);
+
+    let flaky = {
+        let spec = spec.clone();
+        let addr = addr.clone();
+        thread::spawn(move || {
+            let generated = spec.generate();
+            let key = generated.clients[3].signing.clone();
+            let keys = spec.roster_keys(&generated);
+            let stream = connect_with_retry(&addr, Duration::from_secs(5)).unwrap();
+            let mut conn = FramedConn::new(stream);
+            let mut rng = entropy_rng(b"flaky-hs");
+            keys.prover_handshake(&mut conn, Peer::Client(3), &key, &mut rng)
+                .unwrap();
+            // Wait for the round to open, then die ten bytes into a frame
+            // that promised one hundred.
+            loop {
+                if let Some(Frame::RoundOpen { .. }) = conn.recv().unwrap() {
+                    break;
+                }
+            }
+            let stream = conn.get_ref();
+            let mut raw = stream.try_clone().unwrap();
+            raw.write_all(&100u32.to_be_bytes()).unwrap();
+            raw.write_all(&[0x07; 10]).unwrap();
+            raw.flush().unwrap();
+            raw.shutdown(Shutdown::Both).unwrap();
+        })
+    };
+
+    let honest: Vec<_> = (0..3)
+        .map(|i| {
+            let spec = spec.clone();
+            let addr = addr.clone();
+            thread::spawn(move || run_client(&spec, &addr, i, vec![]).unwrap())
+        })
+        .collect();
+
+    let summary = server.join().unwrap();
+    flaky.join().unwrap();
+    for c in honest {
+        c.join().unwrap();
+    }
+
+    assert_eq!(summary.rounds, ROUNDS, "{summary:?}");
+    assert!(summary.certified_rounds >= 3, "{summary:?}");
+    assert!(summary.disconnects >= 1, "{summary:?}");
+}

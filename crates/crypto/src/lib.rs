@@ -22,6 +22,8 @@
 //! * [`elgamal`] — ElGamal encryption including the layered (onion) form the
 //!   verifiable shuffle needs.
 //! * [`schnorr`] — Schnorr signatures for identity and pseudonym keys.
+//! * [`connauth`] — the challenge–response handshake binding a transport
+//!   connection to a roster identity.
 //! * [`chaum_pedersen`] — DLEQ proofs for verifiable decryption.
 //! * [`padding`] — the OAEP-style self-randomizing message padding that
 //!   guarantees witness bits for the accusation process.
@@ -40,6 +42,7 @@
 pub mod bigint;
 pub mod chacha;
 pub mod chaum_pedersen;
+pub mod connauth;
 pub mod dh;
 pub mod elgamal;
 pub mod group;

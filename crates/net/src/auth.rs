@@ -1,0 +1,335 @@
+//! Per-connection roster authentication over the framed transport.
+//!
+//! The verifier side (a server accepting connections) runs
+//! [`RosterKeys::verifier_handshake`]: it checks the peer's hello against
+//! its own protocol version and group fingerprint, issues a fresh
+//! challenge nonce, and verifies the returned Schnorr proof against the
+//! roster verification key of the *claimed* identity.  On success the
+//! connection is bound to a [`Peer`] — and everything the connection later
+//! delivers is checked against that identity, which is what finally closes
+//! the spoofed-submission hole the in-engine first-write-wins ingest could
+//! not (a spoofed `ClientSubmit` racing the honest one is rejected here,
+//! before the round engine ever sees it).
+//!
+//! The prover side ([`RosterKeys::prover_handshake`]) is the mirror image,
+//! run by clients (and by servers dialing other servers).
+
+use crate::transport::{Frame, FramedConn, TransportError, PROTOCOL_VERSION};
+use dissent_crypto::connauth::{self, ROLE_CLIENT, ROLE_SERVER};
+use dissent_crypto::group::{Element, Group};
+use dissent_crypto::schnorr::SigningKeyPair;
+use rand::RngCore;
+use std::io::{Read, Write};
+
+/// The roster identity a connection authenticated as.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Peer {
+    /// Client with this roster index.
+    Client(u32),
+    /// Server with this roster index.
+    Server(u32),
+}
+
+impl Peer {
+    /// The `(role, id)` pair signed into the handshake transcript.
+    pub fn role_id(&self) -> (u8, u32) {
+        match self {
+            Peer::Client(i) => (ROLE_CLIENT, *i),
+            Peer::Server(j) => (ROLE_SERVER, *j),
+        }
+    }
+}
+
+impl std::fmt::Display for Peer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Peer::Client(i) => write!(f, "client {i}"),
+            Peer::Server(j) => write!(f, "server {j}"),
+        }
+    }
+}
+
+/// Why a handshake failed.
+#[derive(Debug)]
+pub enum AuthError {
+    /// The framed transport itself failed (socket error, malformed frame,
+    /// peer hung up mid-handshake).
+    Transport(TransportError),
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// Our [`PROTOCOL_VERSION`].
+        ours: u16,
+        /// What the peer's hello declared.
+        theirs: u16,
+    },
+    /// The peer's hello names a different group (by self-certifying
+    /// fingerprint) than the one this roster serves.
+    FingerprintMismatch,
+    /// The hello claims a role/index that is not on the roster.
+    UnknownIdentity {
+        /// Claimed role byte.
+        role: u8,
+        /// Claimed roster index.
+        id: u32,
+    },
+    /// The challenge proof did not verify under the claimed identity's key.
+    BadProof,
+    /// The verifier refused us (prover side), with its stated reason.
+    Rejected(String),
+    /// The peer sent a frame the handshake state machine does not expect.
+    UnexpectedFrame(&'static str),
+}
+
+impl std::fmt::Display for AuthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuthError::Transport(e) => write!(f, "transport failed during handshake: {e}"),
+            AuthError::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours {ours}, peer {theirs}")
+            }
+            AuthError::FingerprintMismatch => write!(f, "group fingerprint mismatch"),
+            AuthError::UnknownIdentity { role, id } => {
+                write!(
+                    f,
+                    "claimed identity (role {role}, id {id}) is not on the roster"
+                )
+            }
+            AuthError::BadProof => write!(f, "challenge proof failed verification"),
+            AuthError::Rejected(reason) => write!(f, "verifier rejected us: {reason}"),
+            AuthError::UnexpectedFrame(what) => write!(f, "unexpected frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+impl From<TransportError> for AuthError {
+    fn from(e: TransportError) -> Self {
+        AuthError::Transport(e)
+    }
+}
+
+/// The public material a node needs to authenticate connections: the
+/// session group, its self-certifying fingerprint, and the roster
+/// verification keys in index order.
+#[derive(Clone)]
+pub struct RosterKeys {
+    /// The session group signatures verify in.
+    pub group: Group,
+    /// `GroupConfig::group_id()` — pins the exact group definition.
+    pub fingerprint: [u8; 32],
+    /// Client signing public keys, roster order.
+    pub client_keys: Vec<Element>,
+    /// Server signing public keys, server order.
+    pub server_keys: Vec<Element>,
+}
+
+impl RosterKeys {
+    fn key_for(&self, role: u8, id: u32) -> Option<&Element> {
+        match role {
+            ROLE_CLIENT => self.client_keys.get(id as usize),
+            ROLE_SERVER => self.server_keys.get(id as usize),
+            _ => None,
+        }
+    }
+
+    /// Run the verifier side of the handshake on a fresh connection.
+    ///
+    /// On any failure an `AuthReject` naming the reason is sent
+    /// (best-effort) before the error is returned, so honest-but-confused
+    /// peers learn why they were refused; the caller should drop the
+    /// connection either way.
+    pub fn verifier_handshake<S: Read + Write, R: RngCore + ?Sized>(
+        &self,
+        conn: &mut FramedConn<S>,
+        rng: &mut R,
+    ) -> Result<Peer, AuthError> {
+        let result = self.verifier_inner(conn, rng);
+        if let Err(e) = &result {
+            let _ = conn.send(&Frame::AuthReject {
+                reason: e.to_string(),
+            });
+        }
+        result
+    }
+
+    fn verifier_inner<S: Read + Write, R: RngCore + ?Sized>(
+        &self,
+        conn: &mut FramedConn<S>,
+        rng: &mut R,
+    ) -> Result<Peer, AuthError> {
+        let (version, fingerprint, role, id) = match conn.recv()? {
+            Some(Frame::Hello {
+                version,
+                fingerprint,
+                role,
+                id,
+            }) => (version, fingerprint, role, id),
+            Some(_) => return Err(AuthError::UnexpectedFrame("expected Hello")),
+            None => return Err(AuthError::Transport(TransportError::Truncated)),
+        };
+        if version != PROTOCOL_VERSION {
+            return Err(AuthError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs: version,
+            });
+        }
+        if fingerprint != self.fingerprint {
+            return Err(AuthError::FingerprintMismatch);
+        }
+        let Some(public) = self.key_for(role, id) else {
+            return Err(AuthError::UnknownIdentity { role, id });
+        };
+        let mut nonce = [0u8; 32];
+        rng.fill_bytes(&mut nonce);
+        conn.send(&Frame::Challenge { nonce })?;
+        let signature = match conn.recv()? {
+            Some(Frame::AuthProof { signature }) => signature,
+            Some(_) => return Err(AuthError::UnexpectedFrame("expected AuthProof")),
+            None => return Err(AuthError::Transport(TransportError::Truncated)),
+        };
+        let sig = connauth::signature_from_bytes(&self.group, &signature)
+            .map_err(|_| AuthError::BadProof)?;
+        if !connauth::verify(
+            &self.group,
+            public,
+            &self.fingerprint,
+            &nonce,
+            role,
+            id,
+            &sig,
+        ) {
+            return Err(AuthError::BadProof);
+        }
+        conn.send(&Frame::AuthOk)?;
+        Ok(match role {
+            ROLE_CLIENT => Peer::Client(id),
+            _ => Peer::Server(id),
+        })
+    }
+
+    /// Run the prover side: claim `peer` and prove it with `key` (which
+    /// must be the claimed roster member's signing keypair).
+    pub fn prover_handshake<S: Read + Write, R: RngCore + ?Sized>(
+        &self,
+        conn: &mut FramedConn<S>,
+        peer: Peer,
+        key: &SigningKeyPair,
+        rng: &mut R,
+    ) -> Result<(), AuthError> {
+        let (role, id) = peer.role_id();
+        conn.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+            fingerprint: self.fingerprint,
+            role,
+            id,
+        })?;
+        let nonce = match conn.recv()? {
+            Some(Frame::Challenge { nonce }) => nonce,
+            Some(Frame::AuthReject { reason }) => return Err(AuthError::Rejected(reason)),
+            Some(_) => return Err(AuthError::UnexpectedFrame("expected Challenge")),
+            None => return Err(AuthError::Transport(TransportError::Truncated)),
+        };
+        let sig = connauth::prove(&self.group, key, &self.fingerprint, &nonce, role, id, rng);
+        conn.send(&Frame::AuthProof {
+            signature: connauth::signature_to_bytes(&self.group, &sig),
+        })?;
+        match conn.recv()? {
+            Some(Frame::AuthOk) => Ok(()),
+            Some(Frame::AuthReject { reason }) => Err(AuthError::Rejected(reason)),
+            Some(_) => Err(AuthError::UnexpectedFrame("expected AuthOk")),
+            None => Err(AuthError::Transport(TransportError::Truncated)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::net::{TcpListener, TcpStream};
+    use std::thread;
+
+    fn roster(seed: u64) -> (RosterKeys, Vec<SigningKeyPair>, Vec<SigningKeyPair>) {
+        let group = Group::testing_256();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clients: Vec<SigningKeyPair> = (0..3)
+            .map(|_| SigningKeyPair::generate(&group, &mut rng))
+            .collect();
+        let servers: Vec<SigningKeyPair> = (0..2)
+            .map(|_| SigningKeyPair::generate(&group, &mut rng))
+            .collect();
+        let keys = RosterKeys {
+            group,
+            fingerprint: [0xD1; 32],
+            client_keys: clients.iter().map(|k| k.public().clone()).collect(),
+            server_keys: servers.iter().map(|k| k.public().clone()).collect(),
+        };
+        (keys, clients, servers)
+    }
+
+    /// Run prover and verifier over a real localhost socket pair.
+    fn run_handshake(
+        keys: &RosterKeys,
+        prover_keys: &RosterKeys,
+        peer: Peer,
+        key: &SigningKeyPair,
+    ) -> (Result<Peer, AuthError>, Result<(), AuthError>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let prover_keys = prover_keys.clone();
+        let key = key.clone();
+        let prover = thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut conn = FramedConn::new(stream);
+            let mut rng = StdRng::seed_from_u64(7);
+            prover_keys.prover_handshake(&mut conn, peer, &key, &mut rng)
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = FramedConn::new(stream);
+        let mut rng = StdRng::seed_from_u64(9);
+        let verdict = keys.verifier_handshake(&mut conn, &mut rng);
+        (verdict, prover.join().unwrap())
+    }
+
+    #[test]
+    fn honest_client_and_server_handshakes_succeed() {
+        let (keys, clients, servers) = roster(1);
+        let (v, p) = run_handshake(&keys, &keys, Peer::Client(2), &clients[2]);
+        assert_eq!(v.unwrap(), Peer::Client(2));
+        p.unwrap();
+        let (v, p) = run_handshake(&keys, &keys, Peer::Server(1), &servers[1]);
+        assert_eq!(v.unwrap(), Peer::Server(1));
+        p.unwrap();
+    }
+
+    #[test]
+    fn claiming_anothers_identity_fails() {
+        // Client 1's key cannot prove client 0's identity: the transcript
+        // binds the claimed id, and the verifier checks against the claimed
+        // id's roster key.
+        let (keys, clients, _) = roster(2);
+        let (v, p) = run_handshake(&keys, &keys, Peer::Client(0), &clients[1]);
+        assert!(matches!(v, Err(AuthError::BadProof)));
+        assert!(matches!(p, Err(AuthError::Rejected(_))));
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_refused_before_any_challenge() {
+        let (keys, clients, _) = roster(3);
+        let mut other = keys.clone();
+        other.fingerprint = [0x00; 32];
+        let (v, p) = run_handshake(&keys, &other, Peer::Client(0), &clients[0]);
+        assert!(matches!(v, Err(AuthError::FingerprintMismatch)));
+        assert!(matches!(p, Err(AuthError::Rejected(_))));
+    }
+
+    #[test]
+    fn off_roster_identity_is_refused() {
+        let (keys, clients, _) = roster(4);
+        let (v, p) = run_handshake(&keys, &keys, Peer::Client(99), &clients[0]);
+        assert!(matches!(v, Err(AuthError::UnknownIdentity { id: 99, .. })));
+        assert!(matches!(p, Err(AuthError::Rejected(_))));
+    }
+}

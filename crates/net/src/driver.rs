@@ -336,9 +336,21 @@ impl SimDriver {
                     .expect("fraction policy has a target");
                 if !armed && arrived >= needed {
                     self.rounds[round].armed = true;
+                    // Both candidate closures are *durations measured from
+                    // this window's open*: the multiplier timer closes at
+                    // `multiplier ×` the time the fraction target took, and
+                    // the policy's hard deadline caps the window as a whole.
+                    // Convert each to absolute simulated time before taking
+                    // the minimum, so the armed timer can never outlive the
+                    // `open_time + hard_deadline` backstop scheduled when
+                    // the batch opened — regardless of how far from t=0 the
+                    // batch opened (`open_time > 0` for every batch after
+                    // the first) or how late the target arrival landed.
                     let elapsed = now.saturating_sub(open_time);
-                    let slack = ((elapsed as f64) * multiplier) as SimTime;
-                    let close_at = (open_time + slack.min(hard_deadline)).max(now);
+                    let timer_close =
+                        open_time.saturating_add(((elapsed as f64) * multiplier) as SimTime);
+                    let backstop = open_time.saturating_add(hard_deadline);
+                    let close_at = timer_close.min(backstop).max(now);
                     self.queue
                         .schedule_at(close_at, SimEvent::WindowClosed { round });
                 }
@@ -604,5 +616,43 @@ mod tests {
         let r1 = simulate(w1);
         let r4 = simulate(w4);
         assert!(r4.rounds_per_sec < 5.0 * r1.rounds_per_sec);
+    }
+
+    #[test]
+    fn armed_multiplier_timer_never_outlives_hard_deadline() {
+        // Regression for the close_at units audit (ISSUE 7): with
+        // `open_time > 0` (every batch after the first opens mid-run) and a
+        // multiplier large enough that `elapsed × multiplier` exceeds the
+        // policy's hard deadline, the armed timer must fire at
+        // `open_time + hard_deadline` — the deadline is measured from the
+        // window's open, not from t=0 and not from the arrival.
+        let hard = 10 * crate::sim::SECOND;
+        let open = 7 * crate::sim::SECOND;
+        let mut cfg = config(1);
+        cfg.policy = WindowPolicy::FractionThenMultiplier {
+            fraction: 0.5,
+            multiplier: 100.0,
+            hard_deadline: hard,
+        };
+        let mut drv = SimDriver::new(cfg);
+        drv.rounds[0] = RoundTrack {
+            open_time: open,
+            online: 2,
+            ..RoundTrack::default()
+        };
+        // Advance the virtual clock to one second past the (late) open by
+        // draining a marker event, then land the fraction-target arrival.
+        drv.queue.schedule_at(
+            open + crate::sim::SECOND,
+            SimEvent::SubmitArrived { round: 9 },
+        );
+        drv.queue.pop().unwrap();
+        drv.submit_arrived(0);
+        assert!(drv.rounds[0].armed, "fraction target must arm the timer");
+        // elapsed = 1 s, multiplier 100 ⇒ naive timer = open + 100 s; the
+        // scheduled closure must instead sit exactly at open + hard.
+        let (at, event) = drv.queue.pop().unwrap();
+        assert!(matches!(event, SimEvent::WindowClosed { round: 0 }));
+        assert_eq!(at, open + hard);
     }
 }

@@ -16,10 +16,19 @@
 //! * [`driver`] — the event-driven pipelined round driver (§3.6 / Figure 8):
 //!   protocol messages scheduled through the event queue with per-link
 //!   latency/bandwidth, churn, and a configurable pipeline window.
+//!
+//! Alongside the simulation substrate, this crate carries the *real*
+//! transport the node binaries speak:
+//!
+//! * [`transport`] — the blocking length-prefixed frame protocol over any
+//!   byte stream (TCP in production, in-memory pairs in tests).
+//! * [`auth`] — the Schnorr challenge–response handshake binding each
+//!   connection to a roster identity before protocol frames may flow.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod auth;
 pub mod churn;
 pub mod costmodel;
 pub mod driver;
@@ -28,7 +37,9 @@ pub mod policy;
 pub mod sim;
 pub mod topology;
 pub mod trace;
+pub mod transport;
 
+pub use auth::{AuthError, Peer, RosterKeys};
 pub use churn::{ChurnModel, ClientBehavior};
 pub use costmodel::CostModel;
 pub use driver::{SimConfig, SimDriver, SimReport, WireSizes};
@@ -37,3 +48,4 @@ pub use policy::{WindowOutcome, WindowPolicy};
 pub use sim::{EventQueue, SimTime, Stats, MILLISECOND, SECOND};
 pub use topology::Topology;
 pub use trace::{SubmissionTrace, TraceConfig, TraceRound};
+pub use transport::{Frame, FramedConn, TransportError, MAX_FRAME, PROTOCOL_VERSION};

@@ -1,0 +1,497 @@
+//! The blocking framed transport real nodes speak over TCP.
+//!
+//! Every frame on the wire is a 4-byte big-endian length followed by a
+//! one-byte tag and the tag's body.  The declared length is validated
+//! against [`MAX_FRAME`] *before* any buffer is allocated, so a forged
+//! multi-gigabyte length prefix costs the receiver nothing but a closed
+//! connection.  Protocol payloads (the canonical `ProtocolMessage`
+//! encodings from `dissent-core`) travel opaquely in [`Frame::Protocol`] —
+//! this crate frames and authenticates bytes; the core crate owns their
+//! meaning, keeping the dependency direction `crypto ← net ← core`.
+//!
+//! Connection lifecycle:
+//!
+//! ```text
+//! prover                         verifier
+//!   Hello {version, fingerprint,
+//!          role, id}      ──────▶  check version + group fingerprint
+//!                         ◀──────  Challenge {nonce}
+//!   AuthProof {signature} ──────▶  verify against roster key (auth.rs)
+//!                         ◀──────  AuthOk | AuthReject
+//!   ...                  RoundOpen / Protocol / Cleartext ...
+//!                         ◀──────  Goodbye
+//! ```
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Version of the framing + handshake described above.  A mismatch is
+/// rejected in the hello exchange before any authentication state exists.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on a frame's declared length (tag + body).  Checked before
+/// allocation: the largest legitimate frame is a `ClientSubmit` or round
+/// cleartext for a big group (a few hundred KiB); 16 MiB leaves room for
+/// any plausible slot schedule while capping what a malicious peer can make
+/// the receiver reserve.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_CHALLENGE: u8 = 0x02;
+const TAG_AUTH_PROOF: u8 = 0x03;
+const TAG_AUTH_OK: u8 = 0x04;
+const TAG_AUTH_REJECT: u8 = 0x05;
+const TAG_ROUND_OPEN: u8 = 0x06;
+const TAG_PROTOCOL: u8 = 0x07;
+const TAG_CLEARTEXT: u8 = 0x08;
+const TAG_GOODBYE: u8 = 0x09;
+
+/// One transport frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Connection opener: what the peer speaks and which group (by
+    /// self-certifying fingerprint) and roster identity it claims.
+    Hello {
+        /// The prover's [`PROTOCOL_VERSION`].
+        version: u16,
+        /// `GroupConfig::group_id()` of the group the prover believes in.
+        fingerprint: [u8; 32],
+        /// [`dissent_crypto::connauth::ROLE_CLIENT`] or `ROLE_SERVER`.
+        role: u8,
+        /// Roster index being claimed.
+        id: u32,
+    },
+    /// Fresh verifier nonce the proof must sign over.
+    Challenge {
+        /// 32 bytes that never repeat across connections.
+        nonce: [u8; 32],
+    },
+    /// The Schnorr proof (encoded by `connauth::signature_to_bytes`).
+    AuthProof {
+        /// Fixed-width signature bytes relative to the session group.
+        signature: Vec<u8>,
+    },
+    /// Handshake accepted; protocol frames may flow.
+    AuthOk,
+    /// Handshake refused; the connection is closed after this frame.
+    AuthReject {
+        /// Human-readable refusal (mismatched group, bad proof, ...).
+        reason: String,
+    },
+    /// Server → client: the round engine is collecting submissions for
+    /// `round`.
+    RoundOpen {
+        /// The round number now open.
+        round: u64,
+    },
+    /// An opaque canonical `ProtocolMessage` encoding.
+    Protocol {
+        /// `ProtocolMessage::to_bytes` output.
+        payload: Vec<u8>,
+    },
+    /// Server → client: a finalized round's combined cleartext.
+    Cleartext {
+        /// The round the cleartext belongs to.
+        round: u64,
+        /// Whether every server certification signature verified.
+        certified: bool,
+        /// The combined DC-net output (request bits + open slots).
+        payload: Vec<u8>,
+    },
+    /// Orderly end of the conversation.
+    Goodbye,
+}
+
+/// Errors reading or writing frames.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The stream ended mid-frame (header or body cut short).
+    Truncated,
+    /// A frame header declared more than [`MAX_FRAME`] bytes; rejected
+    /// before any allocation.
+    Oversize {
+        /// The length the header claimed.
+        declared: u64,
+    },
+    /// Unknown frame tag.
+    BadTag(u8),
+    /// A frame body did not decode as its tag requires.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "socket error: {e}"),
+            TransportError::Truncated => write!(f, "stream ended mid-frame"),
+            TransportError::Oversize { declared } => {
+                write!(f, "frame declares {declared} bytes (max {MAX_FRAME})")
+            }
+            TransportError::BadTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            TransportError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Cursor over a fully-read frame body.  Every length-prefixed field is
+/// bounds-checked against the remaining body before it is sliced, so a
+/// forged inner length can never trigger an allocation beyond the already
+/// size-capped frame.
+struct Body<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Body<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TransportError> {
+        if self.buf.len() - self.pos < n {
+            return Err(TransportError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, TransportError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, TransportError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, TransportError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, TransportError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], TransportError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    fn array32(&mut self) -> Result<[u8; 32], TransportError> {
+        Ok(self.take(32)?.try_into().unwrap())
+    }
+
+    fn finish(self) -> Result<(), TransportError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(TransportError::Malformed("trailing bytes in frame body"))
+        }
+    }
+}
+
+impl Frame {
+    /// Encode tag + body (without the outer length header).
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Frame::Hello {
+                version,
+                fingerprint,
+                role,
+                id,
+            } => {
+                out.push(TAG_HELLO);
+                out.extend_from_slice(&version.to_be_bytes());
+                out.extend_from_slice(fingerprint);
+                out.push(*role);
+                out.extend_from_slice(&id.to_be_bytes());
+            }
+            Frame::Challenge { nonce } => {
+                out.push(TAG_CHALLENGE);
+                out.extend_from_slice(nonce);
+            }
+            Frame::AuthProof { signature } => {
+                out.push(TAG_AUTH_PROOF);
+                put_bytes(&mut out, signature);
+            }
+            Frame::AuthOk => out.push(TAG_AUTH_OK),
+            Frame::AuthReject { reason } => {
+                out.push(TAG_AUTH_REJECT);
+                put_bytes(&mut out, reason.as_bytes());
+            }
+            Frame::RoundOpen { round } => {
+                out.push(TAG_ROUND_OPEN);
+                out.extend_from_slice(&round.to_be_bytes());
+            }
+            Frame::Protocol { payload } => {
+                out.push(TAG_PROTOCOL);
+                put_bytes(&mut out, payload);
+            }
+            Frame::Cleartext {
+                round,
+                certified,
+                payload,
+            } => {
+                out.push(TAG_CLEARTEXT);
+                out.extend_from_slice(&round.to_be_bytes());
+                out.push(u8::from(*certified));
+                put_bytes(&mut out, payload);
+            }
+            Frame::Goodbye => out.push(TAG_GOODBYE),
+        }
+        out
+    }
+
+    /// Decode a tag + body read off the wire.
+    fn decode(bytes: &[u8]) -> Result<Frame, TransportError> {
+        let mut r = Body { buf: bytes, pos: 0 };
+        let frame = match r.u8()? {
+            TAG_HELLO => Frame::Hello {
+                version: r.u16()?,
+                fingerprint: r.array32()?,
+                role: r.u8()?,
+                id: r.u32()?,
+            },
+            TAG_CHALLENGE => Frame::Challenge {
+                nonce: r.array32()?,
+            },
+            TAG_AUTH_PROOF => Frame::AuthProof {
+                signature: r.bytes()?.to_vec(),
+            },
+            TAG_AUTH_OK => Frame::AuthOk,
+            TAG_AUTH_REJECT => Frame::AuthReject {
+                reason: String::from_utf8(r.bytes()?.to_vec())
+                    .map_err(|_| TransportError::Malformed("reject reason is not utf-8"))?,
+            },
+            TAG_ROUND_OPEN => Frame::RoundOpen { round: r.u64()? },
+            TAG_PROTOCOL => Frame::Protocol {
+                payload: r.bytes()?.to_vec(),
+            },
+            TAG_CLEARTEXT => Frame::Cleartext {
+                round: r.u64()?,
+                certified: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(TransportError::Malformed("certified flag is not 0/1")),
+                },
+                payload: r.bytes()?.to_vec(),
+            },
+            TAG_GOODBYE => Frame::Goodbye,
+            tag => return Err(TransportError::BadTag(tag)),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Write one frame: length header, then tag + body.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), TransportError> {
+    let body = frame.encode();
+    debug_assert!(body.len() <= MAX_FRAME, "frame exceeds MAX_FRAME");
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(&body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame.  `Ok(None)` means the peer closed the stream cleanly at
+/// a frame boundary; EOF anywhere else is [`TransportError::Truncated`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, TransportError> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(TransportError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(TransportError::Io(e)),
+        }
+    }
+    let declared = u32::from_be_bytes(header) as u64;
+    // The whole point of the header check: a forged length is refused
+    // *here*, before the body buffer below ever exists.
+    if declared as usize > MAX_FRAME {
+        return Err(TransportError::Oversize { declared });
+    }
+    if declared == 0 {
+        return Err(TransportError::Malformed("empty frame"));
+    }
+    let mut body = vec![0u8; declared as usize];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TransportError::Truncated
+        } else {
+            TransportError::Io(e)
+        }
+    })?;
+    Frame::decode(&body).map(Some)
+}
+
+/// A frame-oriented wrapper over any blocking byte stream.
+pub struct FramedConn<S> {
+    stream: S,
+}
+
+impl<S: Read + Write> FramedConn<S> {
+    /// Wrap a connected stream.
+    pub fn new(stream: S) -> Self {
+        FramedConn { stream }
+    }
+
+    /// Send one frame (length header + tag + body, flushed).
+    pub fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        write_frame(&mut self.stream, frame)
+    }
+
+    /// Receive one frame; `Ok(None)` is a clean close.
+    pub fn recv(&mut self) -> Result<Option<Frame>, TransportError> {
+        read_frame(&mut self.stream)
+    }
+
+    /// Access the wrapped stream (e.g. to set socket timeouts).
+    pub fn get_ref(&self) -> &S {
+        &self.stream
+    }
+}
+
+impl FramedConn<TcpStream> {
+    /// An independently-owned handle to the same socket, so one thread can
+    /// block in [`FramedConn::recv`] while another sends.
+    pub fn try_clone(&self) -> io::Result<FramedConn<TcpStream>> {
+        Ok(FramedConn {
+            stream: self.stream.try_clone()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(frame: Frame) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let mut cur = Cursor::new(wire);
+        assert_eq!(read_frame(&mut cur).unwrap(), Some(frame));
+        assert_eq!(read_frame(&mut cur).unwrap(), None);
+    }
+
+    #[test]
+    fn all_frames_roundtrip() {
+        roundtrip(Frame::Hello {
+            version: PROTOCOL_VERSION,
+            fingerprint: [0xAB; 32],
+            role: 1,
+            id: 42,
+        });
+        roundtrip(Frame::Challenge { nonce: [0x11; 32] });
+        roundtrip(Frame::AuthProof {
+            signature: vec![1, 2, 3, 4],
+        });
+        roundtrip(Frame::AuthOk);
+        roundtrip(Frame::AuthReject {
+            reason: "wrong group".into(),
+        });
+        roundtrip(Frame::RoundOpen { round: 7 });
+        roundtrip(Frame::Protocol {
+            payload: vec![9; 100],
+        });
+        roundtrip(Frame::Cleartext {
+            round: 3,
+            certified: true,
+            payload: vec![0; 64],
+        });
+        roundtrip(Frame::Goodbye);
+    }
+
+    #[test]
+    fn forged_length_header_is_rejected_before_allocation() {
+        // 0xFFFF_FFFF declared bytes: the reader must refuse from the
+        // 4-byte header alone.  (If it tried to allocate first, this test
+        // would OOM rather than return `Oversize`.)
+        let wire = 0xFFFF_FFFFu32.to_be_bytes().to_vec();
+        match read_frame(&mut Cursor::new(wire)) {
+            Err(TransportError::Oversize { declared }) => assert_eq!(declared, 0xFFFF_FFFF),
+            other => panic!("expected Oversize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_length_frame_is_malformed() {
+        let wire = 0u32.to_be_bytes().to_vec();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(wire)),
+            Err(TransportError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn eof_mid_header_and_mid_body_are_truncated() {
+        let mut wire = Vec::new();
+        write_frame(
+            &mut wire,
+            &Frame::Protocol {
+                payload: vec![5; 32],
+            },
+        )
+        .unwrap();
+        // Cut inside the body.
+        let cut_body = wire[..wire.len() - 7].to_vec();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(cut_body)),
+            Err(TransportError::Truncated)
+        ));
+        // Cut inside the header.
+        let cut_header = wire[..2].to_vec();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(cut_header)),
+            Err(TransportError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn forged_inner_length_cannot_outrun_the_body() {
+        // A Protocol frame whose *inner* length field claims more bytes
+        // than the body holds: bounds-checked before slicing.
+        let mut body = vec![TAG_PROTOCOL];
+        body.extend_from_slice(&0xFFFF_0000u32.to_be_bytes());
+        body.extend_from_slice(&[0u8; 8]);
+        let mut wire = (body.len() as u32).to_be_bytes().to_vec();
+        wire.extend_from_slice(&body);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(wire)),
+            Err(TransportError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_and_trailing_bytes_are_rejected() {
+        let mut wire = 1u32.to_be_bytes().to_vec();
+        wire.push(0x7F);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(wire)),
+            Err(TransportError::BadTag(0x7F))
+        ));
+        let mut wire = 2u32.to_be_bytes().to_vec();
+        wire.push(TAG_GOODBYE);
+        wire.push(0x00);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(wire)),
+            Err(TransportError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,83 @@
+//! `dissent-client` — join a localhost Dissent group as one roster client.
+//!
+//! ```text
+//! dissent-client --roster roster.txt --connect 127.0.0.1:4321 --index 2 \
+//!                [--post "message"]...
+//! ```
+//!
+//! Connects to the server, proves its roster identity with the Schnorr
+//! challenge–response handshake, submits one DC-net ciphertext per round,
+//! and prints every anonymous message the certified cleartexts reveal.
+
+use std::process::ExitCode;
+
+use dissent_core::node::{run_client, RosterSpec};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dissent-client --roster <file> --connect <addr> --index <i> [--post <msg>]..."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut roster = None;
+    let mut connect = None;
+    let mut index = None;
+    let mut posts = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let Some(value) = args.next() else {
+            return usage();
+        };
+        match arg.as_str() {
+            "--roster" => roster = Some(value),
+            "--connect" => connect = Some(value),
+            "--index" => match value.parse() {
+                Ok(v) => index = Some(v),
+                Err(_) => return usage(),
+            },
+            "--post" => posts.push(value.into_bytes()),
+            _ => return usage(),
+        }
+    }
+    let (Some(roster), Some(connect), Some(index)) = (roster, connect, index) else {
+        return usage();
+    };
+
+    let text = match std::fs::read_to_string(&roster) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("dissent-client: cannot read {roster}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match RosterSpec::parse(&text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("dissent-client: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match run_client(&spec, &connect, index, posts) {
+        Ok(outcome) => {
+            println!(
+                "done rounds_seen={} certified={}",
+                outcome.rounds_seen, outcome.certified_rounds
+            );
+            for (round, slot, message) in &outcome.delivered {
+                println!(
+                    "message round={round} slot={slot} bytes={}",
+                    String::from_utf8_lossy(message)
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dissent-client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

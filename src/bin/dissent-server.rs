@@ -1,0 +1,117 @@
+//! `dissent-server` — host the anytrust server set behind a TCP listener.
+//!
+//! ```text
+//! dissent-server --roster roster.txt [--bind 127.0.0.1:0] [--rounds 5]
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound (stdout is
+//! line-buffered, so drivers can parse the port from a `--bind` on port 0),
+//! then accepts and authenticates roster clients, drives the requested
+//! number of rounds, and prints a one-line summary.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dissent_core::node::{RosterSpec, ServerNode};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dissent-server --roster <file> [--bind <addr>] [--rounds <n>] \
+         [--connect-timeout-ms <ms>] [--round-timeout-ms <ms>]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut roster = None;
+    let mut bind = "127.0.0.1:0".to_string();
+    let mut rounds = 5u64;
+    let mut connect_timeout = Duration::from_secs(10);
+    let mut round_timeout = Duration::from_secs(10);
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| eprintln!("{flag} needs a value"));
+        match arg.as_str() {
+            "--roster" => match value("--roster") {
+                Ok(v) => roster = Some(v),
+                Err(()) => return usage(),
+            },
+            "--bind" => match value("--bind") {
+                Ok(v) => bind = v,
+                Err(()) => return usage(),
+            },
+            "--rounds" => match value("--rounds").map(|v| v.parse()) {
+                Ok(Ok(v)) => rounds = v,
+                _ => return usage(),
+            },
+            "--connect-timeout-ms" => match value("--connect-timeout-ms").map(|v| v.parse()) {
+                Ok(Ok(v)) => connect_timeout = Duration::from_millis(v),
+                _ => return usage(),
+            },
+            "--round-timeout-ms" => match value("--round-timeout-ms").map(|v| v.parse()) {
+                Ok(Ok(v)) => round_timeout = Duration::from_millis(v),
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(roster) = roster else { return usage() };
+
+    let text = match std::fs::read_to_string(&roster) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("dissent-server: cannot read {roster}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match RosterSpec::parse(&text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("dissent-server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut server = match ServerNode::bind(spec, &bind) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("dissent-server: bind {bind}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    server.connect_timeout = connect_timeout;
+    server.round_timeout = round_timeout;
+    match server.local_addr() {
+        Ok(addr) => println!("listening on {addr}"),
+        Err(e) => {
+            eprintln!("dissent-server: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match server.run(rounds) {
+        Ok(summary) => {
+            println!(
+                "completed rounds={} certified={} rejected_spoofs={} \
+                 handshake_failures={} disconnects={}",
+                summary.rounds,
+                summary.certified_rounds,
+                summary.rejected_spoofs,
+                summary.handshake_failures,
+                summary.disconnects
+            );
+            for (round, slot, message) in &summary.messages {
+                println!(
+                    "message round={round} slot={slot} bytes={}",
+                    String::from_utf8_lossy(message)
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dissent-server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! End-to-end over real OS processes: spawn the `dissent-server` binary,
+//! parse its bound port, spawn four `dissent-client` binaries, and check
+//! that the group completes at least 3 certified rounds with the anonymous
+//! post surfacing everywhere.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+
+const ROSTER: &str = "clients = 4\nservers = 1\nseed = 1207\nalpha = 0.5\nsoundness = 4\n";
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dissent-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn drain(child: Child) -> (bool, String) {
+    let out = child.wait_with_output().unwrap();
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn binaries_run_a_four_client_group_over_localhost() {
+    let dir = tempdir();
+    let roster = dir.join("roster.txt");
+    let mut f = std::fs::File::create(&roster).unwrap();
+    f.write_all(ROSTER.as_bytes()).unwrap();
+    drop(f);
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_dissent-server"))
+        .args(["--roster", roster.to_str().unwrap()])
+        .args(["--bind", "127.0.0.1:0", "--rounds", "5"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // The first stdout line announces the bound address.
+    let mut stdout = BufReader::new(server.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .to_string();
+
+    let clients: Vec<Child> = (0..4)
+        .map(|i| {
+            let mut cmd = Command::new(env!("CARGO_BIN_EXE_dissent-client"));
+            cmd.args(["--roster", roster.to_str().unwrap()])
+                .args(["--connect", &addr])
+                .args(["--index", &i.to_string()])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped());
+            if i == 1 {
+                cmd.args(["--post", "carried end to end by the binaries"]);
+            }
+            cmd.spawn().unwrap()
+        })
+        .collect();
+
+    // Collect the rest of the server's output after the clients run.
+    let mut server_rest = String::new();
+    for line in stdout.lines() {
+        server_rest.push_str(&line.unwrap());
+        server_rest.push('\n');
+    }
+    let status = server.wait().unwrap();
+    assert!(status.success(), "server failed:\n{server_rest}");
+
+    let summary = server_rest
+        .lines()
+        .find(|l| l.starts_with("completed "))
+        .unwrap_or_else(|| panic!("no summary line:\n{server_rest}"))
+        .to_string();
+    let field = |key: &str| -> u64 {
+        summary
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing {key} in {summary:?}"))
+    };
+    assert_eq!(field("rounds"), 5, "{summary}");
+    assert!(field("certified") >= 3, "{summary}");
+    assert_eq!(field("rejected_spoofs"), 0, "{summary}");
+    assert_eq!(field("handshake_failures"), 0, "{summary}");
+    assert!(
+        server_rest.contains("carried end to end by the binaries"),
+        "post missing from server output:\n{server_rest}"
+    );
+
+    for (i, client) in clients.into_iter().enumerate() {
+        let (ok, text) = drain(client);
+        assert!(ok, "client {i} failed:\n{text}");
+        assert!(
+            text.contains("carried end to end by the binaries"),
+            "client {i} never saw the post:\n{text}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
