@@ -169,6 +169,10 @@ const TAG_CERTIFY: u8 = 0x04;
 const TAG_ACCUSATION: u8 = 0x05;
 
 fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    // lint:allow(unchecked-wire-narrowing): encoder-side length of data we
+    // produced ourselves; the transport's write_frame caps whole frames at
+    // MAX_FRAME (16 MiB, far below u32::MAX) before any of this reaches
+    // the wire.
     out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
     out.extend_from_slice(bytes);
 }
@@ -176,6 +180,13 @@ fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
 fn put_signature(out: &mut Vec<u8>, group: &Group, sig: &Signature) {
     put_bytes(out, &sig.commitment.to_bytes(group));
     put_bytes(out, &sig.response.to_bytes(group));
+}
+
+/// Convert an exactly-`N`-byte slice into an array without a panic path:
+/// `Reader::take` already guarantees the width, but attacker-reachable
+/// decode code keeps every conversion fallible on principle.
+fn fixed<const N: usize>(bytes: &[u8]) -> Result<[u8; N], WireError> {
+    <[u8; N]>::try_from(bytes).map_err(|_| WireError::Truncated)
 }
 
 /// Cursor over a wire buffer.
@@ -203,11 +214,11 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_be_bytes(fixed(self.take(4)?)?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_be_bytes(fixed(self.take(8)?)?))
     }
 
     /// A length-prefixed field.  The declared length is validated against
@@ -216,7 +227,7 @@ impl<'a> Reader<'a> {
     /// attempting a multi-GiB allocation at the `.into()`/`.to_vec()` call
     /// sites downstream.
     fn bytes(&mut self) -> Result<&'a [u8], WireError> {
-        let len = self.u32()? as usize;
+        let len = usize::try_from(self.u32()?).map_err(|_| WireError::Overflow)?;
         if self.buf.len() - self.pos < len {
             return Err(WireError::Truncated);
         }
@@ -331,7 +342,7 @@ impl ProtocolMessage {
             TAG_SERVER_COMMIT => ProtocolMessage::ServerCommit(ServerCommit {
                 round: r.u64()?,
                 server: r.u32()?,
-                commitment: r.take(32)?.try_into().unwrap(),
+                commitment: fixed(r.take(32)?)?,
             }),
             TAG_SERVER_REVEAL => ProtocolMessage::ServerReveal(ServerReveal {
                 round: r.u64()?,

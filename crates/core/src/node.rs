@@ -589,7 +589,9 @@ pub fn run_client(
     let _ = stream.set_nodelay(true);
     let mut conn = FramedConn::new(stream);
     let mut hs_rng = entropy_rng(format!("client-{index}").as_bytes());
-    keys.prover_handshake(&mut conn, Peer::Client(index as u32), &signing, &mut hs_rng)?;
+    let claimed = u32::try_from(index)
+        .map_err(|_| NodeError::Roster(format!("client index {index} exceeds u32")))?;
+    keys.prover_handshake(&mut conn, Peer::Client(claimed), &signing, &mut hs_rng)?;
 
     // Per-round randomness never has to agree with any other process, only
     // the long-term session state does.

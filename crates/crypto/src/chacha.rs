@@ -763,10 +763,12 @@ pub fn chacha20_blocks4(
 ) {
     match wide_backend() {
         WideBackend::Portable => chacha20_blocks4_portable(key, nonce, counter, out),
-        // SAFETY: the dispatcher only returns these variants after
-        // `is_x86_feature_detected!` confirmed the feature.
+        // SAFETY: the dispatcher only returns this variant after
+        // `is_x86_feature_detected!("sse2")` confirmed the feature.
         #[cfg(target_arch = "x86_64")]
         WideBackend::Sse2 => unsafe { x86::blocks4_sse2(key, nonce, counter, out) },
+        // SAFETY: both variants imply `is_x86_feature_detected!("avx2")`
+        // held when the dispatcher chose the backend.
         #[cfg(target_arch = "x86_64")]
         WideBackend::Avx2 | WideBackend::Avx512 => unsafe {
             x86::blocks4_avx2(key, nonce, counter, out)
@@ -785,9 +787,11 @@ pub fn chacha20_blocks4_xor(
 ) {
     match wide_backend() {
         WideBackend::Portable => blocks_portable::<WIDE_BLOCKS, true>(key, nonce, counter, data),
-        // SAFETY: feature availability proven by the dispatcher.
+        // SAFETY: SSE2 availability proven by the dispatcher's
+        // `is_x86_feature_detected!` probe.
         #[cfg(target_arch = "x86_64")]
         WideBackend::Sse2 => unsafe { x86::blocks4_sse2_x::<true>(key, nonce, counter, data) },
+        // SAFETY: both variants imply the dispatcher's AVX2 probe held.
         #[cfg(target_arch = "x86_64")]
         WideBackend::Avx2 | WideBackend::Avx512 => unsafe {
             x86::blocks4_avx2_x::<true>(key, nonce, counter, data)
@@ -810,11 +814,14 @@ pub fn chacha20_blocks8(
 ) {
     match wide_backend() {
         WideBackend::Portable => chacha20_blocks8_portable(key, nonce, counter, out),
-        // SAFETY: feature availability proven by the dispatcher.
+        // SAFETY: SSE2 availability proven by the dispatcher's
+        // `is_x86_feature_detected!` probe.
         #[cfg(target_arch = "x86_64")]
         WideBackend::Sse2 => unsafe { x86::blocks8_sse2::<false>(key, nonce, counter, out) },
+        // SAFETY: AVX2 availability proven by the dispatcher's probe.
         #[cfg(target_arch = "x86_64")]
         WideBackend::Avx2 => unsafe { x86::blocks8_avx2::<false>(key, nonce, counter, out) },
+        // SAFETY: AVX-512F availability proven by the dispatcher's probe.
         #[cfg(target_arch = "x86_64")]
         WideBackend::Avx512 => unsafe { x86::blocks8_avx512::<false>(key, nonce, counter, out) },
     }
@@ -832,11 +839,14 @@ pub fn chacha20_blocks8_xor(
 ) {
     match wide_backend() {
         WideBackend::Portable => chacha20_blocks8_xor_portable(key, nonce, counter, data),
-        // SAFETY: feature availability proven by the dispatcher.
+        // SAFETY: SSE2 availability proven by the dispatcher's
+        // `is_x86_feature_detected!` probe.
         #[cfg(target_arch = "x86_64")]
         WideBackend::Sse2 => unsafe { x86::blocks8_sse2::<true>(key, nonce, counter, data) },
+        // SAFETY: AVX2 availability proven by the dispatcher's probe.
         #[cfg(target_arch = "x86_64")]
         WideBackend::Avx2 => unsafe { x86::blocks8_avx2::<true>(key, nonce, counter, data) },
+        // SAFETY: AVX-512F availability proven by the dispatcher's probe.
         #[cfg(target_arch = "x86_64")]
         WideBackend::Avx512 => unsafe { x86::blocks8_avx512::<true>(key, nonce, counter, data) },
     }

@@ -94,9 +94,13 @@ pub fn verify(group: &Group, public: &VerifyingKey, message: &[u8], sig: &Signat
     }
     let e = challenge(group, &sig.commitment, public, message);
     // g^s == R · P^e, rearranged (P has order q, so P^{-e} = P^{q-e}) into
-    // the single simultaneous exponentiation g^s · P^{-e} == R.
+    // the single simultaneous exponentiation g^s · P^{-e} == R.  The final
+    // equality runs over the fixed-width byte encodings in constant time:
+    // a short-circuiting compare would leak how far a forged commitment
+    // agrees with the recomputed one.
     let neg_e = group.scalar_neg(&e);
-    group.multi_exp(&group.generator(), &sig.response, public, &neg_e) == sig.commitment
+    let lhs = group.multi_exp(&group.generator(), &sig.response, public, &neg_e);
+    crate::xor::ct_eq(&lhs.to_bytes(group), &sig.commitment.to_bytes(group))
 }
 
 /// One `(public key, message, signature)` triple of a verification batch.
@@ -207,7 +211,9 @@ fn fold_verify(group: &Group, items: &[BatchItem<'_>]) -> bool {
         exps.push(z.clone());
     }
     let pairs: Vec<(&Element, &Scalar)> = bases.into_iter().zip(exps.iter()).collect();
-    group.exp_base(&g_exp) == group.multi_exp_n(&pairs)
+    let lhs = group.exp_base(&g_exp);
+    let rhs = group.multi_exp_n(&pairs);
+    crate::xor::ct_eq(&lhs.to_bytes(group), &rhs.to_bytes(group))
 }
 
 #[cfg(test)]

@@ -21,6 +21,26 @@ pub fn xor_into(dst: &mut [u8], src: &[u8]) {
     }
 }
 
+/// Constant-time byte-slice equality for authentication material
+/// (signatures, MAC tags, nonces, fingerprints).
+///
+/// A short-circuiting `==` leaks how many leading bytes matched through
+/// timing; this folds every byte's XOR into one accumulator so the data
+/// path length depends only on the slice length.  Slices of different
+/// lengths compare unequal immediately — length is public here (all the
+/// protocol's tags and fingerprints are fixed-width).
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +80,30 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn length_mismatch_panics() {
         xor_into(&mut [0u8; 3], &[0u8; 4]);
+    }
+
+    #[test]
+    fn ct_eq_agrees_with_slice_equality() {
+        for len in 0..=64 {
+            let a: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+            let mut b = a.clone();
+            assert!(ct_eq(&a, &b), "len {len}");
+            if len > 0 {
+                // Flip each byte position in turn; every single-bit
+                // difference must be detected.
+                for i in 0..len {
+                    b[i] ^= 1;
+                    assert!(!ct_eq(&a, &b), "len {len}, flipped byte {i}");
+                    b[i] ^= 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ct_eq_rejects_length_mismatch() {
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2, 3, 0]));
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2]));
+        assert!(ct_eq(&[], &[]));
     }
 }

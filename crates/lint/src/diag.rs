@@ -1,0 +1,56 @@
+//! Diagnostics: what a rule reports and how it is rendered.
+
+/// How severe a finding is.  Errors fail the build; warnings are printed
+/// but never change the exit status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; reported but non-fatal.
+    Warning,
+    /// Invariant violation; fails the lint run unless waived.
+    Error,
+}
+
+impl Severity {
+    /// The label used in rendered diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding, anchored to a file position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The rule that fired (e.g. `unsafe-outside-kernels`).
+    pub rule: &'static str,
+    /// Severity the rule is registered with.
+    pub severity: Severity,
+    /// Human-readable explanation of this specific finding.
+    pub message: String,
+    /// Set when an inline `// lint:allow(rule): reason` covers the finding.
+    pub waived: bool,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}[{}]: {}{}",
+            self.path,
+            self.line,
+            self.col,
+            self.severity.label(),
+            self.rule,
+            self.message,
+            if self.waived { " (waived)" } else { "" }
+        )
+    }
+}

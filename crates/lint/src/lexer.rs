@@ -1,0 +1,500 @@
+//! A small hand-rolled Rust lexer: just enough token structure for the
+//! project-invariant lints.
+//!
+//! The lexer understands everything that can *hide* text from a naive
+//! substring scan — line comments, nested block comments, cooked and raw
+//! (byte) strings, char literals vs. lifetimes — so a rule that looks for
+//! the identifier `unsafe` never fires on a string literal or a doc
+//! comment that merely mentions it.  It deliberately does not build a
+//! syntax tree: the invariants it serves are lexical ("this identifier
+//! must not appear here", "this token must be preceded by that comment"),
+//! and a token stream with precise line/column positions is the smallest
+//! structure that decides them reliably.
+
+/// What kind of token was lexed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `as`, `BigUint`, ...).
+    Ident,
+    /// Operator or delimiter; multi-character operators (`==`, `::`, `->`,
+    /// ...) are lexed as one token so rules can match them exactly.
+    Punct,
+    /// String / raw-string / byte-string literal (contents opaque to rules).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`) — distinct from [`TokKind::Char`].
+    Lifetime,
+    /// Numeric literal.
+    Num,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// Token text (for [`TokKind::Str`], the raw source slice).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+    /// Token class.
+    pub kind: TokKind,
+}
+
+/// One comment (line or block).  Block comments spanning several lines are
+/// recorded once with their start position and full text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for line comments).
+    pub end_line: u32,
+    /// 1-based column of the comment's first character.
+    pub col: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order, kept separate from the token stream.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so lexing is greedy.
+const OPERATORS: [&str; 24] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into tokens and comments.  The lexer is total: any byte
+/// sequence produces *some* result (unterminated strings and comments are
+/// closed by end of file), so a rule pass never aborts on malformed input.
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(b) = c.peek(0) {
+        let (line, col) = (c.line, c.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek(1) == Some(b'/') => {
+                let start = c.pos;
+                while let Some(nb) = c.peek(0) {
+                    if nb == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+                out.comments.push(Comment {
+                    text: src[start..c.pos].to_string(),
+                    line,
+                    end_line: line,
+                    col,
+                });
+            }
+            b'/' if c.peek(1) == Some(b'*') => {
+                let start = c.pos;
+                c.bump();
+                c.bump();
+                // Block comments nest in Rust: track depth.
+                let mut depth = 1usize;
+                while depth > 0 {
+                    if c.starts_with("/*") {
+                        depth += 1;
+                        c.bump();
+                        c.bump();
+                    } else if c.starts_with("*/") {
+                        depth -= 1;
+                        c.bump();
+                        c.bump();
+                    } else if c.bump().is_none() {
+                        break; // unterminated: closed by EOF
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..c.pos].to_string(),
+                    line,
+                    end_line: c.line,
+                    col,
+                });
+            }
+            b'"' => {
+                let text = lex_cooked_string(&mut c, src);
+                out.toks.push(Tok {
+                    text,
+                    line,
+                    col,
+                    kind: TokKind::Str,
+                });
+            }
+            b'\'' => {
+                // Char literal or lifetime.  `'\...'` and `'x'` are chars;
+                // `'ident` not closed by a quote is a lifetime.
+                if c.peek(1) == Some(b'\\') {
+                    let text = lex_char_literal(&mut c, src);
+                    out.toks.push(Tok {
+                        text,
+                        line,
+                        col,
+                        kind: TokKind::Char,
+                    });
+                } else if c.peek(2) == Some(b'\'') && c.peek(1) != Some(b'\'') {
+                    let start = c.pos;
+                    c.bump();
+                    c.bump();
+                    c.bump();
+                    out.toks.push(Tok {
+                        text: src[start..c.pos].to_string(),
+                        line,
+                        col,
+                        kind: TokKind::Char,
+                    });
+                } else {
+                    let start = c.pos;
+                    c.bump();
+                    while c.peek(0).is_some_and(is_ident_continue) {
+                        c.bump();
+                    }
+                    out.toks.push(Tok {
+                        text: src[start..c.pos].to_string(),
+                        line,
+                        col,
+                        kind: TokKind::Lifetime,
+                    });
+                }
+            }
+            b'0'..=b'9' => {
+                let start = c.pos;
+                c.bump();
+                while let Some(nb) = c.peek(0) {
+                    if nb.is_ascii_alphanumeric() || nb == b'_' {
+                        c.bump();
+                    } else if nb == b'.'
+                        && c.peek(1).is_some_and(|d| d.is_ascii_digit())
+                        && !src[start..c.pos].contains('.')
+                    {
+                        c.bump(); // one decimal point, never the `..` range
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    text: src[start..c.pos].to_string(),
+                    line,
+                    col,
+                    kind: TokKind::Num,
+                });
+            }
+            _ if is_ident_start(b) => {
+                // Raw / byte string prefixes (`r"`, `r#"`, `b"`, `br#"`, ...)
+                // must be recognised before plain identifier lexing.
+                if let Some(text) = try_lex_raw_or_byte_string(&mut c, src) {
+                    out.toks.push(Tok {
+                        text,
+                        line,
+                        col,
+                        kind: TokKind::Str,
+                    });
+                    continue;
+                }
+                let start = c.pos;
+                c.bump();
+                while c.peek(0).is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                // Byte char literal `b'x'`: the `b` was an ident candidate.
+                if c.pos - start == 1 && src.as_bytes()[start] == b'b' && c.peek(0) == Some(b'\'') {
+                    let text = lex_char_literal(&mut c, src);
+                    out.toks.push(Tok {
+                        text: format!("b{text}"),
+                        line,
+                        col,
+                        kind: TokKind::Char,
+                    });
+                    continue;
+                }
+                out.toks.push(Tok {
+                    text: src[start..c.pos].to_string(),
+                    line,
+                    col,
+                    kind: TokKind::Ident,
+                });
+            }
+            _ => {
+                let mut matched = false;
+                for op in OPERATORS {
+                    if c.starts_with(op) {
+                        for _ in 0..op.len() {
+                            c.bump();
+                        }
+                        out.toks.push(Tok {
+                            text: op.to_string(),
+                            line,
+                            col,
+                            kind: TokKind::Punct,
+                        });
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    c.bump();
+                    out.toks.push(Tok {
+                        text: (b as char).to_string(),
+                        line,
+                        col,
+                        kind: TokKind::Punct,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Lex a `"..."` string with `\` escapes; unterminated runs to EOF.
+fn lex_cooked_string(c: &mut Cursor, src: &str) -> String {
+    let start = c.pos;
+    c.bump(); // opening quote
+    while let Some(b) = c.peek(0) {
+        match b {
+            b'\\' => {
+                c.bump();
+                c.bump(); // the escaped byte (any, including `"` and `\`)
+            }
+            b'"' => {
+                c.bump();
+                break;
+            }
+            _ => {
+                c.bump();
+            }
+        }
+    }
+    src[start..c.pos].to_string()
+}
+
+/// Lex a `'...'` char literal (cursor on the opening quote), escapes
+/// included; used for both `'x'` and `b'x'` bodies.
+fn lex_char_literal(c: &mut Cursor, src: &str) -> String {
+    let start = c.pos;
+    c.bump(); // opening quote
+    while let Some(b) = c.peek(0) {
+        match b {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'\'' => {
+                c.bump();
+                break;
+            }
+            b'\n' => break, // stray quote: do not swallow the file
+            _ => {
+                c.bump();
+            }
+        }
+    }
+    src[start..c.pos].to_string()
+}
+
+/// If the cursor sits on `r"`, `r#"`, `b"`, `br#"` (any number of `#`),
+/// lex the whole string literal and return its text.
+fn try_lex_raw_or_byte_string(c: &mut Cursor, src: &str) -> Option<String> {
+    let mut raw = false;
+    let mut ahead;
+    match c.peek(0)? {
+        b'r' => {
+            raw = true;
+            ahead = 1;
+        }
+        b'b' => {
+            ahead = 1;
+            if c.peek(1) == Some(b'r') {
+                raw = true;
+                ahead = 2;
+            }
+        }
+        _ => return None,
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while c.peek(ahead) == Some(b'#') {
+            hashes += 1;
+            ahead += 1;
+        }
+    }
+    if c.peek(ahead) != Some(b'"') {
+        return None;
+    }
+    // `b"` (cooked byte string) has normal escape rules.
+    if !raw {
+        let start = c.pos;
+        c.bump(); // b
+        lex_cooked_string(c, src);
+        return Some(src[start..c.pos].to_string());
+    }
+    let start = c.pos;
+    for _ in 0..=ahead {
+        c.bump(); // prefix, hashes and opening quote
+    }
+    let closer: String = std::iter::once('"')
+        .chain(std::iter::repeat_n('#', hashes))
+        .collect();
+    loop {
+        if c.starts_with(&closer) {
+            for _ in 0..closer.len() {
+                c.bump();
+            }
+            break;
+        }
+        if c.bump().is_none() {
+            break; // unterminated: closed by EOF
+        }
+    }
+    Some(src[start..c.pos].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r####"
+            // unsafe in a line comment
+            /* unsafe in /* a nested */ block comment */
+            let a = "unsafe in a string";
+            let b = r#"unsafe in a raw string with "quotes" inside"#;
+            let c = b"unsafe bytes";
+            let d = br##"raw bytes with # and "# inside"##;
+            real_ident();
+        "####;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()), "{ids:?}");
+        assert!(ids.contains(&"real_ident".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn char_literals_are_not_lifetimes_and_vice_versa() {
+        let src = "let x: &'a str = f('#', '\\'', b'0', 'z');";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(lifetimes.len(), 1);
+        assert_eq!(lifetimes[0].text, "'a");
+        assert_eq!(chars.len(), 4, "{chars:?}");
+    }
+
+    #[test]
+    fn multi_char_operators_lex_as_one_token() {
+        let lexed = lex("a == b != c => d :: e .. f");
+        let puncts: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "=>", "::", ".."]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_columns() {
+        let lexed = lex("ab\n  cd");
+        assert_eq!((lexed.toks[0].line, lexed.toks[0].col), (1, 1));
+        assert_eq!((lexed.toks[1].line, lexed.toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let lexed = lex("0..10 1.5 0xFF 1_000");
+        let nums: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5", "0xFF", "1_000"]);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang_or_panic() {
+        for src in [
+            "\"never closed",
+            "/* never closed",
+            "r#\"never closed\"",
+            "'",
+        ] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! `dissent-lint` — project-invariant static analysis for this workspace.
+//!
+//! ROADMAP.md carries standing constraints that no general-purpose tool
+//! checks: all modular arithmetic goes through the `Group::exp`/`multi_exp`
+//! Montgomery API, `unsafe` lives only in the documented ChaCha20 kernels,
+//! wire-derived integers are narrowed with checked conversions, the
+//! network-facing decode path never panics on attacker-controlled bytes,
+//! and authentication material is compared in constant time.  Dissent's
+//! thesis is that misbehavior should be *checked for proactively* rather
+//! than guarded by convention; this crate applies the same philosophy to
+//! the source tree — the invariants run as a blocking CI lane instead of
+//! living in reviewer memory.
+//!
+//! Design: a hand-rolled lexer ([`lexer`]) feeds a rule registry
+//! ([`rules::registry`]) producing file/line/column diagnostics ([`diag`]).
+//! Exceptions are documented in place with
+//! `// lint:allow(<rule>): <reason>` — a waiver without a reason is itself
+//! an error.  No dependencies: the workspace builds offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use diag::{Diagnostic, Severity};
+use rules::SourceFile;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: build output and the vendored
+/// offline shims (third-party API surface, not project source).
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", ".github"];
+
+/// The outcome of linting a tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every diagnostic, waived or not, in path/line order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files checked.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// Unwaived error-severity findings — the count that fails CI.
+    pub fn unwaived_errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error && !d.waived)
+            .count()
+    }
+
+    /// The stable machine-readable summary: every registered rule (plus the
+    /// waiver meta-rules) with its unwaived count, alphabetical, one line —
+    /// so CI logs diff cleanly across PRs.
+    pub fn summary_line(&self) -> String {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for rule in rules::registry() {
+            counts.insert(rule.name, 0);
+        }
+        counts.insert("bad-waiver", 0);
+        counts.insert("unused-waiver", 0);
+        let mut waived = 0usize;
+        for d in &self.diagnostics {
+            if d.waived {
+                waived += 1;
+            } else {
+                *counts.entry(d.rule).or_insert(0) += 1;
+            }
+        }
+        let body: Vec<String> = counts
+            .iter()
+            .map(|(rule, n)| format!("{rule}={n}"))
+            .collect();
+        format!(
+            "lint-summary: {} waived={} files={}",
+            body.join(" "),
+            waived,
+            self.files_checked
+        )
+    }
+}
+
+/// Lint a single in-memory source file (fixture entry point): runs every
+/// rule, then waiver extraction and application, exactly as the workspace
+/// walk does.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let file = SourceFile::new(rel_path, src);
+    let mut diags = Vec::new();
+    rules::run_rules(&file, &mut diags);
+    let mut waivers = rules::extract_waivers(&file, &mut diags);
+    let mut extra = Vec::new();
+    rules::apply_waivers(&file, &mut waivers, &mut diags, &mut extra);
+    diags.extend(extra);
+    diags.sort_by_key(|d| (d.line, d.col));
+    diags
+}
+
+/// Recursively collect workspace `.rs` files under `root`, skipping
+/// [`SKIP_DIRS`], sorted for deterministic output.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lint every workspace source file under `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for path in collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&path)?;
+        report.diagnostics.extend(lint_source(&rel, &src));
+        report.files_checked += 1;
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_line_is_stable_and_covers_every_rule() {
+        let report = Report::default();
+        let line = report.summary_line();
+        for rule in rules::registry() {
+            assert!(line.contains(&format!("{}=0", rule.name)), "{line}");
+        }
+        assert!(line.starts_with("lint-summary: "));
+        assert!(line.contains("bad-waiver=0"));
+        assert!(line.contains("waived=0"));
+    }
+}

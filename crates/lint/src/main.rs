@@ -1,0 +1,56 @@
+//! The `dissent-lint` binary: lint the workspace tree and exit non-zero on
+//! any unwaived error, printing the stable machine-readable summary last.
+//!
+//! Usage: `dissent-lint [ROOT]` (default: the current directory — run it
+//! from the workspace root, e.g. `cargo run -p dissent-lint --release`).
+//! `dissent-lint --rules` lists the registered rules.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--rules" => {
+                for rule in dissent_lint::rules::registry() {
+                    println!(
+                        "{} [{}]\n    {}",
+                        rule.name,
+                        rule.severity.label(),
+                        rule.summary
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: dissent-lint [--rules] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other => root = PathBuf::from(other),
+        }
+    }
+
+    let report = match dissent_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("dissent-lint: cannot read {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    println!("{}", report.summary_line());
+
+    let errors = report.unwaived_errors();
+    if errors > 0 {
+        eprintln!("dissent-lint: {errors} unwaived finding(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

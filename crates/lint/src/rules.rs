@@ -1,0 +1,692 @@
+//! The lint rules and the per-file context they run against.
+//!
+//! Each rule encodes one standing project invariant from ROADMAP.md; the
+//! registry gives every rule a stable name (used by the waiver syntax and
+//! the machine-readable summary) and a severity.  Rules are lexical by
+//! design — see the module comment on [`crate::lexer`].
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+
+/// How one source line reads at a glance, for comment-adjacency checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LineKind {
+    /// No tokens, no comment.
+    Blank,
+    /// Only comment text (line comment, or the interior of a block comment).
+    Comment,
+    /// An attribute (`#[...]` / `#![...]`), possibly with a trailing comment.
+    Attr,
+    /// Anything else bearing tokens.
+    Code,
+}
+
+/// One file prepared for rule checks: token stream, comments, line
+/// classification, and the `#[cfg(test)]` / `#[test]` exemption map.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Lexed tokens and comments.
+    pub lexed: Lexed,
+    /// Token-index ranges (half-open) under a test-only item.
+    exempt: Vec<(usize, usize)>,
+    /// Per-line classification, index 0 = line 1.
+    line_kinds: Vec<LineKind>,
+    /// Per-line comment text (all comments touching that line, joined).
+    line_comments: Vec<String>,
+    /// For each line, whether any token starts on it.
+    line_has_tok: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lex and prepare `src` under the given workspace-relative path.
+    pub fn new(rel_path: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let nlines = src.lines().count().max(1);
+        let mut line_has_tok = vec![false; nlines + 1];
+        let mut first_tok_on_line: Vec<Option<usize>> = vec![None; nlines + 1];
+        for (i, t) in lexed.toks.iter().enumerate() {
+            let l = t.line as usize;
+            if l < line_has_tok.len() {
+                line_has_tok[l] = true;
+                if first_tok_on_line[l].is_none() {
+                    first_tok_on_line[l] = Some(i);
+                }
+            }
+        }
+        let mut line_comments = vec![String::new(); nlines + 1];
+        for c in &lexed.comments {
+            for (off, part) in c.text.split('\n').enumerate() {
+                let l = c.line as usize + off;
+                if l < line_comments.len() {
+                    line_comments[l].push_str(part);
+                    line_comments[l].push(' ');
+                }
+            }
+        }
+        let mut line_kinds = vec![LineKind::Blank; nlines + 1];
+        for l in 1..=nlines {
+            line_kinds[l] = if line_has_tok[l] {
+                match first_tok_on_line[l].map(|i| &lexed.toks[i]) {
+                    Some(t) if t.text == "#" => LineKind::Attr,
+                    _ => LineKind::Code,
+                }
+            } else if !line_comments[l].is_empty() {
+                LineKind::Comment
+            } else {
+                LineKind::Blank
+            };
+        }
+        let exempt = test_regions(&lexed.toks);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            lexed,
+            exempt,
+            line_kinds,
+            line_comments,
+            line_has_tok,
+        }
+    }
+
+    /// Is the token at `idx` inside a `#[cfg(test)]` / `#[test]` item?
+    pub fn is_exempt(&self, idx: usize) -> bool {
+        self.exempt.iter().any(|&(a, b)| idx >= a && idx < b)
+    }
+
+    fn kind_of_line(&self, line: usize) -> LineKind {
+        self.line_kinds
+            .get(line)
+            .copied()
+            .unwrap_or(LineKind::Blank)
+    }
+
+    fn comment_on_line(&self, line: usize) -> &str {
+        self.line_comments.get(line).map_or("", |s| s.as_str())
+    }
+
+    /// The first line at or after `line` that bears a token, if any.
+    pub fn next_token_line(&self, line: usize) -> Option<u32> {
+        (line..self.line_has_tok.len())
+            .find(|&l| self.line_has_tok[l])
+            .map(|l| l as u32)
+    }
+
+    fn diag(&self, tok: &Tok, rule: &'static str, sev: Severity, message: String) -> Diagnostic {
+        Diagnostic {
+            path: self.rel_path.clone(),
+            line: tok.line,
+            col: tok.col,
+            rule,
+            severity: sev,
+            message,
+            waived: false,
+        }
+    }
+}
+
+/// Find token-index ranges belonging to test-only items: an attribute that
+/// is `#[test]` or a `#[cfg(...)]` whose argument list mentions `test`,
+/// followed by an item body `{ ... }` (brace-matched).
+fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" && i + 1 < toks.len() && toks[i + 1].text == "[" {
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut idents: Vec<&str> = Vec::new();
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {
+                        if toks[j].kind == TokKind::Ident {
+                            idents.push(&toks[j].text);
+                        }
+                    }
+                }
+                j += 1;
+            }
+            let is_test_attr = match idents.first() {
+                Some(&"test") => true,
+                Some(&"cfg") => idents.contains(&"test"),
+                _ => false,
+            };
+            if is_test_attr {
+                // Skip any further attributes, then brace-match the item
+                // body.  A `;` before any `{` (e.g. `mod tests;`) means the
+                // body lives elsewhere; no region.
+                let mut k = j;
+                while k + 1 < toks.len() && toks[k].text == "#" && toks[k + 1].text == "[" {
+                    let mut d = 1usize;
+                    k += 2;
+                    while k < toks.len() && d > 0 {
+                        match toks[k].text.as_str() {
+                            "[" => d += 1,
+                            "]" => d -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                let mut body_start = None;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "{" => {
+                            body_start = Some(k);
+                            break;
+                        }
+                        ";" => break,
+                        _ => k += 1,
+                    }
+                }
+                if let Some(open) = body_start {
+                    let mut d = 1usize;
+                    let mut end = open + 1;
+                    while end < toks.len() && d > 0 {
+                        match toks[end].text.as_str() {
+                            "{" => d += 1,
+                            "}" => d -= 1,
+                            _ => {}
+                        }
+                        end += 1;
+                    }
+                    regions.push((i, end));
+                    i = end;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+// ---------------------------------------------------------------------------
+// Rule registry
+// ---------------------------------------------------------------------------
+
+/// One registered rule.
+pub struct Rule {
+    /// Stable name, used in diagnostics, waivers and the summary line.
+    pub name: &'static str,
+    /// Severity every finding of this rule carries.
+    pub severity: Severity,
+    /// One-line description (for `--rules` and the README table).
+    pub summary: &'static str,
+    check: fn(&SourceFile, &mut Vec<Diagnostic>),
+}
+
+/// All rules, in registry order.  The summary line reports every rule here
+/// even when its count is zero, so CI output diffs cleanly across PRs.
+pub fn registry() -> &'static [Rule] {
+    &[
+        Rule {
+            name: "raw-bigint-arith",
+            severity: Severity::Error,
+            summary: "modular arithmetic outside crates/crypto must go through the \
+                      Group::exp/multi_exp Montgomery API, not raw BigUint/modpow",
+            check: raw_bigint_arith,
+        },
+        Rule {
+            name: "unsafe-outside-kernels",
+            severity: Severity::Error,
+            summary: "`unsafe` is allowed only in the documented ChaCha20 kernel module, \
+                      and every unsafe block needs an adjacent `// SAFETY:` comment",
+            check: unsafe_outside_kernels,
+        },
+        Rule {
+            name: "unchecked-wire-narrowing",
+            severity: Severity::Error,
+            summary: "wire-facing modules must narrow integers with try_from/checked \
+                      helpers, never `as usize`/`as u32`/`as u16`",
+            check: unchecked_wire_narrowing,
+        },
+        Rule {
+            name: "panic-in-decode-path",
+            severity: Severity::Error,
+            summary: "transport-facing decode/ingest modules must not panic on \
+                      attacker-controlled bytes (no unwrap/expect/panic!/unreachable!)",
+            check: panic_in_decode_path,
+        },
+        Rule {
+            name: "secret-compare",
+            severity: Severity::Error,
+            summary: "signature/tag/nonce byte comparisons in auth code must use a \
+                      constant-time helper (dissent_crypto::xor::ct_eq), not `==`",
+            check: secret_compare,
+        },
+    ]
+}
+
+/// Run every registered rule over `file`.
+pub fn run_rules(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for rule in registry() {
+        (rule.check)(file, out);
+    }
+}
+
+fn has_path_segment(path: &str, seg: &str) -> bool {
+    path.split('/').any(|p| p == seg)
+}
+
+fn basename(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+/// The transport-facing modules rules 3 and 4 protect: everything that
+/// decodes or ingests attacker-controlled bytes.
+const WIRE_FILES: [&str; 5] = [
+    "messages.rs",
+    "transport.rs",
+    "auth.rs",
+    "connauth.rs",
+    "node.rs",
+];
+
+fn is_wire_file(path: &str) -> bool {
+    has_path_segment(path, "src") && WIRE_FILES.contains(&basename(path))
+}
+
+// --- rule 1: raw-bigint-arith ---------------------------------------------
+
+/// Codec-only associated functions that move bytes, not arithmetic; a
+/// `BigUint::from_bytes_be(..)` in a decoder is not a modular-arithmetic
+/// call site.
+const BIGINT_CODEC_FNS: [&str; 4] = ["from_bytes_be", "from_bytes_le", "to_bytes_be", "from_u64"];
+
+fn raw_bigint_arith(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let p = &file.rel_path;
+    if p.starts_with("crates/crypto/")
+        || has_path_segment(p, "tests")
+        || has_path_segment(p, "benches")
+        || has_path_segment(p, "examples")
+    {
+        return;
+    }
+    let toks = &file.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || file.is_exempt(i) {
+            continue;
+        }
+        if t.text == "modpow" {
+            out.push(
+                file.diag(
+                    t,
+                    "raw-bigint-arith",
+                    Severity::Error,
+                    "`modpow` outside crates/crypto — route exponentiation through the \
+                 Group::exp/multi_exp Montgomery API"
+                        .into(),
+                ),
+            );
+        } else if t.text == "BigUint" {
+            // `BigUint::from_bytes_be(...)` and friends are codec calls.
+            let codec = toks.get(i + 1).is_some_and(|n| n.text == "::")
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|n| BIGINT_CODEC_FNS.contains(&n.text.as_str()));
+            if !codec {
+                out.push(
+                    file.diag(
+                        t,
+                        "raw-bigint-arith",
+                        Severity::Error,
+                        "raw `BigUint` arithmetic outside crates/crypto — use the \
+                     Group::exp/multi_exp Montgomery API (byte codecs like \
+                     `BigUint::from_bytes_be` are exempt)"
+                            .into(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// --- rule 2: unsafe-outside-kernels ---------------------------------------
+
+/// The only modules that may contain `unsafe`: the runtime-dispatched
+/// ChaCha20 SIMD kernels, whose preconditions the dispatcher proves with
+/// `is_x86_feature_detected!`.
+const UNSAFE_ALLOWLIST: [&str; 1] = ["crates/crypto/src/chacha.rs"];
+
+fn unsafe_outside_kernels(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let allowlisted = UNSAFE_ALLOWLIST.contains(&file.rel_path.as_str());
+    for t in &file.lexed.toks {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        if !allowlisted {
+            out.push(file.diag(
+                t,
+                "unsafe-outside-kernels",
+                Severity::Error,
+                "`unsafe` outside the allowlisted ChaCha20 kernel module".into(),
+            ));
+            continue;
+        }
+        if !safety_comment_precedes(file, t.line as usize) {
+            out.push(
+                file.diag(
+                    t,
+                    "unsafe-outside-kernels",
+                    Severity::Error,
+                    "`unsafe` without an immediately preceding `// SAFETY:` comment \
+                 (or a `# Safety` doc section) stating its precondition"
+                        .into(),
+                ),
+            );
+        }
+    }
+}
+
+/// Walk upward from the `unsafe` token's line through comments, attributes
+/// and blank lines; the adjacent comment block must state `SAFETY:` (or a
+/// `# Safety` doc section).  The search stops at the first code line, so a
+/// safety comment can never be borrowed from an unrelated neighbour.
+fn safety_comment_precedes(file: &SourceFile, line: usize) -> bool {
+    let marker = |l: usize| {
+        let c = file.comment_on_line(l);
+        c.contains("SAFETY:") || c.contains("# Safety")
+    };
+    if marker(line) {
+        return true; // trailing comment on the unsafe line itself
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        match file.kind_of_line(l) {
+            LineKind::Comment | LineKind::Attr => {
+                if marker(l) {
+                    return true;
+                }
+            }
+            LineKind::Blank => {}
+            LineKind::Code => return false,
+        }
+    }
+    false
+}
+
+// --- rule 3: unchecked-wire-narrowing -------------------------------------
+
+fn unchecked_wire_narrowing(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !is_wire_file(&file.rel_path) {
+        return;
+    }
+    let toks = &file.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "as" || file.is_exempt(i) {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        if matches!(target.text.as_str(), "usize" | "u32" | "u16") {
+            out.push(file.diag(
+                t,
+                "unchecked-wire-narrowing",
+                Severity::Error,
+                format!(
+                    "`as {}` in a wire-facing module — narrow with \
+                     `{}::try_from` and surface the failure (WireError::Overflow \
+                     or the module's error type)",
+                    target.text, target.text
+                ),
+            ));
+        }
+    }
+}
+
+// --- rule 4: panic-in-decode-path -----------------------------------------
+
+fn panic_in_decode_path(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !is_wire_file(&file.rel_path) {
+        return;
+    }
+    let toks = &file.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || file.is_exempt(i) {
+            continue;
+        }
+        let method_call = |name: &str| {
+            t.text == name
+                && i > 0
+                && toks[i - 1].text == "."
+                && toks.get(i + 1).is_some_and(|n| n.text == "(")
+        };
+        let panic_macro =
+            |name: &str| t.text == name && toks.get(i + 1).is_some_and(|n| n.text == "!");
+        let what = if method_call("unwrap") || method_call("expect") {
+            format!(".{}()", t.text)
+        } else if panic_macro("panic")
+            || panic_macro("unreachable")
+            || panic_macro("todo")
+            || panic_macro("unimplemented")
+        {
+            format!("{}!", t.text)
+        } else {
+            continue;
+        };
+        out.push(file.diag(
+            t,
+            "panic-in-decode-path",
+            Severity::Error,
+            format!(
+                "`{what}` in a transport-facing decode/ingest module — return the \
+                 module's error type; attacker-controlled bytes must never panic \
+                 the process"
+            ),
+        ));
+    }
+}
+
+// --- rule 5: secret-compare -----------------------------------------------
+
+/// Identifier fragments that mark an operand as authentication material.
+const SECRET_NAMES: [&str; 7] = [
+    "nonce",
+    "sig",
+    "signature",
+    "tag",
+    "mac",
+    "fingerprint",
+    "digest",
+];
+
+/// Files holding authentication logic, where a variable-time byte compare
+/// leaks how many leading bytes matched.
+const AUTH_FILES: [&str; 4] = ["auth.rs", "connauth.rs", "hmac.rs", "schnorr.rs"];
+
+fn secret_compare(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !(has_path_segment(&file.rel_path, "src") && AUTH_FILES.contains(&basename(&file.rel_path)))
+    {
+        return;
+    }
+    let toks = &file.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct || !(t.text == "==" || t.text == "!=") || file.is_exempt(i) {
+            continue;
+        }
+        // Examine identifiers on the operator's own line: if either operand
+        // names authentication material, the compare must be constant-time.
+        let line = t.line;
+        let named: Vec<&str> = toks
+            .iter()
+            .filter(|n| n.line == line && n.kind == TokKind::Ident)
+            .filter_map(|n| {
+                let lower = n.text.to_ascii_lowercase();
+                SECRET_NAMES
+                    .iter()
+                    .find(|s| lower.contains(*s))
+                    .map(|_| n.text.as_str())
+            })
+            .collect();
+        if let Some(name) = named.first() {
+            out.push(file.diag(
+                t,
+                "secret-compare",
+                Severity::Error,
+                format!(
+                    "`{}` on `{name}` in auth code — compare byte material with \
+                     the constant-time dissent_crypto::xor::ct_eq",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------------
+
+/// One parsed `// lint:allow(<rules>): <reason>` comment.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// Rule names the waiver covers.
+    pub rules: Vec<String>,
+    /// Mandatory justification (text after the closing `):`).
+    pub reason: String,
+    /// Line the waiver comment starts on.
+    pub line: u32,
+    /// Column of the comment.
+    pub col: u32,
+    /// The source line the waiver covers: its own line if code shares it,
+    /// otherwise the next line bearing a token.
+    pub covers_line: Option<u32>,
+    /// Set once a finding is waived by this waiver.
+    pub used: bool,
+}
+
+/// Extract waivers from a file's comments.  A waiver is a comment whose
+/// content *starts* with `lint:allow` once the comment markers are stripped
+/// — prose that merely mentions the syntax (e.g. in backticks, in this
+/// crate's own docs) is not a waiver.  Malformed waivers (unparsable,
+/// unknown rule name, missing reason) are reported as `bad-waiver` errors —
+/// an invariant exception that does not say *why* it is safe is itself a
+/// violation.
+pub fn extract_waivers(file: &SourceFile, out: &mut Vec<Diagnostic>) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for c in &file.lexed.comments {
+        let content = c
+            .text
+            .trim_start_matches(|ch: char| matches!(ch, '/' | '*' | '!') || ch.is_whitespace());
+        if !content.starts_with("lint:allow") {
+            continue;
+        }
+        let bad = |message: String| Diagnostic {
+            path: file.rel_path.clone(),
+            line: c.line,
+            col: c.col,
+            rule: "bad-waiver",
+            severity: Severity::Error,
+            message,
+            waived: false,
+        };
+        let rest = &content["lint:allow".len()..];
+        let Some(inner_and_tail) = rest.strip_prefix('(') else {
+            out.push(bad(
+                "waiver must be written `lint:allow(<rule>): <reason>`".into()
+            ));
+            continue;
+        };
+        let Some(close) = inner_and_tail.find(')') else {
+            out.push(bad("waiver rule list is missing its closing `)`".into()));
+            continue;
+        };
+        let rules: Vec<String> = inner_and_tail[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if rules.is_empty() {
+            out.push(bad("waiver names no rules".into()));
+            continue;
+        }
+        let known: Vec<&str> = registry().iter().map(|r| r.name).collect();
+        let mut ok = true;
+        for r in &rules {
+            if !known.contains(&r.as_str()) {
+                out.push(bad(format!(
+                    "waiver names unknown rule `{r}` (known: {})",
+                    known.join(", ")
+                )));
+                ok = false;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let tail = inner_and_tail[close + 1..].trim_start();
+        let reason = tail
+            .strip_prefix(':')
+            .map(|r| r.trim().trim_end_matches("*/").trim().to_string())
+            .unwrap_or_default();
+        if reason.is_empty() {
+            out.push(bad(
+                "waiver has no reason — write `lint:allow(<rule>): <why this is safe>`".into(),
+            ));
+            continue;
+        }
+        let covers_line = if file
+            .line_has_tok
+            .get(c.line as usize)
+            .copied()
+            .unwrap_or(false)
+        {
+            Some(c.line)
+        } else {
+            file.next_token_line(c.end_line as usize + 1)
+        };
+        waivers.push(Waiver {
+            rules,
+            reason,
+            line: c.line,
+            col: c.col,
+            covers_line,
+            used: false,
+        });
+    }
+    waivers
+}
+
+/// Mark diagnostics covered by a waiver, and report unused waivers as
+/// warnings (a waiver that no longer waives anything is stale
+/// documentation).
+pub fn apply_waivers(
+    file: &SourceFile,
+    waivers: &mut [Waiver],
+    diags: &mut [Diagnostic],
+    out: &mut Vec<Diagnostic>,
+) {
+    for d in diags.iter_mut() {
+        if d.path != file.rel_path || d.rule == "bad-waiver" {
+            continue;
+        }
+        for w in waivers.iter_mut() {
+            if w.covers_line == Some(d.line) && w.rules.iter().any(|r| r == d.rule) {
+                d.waived = true;
+                w.used = true;
+            }
+        }
+    }
+    for w in waivers.iter().filter(|w| !w.used) {
+        out.push(Diagnostic {
+            path: file.rel_path.clone(),
+            line: w.line,
+            col: w.col,
+            rule: "unused-waiver",
+            severity: Severity::Warning,
+            message: format!(
+                "waiver for {} covers no finding — remove it or move it next to \
+                 the line it excuses",
+                w.rules.join(", ")
+            ),
+            waived: false,
+        });
+    }
+}

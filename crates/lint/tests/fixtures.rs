@@ -1,0 +1,392 @@
+//! Fixture suite: every rule exercised against accepting and rejecting
+//! snippets, plus waiver behavior and the `#[cfg(test)]` exemption.
+//!
+//! The snippets live in string literals, so the workspace linter (which
+//! reads files, then lexes them — string contents never become tokens)
+//! does not see its own test inputs as violations.
+
+use dissent_lint::diag::{Diagnostic, Severity};
+use dissent_lint::lint_source;
+
+/// Unwaived findings for `rule` in `src`, linted under `path`.
+fn findings(path: &str, src: &str, rule: &str) -> Vec<Diagnostic> {
+    lint_source(path, src)
+        .into_iter()
+        .filter(|d| d.rule == rule && !d.waived)
+        .collect()
+}
+
+fn count(path: &str, src: &str, rule: &str) -> usize {
+    findings(path, src, rule).len()
+}
+
+// --- raw-bigint-arith ------------------------------------------------------
+
+#[test]
+fn bigint_arith_flagged_outside_crypto() {
+    let src = "fn f(a: &BigUint) { let x = a.modpow(a, a); }\n";
+    // One hit for the `BigUint` type mention, one for the `modpow` call.
+    assert_eq!(
+        count("crates/dcnet/src/pads.rs", src, "raw-bigint-arith"),
+        2
+    );
+    // The same text inside crates/crypto is the implementation itself.
+    assert_eq!(
+        count("crates/crypto/src/group.rs", src, "raw-bigint-arith"),
+        0
+    );
+    // Oracle code in tests/ may cross-check against naive arithmetic.
+    assert_eq!(
+        count("crates/dcnet/tests/oracle.rs", src, "raw-bigint-arith"),
+        0
+    );
+}
+
+#[test]
+fn bigint_byte_codecs_are_exempt() {
+    let src = "fn f(b: &[u8]) { let x = BigUint::from_bytes_be(b); }\n";
+    assert_eq!(
+        count("crates/core/src/messages.rs", src, "raw-bigint-arith"),
+        0
+    );
+    let arith = "fn f(x: BigUint) { let y = BigUint::from(3u8); }\n";
+    assert_eq!(
+        count("crates/core/src/messages.rs", arith, "raw-bigint-arith"),
+        2
+    );
+}
+
+#[test]
+fn bigint_in_strings_and_comments_is_invisible() {
+    let src = "// modpow is banned here\nfn f() { let s = \"BigUint::modpow\"; }\n";
+    assert_eq!(
+        count("crates/core/src/round.rs", src, "raw-bigint-arith"),
+        0
+    );
+}
+
+// --- unsafe-outside-kernels ------------------------------------------------
+
+#[test]
+fn unsafe_outside_allowlist_is_flagged() {
+    let src = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
+    assert_eq!(
+        count("crates/net/src/sim.rs", src, "unsafe-outside-kernels"),
+        1
+    );
+}
+
+#[test]
+fn unsafe_in_kernel_module_needs_adjacent_safety_comment() {
+    let bare = "fn f() { unsafe { go() } }\n";
+    assert_eq!(
+        count(
+            "crates/crypto/src/chacha.rs",
+            bare,
+            "unsafe-outside-kernels"
+        ),
+        1
+    );
+    let commented = "fn f() {\n    // SAFETY: feature probe above.\n    unsafe { go() }\n}\n";
+    assert_eq!(
+        count(
+            "crates/crypto/src/chacha.rs",
+            commented,
+            "unsafe-outside-kernels"
+        ),
+        0
+    );
+    // The comment may sit above an attribute, and a `# Safety` doc section
+    // on the unsafe fn itself also counts.
+    let through_attr =
+        "// SAFETY: probed.\n#[cfg(target_arch = \"x86_64\")]\nfn f() { unsafe { go() } }\n";
+    assert_eq!(
+        count(
+            "crates/crypto/src/chacha.rs",
+            through_attr,
+            "unsafe-outside-kernels"
+        ),
+        0
+    );
+    let doc_section =
+        "/// Does things.\n///\n/// # Safety\n/// Caller proves sse2.\nunsafe fn f() {}\n";
+    assert_eq!(
+        count(
+            "crates/crypto/src/chacha.rs",
+            doc_section,
+            "unsafe-outside-kernels"
+        ),
+        0
+    );
+}
+
+#[test]
+fn safety_comment_cannot_be_borrowed_across_code() {
+    // A code line between the comment and the unsafe block breaks adjacency:
+    // each site must carry its own justification.
+    let src = "fn f() {\n    // SAFETY: for the first one only.\n    let a = 1;\n    unsafe { go() }\n}\n";
+    assert_eq!(
+        count("crates/crypto/src/chacha.rs", src, "unsafe-outside-kernels"),
+        1
+    );
+}
+
+// --- unchecked-wire-narrowing ----------------------------------------------
+
+#[test]
+fn narrowing_casts_flagged_only_in_wire_files() {
+    let src = "fn f(n: u64) -> usize { n as usize }\n";
+    assert_eq!(
+        count(
+            "crates/core/src/messages.rs",
+            src,
+            "unchecked-wire-narrowing"
+        ),
+        1
+    );
+    assert_eq!(
+        count(
+            "crates/net/src/transport.rs",
+            src,
+            "unchecked-wire-narrowing"
+        ),
+        1
+    );
+    // Same basename outside a src/ tree, or another module entirely: clean.
+    assert_eq!(
+        count("crates/core/src/round.rs", src, "unchecked-wire-narrowing"),
+        0
+    );
+    assert_eq!(
+        count("docs/messages.rs", src, "unchecked-wire-narrowing"),
+        0
+    );
+}
+
+#[test]
+fn widening_casts_are_fine() {
+    let src = "fn f(n: u16) -> u64 { n as u64 }\n";
+    assert_eq!(
+        count(
+            "crates/core/src/messages.rs",
+            src,
+            "unchecked-wire-narrowing"
+        ),
+        0
+    );
+}
+
+#[test]
+fn checked_narrowing_is_the_accepted_form() {
+    let src = "fn f(n: u64) -> Result<usize, E> { usize::try_from(n).map_err(|_| E::Overflow) }\n";
+    assert_eq!(
+        count(
+            "crates/core/src/messages.rs",
+            src,
+            "unchecked-wire-narrowing"
+        ),
+        0
+    );
+}
+
+// --- panic-in-decode-path --------------------------------------------------
+
+#[test]
+fn panics_flagged_in_wire_files() {
+    let src = "fn f(b: &[u8]) -> u32 {\n    let x: [u8; 4] = b.try_into().unwrap();\n    if b.is_empty() { panic!(\"no\") }\n    u32::from_be_bytes(x)\n}\n";
+    assert_eq!(
+        count("crates/net/src/transport.rs", src, "panic-in-decode-path"),
+        2
+    );
+    assert_eq!(
+        count("crates/dcnet/src/pads.rs", src, "panic-in-decode-path"),
+        0
+    );
+}
+
+#[test]
+fn unwrap_as_plain_ident_is_not_a_method_call() {
+    // `unwrap` as a function name or path segment is not `.unwrap()`.
+    let src = "fn unwrap(x: u8) -> u8 { x }\nfn g() { let y = unwrap(3); }\n";
+    assert_eq!(
+        count("crates/net/src/transport.rs", src, "panic-in-decode-path"),
+        0
+    );
+}
+
+#[test]
+fn cfg_test_items_are_exempt_from_panic_and_narrowing_rules() {
+    let src = "fn decode(b: &[u8]) -> u8 { b[0] }\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn round_trip() {\n        let v: Vec<u8> = decode(&[1]).try_into().unwrap();\n        let n = 3u64 as usize;\n        assert_eq!(v.len(), n);\n    }\n}\n";
+    assert_eq!(
+        count("crates/core/src/messages.rs", src, "panic-in-decode-path"),
+        0
+    );
+    assert_eq!(
+        count(
+            "crates/core/src/messages.rs",
+            src,
+            "unchecked-wire-narrowing"
+        ),
+        0
+    );
+    // The same calls outside the test module are findings.
+    let bare = "fn decode(b: &[u8]) -> u8 { let v: u8 = b.first().copied().unwrap(); v }\n";
+    assert_eq!(
+        count("crates/core/src/messages.rs", bare, "panic-in-decode-path"),
+        1
+    );
+}
+
+// --- secret-compare --------------------------------------------------------
+
+#[test]
+fn secret_equality_flagged_in_auth_files() {
+    let src = "fn f(sig: &[u8], other: &[u8]) -> bool { sig == other }\n";
+    assert_eq!(count("crates/net/src/auth.rs", src, "secret-compare"), 1);
+    assert_eq!(
+        count("crates/crypto/src/schnorr.rs", src, "secret-compare"),
+        1
+    );
+    // Outside the auth files the rule does not apply.
+    assert_eq!(count("crates/core/src/round.rs", src, "secret-compare"), 0);
+}
+
+#[test]
+fn non_secret_equality_in_auth_files_is_fine() {
+    let src = "fn f(version: u16) -> bool { version == 1 }\n";
+    assert_eq!(count("crates/net/src/auth.rs", src, "secret-compare"), 0);
+}
+
+#[test]
+fn ct_eq_is_the_accepted_form() {
+    let src = "fn f(tag: &[u8], other: &[u8]) -> bool { dissent_crypto::xor::ct_eq(tag, other) }\n";
+    assert_eq!(count("crates/net/src/auth.rs", src, "secret-compare"), 0);
+}
+
+// --- waivers ----------------------------------------------------------------
+
+#[test]
+fn waiver_on_preceding_line_suppresses_the_finding() {
+    let src = "// lint:allow(unchecked-wire-narrowing): encoder-side, bounded by MAX_FRAME.\nfn f(n: u64) -> usize { n as usize }\n";
+    let all = lint_source("crates/net/src/transport.rs", src);
+    let waived: Vec<_> = all
+        .iter()
+        .filter(|d| d.rule == "unchecked-wire-narrowing")
+        .collect();
+    assert_eq!(waived.len(), 1);
+    assert!(waived[0].waived);
+    assert_eq!(
+        count("crates/net/src/transport.rs", src, "unused-waiver"),
+        0
+    );
+}
+
+#[test]
+fn trailing_waiver_covers_its_own_line() {
+    let src = "fn f(n: u64) -> usize { n as usize } // lint:allow(unchecked-wire-narrowing): caller bounds n.\n";
+    assert_eq!(
+        count(
+            "crates/net/src/transport.rs",
+            src,
+            "unchecked-wire-narrowing"
+        ),
+        0
+    );
+}
+
+#[test]
+fn waiver_without_reason_is_an_error() {
+    let src = "// lint:allow(unchecked-wire-narrowing)\nfn f(n: u64) -> usize { n as usize }\n";
+    assert_eq!(count("crates/net/src/transport.rs", src, "bad-waiver"), 1);
+    // And it does not waive: the finding stays.
+    assert_eq!(
+        count(
+            "crates/net/src/transport.rs",
+            src,
+            "unchecked-wire-narrowing"
+        ),
+        1
+    );
+}
+
+#[test]
+fn waiver_naming_unknown_rule_is_an_error() {
+    let src = "// lint:allow(no-such-rule): because.\nfn f() {}\n";
+    assert_eq!(count("crates/net/src/transport.rs", src, "bad-waiver"), 1);
+}
+
+#[test]
+fn waiver_covering_nothing_is_a_warning() {
+    let src = "// lint:allow(panic-in-decode-path): stale.\nfn f() -> u8 { 3 }\n";
+    let all = lint_source("crates/net/src/transport.rs", src);
+    let unused: Vec<_> = all.iter().filter(|d| d.rule == "unused-waiver").collect();
+    assert_eq!(unused.len(), 1);
+    assert_eq!(unused[0].severity, Severity::Warning);
+}
+
+#[test]
+fn waiver_only_covers_its_named_rule() {
+    let src = "// lint:allow(unchecked-wire-narrowing): length is bounded.\nfn f(b: &[u8]) -> usize { let n = b.len() as u64; (n as usize) + usize::from(b.first().copied().unwrap())\n}\n";
+    // The cast on the covered line is waived; the unwrap is not.
+    assert_eq!(
+        count(
+            "crates/net/src/transport.rs",
+            src,
+            "unchecked-wire-narrowing"
+        ),
+        0
+    );
+    assert_eq!(
+        count("crates/net/src/transport.rs", src, "panic-in-decode-path"),
+        1
+    );
+}
+
+#[test]
+fn waiver_can_name_multiple_rules() {
+    let src = "// lint:allow(unchecked-wire-narrowing, panic-in-decode-path): fuzz shim.\nfn f(b: &[u8]) -> usize { (b.len() as u64 as usize) + usize::from(b.first().copied().unwrap()) }\n";
+    assert_eq!(
+        count(
+            "crates/net/src/transport.rs",
+            src,
+            "unchecked-wire-narrowing"
+        ),
+        0
+    );
+    assert_eq!(
+        count("crates/net/src/transport.rs", src, "panic-in-decode-path"),
+        0
+    );
+}
+
+#[test]
+fn prose_mentioning_the_syntax_is_not_a_waiver() {
+    // Docs that *describe* `lint:allow(...)` mid-sentence must neither waive
+    // anything nor be reported as malformed.
+    let src = "//! Waive findings with `lint:allow(rule)` comments.\nfn f() {}\n";
+    assert_eq!(count("crates/net/src/transport.rs", src, "bad-waiver"), 0);
+    assert_eq!(
+        count("crates/net/src/transport.rs", src, "unused-waiver"),
+        0
+    );
+}
+
+// --- diagnostics ------------------------------------------------------------
+
+#[test]
+fn diagnostics_carry_position_and_render_stably() {
+    let src = "fn f(n: u64) -> usize {\n    n as usize\n}\n";
+    let all = findings(
+        "crates/net/src/transport.rs",
+        src,
+        "unchecked-wire-narrowing",
+    );
+    assert_eq!(all.len(), 1);
+    let d = &all[0];
+    assert_eq!((d.line, d.col), (2, 7));
+    let rendered = d.to_string();
+    assert!(
+        rendered.starts_with("crates/net/src/transport.rs:2:7: error[unchecked-wire-narrowing]:"),
+        "{rendered}"
+    );
+}

@@ -1,0 +1,122 @@
+//! The linter applied to itself: the workspace at HEAD must be clean, and
+//! the binary must fail (non-zero exit) on a tree with a seeded violation —
+//! the property the blocking CI lane relies on.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_lint_clean_at_head() {
+    let report = dissent_lint::lint_workspace(&workspace_root()).expect("walk workspace");
+    let unwaived: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| !d.waived)
+        .map(|d| d.to_string())
+        .collect();
+    assert!(
+        unwaived.is_empty(),
+        "workspace has unwaived findings:\n{}",
+        unwaived.join("\n")
+    );
+    assert_eq!(report.unwaived_errors(), 0);
+    // The walk really covered the tree (guards against a silently-empty
+    // root making this test vacuous).
+    assert!(
+        report.files_checked > 50,
+        "only {} files checked — wrong root?",
+        report.files_checked
+    );
+}
+
+#[test]
+fn every_waiver_in_the_workspace_carries_a_reason() {
+    // `extract_waivers` rejects reasonless waivers as bad-waiver errors, so
+    // a clean workspace implies this; assert it directly anyway so the
+    // acceptance criterion has a named test.
+    let report = dissent_lint::lint_workspace(&workspace_root()).expect("walk workspace");
+    let bad: Vec<&dissent_lint::diag::Diagnostic> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "bad-waiver")
+        .collect();
+    assert!(bad.is_empty(), "reasonless/malformed waivers: {bad:?}");
+}
+
+#[test]
+fn summary_line_reports_the_real_waiver_count() {
+    let report = dissent_lint::lint_workspace(&workspace_root()).expect("walk workspace");
+    let line = report.summary_line();
+    let waived = report.diagnostics.iter().filter(|d| d.waived).count();
+    assert!(line.contains(&format!("waived={waived}")), "{line}");
+    assert!(
+        line.contains(&format!("files={}", report.files_checked)),
+        "{line}"
+    );
+}
+
+/// Run the built `dissent-lint` binary against a freshly-written tree.
+fn run_binary_on(tree: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dissent-lint"))
+        .arg(tree)
+        .output()
+        .expect("spawn dissent-lint")
+}
+
+fn scratch_tree(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(dir.join("crates/net/src")).expect("mkdir");
+    dir
+}
+
+#[test]
+fn binary_fails_on_a_seeded_violation() {
+    let dir = scratch_tree("lint-seeded");
+    fs::write(
+        dir.join("crates/net/src/transport.rs"),
+        "fn decode(b: &[u8]) -> usize { b.len() as u64 as usize }\n",
+    )
+    .expect("write fixture");
+    let out = run_binary_on(&dir);
+    assert!(
+        !out.status.success(),
+        "linter accepted a seeded unchecked-wire-narrowing violation"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("unchecked-wire-narrowing=1"),
+        "summary should count the seeded violation:\n{stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("1 unwaived finding"), "{stderr}");
+}
+
+#[test]
+fn binary_passes_on_a_clean_tree_and_prints_the_summary() {
+    let dir = scratch_tree("lint-clean");
+    fs::write(
+        dir.join("crates/net/src/transport.rs"),
+        "fn decode(b: &[u8]) -> Result<usize, ()> { usize::try_from(b.len() as u64).map_err(|_| ()) }\n",
+    )
+    .expect("write fixture");
+    let out = run_binary_on(&dir);
+    assert!(out.status.success(), "clean tree must pass");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let summary = stdout
+        .lines()
+        .last()
+        .expect("summary is the last stdout line");
+    assert!(summary.starts_with("lint-summary: "), "{summary}");
+    assert!(summary.ends_with("waived=0 files=1"), "{summary}");
+}

@@ -126,9 +126,10 @@ pub struct RosterKeys {
 
 impl RosterKeys {
     fn key_for(&self, role: u8, id: u32) -> Option<&Element> {
+        let index = usize::try_from(id).ok()?;
         match role {
-            ROLE_CLIENT => self.client_keys.get(id as usize),
-            ROLE_SERVER => self.server_keys.get(id as usize),
+            ROLE_CLIENT => self.client_keys.get(index),
+            ROLE_SERVER => self.server_keys.get(index),
             _ => None,
         }
     }
@@ -174,7 +175,7 @@ impl RosterKeys {
                 theirs: version,
             });
         }
-        if fingerprint != self.fingerprint {
+        if !dissent_crypto::xor::ct_eq(&fingerprint, &self.fingerprint) {
             return Err(AuthError::FingerprintMismatch);
         }
         let Some(public) = self.key_for(role, id) else {

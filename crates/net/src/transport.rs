@@ -144,6 +144,9 @@ impl From<io::Error> for TransportError {
 }
 
 fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    // lint:allow(unchecked-wire-narrowing): encoder-side length of data we
+    // produced ourselves; `write_frame` rejects any body over MAX_FRAME
+    // (16 MiB, far below u32::MAX) before these bytes reach the wire.
     out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
     out.extend_from_slice(bytes);
 }
@@ -155,6 +158,13 @@ fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
 struct Body<'a> {
     buf: &'a [u8],
     pos: usize,
+}
+
+/// Convert an exactly-`N`-byte slice into an array without a panic path:
+/// `Body::take` already guarantees the width, but attacker-reachable decode
+/// code keeps every conversion fallible on principle.
+fn fixed<const N: usize>(bytes: &[u8]) -> Result<[u8; N], TransportError> {
+    <[u8; N]>::try_from(bytes).map_err(|_| TransportError::Truncated)
 }
 
 impl<'a> Body<'a> {
@@ -172,24 +182,27 @@ impl<'a> Body<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, TransportError> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_be_bytes(fixed(self.take(2)?)?))
     }
 
     fn u32(&mut self) -> Result<u32, TransportError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_be_bytes(fixed(self.take(4)?)?))
     }
 
     fn u64(&mut self) -> Result<u64, TransportError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_be_bytes(fixed(self.take(8)?)?))
     }
 
     fn bytes(&mut self) -> Result<&'a [u8], TransportError> {
-        let len = self.u32()? as usize;
+        let declared = self.u32()?;
+        let len = usize::try_from(declared).map_err(|_| TransportError::Oversize {
+            declared: u64::from(declared),
+        })?;
         self.take(len)
     }
 
     fn array32(&mut self) -> Result<[u8; 32], TransportError> {
-        Ok(self.take(32)?.try_into().unwrap())
+        fixed(self.take(32)?)
     }
 
     fn finish(self) -> Result<(), TransportError> {
@@ -299,8 +312,15 @@ impl Frame {
 /// Write one frame: length header, then tag + body.
 pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), TransportError> {
     let body = frame.encode();
-    debug_assert!(body.len() <= MAX_FRAME, "frame exceeds MAX_FRAME");
-    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    // A real check, not a debug_assert: an over-budget body must never put
+    // a truncated length header on the wire in release builds either.
+    let header = u32::try_from(body.len())
+        .ok()
+        .filter(|_| body.len() <= MAX_FRAME)
+        .ok_or(TransportError::Oversize {
+            declared: body.len() as u64,
+        })?;
+    w.write_all(&header.to_be_bytes())?;
     w.write_all(&body)?;
     w.flush()?;
     Ok(())
@@ -320,16 +340,17 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, TransportError> {
             Err(e) => return Err(TransportError::Io(e)),
         }
     }
-    let declared = u32::from_be_bytes(header) as u64;
+    let declared = u64::from(u32::from_be_bytes(header));
     // The whole point of the header check: a forged length is refused
     // *here*, before the body buffer below ever exists.
-    if declared as usize > MAX_FRAME {
-        return Err(TransportError::Oversize { declared });
-    }
-    if declared == 0 {
+    let len = match usize::try_from(declared) {
+        Ok(len) if len <= MAX_FRAME => len,
+        _ => return Err(TransportError::Oversize { declared }),
+    };
+    if len == 0 {
         return Err(TransportError::Malformed("empty frame"));
     }
-    let mut body = vec![0u8; declared as usize];
+    let mut body = vec![0u8; len];
     r.read_exact(&mut body).map_err(|e| {
         if e.kind() == io::ErrorKind::UnexpectedEof {
             TransportError::Truncated

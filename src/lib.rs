@@ -21,6 +21,8 @@
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for how every table
 //! and figure of the paper is regenerated.
 
+#![forbid(unsafe_code)]
+
 pub use dissent_apps as apps;
 pub use dissent_baseline as baseline;
 pub use dissent_core as protocol;
