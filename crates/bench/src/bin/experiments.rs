@@ -228,7 +228,8 @@ fn pipeline(rounds: usize) {
         "  {:<22} {:>7} {:>3} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
         "topology", "clients", "W", "mean lat", "p50", "p90", "p99", "rounds/s", "msgs/s"
     );
-    for p in pipeline_study(&[100, 320, 1000], &[1, 2, 4, 8], rounds.max(16)) {
+    let registry = dissent_metrics::Registry::new();
+    for p in pipeline_study_metered(&[100, 320, 1000], &[1, 2, 4, 8], rounds.max(16), &registry) {
         println!(
             "  {:<22} {:>7} {:>3} {:>8.2} s {:>8.2} s {:>8.2} s {:>8.2} s {:>12.2} {:>12.0}",
             p.topology,
@@ -242,6 +243,20 @@ fn pipeline(rounds: usize) {
             p.messages_per_sec
         );
     }
+    // Aggregate view straight from the shared instruments: the same
+    // histogram/counter cells the node path exports over `--metrics-addr`.
+    let hist = registry.latency_histogram(
+        "dissent_sim_round_latency_seconds",
+        "Simulated end-to-end round latency",
+    );
+    println!(
+        "  sweep aggregate (from dissent_sim_round_latency_seconds): \
+         {} rounds, p50 {:.2} s, p90 {:.2} s, p99 {:.2} s",
+        hist.count(),
+        hist.quantile(0.50),
+        hist.quantile(0.90),
+        hist.quantile(0.99),
+    );
 }
 
 fn baseline() {

@@ -416,10 +416,29 @@ pub fn pipeline_study(
     windows: &[usize],
     rounds: usize,
 ) -> Vec<PipelinePoint> {
+    pipeline_study_metered(
+        client_counts,
+        windows,
+        rounds,
+        &dissent_metrics::Registry::new(),
+    )
+}
+
+/// [`pipeline_study`], recording every simulated round into `registry`'s
+/// `dissent_sim_round_latency_seconds` / `dissent_sim_rounds_total`
+/// instruments — the same catalog the live node exports — so a sweep's
+/// aggregate latency histogram can be scraped or asserted on exactly like
+/// the real thing.  Per-point numbers still come from each run's report.
+pub fn pipeline_study_metered(
+    client_counts: &[usize],
+    windows: &[usize],
+    rounds: usize,
+    registry: &dissent_metrics::Registry,
+) -> Vec<PipelinePoint> {
     use dissent_core::messages::sim_wire_sizes;
     use dissent_crypto::group::Group;
     use dissent_net::churn::ChurnModel;
-    use dissent_net::driver::{simulate, SimConfig};
+    use dissent_net::driver::{simulate_with_metrics, SimConfig};
     use dissent_net::topology::Topology;
 
     let group = Group::rfc3526_2048();
@@ -437,7 +456,7 @@ pub fn pipeline_study(
                 let mut cfg =
                     SimConfig::new(topology.clone(), churn.clone(), total_len, window, rounds);
                 cfg.sizes = sizes;
-                let report = simulate(cfg);
+                let report = simulate_with_metrics(cfg, registry);
                 out.push(PipelinePoint {
                     topology: topology.name.clone(),
                     clients: n,
@@ -636,6 +655,23 @@ mod tests {
             .find(|p| p.topology.starts_with("planetlab") && p.window == 1)
             .unwrap();
         assert!(pl.p50_latency_s > det.p50_latency_s);
+    }
+
+    #[test]
+    fn pipeline_sweep_records_into_the_shared_instruments() {
+        let registry = dissent_metrics::Registry::new();
+        let points = pipeline_study_metered(&[100], &[1, 2], 16, &registry);
+        assert_eq!(points.len(), 4);
+        let total = registry
+            .counter_value("dissent_sim_rounds_total", &[])
+            .unwrap();
+        assert!(total > 0, "sweep recorded no rounds");
+        let hist = registry.latency_histogram("dissent_sim_round_latency_seconds", "");
+        assert_eq!(hist.count(), total);
+        assert!(hist.quantile(0.5) > 0.0);
+        // And the exposition carries the same series.
+        let rendered = registry.render();
+        assert!(rendered.contains("dissent_sim_round_latency_seconds_bucket"));
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! The round engine's instruments: one struct of pre-registered handles
+//! shared by every driver (lock-step [`crate::session::Session::run_round`],
+//! the pipelined driver in [`crate::pipeline`], and the socket nodes in
+//! [`crate::node`]).
+//!
+//! Recording sites sit on the round hot path, so every handle is an atomic
+//! cell from `dissent-metrics`: no locks, no allocation after registration
+//! (enforced by the `lock-in-hot-path` dissent-lint rule over
+//! `core/round.rs`, `core/pipeline.rs` and the `dcnet` crate).  A default
+//! [`SessionMetrics`] is *detached* — it records but renders nowhere — so
+//! the engine is instrumented unconditionally and only pays for exposition
+//! when a caller binds a [`Registry`].
+
+use dissent_metrics::{Counter, Gauge, Histogram, Registry};
+
+/// Pre-registered handles for the round engine.  See
+/// [`SessionMetrics::registered`] for the exposed names.
+#[derive(Clone)]
+pub struct SessionMetrics {
+    /// Client submission-building time per round.
+    pub phase_client: Histogram,
+    /// Server inventory/pad-expansion/commit time per round.
+    pub phase_commit: Histogram,
+    /// Server reveal + commitment-check time per round.
+    pub phase_reveal: Histogram,
+    /// Cleartext combine + certification signing time per round.
+    pub phase_certify: Histogram,
+    /// Finalize time (blame bookkeeping, schedule advance) per round.
+    pub phase_finalize: Histogram,
+    /// Rounds finalized with every server signature verifying.
+    pub rounds_certified: Counter,
+    /// Rounds finalized without full certification.
+    pub rounds_uncertified: Counter,
+    /// Anonymous slot messages revealed by finalized rounds.
+    pub messages_revealed: Counter,
+    /// Accusations queued for blame resolution.
+    pub accusations_filed: Counter,
+    /// Clients expelled by resolved accusations.
+    pub expulsions: Counter,
+    /// Pipelined batches driven to completion.
+    pub pipeline_batches: Counter,
+    /// Rounds currently in flight (pipeline window; 1 in lock-step).
+    pub rounds_in_flight: Gauge,
+}
+
+impl Default for SessionMetrics {
+    fn default() -> Self {
+        SessionMetrics {
+            phase_client: Histogram::detached_latency(),
+            phase_commit: Histogram::detached_latency(),
+            phase_reveal: Histogram::detached_latency(),
+            phase_certify: Histogram::detached_latency(),
+            phase_finalize: Histogram::detached_latency(),
+            rounds_certified: Counter::detached(),
+            rounds_uncertified: Counter::detached(),
+            messages_revealed: Counter::detached(),
+            accusations_filed: Counter::detached(),
+            expulsions: Counter::detached(),
+            pipeline_batches: Counter::detached(),
+            rounds_in_flight: Gauge::detached(),
+        }
+    }
+}
+
+impl SessionMetrics {
+    /// Handles registered on `registry` under the stable catalog:
+    ///
+    /// * `dissent_round_phase_seconds{phase="client"|"commit"|"reveal"|"certify"|"finalize"}`
+    /// * `dissent_rounds_total{outcome="certified"|"uncertified"}`
+    /// * `dissent_round_messages_total`
+    /// * `dissent_accusations_total`, `dissent_expulsions_total`
+    /// * `dissent_pipeline_batches_total`, `dissent_rounds_in_flight`
+    pub fn registered(registry: &Registry) -> Self {
+        let phase = "dissent_round_phase_seconds";
+        let phase_help = "Wall-clock time spent in each round phase.";
+        let rounds = "dissent_rounds_total";
+        let rounds_help = "Rounds finalized by outcome.";
+        SessionMetrics {
+            phase_client: registry.latency_histogram_with(
+                phase,
+                phase_help,
+                &[("phase", "client")],
+            ),
+            phase_commit: registry.latency_histogram_with(
+                phase,
+                phase_help,
+                &[("phase", "commit")],
+            ),
+            phase_reveal: registry.latency_histogram_with(
+                phase,
+                phase_help,
+                &[("phase", "reveal")],
+            ),
+            phase_certify: registry.latency_histogram_with(
+                phase,
+                phase_help,
+                &[("phase", "certify")],
+            ),
+            phase_finalize: registry.latency_histogram_with(
+                phase,
+                phase_help,
+                &[("phase", "finalize")],
+            ),
+            rounds_certified: registry.counter_with(
+                rounds,
+                rounds_help,
+                &[("outcome", "certified")],
+            ),
+            rounds_uncertified: registry.counter_with(
+                rounds,
+                rounds_help,
+                &[("outcome", "uncertified")],
+            ),
+            messages_revealed: registry.counter(
+                "dissent_round_messages_total",
+                "Anonymous slot messages revealed by finalized rounds.",
+            ),
+            accusations_filed: registry.counter(
+                "dissent_accusations_total",
+                "Accusations queued for blame resolution.",
+            ),
+            expulsions: registry.counter(
+                "dissent_expulsions_total",
+                "Clients expelled by resolved accusations.",
+            ),
+            pipeline_batches: registry.counter(
+                "dissent_pipeline_batches_total",
+                "Pipelined batches driven to completion.",
+            ),
+            rounds_in_flight: registry.gauge(
+                "dissent_rounds_in_flight",
+                "Rounds currently in flight (pipeline window).",
+            ),
+        }
+    }
+}

@@ -23,11 +23,15 @@
 //!   a client loop submitting over the framed transport.
 //! * [`timing`] — the round-timing simulator that reproduces the shapes of
 //!   Figures 6–9 over the `dissent-net` testbed models.
+//! * [`instrument`] — the engine's metric handles (per-phase latency
+//!   histograms, outcome counters) shared by all three drivers and exposed
+//!   through `dissent-metrics` registries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod instrument;
 pub mod messages;
 pub mod node;
 pub mod pipeline;
@@ -37,6 +41,7 @@ pub mod session;
 pub mod timing;
 
 pub use config::{GeneratedGroup, GroupBuilder, GroupConfig};
+pub use instrument::SessionMetrics;
 pub use messages::{
     AccusationFiled, Certify, ClientSubmit, MessageOrigin, ProtocolMessage, ServerCommit,
     ServerReveal,

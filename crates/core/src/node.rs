@@ -42,7 +42,10 @@ use std::thread;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use dissent_crypto::sha256::sha256_tagged;
-use dissent_net::{AuthError, Frame, FramedConn, Peer, RosterKeys, TransportError};
+use dissent_metrics::{Counter, Registry};
+use dissent_net::{
+    AuthError, AuthMetrics, Frame, FramedConn, Peer, RosterKeys, TransportError, TransportMetrics,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -65,6 +68,15 @@ pub enum NodeError {
     Session(SessionError),
     /// The roster file could not be parsed.
     Roster(String),
+    /// The server's stream is ahead of this client's schedule and the
+    /// replay buffer no longer covers the gap: the client cannot rebuild
+    /// the slot layouts it missed, so continuing would stall forever.
+    OutOfSync {
+        /// The round this client's schedule expects next.
+        expected: u64,
+        /// The round the server actually sent.
+        got: u64,
+    },
 }
 
 impl std::fmt::Display for NodeError {
@@ -75,6 +87,10 @@ impl std::fmt::Display for NodeError {
             NodeError::Transport(e) => write!(f, "transport: {e}"),
             NodeError::Session(e) => write!(f, "session: {e}"),
             NodeError::Roster(m) => write!(f, "roster: {m}"),
+            NodeError::OutOfSync { expected, got } => write!(
+                f,
+                "out of sync: schedule expects round {expected}, server sent {got}"
+            ),
         }
     }
 }
@@ -263,10 +279,17 @@ pub struct ServerSummary {
 }
 
 /// Events the per-connection threads report to the round loop.
+///
+/// The `u64` on `Connected`/`Disconnected` is a per-connection generation
+/// token: events from different connection threads interleave arbitrarily
+/// on the channel, so a reconnecting client's `Connected` can arrive
+/// *before* the `Disconnected` of its old link — without the token, the
+/// stale disconnect would evict the fresh connection's writer and the
+/// client would never hear from the server again.
 enum NetEvent {
-    Connected(Peer, FramedConn<TcpStream>),
+    Connected(Peer, u64, FramedConn<TcpStream>),
     Frame(Peer, Frame),
-    Disconnected(Peer),
+    Disconnected(Peer, u64),
     HandshakeFailed,
 }
 
@@ -277,12 +300,19 @@ enum NetEvent {
 pub struct ServerNode {
     listener: TcpListener,
     spec: RosterSpec,
+    registry: Arc<Registry>,
     /// How long to wait for the roster's clients to connect before starting
     /// round 0 regardless.
     pub connect_timeout: Duration,
     /// How long one round may wait for submissions from connected clients.
     pub round_timeout: Duration,
 }
+
+/// How many finalized `(round, certified, cleartext)` triples the server
+/// keeps for [`Frame::Resume`] replay.  A reconnecting client that missed
+/// more rounds than this cannot resync and exits with
+/// [`NodeError::OutOfSync`].
+const RESUME_BUFFER: usize = 8;
 
 impl ServerNode {
     /// Bind the listener (use port 0 for an OS-assigned port).
@@ -291,6 +321,7 @@ impl ServerNode {
         Ok(ServerNode {
             listener,
             spec,
+            registry: Arc::new(Registry::new()),
             connect_timeout: Duration::from_secs(10),
             round_timeout: Duration::from_secs(10),
         })
@@ -299,6 +330,15 @@ impl ServerNode {
     /// The bound address (needed when binding port 0).
     pub fn local_addr(&self) -> Result<SocketAddr, NodeError> {
         Ok(self.listener.local_addr()?)
+    }
+
+    /// This node's metric registry.  Everything [`ServerNode::run`] counts —
+    /// per-phase round timings, transport frames and bytes, handshake
+    /// outcomes, spoof rejections — renders from here; the `--metrics-addr`
+    /// exporter serves this registry, and [`ServerSummary`] is a read-out of
+    /// it.  Per-node (not global) so tests never share counters.
+    pub fn registry(&self) -> Arc<Registry> {
+        self.registry.clone()
     }
 
     /// Accept and authenticate connections, then drive `rounds` rounds,
@@ -310,19 +350,53 @@ impl ServerNode {
         let keys = Arc::new(self.spec.roster_keys(&generated));
         let num_clients = self.spec.clients;
 
+        // Everything observable lives in the per-node registry; the summary
+        // is assembled from it after the last round.
+        let registry = self.registry.clone();
+        session.bind_metrics(&registry);
+        let transport = TransportMetrics::registered(&registry);
+        let auth = AuthMetrics::registered(&registry);
+        let spoofs = registry.counter(
+            "dissent_spoof_rejections_total",
+            "Frames dropped before the round engine because the claimed identity \
+             did not match the connection's authenticated identity.",
+        );
+        let handshake_failures = registry.counter(
+            "dissent_handshake_failures_total",
+            "Connections that never produced an authenticated peer.",
+        );
+        let disconnects = registry.counter(
+            "dissent_disconnects_total",
+            "Authenticated connections that dropped (EOF, truncated frame, failed send).",
+        );
+        let resumes = registry.counter(
+            "dissent_resume_requests_total",
+            "Resume frames received from (re)connecting clients.",
+        );
+
         let (tx, rx) = mpsc::channel::<NetEvent>();
         let stop = Arc::new(AtomicBool::new(false));
-        let acceptor = spawn_acceptor(self.listener, keys, tx, stop.clone());
+        let acceptor = spawn_acceptor(
+            self.listener,
+            keys,
+            tx,
+            stop.clone(),
+            transport.clone(),
+            auth.clone(),
+        );
 
         let mut summary = ServerSummary::default();
-        // Authenticated client connections we can write to, by client index.
-        let mut writers: BTreeMap<u32, FramedConn<TcpStream>> = BTreeMap::new();
+        // Authenticated client connections we can write to, by client index,
+        // each carrying its generation token (see [`NetEvent`]).
+        let mut writers: BTreeMap<u32, (u64, FramedConn<TcpStream>)> = BTreeMap::new();
+        // Finalized rounds kept for `Resume` replay.
+        let mut recent: VecDeque<(u64, bool, Vec<u8>)> = VecDeque::new();
 
         // Admission: wait until every roster slot is accounted for (an
         // authenticated connection, a failed handshake, or a disconnect) or
         // the grace period runs out, then start with whoever made it.
         let deadline = Instant::now() + self.connect_timeout;
-        while (writers.len() as u64) + summary.handshake_failures + summary.disconnects
+        while (writers.len() as u64) + handshake_failures.get() + disconnects.get()
             < num_clients as u64
         {
             let Some(left) = deadline.checked_duration_since(Instant::now()) else {
@@ -330,7 +404,13 @@ impl ServerNode {
             };
             match rx.recv_timeout(left) {
                 Ok(event) => {
-                    handle_idle_event(event, &mut writers, &mut summary);
+                    handle_idle_event(
+                        event,
+                        &mut writers,
+                        &handshake_failures,
+                        &disconnects,
+                        &resumes,
+                    );
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => break,
                 Err(mpsc::RecvTimeoutError::Disconnected) => break,
@@ -346,7 +426,7 @@ impl ServerNode {
         for _ in 0..rounds {
             let round = session.next_round();
             let mut state = session.begin_round();
-            broadcast(&mut writers, &Frame::RoundOpen { round }, &mut summary);
+            broadcast(&mut writers, &Frame::RoundOpen { round }, &disconnects);
 
             // Collect one submission (or a disconnect) per connected client.
             let mut heard: BTreeSet<u32> = BTreeSet::new();
@@ -361,27 +441,62 @@ impl ServerNode {
                     Err(mpsc::RecvTimeoutError::Disconnected) => break,
                 };
                 match event {
-                    NetEvent::Connected(peer, mut conn) => {
+                    NetEvent::Connected(peer, token, mut conn) => {
                         // A late client can still catch this round.
                         if conn.send(&Frame::RoundOpen { round }).is_ok() {
                             if let Peer::Client(id) = peer {
-                                writers.insert(id, conn);
+                                writers.insert(id, (token, conn));
                             }
                         }
                     }
-                    NetEvent::Disconnected(peer) => {
+                    NetEvent::Disconnected(peer, token) => {
                         if let Peer::Client(id) = peer {
-                            writers.remove(&id);
-                            heard.remove(&id);
+                            // Only the *current* generation's disconnect may
+                            // evict the writer; a stale one (the client has
+                            // already reconnected) must not.
+                            if writers.get(&id).is_some_and(|(t, _)| *t == token) {
+                                writers.remove(&id);
+                                heard.remove(&id);
+                            }
                         }
-                        summary.disconnects += 1;
+                        disconnects.inc();
                     }
-                    NetEvent::HandshakeFailed => summary.handshake_failures += 1,
+                    NetEvent::HandshakeFailed => handshake_failures.inc(),
+                    NetEvent::Frame(peer, Frame::Resume { next_round }) => {
+                        // A (re)connecting client telling us where its
+                        // schedule stands: replay the buffered cleartexts it
+                        // missed, in round order, on its own connection.
+                        let Peer::Client(id) = peer else {
+                            spoofs.inc();
+                            continue;
+                        };
+                        resumes.inc();
+                        let mut dead = false;
+                        if let Some((_, conn)) = writers.get_mut(&id) {
+                            for (r, was_certified, payload) in
+                                recent.iter().filter(|(r, _, _)| *r >= next_round)
+                            {
+                                let frame = Frame::Cleartext {
+                                    round: *r,
+                                    certified: *was_certified,
+                                    payload: payload.clone(),
+                                };
+                                if conn.send(&frame).is_err() {
+                                    dead = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if dead {
+                            writers.remove(&id);
+                            disconnects.inc();
+                        }
+                    }
                     NetEvent::Frame(peer, Frame::Protocol { payload }) => {
                         let Peer::Client(id) = peer else {
                             // No server peers exist in this topology; any
                             // claim to be one is a spoof attempt.
-                            summary.rejected_spoofs += 1;
+                            spoofs.inc();
                             continue;
                         };
                         heard.insert(id);
@@ -401,7 +516,7 @@ impl ServerNode {
                                 // round engine — and the engine re-checks
                                 // via the origin we pass.
                                 if submit.client != id {
-                                    summary.rejected_spoofs += 1;
+                                    spoofs.inc();
                                     continue;
                                 }
                                 session.deliver_submissions(
@@ -412,7 +527,7 @@ impl ServerNode {
                             }
                             // A client connection has no business sending
                             // server-phase or accusation traffic here.
-                            _ => summary.rejected_spoofs += 1,
+                            _ => spoofs.inc(),
                         }
                     }
                     NetEvent::Frame(_, _) => {}
@@ -428,16 +543,16 @@ impl ServerNode {
             session.deliver_certificates(&mut state, certs, MessageOrigin::Local);
             let result = session.finalize_round(state, &mut rngs);
 
-            summary.rounds += 1;
-            if result.certified {
-                summary.certified_rounds += 1;
-            }
             summary.messages.extend(
                 result
                     .messages
                     .iter()
                     .map(|(slot, m)| (round, *slot, m.clone())),
             );
+            recent.push_back((round, result.certified, result.cleartext.clone()));
+            while recent.len() > RESUME_BUFFER {
+                recent.pop_front();
+            }
             broadcast(
                 &mut writers,
                 &Frame::Cleartext {
@@ -445,13 +560,22 @@ impl ServerNode {
                     certified: result.certified,
                     payload: result.cleartext,
                 },
-                &mut summary,
+                &disconnects,
             );
         }
 
-        broadcast(&mut writers, &Frame::Goodbye, &mut summary);
+        broadcast(&mut writers, &Frame::Goodbye, &disconnects);
         stop.store(true, Ordering::SeqCst);
         let _ = acceptor.join();
+
+        // The summary is a registry read-out: the engine's round counters
+        // plus this node's connection counters, one source of truth.
+        let engine = session.metrics();
+        summary.rounds = engine.rounds_certified.get() + engine.rounds_uncertified.get();
+        summary.certified_rounds = engine.rounds_certified.get();
+        summary.rejected_spoofs = spoofs.get();
+        summary.handshake_failures = handshake_failures.get();
+        summary.disconnects = disconnects.get();
         Ok(summary)
     }
 }
@@ -463,17 +587,26 @@ fn spawn_acceptor(
     keys: Arc<RosterKeys>,
     tx: mpsc::Sender<NetEvent>,
     stop: Arc<AtomicBool>,
+    transport: TransportMetrics,
+    auth: AuthMetrics,
 ) -> thread::JoinHandle<()> {
     thread::spawn(move || {
         if listener.set_nonblocking(true).is_err() {
             return;
         }
+        let mut next_token = 0u64;
         while !stop.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, _)) => {
                     let keys = keys.clone();
                     let tx = tx.clone();
-                    thread::spawn(move || serve_connection(stream, &keys, &tx));
+                    let transport = transport.clone();
+                    let auth = auth.clone();
+                    let token = next_token;
+                    next_token += 1;
+                    thread::spawn(move || {
+                        serve_connection(stream, token, &keys, &tx, transport, &auth)
+                    });
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     thread::sleep(Duration::from_millis(10));
@@ -485,11 +618,18 @@ fn spawn_acceptor(
 }
 
 /// Handshake then pump frames into the event channel until EOF or error.
-fn serve_connection(stream: TcpStream, keys: &RosterKeys, tx: &mpsc::Sender<NetEvent>) {
+fn serve_connection(
+    stream: TcpStream,
+    token: u64,
+    keys: &RosterKeys,
+    tx: &mpsc::Sender<NetEvent>,
+    transport: TransportMetrics,
+    auth: &AuthMetrics,
+) {
     let _ = stream.set_nodelay(true);
-    let mut conn = FramedConn::new(stream);
+    let mut conn = FramedConn::with_metrics(stream, transport);
     let mut rng = entropy_rng(b"server-handshake");
-    let peer = match keys.verifier_handshake(&mut conn, &mut rng) {
+    let peer = match keys.verifier_handshake_metered(&mut conn, &mut rng, auth) {
         Ok(peer) => peer,
         Err(_) => {
             let _ = tx.send(NetEvent::HandshakeFailed);
@@ -500,13 +640,13 @@ fn serve_connection(stream: TcpStream, keys: &RosterKeys, tx: &mpsc::Sender<NetE
         let _ = tx.send(NetEvent::HandshakeFailed);
         return;
     };
-    if tx.send(NetEvent::Connected(peer, writer)).is_err() {
+    if tx.send(NetEvent::Connected(peer, token, writer)).is_err() {
         return;
     }
     loop {
         match conn.recv() {
             Ok(Some(Frame::Goodbye)) | Ok(None) | Err(_) => {
-                let _ = tx.send(NetEvent::Disconnected(peer));
+                let _ = tx.send(NetEvent::Disconnected(peer, token));
                 return;
             }
             Ok(Some(frame)) => {
@@ -521,38 +661,45 @@ fn serve_connection(stream: TcpStream, keys: &RosterKeys, tx: &mpsc::Sender<NetE
 /// Process connection-level events while no round is collecting.
 fn handle_idle_event(
     event: NetEvent,
-    writers: &mut BTreeMap<u32, FramedConn<TcpStream>>,
-    summary: &mut ServerSummary,
+    writers: &mut BTreeMap<u32, (u64, FramedConn<TcpStream>)>,
+    handshake_failures: &Counter,
+    disconnects: &Counter,
+    resumes: &Counter,
 ) {
     match event {
-        NetEvent::Connected(Peer::Client(id), conn) => {
-            writers.insert(id, conn);
+        NetEvent::Connected(Peer::Client(id), token, conn) => {
+            writers.insert(id, (token, conn));
         }
-        NetEvent::Connected(Peer::Server(_), _) => {}
-        NetEvent::Disconnected(Peer::Client(id)) => {
-            writers.remove(&id);
-            summary.disconnects += 1;
+        NetEvent::Connected(Peer::Server(_), _, _) => {}
+        NetEvent::Disconnected(Peer::Client(id), token) => {
+            if writers.get(&id).is_some_and(|(t, _)| *t == token) {
+                writers.remove(&id);
+            }
+            disconnects.inc();
         }
-        NetEvent::Disconnected(Peer::Server(_)) => summary.disconnects += 1,
-        NetEvent::HandshakeFailed => summary.handshake_failures += 1,
-        // Frames before the first RoundOpen have nowhere to go.
+        NetEvent::Disconnected(Peer::Server(_), _) => disconnects.inc(),
+        NetEvent::HandshakeFailed => handshake_failures.inc(),
+        // Nothing is buffered before round 0, so a Resume here is counted
+        // and otherwise a no-op (the client is already at round 0).
+        NetEvent::Frame(_, Frame::Resume { .. }) => resumes.inc(),
+        // Other frames before the first RoundOpen have nowhere to go.
         NetEvent::Frame(_, _) => {}
     }
 }
 
 /// Send a frame to every connected client, dropping writers that fail.
 fn broadcast(
-    writers: &mut BTreeMap<u32, FramedConn<TcpStream>>,
+    writers: &mut BTreeMap<u32, (u64, FramedConn<TcpStream>)>,
     frame: &Frame,
-    summary: &mut ServerSummary,
+    disconnects: &Counter,
 ) {
     let dead: Vec<u32> = writers
         .iter_mut()
-        .filter_map(|(id, conn)| conn.send(frame).is_err().then_some(*id))
+        .filter_map(|(id, (_, conn))| conn.send(frame).is_err().then_some(*id))
         .collect();
     for id in dead {
         writers.remove(&id);
-        summary.disconnects += 1;
+        disconnects.inc();
     }
 }
 
@@ -563,6 +710,9 @@ pub struct ClientOutcome {
     pub rounds_seen: u64,
     /// Of those, how many the servers certified.
     pub certified_rounds: u64,
+    /// Times the server link dropped without a `Goodbye` and the client
+    /// re-dialed, re-authenticated, and resynced via [`Frame::Resume`].
+    pub reconnects: u64,
     /// Anonymous messages revealed, as `(round, slot, bytes)`.
     pub delivered: Vec<(u64, usize, Vec<u8>)>,
 }
@@ -584,14 +734,13 @@ pub fn run_client(
     let mut session = spec.session(&generated)?;
     let keys = spec.roster_keys(&generated);
     let signing = generated.clients[index].signing.clone();
-
-    let stream = connect_with_retry(addr, Duration::from_secs(5))?;
-    let _ = stream.set_nodelay(true);
-    let mut conn = FramedConn::new(stream);
-    let mut hs_rng = entropy_rng(format!("client-{index}").as_bytes());
     let claimed = u32::try_from(index)
         .map_err(|_| NodeError::Roster(format!("client index {index} exceeds u32")))?;
-    keys.prover_handshake(&mut conn, Peer::Client(claimed), &signing, &mut hs_rng)?;
+
+    // A link that keeps dying is a dead server, not a flaky one.
+    const MAX_RECONNECTS: u64 = 8;
+
+    let mut conn = dial_and_auth(addr, index, &keys, &signing, claimed, session.next_round())?;
 
     // Per-round randomness never has to agree with any other process, only
     // the long-term session state does.
@@ -601,11 +750,30 @@ pub fn run_client(
     let mut outcome = ClientOutcome::default();
 
     loop {
-        match conn.recv()? {
-            Some(Frame::RoundOpen { round }) => {
+        let frame = match conn.recv() {
+            Ok(Some(frame)) => frame,
+            // EOF or a broken link *without* a Goodbye: the server may well
+            // still be running — re-dial, re-authenticate, and ask it to
+            // replay the cleartexts we missed.  Only a clean Goodbye (below)
+            // ends the session deliberately.
+            Ok(None) | Err(_) => {
+                if outcome.reconnects >= MAX_RECONNECTS {
+                    return Err(NodeError::Io(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "server link lost and reconnect budget exhausted",
+                    )));
+                }
+                outcome.reconnects += 1;
+                conn = dial_and_auth(addr, index, &keys, &signing, claimed, session.next_round())?;
+                continue;
+            }
+        };
+        match frame {
+            Frame::RoundOpen { round } => {
                 if round != session.next_round() {
-                    // We joined late or missed a cleartext; we cannot build
-                    // a ciphertext for a layout we do not have.
+                    // Mid-resync: we cannot build a ciphertext for a layout
+                    // we do not have yet.  Sit this round out; the replayed
+                    // cleartexts advance the schedule to the next one.
                     continue;
                 }
                 let mut actions = vec![ClientAction::Offline; spec.clients];
@@ -621,27 +789,57 @@ pub fn run_client(
                     conn.send(&Frame::Protocol { payload })?;
                 }
             }
-            Some(Frame::Cleartext {
+            Frame::Cleartext {
                 round,
                 certified,
                 payload,
-            }) => {
+            } => {
+                if round > session.next_round() {
+                    // The replay buffer no longer covers our gap; every
+                    // future layout would be built on a schedule we cannot
+                    // reconstruct.  Exit distinctly instead of stalling.
+                    return Err(NodeError::OutOfSync {
+                        expected: session.next_round(),
+                        got: round,
+                    });
+                }
+                if round < session.next_round() {
+                    // Stale replay overlap; already applied.
+                    continue;
+                }
                 outcome.rounds_seen += 1;
                 if certified {
                     outcome.certified_rounds += 1;
                 }
-                if round == session.next_round() {
-                    let revealed = session.apply_certified_cleartext(round, &payload)?;
-                    outcome
-                        .delivered
-                        .extend(revealed.into_iter().map(|(slot, m)| (round, slot, m)));
-                }
+                let revealed = session.apply_certified_cleartext(round, &payload)?;
+                outcome
+                    .delivered
+                    .extend(revealed.into_iter().map(|(slot, m)| (round, slot, m)));
             }
-            Some(Frame::Goodbye) | None => break,
-            Some(_) => {}
+            Frame::Goodbye => break,
+            _ => {}
         }
     }
     Ok(outcome)
+}
+
+/// Dial, prove identity, and announce where this client's schedule stands
+/// (the server replays buffered cleartexts from `next_round` on).
+fn dial_and_auth(
+    addr: &str,
+    index: usize,
+    keys: &RosterKeys,
+    signing: &dissent_crypto::schnorr::SigningKeyPair,
+    claimed: u32,
+    next_round: u64,
+) -> Result<FramedConn<TcpStream>, NodeError> {
+    let stream = connect_with_retry(addr, Duration::from_secs(5))?;
+    let _ = stream.set_nodelay(true);
+    let mut conn = FramedConn::new(stream);
+    let mut hs_rng = entropy_rng(format!("client-{index}").as_bytes());
+    keys.prover_handshake(&mut conn, Peer::Client(claimed), signing, &mut hs_rng)?;
+    conn.send(&Frame::Resume { next_round })?;
+    Ok(conn)
 }
 
 fn self_check_index(spec: &RosterSpec, index: usize) -> Result<GeneratedGroup, NodeError> {
@@ -655,19 +853,40 @@ fn self_check_index(spec: &RosterSpec, index: usize) -> Result<GeneratedGroup, N
 }
 
 /// Dial with retries so a client started before its server still connects.
+///
+/// Failed attempts back off exponentially ([`next_backoff`]), and every
+/// sleep is clamped to the time remaining before the deadline, so the call
+/// returns within `patience` (plus at most one in-flight connect attempt)
+/// instead of overshooting by a whole retry interval.
 pub fn connect_with_retry(addr: &str, patience: Duration) -> Result<TcpStream, NodeError> {
     let deadline = Instant::now() + patience;
+    let mut backoff = INITIAL_BACKOFF;
     loop {
         match TcpStream::connect(addr) {
             Ok(stream) => return Ok(stream),
             Err(e) => {
-                if Instant::now() >= deadline {
+                let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                    return Err(NodeError::Io(e));
+                };
+                if left.is_zero() {
                     return Err(NodeError::Io(e));
                 }
-                thread::sleep(Duration::from_millis(50));
+                thread::sleep(backoff.min(left));
+                backoff = next_backoff(backoff);
             }
         }
     }
+}
+
+/// First retry delay for [`connect_with_retry`].
+const INITIAL_BACKOFF: Duration = Duration::from_millis(10);
+
+/// Longest retry delay for [`connect_with_retry`].
+const MAX_BACKOFF: Duration = Duration::from_millis(640);
+
+/// The dial backoff schedule: double the delay, capped at [`MAX_BACKOFF`].
+fn next_backoff(current: Duration) -> Duration {
+    (current * 2).min(MAX_BACKOFF)
 }
 
 #[cfg(test)]
@@ -697,6 +916,52 @@ mod tests {
         // Comments and blank lines are fine.
         let spec = RosterSpec::parse("# testbed\nclients = 2 # pair\n\nservers = 1\n").unwrap();
         assert_eq!((spec.clients, spec.servers), (2, 1));
+    }
+
+    #[test]
+    fn backoff_doubles_from_10ms_and_caps_at_640ms() {
+        let mut d = INITIAL_BACKOFF;
+        let mut seen = Vec::new();
+        for _ in 0..9 {
+            seen.push(d.as_millis());
+            d = next_backoff(d);
+        }
+        assert_eq!(seen, vec![10, 20, 40, 80, 160, 320, 640, 640, 640]);
+    }
+
+    /// The retry loop must respect its deadline: dialing a port nothing
+    /// listens on for a 250 ms patience returns within patience plus one
+    /// connect attempt and a scheduler slop, never a whole extra interval.
+    #[test]
+    fn connect_with_retry_never_exceeds_patience() {
+        // Bind-then-drop gives a local port that actively refuses.
+        let port = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let patience = Duration::from_millis(250);
+        let start = Instant::now();
+        let result = connect_with_retry(&addr, patience);
+        let elapsed = start.elapsed();
+        assert!(matches!(result, Err(NodeError::Io(_))), "port must refuse");
+        assert!(
+            elapsed < patience + Duration::from_millis(500),
+            "retry overshot its deadline: {elapsed:?}"
+        );
+        // And it did not give up early either.
+        assert!(elapsed >= patience, "gave up before patience: {elapsed:?}");
+    }
+
+    #[test]
+    fn out_of_sync_error_is_distinct() {
+        let e = NodeError::OutOfSync {
+            expected: 3,
+            got: 12,
+        };
+        let text = e.to_string();
+        assert!(text.contains("out of sync"), "{text}");
+        assert!(text.contains('3') && text.contains("12"), "{text}");
     }
 
     #[test]

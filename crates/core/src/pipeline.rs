@@ -65,6 +65,11 @@ impl PipelinedSession {
         &self.session
     }
 
+    /// Re-register the wrapped session's instruments on `registry`.
+    pub fn bind_metrics(&mut self, registry: &dissent_metrics::Registry) {
+        self.session.bind_metrics(registry);
+    }
+
     /// Unwrap the driver, returning the session at the current boundary.
     pub fn into_session(self) -> Session {
         self.session
@@ -109,13 +114,22 @@ impl PipelinedSession {
 
         // Servers drain the in-flight rounds in order: commit → reveal →
         // certify per round.
+        self.session
+            .metrics
+            .rounds_in_flight
+            .set(states.len() as i64);
         for state in states.iter_mut() {
             let commits = self.session.server_commit_phase(state);
             self.session
                 .deliver_commits(state, commits, MessageOrigin::Local);
+            let reveal_start = std::time::Instant::now();
             let reveals = Session::server_reveal_phase(state);
             self.session
                 .deliver_reveals(state, reveals, MessageOrigin::Local);
+            self.session
+                .metrics
+                .phase_reveal
+                .observe_duration(reveal_start.elapsed());
             let certs = self.session.certify_phase(state, rngs);
             self.session
                 .deliver_certificates(state, certs, MessageOrigin::Local);
@@ -125,10 +139,13 @@ impl PipelinedSession {
         // at the next boundary, since this batch's layouts are frozen),
         // victims file accusations, blame resolves, expulsions apply to the
         // next batch.
-        states
+        let results: Vec<RoundResult> = states
             .into_iter()
             .map(|state| self.session.finalize_round(state, rngs))
-            .collect()
+            .collect();
+        self.session.metrics.pipeline_batches.inc();
+        self.session.metrics.rounds_in_flight.set(0);
+        results
     }
 
     /// Run a script of rounds, batching `window` rounds at a time.

@@ -35,6 +35,7 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Where a round currently stands.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -204,6 +205,7 @@ impl Session {
             RoundPhase::Submission,
             "round already past submission"
         );
+        let phase_start = Instant::now();
         let layout = state.layout.clone();
         let num_servers = self.config.num_servers();
         let mut out = Vec::new();
@@ -240,6 +242,9 @@ impl Session {
                 ciphertext: bytes.into(),
             });
         }
+        self.metrics
+            .phase_client
+            .observe_duration(phase_start.elapsed());
         out
     }
 
@@ -311,6 +316,7 @@ impl Session {
             RoundPhase::Submission,
             "commit phase re-entered"
         );
+        let phase_start = Instant::now();
         let round = state.layout.round;
         let inventories: BTreeMap<ServerId, Vec<ClientId>> = state
             .per_server
@@ -371,6 +377,9 @@ impl Session {
             });
         }
         state.phase = RoundPhase::Commit;
+        self.metrics
+            .phase_commit
+            .observe_duration(phase_start.elapsed());
         out
     }
 
@@ -498,19 +507,25 @@ impl Session {
             RoundPhase::Certification,
             "certify before reveals"
         );
+        let phase_start = Instant::now();
         let round = state.layout.round;
         state.cleartext = combine(state.layout.total_len, &state.server_cts);
         let digest = certification_digest(round, &state.composite, &state.cleartext);
         state.cert_digest = Some(digest);
         let group = &self.config.group;
-        self.servers
+        let certs = self
+            .servers
             .iter()
             .map(|srv| Certify {
                 round,
                 server: srv.index as ServerId,
                 signature: srv.signing.sign(group, rngs.server_rng(srv.index), &digest),
             })
-            .collect()
+            .collect();
+        self.metrics
+            .phase_certify
+            .observe_duration(phase_start.elapsed());
+        certs
     }
 
     /// Verify the certification signatures against the group's server
@@ -559,6 +574,7 @@ impl Session {
     /// it (binding them to a roster connection would deanonymize the
     /// victim).
     pub fn deliver_accusations(&mut self, msgs: Vec<AccusationFiled>) {
+        self.metrics.accusations_filed.add(msgs.len() as u64);
         for msg in msgs {
             self.pending_accusations
                 .push((msg.accusation, msg.signature));
@@ -573,6 +589,7 @@ impl Session {
         mut state: RoundState,
         rngs: &mut S,
     ) -> RoundResult {
+        let phase_start = Instant::now();
         let round = state.layout.round;
         let group = self.config.group.clone();
 
@@ -641,9 +658,21 @@ impl Session {
         let expelled_now = self.resolve_accusations(&group);
         state.phase = RoundPhase::Complete;
 
+        if state.certified {
+            self.metrics.rounds_certified.inc();
+        } else {
+            self.metrics.rounds_uncertified.inc();
+        }
+        let messages = output.messages();
+        self.metrics.messages_revealed.add(messages.len() as u64);
+        self.metrics.expulsions.add(expelled_now.len() as u64);
+        self.metrics
+            .phase_finalize
+            .observe_duration(phase_start.elapsed());
+
         RoundResult {
             round,
-            messages: output.messages(),
+            messages,
             participation: self.participation,
             required_participation: required,
             corrupted_slots: output.corrupted(),

@@ -31,6 +31,7 @@
 //! change *how* the bytes travel, not what is verified.
 
 use crate::config::{GeneratedGroup, GroupConfig};
+use crate::instrument::SessionMetrics;
 use crate::messages::MessageOrigin;
 use crate::round::SharedRng;
 use dissent_crypto::dh::DhKeyPair;
@@ -42,6 +43,7 @@ use dissent_dcnet::client::{ClientDcnet, Submission};
 use dissent_dcnet::pad::SharedSecret;
 use dissent_dcnet::server::{combine, ClientId, ServerId};
 use dissent_dcnet::slots::{RoundLayout, SlotPayload, SlotSchedule};
+use dissent_metrics::Registry;
 use dissent_shuffle::protocol::{run_shuffle, submit_element};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -153,6 +155,9 @@ pub struct Session {
     pub(crate) participation: usize,
     pub(crate) round_records: BTreeMap<u64, RoundRecord>,
     pub(crate) pending_accusations: Vec<(Accusation, dissent_crypto::schnorr::Signature)>,
+    /// Engine instruments — detached by default, rebound with
+    /// [`Session::bind_metrics`] to render through a registry.
+    pub(crate) metrics: SessionMetrics,
 }
 
 impl Session {
@@ -258,7 +263,21 @@ impl Session {
             participation,
             round_records: BTreeMap::new(),
             pending_accusations: Vec::new(),
+            metrics: SessionMetrics::default(),
         })
+    }
+
+    /// Re-register this session's instruments on `registry`, so everything
+    /// the engine records from here on renders through that registry's
+    /// prometheus exposition (see [`SessionMetrics::registered`] for the
+    /// catalog).  Recording itself is unconditional either way.
+    pub fn bind_metrics(&mut self, registry: &Registry) {
+        self.metrics = SessionMetrics::registered(registry);
+    }
+
+    /// The engine's instrument handles (shared atomic cells).
+    pub fn metrics(&self) -> &SessionMetrics {
+        &self.metrics
     }
 
     /// The public group configuration.
@@ -386,8 +405,12 @@ impl Session {
         self.deliver_submissions(&mut state, submits, MessageOrigin::Local);
         let commits = self.server_commit_phase(&mut state);
         self.deliver_commits(&mut state, commits, MessageOrigin::Local);
+        let reveal_start = std::time::Instant::now();
         let reveals = Session::server_reveal_phase(&mut state);
         self.deliver_reveals(&mut state, reveals, MessageOrigin::Local);
+        self.metrics
+            .phase_reveal
+            .observe_duration(reveal_start.elapsed());
         let certs = self.certify_phase(&mut state, &mut rngs);
         self.deliver_certificates(&mut state, certs, MessageOrigin::Local);
         self.finalize_round(state, &mut rngs)

@@ -4,13 +4,15 @@
 //! Every test runs a real [`ServerNode`] on a localhost socket and attacks
 //! it with hand-driven connections.
 
-use std::io::Write;
-use std::net::Shutdown;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
 use dissent_core::node::{connect_with_retry, entropy_rng, run_client, RosterSpec, ServerNode};
 use dissent_core::{ClientAction, ProtocolMessage};
+use dissent_metrics::Registry;
 use dissent_net::{Frame, FramedConn, Peer, PROTOCOL_VERSION};
 
 fn spec(clients: usize) -> RosterSpec {
@@ -23,12 +25,21 @@ fn spec(clients: usize) -> RosterSpec {
 fn spawn_server(
     spec: &RosterSpec,
     rounds: u64,
-) -> (String, thread::JoinHandle<dissent_core::ServerSummary>) {
+) -> (
+    String,
+    Arc<Registry>,
+    thread::JoinHandle<dissent_core::ServerSummary>,
+) {
     let mut server = ServerNode::bind(spec.clone(), "127.0.0.1:0").unwrap();
     server.connect_timeout = Duration::from_secs(5);
     server.round_timeout = Duration::from_secs(5);
     let addr = server.local_addr().unwrap().to_string();
-    (addr, thread::spawn(move || server.run(rounds).unwrap()))
+    let registry = server.registry();
+    (
+        addr,
+        registry,
+        thread::spawn(move || server.run(rounds).unwrap()),
+    )
 }
 
 /// Client 1 authenticates as itself, then submits byte-valid ciphertexts
@@ -40,7 +51,7 @@ fn spawn_server(
 fn client_i_cannot_submit_as_j_even_when_arriving_first() {
     let spec = spec(4);
     const ROUNDS: u64 = 5;
-    let (addr, server) = spawn_server(&spec, ROUNDS);
+    let (addr, registry, server) = spawn_server(&spec, ROUNDS);
 
     // The spoofer: because the testbed roster is seed-derived, client 1 can
     // compute client 0's exact ciphertexts — the strongest possible forgery.
@@ -112,6 +123,12 @@ fn client_i_cannot_submit_as_j_even_when_arriving_first() {
         summary.rejected_spoofs, spoofs_sent,
         "every forgery must be rejected before the engine: {summary:?}"
     );
+    // The summary is a read-out of the node's registry: the exporter and
+    // the tests see the same counter.
+    assert_eq!(
+        registry.counter_value("dissent_spoof_rejections_total", &[]),
+        Some(spoofs_sent),
+    );
     assert!(summary.certified_rounds >= 3, "{summary:?}");
     // The honest client's post made it through untouched.
     assert!(
@@ -132,7 +149,7 @@ fn client_i_cannot_submit_as_j_even_when_arriving_first() {
 #[test]
 fn hello_mismatch_is_rejected() {
     let spec = spec(2);
-    let (addr, server) = spawn_server(&spec, 0);
+    let (addr, _registry, server) = spawn_server(&spec, 0);
 
     // Wrong fingerprint.
     let stream = connect_with_retry(&addr, Duration::from_secs(5)).unwrap();
@@ -177,7 +194,7 @@ fn hello_mismatch_is_rejected() {
 #[test]
 fn truncated_and_oversize_frames_drop_the_connection() {
     let spec = spec(2);
-    let (addr, server) = spawn_server(&spec, 0);
+    let (addr, _registry, server) = spawn_server(&spec, 0);
 
     // A header declaring a 4 GiB frame: rejected from the header alone.
     let mut stream = connect_with_retry(&addr, Duration::from_secs(5)).unwrap();
@@ -200,7 +217,7 @@ fn truncated_and_oversize_frames_drop_the_connection() {
 #[test]
 fn pre_auth_protocol_frame_is_rejected() {
     let spec = spec(1);
-    let (addr, server) = spawn_server(&spec, 0);
+    let (addr, _registry, server) = spawn_server(&spec, 0);
 
     let stream = connect_with_retry(&addr, Duration::from_secs(5)).unwrap();
     let mut conn = FramedConn::new(stream);
@@ -225,7 +242,7 @@ fn pre_auth_protocol_frame_is_rejected() {
 fn mid_frame_disconnect_after_auth_keeps_rounds_certifying() {
     let spec = spec(4);
     const ROUNDS: u64 = 4;
-    let (addr, server) = spawn_server(&spec, ROUNDS);
+    let (addr, _registry, server) = spawn_server(&spec, ROUNDS);
 
     let flaky = {
         let spec = spec.clone();
@@ -272,4 +289,154 @@ fn mid_frame_disconnect_after_auth_keeps_rounds_certifying() {
     assert_eq!(summary.rounds, ROUNDS, "{summary:?}");
     assert!(summary.certified_rounds >= 3, "{summary:?}");
     assert!(summary.disconnects >= 1, "{summary:?}");
+}
+
+/// A frame-level proxy between one client and the server.
+///
+/// * `kill_after_cleartexts`: on the *first* connection, sever the link (no
+///   Goodbye) right after forwarding that many server→client `Cleartext`
+///   frames (tag 0x08).  The proxy keeps listening, so the client's
+///   reconnect dials straight back through to the server.
+/// * `submit_delay`: sleep before forwarding each client→server `Protocol`
+///   frame (tag 0x07) — a slow-but-honest client, which paces the whole
+///   group's rounds (the server waits for every connected client).
+fn proxy(
+    server_addr: String,
+    kill_after_cleartexts: Option<u64>,
+    submit_delay: Option<Duration>,
+) -> String {
+    const TAG_PROTOCOL: u8 = 0x07;
+    const TAG_CLEARTEXT: u8 = 0x08;
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let proxy_addr = listener.local_addr().unwrap().to_string();
+    thread::spawn(move || {
+        let mut first = true;
+        for inbound in listener.incoming() {
+            let Ok(client_side) = inbound else { break };
+            let Ok(server_side) = TcpStream::connect(&server_addr) else {
+                break;
+            };
+            let kill_after = if first { kill_after_cleartexts } else { None };
+            first = false;
+
+            // Client → server: forwards frame-by-frame so the honest-but-
+            // slow delay lands between whole submissions.
+            let mut c2s_from = client_side.try_clone().unwrap();
+            let mut c2s_to = server_side.try_clone().unwrap();
+            thread::spawn(move || {
+                loop {
+                    let mut header = [0u8; 4];
+                    if c2s_from.read_exact(&mut header).is_err() {
+                        break;
+                    }
+                    let len = u32::from_be_bytes(header) as usize;
+                    let mut body = vec![0u8; len];
+                    if c2s_from.read_exact(&mut body).is_err() {
+                        break;
+                    }
+                    if let Some(delay) = submit_delay {
+                        if body.first() == Some(&TAG_PROTOCOL) {
+                            thread::sleep(delay);
+                        }
+                    }
+                    if c2s_to.write_all(&header).is_err() || c2s_to.write_all(&body).is_err() {
+                        break;
+                    }
+                    let _ = c2s_to.flush();
+                }
+                let _ = c2s_to.shutdown(Shutdown::Both);
+            });
+
+            // Server → client: parse the 4-byte length prefix + tag so the
+            // cut lands exactly on a frame boundary, after the Nth cleartext.
+            let mut s2c_from = server_side;
+            let mut s2c_to = client_side;
+            thread::spawn(move || {
+                let mut forwarded = 0u64;
+                loop {
+                    let mut header = [0u8; 4];
+                    if s2c_from.read_exact(&mut header).is_err() {
+                        break;
+                    }
+                    let len = u32::from_be_bytes(header) as usize;
+                    let mut body = vec![0u8; len];
+                    if s2c_from.read_exact(&mut body).is_err() {
+                        break;
+                    }
+                    if s2c_to.write_all(&header).is_err() || s2c_to.write_all(&body).is_err() {
+                        break;
+                    }
+                    let _ = s2c_to.flush();
+                    if body.first() == Some(&TAG_CLEARTEXT) {
+                        forwarded += 1;
+                        if kill_after == Some(forwarded) {
+                            // Sever both directions without a Goodbye.
+                            let _ = s2c_to.shutdown(Shutdown::Both);
+                            let _ = s2c_from.shutdown(Shutdown::Both);
+                            return;
+                        }
+                    }
+                }
+                let _ = s2c_to.shutdown(Shutdown::Both);
+            });
+        }
+    });
+    proxy_addr
+}
+
+/// The reconnect bugfix end to end: a client whose link is killed without a
+/// Goodbye re-dials, re-authenticates, resyncs via `Resume` replay, and the
+/// group keeps certifying rounds.
+#[test]
+fn killed_client_reconnects_resyncs_and_rounds_still_certify() {
+    let spec = spec(4);
+    const ROUNDS: u64 = 6;
+    let (addr, registry, server) = spawn_server(&spec, ROUNDS);
+    let flaky_addr = proxy(addr.clone(), Some(2), None);
+    // Client 0 is honest but slow: its delayed submissions pace every round,
+    // so the killed client has time to reconnect before the run is over.
+    let slow_addr = proxy(addr.clone(), None, Some(Duration::from_millis(40)));
+
+    // Client 3 runs through the flaky proxy; the rest connect directly.
+    let flaky = {
+        let spec = spec.clone();
+        thread::spawn(move || run_client(&spec, &flaky_addr, 3, vec![]).unwrap())
+    };
+    let honest: Vec<_> = (0..3)
+        .map(|i| {
+            let spec = spec.clone();
+            let addr = if i == 0 {
+                slow_addr.clone()
+            } else {
+                addr.clone()
+            };
+            thread::spawn(move || run_client(&spec, &addr, i, vec![]).unwrap())
+        })
+        .collect();
+
+    let summary = server.join().unwrap();
+    let outcome = flaky.join().unwrap();
+    for c in honest {
+        c.join().unwrap();
+    }
+
+    assert!(outcome.reconnects >= 1, "link was never cut: {outcome:?}");
+    assert_eq!(summary.rounds, ROUNDS, "{summary:?}");
+    assert!(
+        summary.certified_rounds >= ROUNDS - 1,
+        "reconnect broke certification: {summary:?}"
+    );
+    // The client rejoined and kept applying certified cleartexts after the
+    // cut (it had seen at most 2 before the proxy severed the link).
+    assert!(
+        outcome.certified_rounds > 2,
+        "client never resynced: {outcome:?}"
+    );
+    // The server saw both the drop and the resume request.
+    assert!(summary.disconnects >= 1, "{summary:?}");
+    let resumes = registry
+        .counter_value("dissent_resume_requests_total", &[])
+        .unwrap();
+    // Every dial sends one Resume (4 initial connects + >=1 reconnect).
+    assert!(resumes >= 5, "resume requests: {resumes}");
 }

@@ -259,6 +259,14 @@ pub fn registry() -> &'static [Rule] {
                       constant-time helper (dissent_crypto::xor::ct_eq), not `==`",
             check: secret_compare,
         },
+        Rule {
+            name: "lock-in-hot-path",
+            severity: Severity::Error,
+            summary: "the per-round hot paths (core round/pipeline engines, dcnet) must \
+                      stay lock-free — no Mutex/RwLock/.lock(); shared state and \
+                      instrumentation go through atomics",
+            check: lock_in_hot_path,
+        },
     ]
 }
 
@@ -537,6 +545,51 @@ fn secret_compare(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 ),
             ));
         }
+    }
+}
+
+// --- rule 6: lock-in-hot-path -----------------------------------------------
+
+/// The per-round hot paths.  One lock acquisition per message would
+/// serialize exactly the work the §3.6 pipeline exists to overlap, so
+/// instrumentation on these paths must use the atomic cells of
+/// `dissent-metrics`, never a `Mutex`/`RwLock`.
+const HOT_PATH_FILES: [&str; 2] = ["crates/core/src/round.rs", "crates/core/src/pipeline.rs"];
+
+fn is_hot_path_file(path: &str) -> bool {
+    HOT_PATH_FILES.contains(&path) || path.starts_with("crates/dcnet/src/")
+}
+
+fn lock_in_hot_path(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !is_hot_path_file(&file.rel_path) {
+        return;
+    }
+    let toks = &file.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || file.is_exempt(i) {
+            continue;
+        }
+        let what = if t.text == "Mutex" || t.text == "RwLock" {
+            format!("`{}`", t.text)
+        } else if t.text == "lock"
+            && i > 0
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).is_some_and(|n| n.text == "(")
+        {
+            "`.lock()`".to_string()
+        } else {
+            continue;
+        };
+        out.push(file.diag(
+            t,
+            "lock-in-hot-path",
+            Severity::Error,
+            format!(
+                "{what} in a per-round hot path — round.rs/pipeline.rs/dcnet must stay \
+                 lock-free; record shared state through atomics (the dissent-metrics \
+                 cells are Arc<AtomicU64> for exactly this reason)"
+            ),
+        ));
     }
 }
 

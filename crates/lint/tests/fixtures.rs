@@ -263,6 +263,49 @@ fn ct_eq_is_the_accepted_form() {
     assert_eq!(count("crates/net/src/auth.rs", src, "secret-compare"), 0);
 }
 
+// --- lock-in-hot-path --------------------------------------------------------
+
+#[test]
+fn locks_flagged_in_round_pipeline_and_dcnet() {
+    let src = "use std::sync::Mutex;\nfn f(m: &Mutex<u64>) { *m.lock().unwrap() += 1; }\n";
+    // Two `Mutex` mentions plus the `.lock()` call.
+    assert_eq!(
+        count("crates/core/src/round.rs", src, "lock-in-hot-path"),
+        3
+    );
+    assert_eq!(
+        count("crates/core/src/pipeline.rs", src, "lock-in-hot-path"),
+        3
+    );
+    assert_eq!(count("crates/dcnet/src/pad.rs", src, "lock-in-hot-path"), 3);
+    // Elsewhere (e.g. the metrics registry itself) locks are allowed.
+    assert_eq!(
+        count("crates/metrics/src/lib.rs", src, "lock-in-hot-path"),
+        0
+    );
+    assert_eq!(count("crates/core/src/node.rs", src, "lock-in-hot-path"), 0);
+}
+
+#[test]
+fn rwlock_and_read_guard_flagged_in_hot_path() {
+    let src = "fn f(l: &std::sync::RwLock<u64>) -> u64 { *l.read().unwrap() }\n";
+    assert_eq!(
+        count("crates/core/src/pipeline.rs", src, "lock-in-hot-path"),
+        1
+    );
+}
+
+#[test]
+fn plain_lock_identifiers_and_tests_are_not_findings() {
+    // `lock` as a field or a free function is not `.lock()`, and test
+    // modules may lock freely (e.g. to serialize env-var tests).
+    let src = "struct S { lock: u8 }\nfn lock() {}\nfn g() { lock(); }\n\n#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n    static GUARD: Mutex<()> = Mutex::new(());\n    #[test]\n    fn t() { let _g = GUARD.lock().unwrap(); }\n}\n";
+    assert_eq!(
+        count("crates/core/src/round.rs", src, "lock-in-hot-path"),
+        0
+    );
+}
+
 // --- waivers ----------------------------------------------------------------
 
 #[test]

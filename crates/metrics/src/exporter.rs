@@ -1,0 +1,153 @@
+//! One-shot HTTP/1.0 exposition of a [`Registry`](crate::Registry).
+//!
+//! Deliberately minimal: every connection gets one `200 OK` with the
+//! current [`Registry::render`](crate::Registry::render) output and is
+//! closed — exactly what a prometheus scraper (or `curl`) expects from a
+//! `text/plain; version=0.0.4` endpoint, with no HTTP library and no new
+//! threadpool.  It runs on the same blocking-socket machinery as the node
+//! binaries: one acceptor thread, short socket timeouts, a stop flag.
+
+use crate::Registry;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// How long the acceptor sleeps between polls of the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Per-connection socket timeout: a scraper that stalls mid-request is
+/// dropped rather than wedging the acceptor.
+const SCRAPE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// A background thread serving scrapes of one registry.
+pub struct MetricsExporter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsExporter {
+    /// Serve `registry` on `listener` from a background thread until
+    /// [`MetricsExporter::stop`] (or drop).
+    pub fn spawn(listener: TcpListener, registry: Arc<Registry>) -> std::io::Result<Self> {
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = thread::spawn(move || accept_loop(listener, registry, flag));
+        Ok(MetricsExporter {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the acceptor and wait for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsExporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: Arc<Registry>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => serve_scrape(stream, &registry),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Answer one scrape: drain the request head (best-effort), write the
+/// exposition, close.  Any socket error just drops the connection.
+fn serve_scrape(mut stream: TcpStream, registry: &Registry) {
+    let _ = stream.set_read_timeout(Some(SCRAPE_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SCRAPE_TIMEOUT));
+    // Read until the blank line ending the request head, a size cap, EOF,
+    // or timeout; the path/method are irrelevant — every request gets the
+    // same document.
+    let mut head = [0u8; 1024];
+    let mut got = 0;
+    while got < head.len() {
+        match stream.read(&mut head[got..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                got += n;
+                if head[..got].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = registry.render();
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn scrapes_are_one_shot_http() {
+        let registry = Arc::new(Registry::new());
+        let c = registry.counter("scraped_total", "times scraped");
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let exporter = MetricsExporter::spawn(listener, Arc::clone(&registry)).unwrap();
+
+        c.add(3);
+        let first = scrape(exporter.addr());
+        assert!(first.starts_with("HTTP/1.0 200 OK\r\n"), "{first}");
+        assert!(first.contains("text/plain; version=0.0.4"));
+        assert!(first.contains("scraped_total 3"), "{first}");
+
+        // A second connection sees updated values: the responder is
+        // per-connection, not a cached snapshot.
+        c.inc();
+        let second = scrape(exporter.addr());
+        assert!(second.contains("scraped_total 4"), "{second}");
+
+        // stop() joins the acceptor thread; returning proves it exited.
+        exporter.stop();
+    }
+}

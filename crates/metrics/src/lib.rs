@@ -1,0 +1,588 @@
+//! Lightweight metrics for the Dissent reproduction.
+//!
+//! The paper's whole evaluation (§5–§6) is measured behavior — round
+//! latency per phase, throughput under churn, rejected forgeries under
+//! attack — so the node and simulator paths record into a shared set of
+//! instruments and anything (tests, the `--metrics-addr` exporter, the
+//! `experiments` sweeps) reads the same numbers.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot-path recording is atomics only.**  [`Counter::inc`],
+//!    [`Gauge::set`] and [`Histogram::observe`] are relaxed atomic
+//!    operations on pre-registered cells: no locks, no allocation, no
+//!    formatting.  All strings and bucket layouts are fixed at
+//!    registration time.
+//! 2. **Zero dependencies.**  The crate is std-only so it can sit below
+//!    every other workspace crate (the build environment has no registry
+//!    access, and a metrics layer must never pull in more than it
+//!    measures).
+//! 3. **Prometheus text exposition.**  [`Registry::render`] produces the
+//!    `text/plain; version=0.0.4` format — `# HELP`/`# TYPE` headers,
+//!    cumulative `_bucket{le=...}` series ending in `+Inf`, `_sum` and
+//!    `_count` — served by [`exporter::MetricsExporter`] over a one-shot
+//!    HTTP/1.0 responder on the same blocking-socket machinery the node
+//!    binaries already use.
+//!
+//! Handles are cheap `Arc` clones.  A handle created with
+//! [`Counter::detached`] (or `Default`) records normally but renders
+//! nowhere, so library code can instrument unconditionally and only pay
+//! for exposition when a caller binds a [`Registry`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exporter;
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+///
+/// Cloning shares the underlying cell; recording is a relaxed atomic add.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry: records normally, renders
+    /// nowhere.  Lets library code instrument unconditionally.
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A gauge not attached to any registry.
+    pub fn detached() -> Self {
+        Gauge::default()
+    }
+
+    /// Replace the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add (possibly negative) `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bounds (in microseconds) for latency histograms, rendered in
+/// seconds (`scale` 1e6): 100 µs .. 30 s plus the implicit `+Inf`.
+pub const LATENCY_BUCKETS_US: &[u64] = &[
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000, 30_000_000,
+];
+
+struct HistogramCore {
+    /// Finite bucket upper bounds, strictly increasing, in recording units.
+    bounds: Box<[u64]>,
+    /// Per-bucket (non-cumulative) counts; one extra slot for `+Inf`.
+    counts: Box<[AtomicU64]>,
+    /// Sum of all recorded values, in recording units.
+    sum: AtomicU64,
+    /// Divisor applied at render time (1e6 turns recorded µs into
+    /// exposed seconds; 1.0 exposes raw units).
+    scale: f64,
+}
+
+/// A fixed-bucket histogram.  Buckets are chosen at registration; each
+/// observation is two relaxed atomic adds (bucket slot + sum).
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// A histogram not attached to any registry.  `bounds` must be
+    /// strictly increasing; `scale` divides values at render time.
+    pub fn detached(bounds: &[u64], scale: f64) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramCore {
+            bounds: bounds.into(),
+            counts,
+            sum: AtomicU64::new(0),
+            scale: if scale > 0.0 { scale } else { 1.0 },
+        }))
+    }
+
+    /// A detached latency histogram ([`LATENCY_BUCKETS_US`], seconds).
+    pub fn detached_latency() -> Self {
+        Histogram::detached(LATENCY_BUCKETS_US, 1e6)
+    }
+
+    /// Record one value (recording units — µs for latency histograms).
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let idx = self.0.bounds.partition_point(|&b| b < v);
+        self.0.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record a wall-clock duration as microseconds (latency histograms).
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of observations, in *rendered* units (recording sum / scale).
+    pub fn sum(&self) -> f64 {
+        to_f64(self.0.sum.load(Ordering::Relaxed)) / self.0.scale
+    }
+
+    /// Estimate the `q`-quantile (0 ≤ q ≤ 1) in rendered units by linear
+    /// interpolation inside the containing bucket.  Observations that
+    /// landed in `+Inf` clamp to the largest finite bound.  Returns 0.0
+    /// with no observations.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .0
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * to_f64(total)).max(1.0);
+        let mut cumulative = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            let next = cumulative + c;
+            if to_f64(next) >= target {
+                let hi = match self.0.bounds.get(i) {
+                    Some(&b) => to_f64(b),
+                    // +Inf bucket: clamp to the largest finite bound.
+                    None => {
+                        return self
+                            .0
+                            .bounds
+                            .last()
+                            .map_or(0.0, |&b| to_f64(b) / self.0.scale)
+                    }
+                };
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    to_f64(self.0.bounds[i - 1])
+                };
+                let frac = if c == 0 {
+                    1.0
+                } else {
+                    (target - to_f64(cumulative)) / to_f64(c)
+                };
+                return (lo + (hi - lo) * frac) / self.0.scale;
+            }
+            cumulative = next;
+        }
+        self.0
+            .bounds
+            .last()
+            .map_or(0.0, |&b| to_f64(b) / self.0.scale)
+    }
+}
+
+/// `u64 as f64` isolated so call sites stay cast-free (quantile math is
+/// estimation; the precision loss above 2^53 is irrelevant).
+fn to_f64(v: u64) -> f64 {
+    v as f64
+}
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Series {
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: &'static str,
+    series: Vec<Series>,
+}
+
+/// A collection of named instruments with stable registration order,
+/// rendered with [`Registry::render`].
+///
+/// Registration takes a lock and allocates; recording through the
+/// returned handles never does.  Registering the same `(name, labels)`
+/// twice returns the existing handle, so independent components can
+/// share an instrument by name.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+fn labels_of(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (String::from(*k), String::from(*v)))
+        .collect()
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        debug_assert!(
+            !name.is_empty()
+                && name
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':'),
+            "invalid metric name {name:?}"
+        );
+        let wanted = labels_of(labels);
+        let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => f,
+            None => {
+                families.push(Family {
+                    name: String::from(name),
+                    help: String::from(help),
+                    kind: "",
+                    series: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(existing) = family.series.iter().find(|s| s.labels == wanted) {
+            return clone_instrument(&existing.instrument);
+        }
+        let instrument = make();
+        assert!(
+            family.kind.is_empty() || family.kind == instrument.kind(),
+            "metric {name} registered as both {} and {}",
+            family.kind,
+            instrument.kind()
+        );
+        family.kind = instrument.kind();
+        let handle = clone_instrument(&instrument);
+        family.series.push(Series {
+            labels: wanted,
+            instrument,
+        });
+        handle
+    }
+
+    /// Register (or look up) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or look up) a counter with a fixed label set.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, labels, || {
+            Instrument::Counter(Counter::detached())
+        }) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!("kind checked at registration"),
+        }
+    }
+
+    /// Register (or look up) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or look up) a gauge with a fixed label set.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, labels, || Instrument::Gauge(Gauge::detached())) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!("kind checked at registration"),
+        }
+    }
+
+    /// Register (or look up) an unlabelled histogram with the given finite
+    /// bucket bounds (recording units) and render-time divisor.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[u64], scale: f64) -> Histogram {
+        self.histogram_with(name, help, &[], bounds, scale)
+    }
+
+    /// Register (or look up) a labelled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+        scale: f64,
+    ) -> Histogram {
+        match self.register(name, help, labels, || {
+            Instrument::Histogram(Histogram::detached(bounds, scale))
+        }) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!("kind checked at registration"),
+        }
+    }
+
+    /// Register (or look up) a latency histogram: records microseconds,
+    /// renders seconds, buckets [`LATENCY_BUCKETS_US`].
+    pub fn latency_histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram(name, help, LATENCY_BUCKETS_US, 1e6)
+    }
+
+    /// Labelled variant of [`Registry::latency_histogram`].
+    pub fn latency_histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        self.histogram_with(name, help, labels, LATENCY_BUCKETS_US, 1e6)
+    }
+
+    /// Read a counter's current value, if registered.  For assertions.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let wanted = labels_of(labels);
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = families.iter().find(|f| f.name == name)?;
+        let series = family.series.iter().find(|s| s.labels == wanted)?;
+        match &series.instrument {
+            Instrument::Counter(c) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Render the prometheus text exposition (`text/plain; version=0.0.4`).
+    ///
+    /// Families appear in registration order; series within a family in
+    /// registration order; histogram buckets cumulative and terminated by
+    /// `+Inf`, followed by `_sum` and `_count`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        for family in families.iter() {
+            if !family.help.is_empty() {
+                out.push_str(&format!("# HELP {} {}\n", family.name, family.help));
+            }
+            out.push_str(&format!("# TYPE {} {}\n", family.name, family.kind));
+            for series in &family.series {
+                render_series(&mut out, &family.name, &series.labels, &series.instrument);
+            }
+        }
+        out
+    }
+}
+
+fn clone_instrument(i: &Instrument) -> Instrument {
+    match i {
+        Instrument::Counter(c) => Instrument::Counter(c.clone()),
+        Instrument::Gauge(g) => Instrument::Gauge(g.clone()),
+        Instrument::Histogram(h) => Instrument::Histogram(h.clone()),
+    }
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Format a rendered-unit float the way prometheus clients expect:
+/// plain decimal, no exponent, no trailing leftovers for integral values.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        let s = format!("{v:.9}");
+        let s = s.trim_end_matches('0');
+        String::from(s.trim_end_matches('.'))
+    }
+}
+
+fn render_series(out: &mut String, name: &str, labels: &[(String, String)], i: &Instrument) {
+    match i {
+        Instrument::Counter(c) => {
+            out.push_str(&format!(
+                "{name}{} {}\n",
+                label_block(labels, None),
+                c.get()
+            ));
+        }
+        Instrument::Gauge(g) => {
+            out.push_str(&format!(
+                "{name}{} {}\n",
+                label_block(labels, None),
+                g.get()
+            ));
+        }
+        Instrument::Histogram(h) => {
+            let core = &h.0;
+            let mut cumulative = 0u64;
+            for (idx, slot) in core.counts.iter().enumerate() {
+                cumulative += slot.load(Ordering::Relaxed);
+                let le = match core.bounds.get(idx) {
+                    Some(&b) => fmt_f64(to_f64(b) / core.scale),
+                    None => String::from("+Inf"),
+                };
+                out.push_str(&format!(
+                    "{name}_bucket{} {cumulative}\n",
+                    label_block(labels, Some(("le", &le)))
+                ));
+            }
+            out.push_str(&format!(
+                "{name}_sum{} {}\n",
+                label_block(labels, None),
+                fmt_f64(h.sum())
+            ));
+            out.push_str(&format!(
+                "{name}_count{} {cumulative}\n",
+                label_block(labels, None)
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter("requests_total", "requests");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Re-registration returns the same cell.
+        assert_eq!(r.counter("requests_total", "requests").get(), 5);
+        assert_eq!(r.counter_value("requests_total", &[]), Some(5));
+
+        let g = r.gauge("depth", "queue depth");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn histogram_bucket_math() {
+        let h = Histogram::detached(&[10, 100], 1.0);
+        for v in [1, 10, 11, 100, 101, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 5223.0);
+        // Bucket membership: le=10 gets {1,10}; le=100 adds {11,100};
+        // +Inf adds {101,5000}.
+        assert_eq!(h.0.counts[0].load(Ordering::Relaxed), 2);
+        assert_eq!(h.0.counts[1].load(Ordering::Relaxed), 2);
+        assert_eq!(h.0.counts[2].load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_clamp() {
+        let h = Histogram::detached(&[100, 200, 400], 1.0);
+        for _ in 0..100 {
+            h.observe(150);
+        }
+        // Everything sits in (100, 200]: the median interpolates inside.
+        let p50 = h.quantile(0.5);
+        assert!(p50 > 100.0 && p50 <= 200.0, "p50 = {p50}");
+        h.observe(10_000); // +Inf
+        assert_eq!(h.quantile(1.0), 400.0);
+        assert_eq!(Histogram::detached(&[1], 1.0).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn detached_handles_record_without_rendering() {
+        let c = Counter::detached();
+        c.inc();
+        assert_eq!(c.get(), 1);
+        let h = Histogram::detached_latency();
+        h.observe_duration(Duration::from_millis(3));
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn fmt_f64_is_plain_decimal() {
+        assert_eq!(fmt_f64(0.0001), "0.0001");
+        assert_eq!(fmt_f64(1.0), "1");
+        assert_eq!(fmt_f64(0.25), "0.25");
+        assert_eq!(fmt_f64(30.0), "30");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as both")]
+    fn kind_conflict_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x_total", "");
+        let _ = r.gauge_with("x_total", "", &[("a", "b")]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Golden-file test for the prometheus text exposition: metric names,
+//! label placement, histogram bucket math (cumulative counts, `+Inf`,
+//! `_sum`, `_count`) and ordering are all load-bearing for scrapers, so
+//! the rendered document is pinned byte-for-byte.
+
+use dissent_metrics::Registry;
+
+#[test]
+fn exposition_is_stable() {
+    let registry = Registry::new();
+
+    let certified = registry.counter_with(
+        "dissent_rounds_total",
+        "Rounds finalized by outcome.",
+        &[("outcome", "certified")],
+    );
+    let uncertified = registry.counter_with(
+        "dissent_rounds_total",
+        "Rounds finalized by outcome.",
+        &[("outcome", "uncertified")],
+    );
+    certified.add(12);
+    uncertified.inc();
+
+    let in_flight = registry.gauge("dissent_rounds_in_flight", "Pipelined rounds in flight.");
+    in_flight.set(4);
+
+    // Small bucket set so every branch of the cumulative math is visible:
+    // recording unit is microseconds, rendered unit seconds (scale 1e6).
+    let latency = registry.histogram_with(
+        "dissent_round_phase_seconds",
+        "Wall-clock time per round phase.",
+        &[("phase", "commit")],
+        &[1_000, 10_000, 100_000],
+        1e6,
+    );
+    latency.observe(500); // le 0.001
+    latency.observe(1_000); // le 0.001 (inclusive upper bound)
+    latency.observe(2_000); // le 0.01
+    latency.observe(250_000); // +Inf
+    assert_eq!(latency.count(), 4);
+
+    let expected = "\
+# HELP dissent_rounds_total Rounds finalized by outcome.
+# TYPE dissent_rounds_total counter
+dissent_rounds_total{outcome=\"certified\"} 12
+dissent_rounds_total{outcome=\"uncertified\"} 1
+# HELP dissent_rounds_in_flight Pipelined rounds in flight.
+# TYPE dissent_rounds_in_flight gauge
+dissent_rounds_in_flight 4
+# HELP dissent_round_phase_seconds Wall-clock time per round phase.
+# TYPE dissent_round_phase_seconds histogram
+dissent_round_phase_seconds_bucket{phase=\"commit\",le=\"0.001\"} 2
+dissent_round_phase_seconds_bucket{phase=\"commit\",le=\"0.01\"} 3
+dissent_round_phase_seconds_bucket{phase=\"commit\",le=\"0.1\"} 3
+dissent_round_phase_seconds_bucket{phase=\"commit\",le=\"+Inf\"} 4
+dissent_round_phase_seconds_sum{phase=\"commit\"} 0.2535
+dissent_round_phase_seconds_count{phase=\"commit\"} 4
+";
+    assert_eq!(registry.render(), expected);
+}
+
+#[test]
+fn label_values_are_escaped() {
+    let registry = Registry::new();
+    registry
+        .counter_with("odd_total", "", &[("why", "a\"b\\c\nd")])
+        .inc();
+    assert_eq!(
+        registry.render(),
+        "# TYPE odd_total counter\nodd_total{why=\"a\\\"b\\\\c\\nd\"} 1\n"
+    );
+}

@@ -18,8 +18,41 @@ use crate::transport::{Frame, FramedConn, TransportError, PROTOCOL_VERSION};
 use dissent_crypto::connauth::{self, ROLE_CLIENT, ROLE_SERVER};
 use dissent_crypto::group::{Element, Group};
 use dissent_crypto::schnorr::SigningKeyPair;
+use dissent_metrics::{Counter, Registry};
 use rand::RngCore;
 use std::io::{Read, Write};
+
+/// Handshake outcome counters for one verifier (a node accepting
+/// connections).  `Default` is detached: counts but renders nowhere.
+#[derive(Clone, Debug, Default)]
+pub struct AuthMetrics {
+    /// Handshakes that bound a connection to a roster identity.
+    pub accepted: Counter,
+    /// Handshakes refused (bad proof, wrong group, off-roster identity,
+    /// transport failure mid-handshake).
+    pub failed: Counter,
+}
+
+impl AuthMetrics {
+    /// Counters registered on `registry` as
+    /// `dissent_auth_handshakes_total{outcome="accepted"|"failed"}`.
+    pub fn registered(registry: &Registry) -> Self {
+        let name = "dissent_auth_handshakes_total";
+        let help = "Verifier-side handshakes by outcome.";
+        AuthMetrics {
+            accepted: registry.counter_with(name, help, &[("outcome", "accepted")]),
+            failed: registry.counter_with(name, help, &[("outcome", "failed")]),
+        }
+    }
+
+    /// Record one verifier handshake result.
+    pub fn record<T, E>(&self, result: &Result<T, E>) {
+        match result {
+            Ok(_) => self.accepted.inc(),
+            Err(_) => self.failed.inc(),
+        }
+    }
+}
 
 /// The roster identity a connection authenticated as.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -151,6 +184,19 @@ impl RosterKeys {
                 reason: e.to_string(),
             });
         }
+        result
+    }
+
+    /// [`RosterKeys::verifier_handshake`] with the outcome recorded into
+    /// `metrics`.
+    pub fn verifier_handshake_metered<S: Read + Write, R: RngCore + ?Sized>(
+        &self,
+        conn: &mut FramedConn<S>,
+        rng: &mut R,
+        metrics: &AuthMetrics,
+    ) -> Result<Peer, AuthError> {
+        let result = self.verifier_handshake(conn, rng);
+        metrics.record(&result);
         result
     }
 

@@ -23,9 +23,46 @@ use crate::costmodel::CostModel;
 use crate::policy::WindowPolicy;
 use crate::sim::{to_secs, EventQueue, SimTime, Stats};
 use crate::topology::Topology;
+use dissent_metrics::{Counter, Histogram, Registry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// The simulator's round instruments — the same shapes (and, when bound to
+/// a registry, the same metric names) the real node path exposes, so
+/// `experiments` sweeps and a scraped `dissent-server` read one catalog.
+#[derive(Clone)]
+pub struct SimMetrics {
+    /// Virtual-clock latency from round open to last cleartext delivery,
+    /// recorded in microseconds, exposed in seconds.
+    pub round_latency: Histogram,
+    /// Rounds driven to completion.
+    pub rounds_completed: Counter,
+}
+
+impl Default for SimMetrics {
+    fn default() -> Self {
+        SimMetrics {
+            round_latency: Histogram::detached_latency(),
+            rounds_completed: Counter::detached(),
+        }
+    }
+}
+
+impl SimMetrics {
+    /// Instruments registered on `registry` as
+    /// `dissent_sim_round_latency_seconds` / `dissent_sim_rounds_total`.
+    pub fn registered(registry: &Registry) -> Self {
+        SimMetrics {
+            round_latency: registry.latency_histogram(
+                "dissent_sim_round_latency_seconds",
+                "Simulated round-open-to-delivery latency.",
+            ),
+            rounds_completed: registry
+                .counter("dissent_sim_rounds_total", "Simulated rounds completed."),
+        }
+    }
+}
 
 /// On-wire size in bytes of each protocol message kind.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -177,11 +214,18 @@ pub struct SimDriver {
     messages: u64,
     latency: Stats,
     participants: Stats,
+    metrics: SimMetrics,
 }
 
 impl SimDriver {
-    /// Set up a driver for one configuration.
+    /// Set up a driver for one configuration (detached instruments).
     pub fn new(cfg: SimConfig) -> Self {
+        SimDriver::with_metrics(cfg, SimMetrics::default())
+    }
+
+    /// Set up a driver recording into `metrics` (shared instruments let
+    /// one registry aggregate a whole sweep).
+    pub fn with_metrics(cfg: SimConfig, metrics: SimMetrics) -> Self {
         let rng = StdRng::seed_from_u64(cfg.seed);
         let rounds = vec![RoundTrack::default(); cfg.rounds];
         SimDriver {
@@ -196,6 +240,7 @@ impl SimDriver {
             messages: 0,
             latency: Stats::new(),
             participants: Stats::new(),
+            metrics,
         }
     }
 
@@ -418,7 +463,10 @@ impl SimDriver {
         }
         t.complete = true;
         self.completed += 1;
-        self.latency.push(to_secs(self.queue.now() - t.open_time));
+        let secs = to_secs(self.queue.now() - t.open_time);
+        self.latency.push(secs);
+        self.metrics.rounds_completed.inc();
+        self.metrics.round_latency.observe(virtual_micros(secs));
         self.batch_remaining -= 1;
         // Pipeline boundary: the next batch opens once every round of the
         // current batch has delivered (layout/expulsion changes take effect
@@ -432,6 +480,21 @@ impl SimDriver {
 /// Convenience wrapper: simulate one configuration.
 pub fn simulate(cfg: SimConfig) -> SimReport {
     SimDriver::new(cfg).run()
+}
+
+/// Simulate one configuration with instruments registered on `registry`
+/// (see [`SimMetrics::registered`] for the metric names).
+pub fn simulate_with_metrics(cfg: SimConfig, registry: &Registry) -> SimReport {
+    SimDriver::with_metrics(cfg, SimMetrics::registered(registry)).run()
+}
+
+/// Virtual seconds → whole microseconds for histogram recording.
+fn virtual_micros(secs: f64) -> u64 {
+    if secs <= 0.0 {
+        0
+    } else {
+        (secs * 1e6) as u64
+    }
 }
 
 #[cfg(test)]
@@ -457,6 +520,25 @@ mod tests {
         // §5.2: small DeterLab groups run sub-second to ~1 s rounds.
         assert!(mean > 0.05 && mean < 5.0, "mean latency {mean}");
         assert!(report.messages > 0);
+    }
+
+    #[test]
+    fn registry_histogram_tracks_the_report() {
+        let registry = Registry::new();
+        let report = simulate_with_metrics(config(2), &registry);
+        assert_eq!(
+            registry.counter_value("dissent_sim_rounds_total", &[]),
+            Some(u64::try_from(report.rounds_completed).unwrap())
+        );
+        let hist = registry.latency_histogram("dissent_sim_round_latency_seconds", "");
+        assert_eq!(
+            hist.count(),
+            u64::try_from(report.round_latency.len()).unwrap()
+        );
+        // Bucket-interpolated quantiles track the exact per-sample stats
+        // within a bucket's width.
+        let p50 = hist.quantile(0.5);
+        assert!(p50 > 0.0, "p50 {p50}");
     }
 
     #[test]

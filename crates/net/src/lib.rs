@@ -39,13 +39,15 @@ pub mod topology;
 pub mod trace;
 pub mod transport;
 
-pub use auth::{AuthError, Peer, RosterKeys};
+pub use auth::{AuthError, AuthMetrics, Peer, RosterKeys};
 pub use churn::{ChurnModel, ClientBehavior};
 pub use costmodel::CostModel;
-pub use driver::{SimConfig, SimDriver, SimReport, WireSizes};
+pub use driver::{SimConfig, SimDriver, SimMetrics, SimReport, WireSizes};
 pub use link::Link;
 pub use policy::{WindowOutcome, WindowPolicy};
 pub use sim::{EventQueue, SimTime, Stats, MILLISECOND, SECOND};
 pub use topology::Topology;
 pub use trace::{SubmissionTrace, TraceConfig, TraceRound};
-pub use transport::{Frame, FramedConn, TransportError, MAX_FRAME, PROTOCOL_VERSION};
+pub use transport::{
+    Frame, FramedConn, TransportError, TransportMetrics, MAX_FRAME, PROTOCOL_VERSION,
+};

@@ -22,6 +22,7 @@
 //!                         ◀──────  Goodbye
 //! ```
 
+use dissent_metrics::{Counter, Registry};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 
@@ -45,6 +46,7 @@ const TAG_ROUND_OPEN: u8 = 0x06;
 const TAG_PROTOCOL: u8 = 0x07;
 const TAG_CLEARTEXT: u8 = 0x08;
 const TAG_GOODBYE: u8 = 0x09;
+const TAG_RESUME: u8 = 0x0A;
 
 /// One transport frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -100,6 +102,14 @@ pub enum Frame {
     },
     /// Orderly end of the conversation.
     Goodbye,
+    /// Client → server, after (re-)authenticating: the client's session
+    /// engine next expects round `next_round`; the server replays any
+    /// still-buffered cleartexts from that round forward so a reconnecting
+    /// client can resynchronize instead of stalling.
+    Resume {
+        /// First round the client still needs the cleartext for.
+        next_round: u64,
+    },
 }
 
 /// Errors reading or writing frames.
@@ -263,6 +273,10 @@ impl Frame {
                 put_bytes(&mut out, payload);
             }
             Frame::Goodbye => out.push(TAG_GOODBYE),
+            Frame::Resume { next_round } => {
+                out.push(TAG_RESUME);
+                out.extend_from_slice(&next_round.to_be_bytes());
+            }
         }
         out
     }
@@ -302,6 +316,9 @@ impl Frame {
                 payload: r.bytes()?.to_vec(),
             },
             TAG_GOODBYE => Frame::Goodbye,
+            TAG_RESUME => Frame::Resume {
+                next_round: r.u64()?,
+            },
             tag => return Err(TransportError::BadTag(tag)),
         };
         r.finish()?;
@@ -311,7 +328,12 @@ impl Frame {
 
 /// Write one frame: length header, then tag + body.
 pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), TransportError> {
-    let body = frame.encode();
+    write_encoded(w, &frame.encode()).map(|_| ())
+}
+
+/// Write an already-encoded tag + body; returns the wire size (header
+/// included) so callers can meter bytes without re-encoding.
+fn write_encoded<W: Write>(w: &mut W, body: &[u8]) -> Result<u64, TransportError> {
     // A real check, not a debug_assert: an over-budget body must never put
     // a truncated length header on the wire in release builds either.
     let header = u32::try_from(body.len())
@@ -321,14 +343,19 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), TransportEr
             declared: body.len() as u64,
         })?;
     w.write_all(&header.to_be_bytes())?;
-    w.write_all(&body)?;
+    w.write_all(body)?;
     w.flush()?;
-    Ok(())
+    Ok(4 + u64::from(header))
 }
 
 /// Read one frame.  `Ok(None)` means the peer closed the stream cleanly at
 /// a frame boundary; EOF anywhere else is [`TransportError::Truncated`].
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, TransportError> {
+    Ok(read_frame_counted(r)?.map(|(frame, _)| frame))
+}
+
+/// [`read_frame`] plus the frame's wire size (header included).
+fn read_frame_counted<R: Read>(r: &mut R) -> Result<Option<(Frame, u64)>, TransportError> {
     let mut header = [0u8; 4];
     let mut got = 0;
     while got < header.len() {
@@ -358,28 +385,80 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, TransportError> {
             TransportError::Io(e)
         }
     })?;
-    Frame::decode(&body).map(Some)
+    Frame::decode(&body).map(|frame| Some((frame, 4 + declared)))
+}
+
+/// Frame and byte counters for one node's transport edge, shared by every
+/// [`FramedConn`] the node owns (cheap `Counter` clones).  A `Default`
+/// instance is detached — it records but renders nowhere — so metering is
+/// unconditional and costs two relaxed atomic adds per frame.
+#[derive(Clone, Debug, Default)]
+pub struct TransportMetrics {
+    /// Frames written, across all connections sharing this instance.
+    pub frames_sent: Counter,
+    /// Frames fully read and decoded.
+    pub frames_received: Counter,
+    /// Wire bytes written (length headers included).
+    pub bytes_sent: Counter,
+    /// Wire bytes consumed by successfully decoded frames.
+    pub bytes_received: Counter,
+}
+
+impl TransportMetrics {
+    /// Counters registered on `registry` as
+    /// `dissent_transport_{frames,bytes}_total{dir="sent"|"received"}`.
+    pub fn registered(registry: &Registry) -> Self {
+        let frames = "dissent_transport_frames_total";
+        let frames_help = "Transport frames by direction.";
+        let bytes = "dissent_transport_bytes_total";
+        let bytes_help = "Transport wire bytes (headers included) by direction.";
+        TransportMetrics {
+            frames_sent: registry.counter_with(frames, frames_help, &[("dir", "sent")]),
+            frames_received: registry.counter_with(frames, frames_help, &[("dir", "received")]),
+            bytes_sent: registry.counter_with(bytes, bytes_help, &[("dir", "sent")]),
+            bytes_received: registry.counter_with(bytes, bytes_help, &[("dir", "received")]),
+        }
+    }
 }
 
 /// A frame-oriented wrapper over any blocking byte stream.
 pub struct FramedConn<S> {
     stream: S,
+    metrics: TransportMetrics,
 }
 
 impl<S: Read + Write> FramedConn<S> {
-    /// Wrap a connected stream.
+    /// Wrap a connected stream (with detached, render-nowhere metrics).
     pub fn new(stream: S) -> Self {
-        FramedConn { stream }
+        FramedConn {
+            stream,
+            metrics: TransportMetrics::default(),
+        }
+    }
+
+    /// Wrap a connected stream, metering frames/bytes into `metrics`.
+    pub fn with_metrics(stream: S, metrics: TransportMetrics) -> Self {
+        FramedConn { stream, metrics }
     }
 
     /// Send one frame (length header + tag + body, flushed).
     pub fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
-        write_frame(&mut self.stream, frame)
+        let wire = write_encoded(&mut self.stream, &frame.encode())?;
+        self.metrics.frames_sent.inc();
+        self.metrics.bytes_sent.add(wire);
+        Ok(())
     }
 
     /// Receive one frame; `Ok(None)` is a clean close.
     pub fn recv(&mut self) -> Result<Option<Frame>, TransportError> {
-        read_frame(&mut self.stream)
+        match read_frame_counted(&mut self.stream)? {
+            Some((frame, wire)) => {
+                self.metrics.frames_received.inc();
+                self.metrics.bytes_received.add(wire);
+                Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
     }
 
     /// Access the wrapped stream (e.g. to set socket timeouts).
@@ -390,10 +469,12 @@ impl<S: Read + Write> FramedConn<S> {
 
 impl FramedConn<TcpStream> {
     /// An independently-owned handle to the same socket, so one thread can
-    /// block in [`FramedConn::recv`] while another sends.
+    /// block in [`FramedConn::recv`] while another sends.  The clone meters
+    /// into the same counters.
     pub fn try_clone(&self) -> io::Result<FramedConn<TcpStream>> {
         Ok(FramedConn {
             stream: self.stream.try_clone()?,
+            metrics: self.metrics.clone(),
         })
     }
 }
@@ -437,6 +518,30 @@ mod tests {
             payload: vec![0; 64],
         });
         roundtrip(Frame::Goodbye);
+        roundtrip(Frame::Resume { next_round: 11 });
+    }
+
+    #[test]
+    fn framed_conn_meters_frames_and_bytes() {
+        let metrics = TransportMetrics::default();
+        let mut sender = FramedConn::with_metrics(Cursor::new(Vec::new()), metrics.clone());
+        let frame = Frame::Protocol {
+            payload: vec![7; 100],
+        };
+        sender.send(&frame).unwrap();
+        sender.send(&Frame::Goodbye).unwrap();
+        assert_eq!(metrics.frames_sent.get(), 2);
+        // Protocol: 4 header + 1 tag + 4 inner length + 100 payload;
+        // Goodbye: 4 header + 1 tag.
+        assert_eq!(metrics.bytes_sent.get(), 109 + 5);
+
+        let wire = sender.get_ref().get_ref().clone();
+        let mut receiver = FramedConn::with_metrics(Cursor::new(wire), metrics.clone());
+        assert_eq!(receiver.recv().unwrap(), Some(frame));
+        assert_eq!(receiver.recv().unwrap(), Some(Frame::Goodbye));
+        assert_eq!(receiver.recv().unwrap(), None);
+        assert_eq!(metrics.frames_received.get(), 2);
+        assert_eq!(metrics.bytes_received.get(), metrics.bytes_sent.get());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use std::process::ExitCode;
 
-use dissent_core::node::{run_client, RosterSpec};
+use dissent_core::node::{run_client, NodeError, RosterSpec};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -64,8 +64,8 @@ fn main() -> ExitCode {
     match run_client(&spec, &connect, index, posts) {
         Ok(outcome) => {
             println!(
-                "done rounds_seen={} certified={}",
-                outcome.rounds_seen, outcome.certified_rounds
+                "done rounds_seen={} certified={} reconnects={}",
+                outcome.rounds_seen, outcome.certified_rounds, outcome.reconnects
             );
             for (round, slot, message) in &outcome.delivered {
                 println!(
@@ -74,6 +74,14 @@ fn main() -> ExitCode {
                 );
             }
             ExitCode::SUCCESS
+        }
+        // A client that reconnected but could not resync (the server's
+        // replay buffer had already dropped the rounds it missed) exits
+        // with a distinct code so drivers can tell "fell behind" from
+        // "could not connect at all".
+        Err(e @ NodeError::OutOfSync { .. }) => {
+            eprintln!("dissent-client: {e}");
+            ExitCode::from(3)
         }
         Err(e) => {
             eprintln!("dissent-client: {e}");

@@ -2,22 +2,28 @@
 //!
 //! ```text
 //! dissent-server --roster roster.txt [--bind 127.0.0.1:0] [--rounds 5]
+//!                [--metrics-addr 127.0.0.1:0]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound (stdout is
 //! line-buffered, so drivers can parse the port from a `--bind` on port 0),
 //! then accepts and authenticates roster clients, drives the requested
-//! number of rounds, and prints a one-line summary.
+//! number of rounds, and prints a one-line summary.  With `--metrics-addr`
+//! the node's metric registry is additionally served in prometheus text
+//! format (one HTTP/1.0 response per connection); the bound address is
+//! printed as `metrics on <addr>`.
 
+use std::net::TcpListener;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use dissent_core::node::{RosterSpec, ServerNode};
+use dissent_metrics::exporter::MetricsExporter;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: dissent-server --roster <file> [--bind <addr>] [--rounds <n>] \
-         [--connect-timeout-ms <ms>] [--round-timeout-ms <ms>]"
+         [--connect-timeout-ms <ms>] [--round-timeout-ms <ms>] [--metrics-addr <addr>]"
     );
     ExitCode::from(2)
 }
@@ -28,6 +34,7 @@ fn main() -> ExitCode {
     let mut rounds = 5u64;
     let mut connect_timeout = Duration::from_secs(10);
     let mut round_timeout = Duration::from_secs(10);
+    let mut metrics_addr = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,6 +59,10 @@ fn main() -> ExitCode {
             "--round-timeout-ms" => match value("--round-timeout-ms").map(|v| v.parse()) {
                 Ok(Ok(v)) => round_timeout = Duration::from_millis(v),
                 _ => return usage(),
+            },
+            "--metrics-addr" => match value("--metrics-addr") {
+                Ok(v) => metrics_addr = Some(v),
+                Err(()) => return usage(),
             },
             _ => return usage(),
         }
@@ -90,7 +101,30 @@ fn main() -> ExitCode {
         }
     }
 
-    match server.run(rounds) {
+    let exporter = match metrics_addr {
+        Some(addr) => {
+            let listener = match TcpListener::bind(&addr) {
+                Ok(listener) => listener,
+                Err(e) => {
+                    eprintln!("dissent-server: metrics bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match MetricsExporter::spawn(listener, server.registry()) {
+                Ok(exporter) => {
+                    println!("metrics on {}", exporter.addr());
+                    Some(exporter)
+                }
+                Err(e) => {
+                    eprintln!("dissent-server: metrics exporter: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+
+    let code = match server.run(rounds) {
         Ok(summary) => {
             println!(
                 "completed rounds={} certified={} rejected_spoofs={} \
@@ -113,5 +147,11 @@ fn main() -> ExitCode {
             eprintln!("dissent-server: {e}");
             ExitCode::FAILURE
         }
+    };
+    // Stopped only after the summary is out, so a driver scraping until the
+    // exporter goes away sees the completed run's counters.
+    if let Some(exporter) = exporter {
+        exporter.stop();
     }
+    code
 }

@@ -3,8 +3,10 @@
 //! that the group completes at least 3 certified rounds with the anonymous
 //! post surfacing everywhere.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
 
 const ROSTER: &str = "clients = 4\nservers = 1\nseed = 1207\nalpha = 0.5\nsoundness = 4\n";
 
@@ -103,6 +105,152 @@ fn binaries_run_a_four_client_group_over_localhost() {
             "client {i} never saw the post:\n{text}"
         );
     }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One HTTP/1.0 scrape of the exporter: request, read to EOF, return the
+/// body (everything after the blank line).
+fn scrape(addr: &str) -> std::io::Result<String> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.write_all(b"GET /metrics HTTP/1.0\r\nHost: e2e\r\n\r\n")?;
+    let mut response = String::new();
+    conn.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "no header/body separator in scrape response",
+        )),
+    }
+}
+
+/// Sum every series of a counter family in a prometheus text snapshot.
+fn family_total(snapshot: &str, name: &str) -> u64 {
+    snapshot
+        .lines()
+        .filter(|l| {
+            l.strip_prefix(name)
+                .is_some_and(|rest| rest.starts_with(' ') || rest.starts_with('{'))
+        })
+        .filter_map(|l| l.rsplit(' ').next())
+        .filter_map(|v| v.parse::<u64>().ok())
+        .sum()
+}
+
+#[test]
+fn metrics_endpoint_serves_the_run_and_the_final_snapshot_is_archived() {
+    let dir = tempdir();
+    let roster = dir.join("roster-metrics.txt");
+    std::fs::write(&roster, ROSTER).unwrap();
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_dissent-server"))
+        .args(["--roster", roster.to_str().unwrap()])
+        .args(["--bind", "127.0.0.1:0", "--rounds", "5"])
+        .args(["--metrics-addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    let mut stdout = BufReader::new(server.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .to_string();
+    line.clear();
+    stdout.read_line(&mut line).unwrap();
+    let metrics_addr = line
+        .trim()
+        .strip_prefix("metrics on ")
+        .unwrap_or_else(|| panic!("expected metrics line, got: {line:?}"))
+        .to_string();
+
+    // Connect three of the four roster clients.  The server blocks in its
+    // admission phase waiting for the fourth, which pins a window where the
+    // exporter must answer with three accepted handshakes on the books.
+    let mut clients: Vec<Child> = (0..3)
+        .map(|i| {
+            Command::new(env!("CARGO_BIN_EXE_dissent-client"))
+                .args(["--roster", roster.to_str().unwrap()])
+                .args(["--connect", &addr])
+                .args(["--index", &i.to_string()])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .unwrap()
+        })
+        .collect();
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut snapshot = String::new();
+    while family_total(&snapshot, "dissent_auth_handshakes_total") < 3 {
+        assert!(
+            Instant::now() < deadline,
+            "never saw 3 handshakes; last scrape:\n{snapshot}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+        if let Ok(body) = scrape(&metrics_addr) {
+            snapshot = body;
+        }
+    }
+    assert!(snapshot.contains("# TYPE dissent_auth_handshakes_total counter"));
+    assert!(snapshot.contains("# TYPE dissent_transport_bytes_total counter"));
+    assert!(family_total(&snapshot, "dissent_transport_frames_total") > 0);
+
+    // Release the admission phase and keep scraping until the server run
+    // finishes and the exporter goes away; the last successful scrape is
+    // the run's final observable state.
+    clients.push(
+        Command::new(env!("CARGO_BIN_EXE_dissent-client"))
+            .args(["--roster", roster.to_str().unwrap()])
+            .args(["--connect", &addr])
+            .args(["--index", "3"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap(),
+    );
+    while let Ok(body) = scrape(&metrics_addr) {
+        snapshot = body;
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let mut server_rest = String::new();
+    for line in stdout.lines() {
+        server_rest.push_str(&line.unwrap());
+        server_rest.push('\n');
+    }
+    assert!(
+        server.wait().unwrap().success(),
+        "server failed:\n{server_rest}"
+    );
+    for (i, client) in clients.into_iter().enumerate() {
+        let (ok, text) = drain(client);
+        assert!(ok, "client {i} failed:\n{text}");
+    }
+
+    // The exporter outlives the rounds (it stops only after the summary is
+    // printed), so the kept snapshot reflects the whole run.
+    assert!(
+        snapshot.contains("# TYPE dissent_rounds_total counter"),
+        "final snapshot lacks round counters:\n{snapshot}"
+    );
+    assert_eq!(
+        family_total(&snapshot, "dissent_auth_handshakes_total"),
+        4,
+        "final snapshot:\n{snapshot}"
+    );
+    assert!(snapshot.contains("dissent_round_phase_seconds_bucket"));
+    assert_eq!(family_total(&snapshot, "dissent_spoof_rejections_total"), 0);
+
+    // Archive the snapshot where the CI e2e lane picks it up.
+    let out_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/e2e-metrics");
+    std::fs::create_dir_all(&out_dir).unwrap();
+    std::fs::write(out_dir.join("final.prom"), &snapshot).unwrap();
 
     let _ = std::fs::remove_dir_all(&dir);
 }
