@@ -6,11 +6,15 @@
 //! ```
 //!
 //! Subcommands: `sec5_1`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`, `fig11`,
-//! `pipeline`, `baseline`, `alpha`, `calibrate`, `all`, and `bench`, which
-//! runs the perf-trajectory suite and writes `BENCH_7.json` (path
+//! `pipeline`, `baseline`, `alpha`, `calibrate`, `all`, `bench` — which
+//! runs the perf-trajectory suite and writes `BENCH_10.json` (path
 //! overridable with `--out <path>`; schema documented in
-//! `dissent_bench::perfjson`).  `bench-pad` is the internal per-backend
-//! probe `bench` re-executes itself with.
+//! `dissent_bench::perfjson`) — and `shards`, which sweeps the federated
+//! multi-group frontier (10^4–10^6 simulated clients across Maglev-placed
+//! shards) and writes the sharding section as a standalone trajectory
+//! document (`--quick` keeps it to 10^4 clients and ≤ 8 groups for the CI
+//! smoke lane).  `bench-pad` is the internal per-backend probe `bench`
+//! re-executes itself with.
 
 use dissent_bench::*;
 
@@ -33,6 +37,7 @@ fn main() {
         "alpha" | "ablation_alpha" => alpha(),
         "calibrate" => calibrate(),
         "bench" => bench(&args),
+        "shards" => shards(&args, quick),
         // Internal: single-backend pad probe, spawned by `bench` with the
         // ChaCha20 force overrides set (the dispatch is latched per
         // process, so each backend needs a fresh one).
@@ -53,7 +58,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "known: sec5_1 fig6 fig7 fig8 fig9 fig10 fig11 pipeline baseline alpha calibrate bench all"
+                "known: sec5_1 fig6 fig7 fig8 fig9 fig10 fig11 pipeline baseline alpha calibrate bench shards all"
             );
             std::process::exit(2);
         }
@@ -64,18 +69,30 @@ fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
-fn bench(args: &[String]) {
-    header("Perf trajectory (dissent-bench/v1)");
-    let out = args
-        .iter()
+fn out_path<'a>(args: &'a [String], default: &'a str) -> &'a str {
+    args.iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
-        .unwrap_or("BENCH_7.json");
+        .unwrap_or(default)
+}
+
+fn bench(args: &[String]) {
+    header("Perf trajectory (dissent-bench/v1)");
+    let out = out_path(args, "BENCH_10.json");
     let json = bench_json();
     print!("{json}");
     std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     eprintln!("bench: wrote {out}");
+}
+
+fn shards(args: &[String], quick: bool) {
+    header("Federated sharding — Maglev-placed groups on one virtual clock");
+    let out = out_path(args, "BENCH_10.json");
+    let json = shards_json(quick);
+    print!("{json}");
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("shards: wrote {out}");
 }
 
 fn sec5_1(rounds: usize) {

@@ -14,7 +14,7 @@
 
 pub mod perfjson;
 
-pub use perfjson::{bench_json, pad_probe_json};
+pub use perfjson::{bench_json, pad_probe_json, shards_json};
 
 use dissent_core::policy::WindowPolicy;
 use dissent_core::timing::{simulate_full_protocol, simulate_rounds, Scenario, Workload};
@@ -474,6 +474,131 @@ pub fn pipeline_study_metered(
     out
 }
 
+/// One point of the federated-sharding frontier: many Maglev-placed groups
+/// advancing concurrently on one shared virtual clock
+/// (`dissent_net::federation`).
+#[derive(Clone, Debug)]
+pub struct ShardPoint {
+    /// Total simulated clients across all groups.
+    pub clients_total: usize,
+    /// Clients per group — the upper bound on each round's anonymity set.
+    pub group_size: usize,
+    /// Number of groups (shards).
+    pub shards: usize,
+    /// DC-net rounds simulated per group.
+    pub rounds_per_group: usize,
+    /// Aggregate certified rounds per second across the federation.
+    pub rounds_per_sec: f64,
+    /// Aggregate federated message throughput.
+    pub messages_per_sec: f64,
+    /// Median round latency (seconds), pooled over all groups.
+    pub p50_latency_s: f64,
+    /// 99th-percentile round latency, pooled over all groups.
+    pub p99_latency_s: f64,
+    /// Mean effective anonymity-set size: participants per certified round.
+    pub anonymity_set: f64,
+}
+
+/// Simulate one federated configuration — `shards` groups of `group_size`
+/// DeterLab clients each, every group a full pipelined DC-net simulation
+/// with wire sizes from the real typed-message encodings at 2048-bit
+/// parameters — and report the aggregate.
+pub fn shard_point(group_size: usize, shards: usize, rounds: usize) -> ShardPoint {
+    shard_point_metered(
+        group_size,
+        shards,
+        rounds,
+        &dissent_metrics::Registry::new(),
+    )
+}
+
+/// [`shard_point`], recording every group's rounds and latencies into
+/// `registry` under a per-shard `shard="g<i>"` label, the same series the
+/// live node exports.
+pub fn shard_point_metered(
+    group_size: usize,
+    shards: usize,
+    rounds: usize,
+    registry: &dissent_metrics::Registry,
+) -> ShardPoint {
+    use dissent_core::messages::sim_wire_sizes;
+    use dissent_crypto::group::Group;
+    use dissent_net::churn::ChurnModel;
+    use dissent_net::driver::SimConfig;
+    use dissent_net::federation::{FederatedSimConfig, FederatedSimDriver};
+    use dissent_net::topology::Topology;
+
+    let group = Group::rfc3526_2048();
+    let workload = Workload::paper_microblog();
+    let total_len = workload.cleartext_len(group_size);
+    let sizes = sim_wire_sizes(&group, total_len);
+    let mut template = SimConfig::new(
+        Topology::deterlab(group_size, 8),
+        ChurnModel::deterlab(),
+        total_len,
+        4,
+        rounds,
+    );
+    template.sizes = sizes;
+    let report =
+        FederatedSimDriver::with_registry(FederatedSimConfig::new(template, shards), registry)
+            .run();
+    ShardPoint {
+        clients_total: group_size * shards,
+        group_size,
+        shards,
+        rounds_per_group: rounds,
+        rounds_per_sec: report.rounds_per_sec,
+        messages_per_sec: report.messages_per_sec,
+        p50_latency_s: report.round_latency.quantile(0.5),
+        p99_latency_s: report.round_latency.quantile(0.99),
+        anonymity_set: report.anonymity_set.mean(),
+    }
+}
+
+/// Shard-count scaling series at fixed group size: 1, 2, 4, … up to
+/// `max_shards` groups, all on one shared virtual clock.  Aggregate
+/// rounds/sec should grow near-linearly — groups share no state, only the
+/// clock.
+pub fn shard_scaling(group_size: usize, max_shards: usize, rounds: usize) -> Vec<ShardPoint> {
+    let mut out = Vec::new();
+    let mut shards = 1;
+    while shards <= max_shards {
+        out.push(shard_point(group_size, shards, rounds));
+        shards *= 2;
+    }
+    out
+}
+
+/// The 10^4–10^6-client frontier: for each (total clients, group size)
+/// combination place `total / group_size` groups, clamped to 1..=1024
+/// shards; when the clamp binds, the per-group size grows so the total
+/// client count is preserved.  Larger fleets run fewer rounds per group —
+/// the statistic of interest is throughput, and event volume already
+/// scales with the client count.
+pub fn shard_frontier(totals: &[usize], group_sizes: &[usize]) -> Vec<ShardPoint> {
+    let mut out = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for &total in totals {
+        let rounds = match total {
+            t if t >= 1_000_000 => 4,
+            t if t >= 100_000 => 6,
+            _ => 12,
+        };
+        for &gs in group_sizes {
+            let shards = (total / gs).clamp(1, 1024);
+            let per_group = (total / shards).max(16);
+            // Two requested group sizes can clamp to the same shape (e.g.
+            // 10^6 clients at sizes 100 and 320 both become 1024 x 976);
+            // simulate each shape once.
+            if seen.insert((shards, per_group, rounds)) {
+                out.push(shard_point(per_group, shards, rounds));
+            }
+        }
+    }
+    out
+}
+
 /// Measure the real cost of one modular exponentiation in each parameter
 /// set, for re-calibrating the [`dissent_net::CostModel`].
 pub fn calibrate_modexp() -> Vec<(String, f64)> {
@@ -672,6 +797,44 @@ mod tests {
         // And the exposition carries the same series.
         let rendered = registry.render();
         assert!(rendered.contains("dissent_sim_round_latency_seconds_bucket"));
+    }
+
+    #[test]
+    fn shard_scaling_is_near_linear_to_16_groups() {
+        // The ISSUE-10 acceptance bar: aggregate rounds/sec from 1 to 16
+        // shards at fixed group size scales at least 0.8x linear.  Group
+        // size 100 so the 95% closure target rarely waits on a Pareto
+        // straggler (at 50 clients it frequently does, and one straggler
+        // wait can halve a group's throughput).
+        let points = shard_scaling(100, 16, 12);
+        assert_eq!(points.len(), 5);
+        let one = points[0].rounds_per_sec;
+        let sixteen = points.last().unwrap().rounds_per_sec;
+        assert!(
+            sixteen >= 0.8 * 16.0 * one,
+            "1 shard {one:.2} r/s, 16 shards {sixteen:.2} r/s"
+        );
+        // Sharding trades anonymity for throughput: the per-group
+        // anonymity set stays near the group size no matter how many
+        // shards run, while aggregate throughput grows with the count.
+        for p in &points {
+            assert!(p.anonymity_set > 80.0 && p.anonymity_set <= 100.0);
+            assert!(p.p50_latency_s > 0.0 && p.p50_latency_s <= p.p99_latency_s);
+        }
+    }
+
+    #[test]
+    fn shard_frontier_preserves_totals_under_the_clamp() {
+        // 10^4 clients at group size 100 wants 100 shards (no clamp); a
+        // hypothetical 10^4 at group size 8 wants 1250 and gets clamped to
+        // 1024 with the per-group size grown to compensate.
+        let points = shard_frontier(&[10_000], &[8, 100]);
+        assert_eq!(points[0].shards, 1024);
+        assert!(points[0].group_size >= 9);
+        assert!(points[0].clients_total >= 9_000);
+        assert_eq!(points[1].shards, 100);
+        assert_eq!(points[1].group_size, 100);
+        assert_eq!(points[1].clients_total, 10_000);
     }
 
     #[test]

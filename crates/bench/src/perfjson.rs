@@ -34,6 +34,12 @@
 //!   "parallel": {"threads": 1, "secrets": 32, "bytes": 131072,
 //!                "accumulate_serial_ms": 0.0, "accumulate_pool_ms": 0.0,
 //!                "speedup": 1.0},
+//!   "shards": {"scaling": [{"clients": 320, "group_size": 320, "shards": 1,
+//!                           "rounds_per_group": 12, "rounds_per_sec": 0.0,
+//!                           "federated_msgs_per_sec": 0.0, "p50_s": 0.0,
+//!                           "p99_s": 0.0, "anonymity_set": 0.0}],
+//!              "frontier": [{"clients": 100000, "group_size": 100,
+//!                            "shards": 1000, "...": "same fields"}]},
 //!   "history": [{"pr": 4, "...": "headline numbers of that PR"}]
 //! }
 //! ```
@@ -52,6 +58,13 @@
 //!   engine (idle DC-net rounds, testing group).
 //! * `parallel` — measured pad-accumulation speedup on the current pool;
 //!   the `RAYON_NUM_THREADS=4` CI lane records the multi-core number.
+//! * `shards` — the federated-sharding study (virtual time, so the numbers
+//!   are deterministic): `scaling` holds the 1→16-shard series at fixed
+//!   group size whose aggregate rounds/sec must stay ≥ 0.8× linear, and
+//!   `frontier` sweeps 10^4–10^6 total clients × group size, reporting
+//!   aggregate throughput, pooled p50/p99 round latency, and the effective
+//!   per-group anonymity-set size.  `experiments -- shards` emits the same
+//!   section as a standalone document.
 
 use std::time::Instant;
 
@@ -70,7 +83,7 @@ use rand::SeedableRng;
 pub const SCHEMA: &str = "dissent-bench/v1";
 
 /// The PR this runner reports for (also names the output file).
-pub const PR: u32 = 7;
+pub const PR: u32 = 10;
 
 /// Time `f`, returning seconds per iteration: one warm-up call, then as
 /// many timed iterations as fit in `min_secs` (at least three).
@@ -353,6 +366,74 @@ fn parallel_section() -> String {
     )
 }
 
+/// Render one [`ShardPoint`] as a JSON object.
+fn shard_point_json(p: &crate::ShardPoint) -> String {
+    format!(
+        concat!(
+            "{{\"clients\":{},\"group_size\":{},\"shards\":{},",
+            "\"rounds_per_group\":{},\"rounds_per_sec\":{:.2},",
+            "\"federated_msgs_per_sec\":{:.0},\"p50_s\":{:.2},\"p99_s\":{:.2},",
+            "\"anonymity_set\":{:.1}}}"
+        ),
+        p.clients_total,
+        p.group_size,
+        p.shards,
+        p.rounds_per_group,
+        p.rounds_per_sec,
+        p.messages_per_sec,
+        p.p50_latency_s,
+        p.p99_latency_s,
+        p.anonymity_set,
+    )
+}
+
+/// The federated-sharding study: the 1→16-shard scaling series at fixed
+/// group size plus the 10^4–10^6-client frontier.  `quick` is the CI smoke
+/// shape — 10^4 clients, at most 8 groups.
+fn shards_section(quick: bool) -> String {
+    let scaling = if quick {
+        eprintln!("shards: scaling series (quick: 1..8 shards of 100)...");
+        crate::shard_scaling(100, 8, 8)
+    } else {
+        eprintln!("shards: scaling series (1..16 shards of 320)...");
+        crate::shard_scaling(320, 16, 12)
+    };
+    let frontier = if quick {
+        eprintln!("shards: frontier (quick: 10^4 clients, 8 groups)...");
+        vec![crate::shard_point(1250, 8, 8)]
+    } else {
+        eprintln!("shards: frontier (10^4..10^6 clients x group size)...");
+        crate::shard_frontier(&[10_000, 100_000, 1_000_000], &[100, 320, 1000])
+    };
+    let join = |points: &[crate::ShardPoint]| {
+        points
+            .iter()
+            .map(shard_point_json)
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    format!(
+        "{{\"scaling\":[\n{}\n],\"frontier\":[\n{}\n]}}",
+        join(&scaling),
+        join(&frontier)
+    )
+}
+
+/// Standalone `dissent-bench/v1` document carrying only the sharding study
+/// (plus the history block), for `experiments -- shards`.  Virtual-time
+/// simulation, so unlike [`bench_json`] the numbers do not depend on the
+/// machine.
+pub fn shards_json(quick: bool) -> String {
+    format!(
+        "{{\n\"schema\":\"{}\",\n\"pr\":{},\n\"threads\":{},\n\"shards\":{},\n\"history\":{}\n}}\n",
+        SCHEMA,
+        PR,
+        rayon::current_num_threads(),
+        shards_section(quick),
+        history_section(),
+    )
+}
+
 /// Headline numbers from earlier PRs, carried so the checked-in document
 /// is a trajectory rather than a point sample.  Sources: the criterion
 /// groups recorded in CHANGES.md when each PR landed (same machine class,
@@ -360,6 +441,9 @@ fn parallel_section() -> String {
 fn history_section() -> String {
     concat!(
         "[",
+        "{\"pr\":9,\"note\":\"metrics/observability layer, reconnect/retry fix sweep\",",
+        "\"session16_window4_rounds_per_sec\":2321,",
+        "\"sim_instrumentation_overhead_pct\":0},",
         "{\"pr\":6,\"note\":\"8-block fused ChaCha20 engine, batched DLEQ proving\",",
         "\"chacha_fill_mib_s\":{\"avx512_131072\":3294},",
         "\"apply_fused_131072_mib_s\":3537,\"apply_twopass_131072_mib_s\":2673,",
@@ -393,8 +477,10 @@ pub fn bench_json() -> String {
     let session = session_section();
     eprintln!("bench: measuring parallel pad accumulation...");
     let parallel = parallel_section();
+    eprintln!("bench: sweeping the federated-sharding frontier...");
+    let shards = shards_section(false);
     format!(
-        "{{\n\"schema\":\"{}\",\n\"pr\":{},\n\"threads\":{},\n\"pad\":[\n{}\n],\n\"shuffle\":{},\n\"session\":{},\n\"parallel\":{},\n\"history\":{}\n}}\n",
+        "{{\n\"schema\":\"{}\",\n\"pr\":{},\n\"threads\":{},\n\"pad\":[\n{}\n],\n\"shuffle\":{},\n\"session\":{},\n\"parallel\":{},\n\"shards\":{},\n\"history\":{}\n}}\n",
         SCHEMA,
         PR,
         rayon::current_num_threads(),
@@ -402,6 +488,7 @@ pub fn bench_json() -> String {
         shuffle,
         session,
         parallel,
+        shards,
         history_section(),
     )
 }
@@ -433,5 +520,25 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"pr\":4"));
+        assert!(json.contains("\"pr\":9"));
+    }
+
+    #[test]
+    fn shard_point_json_is_structurally_balanced() {
+        let json = shard_point_json(&crate::ShardPoint {
+            clients_total: 800,
+            group_size: 100,
+            shards: 8,
+            rounds_per_group: 8,
+            rounds_per_sec: 12.5,
+            messages_per_sec: 1234.0,
+            p50_latency_s: 0.61,
+            p99_latency_s: 1.8,
+            anonymity_set: 99.2,
+        });
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"clients\":800"));
+        assert!(json.contains("\"federated_msgs_per_sec\":1234"));
+        assert!(json.contains("\"anonymity_set\":99.2"));
     }
 }

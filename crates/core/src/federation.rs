@@ -1,0 +1,598 @@
+//! The federation coordinator: many per-group round engines behind one
+//! Maglev-hashed client placement, rebalanced only at pipeline boundaries.
+//!
+//! One DC-net group is one anonymity set *and* one serialized server
+//! pipeline; to scale past a few thousand clients the federation shards the
+//! population across G independent groups.  Placement is the
+//! [`MaglevTable`] from `dissent-net`: a client id hashes to a slot, the
+//! slot names a group, and group removal remaps only the removed group's
+//! clients.
+//!
+//! Membership changes — client joins/leaves and group add/remove — are
+//! *queued* and applied only between batches, reusing the PR 5 pipeline
+//! boundary semantics: a batch's slot layout is frozen when it opens, so an
+//! in-flight window is never mutated.  When a group's roster changes, that
+//! group's engine is rebuilt deterministically from
+//! `(federation seed, label, epoch, roster)` — see [`build_group_engine`] —
+//! while untouched groups keep their live sessions.  The rebuild derivation
+//! is public precisely so tests can prove the federated output stream is
+//! byte-identical to running each group standalone with the post-rebalance
+//! roster.
+//!
+//! Certified per-round outputs from all groups are folded into one
+//! federated stream of [`FederatedRecord`]s carrying per-group provenance
+//! (label, group index, epoch, batch).
+
+use crate::config::GroupBuilder;
+use crate::round::PerEntityRng;
+use crate::session::{ClientAction, RoundResult, Session, SessionError};
+use crate::PipelinedSession;
+use dissent_crypto::sha256::sha256_tagged;
+use dissent_net::federation::MaglevTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// Tunables shared by every group of a federation.
+#[derive(Clone, Debug)]
+pub struct FederationParams {
+    /// Federation base seed; every group derivation domain-separates it.
+    pub seed: u64,
+    /// Servers provisioned per group.
+    pub servers_per_group: usize,
+    /// Pipeline window W each group runs with.
+    pub window: usize,
+    /// Soundness parameter for the per-group key shuffles.
+    pub shuffle_soundness: usize,
+    /// Blame horizon (must be ≥ `window`).
+    pub blame_horizon: u64,
+    /// Maglev table size (prime); small primes keep tests fast.
+    pub maglev_slots: usize,
+}
+
+impl Default for FederationParams {
+    fn default() -> Self {
+        FederationParams {
+            seed: 0xFED,
+            servers_per_group: 2,
+            window: 2,
+            shuffle_soundness: 8,
+            blame_horizon: 8,
+            maglev_slots: dissent_net::federation::MAGLEV_SLOTS,
+        }
+    }
+}
+
+/// One certified round output with its federation provenance.
+#[derive(Clone, Debug)]
+pub struct FederatedRecord {
+    /// Label of the group that produced the round.
+    pub group: String,
+    /// The group's index in the placement table at emission time.
+    pub group_index: usize,
+    /// The group's rebuild epoch (bumped on every roster change).
+    pub epoch: u64,
+    /// Which federation batch this round belonged to.
+    pub batch: u64,
+    /// The group-local round result (cleartext, certification, expulsions).
+    pub result: RoundResult,
+}
+
+/// A queued membership change, applied at the next pipeline boundary.
+#[derive(Clone, Debug)]
+enum RosterChange {
+    Join(u64),
+    Leave(u64),
+    AddGroup(String),
+    RemoveGroup(String),
+}
+
+/// The per-group engine plus the bookkeeping needed to rebuild it.
+struct GroupRuntime {
+    label: String,
+    epoch: u64,
+    roster: Vec<u64>,
+    /// `None` while the roster is empty — an idle shard.
+    engine: Option<GroupEngine>,
+    /// Batches run since the last rebuild (standalone-replay tests resume
+    /// from the rebuild point).
+    batches_run: u64,
+}
+
+/// A live engine: the pipelined session and its entity RNG streams.
+pub struct GroupEngine {
+    /// The group's batch-pipelined round engine.
+    pub pipe: PipelinedSession,
+    /// Deterministic per-entity randomness, advanced batch by batch.
+    pub rngs: PerEntityRng,
+}
+
+/// A read-only snapshot of one group's rebuild state, for standalone
+/// replay: build the engine with [`build_group_engine`] from this and rerun
+/// the last `batches_run` batches.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupStatus {
+    /// Group label.
+    pub label: String,
+    /// Rebuild epoch.
+    pub epoch: u64,
+    /// Global client ids in the group, in roster (slot-assignment) order.
+    pub roster: Vec<u64>,
+    /// Batches run since the engine was (re)built.
+    pub batches_run: u64,
+}
+
+/// Domain-separated sub-seed for one group derivation.
+fn derive_seed(tag: &[u8], params_seed: u64, label: &str, epoch: u64, roster: &[u64]) -> u64 {
+    let mut roster_bytes = Vec::with_capacity(roster.len() * 8);
+    for id in roster {
+        roster_bytes.extend_from_slice(&id.to_be_bytes());
+    }
+    let digest = sha256_tagged(&[
+        b"dissent-federation-engine",
+        tag,
+        &params_seed.to_be_bytes(),
+        label.as_bytes(),
+        &epoch.to_be_bytes(),
+        &roster_bytes,
+    ]);
+    u64::from_be_bytes(digest[..8].try_into().expect("sha256 yields 32 bytes"))
+}
+
+/// Deterministically build one group's engine from its rebuild coordinates.
+///
+/// This is the *entire* state a rebuilt group starts from: the generated
+/// group (keys, slot config) and the key shuffle both run from seeds
+/// domain-separated over `(federation seed, label, epoch, roster)`, so the
+/// federation's rebuild and a standalone reconstruction from the same
+/// coordinates are byte-identical engines.
+pub fn build_group_engine(
+    params: &FederationParams,
+    label: &str,
+    epoch: u64,
+    roster: &[u64],
+) -> Result<GroupEngine, SessionError> {
+    let group_seed = derive_seed(b"group", params.seed, label, epoch, roster);
+    let shuffle_seed = derive_seed(b"shuffle", params.seed, label, epoch, roster);
+    let entity_seed = derive_seed(b"entity", params.seed, label, epoch, roster);
+    let generated = GroupBuilder::new(roster.len(), params.servers_per_group)
+        .with_shuffle_soundness(params.shuffle_soundness)
+        .with_blame_horizon(params.blame_horizon)
+        .with_seed(group_seed)
+        .build();
+    let mut shuffle_rng = StdRng::seed_from_u64(shuffle_seed);
+    let session = Session::new(&generated, &mut shuffle_rng)?;
+    let pipe = PipelinedSession::new(session, params.window)?;
+    let rngs = PerEntityRng::new(entity_seed, roster.len(), params.servers_per_group);
+    Ok(GroupEngine { pipe, rngs })
+}
+
+/// The federation coordinator: owns the placement table and every group
+/// engine, applies roster churn at pipeline boundaries, and merges the
+/// groups' certified outputs into one provenance-tagged stream.
+pub struct Federation {
+    params: FederationParams,
+    table: MaglevTable,
+    members: BTreeSet<u64>,
+    groups: Vec<GroupRuntime>,
+    pending: Vec<RosterChange>,
+    batches: u64,
+}
+
+impl Federation {
+    /// Build a federation of `group_labels` with `initial_members` placed
+    /// by the Maglev table and every non-empty group's engine constructed
+    /// at epoch 0.
+    pub fn new(
+        params: FederationParams,
+        group_labels: &[String],
+        initial_members: &[u64],
+    ) -> Result<Federation, SessionError> {
+        let table = MaglevTable::new(group_labels, params.maglev_slots);
+        let members: BTreeSet<u64> = initial_members.iter().copied().collect();
+        let mut fed = Federation {
+            params,
+            table,
+            members,
+            groups: Vec::new(),
+            pending: Vec::new(),
+            batches: 0,
+        };
+        for g in 0..fed.table.num_groups() {
+            let label = fed.table.label(g).to_string();
+            let roster = fed.roster_of(g);
+            let engine = if roster.is_empty() {
+                None
+            } else {
+                Some(build_group_engine(&fed.params, &label, 0, &roster)?)
+            };
+            fed.groups.push(GroupRuntime {
+                label,
+                epoch: 0,
+                roster,
+                engine,
+                batches_run: 0,
+            });
+        }
+        Ok(fed)
+    }
+
+    /// Global client ids currently placed in group `g`, roster-ordered.
+    fn roster_of(&self, g: usize) -> Vec<u64> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|&c| self.table.lookup(c) == g)
+            .collect()
+    }
+
+    /// Queue a client join; placed at the next pipeline boundary.
+    pub fn queue_join(&mut self, client: u64) {
+        self.pending.push(RosterChange::Join(client));
+    }
+
+    /// Queue a client departure; removed at the next pipeline boundary.
+    pub fn queue_leave(&mut self, client: u64) {
+        self.pending.push(RosterChange::Leave(client));
+    }
+
+    /// Queue a new group; the table rebuild happens at the next boundary.
+    pub fn queue_add_group(&mut self, label: &str) {
+        self.pending.push(RosterChange::AddGroup(label.to_string()));
+    }
+
+    /// Queue a group removal; only that group's clients remap, at the next
+    /// boundary.
+    pub fn queue_remove_group(&mut self, label: &str) {
+        self.pending
+            .push(RosterChange::RemoveGroup(label.to_string()));
+    }
+
+    /// Whether membership changes are waiting for the next boundary.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Current member set.
+    pub fn members(&self) -> &BTreeSet<u64> {
+        &self.members
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.table.num_groups()
+    }
+
+    /// Which group (by label) a client id is currently placed in.
+    pub fn placement(&self, client: u64) -> &str {
+        self.table.label(self.table.lookup(client))
+    }
+
+    /// Snapshot of one group's rebuild coordinates, by label.
+    pub fn group_status(&self, label: &str) -> Option<GroupStatus> {
+        self.groups
+            .iter()
+            .find(|g| g.label == label)
+            .map(|g| GroupStatus {
+                label: g.label.clone(),
+                epoch: g.epoch,
+                roster: g.roster.clone(),
+                batches_run: g.batches_run,
+            })
+    }
+
+    /// Snapshots of every group, in table order.
+    pub fn statuses(&self) -> Vec<GroupStatus> {
+        self.groups
+            .iter()
+            .map(|g| GroupStatus {
+                label: g.label.clone(),
+                epoch: g.epoch,
+                roster: g.roster.clone(),
+                batches_run: g.batches_run,
+            })
+            .collect()
+    }
+
+    /// Apply every queued change at this pipeline boundary: update the
+    /// table and member set, then rebuild exactly the groups whose rosters
+    /// changed (epoch bump), leaving untouched groups' live engines alone.
+    fn apply_pending(&mut self) -> Result<(), SessionError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        for change in std::mem::take(&mut self.pending) {
+            match change {
+                RosterChange::Join(c) => {
+                    self.members.insert(c);
+                }
+                RosterChange::Leave(c) => {
+                    self.members.remove(&c);
+                }
+                RosterChange::AddGroup(label) => self.table.add_group(&label),
+                RosterChange::RemoveGroup(label) => self.table.remove_group(&label),
+            }
+        }
+        // Re-key the runtime list to the table's (possibly changed) group
+        // list, then rebuild every group whose roster differs from its
+        // engine's.  Epochs survive group-index shifts because they are
+        // keyed by label.
+        let mut old: Vec<GroupRuntime> = std::mem::take(&mut self.groups);
+        for g in 0..self.table.num_groups() {
+            let label = self.table.label(g).to_string();
+            let roster = self.roster_of(g);
+            let prev = old
+                .iter()
+                .position(|r| r.label == label)
+                .map(|i| old.swap_remove(i));
+            let runtime = match prev {
+                Some(prev) if prev.roster == roster => prev,
+                Some(prev) => {
+                    let epoch = prev.epoch + 1;
+                    let engine = if roster.is_empty() {
+                        None
+                    } else {
+                        Some(build_group_engine(&self.params, &label, epoch, &roster)?)
+                    };
+                    GroupRuntime {
+                        label,
+                        epoch,
+                        roster,
+                        engine,
+                        batches_run: 0,
+                    }
+                }
+                None => {
+                    let engine = if roster.is_empty() {
+                        None
+                    } else {
+                        Some(build_group_engine(&self.params, &label, 0, &roster)?)
+                    };
+                    GroupRuntime {
+                        label,
+                        epoch: 0,
+                        roster,
+                        engine,
+                        batches_run: 0,
+                    }
+                }
+            };
+            self.groups.push(runtime);
+        }
+        Ok(())
+    }
+
+    /// The per-round client actions a roster runs for one batch: senders
+    /// transmit in the batch's first round, everyone idles the rest of the
+    /// window.  Public so standalone-replay tests drive the exact same
+    /// actions through a reconstructed engine.
+    pub fn actions_for(
+        roster: &[u64],
+        sends: &[(u64, Vec<u8>)],
+        window: usize,
+    ) -> Vec<Vec<ClientAction>> {
+        let first: Vec<ClientAction> = roster
+            .iter()
+            .map(|id| {
+                sends
+                    .iter()
+                    .find(|(s, _)| s == id)
+                    .map(|(_, m)| ClientAction::Send(m.clone()))
+                    .unwrap_or(ClientAction::Idle)
+            })
+            .collect();
+        let mut rounds = vec![first];
+        for _ in 1..window {
+            rounds.push(vec![ClientAction::Idle; roster.len()]);
+        }
+        rounds
+    }
+
+    /// Run one federated batch: apply queued churn at the boundary, then
+    /// drive every non-empty group through a window of rounds.  `sends`
+    /// maps global client ids to the message they transmit in the batch's
+    /// first round (ids not currently members are ignored).  Returns the
+    /// merged output stream, ordered by (group index, round).
+    pub fn run_batch(
+        &mut self,
+        sends: &[(u64, Vec<u8>)],
+    ) -> Result<Vec<FederatedRecord>, SessionError> {
+        self.apply_pending()?;
+        let batch = self.batches;
+        self.batches += 1;
+        let window = self.params.window;
+        let mut stream = Vec::new();
+        for (g, runtime) in self.groups.iter_mut().enumerate() {
+            let Some(engine) = runtime.engine.as_mut() else {
+                continue;
+            };
+            let actions = Self::actions_for(&runtime.roster, sends, window);
+            let results = engine.pipe.run_batch(&actions, &mut engine.rngs);
+            runtime.batches_run += 1;
+            for result in results {
+                stream.push(FederatedRecord {
+                    group: runtime.label.clone(),
+                    group_index: g,
+                    epoch: runtime.epoch,
+                    batch,
+                    result,
+                });
+            }
+        }
+        Ok(stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> FederationParams {
+        FederationParams {
+            seed: 0xFED10,
+            servers_per_group: 2,
+            window: 2,
+            shuffle_soundness: 2,
+            blame_horizon: 4,
+            maglev_slots: 251,
+        }
+    }
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|g| format!("shard-{g}")).collect()
+    }
+
+    #[test]
+    fn federated_stream_equals_union_of_standalone_groups_under_churn() {
+        // The acceptance property: run a federation through churn applied
+        // at batch boundaries, then prove the federated output stream is
+        // exactly the union of standalone per-group runs reconstructed
+        // from each group's public rebuild coordinates.
+        let members: Vec<u64> = (0..9).collect();
+        let mut fed = Federation::new(params(), &labels(3), &members).unwrap();
+
+        let sends0: Vec<(u64, Vec<u8>)> =
+            members.iter().map(|&c| (c, vec![0xA0 + c as u8])).collect();
+        let out0 = fed.run_batch(&sends0).unwrap();
+        assert!(!out0.is_empty());
+        assert!(out0.iter().all(|r| r.result.certified));
+
+        // Churn between batches: one leave, two joins.
+        fed.queue_leave(4);
+        fed.queue_join(20);
+        fed.queue_join(21);
+        let sends1: Vec<(u64, Vec<u8>)> = fed
+            .members()
+            .iter()
+            .map(|&c| (c, vec![0xB0 ^ c as u8]))
+            .collect();
+        // Note: members() still reflects the pre-boundary set; churn lands
+        // inside run_batch.  Send for the post-churn set instead.
+        let mut sends1 = sends1;
+        sends1.retain(|(c, _)| *c != 4);
+        sends1.push((20, vec![0x20]));
+        sends1.push((21, vec![0x21]));
+        let out1 = fed.run_batch(&sends1).unwrap();
+        assert!(out1.iter().all(|r| r.result.certified));
+        assert!(!fed.members().contains(&4));
+        assert!(fed.members().contains(&20));
+
+        let out2 = fed.run_batch(&[]).unwrap();
+
+        // Standalone reconstruction per group: rebuild from the rebuild
+        // coordinates and replay the batches run since.
+        let p = params();
+        for status in fed.statuses() {
+            if status.roster.is_empty() {
+                continue;
+            }
+            let mut engine =
+                build_group_engine(&p, &status.label, status.epoch, &status.roster).unwrap();
+            // Which federation batches ran since this group's rebuild?
+            // Batches are numbered 0, 1, 2; the group ran the last
+            // `batches_run` of them.
+            let all_sends = [&sends0[..], &sends1[..], &[][..]];
+            let start = all_sends.len() - status.batches_run as usize;
+            let mut standalone: Vec<RoundResult> = Vec::new();
+            for sends in &all_sends[start..] {
+                let actions = Federation::actions_for(&status.roster, sends, p.window);
+                standalone.extend(engine.pipe.run_batch(&actions, &mut engine.rngs));
+            }
+            let federated: Vec<&RoundResult> = out0
+                .iter()
+                .chain(out1.iter())
+                .chain(out2.iter())
+                .filter(|r| r.group == status.label && r.epoch == status.epoch)
+                .map(|r| &r.result)
+                .collect();
+            assert_eq!(standalone.len(), federated.len(), "{}", status.label);
+            for (s, f) in standalone.iter().zip(federated) {
+                assert_eq!(s.cleartext, f.cleartext, "group {}", status.label);
+                assert_eq!(s.certified, f.certified);
+                assert_eq!(s.round, f.round);
+            }
+        }
+    }
+
+    #[test]
+    fn rebalance_waits_for_the_pipeline_boundary() {
+        let members: Vec<u64> = (0..6).collect();
+        let mut fed = Federation::new(params(), &labels(2), &members).unwrap();
+        fed.queue_join(40);
+        assert!(fed.has_pending());
+        // Nothing changed yet: the join is queued, not applied.
+        assert_eq!(fed.members().len(), 6);
+        fed.run_batch(&[]).unwrap();
+        assert!(!fed.has_pending());
+        assert_eq!(fed.members().len(), 7);
+    }
+
+    #[test]
+    fn untouched_groups_keep_their_engines_across_churn() {
+        let members: Vec<u64> = (0..8).collect();
+        let mut fed = Federation::new(params(), &labels(2), &members).unwrap();
+        // Find a member and churn it; the *other* group must keep epoch 0
+        // and its batches_run counter (the engine was not rebuilt).
+        fed.run_batch(&[]).unwrap();
+        let victim = *fed.members().iter().next().unwrap();
+        let victim_group = fed.placement(victim).to_string();
+        let other = fed
+            .statuses()
+            .into_iter()
+            .find(|s| s.label != victim_group)
+            .unwrap();
+        assert!(!other.roster.is_empty(), "need both groups populated");
+        fed.queue_leave(victim);
+        fed.run_batch(&[]).unwrap();
+        let churned = fed.group_status(&victim_group).unwrap();
+        let untouched = fed.group_status(&other.label).unwrap();
+        assert_eq!(churned.epoch, 1, "churned group rebuilds");
+        assert_eq!(churned.batches_run, 1);
+        assert_eq!(untouched.epoch, 0, "untouched group keeps its engine");
+        assert_eq!(untouched.batches_run, 2);
+    }
+
+    #[test]
+    fn group_removal_remaps_only_that_groups_clients() {
+        let members: Vec<u64> = (0..12).collect();
+        let mut fed = Federation::new(params(), &labels(3), &members).unwrap();
+        let placements: Vec<(u64, String)> = members
+            .iter()
+            .map(|&c| (c, fed.placement(c).to_string()))
+            .collect();
+        let removed = fed.statuses()[1].label.clone();
+        fed.queue_remove_group(&removed);
+        fed.run_batch(&[]).unwrap();
+        assert_eq!(fed.num_groups(), 2);
+        for (c, old) in placements {
+            if old == removed {
+                assert_ne!(fed.placement(c), removed);
+            } else {
+                assert_eq!(fed.placement(c), old, "client {c} must not move");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_rebuild_is_deterministic() {
+        let p = params();
+        let roster: Vec<u64> = vec![3, 7, 11, 40];
+        let mut a = build_group_engine(&p, "shard-x", 5, &roster).unwrap();
+        let mut b = build_group_engine(&p, "shard-x", 5, &roster).unwrap();
+        let sends = vec![(7u64, vec![1, 2, 3])];
+        let actions = Federation::actions_for(&roster, &sends, p.window);
+        let ra = a.pipe.run_batch(&actions, &mut a.rngs);
+        let rb = b.pipe.run_batch(&actions, &mut b.rngs);
+        assert_eq!(ra.len(), rb.len());
+        for (x, y) in ra.iter().zip(&rb) {
+            assert_eq!(x.cleartext, y.cleartext);
+        }
+        // A different epoch derives a different engine (fresh keys).
+        let c = build_group_engine(&p, "shard-x", 6, &roster).unwrap();
+        assert_ne!(
+            c.pipe.session().config().group_id(),
+            a.pipe.session().config().group_id(),
+            "epoch must domain-separate the group keys"
+        );
+    }
+}

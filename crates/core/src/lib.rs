@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod federation;
 pub mod instrument;
 pub mod messages;
 pub mod node;
@@ -41,6 +42,9 @@ pub mod session;
 pub mod timing;
 
 pub use config::{GeneratedGroup, GroupBuilder, GroupConfig};
+pub use federation::{
+    build_group_engine, FederatedRecord, Federation, FederationParams, GroupEngine, GroupStatus,
+};
 pub use instrument::SessionMetrics;
 pub use messages::{
     AccusationFiled, Certify, ClientSubmit, MessageOrigin, ProtocolMessage, ServerCommit,

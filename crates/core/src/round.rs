@@ -108,6 +108,68 @@ impl RoundState {
     pub fn round(&self) -> u64 {
         self.layout.round
     }
+
+    /// Whether the round output is certified: every reveal matched its
+    /// commitment and every roster server's certification signature
+    /// verified (recomputed by [`Session::deliver_certificates`]).
+    pub fn is_certified(&self) -> bool {
+        self.certified
+    }
+
+    /// A digest over everything a delivered message can touch: phase,
+    /// submissions, composite/assignment, commitments, reveals, combined
+    /// cleartext and certification state.  Diagnostic only — the fuzz
+    /// harness compares fingerprints to prove that garbage or mutated
+    /// frames fed through the `deliver_*` ingests never mutate the round.
+    pub fn fingerprint(&self) -> [u8; 32] {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&self.layout.round.to_be_bytes());
+        buf.push(match self.phase {
+            RoundPhase::Submission => 0,
+            RoundPhase::Commit => 1,
+            RoundPhase::Reveal => 2,
+            RoundPhase::Certification => 3,
+            RoundPhase::Complete => 4,
+        });
+        for (server, clients) in &self.per_server {
+            buf.extend_from_slice(&(*server as u64).to_be_bytes());
+            for (client, ct) in clients {
+                buf.extend_from_slice(&(*client as u64).to_be_bytes());
+                buf.extend_from_slice(&(ct.len() as u64).to_be_bytes());
+                buf.extend_from_slice(ct);
+            }
+        }
+        buf.extend_from_slice(&(self.records.len() as u64).to_be_bytes());
+        for (slot, _) in &self.records {
+            buf.extend_from_slice(&(*slot as u64).to_be_bytes());
+        }
+        for client in &self.composite {
+            buf.extend_from_slice(&(*client as u64).to_be_bytes());
+        }
+        for (client, server) in &self.assignment {
+            buf.extend_from_slice(&(*client as u64).to_be_bytes());
+            buf.extend_from_slice(&(*server as u64).to_be_bytes());
+        }
+        for (server, ct) in &self.pending_reveals {
+            buf.extend_from_slice(&(*server as u64).to_be_bytes());
+            buf.extend_from_slice(ct);
+        }
+        for (server, commitment) in &self.commitments {
+            buf.extend_from_slice(&(*server as u64).to_be_bytes());
+            buf.extend_from_slice(commitment);
+        }
+        for (server, ct) in &self.server_cts {
+            buf.extend_from_slice(&(*server as u64).to_be_bytes());
+            buf.extend_from_slice(ct);
+        }
+        buf.push(self.commits_ok as u8);
+        buf.extend_from_slice(&self.cleartext);
+        if let Some(digest) = &self.cert_digest {
+            buf.extend_from_slice(digest);
+        }
+        buf.push(self.certified as u8);
+        sha256_tagged(&[b"dissent-round-fingerprint", &buf])
+    }
 }
 
 /// Source of per-entity randomness for the round engine.

@@ -1,0 +1,189 @@
+//! Rebalance determinism (ISSUE 10 satellite): applying a churn script
+//! through the federation layer at pipeline boundaries yields byte-identical
+//! per-group cleartexts to running each group standalone with the
+//! post-rebalance roster — and the federated output stream is exactly the
+//! union of the standalone per-group streams.
+//!
+//! Every proptest case drives a random script of joins and leaves, applied
+//! only between batches, then reconstructs each group's engine from its
+//! public rebuild coordinates (`build_group_engine` over federation seed,
+//! label, epoch, roster) and replays the batches run since the rebuild.
+
+use dissent_core::{build_group_engine, Federation, FederationParams, RoundResult};
+use proptest::prelude::*;
+
+const PHASES: usize = 3;
+
+fn params() -> FederationParams {
+    FederationParams {
+        seed: 0xFEDB,
+        servers_per_group: 2,
+        window: 2,
+        shuffle_soundness: 2,
+        blame_horizon: 4,
+        maglev_slots: 251,
+    }
+}
+
+fn run_script(member_mask: u16, join_ct: &[u8], leave_pick: &[u8], payload: u8) {
+    let mut members: Vec<u64> = (0..16).filter(|b| member_mask & (1 << b) != 0).collect();
+    if members.len() < 2 {
+        members.extend([30, 31]);
+    }
+    let labels = vec!["alpha".to_string(), "beta".to_string()];
+    let p = params();
+    let mut fed = Federation::new(p.clone(), &labels, &members).unwrap();
+
+    let mut sends_history: Vec<Vec<(u64, Vec<u8>)>> = Vec::new();
+    let mut records = Vec::new();
+    for phase in 0..PHASES {
+        // Queue churn for this boundary: up to two joins and two leaves,
+        // driven by the proptest bytes.
+        for k in 0..2 {
+            if join_ct[phase * 2 + k] % 2 == 1 {
+                fed.queue_join(100 + (phase * 10 + k) as u64);
+            }
+        }
+        let current: Vec<u64> = fed.members().iter().copied().collect();
+        for k in 0..2 {
+            let pick = leave_pick[phase * 2 + k];
+            if pick % 2 == 1 && !current.is_empty() {
+                fed.queue_leave(current[(pick as usize / 2) % current.len()]);
+            }
+        }
+        // Everyone who could possibly be a member after the boundary gets a
+        // message queued; `run_batch` only uses sends for actual roster
+        // members.
+        let mut sends: Vec<(u64, Vec<u8>)> = fed
+            .members()
+            .iter()
+            .map(|&c| (c, vec![payload ^ c as u8, phase as u8]))
+            .collect();
+        for k in 0..2 {
+            let id = 100 + (phase * 10 + k) as u64;
+            sends.push((id, vec![payload ^ id as u8, phase as u8]));
+        }
+        records.extend(fed.run_batch(&sends).unwrap());
+        sends_history.push(sends);
+    }
+
+    // Every certified record, grouped later by (label, epoch).
+    assert!(records.iter().all(|r| r.result.certified));
+    check_union(&fed, &p, &sends_history, &records);
+}
+
+/// Prove the federated output stream equals the union of standalone
+/// per-group runs: rebuild every group from its public coordinates, replay
+/// the batches run since its last rebalance, and demand byte-identical
+/// cleartexts in the same order.
+fn check_union(
+    fed: &Federation,
+    p: &FederationParams,
+    sends_history: &[Vec<(u64, Vec<u8>)>],
+    records: &[dissent_core::FederatedRecord],
+) {
+    for status in fed.statuses() {
+        if status.roster.is_empty() {
+            continue;
+        }
+        let mut engine =
+            build_group_engine(p, &status.label, status.epoch, &status.roster).unwrap();
+        let start = sends_history.len() - status.batches_run as usize;
+        let mut standalone: Vec<RoundResult> = Vec::new();
+        for sends in &sends_history[start..] {
+            let actions = Federation::actions_for(&status.roster, sends, p.window);
+            standalone.extend(engine.pipe.run_batch(&actions, &mut engine.rngs));
+        }
+        let federated: Vec<&RoundResult> = records
+            .iter()
+            .filter(|r| r.group == status.label && r.epoch == status.epoch)
+            .map(|r| &r.result)
+            .collect();
+        // Union equality: the federated stream carries exactly the rounds
+        // the standalone run produces — same count, same order, and
+        // byte-identical cleartexts.
+        assert_eq!(
+            standalone.len(),
+            federated.len(),
+            "group {} epoch {}",
+            status.label,
+            status.epoch
+        );
+        for (s, f) in standalone.iter().zip(federated) {
+            assert_eq!(s.round, f.round);
+            assert_eq!(
+                s.cleartext, f.cleartext,
+                "group {} round {} cleartext diverged",
+                status.label, s.round
+            );
+            assert_eq!(s.certified, f.certified);
+            assert_eq!(s.messages, f.messages);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn churn_scripts_are_boundary_deterministic(
+        member_mask in any::<u16>(),
+        join_ct in proptest::collection::vec(any::<u8>(), 6..7),
+        leave_pick in proptest::collection::vec(any::<u8>(), 6..7),
+        payload in any::<u8>(),
+    ) {
+        run_script(member_mask, &join_ct, &leave_pick, payload);
+    }
+}
+
+/// A deterministic pinned script on top of the random ones: a whole group
+/// removed mid-stream (only its clients remap — Maglev minimality), with
+/// the union property checked the same way.
+#[test]
+fn group_removal_script_is_boundary_deterministic() {
+    let members: Vec<u64> = (0..14).collect();
+    let labels: Vec<String> = ["alpha", "beta", "gamma"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let p = params();
+    let mut fed = Federation::new(p.clone(), &labels, &members).unwrap();
+    let mut sends_history = Vec::new();
+    let mut records = Vec::new();
+    let sends: Vec<(u64, Vec<u8>)> = members.iter().map(|&c| (c, vec![0x5A ^ c as u8])).collect();
+    records.extend(fed.run_batch(&sends).unwrap());
+    sends_history.push(sends);
+    // Remove a group and churn two clients at the same boundary.
+    let placements: Vec<(u64, String)> = members
+        .iter()
+        .map(|&c| (c, fed.placement(c).to_string()))
+        .collect();
+    fed.queue_remove_group("beta");
+    fed.queue_leave(2);
+    fed.queue_join(77);
+    let sends: Vec<(u64, Vec<u8>)> = fed
+        .members()
+        .iter()
+        .chain([77].iter())
+        .filter(|&&c| c != 2)
+        .map(|&c| (c, vec![0xC3 ^ c as u8]))
+        .collect();
+    records.extend(fed.run_batch(&sends).unwrap());
+    sends_history.push(sends);
+    assert_eq!(fed.num_groups(), 2);
+    // Maglev minimality end to end: survivors' clients stayed put.
+    for (c, old) in placements {
+        if c == 2 {
+            continue;
+        }
+        if old != "beta" {
+            assert_eq!(fed.placement(c), old, "client {c} must not move");
+        } else {
+            assert_ne!(fed.placement(c), "beta");
+        }
+    }
+    records.extend(fed.run_batch(&[]).unwrap());
+    sends_history.push(Vec::new());
+    assert!(records.iter().all(|r| r.result.certified));
+    check_union(&fed, &p, &sends_history, &records);
+}

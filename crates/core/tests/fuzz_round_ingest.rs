@@ -1,0 +1,265 @@
+//! Structured fuzzing of the `messages.rs` decoders *driven against the
+//! round ingests* (ROADMAP item 5 headroom): mutated and garbage frames,
+//! after passing (or failing) the wire decoder, are delivered into a live
+//! round's `deliver_*` phase ingests.  Three properties are pinned:
+//!
+//! 1. nothing panics — not the decoder, not the ingests;
+//! 2. adversarial frames never mutate `RoundState`: a round fed
+//!    genuine + mutant batches is fingerprint-identical to a clean twin,
+//!    and mutants delivered alone on a connection authenticated as the
+//!    wrong entity are indistinguishable from an empty batch;
+//! 3. the round still certifies — garbage cannot poison certification.
+//!
+//! The corpus is harvested from a deterministic twin session with the same
+//! shape and seeds as the fuzz target, so mutants carry genuine field
+//! widths and (often) the *current* round number — exercising the
+//! interesting drop paths (duplicate submissions, wrong upstream,
+//! commitment mismatches, bad signatures), not just length checks.
+
+use std::sync::{Mutex, OnceLock};
+
+use dissent_core::round::RoundState;
+use dissent_core::{
+    ClientAction, GroupBuilder, MessageOrigin, PerEntityRng, ProtocolMessage, Session,
+};
+use dissent_crypto::Group;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CLIENTS: usize = 3;
+const SERVERS: usize = 2;
+const SEED: u64 = 0xF0752;
+
+struct Rig {
+    group: Group,
+    corpus: Vec<Vec<u8>>,
+    session: Session,
+    rngs: PerEntityRng,
+}
+
+fn build_session() -> (Group, Session) {
+    let generated = GroupBuilder::new(CLIENTS, SERVERS)
+        .with_shuffle_soundness(2)
+        .with_seed(SEED)
+        .build();
+    let group = generated.config.group.clone();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let session = Session::new(&generated, &mut rng).unwrap();
+    (group, session)
+}
+
+fn rig() -> &'static Mutex<Rig> {
+    static RIG: OnceLock<Mutex<Rig>> = OnceLock::new();
+    RIG.get_or_init(|| {
+        // Twin session: harvest every message kind's encoding for round 0,
+        // without advancing the fuzz target past round 0.
+        let (group, mut twin) = build_session();
+        let mut twin_rngs = PerEntityRng::new(SEED, CLIENTS, SERVERS);
+        let mut corpus = Vec::new();
+        let mut actions = vec![ClientAction::Idle; CLIENTS];
+        actions[1] = ClientAction::Send(b"fuzz ingest payload".to_vec());
+        let mut state = twin.begin_round();
+        let submits = twin.client_phase(&mut state, &actions, &mut twin_rngs);
+        corpus.extend(
+            submits
+                .iter()
+                .map(|m| ProtocolMessage::ClientSubmit(m.clone()).to_bytes(&group)),
+        );
+        twin.deliver_submissions(&mut state, submits, MessageOrigin::Local);
+        let commits = twin.server_commit_phase(&mut state);
+        corpus.extend(
+            commits
+                .iter()
+                .map(|m| ProtocolMessage::ServerCommit(m.clone()).to_bytes(&group)),
+        );
+        twin.deliver_commits(&mut state, commits, MessageOrigin::Local);
+        let reveals = Session::server_reveal_phase(&mut state);
+        corpus.extend(
+            reveals
+                .iter()
+                .map(|m| ProtocolMessage::ServerReveal(m.clone()).to_bytes(&group)),
+        );
+        twin.deliver_reveals(&mut state, reveals, MessageOrigin::Local);
+        let certs = twin.certify_phase(&mut state, &mut twin_rngs);
+        corpus.extend(
+            certs
+                .iter()
+                .map(|m| ProtocolMessage::Certify(m.clone()).to_bytes(&group)),
+        );
+        assert!(corpus.len() >= 2 * SERVERS + CLIENTS, "corpus too small");
+
+        let (_, session) = build_session();
+        let rngs = PerEntityRng::new(SEED, CLIENTS, SERVERS);
+        Mutex::new(Rig {
+            group,
+            corpus,
+            session,
+            rngs,
+        })
+    })
+}
+
+/// One proptest-driven mutation of a corpus frame (the `proptest_wire`
+/// mutation kinds: window XOR, truncate, insert, append).
+fn mutate(corpus: &[Vec<u8>], pick: u64, kind: u8, pos: u64, patch: &[u8]) -> Vec<u8> {
+    let mut bytes = corpus[(pick % corpus.len() as u64) as usize].clone();
+    let pos = (pos % bytes.len() as u64) as usize;
+    match kind {
+        0 => {
+            for (i, b) in patch.iter().enumerate() {
+                if let Some(slot) = bytes.get_mut(pos + i) {
+                    *slot ^= b;
+                }
+            }
+        }
+        1 => bytes.truncate(pos),
+        2 => {
+            let tail = bytes.split_off(pos);
+            bytes.extend_from_slice(patch);
+            bytes.extend_from_slice(&tail);
+        }
+        _ => bytes.extend_from_slice(patch),
+    }
+    bytes
+}
+
+/// Everything the mutated frames decoded to, sorted per ingest.
+#[derive(Default)]
+struct Decoded {
+    submits: Vec<dissent_core::ClientSubmit>,
+    commits: Vec<dissent_core::ServerCommit>,
+    reveals: Vec<dissent_core::ServerReveal>,
+    certs: Vec<dissent_core::Certify>,
+}
+
+fn decode_all(group: &Group, frames: &[Vec<u8>]) -> Decoded {
+    let mut out = Decoded::default();
+    for frame in frames {
+        match ProtocolMessage::from_bytes(frame, group) {
+            Ok(ProtocolMessage::ClientSubmit(m)) => out.submits.push(m),
+            Ok(ProtocolMessage::ServerCommit(m)) => out.commits.push(m),
+            Ok(ProtocolMessage::ServerReveal(m)) => out.reveals.push(m),
+            Ok(ProtocolMessage::Certify(m)) => out.certs.push(m),
+            Ok(ProtocolMessage::AccusationFiled(_)) | Err(_) => {}
+        }
+    }
+    out
+}
+
+/// Deliver `mutants ++ []` on a connection authenticated as the wrong
+/// entity and `[]` on a local one; both must leave the state identical.
+fn assert_gated<T>(
+    pre: &RoundState,
+    deliver: impl Fn(&mut RoundState, Vec<T>, MessageOrigin),
+    mutants: Vec<T>,
+    wrong_entity: MessageOrigin,
+) {
+    let mut gated = pre.clone();
+    deliver(&mut gated, mutants, wrong_entity);
+    let mut empty = pre.clone();
+    deliver(&mut empty, Vec::new(), MessageOrigin::Local);
+    assert_eq!(
+        gated.fingerprint(),
+        empty.fingerprint(),
+        "mutants on a wrong-entity connection must act like an empty batch"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Drive one full round, injecting a batch of mutated frames into every
+    // phase ingest alongside the genuine messages, plus wrong-entity and
+    // pure-garbage deliveries against forked states.
+    #[test]
+    fn adversarial_frames_never_panic_never_mutate_state_and_round_certifies(
+        picks in proptest::collection::vec(any::<u64>(), 1..8),
+        kinds in proptest::collection::vec(any::<u8>(), 8..9),
+        poses in proptest::collection::vec(any::<u64>(), 8..9),
+        patch in proptest::collection::vec(any::<u8>(), 1..16),
+        garbage in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..256),
+            1..4,
+        ),
+    ) {
+        let mut rig = rig().lock().unwrap();
+        let Rig { group, corpus, session, rngs } = &mut *rig;
+        let frames: Vec<Vec<u8>> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, pick)| mutate(corpus, *pick, kinds[i] % 4, poses[i], &patch))
+            .chain(garbage.iter().cloned())
+            .collect();
+        let adv = decode_all(group, &frames);
+
+        let actions = vec![ClientAction::Idle; CLIENTS];
+        let mut state = session.begin_round();
+        let genuine = session.client_phase(&mut state, &actions, rngs);
+
+        // Submission ingest.
+        assert_gated(
+            &state,
+            |s, m, o| session.deliver_submissions(s, m, o),
+            adv.submits.clone(),
+            MessageOrigin::Server(0),
+        );
+        let mut dirty = state.clone();
+        session.deliver_submissions(&mut state, genuine.clone(), MessageOrigin::Local);
+        let mut batch = genuine;
+        batch.extend(adv.submits.iter().cloned());
+        session.deliver_submissions(&mut dirty, batch, MessageOrigin::Local);
+        prop_assert_eq!(state.fingerprint(), dirty.fingerprint());
+
+        // Commit ingest (single delivery per phase: mutants ride the batch).
+        let genuine = session.server_commit_phase(&mut state);
+        session.server_commit_phase(&mut dirty);
+        assert_gated(
+            &state,
+            |s, m, o| session.deliver_commits(s, m, o),
+            adv.commits.clone(),
+            MessageOrigin::Client(0),
+        );
+        session.deliver_commits(&mut state, genuine.clone(), MessageOrigin::Local);
+        let mut batch = genuine;
+        batch.extend(adv.commits.iter().cloned());
+        session.deliver_commits(&mut dirty, batch, MessageOrigin::Local);
+        prop_assert_eq!(state.fingerprint(), dirty.fingerprint());
+
+        // Reveal ingest.
+        let genuine = Session::server_reveal_phase(&mut state);
+        Session::server_reveal_phase(&mut dirty);
+        assert_gated(
+            &state,
+            |s, m, o| session.deliver_reveals(s, m, o),
+            adv.reveals.clone(),
+            MessageOrigin::Client(0),
+        );
+        session.deliver_reveals(&mut state, genuine.clone(), MessageOrigin::Local);
+        let mut batch = genuine;
+        batch.extend(adv.reveals.iter().cloned());
+        session.deliver_reveals(&mut dirty, batch, MessageOrigin::Local);
+        prop_assert_eq!(state.fingerprint(), dirty.fingerprint());
+
+        // Certification ingest.
+        let genuine = session.certify_phase(&mut state, rngs);
+        assert_gated(
+            &state,
+            |s, m, o| session.deliver_certificates(s, m, o),
+            adv.certs.clone(),
+            MessageOrigin::Client(0),
+        );
+        session.deliver_certificates(&mut state, genuine.clone(), MessageOrigin::Local);
+        let mut batch = genuine;
+        batch.extend(adv.certs.iter().cloned());
+        // The dirty fork ran its own certify phase so its digest matches.
+        let dirty_genuine = session.certify_phase(&mut dirty, rngs);
+        prop_assert_eq!(dirty_genuine.len(), batch.len() - adv.certs.len());
+        session.deliver_certificates(&mut dirty, batch, MessageOrigin::Local);
+        prop_assert_eq!(state.fingerprint(), dirty.fingerprint());
+
+        // Garbage cannot poison certification: the adversarially-fed round
+        // still certifies.
+        prop_assert!(state.is_certified(), "round must certify despite mutants");
+    }
+}

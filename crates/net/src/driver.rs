@@ -17,6 +17,12 @@
 //! the next batch opens when the last cleartext of the current batch is
 //! delivered.  Message sizes come from [`WireSizes`] — `dissent-core`
 //! derives them from the real typed-message encodings.
+//!
+//! Internally the per-group simulation state lives in [`GroupSim`], keyed by
+//! a group index on every queue event: [`SimDriver`] drives exactly one
+//! group, and `federation::FederatedSimDriver` drives G of them off the same
+//! [`EventQueue`] — one shared virtual clock, per-group topologies and
+//! churn, interleaved by event time.
 
 use crate::churn::{ChurnModel, ClientBehavior};
 use crate::costmodel::CostModel;
@@ -60,6 +66,25 @@ impl SimMetrics {
             ),
             rounds_completed: registry
                 .counter("dissent_sim_rounds_total", "Simulated rounds completed."),
+        }
+    }
+
+    /// Instruments registered under the same names with a `shard` label, so
+    /// one registry can aggregate a federated sweep per group
+    /// (`dissent_sim_rounds_total{shard="g3"}`).
+    pub fn registered_for_shard(registry: &Registry, shard: &str) -> Self {
+        let labels = [("shard", shard)];
+        SimMetrics {
+            round_latency: registry.latency_histogram_with(
+                "dissent_sim_round_latency_seconds",
+                "Simulated round-open-to-delivery latency.",
+                &labels,
+            ),
+            rounds_completed: registry.counter_with(
+                "dissent_sim_rounds_total",
+                "Simulated rounds completed.",
+                &labels,
+            ),
         }
     }
 }
@@ -171,19 +196,35 @@ pub struct SimReport {
 /// Events flowing through the queue — one per protocol-message arrival or
 /// phase completion.
 #[derive(Clone, Copy, Debug)]
-enum SimEvent {
+pub(crate) enum SimEvent {
     /// A `ClientSubmit` reached the upstream server.
-    SubmitArrived { round: usize },
+    SubmitArrived {
+        /// Global round index within the group's run.
+        round: usize,
+    },
     /// A scheduled closure for a round's submission window fired: a fixed
     /// window elapsing, a policy hard deadline, an armed multiplier timer,
     /// or the degenerate all-offline round.  Ignored if the window already
     /// closed earlier (e.g. every client arrived before the deadline).
-    WindowClosed { round: usize },
+    WindowClosed {
+        /// Round whose window closes.
+        round: usize,
+    },
     /// Commit/reveal/certify exchange finished; the round output is signed.
-    Certified { round: usize },
+    Certified {
+        /// Round whose output is signed.
+        round: usize,
+    },
     /// One client received the signed cleartext.
-    Delivered { round: usize },
+    Delivered {
+        /// Round whose cleartext arrived.
+        round: usize,
+    },
 }
+
+/// A queue entry: which group the event belongs to, and the event.  One
+/// shared queue interleaves all groups on a single virtual clock.
+pub(crate) type GroupEvent = (usize, SimEvent);
 
 #[derive(Clone, Copy, Debug, Default)]
 struct RoundTrack {
@@ -198,10 +239,12 @@ struct RoundTrack {
     complete: bool,
 }
 
-/// The event-driven pipelined round driver.
-pub struct SimDriver {
+/// The per-group simulation state: one DC-net group's pipelined rounds.
+/// All scheduling goes through a caller-owned [`EventQueue`] so many groups
+/// can share one virtual clock; `gid` tags every scheduled event with the
+/// group it belongs to.
+pub(crate) struct GroupSim {
     cfg: SimConfig,
-    queue: EventQueue<SimEvent>,
     rng: StdRng,
     rounds: Vec<RoundTrack>,
     /// When the server pipeline stage (pad expansion + XOR + signing
@@ -217,20 +260,12 @@ pub struct SimDriver {
     metrics: SimMetrics,
 }
 
-impl SimDriver {
-    /// Set up a driver for one configuration (detached instruments).
-    pub fn new(cfg: SimConfig) -> Self {
-        SimDriver::with_metrics(cfg, SimMetrics::default())
-    }
-
-    /// Set up a driver recording into `metrics` (shared instruments let
-    /// one registry aggregate a whole sweep).
-    pub fn with_metrics(cfg: SimConfig, metrics: SimMetrics) -> Self {
+impl GroupSim {
+    pub(crate) fn new(cfg: SimConfig, metrics: SimMetrics) -> Self {
         let rng = StdRng::seed_from_u64(cfg.seed);
         let rounds = vec![RoundTrack::default(); cfg.rounds];
-        SimDriver {
+        GroupSim {
             cfg,
-            queue: EventQueue::new(),
             rng,
             rounds,
             server_busy_until: 0,
@@ -244,54 +279,46 @@ impl SimDriver {
         }
     }
 
-    /// Run the configured number of rounds and report.
-    pub fn run(mut self) -> SimReport {
-        if self.cfg.rounds > 0 {
-            self.start_batch(0);
-        }
-        while let Some((_, event)) = self.queue.pop() {
-            match event {
-                SimEvent::SubmitArrived { round } => self.submit_arrived(round),
-                SimEvent::WindowClosed { round } => {
-                    if !self.rounds[round].closed {
-                        self.close_window(round);
-                    }
-                }
-                SimEvent::Certified { round } => self.certified(round),
-                SimEvent::Delivered { round } => {
-                    self.rounds[round].delivered += 1;
-                    if self.rounds[round].delivered >= self.rounds[round].online {
-                        self.complete_round(round);
-                    }
+    pub(crate) fn rounds_configured(&self) -> usize {
+        self.cfg.rounds
+    }
+
+    pub(crate) fn finished(&self) -> bool {
+        self.completed == self.cfg.rounds
+    }
+
+    /// Dispatch one of this group's events popped off the shared queue.
+    pub(crate) fn handle(&mut self, gid: usize, queue: &mut EventQueue<GroupEvent>, ev: SimEvent) {
+        match ev {
+            SimEvent::SubmitArrived { round } => self.submit_arrived(gid, queue, round),
+            SimEvent::WindowClosed { round } => {
+                if !self.rounds[round].closed {
+                    self.close_window(gid, queue, round);
                 }
             }
-            if self.completed == self.cfg.rounds {
-                break;
+            SimEvent::Certified { round } => self.certified(gid, queue, round),
+            SimEvent::Delivered { round } => {
+                self.rounds[round].delivered += 1;
+                if self.rounds[round].delivered >= self.rounds[round].online {
+                    self.complete_round(gid, queue, round);
+                }
             }
-        }
-        let duration = self.queue.now().max(1);
-        let secs = to_secs(duration);
-        SimReport {
-            topology: self.cfg.topology.name.clone(),
-            window: self.cfg.window,
-            rounds_completed: self.completed,
-            duration,
-            round_latency: self.latency,
-            participants: self.participants,
-            messages: self.messages,
-            rounds_per_sec: self.completed as f64 / secs,
-            messages_per_sec: self.messages as f64 / secs,
         }
     }
 
     /// Open a batch of up to `window` rounds: every online client schedules
     /// its `ClientSubmit` transfers for all rounds of the batch, serialized
     /// back-to-back into its uplink (the "ciphertexts in flight").
-    fn start_batch(&mut self, first: usize) {
+    pub(crate) fn start_batch(
+        &mut self,
+        gid: usize,
+        queue: &mut EventQueue<GroupEvent>,
+        first: usize,
+    ) {
         let end = (first + self.cfg.window).min(self.cfg.rounds);
         self.batch_end = end;
         self.batch_remaining = end - first;
-        let now = self.queue.now();
+        let now = queue.now();
         let n = self.cfg.topology.num_clients;
         let m = self.cfg.topology.num_servers.max(1);
         let compute = self.cfg.cost.client_round_compute(self.cfg.total_len, m);
@@ -313,14 +340,14 @@ impl SimDriver {
                             .client_link
                             .transfer_time_jittered(self.cfg.sizes.client_submit, &mut self.rng);
                         let in_flight = (round - first) as SimTime * stagger;
-                        self.queue.schedule(
+                        self.messages += 1;
+                        queue.schedule(
                             delay + compute + transfer + in_flight,
-                            SimEvent::SubmitArrived { round },
+                            (gid, SimEvent::SubmitArrived { round }),
                         );
                     }
                 }
             }
-            self.messages += online as u64;
             self.rounds[round] = RoundTrack {
                 open_time: now,
                 online,
@@ -333,17 +360,15 @@ impl SimDriver {
             // nothing to wait for and §3.7 requires empty rounds to
             // complete so the pipeline keeps draining.
             if online == 0 {
-                self.queue.schedule(0, SimEvent::WindowClosed { round });
+                queue.schedule(0, (gid, SimEvent::WindowClosed { round }));
             } else {
                 match self.cfg.policy {
                     WindowPolicy::Fixed { window } => {
-                        self.queue
-                            .schedule(window, SimEvent::WindowClosed { round });
+                        queue.schedule(window, (gid, SimEvent::WindowClosed { round }));
                     }
                     WindowPolicy::WaitAll { hard_deadline }
                     | WindowPolicy::FractionThenMultiplier { hard_deadline, .. } => {
-                        self.queue
-                            .schedule(hard_deadline, SimEvent::WindowClosed { round });
+                        queue.schedule(hard_deadline, (gid, SimEvent::WindowClosed { round }));
                     }
                 }
             }
@@ -354,8 +379,8 @@ impl SimDriver {
     /// `WaitAll` closes once every online client is in;
     /// `FractionThenMultiplier` arms its multiplier timer when the fraction
     /// target is reached; `Fixed` ignores arrivals entirely.
-    fn submit_arrived(&mut self, round: usize) {
-        let now = self.queue.now();
+    fn submit_arrived(&mut self, gid: usize, queue: &mut EventQueue<GroupEvent>, round: usize) {
+        let now = queue.now();
         let t = &mut self.rounds[round];
         t.arrived += 1;
         if t.closed {
@@ -366,7 +391,7 @@ impl SimDriver {
             WindowPolicy::Fixed { .. } => {}
             WindowPolicy::WaitAll { .. } => {
                 if arrived >= online {
-                    self.close_window(round);
+                    self.close_window(gid, queue, round);
                 }
             }
             WindowPolicy::FractionThenMultiplier {
@@ -396,8 +421,7 @@ impl SimDriver {
                         open_time.saturating_add(((elapsed as f64) * multiplier) as SimTime);
                     let backstop = open_time.saturating_add(hard_deadline);
                     let close_at = timer_close.min(backstop).max(now);
-                    self.queue
-                        .schedule_at(close_at, SimEvent::WindowClosed { round });
+                    queue.schedule_at(close_at, (gid, SimEvent::WindowClosed { round }));
                 }
             }
         }
@@ -407,8 +431,8 @@ impl SimDriver {
     /// compute stage (pad expansion over the participants, XOR, hashing,
     /// signing) is a serialized pipeline stage shared by consecutive rounds;
     /// the commit/reveal/certify exchanges of different rounds overlap.
-    fn close_window(&mut self, round: usize) {
-        let now = self.queue.now();
+    fn close_window(&mut self, gid: usize, queue: &mut EventQueue<GroupEvent>, round: usize) {
+        let now = queue.now();
         let t = &mut self.rounds[round];
         t.closed = true;
         self.participants.push(t.arrived as f64);
@@ -434,15 +458,15 @@ impl SimDriver {
         self.messages += 4 * (m as u64) * (m as u64);
 
         let done = start + compute + inventory + commits + reveals + certs;
-        self.queue.schedule_at(done, SimEvent::Certified { round });
+        queue.schedule_at(done, (gid, SimEvent::Certified { round }));
     }
 
     /// The round output is certified: push the signed cleartext to every
     /// online client over its downlink.
-    fn certified(&mut self, round: usize) {
+    fn certified(&mut self, gid: usize, queue: &mut EventQueue<GroupEvent>, round: usize) {
         let online = self.rounds[round].online;
         if online == 0 {
-            self.complete_round(round);
+            self.complete_round(gid, queue, round);
             return;
         }
         self.messages += online as u64;
@@ -452,18 +476,18 @@ impl SimDriver {
                 .topology
                 .client_link
                 .transfer_time_jittered(self.cfg.sizes.cleartext_push, &mut self.rng);
-            self.queue.schedule(transfer, SimEvent::Delivered { round });
+            queue.schedule(transfer, (gid, SimEvent::Delivered { round }));
         }
     }
 
-    fn complete_round(&mut self, round: usize) {
+    fn complete_round(&mut self, gid: usize, queue: &mut EventQueue<GroupEvent>, round: usize) {
         let t = &mut self.rounds[round];
         if t.complete {
             return;
         }
         t.complete = true;
         self.completed += 1;
-        let secs = to_secs(self.queue.now() - t.open_time);
+        let secs = to_secs(queue.now() - t.open_time);
         self.latency.push(secs);
         self.metrics.rounds_completed.inc();
         self.metrics.round_latency.observe(virtual_micros(secs));
@@ -472,8 +496,63 @@ impl SimDriver {
         // current batch has delivered (layout/expulsion changes take effect
         // here in the real engine).
         if self.batch_remaining == 0 && self.batch_end < self.cfg.rounds {
-            self.start_batch(self.batch_end);
+            self.start_batch(gid, queue, self.batch_end);
         }
+    }
+
+    /// Fold this group's measurements into a report; `duration` is the
+    /// caller's virtual clock (the shared queue's end time).
+    pub(crate) fn report(self, duration: SimTime) -> SimReport {
+        let duration = duration.max(1);
+        let secs = to_secs(duration);
+        SimReport {
+            topology: self.cfg.topology.name.clone(),
+            window: self.cfg.window,
+            rounds_completed: self.completed,
+            duration,
+            round_latency: self.latency,
+            participants: self.participants,
+            messages: self.messages,
+            rounds_per_sec: self.completed as f64 / secs,
+            messages_per_sec: self.messages as f64 / secs,
+        }
+    }
+}
+
+/// The event-driven pipelined round driver for a single group.
+pub struct SimDriver {
+    queue: EventQueue<GroupEvent>,
+    group: GroupSim,
+}
+
+impl SimDriver {
+    /// Set up a driver for one configuration (detached instruments).
+    pub fn new(cfg: SimConfig) -> Self {
+        SimDriver::with_metrics(cfg, SimMetrics::default())
+    }
+
+    /// Set up a driver recording into `metrics` (shared instruments let
+    /// one registry aggregate a whole sweep).
+    pub fn with_metrics(cfg: SimConfig, metrics: SimMetrics) -> Self {
+        SimDriver {
+            queue: EventQueue::new(),
+            group: GroupSim::new(cfg, metrics),
+        }
+    }
+
+    /// Run the configured number of rounds and report.
+    pub fn run(mut self) -> SimReport {
+        if self.group.rounds_configured() > 0 {
+            self.group.start_batch(0, &mut self.queue, 0);
+        }
+        while let Some((_, (_, event))) = self.queue.pop() {
+            self.group.handle(0, &mut self.queue, event);
+            if self.group.finished() {
+                break;
+            }
+        }
+        let duration = self.queue.now();
+        self.group.report(duration)
     }
 }
 
@@ -716,24 +795,26 @@ mod tests {
             multiplier: 100.0,
             hard_deadline: hard,
         };
-        let mut drv = SimDriver::new(cfg);
-        drv.rounds[0] = RoundTrack {
+        let mut queue = EventQueue::new();
+        let mut group = GroupSim::new(cfg, SimMetrics::default());
+        group.rounds[0] = RoundTrack {
             open_time: open,
             online: 2,
             ..RoundTrack::default()
         };
         // Advance the virtual clock to one second past the (late) open by
         // draining a marker event, then land the fraction-target arrival.
-        drv.queue.schedule_at(
+        queue.schedule_at(
             open + crate::sim::SECOND,
-            SimEvent::SubmitArrived { round: 9 },
+            (0, SimEvent::SubmitArrived { round: 9 }),
         );
-        drv.queue.pop().unwrap();
-        drv.submit_arrived(0);
-        assert!(drv.rounds[0].armed, "fraction target must arm the timer");
+        queue.pop().unwrap();
+        group.submit_arrived(0, &mut queue, 0);
+        assert!(group.rounds[0].armed, "fraction target must arm the timer");
         // elapsed = 1 s, multiplier 100 ⇒ naive timer = open + 100 s; the
         // scheduled closure must instead sit exactly at open + hard.
-        let (at, event) = drv.queue.pop().unwrap();
+        let (at, (gid, event)) = queue.pop().unwrap();
+        assert_eq!(gid, 0);
         assert!(matches!(event, SimEvent::WindowClosed { round: 0 }));
         assert_eq!(at, open + hard);
     }

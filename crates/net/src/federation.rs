@@ -1,0 +1,555 @@
+//! Federated multi-group sharding: Maglev-hashed client placement and the
+//! many-group simulation driver.
+//!
+//! One DC-net group tops out at a few thousand clients (§7 stops at 5,000
+//! on DeterLab): every client's anonymity set is the whole group, but so is
+//! every server's per-round work.  To scale toward millions of users the
+//! federation layer shards clients across G independent groups, trading
+//! anonymity-set size (now one group, not the whole population) for
+//! aggregate throughput (G groups run their pipelines concurrently).
+//!
+//! Placement uses a Maglev-style consistent-hash lookup table
+//! ([`MaglevTable`]): each group owns a deterministic permutation of the
+//! slot space derived from its label, slots are filled round-robin so load
+//! stays within one slot of uniform, and removing a group reassigns *only*
+//! that group's slots — surviving groups keep every client they had, so a
+//! group failure never reshuffles unaffected anonymity sets.
+//!
+//! [`FederatedSimDriver`] drives G per-group simulations off one shared
+//! [`EventQueue`] — a single virtual clock, per-group topologies and churn,
+//! and per-group RNG streams domain-separated from a base seed (see
+//! [`group_seed`]) so multi-group runs are reproducible and no two groups
+//! share an entity stream.
+
+use crate::driver::{GroupSim, SimConfig, SimMetrics, SimReport};
+use crate::sim::{to_secs, EventQueue, SimTime, Stats};
+use dissent_crypto::sha256::sha256_tagged;
+use dissent_metrics::Registry;
+
+/// Default Maglev table size: prime, and large enough that round-robin fill
+/// keeps per-group load within 1 % of uniform for any practical group count.
+pub const MAGLEV_SLOTS: usize = 65_537;
+
+/// Derive the 32-byte seed material for group `group_id` from a federation
+/// base seed by hash domain separation (seed ‖ group-id).  Two groups of the
+/// same federation never share PRNG key material, and the same (seed, id)
+/// pair always derives the same stream — multi-group runs stay reproducible.
+pub fn group_seed_material(seed: u64, group_id: u64) -> [u8; 32] {
+    sha256_tagged(&[
+        b"dissent-federation-group-seed",
+        &seed.to_be_bytes(),
+        &group_id.to_be_bytes(),
+    ])
+}
+
+/// [`group_seed_material`] truncated to a `u64` for seeding `StdRng`-style
+/// simulation RNGs.
+pub fn group_seed(seed: u64, group_id: u64) -> u64 {
+    let material = group_seed_material(seed, group_id);
+    u64::from_be_bytes(material[..8].try_into().expect("sha256 yields 32 bytes"))
+}
+
+/// A Maglev-style consistent-hash lookup table mapping client ids to
+/// groups.
+///
+/// Each group hashes its label to an `(offset, skip)` pair defining a
+/// permutation of the (prime-sized) slot space; groups claim slots
+/// round-robin along their permutations, so every group ends up with
+/// ⌊S/G⌋ or ⌈S/G⌉ slots.  A client id hashes to a slot; the slot names the
+/// group.  [`MaglevTable::remove_group`] refills only the removed group's
+/// slots by continuing the survivors' permutation walks — every surviving
+/// assignment is untouched (strict minimal disruption, pinned by test).
+#[derive(Clone, Debug)]
+pub struct MaglevTable {
+    labels: Vec<String>,
+    table: Vec<usize>,
+    /// Per-group permutation walk positions for the fill in progress
+    /// (reset at the start of every fill/refill pass).
+    next: Vec<usize>,
+}
+
+impl MaglevTable {
+    /// Build the table for `labels` over `slots` slots.  `slots` must be
+    /// prime (so every `skip` is coprime to it and each permutation covers
+    /// the whole table); [`MAGLEV_SLOTS`] is the default, and small primes
+    /// keep tests fast.  Panics if `labels` is empty, contains duplicates,
+    /// or `slots < labels.len()`.
+    pub fn new(labels: &[String], slots: usize) -> Self {
+        assert!(!labels.is_empty(), "federation needs at least one group");
+        assert!(slots >= labels.len(), "more groups than slots");
+        for (i, a) in labels.iter().enumerate() {
+            assert!(
+                !labels[..i].contains(a),
+                "duplicate group label {a:?} in Maglev table"
+            );
+        }
+        let mut table = MaglevTable {
+            labels: labels.to_vec(),
+            table: Vec::new(),
+            next: vec![0; labels.len()],
+        };
+        table.fill_sized(slots);
+        table
+    }
+
+    /// Populate every slot from scratch (initial build and group addition).
+    fn fill_sized(&mut self, slots: usize) {
+        self.table = vec![usize::MAX; slots];
+        self.next = vec![0; self.labels.len()];
+        let mut remaining = slots;
+        while remaining > 0 {
+            for g in 0..self.labels.len() {
+                if remaining == 0 {
+                    break;
+                }
+                if self.claim_next(g) {
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+
+    /// Advance group `g`'s permutation walk to its next unclaimed slot and
+    /// claim it.  Returns false if the walk is exhausted (the group already
+    /// visited every slot).
+    fn claim_next(&mut self, g: usize) -> bool {
+        let slots = self.table.len();
+        let (offset, skip) = {
+            let h = sha256_tagged(&[b"dissent-maglev-group", self.labels[g].as_bytes()]);
+            let offset = u64::from_be_bytes(h[..8].try_into().expect("digest")) as usize % slots;
+            let skip =
+                u64::from_be_bytes(h[8..16].try_into().expect("digest")) as usize % (slots - 1) + 1;
+            (offset, skip)
+        };
+        while self.next[g] < slots {
+            let j = self.next[g];
+            self.next[g] += 1;
+            let slot = (offset + j * skip) % slots;
+            if self.table[slot] == usize::MAX {
+                self.table[slot] = g;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The group labels in table order (lookup results index into this).
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The label of group index `g`.
+    pub fn label(&self, g: usize) -> &str {
+        &self.labels[g]
+    }
+
+    /// Index of the group named `label`, if present.
+    pub fn index_of(&self, label: &str) -> Option<usize> {
+        self.labels.iter().position(|l| l == label)
+    }
+
+    /// Map a client id to its group index.
+    pub fn lookup(&self, client: u64) -> usize {
+        let h = sha256_tagged(&[b"dissent-maglev-client", &client.to_be_bytes()]);
+        let slot =
+            u64::from_be_bytes(h[..8].try_into().expect("digest")) as usize % self.table.len();
+        self.table[slot]
+    }
+
+    /// Slots owned per group (diagnostics; load-imbalance tests read this).
+    pub fn slot_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.labels.len()];
+        for &g in &self.table {
+            counts[g] += 1;
+        }
+        counts
+    }
+
+    /// Add a group: deterministic full rebuild over the extended label set.
+    /// Maglev's round-robin fill moves only ~1/G of the slots to the
+    /// newcomer; existing groups keep ~(G−1)/G of their clients.  Panics on
+    /// a duplicate label.
+    pub fn add_group(&mut self, label: &str) {
+        assert!(
+            self.index_of(label).is_none(),
+            "duplicate group label {label:?} in Maglev table"
+        );
+        self.labels.push(label.to_string());
+        let slots = self.table.len();
+        self.fill_sized(slots);
+    }
+
+    /// Remove a group, refilling **only** its slots by resuming the
+    /// surviving groups' permutation walks.  Every slot a survivor owned
+    /// before the removal still points at the same group afterwards — only
+    /// the removed group's clients remap.  Panics if the label is unknown
+    /// or it is the last group.
+    pub fn remove_group(&mut self, label: &str) {
+        let g = self
+            .index_of(label)
+            .unwrap_or_else(|| panic!("unknown group label {label:?}"));
+        assert!(self.labels.len() > 1, "cannot remove the last group");
+        let slots = self.table.len();
+        // Drop the group: vacate its slots and reindex the survivors.
+        let mut vacant = 0usize;
+        for slot in self.table.iter_mut() {
+            if *slot == g {
+                *slot = usize::MAX;
+                vacant += 1;
+            } else if *slot != usize::MAX && *slot > g {
+                *slot -= 1;
+            }
+        }
+        self.labels.remove(g);
+        // Refill round-robin: every survivor re-walks its permutation from
+        // the start, claiming only vacant slots.  Occupied slots are
+        // skipped, so every assignment a survivor held before the removal
+        // is untouched — only the vacated slots gain (deterministic) new
+        // owners.
+        self.next = vec![0; self.labels.len()];
+        while vacant > 0 {
+            let mut progressed = false;
+            for sg in 0..self.labels.len() {
+                if vacant == 0 {
+                    break;
+                }
+                if self.claim_next(sg) {
+                    vacant -= 1;
+                    progressed = true;
+                }
+            }
+            assert!(
+                progressed,
+                "maglev refill stalled with {vacant} vacant of {slots} slots"
+            );
+        }
+    }
+}
+
+/// Configuration of a federated multi-group simulation: one per-group
+/// template, instantiated G times with domain-separated seeds.
+#[derive(Clone, Debug)]
+pub struct FederatedSimConfig {
+    /// The per-group configuration (topology/churn/sizes/window/rounds).
+    /// `template.seed` is the *federation* base seed; each group runs with
+    /// `group_seed(template.seed, g)`.
+    pub template: SimConfig,
+    /// Number of groups (shards) driven concurrently.
+    pub num_groups: usize,
+}
+
+impl FederatedSimConfig {
+    /// A federation of `num_groups` copies of `template`.
+    pub fn new(template: SimConfig, num_groups: usize) -> Self {
+        FederatedSimConfig {
+            template,
+            num_groups: num_groups.max(1),
+        }
+    }
+
+    /// The concrete configuration group `g` runs with: the template with a
+    /// domain-separated seed.
+    pub fn group_config(&self, g: usize) -> SimConfig {
+        let mut cfg = self.template.clone();
+        cfg.seed = group_seed(self.template.seed, g as u64);
+        cfg
+    }
+}
+
+/// What a federated run measured: per-group reports plus federation-level
+/// aggregates over the shared virtual clock.
+#[derive(Clone, Debug)]
+pub struct FederatedSimReport {
+    /// Per-group reports, indexed by group id (provenance for every
+    /// aggregate below).
+    pub groups: Vec<SimReport>,
+    /// Shared virtual clock at the end of the run (the slowest group).
+    pub duration: SimTime,
+    /// Rounds completed across all groups.
+    pub rounds_completed: usize,
+    /// Protocol messages exchanged across all groups.
+    pub messages: u64,
+    /// Aggregate round throughput: total rounds over the shared clock.
+    pub rounds_per_sec: f64,
+    /// Aggregate message throughput over the shared clock.
+    pub messages_per_sec: f64,
+    /// Round latency pooled across every group's rounds (seconds); p50/p99
+    /// of the federated stream.
+    pub round_latency: Stats,
+    /// Effective anonymity-set size: per-round participant counts pooled
+    /// across groups.  Sharding trades this (one group's worth, not the
+    /// whole population) for the aggregate throughput above.
+    pub anonymity_set: Stats,
+}
+
+/// Drives G per-group simulations off one shared [`EventQueue`]: a single
+/// virtual clock, per-group RNG streams, events interleaved by time.
+pub struct FederatedSimDriver {
+    queue: EventQueue<(usize, crate::driver::SimEvent)>,
+    groups: Vec<GroupSim>,
+}
+
+impl FederatedSimDriver {
+    /// Set up a federated driver (detached instruments).
+    pub fn new(cfg: FederatedSimConfig) -> Self {
+        Self::build(cfg, |_| SimMetrics::default())
+    }
+
+    /// Set up a federated driver with per-shard labelled instruments on
+    /// `registry` (`dissent_sim_rounds_total{shard="g0"}`, …).
+    pub fn with_registry(cfg: FederatedSimConfig, registry: &Registry) -> Self {
+        Self::build(cfg, |g| {
+            SimMetrics::registered_for_shard(registry, &format!("g{g}"))
+        })
+    }
+
+    fn build(cfg: FederatedSimConfig, mut metrics: impl FnMut(usize) -> SimMetrics) -> Self {
+        let groups = (0..cfg.num_groups)
+            .map(|g| GroupSim::new(cfg.group_config(g), metrics(g)))
+            .collect();
+        FederatedSimDriver {
+            queue: EventQueue::new(),
+            groups,
+        }
+    }
+
+    /// Run every group to completion on the shared clock and report.
+    pub fn run(mut self) -> FederatedSimReport {
+        for (gid, group) in self.groups.iter_mut().enumerate() {
+            if group.rounds_configured() > 0 {
+                group.start_batch(gid, &mut self.queue, 0);
+            }
+        }
+        let mut unfinished = self.groups.iter().filter(|g| !g.finished()).count();
+        while unfinished > 0 {
+            let Some((_, (gid, event))) = self.queue.pop() else {
+                break;
+            };
+            let group = &mut self.groups[gid];
+            if group.finished() {
+                continue;
+            }
+            group.handle(gid, &mut self.queue, event);
+            if group.finished() {
+                unfinished -= 1;
+            }
+        }
+        let duration = self.queue.now().max(1);
+        let reports: Vec<SimReport> = self
+            .groups
+            .into_iter()
+            .map(|g| g.report(duration))
+            .collect();
+        let secs = to_secs(duration);
+        let rounds_completed: usize = reports.iter().map(|r| r.rounds_completed).sum();
+        let messages: u64 = reports.iter().map(|r| r.messages).sum();
+        let mut round_latency = Stats::new();
+        let mut anonymity_set = Stats::new();
+        for r in &reports {
+            for &s in r.round_latency.samples() {
+                round_latency.push(s);
+            }
+            for &p in r.participants.samples() {
+                anonymity_set.push(p);
+            }
+        }
+        FederatedSimReport {
+            groups: reports,
+            duration,
+            rounds_completed,
+            messages,
+            rounds_per_sec: rounds_completed as f64 / secs,
+            messages_per_sec: messages as f64 / secs,
+            round_latency,
+            anonymity_set,
+        }
+    }
+}
+
+/// Convenience wrapper: simulate one federated configuration.
+pub fn simulate_federated(cfg: FederatedSimConfig) -> FederatedSimReport {
+    FederatedSimDriver::new(cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::ChurnModel;
+    use crate::topology::Topology;
+    use dissent_crypto::DetPrng;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|g| format!("g{g}")).collect()
+    }
+
+    fn template(rounds: usize) -> SimConfig {
+        // 100-client groups: small enough to iterate fast, large enough
+        // that the 95 % closure target rarely waits on a Pareto straggler
+        // (which would make short runs duration-noisy).
+        SimConfig::new(
+            Topology::deterlab(100, 8),
+            ChurnModel::deterlab(),
+            2_000,
+            4,
+            rounds,
+        )
+    }
+
+    #[test]
+    fn maglev_population_is_deterministic() {
+        let a = MaglevTable::new(&labels(7), 1_009);
+        let b = MaglevTable::new(&labels(7), 1_009);
+        assert_eq!(a.table, b.table);
+        for client in 0..1_000u64 {
+            assert_eq!(a.lookup(client), b.lookup(client));
+        }
+    }
+
+    #[test]
+    fn maglev_load_imbalance_below_one_percent_at_65537_slots() {
+        for groups in [3usize, 16, 100] {
+            let table = MaglevTable::new(&labels(groups), MAGLEV_SLOTS);
+            assert_eq!(table.slots(), MAGLEV_SLOTS);
+            let counts = table.slot_counts();
+            let mean = MAGLEV_SLOTS as f64 / groups as f64;
+            for (g, &c) in counts.iter().enumerate() {
+                let dev = (c as f64 - mean).abs() / mean;
+                assert!(
+                    dev <= 0.01,
+                    "group {g}: {c} slots vs mean {mean:.1} ({dev:.4} imbalance)"
+                );
+            }
+            // Round-robin fill is in fact within one slot of uniform.
+            let min = counts.iter().min().unwrap();
+            let max = counts.iter().max().unwrap();
+            assert!(max - min <= 1, "spread {min}..{max}");
+        }
+    }
+
+    #[test]
+    fn maglev_removal_remaps_only_the_removed_groups_clients() {
+        let names = labels(9);
+        let mut table = MaglevTable::new(&names, 1_009);
+        let before: Vec<(u64, String)> = (0..4_000u64)
+            .map(|c| (c, table.label(table.lookup(c)).to_string()))
+            .collect();
+        table.remove_group("g4");
+        assert_eq!(table.num_groups(), 8);
+        let mut moved = 0usize;
+        for (c, old_label) in &before {
+            let new_label = table.label(table.lookup(*c));
+            if old_label == "g4" {
+                assert_ne!(new_label, "g4");
+                moved += 1;
+            } else {
+                // Disruption minimality: survivors keep every client.
+                assert_eq!(new_label, old_label, "client {c} moved off {old_label}");
+            }
+        }
+        assert!(moved > 0, "some clients must have lived on g4");
+    }
+
+    #[test]
+    fn maglev_add_rebuild_is_deterministic_and_bounded() {
+        let mut grown = MaglevTable::new(&labels(8), 1_009);
+        grown.add_group("g8");
+        let direct = MaglevTable::new(&labels(9), 1_009);
+        assert_eq!(grown.table, direct.table, "add must equal direct build");
+        // The newcomer takes ~1/9 of the slots; it cannot have grabbed a
+        // grossly disproportionate share.
+        let counts = grown.slot_counts();
+        assert!(*counts.last().unwrap() <= 2 * (1_009 / 9));
+    }
+
+    #[test]
+    fn group_seeds_are_domain_separated() {
+        // Regression (ISSUE 10 satellite): per-group seeds must be derived
+        // by domain separation, not shared or offset — two groups' DetPrng
+        // streams and StdRng seeds must differ.
+        let base = 0x51D;
+        assert_ne!(group_seed(base, 0), group_seed(base, 1));
+        assert_ne!(group_seed(base, 0), base);
+        let mut a = DetPrng::new(&group_seed_material(base, 0), b"sim-entity");
+        let mut b = DetPrng::new(&group_seed_material(base, 1), b"sim-entity");
+        let mut out_a = [0u8; 64];
+        let mut out_b = [0u8; 64];
+        a.fill(&mut out_a);
+        b.fill(&mut out_b);
+        assert_ne!(out_a, out_b, "two groups must never share a DetPrng stream");
+        // And the derivation itself is stable.
+        assert_eq!(group_seed(base, 3), group_seed(base, 3));
+    }
+
+    #[test]
+    fn federated_single_group_matches_standalone() {
+        // One group on the shared queue is exactly SimDriver with the
+        // domain-separated seed.
+        let fed = simulate_federated(FederatedSimConfig::new(template(12), 1));
+        let mut solo_cfg = template(12);
+        solo_cfg.seed = group_seed(solo_cfg.seed, 0);
+        let solo = crate::driver::simulate(solo_cfg);
+        assert_eq!(fed.groups[0].rounds_completed, solo.rounds_completed);
+        assert_eq!(fed.groups[0].messages, solo.messages);
+        assert_eq!(
+            fed.groups[0].round_latency.samples(),
+            solo.round_latency.samples()
+        );
+    }
+
+    #[test]
+    fn federated_groups_are_independent_of_fleet_size() {
+        // Group g's trajectory depends only on (template, g) — adding more
+        // groups to the federation must not perturb it.
+        let small = simulate_federated(FederatedSimConfig::new(template(8), 2));
+        let large = simulate_federated(FederatedSimConfig::new(template(8), 5));
+        for g in 0..2 {
+            assert_eq!(
+                small.groups[g].round_latency.samples(),
+                large.groups[g].round_latency.samples(),
+                "group {g} perturbed by fleet size"
+            );
+            assert_eq!(small.groups[g].messages, large.groups[g].messages);
+        }
+    }
+
+    #[test]
+    fn federated_throughput_scales_with_groups() {
+        let one = simulate_federated(FederatedSimConfig::new(template(12), 1));
+        let eight = simulate_federated(FederatedSimConfig::new(template(12), 8));
+        assert_eq!(eight.rounds_completed, 8 * one.rounds_completed);
+        assert!(
+            eight.rounds_per_sec > 0.8 * 8.0 * one.rounds_per_sec,
+            "8 shards {} rounds/s vs 1 shard {} rounds/s",
+            eight.rounds_per_sec,
+            one.rounds_per_sec
+        );
+        // Anonymity set per round stays one group's worth.
+        assert!(eight.anonymity_set.mean() <= one.anonymity_set.mean() * 1.2);
+    }
+
+    #[test]
+    fn per_shard_metrics_are_labelled() {
+        let registry = Registry::new();
+        let report =
+            FederatedSimDriver::with_registry(FederatedSimConfig::new(template(6), 3), &registry)
+                .run();
+        for g in 0..3 {
+            let shard = format!("g{g}");
+            assert_eq!(
+                registry.counter_value("dissent_sim_rounds_total", &[("shard", &shard)]),
+                Some(u64::try_from(report.groups[g].rounds_completed).unwrap()),
+                "shard {shard} counter"
+            );
+        }
+    }
+}

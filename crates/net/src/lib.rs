@@ -16,6 +16,9 @@
 //! * [`driver`] — the event-driven pipelined round driver (§3.6 / Figure 8):
 //!   protocol messages scheduled through the event queue with per-link
 //!   latency/bandwidth, churn, and a configurable pipeline window.
+//! * [`federation`] — Maglev-hashed client-to-group placement and the
+//!   federated multi-group driver: G groups on one shared virtual clock
+//!   with domain-separated per-group seeds.
 //!
 //! Alongside the simulation substrate, this crate carries the *real*
 //! transport the node binaries speak:
@@ -32,6 +35,7 @@ pub mod auth;
 pub mod churn;
 pub mod costmodel;
 pub mod driver;
+pub mod federation;
 pub mod link;
 pub mod policy;
 pub mod sim;
@@ -43,6 +47,10 @@ pub use auth::{AuthError, AuthMetrics, Peer, RosterKeys};
 pub use churn::{ChurnModel, ClientBehavior};
 pub use costmodel::CostModel;
 pub use driver::{SimConfig, SimDriver, SimMetrics, SimReport, WireSizes};
+pub use federation::{
+    group_seed, group_seed_material, FederatedSimConfig, FederatedSimDriver, FederatedSimReport,
+    MaglevTable, MAGLEV_SLOTS,
+};
 pub use link::Link;
 pub use policy::{WindowOutcome, WindowPolicy};
 pub use sim::{EventQueue, SimTime, Stats, MILLISECOND, SECOND};
